@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the three training-buffer policies
+//! (put/get cost, the primitive behind Figure 2 and Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use training_buffer::{build_buffer, BufferConfig, BufferKind};
+
+/// One put followed by one get, on a pre-warmed buffer, for each policy.
+fn bench_put_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_put_get");
+    for kind in BufferKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                let config = BufferConfig {
+                    kind,
+                    capacity: 4096,
+                    threshold: 512,
+                    seed: 1,
+                };
+                let buffer = build_buffer::<Vec<f32>>(&config);
+                // Pre-fill beyond the threshold so gets never block.
+                for k in 0..1024 {
+                    buffer.put(vec![k as f32; 64]);
+                }
+                b.iter(|| {
+                    buffer.put(vec![1.0; 64]);
+                    std::hint::black_box(buffer.get());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Cost of a full drain after reception is over (the end-of-run phase).
+fn bench_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_drain_1k");
+    group.sample_size(20);
+    for kind in BufferKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter_with_setup(
+                    || {
+                        let config = BufferConfig {
+                            kind,
+                            capacity: 2048,
+                            threshold: 16,
+                            seed: 2,
+                        };
+                        let buffer = build_buffer::<u64>(&config);
+                        for k in 0..1000u64 {
+                            buffer.put(k);
+                        }
+                        buffer.mark_reception_over();
+                        buffer
+                    },
+                    |buffer| {
+                        let mut n = 0usize;
+                        while buffer.get().is_some() {
+                            n += 1;
+                        }
+                        std::hint::black_box(n)
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_put_get, bench_drain
+}
+criterion_main!(benches);

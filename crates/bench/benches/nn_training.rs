@@ -1,0 +1,97 @@
+//! Criterion benchmarks of the neural-network substrate: batch training-step
+//! cost and the gradient all-reduce (the consumer side of every figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use surrogate_nn::{
+    Adam, AdamConfig, GradientSynchronizer, Loss, Matrix, Mlp, MlpConfig, MseLoss, Optimizer,
+};
+
+fn model(output: usize) -> Mlp {
+    Mlp::new(MlpConfig::small(6, 64, output, 3))
+}
+
+fn batch(batch_size: usize, input: usize, output: usize) -> (Matrix, Matrix) {
+    let inputs = Matrix::from_vec(
+        batch_size,
+        input,
+        (0..batch_size * input).map(|k| (k % 17) as f32 / 17.0).collect(),
+    );
+    let targets = Matrix::from_vec(
+        batch_size,
+        output,
+        (0..batch_size * output).map(|k| (k % 13) as f32 / 13.0).collect(),
+    );
+    (inputs, targets)
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_training_step_batch10");
+    for &output in &[256usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("forward_backward_adam", output),
+            &output,
+            |b, &output| {
+                let mut m = model(output);
+                let mut optimizer = Adam::new(AdamConfig::default(), m.param_count());
+                let (inputs, targets) = batch(10, 6, output);
+                let loss_fn = MseLoss;
+                b.iter(|| {
+                    let prediction = m.forward(&inputs);
+                    let (_, grad) = loss_fn.evaluate(&prediction, &targets);
+                    m.zero_grads();
+                    m.backward(&grad);
+                    let grads = m.grads_flat();
+                    optimizer.step(&mut m, &grads, 1e-3);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("inference", output),
+            &output,
+            |b, &output| {
+                let m = model(output);
+                let (inputs, _) = batch(10, 6, output);
+                b.iter(|| std::hint::black_box(m.predict(&inputs)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_allreduce_100k_params");
+    group.sample_size(20);
+    for &ranks in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let sync = Arc::new(GradientSynchronizer::new(ranks, 100_000));
+                let mut handles = Vec::new();
+                for rank in 0..ranks {
+                    let sync = Arc::clone(&sync);
+                    handles.push(std::thread::spawn(move || {
+                        let mut grads = vec![rank as f32; 100_000];
+                        for _ in 0..4 {
+                            sync.all_reduce_mean(&mut grads);
+                        }
+                        grads[0]
+                    }));
+                }
+                for h in handles {
+                    std::hint::black_box(h.join().unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_training_step, bench_allreduce
+}
+criterion_main!(benches);

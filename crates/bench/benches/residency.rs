@@ -1,0 +1,58 @@
+//! Criterion benchmark and empirical check of Appendix A: the expected
+//! residency time of an item in a random-overwrite container of capacity n is
+//! n − 1 insertions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Simulates `insertions` random overwrites into a container of size `n` and
+/// returns the mean residency time of evicted items.
+fn mean_residency(n: usize, insertions: usize, seed: u64) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut container: Vec<usize> = (0..n).collect();
+    let mut total = 0usize;
+    let mut evicted = 0usize;
+    for step in n..n + insertions {
+        let slot = rng.gen_range(0..n);
+        let inserted_at = container[slot];
+        if inserted_at >= n {
+            total += step - inserted_at;
+            evicted += 1;
+        }
+        container[slot] = step;
+    }
+    if evicted == 0 {
+        0.0
+    } else {
+        total as f64 / evicted as f64
+    }
+}
+
+fn bench_residency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_a_residency");
+    for &n in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(mean_residency(n, 50_000, 7)));
+        });
+        // Empirical verification printed alongside the benchmark.
+        let measured = mean_residency(n, 500_000, 11);
+        let expected = (n - 1) as f64;
+        println!(
+            "capacity {n}: measured mean residency {measured:.1}, expected {expected:.1} \
+             (relative error {:.2}%)",
+            100.0 * (measured - expected).abs() / expected
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_residency
+}
+criterion_main!(benches);

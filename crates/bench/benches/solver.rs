@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the heat-equation solver substrate: per-step cost of
+//! the three time integrators and of the distributed implicit solve (the data
+//! generation side of every figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heat_solver::{
+    AdiScheme, BoundaryConditions, DistributedImplicitSolver, ExplicitEuler, Field, Grid2D,
+    ImplicitEuler, TimeScheme,
+};
+
+fn setup(n: usize) -> (Field, BoundaryConditions) {
+    let grid = Grid2D::unit_square(n, n);
+    let field = Field::constant(grid, 300.0);
+    let bc = BoundaryConditions {
+        west: 150.0,
+        east: 450.0,
+        south: 250.0,
+        north: 350.0,
+    };
+    (field, bc)
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_step");
+    for &n in &[32usize, 64] {
+        let implicit = ImplicitEuler::new(1.0, 0.01);
+        let adi = AdiScheme::new(1.0, 0.01);
+        let grid = Grid2D::unit_square(n, n);
+        let explicit = ExplicitEuler::new(1.0, ExplicitEuler::max_stable_dt(1.0, &grid) * 0.9);
+
+        group.bench_with_input(BenchmarkId::new("implicit_cg", n), &n, |b, &n| {
+            let (mut field, bc) = setup(n);
+            b.iter(|| implicit.step(&mut field, &bc));
+        });
+        group.bench_with_input(BenchmarkId::new("adi", n), &n, |b, &n| {
+            let (mut field, bc) = setup(n);
+            b.iter(|| adi.step(&mut field, &bc));
+        });
+        group.bench_with_input(BenchmarkId::new("explicit", n), &n, |b, &n| {
+            let (mut field, bc) = setup(n);
+            b.iter(|| explicit.step(&mut field, &bc));
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_distributed_4steps_48x48");
+    group.sample_size(10);
+    for &ranks in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            let (field, bc) = setup(48);
+            let solver = DistributedImplicitSolver::default();
+            b.iter(|| std::hint::black_box(solver.run(&field, &bc, ranks, 4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_schemes, bench_distributed
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the transport substrate: wire-format encode/decode
+//! and fabric send/receive cost per time-step message.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use melissa_transport::{Fabric, FabricConfig, Message, SamplePayload};
+
+fn payload(values: usize) -> SamplePayload {
+    SamplePayload {
+        simulation_id: 7,
+        step: 42,
+        time: 0.42,
+        parameters: vec![300.0; 5],
+        values: vec![273.0; values],
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_codec");
+    for &values in &[256usize, 4096] {
+        let msg = Message::TimeStep {
+            client_id: 1,
+            sequence: 9,
+            payload: payload(values),
+        };
+        group.bench_with_input(BenchmarkId::new("encode", values), &msg, |b, msg| {
+            b.iter(|| std::hint::black_box(msg.encode()));
+        });
+        let frame = msg.encode();
+        group.bench_with_input(BenchmarkId::new("decode", values), &frame, |b, frame| {
+            b.iter(|| std::hint::black_box(Message::decode(frame.clone()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fabric_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_send_recv");
+    for &ranks in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            let fabric = Fabric::new(FabricConfig {
+                num_server_ranks: ranks,
+                channel_capacity: 1024,
+                ..FabricConfig::default()
+            });
+            let endpoints = fabric.server_endpoints();
+            let client = fabric.connect_client(0);
+            b.iter(|| {
+                client.send(payload(256)).unwrap();
+                // Round-robin: exactly one endpoint received the message.
+                let mut received = None;
+                for ep in &endpoints {
+                    if let Some(msg) = ep.try_recv() {
+                        received = Some(msg);
+                        break;
+                    }
+                }
+                std::hint::black_box(received)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_codec, bench_fabric_roundtrip
+}
+criterion_main!(benches);

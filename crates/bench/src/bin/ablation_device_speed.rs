@@ -1,0 +1,59 @@
+//! Ablation — emulated training-device speed: sweeping the artificial per-batch
+//! cost moves the producer/consumer balance and locates the point where the
+//! buffers stop differing (a slow device is always data-rich; a fast device
+//! starves without the Reservoir's repetitions).
+//!
+//! ```bash
+//! cargo run -p melissa-bench --release --bin ablation_device_speed -- --scale 0.04
+//! ```
+
+use melissa::{DeviceProfile, OnlineExperiment};
+use melissa_bench::{arg_f64, figure_config, header, print_series};
+use training_buffer::BufferKind;
+
+fn main() {
+    let scale = arg_f64("--scale", 0.04);
+    header(&format!(
+        "Ablation: emulated device speed vs buffer policy (scale {scale}, 1 rank)"
+    ));
+
+    let mut rows = Vec::new();
+    for extra_batch_micros in [0u64, 500, 2_000, 10_000] {
+        for kind in BufferKind::ALL {
+            let mut config = figure_config(scale, kind, 1);
+            config.training.device = DeviceProfile { extra_batch_micros };
+            let (_, report) = OnlineExperiment::new(config)
+                .expect("valid configuration")
+                .run();
+            rows.push(vec![
+                format!("{extra_batch_micros}"),
+                kind.label().to_string(),
+                format!("{:.1}", report.mean_throughput),
+                format!("{:.3}", report.repetition_fraction()),
+                report
+                    .min_validation_mse
+                    .map(|v| format!("{v:.6}"))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.2}", report.total_seconds),
+            ]);
+        }
+    }
+
+    print_series(
+        "device-speed sweep",
+        &[
+            "extra_us/batch",
+            "buffer",
+            "throughput",
+            "repeat_frac",
+            "min_val_mse",
+            "total_s",
+        ],
+        &rows,
+    );
+    println!(
+        "\nReading: with a fast device (small extra cost) the consumer outruns the producers and\n\
+         only the Reservoir keeps the device busy (its repeat fraction rises); with a slow\n\
+         device all buffers converge because production is no longer the bottleneck."
+    );
+}

@@ -1,0 +1,92 @@
+//! Figure 4 — training and validation loss for the FIFO, FIRO and Reservoir
+//! buffers compared with one-epoch offline training on the same data.
+//!
+//! ```bash
+//! cargo run -p melissa-bench --release --bin fig4_training_quality -- --scale 0.06
+//! ```
+
+use melissa::{DiskConfig, OfflineExperiment, OnlineExperiment};
+use melissa_bench::{arg_f64, figure_config, header, print_series, print_summary};
+use training_buffer::BufferKind;
+
+fn main() {
+    let scale = arg_f64("--scale", 0.06);
+    header(&format!(
+        "Figure 4: training quality per buffer vs one-epoch offline (scale {scale}, 1 rank)"
+    ));
+
+    let mut final_rows = Vec::new();
+
+    for kind in BufferKind::ALL {
+        let config = figure_config(scale, kind, 1);
+        let (_, report) = OnlineExperiment::new(config)
+            .expect("valid configuration")
+            .run();
+        header(&format!("{} buffer", kind.label()));
+        print_summary(&report);
+        print_loss_series(kind.label(), &report);
+        final_rows.push(summary_row(kind.label(), &report));
+    }
+
+    // Offline reference: one epoch over the same data (batches drawn uniformly
+    // from the full dataset — the unbiased reference of the paper).
+    let config = figure_config(scale, BufferKind::Reservoir, 1);
+    let offline = OfflineExperiment::new(config, DiskConfig::default(), 1)
+        .expect("valid configuration");
+    let (_, report) = offline.run();
+    header("Offline (1 epoch)");
+    print_summary(&report);
+    print_loss_series("Offline", &report);
+    final_rows.push(summary_row("Offline-1ep", &report));
+
+    header("Final comparison");
+    print_series(
+        "min / final validation MSE",
+        &["setting", "min_val_mse", "final_val_mse", "batches"],
+        &final_rows,
+    );
+    println!();
+    println!(
+        "Expected shape (paper): FIFO overfits (low training loss, high validation loss),\n\
+         FIRO is better but unstable, the Reservoir is stable and reaches a validation loss\n\
+         on par with the offline reference."
+    );
+}
+
+fn print_loss_series(label: &str, report: &melissa::ExperimentReport) {
+    let rows: Vec<Vec<String>> = report
+        .metrics
+        .losses
+        .iter()
+        .filter(|p| p.validation_loss.is_some() || p.batches % 10 == 0)
+        .map(|p| {
+            vec![
+                p.batches.to_string(),
+                format!("{:.6}", p.train_loss),
+                p.validation_loss
+                    .map(|v| format!("{v:.6}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    print_series(
+        &format!("{label} losses"),
+        &["batches", "train_mse", "val_mse"],
+        &rows,
+    );
+}
+
+fn summary_row(label: &str, report: &melissa::ExperimentReport) -> Vec<String> {
+    vec![
+        label.to_string(),
+        report
+            .min_validation_mse
+            .map(|v| format!("{v:.6}"))
+            .unwrap_or_else(|| "-".into()),
+        report
+            .final_validation_mse
+            .map(|v| format!("{v:.6}"))
+            .unwrap_or_else(|| "-".into()),
+        report.batches.to_string(),
+    ]
+}

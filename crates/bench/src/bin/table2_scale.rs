@@ -1,0 +1,69 @@
+//! Table 2 — the large-scale comparison: multi-epoch offline training on a
+//! small stored dataset versus online Reservoir training on a much larger
+//! streamed dataset, both on 4 data-parallel ranks.
+//!
+//! ```bash
+//! cargo run -p melissa-bench --release --bin table2_scale -- --scale 0.03 --factor 8
+//! ```
+
+use melissa::{DiskConfig, OfflineExperiment, OnlineExperiment};
+use melissa_bench::{arg_f64, arg_usize, figure_config, header};
+use training_buffer::BufferKind;
+
+fn main() {
+    let scale = arg_f64("--scale", 0.03);
+    // The online campaign runs `factor`× more simulations than the offline one
+    // (the paper's ratio is 20,000 / 250 = 80; the default here keeps the run
+    // laptop-sized while preserving the ordering).
+    let factor = arg_usize("--factor", 8);
+    let ranks = arg_usize("--ranks", 4);
+    let epochs = arg_usize("--epochs", 8);
+
+    header(&format!(
+        "Table 2: offline (small dataset × {epochs} epochs) vs online Reservoir ({factor}× more data), {ranks} ranks"
+    ));
+    println!(
+        "{:<10} {:<22} {:>10} {:>9} {:>10} {:>12} {:>10} {:>12}",
+        "Buffer", "Resources", "Gen (h)", "Total (h)", "GB", "Uniq. samples", "MSE", "Thruput"
+    );
+
+    let offline_config = figure_config(scale, BufferKind::Reservoir, ranks);
+    let offline_clients = offline_config.total_simulations();
+    let (_, offline_report) =
+        OfflineExperiment::new(offline_config, DiskConfig::slow_parallel_fs(), epochs)
+            .expect("valid configuration")
+            .run();
+    println!(
+        "{}",
+        offline_report.table2_row(&format!("{offline_clients} clients / {ranks} ranks"))
+    );
+
+    let online_config = figure_config(scale * factor as f64, BufferKind::Reservoir, ranks);
+    let online_clients = online_config.total_simulations();
+    let (_, online_report) = OnlineExperiment::new(online_config)
+        .expect("valid configuration")
+        .run();
+    println!(
+        "{}",
+        online_report.table2_row(&format!("{online_clients} clients / {ranks} ranks"))
+    );
+
+    if let (Some(off), Some(on)) = (
+        offline_report.min_validation_mse,
+        online_report.min_validation_mse,
+    ) {
+        println!(
+            "\nMSE ratio offline/online: {:.2} (paper: 25.1 / 13.2 ≈ 1.9)",
+            off / on
+        );
+    }
+    println!(
+        "Throughput ratio online/offline: {:.1} (paper: 476.7 / 38.2 ≈ 12.5)",
+        online_report.mean_throughput / offline_report.mean_throughput.max(1e-9)
+    );
+    println!(
+        "\nExpected shape (paper, Table 2): the online run processes a dataset an order of\n\
+         magnitude larger in a fraction of the offline wall-clock time, with a clearly lower\n\
+         validation MSE and a roughly tenfold higher sample throughput."
+    );
+}

@@ -1,0 +1,91 @@
+//! Shared helpers of the figure/table regeneration harness.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the index). The binaries print plain-text tables with
+//! the same rows/series the paper reports; absolute numbers differ (the
+//! substrate is a scaled-down simulator), the *shapes* are the reproduction
+//! target. The common knobs are:
+//!
+//! * `--scale <f>`  — scales the ensemble size relative to the paper (default
+//!   differs per experiment; the paper scale is 1.0);
+//! * `--ranks <n>`  — number of data-parallel ranks for single-run harnesses.
+
+use melissa::{DeviceProfile, ExperimentConfig, ExperimentReport};
+use training_buffer::BufferKind;
+
+/// Parses `--key value` style options from the command line.
+pub fn arg_value(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses a numeric command-line option with a default.
+pub fn arg_f64(key: &str, default: f64) -> f64 {
+    arg_value(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses an integer command-line option with a default.
+pub fn arg_usize(key: &str, default: usize) -> usize {
+    arg_value(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The standard experiment configuration used by the figure harnesses: the
+/// paper's §4.3 campaign (three series of clients) scaled down by `scale`,
+/// with the requested buffer policy and rank count.
+pub fn figure_config(scale: f64, kind: BufferKind, num_ranks: usize) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_scaled(scale, kind, num_ranks);
+    // A small artificial per-batch cost keeps the consumer/producer balance in
+    // the regime the paper studies (GPUs much faster than one client).
+    config.training.device = DeviceProfile {
+        extra_batch_micros: 200,
+    };
+    config
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints the standard run summary line of a report.
+pub fn print_summary(report: &ExperimentReport) {
+    println!("  {}", report.summary());
+}
+
+/// Formats a time series as aligned columns.
+pub fn print_series(name: &str, columns: &[&str], rows: &[Vec<String>]) {
+    println!("--- {name} ---");
+    println!("{}", columns.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_config_is_valid_for_all_buffers() {
+        for kind in BufferKind::ALL {
+            let config = figure_config(0.05, kind, 2);
+            assert!(config.validate().is_ok());
+            assert_eq!(config.buffer.kind, kind);
+            assert_eq!(config.training.num_ranks, 2);
+        }
+    }
+
+    #[test]
+    fn arg_parsers_fall_back_to_defaults() {
+        assert_eq!(arg_f64("--definitely-not-passed", 1.5), 1.5);
+        assert_eq!(arg_usize("--definitely-not-passed", 7), 7);
+        assert!(arg_value("--definitely-not-passed").is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! First-In-First-Out training buffer: the pure streaming baseline.
+//!
+//! Data are batched for training in the order they are received; each sample is
+//! seen once and only once. Compared to pure streaming, the bounded queue gives
+//! the consumer some slack when production briefly stops, and production is
+//! suspended when the buffer is full (§3.2.3).
+
+use crate::stats::BufferStats;
+use crate::traits::{BufferKind, TrainingBuffer};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    reception_over: bool,
+    stats: BufferStats,
+}
+
+/// Bounded FIFO queue with blocking producer and consumer sides.
+pub struct FifoBuffer<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> FifoBuffer<T> {
+    /// Creates a FIFO buffer with the given capacity.
+    ///
+    /// # Panics
+    /// Panics when the capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(capacity),
+                reception_over: false,
+                stats: BufferStats::default(),
+            }),
+            not_full: Condvar::new(),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+}
+
+impl<T: Clone + Send> TrainingBuffer<T> for FifoBuffer<T> {
+    fn put(&self, item: T) {
+        let mut inner = self.inner.lock();
+        while inner.queue.len() >= self.capacity {
+            inner.stats.producer_waits += 1;
+            self.not_full.wait(&mut inner);
+        }
+        inner.queue.push_back(item);
+        inner.stats.puts += 1;
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    fn get(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                inner.stats.gets += 1;
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.reception_over {
+                return None;
+            }
+            inner.stats.consumer_waits += 1;
+            self.available.wait(&mut inner);
+        }
+    }
+
+    fn mark_reception_over(&self) {
+        let mut inner = self.inner.lock();
+        inner.reception_over = true;
+        drop(inner);
+        self.available.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn is_reception_over(&self) -> bool {
+        self.inner.lock().reception_over
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> BufferStats {
+        self.inner.lock().stats
+    }
+
+    fn kind(&self) -> BufferKind {
+        BufferKind::Fifo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn serves_in_arrival_order() {
+        let buffer = FifoBuffer::new(16);
+        for k in 0..10u32 {
+            buffer.put(k);
+        }
+        buffer.mark_reception_over();
+        let mut out = Vec::new();
+        while let Some(v) = buffer.get() {
+            out.push(v);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn each_sample_is_served_exactly_once() {
+        let buffer = FifoBuffer::new(4);
+        let producer_buffer = Arc::new(buffer);
+        let consumer_buffer = Arc::clone(&producer_buffer);
+        let consumer = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(v) = consumer_buffer.get() {
+                seen.push(v);
+            }
+            seen
+        });
+        for k in 0..100u32 {
+            producer_buffer.put(k);
+        }
+        producer_buffer.mark_reception_over();
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen.len(), 100);
+        let stats = producer_buffer.stats();
+        assert_eq!(stats.puts, 100);
+        assert_eq!(stats.gets, 100);
+        assert_eq!(stats.repeated_gets, 0);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn producer_blocks_when_full() {
+        let buffer = Arc::new(FifoBuffer::new(2));
+        buffer.put(1u32);
+        buffer.put(2);
+        let blocked = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || {
+            blocked.put(3);
+            true
+        });
+        // Give the producer a moment to block on the full buffer.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!handle.is_finished(), "producer should be blocked");
+        assert_eq!(buffer.get(), Some(1));
+        assert!(handle.join().unwrap());
+        assert!(buffer.stats().producer_waits >= 1);
+    }
+
+    #[test]
+    fn consumer_blocks_until_data_arrives() {
+        let buffer = Arc::new(FifoBuffer::new(4));
+        let consumer_buffer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || consumer_buffer.get());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!handle.is_finished(), "consumer should be blocked");
+        buffer.put(42u32);
+        assert_eq!(handle.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn get_returns_none_after_drain() {
+        let buffer = FifoBuffer::new(4);
+        buffer.put(1u32);
+        buffer.mark_reception_over();
+        assert_eq!(buffer.get(), Some(1));
+        assert_eq!(buffer.get(), None);
+        assert_eq!(buffer.get(), None);
+        assert!(buffer.is_reception_over());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _: FifoBuffer<u32> = FifoBuffer::new(0);
+    }
+}

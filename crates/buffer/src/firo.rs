@@ -1,0 +1,219 @@
+//! First-In-Random-Out training buffer.
+//!
+//! FIRO behaves like FIFO — data are evicted upon reading, each sample is seen
+//! once — except that samples are extracted from random positions to build less
+//! biased batches, and extraction is only allowed once the population exceeds a
+//! threshold. The threshold drops to zero when data production ends so the last
+//! produced samples can be consumed (§3.2.3). This is the policy of the authors'
+//! prior work, which the paper shows fails to keep the GPU busy.
+
+use crate::stats::BufferStats;
+use crate::traits::{BufferKind, TrainingBuffer};
+use parking_lot::{Condvar, Mutex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+struct Inner<T> {
+    items: Vec<T>,
+    reception_over: bool,
+    stats: BufferStats,
+    rng: ChaCha8Rng,
+}
+
+/// Bounded buffer with random extraction and a minimum-population threshold.
+pub struct FiroBuffer<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    available: Condvar,
+    capacity: usize,
+    threshold: usize,
+}
+
+impl<T> FiroBuffer<T> {
+    /// Creates a FIRO buffer.
+    ///
+    /// # Panics
+    /// Panics when the capacity is zero or the threshold is not smaller than
+    /// the capacity (the consumer could never make progress).
+    pub fn new(capacity: usize, threshold: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        assert!(
+            threshold < capacity,
+            "threshold ({threshold}) must be smaller than capacity ({capacity})"
+        );
+        Self {
+            inner: Mutex::new(Inner {
+                items: Vec::with_capacity(capacity),
+                reception_over: false,
+                stats: BufferStats::default(),
+                rng: ChaCha8Rng::seed_from_u64(seed),
+            }),
+            not_full: Condvar::new(),
+            available: Condvar::new(),
+            capacity,
+            threshold,
+        }
+    }
+
+    /// The minimum population required before samples may be extracted.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+}
+
+impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
+    fn put(&self, item: T) {
+        let mut inner = self.inner.lock();
+        while inner.items.len() >= self.capacity {
+            inner.stats.producer_waits += 1;
+            self.not_full.wait(&mut inner);
+        }
+        inner.items.push(item);
+        inner.stats.puts += 1;
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    fn get(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        loop {
+            // The blocking threshold is lifted once data production is over.
+            let threshold = if inner.reception_over { 0 } else { self.threshold };
+            if inner.items.len() > threshold {
+                let len = inner.items.len();
+                let idx = inner.rng.gen_range(0..len);
+                let item = inner.items.swap_remove(idx);
+                inner.stats.gets += 1;
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.reception_over && inner.items.is_empty() {
+                return None;
+            }
+            inner.stats.consumer_waits += 1;
+            self.available.wait(&mut inner);
+        }
+    }
+
+    fn mark_reception_over(&self) {
+        let mut inner = self.inner.lock();
+        inner.reception_over = true;
+        drop(inner);
+        self.available.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn is_reception_over(&self) -> bool {
+        self.inner.lock().reception_over
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> BufferStats {
+        self.inner.lock().stats
+    }
+
+    fn kind(&self) -> BufferKind {
+        BufferKind::Firo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn serves_each_sample_exactly_once_in_some_order() {
+        let buffer = FiroBuffer::new(64, 4, 7);
+        for k in 0..32u32 {
+            buffer.put(k);
+        }
+        buffer.mark_reception_over();
+        let mut out = Vec::new();
+        while let Some(v) = buffer.get() {
+            out.push(v);
+        }
+        assert_eq!(out.len(), 32);
+        let unique: HashSet<u32> = out.iter().copied().collect();
+        assert_eq!(unique.len(), 32, "no duplicates");
+        // Randomised order: extremely unlikely to match arrival order exactly.
+        assert_ne!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consumer_blocks_below_threshold() {
+        let buffer = Arc::new(FiroBuffer::new(16, 4, 1));
+        for k in 0..4u32 {
+            buffer.put(k);
+        }
+        // Population equals the threshold: extraction must wait.
+        let consumer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || consumer.get());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!handle.is_finished(), "consumer should wait at the threshold");
+        buffer.put(4);
+        assert!(handle.join().unwrap().is_some());
+        assert!(buffer.stats().consumer_waits >= 1);
+    }
+
+    #[test]
+    fn threshold_is_lifted_when_reception_ends() {
+        let buffer = FiroBuffer::new(16, 8, 2);
+        buffer.put(1u32);
+        buffer.put(2);
+        buffer.mark_reception_over();
+        // Population (2) is below the threshold (8) but reception is over.
+        assert!(buffer.get().is_some());
+        assert!(buffer.get().is_some());
+        assert_eq!(buffer.get(), None);
+    }
+
+    #[test]
+    fn producer_blocks_at_capacity() {
+        let buffer = Arc::new(FiroBuffer::new(2, 1, 3));
+        buffer.put(1u32);
+        buffer.put(2);
+        let producer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || {
+            producer.put(3);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!handle.is_finished(), "producer should block when full");
+        let _ = buffer.get();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn same_seed_gives_same_extraction_order() {
+        let run = |seed: u64| {
+            let buffer = FiroBuffer::new(64, 1, seed);
+            for k in 0..16u32 {
+                buffer.put(k);
+            }
+            buffer.mark_reception_over();
+            let mut out = Vec::new();
+            while let Some(v) = buffer.get() {
+                out.push(v);
+            }
+            out
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_must_be_below_capacity() {
+        let _: FiroBuffer<u32> = FiroBuffer::new(4, 4, 0);
+    }
+}

@@ -1,0 +1,379 @@
+//! The training Reservoir — Algorithm 1 of the paper.
+//!
+//! The Reservoir enables data to be seen more than once to reduce consumer
+//! idleness in case of under-production, while giving priority to storing newly
+//! produced data over already-seen ones:
+//!
+//! * it distinguishes the new *unseen* data from the ones already selected in a
+//!   previous batch (*seen*);
+//! * when receiving new data while the buffer is full, a random **seen** sample
+//!   is evicted to make room — unseen data are never discarded;
+//! * when building a batch, elements are uniformly selected among the seen and
+//!   unseen population (with replacement at the batch level); a selected unseen
+//!   sample is moved to the seen population;
+//! * a threshold of minimum stored data gates the first batches so early time
+//!   steps are not over-represented;
+//! * once reception is over, the threshold is lifted and selected samples are
+//!   removed, so the buffer drains and training terminates when it empties.
+
+use crate::stats::BufferStats;
+use crate::traits::{BufferKind, TrainingBuffer};
+use parking_lot::{Condvar, Mutex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+struct Inner<T> {
+    /// Samples already served at least once.
+    seen: Vec<T>,
+    /// Samples not yet served.
+    not_seen: Vec<T>,
+    reception_over: bool,
+    stats: BufferStats,
+    rng: ChaCha8Rng,
+}
+
+impl<T> Inner<T> {
+    fn total(&self) -> usize {
+        self.seen.len() + self.not_seen.len()
+    }
+}
+
+/// The paper's training Reservoir (Algorithm 1).
+pub struct ReservoirBuffer<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    available: Condvar,
+    capacity: usize,
+    threshold: usize,
+}
+
+impl<T> ReservoirBuffer<T> {
+    /// Creates a Reservoir.
+    ///
+    /// # Panics
+    /// Panics when the capacity is zero or the threshold is not smaller than
+    /// the capacity.
+    pub fn new(capacity: usize, threshold: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        assert!(
+            threshold < capacity,
+            "threshold ({threshold}) must be smaller than capacity ({capacity})"
+        );
+        Self {
+            inner: Mutex::new(Inner {
+                seen: Vec::new(),
+                not_seen: Vec::new(),
+                reception_over: false,
+                stats: BufferStats::default(),
+                rng: ChaCha8Rng::seed_from_u64(seed),
+            }),
+            not_full: Condvar::new(),
+            available: Condvar::new(),
+            capacity,
+            threshold,
+        }
+    }
+
+    /// The minimum population required before samples may be extracted.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of stored samples that have not been served yet.
+    pub fn unseen_len(&self) -> usize {
+        self.inner.lock().not_seen.len()
+    }
+
+    /// Number of stored samples that have been served at least once.
+    pub fn seen_len(&self) -> usize {
+        self.inner.lock().seen.len()
+    }
+}
+
+impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
+    /// Algorithm 1, `put`: block while the buffer is full of unseen samples
+    /// (never discard unseen data); otherwise evict a random seen sample if the
+    /// total population is at capacity, then store the new sample as unseen.
+    fn put(&self, item: T) {
+        let mut inner = self.inner.lock();
+        while inner.not_seen.len() >= self.capacity {
+            inner.stats.producer_waits += 1;
+            self.not_full.wait(&mut inner);
+        }
+        if inner.total() >= self.capacity {
+            debug_assert!(!inner.seen.is_empty());
+            let seen_len = inner.seen.len();
+            let idx = inner.rng.gen_range(0..seen_len);
+            inner.seen.swap_remove(idx);
+            inner.stats.evictions += 1;
+        }
+        inner.not_seen.push(item);
+        inner.stats.puts += 1;
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    /// Algorithm 1, `get`: wait until the population exceeds the threshold
+    /// (lifted once reception is over), then select uniformly among seen and
+    /// unseen samples. A selected unseen sample is moved to the seen population
+    /// (or dropped once reception is over); a selected seen sample is served
+    /// again (and removed once reception is over, so the buffer finally empties).
+    fn get(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        loop {
+            let total = inner.total();
+            if inner.reception_over {
+                if total == 0 {
+                    return None;
+                }
+            } else if total <= self.threshold {
+                inner.stats.consumer_waits += 1;
+                self.available.wait(&mut inner);
+                continue;
+            }
+
+            let total = inner.total();
+            let idx = inner.rng.gen_range(0..total);
+            let not_seen_len = inner.not_seen.len();
+            let (item, repeated) = if idx < not_seen_len {
+                let item = inner.not_seen.swap_remove(idx);
+                if !inner.reception_over {
+                    inner.seen.push(item.clone());
+                }
+                (item, false)
+            } else {
+                let sidx = idx - not_seen_len;
+                let item = if inner.reception_over {
+                    inner.seen.swap_remove(sidx)
+                } else {
+                    inner.seen[sidx].clone()
+                };
+                (item, true)
+            };
+            inner.stats.gets += 1;
+            if repeated {
+                inner.stats.repeated_gets += 1;
+            }
+            drop(inner);
+            // Serving an unseen sample frees room on the unseen side.
+            self.not_full.notify_one();
+            return Some(item);
+        }
+    }
+
+    fn mark_reception_over(&self) {
+        let mut inner = self.inner.lock();
+        inner.reception_over = true;
+        drop(inner);
+        self.available.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn is_reception_over(&self) -> bool {
+        self.inner.lock().reception_over
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().total()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> BufferStats {
+        self.inner.lock().stats
+    }
+
+    fn kind(&self) -> BufferKind {
+        BufferKind::Reservoir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let buffer = ReservoirBuffer::new(8, 2, 1);
+        // Interleave puts and gets; population must never exceed the capacity.
+        // Single-threaded driver: consume one sample whenever the unseen side is
+        // full, otherwise `put` would block waiting for a consumer thread.
+        for k in 0..100u32 {
+            if buffer.unseen_len() >= 8 {
+                let _ = buffer.get();
+            }
+            buffer.put(k);
+            assert!(buffer.len() <= 8, "population {} > capacity", buffer.len());
+            if k % 3 == 0 && buffer.len() > 2 {
+                let _ = buffer.get();
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_data_is_never_discarded() {
+        // Fill the buffer and keep producing: only seen samples may be evicted,
+        // so every sample must be served at least once before being lost — here
+        // nothing is consumed, so production must block rather than drop data.
+        let buffer = Arc::new(ReservoirBuffer::new(4, 1, 2));
+        for k in 0..4u32 {
+            buffer.put(k);
+        }
+        let producer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || {
+            producer.put(99);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !handle.is_finished(),
+            "producer must block when the buffer is full of unseen data"
+        );
+        // Consuming one sample moves it to the seen side, making room.
+        let _ = buffer.get();
+        handle.join().unwrap();
+        assert_eq!(buffer.stats().evictions, 1);
+    }
+
+    #[test]
+    fn can_repeat_samples_when_production_stalls() {
+        let buffer = ReservoirBuffer::new(16, 2, 3);
+        for k in 0..4u32 {
+            buffer.put(k);
+        }
+        // Far more gets than puts: the Reservoir must keep serving.
+        let mut served = Vec::new();
+        for _ in 0..40 {
+            served.push(buffer.get().unwrap());
+        }
+        assert_eq!(served.len(), 40);
+        let stats = buffer.stats();
+        assert_eq!(stats.gets, 40);
+        assert!(stats.repeated_gets >= 36, "most gets are repeats");
+        // Population is unchanged: nothing is evicted on read.
+        assert_eq!(buffer.len(), 4);
+    }
+
+    #[test]
+    fn drains_and_terminates_after_reception_over() {
+        let buffer = ReservoirBuffer::new(32, 4, 4);
+        for k in 0..20u32 {
+            buffer.put(k);
+        }
+        // Serve a few samples so both seen and unseen populations are non-empty.
+        for _ in 0..10 {
+            buffer.get().unwrap();
+        }
+        buffer.mark_reception_over();
+        let mut drained = 0;
+        while buffer.get().is_some() {
+            drained += 1;
+        }
+        assert_eq!(buffer.len(), 0);
+        // Everything still stored at reception end is served exactly once more.
+        assert!(drained >= 10, "drained {drained}");
+        assert_eq!(buffer.get(), None);
+    }
+
+    #[test]
+    fn consumer_waits_below_threshold() {
+        let buffer = Arc::new(ReservoirBuffer::new(16, 4, 5));
+        for k in 0..4u32 {
+            buffer.put(k);
+        }
+        let consumer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || consumer.get());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!handle.is_finished(), "population == threshold must block");
+        buffer.put(4);
+        assert!(handle.join().unwrap().is_some());
+    }
+
+    #[test]
+    fn every_sample_is_served_at_least_once_under_full_consumption() {
+        // With a consumer that keeps draining until reception is over and the
+        // buffer empties, every produced sample must appear at least once:
+        // unseen data are never evicted.
+        let buffer = Arc::new(ReservoirBuffer::new(16, 2, 6));
+        let consumer = {
+            let buffer = Arc::clone(&buffer);
+            std::thread::spawn(move || {
+                let mut counts: HashMap<u32, usize> = HashMap::new();
+                while let Some(v) = buffer.get() {
+                    *counts.entry(v).or_default() += 1;
+                }
+                counts
+            })
+        };
+        for k in 0..200u32 {
+            buffer.put(k);
+        }
+        buffer.mark_reception_over();
+        let counts = consumer.join().unwrap();
+        for k in 0..200u32 {
+            assert!(
+                counts.contains_key(&k),
+                "sample {k} was never served (unseen data must not be lost)"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_only_removes_seen_samples() {
+        let buffer = ReservoirBuffer::new(4, 1, 7);
+        for k in 0..4u32 {
+            buffer.put(k);
+        }
+        // Serve two samples (they become seen), then push two more: the two new
+        // puts must evict seen samples only.
+        let _ = buffer.get();
+        let _ = buffer.get();
+        buffer.put(100);
+        buffer.put(101);
+        let stats = buffer.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(buffer.len(), 4);
+        assert!(buffer.unseen_len() >= 2);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_serving_sequence() {
+        let run = |seed: u64| {
+            let buffer = ReservoirBuffer::new(8, 1, seed);
+            for k in 0..8u32 {
+                buffer.put(k);
+            }
+            let mut out = Vec::new();
+            for _ in 0..20 {
+                out.push(buffer.get().unwrap());
+            }
+            out
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn seen_and_unseen_populations_are_reported() {
+        let buffer = ReservoirBuffer::new(8, 1, 8);
+        for k in 0..4u32 {
+            buffer.put(k);
+        }
+        assert_eq!(buffer.unseen_len(), 4);
+        assert_eq!(buffer.seen_len(), 0);
+        let _ = buffer.get();
+        assert_eq!(buffer.unseen_len(), 3);
+        assert_eq!(buffer.seen_len(), 1);
+        assert_eq!(buffer.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_must_be_below_capacity() {
+        let _: ReservoirBuffer<u32> = ReservoirBuffer::new(4, 5, 0);
+    }
+}

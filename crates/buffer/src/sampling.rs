@@ -1,0 +1,156 @@
+//! Classic reservoir *sampling* (Algorithm R), kept for the related-work
+//! discussion of §3.2.3.
+//!
+//! Reservoir sampling populates a k-sized buffer from a stream so that at any
+//! time the buffer holds k elements uniformly sampled from everything received
+//! so far. The paper argues that using it directly as a *training* buffer would
+//! be counterproductive because the produced data not selected for inclusion is
+//! wasted; the [`crate::ReservoirBuffer`] is a different algorithm designed to
+//! never waste unseen data. This implementation exists so the trade-off can be
+//! demonstrated empirically (see the ablation benches).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Uniform reservoir sampler over a stream (Algorithm R).
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    capacity: usize,
+    seen: usize,
+    items: Vec<T>,
+    rng: ChaCha8Rng,
+    rejected: usize,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Creates a sampler keeping `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics when the capacity is zero.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "sampler capacity must be positive");
+        Self {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            rejected: 0,
+        }
+    }
+
+    /// Offers one stream element to the sampler.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        // Keep the new item with probability capacity / seen.
+        let j = self.rng.gen_range(0..self.seen);
+        if j < self.capacity {
+            self.items[j] = item;
+        } else {
+            self.rejected += 1;
+        }
+    }
+
+    /// The retained sample.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Total number of elements offered so far.
+    pub fn offered(&self) -> usize {
+        self.seen
+    }
+
+    /// Number of offered elements that were discarded without ever being stored —
+    /// the "wasted" data the paper warns about when using reservoir sampling as a
+    /// training buffer.
+    pub fn wasted(&self) -> usize {
+        self.rejected
+    }
+
+    /// Fraction of the offered stream that was wasted.
+    pub fn wasted_fraction(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.seen as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_until_capacity() {
+        let mut s = ReservoirSampler::new(8, 1);
+        for k in 0..8u32 {
+            s.offer(k);
+        }
+        assert_eq!(s.items(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(s.wasted(), 0);
+    }
+
+    #[test]
+    fn size_never_exceeds_capacity() {
+        let mut s = ReservoirSampler::new(16, 2);
+        for k in 0..10_000u32 {
+            s.offer(k);
+            assert!(s.items().len() <= 16);
+        }
+        assert_eq!(s.offered(), 10_000);
+        assert!(s.wasted() > 0);
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        // Offer 0..100 into a 10-slot reservoir many times and check that every
+        // element is selected with roughly equal frequency (10%).
+        let mut counts = vec![0usize; 100];
+        for seed in 0..400u64 {
+            let mut s = ReservoirSampler::new(10, seed);
+            for k in 0..100u32 {
+                s.offer(k);
+            }
+            for &v in s.items() {
+                counts[v as usize] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 400 * 10);
+        let expected = total as f64 / 100.0;
+        for (k, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / expected;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "element {k} selected {c} times (expected ≈ {expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn wasted_fraction_grows_with_stream_length() {
+        let mut s = ReservoirSampler::new(10, 3);
+        for k in 0..100u32 {
+            s.offer(k);
+        }
+        let early = s.wasted_fraction();
+        for k in 100..10_000u32 {
+            s.offer(k);
+        }
+        let late = s.wasted_fraction();
+        assert!(late > early);
+        // Asymptotically almost everything is wasted: capacity/|stream| retained.
+        assert!(late > 0.9, "wasted fraction {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: ReservoirSampler<u32> = ReservoirSampler::new(0, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The [`TrainingBuffer`] abstraction shared by all buffer policies.
+
+use crate::stats::BufferStats;
+use serde::{Deserialize, Serialize};
+
+/// The available buffer policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BufferKind {
+    /// First In, First Out (pure streaming).
+    Fifo,
+    /// First In, Random Out.
+    Firo,
+    /// The paper's training Reservoir (Algorithm 1).
+    Reservoir,
+}
+
+impl BufferKind {
+    /// All policies, in the order used by the paper's plots.
+    pub const ALL: [BufferKind; 3] = [BufferKind::Fifo, BufferKind::Firo, BufferKind::Reservoir];
+
+    /// Display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BufferKind::Fifo => "FIFO",
+            BufferKind::Firo => "FIRO",
+            BufferKind::Reservoir => "Reservoir",
+        }
+    }
+}
+
+/// Construction parameters of a training buffer.
+///
+/// The paper's experiments use a capacity of 6,000 samples (about a fourth of
+/// the 25,000 generated samples) and a threshold of 1,000 samples for FIRO and
+/// Reservoir; FIFO ignores the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// Which policy to build.
+    pub kind: BufferKind,
+    /// Maximum number of stored samples.
+    pub capacity: usize,
+    /// Minimum population before batches may be extracted (ignored by FIFO).
+    pub threshold: usize,
+    /// Seed of the buffer's random selections (the paper seeds all stochastic
+    /// components for reproducibility).
+    pub seed: u64,
+}
+
+impl BufferConfig {
+    /// The paper's configuration for a dataset of `total_samples` samples:
+    /// capacity ≈ a fourth of the data, threshold ≈ a sixth of the capacity.
+    pub fn paper_proportions(kind: BufferKind, total_samples: usize, seed: u64) -> Self {
+        let capacity = (total_samples / 4).max(4);
+        let threshold = (capacity / 6).max(1);
+        Self {
+            kind,
+            capacity,
+            threshold,
+            seed,
+        }
+    }
+}
+
+/// A thread-safe buffer between the data-aggregator thread and the training thread.
+///
+/// Both sides block: [`TrainingBuffer::put`] blocks while the buffer cannot
+/// accept data (suspending data production exactly as the paper describes) and
+/// [`TrainingBuffer::get`] blocks while no sample may be served. Once
+/// [`TrainingBuffer::mark_reception_over`] has been called and the buffer has
+/// drained, `get` returns `None` and training terminates.
+pub trait TrainingBuffer<T: Clone + Send>: Send + Sync {
+    /// Inserts one sample, blocking while the buffer cannot accept it.
+    fn put(&self, item: T);
+
+    /// Extracts one sample for training, blocking until one may be served.
+    /// Returns `None` once reception is over and the buffer has emptied.
+    fn get(&self) -> Option<T>;
+
+    /// Signals that no more data will be produced (all clients finished).
+    fn mark_reception_over(&self);
+
+    /// True once [`TrainingBuffer::mark_reception_over`] has been called.
+    fn is_reception_over(&self) -> bool;
+
+    /// Current number of stored samples.
+    fn len(&self) -> usize;
+
+    /// True when the buffer currently stores no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum population.
+    fn capacity(&self) -> usize;
+
+    /// Instrumentation counters.
+    fn stats(&self) -> BufferStats;
+
+    /// The policy implemented by this buffer.
+    fn kind(&self) -> BufferKind;
+
+    /// Display name matching the paper's figures.
+    fn name(&self) -> &'static str {
+        self.kind().label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(BufferKind::Fifo.label(), "FIFO");
+        assert_eq!(BufferKind::Firo.label(), "FIRO");
+        assert_eq!(BufferKind::Reservoir.label(), "Reservoir");
+        assert_eq!(BufferKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn paper_proportions_scale_with_dataset() {
+        let c = BufferConfig::paper_proportions(BufferKind::Reservoir, 25_000, 0);
+        assert_eq!(c.capacity, 6_250);
+        assert_eq!(c.threshold, 1_041);
+        let tiny = BufferConfig::paper_proportions(BufferKind::Fifo, 8, 0);
+        assert!(tiny.capacity >= 4);
+        assert!(tiny.threshold >= 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! The data-aggregator thread of one server rank.
+//!
+//! §3.1: *"Each server process runs two threads. The data aggregator thread
+//! manages connections to clients, receives data and stores these data into the
+//! training buffer."* The aggregator also implements the fault-tolerance log:
+//! messages already received from a restarted client are discarded (§3.1), and
+//! it decides when data reception is over so the buffer can drain and training
+//! can terminate.
+
+use crate::sample::payload_to_sample;
+use melissa_transport::{Message, MessageLog, ServerEndpoint};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use surrogate_nn::{InputNormalizer, OutputNormalizer, Sample};
+use training_buffer::{OccupancySnapshot, TrainingBuffer};
+
+/// Summary of one aggregator's work, returned when its thread exits.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AggregatorOutcome {
+    /// Time-step messages accepted into the buffer.
+    pub accepted: usize,
+    /// Replayed messages discarded thanks to the message log.
+    pub duplicates_discarded: usize,
+    /// Clients that sent their finalize message to this rank.
+    pub finalized_clients: usize,
+    /// Buffer population snapshots recorded while aggregating.
+    pub occupancy: Vec<OccupancySnapshot>,
+}
+
+/// The data-aggregator of one server rank.
+pub struct Aggregator {
+    endpoint: ServerEndpoint,
+    buffer: Arc<dyn TrainingBuffer<Sample>>,
+    input_norm: InputNormalizer,
+    output_norm: OutputNormalizer,
+    /// Number of clients expected to finalize before reception is over.
+    expected_clients: usize,
+    /// Set by the orchestrator once the launcher campaign has ended; used as a
+    /// fallback termination signal when some clients were abandoned after
+    /// exhausting their retries (they will never finalize).
+    production_done: Arc<AtomicBool>,
+    /// How often a population snapshot is recorded.
+    snapshot_every: Duration,
+    poll_timeout: Duration,
+}
+
+impl Aggregator {
+    /// Creates the aggregator of one rank.
+    pub fn new(
+        endpoint: ServerEndpoint,
+        buffer: Arc<dyn TrainingBuffer<Sample>>,
+        input_norm: InputNormalizer,
+        expected_clients: usize,
+        production_done: Arc<AtomicBool>,
+    ) -> Self {
+        Self {
+            endpoint,
+            buffer,
+            input_norm,
+            output_norm: OutputNormalizer::default(),
+            expected_clients,
+            production_done,
+            snapshot_every: Duration::from_millis(25),
+            poll_timeout: Duration::from_millis(10),
+        }
+    }
+
+    /// Overrides the population-snapshot period.
+    pub fn with_snapshot_period(mut self, period: Duration) -> Self {
+        self.snapshot_every = period;
+        self
+    }
+
+    /// Runs the aggregation loop until reception is over; returns the summary.
+    ///
+    /// Reception is over when either every expected client has finalized on
+    /// this rank, or the orchestrator has signalled the end of data production
+    /// and the inbound queue has drained.
+    pub fn run(self, start: Instant) -> AggregatorOutcome {
+        let mut log = MessageLog::new();
+        let mut outcome = AggregatorOutcome::default();
+        let mut last_snapshot = Instant::now();
+
+        loop {
+            let message = self.endpoint.recv_timeout(self.poll_timeout);
+            match message {
+                Some(Message::Connect { .. }) => {}
+                Some(Message::TimeStep {
+                    client_id,
+                    sequence,
+                    payload,
+                }) => {
+                    if log.observe(client_id, sequence) {
+                        let sample =
+                            payload_to_sample(&payload, &self.input_norm, &self.output_norm);
+                        self.buffer.put(sample);
+                        outcome.accepted += 1;
+                    } else {
+                        outcome.duplicates_discarded += 1;
+                    }
+                }
+                Some(Message::Finalize { client_id, .. }) => {
+                    log.mark_finalized(client_id);
+                    outcome.finalized_clients = log.finalized_clients();
+                }
+                None => {
+                    // Idle: check the termination conditions.
+                    if log.finalized_clients() >= self.expected_clients {
+                        break;
+                    }
+                    if self.production_done.load(Ordering::Acquire)
+                        && self.endpoint.queued() == 0
+                    {
+                        break;
+                    }
+                }
+            }
+
+            if last_snapshot.elapsed() >= self.snapshot_every {
+                outcome.occupancy.push(self.snapshot(start));
+                last_snapshot = Instant::now();
+            }
+        }
+
+        // Drain whatever is still queued (e.g. messages that raced with the
+        // last finalize), then hand the buffer over to the trainers.
+        while let Some(message) = self.endpoint.try_recv() {
+            if let Message::TimeStep {
+                client_id,
+                sequence,
+                payload,
+            } = message
+            {
+                if log.observe(client_id, sequence) {
+                    let sample = payload_to_sample(&payload, &self.input_norm, &self.output_norm);
+                    self.buffer.put(sample);
+                    outcome.accepted += 1;
+                } else {
+                    outcome.duplicates_discarded += 1;
+                }
+            }
+        }
+        outcome.occupancy.push(self.snapshot(start));
+        outcome.finalized_clients = log.finalized_clients();
+        outcome.duplicates_discarded = log.duplicates_discarded() as usize;
+        self.buffer.mark_reception_over();
+        outcome
+    }
+
+    fn snapshot(&self, start: Instant) -> OccupancySnapshot {
+        OccupancySnapshot {
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+            population: self.buffer.len(),
+            unseen: self.buffer.len() - self.buffer.stats().repeated_gets.min(self.buffer.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melissa_transport::{Fabric, FabricConfig, SamplePayload};
+    use training_buffer::FifoBuffer;
+
+    fn payload(sim: u64, step: usize) -> SamplePayload {
+        SamplePayload {
+            simulation_id: sim,
+            step,
+            time: 0.01 * (step as f64 + 1.0),
+            parameters: vec![300.0, 200.0, 250.0, 350.0, 400.0],
+            values: vec![250.0; 16],
+        }
+    }
+
+    fn run_aggregator(
+        fabric: &Fabric,
+        buffer: Arc<dyn TrainingBuffer<Sample>>,
+        expected_clients: usize,
+        production_done: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<AggregatorOutcome> {
+        let endpoint = fabric.server_endpoints().remove(0);
+        let aggregator = Aggregator::new(
+            endpoint,
+            buffer,
+            InputNormalizer::for_trajectory(100, 0.01),
+            expected_clients,
+            production_done,
+        );
+        std::thread::spawn(move || aggregator.run(Instant::now()))
+    }
+
+    #[test]
+    fn accepts_samples_and_terminates_on_finalize() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
+        let handle = run_aggregator(&fabric, Arc::clone(&buffer), 1, Arc::new(AtomicBool::new(false)));
+
+        let client = fabric.connect_client(0);
+        for step in 0..10 {
+            client.send(payload(0, step)).unwrap();
+        }
+        client.finalize().unwrap();
+
+        let outcome = handle.join().unwrap();
+        assert_eq!(outcome.accepted, 10);
+        assert_eq!(outcome.finalized_clients, 1);
+        assert!(buffer.is_reception_over());
+        assert_eq!(buffer.len(), 10);
+    }
+
+    #[test]
+    fn discards_replayed_messages_after_client_restart() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
+        let handle = run_aggregator(&fabric, Arc::clone(&buffer), 1, Arc::new(AtomicBool::new(false)));
+
+        let client = fabric.connect_client(3);
+        for step in 0..5 {
+            client.send(payload(3, step)).unwrap();
+        }
+        // Restart: the client replays everything from the beginning.
+        client.resume_from_sequence(0);
+        for step in 0..8 {
+            client.send(payload(3, step)).unwrap();
+        }
+        client.finalize().unwrap();
+
+        let outcome = handle.join().unwrap();
+        assert_eq!(outcome.accepted, 8, "5 originals + 3 new steps");
+        assert_eq!(outcome.duplicates_discarded, 5);
+        assert_eq!(buffer.len(), 8);
+    }
+
+    #[test]
+    fn production_done_flag_terminates_without_finalize() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
+        let production_done = Arc::new(AtomicBool::new(false));
+        let handle = run_aggregator(&fabric, Arc::clone(&buffer), 2, Arc::clone(&production_done));
+
+        let client = fabric.connect_client(0);
+        for step in 0..4 {
+            client.send(payload(0, step)).unwrap();
+        }
+        // The second expected client never finalizes (it was abandoned); the
+        // orchestrator signals the end of production instead.
+        std::thread::sleep(Duration::from_millis(30));
+        production_done.store(true, Ordering::Release);
+
+        let outcome = handle.join().unwrap();
+        assert_eq!(outcome.accepted, 4);
+        assert!(buffer.is_reception_over());
+    }
+
+    #[test]
+    fn records_population_snapshots() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
+        let endpoint = fabric.server_endpoints().remove(0);
+        let aggregator = Aggregator::new(
+            endpoint,
+            Arc::clone(&buffer),
+            InputNormalizer::for_trajectory(100, 0.01),
+            1,
+            Arc::new(AtomicBool::new(false)),
+        )
+        .with_snapshot_period(Duration::from_millis(5));
+        let handle = std::thread::spawn(move || aggregator.run(Instant::now()));
+
+        let client = fabric.connect_client(0);
+        for step in 0..6 {
+            client.send(payload(0, step)).unwrap();
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        client.finalize().unwrap();
+        let outcome = handle.join().unwrap();
+        assert!(
+            outcome.occupancy.len() >= 2,
+            "snapshots: {}",
+            outcome.occupancy.len()
+        );
+        // The final snapshot reports the full population.
+        assert_eq!(outcome.occupancy.last().unwrap().population, 6);
+    }
+}

@@ -1,0 +1,297 @@
+//! Configuration of one training experiment.
+
+use heat_solver::{SolverConfig, WorkloadKind};
+use melissa_ensemble::{CampaignPlan, SamplerKind};
+use melissa_transport::FaultConfig;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use surrogate_nn::{Activation, InitScheme, MlpConfig};
+use training_buffer::{BufferConfig, BufferKind};
+
+/// The surrogate architecture description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SurrogateConfig {
+    /// Width of the hidden layers (the paper uses 256).
+    pub hidden_width: usize,
+    /// Number of hidden layers (the paper uses 2).
+    pub hidden_layers: usize,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        Self {
+            hidden_width: 32,
+            hidden_layers: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl SurrogateConfig {
+    /// Builds the MLP configuration for a given output size (`nx × ny`).
+    pub fn mlp_config(&self, output_size: usize) -> MlpConfig {
+        let mut layer_sizes = vec![6];
+        for _ in 0..self.hidden_layers {
+            layer_sizes.push(self.hidden_width);
+        }
+        layer_sizes.push(output_size);
+        MlpConfig {
+            layer_sizes,
+            activation: Activation::ReLU,
+            init: InitScheme::HeUniform,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Emulated training-device characteristics.
+///
+/// On the reproduction machine the "GPU" is a CPU worker thread; the real batch
+/// compute cost is the CPU matmul time. An additional artificial per-batch
+/// delay lets experiments emulate slower or faster devices, which moves the
+/// producer/consumer crossover the paper studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DeviceProfile {
+    /// Extra wall-clock time added to every batch (forward + backward), in
+    /// microseconds.
+    pub extra_batch_micros: u64,
+}
+
+impl DeviceProfile {
+    /// The artificial per-batch delay.
+    pub fn extra_batch_delay(&self) -> Duration {
+        Duration::from_micros(self.extra_batch_micros)
+    }
+}
+
+/// Training-loop parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Batch size per rank (the paper uses 10).
+    pub batch_size: usize,
+    /// Number of data-parallel ranks ("GPUs"; the paper uses 1, 2 and 4).
+    pub num_ranks: usize,
+    /// Initial learning rate (paper: 1e-3).
+    pub initial_learning_rate: f32,
+    /// Halve the learning rate every this many *samples* (paper: 10,000); 0
+    /// disables the decay.
+    pub lr_halving_samples: usize,
+    /// Learning-rate floor (paper: 2.5e-4).
+    pub lr_floor: f32,
+    /// Run validation every this many batches on rank 0 (paper: 100); 0
+    /// disables periodic validation.
+    pub validation_interval_batches: usize,
+    /// Number of held-out simulations in the validation set (paper: 10).
+    pub validation_simulations: usize,
+    /// Emulated device characteristics.
+    pub device: DeviceProfile,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 10,
+            num_ranks: 1,
+            initial_learning_rate: 1e-3,
+            lr_halving_samples: 10_000,
+            lr_floor: 2.5e-4,
+            validation_interval_batches: 100,
+            validation_simulations: 10,
+            device: DeviceProfile::default(),
+        }
+    }
+}
+
+/// The full description of one experiment (online or offline).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Solver / workload configuration (grid, steps, Δt, scheme).
+    pub solver: SolverConfig,
+    /// Whether clients run the real solver or the fast analytic workload.
+    pub workload: WorkloadKind,
+    /// Surrogate architecture.
+    pub surrogate: SurrogateConfig,
+    /// Training-loop parameters.
+    pub training: TrainingConfig,
+    /// Buffer policy and sizing.
+    pub buffer: BufferConfig,
+    /// The ensemble campaign (series of clients, sampler, delays).
+    pub campaign: CampaignPlan,
+    /// Transport fault injection.
+    pub fault: FaultConfig,
+    /// Capacity of each rank's inbound channel.
+    pub channel_capacity: usize,
+    /// Global experiment seed (buffers, validation set, shuffling).
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::small_scale()
+    }
+}
+
+impl ExperimentConfig {
+    /// A small configuration that runs in seconds on a laptop: 8 simulations of
+    /// a 16×16 grid, analytic workload, Reservoir buffer, one rank.
+    pub fn small_scale() -> Self {
+        let solver = SolverConfig {
+            nx: 16,
+            ny: 16,
+            steps: 20,
+            ..SolverConfig::default()
+        };
+        let total_samples = 8 * solver.steps;
+        Self {
+            solver,
+            workload: WorkloadKind::Analytic,
+            surrogate: SurrogateConfig::default(),
+            training: TrainingConfig::default(),
+            buffer: BufferConfig::paper_proportions(BufferKind::Reservoir, total_samples, 1),
+            campaign: CampaignPlan::single_series(8, 4),
+            fault: FaultConfig::none(),
+            channel_capacity: 256,
+            seed: 1,
+        }
+    }
+
+    /// A configuration mirroring the paper's §4.3–4.5 experiments, scaled by
+    /// `scale` (1.0 = 250 simulations of 100 steps; grids stay small so the
+    /// experiment remains laptop-sized — see DESIGN.md).
+    pub fn paper_scaled(scale: f64, buffer_kind: BufferKind, num_ranks: usize) -> Self {
+        let solver = SolverConfig {
+            nx: 24,
+            ny: 24,
+            steps: 100,
+            ..SolverConfig::default()
+        };
+        let campaign = CampaignPlan::paper_figure2(scale);
+        let total_samples = campaign.total_clients() * solver.steps;
+        let mut config = Self {
+            solver,
+            workload: WorkloadKind::Analytic,
+            surrogate: SurrogateConfig::default(),
+            training: TrainingConfig {
+                num_ranks,
+                ..TrainingConfig::default()
+            },
+            buffer: BufferConfig::paper_proportions(buffer_kind, total_samples, 7),
+            campaign,
+            fault: FaultConfig::none(),
+            channel_capacity: 1024,
+            seed: 7,
+        };
+        config.training.validation_simulations = 10.min(config.campaign.total_clients());
+        config
+    }
+
+    /// Total number of simulations the campaign runs.
+    pub fn total_simulations(&self) -> usize {
+        self.campaign.total_clients()
+    }
+
+    /// Total number of unique samples the campaign produces.
+    pub fn total_unique_samples(&self) -> usize {
+        self.total_simulations() * self.solver.steps
+    }
+
+    /// Total dataset size in bytes produced by the campaign.
+    pub fn dataset_bytes(&self) -> usize {
+        self.total_simulations() * self.solver.trajectory_bytes()
+    }
+
+    /// The surrogate output size (one value per grid node).
+    pub fn output_size(&self) -> usize {
+        self.solver.field_len()
+    }
+
+    /// The experimental-design family used by the campaign.
+    pub fn sampler_kind(&self) -> SamplerKind {
+        self.campaign.sampler
+    }
+
+    /// Validates cross-field consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.solver.validate().map_err(|e| e.to_string())?;
+        if self.training.batch_size == 0 {
+            return Err("batch size must be positive".into());
+        }
+        if self.training.num_ranks == 0 {
+            return Err("at least one training rank is required".into());
+        }
+        if self.buffer.capacity <= self.buffer.threshold {
+            return Err("buffer capacity must exceed the threshold".into());
+        }
+        if self.campaign.total_clients() == 0 {
+            return Err("the campaign must run at least one simulation".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_is_valid() {
+        let config = ExperimentConfig::small_scale();
+        assert!(config.validate().is_ok());
+        assert_eq!(config.total_simulations(), 8);
+        assert_eq!(config.total_unique_samples(), 160);
+        assert_eq!(config.output_size(), 256);
+    }
+
+    #[test]
+    fn paper_scaled_matches_series_structure() {
+        let config = ExperimentConfig::paper_scaled(0.1, BufferKind::Fifo, 2);
+        assert!(config.validate().is_ok());
+        assert_eq!(config.campaign.series.len(), 3);
+        assert_eq!(config.total_simulations(), 25);
+        assert_eq!(config.training.num_ranks, 2);
+        assert_eq!(config.buffer.kind, BufferKind::Fifo);
+    }
+
+    #[test]
+    fn surrogate_config_builds_paper_shape() {
+        let s = SurrogateConfig {
+            hidden_width: 256,
+            hidden_layers: 2,
+            seed: 3,
+        };
+        let mlp = s.mlp_config(1_000_000);
+        assert_eq!(mlp.layer_sizes, vec![6, 256, 256, 1_000_000]);
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut config = ExperimentConfig::small_scale();
+        config.training.batch_size = 0;
+        assert!(config.validate().is_err());
+
+        let mut config = ExperimentConfig::small_scale();
+        config.buffer.threshold = config.buffer.capacity;
+        assert!(config.validate().is_err());
+
+        let mut config = ExperimentConfig::small_scale();
+        config.campaign.series.clear();
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn dataset_accounting() {
+        let config = ExperimentConfig::small_scale();
+        // 8 simulations × 20 steps × 16×16 × 4 bytes.
+        assert_eq!(config.dataset_bytes(), 8 * 20 * 256 * 4);
+    }
+
+    #[test]
+    fn device_profile_delay() {
+        let d = DeviceProfile {
+            extra_batch_micros: 1500,
+        };
+        assert_eq!(d.extra_batch_delay(), Duration::from_micros(1500));
+    }
+}

@@ -1,0 +1,58 @@
+//! # melissa
+//!
+//! The core of the reproduction of *"High Throughput Training of Deep
+//! Surrogates from Large Ensemble Runs"* (SC'23): an online training framework
+//! that trains a deep surrogate **while** an ensemble of solver runs generates
+//! the data, streaming every computed time step straight from the clients to
+//! the training server — no files, no I/O bottleneck.
+//!
+//! ## Architecture (paper §3.1)
+//!
+//! ```text
+//!  launcher ──▶ client jobs (heat-solver / synthetic workload)      CPU side
+//!                  │  ClientApi::send(u_X^t)  (round-robin to all ranks)
+//!                  ▼
+//!  server rank 0..N-1 (one per "GPU"):
+//!      data-aggregator thread ──▶ training buffer (FIFO/FIRO/Reservoir)
+//!      training thread        ◀── batches ── buffer
+//!           │  forward/backward on the MLP replica
+//!           ▼
+//!      gradient all-reduce across ranks, identical weight update everywhere
+//! ```
+//!
+//! * [`ExperimentConfig`] describes one experiment (solver, surrogate, buffer,
+//!   rank count, schedules, validation).
+//! * [`OnlineExperiment`] runs the full online pipeline and returns an
+//!   [`ExperimentReport`] with losses, throughput, buffer population and sample
+//!   occurrence histograms — everything needed to regenerate the paper's
+//!   figures and tables.
+//! * [`OfflineExperiment`] is the baseline: data are first generated to a
+//!   [`SimulatedDisk`], then read back for epoch-based training.
+//! * [`ServerCheckpoint`] captures the server state (model, progress, message
+//!   log) for the fault-tolerance path.
+
+pub mod aggregator;
+pub mod checkpoint;
+pub mod config;
+pub mod disk;
+pub mod metrics;
+pub mod offline;
+pub mod report;
+pub mod sample;
+pub mod server;
+pub mod trainer;
+pub mod validation;
+
+pub use aggregator::{Aggregator, AggregatorOutcome};
+pub use checkpoint::ServerCheckpoint;
+pub use config::{DeviceProfile, ExperimentConfig, SurrogateConfig, TrainingConfig};
+pub use disk::{DiskConfig, SimulatedDisk};
+pub use metrics::{
+    ExperimentMetrics, LossPoint, OccurrenceHistogram, ThroughputPoint, ThroughputTracker,
+};
+pub use offline::OfflineExperiment;
+pub use report::ExperimentReport;
+pub use sample::{payload_to_sample, timestep_to_payload, timestep_to_sample};
+pub use server::OnlineExperiment;
+pub use trainer::{RankTrainer, TrainerShared};
+pub use validation::ValidationSet;

@@ -1,0 +1,297 @@
+//! Experiment instrumentation: throughput, losses, buffer population and
+//! sample-occurrence histograms — the raw material of every figure and table.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+use training_buffer::OccupancySnapshot;
+
+/// One throughput measurement, as the paper computes it: the number of samples
+/// per second processed by the learning thread over a window of batches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Seconds since the start of training.
+    pub elapsed_seconds: f64,
+    /// Samples per second over the last window.
+    pub samples_per_second: f64,
+    /// Number of batches processed so far (on this rank).
+    pub batches: usize,
+}
+
+/// Measures throughput over windows of `window_batches` batches (the paper uses
+/// 10 batches every 10 batches).
+#[derive(Debug)]
+pub struct ThroughputTracker {
+    window_batches: usize,
+    batch_size: usize,
+    started: Instant,
+    window_started: Instant,
+    batches_in_window: usize,
+    total_batches: usize,
+    points: Vec<ThroughputPoint>,
+}
+
+impl ThroughputTracker {
+    /// Creates a tracker.
+    pub fn new(window_batches: usize, batch_size: usize) -> Self {
+        let now = Instant::now();
+        Self {
+            window_batches: window_batches.max(1),
+            batch_size,
+            started: now,
+            window_started: now,
+            batches_in_window: 0,
+            total_batches: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Records one processed batch (of `samples` samples, which may be smaller
+    /// than the nominal batch size for the last batch).
+    pub fn record_batch(&mut self, samples: usize) {
+        let _ = samples;
+        self.batches_in_window += 1;
+        self.total_batches += 1;
+        if self.batches_in_window >= self.window_batches {
+            let elapsed = self.window_started.elapsed().as_secs_f64();
+            let samples_in_window = self.batches_in_window * self.batch_size;
+            let rate = if elapsed > 0.0 {
+                samples_in_window as f64 / elapsed
+            } else {
+                f64::INFINITY
+            };
+            self.points.push(ThroughputPoint {
+                elapsed_seconds: self.started.elapsed().as_secs_f64(),
+                samples_per_second: rate,
+                batches: self.total_batches,
+            });
+            self.batches_in_window = 0;
+            self.window_started = Instant::now();
+        }
+    }
+
+    /// All completed window measurements.
+    pub fn points(&self) -> &[ThroughputPoint] {
+        &self.points
+    }
+
+    /// Total number of batches recorded.
+    pub fn total_batches(&self) -> usize {
+        self.total_batches
+    }
+
+    /// Mean throughput over the whole run (samples per second).
+    pub fn mean_throughput(&self) -> f64 {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if elapsed == 0.0 {
+            return 0.0;
+        }
+        (self.total_batches * self.batch_size) as f64 / elapsed
+    }
+
+    /// Consumes the tracker, returning its points.
+    pub fn into_points(self) -> Vec<ThroughputPoint> {
+        self.points
+    }
+}
+
+/// One loss measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossPoint {
+    /// Number of batches processed on the recording rank when measured.
+    pub batches: usize,
+    /// Total number of training samples seen across all ranks when measured.
+    pub samples_seen: usize,
+    /// Training loss (normalised MSE) of the most recent batch.
+    pub train_loss: f32,
+    /// Validation loss (normalised MSE), when a validation pass was run.
+    pub validation_loss: Option<f32>,
+    /// Seconds since the start of training.
+    pub elapsed_seconds: f64,
+}
+
+/// Histogram of how many times each unique sample appeared in training batches
+/// (Figure 3 of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OccurrenceHistogram {
+    /// `histogram[k]` = number of unique samples that appeared exactly `k` times
+    /// (index 0 counts produced-but-never-trained-on samples when known).
+    pub counts: Vec<usize>,
+}
+
+impl OccurrenceHistogram {
+    /// Builds the histogram from a per-sample occurrence map.
+    pub fn from_occurrences(occurrences: &HashMap<(u64, usize), u32>) -> Self {
+        let mut counts = Vec::new();
+        for &n in occurrences.values() {
+            let n = n as usize;
+            if counts.len() <= n {
+                counts.resize(n + 1, 0);
+            }
+            counts[n] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of unique samples that appeared at least once.
+    pub fn unique_samples(&self) -> usize {
+        self.counts.iter().skip(1).sum()
+    }
+
+    /// Total number of sample occurrences (i.e. samples × repetitions).
+    pub fn total_occurrences(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(reps, &n)| reps * n)
+            .sum()
+    }
+
+    /// Largest repetition count observed.
+    pub fn max_repetitions(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Mean number of occurrences per unique sample.
+    pub fn mean_repetitions(&self) -> f64 {
+        let unique = self.unique_samples();
+        if unique == 0 {
+            0.0
+        } else {
+            self.total_occurrences() as f64 / unique as f64
+        }
+    }
+}
+
+/// Everything measured during one experiment run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExperimentMetrics {
+    /// Loss history (training and periodic validation).
+    pub losses: Vec<LossPoint>,
+    /// Throughput measurements from every rank, merged and sorted by time.
+    pub throughput: Vec<ThroughputPoint>,
+    /// Buffer population snapshots (per rank, flattened; rank in the snapshot
+    /// order is not preserved — the population curves of Fig. 2 sum over ranks).
+    pub occupancy: Vec<OccupancySnapshot>,
+    /// Histogram of sample occurrences in training batches.
+    pub occurrences: OccurrenceHistogram,
+}
+
+impl ExperimentMetrics {
+    /// Lowest validation loss observed (the paper's "Min. MSE" column).
+    pub fn min_validation_loss(&self) -> Option<f32> {
+        self.losses
+            .iter()
+            .filter_map(|p| p.validation_loss)
+            .fold(None, |acc, v| match acc {
+                None => Some(v),
+                Some(best) => Some(best.min(v)),
+            })
+    }
+
+    /// Last validation loss observed.
+    pub fn final_validation_loss(&self) -> Option<f32> {
+        self.losses.iter().rev().find_map(|p| p.validation_loss)
+    }
+
+    /// Mean throughput over all recorded windows (samples per second).
+    pub fn mean_throughput(&self) -> f64 {
+        if self.throughput.is_empty() {
+            return 0.0;
+        }
+        self.throughput
+            .iter()
+            .map(|p| p.samples_per_second)
+            .sum::<f64>()
+            / self.throughput.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn throughput_tracker_emits_one_point_per_window() {
+        let mut tracker = ThroughputTracker::new(5, 10);
+        for _ in 0..23 {
+            tracker.record_batch(10);
+        }
+        assert_eq!(tracker.points().len(), 4);
+        assert_eq!(tracker.total_batches(), 23);
+        for p in tracker.points() {
+            assert!(p.samples_per_second > 0.0);
+        }
+    }
+
+    #[test]
+    fn throughput_rate_reflects_elapsed_time() {
+        let mut tracker = ThroughputTracker::new(2, 10);
+        tracker.record_batch(10);
+        std::thread::sleep(Duration::from_millis(20));
+        tracker.record_batch(10);
+        let p = tracker.points()[0];
+        // 20 samples in ≥ 20 ms → at most 1000 samples/s (generous upper bound).
+        assert!(p.samples_per_second <= 1100.0, "{}", p.samples_per_second);
+        assert!(tracker.mean_throughput() > 0.0);
+    }
+
+    #[test]
+    fn occurrence_histogram_from_map() {
+        let mut occurrences = HashMap::new();
+        occurrences.insert((0, 0), 1u32);
+        occurrences.insert((0, 1), 2);
+        occurrences.insert((1, 0), 2);
+        occurrences.insert((1, 1), 5);
+        let histogram = OccurrenceHistogram::from_occurrences(&occurrences);
+        assert_eq!(histogram.counts[1], 1);
+        assert_eq!(histogram.counts[2], 2);
+        assert_eq!(histogram.counts[5], 1);
+        assert_eq!(histogram.unique_samples(), 4);
+        assert_eq!(histogram.total_occurrences(), 1 + 2 + 2 + 5);
+        assert_eq!(histogram.max_repetitions(), 5);
+        assert!((histogram.mean_repetitions() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_min_and_final_validation() {
+        let metrics = ExperimentMetrics {
+            losses: vec![
+                LossPoint {
+                    batches: 10,
+                    samples_seen: 100,
+                    train_loss: 0.5,
+                    validation_loss: Some(0.6),
+                    elapsed_seconds: 1.0,
+                },
+                LossPoint {
+                    batches: 20,
+                    samples_seen: 200,
+                    train_loss: 0.4,
+                    validation_loss: None,
+                    elapsed_seconds: 2.0,
+                },
+                LossPoint {
+                    batches: 30,
+                    samples_seen: 300,
+                    train_loss: 0.3,
+                    validation_loss: Some(0.35),
+                    elapsed_seconds: 3.0,
+                },
+            ],
+            ..ExperimentMetrics::default()
+        };
+        assert_eq!(metrics.min_validation_loss(), Some(0.35));
+        assert_eq!(metrics.final_validation_loss(), Some(0.35));
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let metrics = ExperimentMetrics::default();
+        assert_eq!(metrics.min_validation_loss(), None);
+        assert_eq!(metrics.final_validation_loss(), None);
+        assert_eq!(metrics.mean_throughput(), 0.0);
+        assert_eq!(OccurrenceHistogram::default().mean_repetitions(), 0.0);
+    }
+}

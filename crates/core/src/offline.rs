@@ -1,0 +1,342 @@
+//! The offline baseline: generate the dataset to storage, then train for a
+//! number of epochs reading batches back from storage.
+//!
+//! This reproduces the paper's comparison path (§4.4 and §4.6): the same
+//! framework is used to generate the data in parallel, but instead of streaming
+//! the time steps to the server they are written to the (simulated) parallel
+//! file system; training then reads batches back, paying the I/O cost, and
+//! iterates over the fixed dataset for several epochs.
+
+use crate::config::ExperimentConfig;
+use crate::disk::{DiskConfig, SimulatedDisk};
+use crate::metrics::{ExperimentMetrics, LossPoint, OccurrenceHistogram, ThroughputTracker};
+use crate::report::ExperimentReport;
+use crate::sample::timestep_to_sample;
+use crate::validation::ValidationSet;
+use heat_solver::SyntheticWorkload;
+use melissa_ensemble::{Launcher, LauncherConfig};
+use parking_lot::Mutex;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use surrogate_nn::{
+    Adam, AdamConfig, Batch, GradientSynchronizer, InputNormalizer, Loss, LrSchedule, Mlp,
+    MseLoss, Optimizer, OutputNormalizer, SampleBasedHalving,
+};
+
+/// One offline-training experiment.
+pub struct OfflineExperiment {
+    config: ExperimentConfig,
+    disk_config: DiskConfig,
+    epochs: usize,
+}
+
+impl OfflineExperiment {
+    /// Creates the experiment. `epochs` is the number of passes over the fixed
+    /// dataset (the paper uses 1 in §4.4 and 100 in §4.6).
+    pub fn new(
+        config: ExperimentConfig,
+        disk_config: DiskConfig,
+        epochs: usize,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        if epochs == 0 {
+            return Err("offline training needs at least one epoch".into());
+        }
+        Ok(Self {
+            config,
+            disk_config,
+            epochs,
+        })
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Number of epochs.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Runs generation then training; returns the trained surrogate and report.
+    pub fn run(&self) -> (Mlp, ExperimentReport) {
+        let config = &self.config;
+        let start = Instant::now();
+
+        // ---- Phase 1: parallel data generation to the simulated disk. ----
+        let input_norm = InputNormalizer::for_trajectory(config.solver.steps, config.solver.dt);
+        let output_norm = OutputNormalizer::default();
+        let disk = Mutex::new(SimulatedDisk::new(self.disk_config));
+        let launcher = Launcher::new(LauncherConfig::default());
+        let workload = SyntheticWorkload {
+            config: config.solver,
+            kind: config.workload,
+            step_delay: std::time::Duration::ZERO,
+        };
+        let launcher_report = launcher.run_campaign(&config.campaign, |job| {
+            let mut local = Vec::with_capacity(config.solver.steps);
+            workload
+                .generate(job.parameters, |step| {
+                    local.push(timestep_to_sample(
+                        &step,
+                        job.client_id,
+                        &input_norm,
+                        &output_norm,
+                    ));
+                })
+                .map_err(|e| e.to_string())?;
+            let mut disk = disk.lock();
+            for sample in local {
+                disk.write_sample(sample);
+            }
+            Ok(())
+        });
+        let disk = Arc::new(disk.into_inner());
+        let generation_seconds = start.elapsed().as_secs_f64();
+
+        // ---- Phase 2: epoch-based data-parallel training from the disk. ----
+        let validation = Arc::new(ValidationSet::generate(config));
+        let mlp_config = config.surrogate.mlp_config(config.output_size());
+        let num_ranks = config.training.num_ranks;
+        let batch_size = config.training.batch_size.max(1);
+        let param_count = Mlp::new(mlp_config.clone()).param_count();
+        let grad_sync = Arc::new(GradientSynchronizer::new(num_ranks, param_count));
+        let training_start = Instant::now();
+
+        // Epoch schedules: shuffled once per epoch with a common seed, then
+        // partitioned into equally sized rank shards (PyTorch DistributedSampler).
+        let n = disk.len();
+        let steps_per_epoch = n / (batch_size * num_ranks);
+        let occurrences: Mutex<HashMap<(u64, usize), u32>> = Mutex::new(HashMap::new());
+        let outcomes: Mutex<Vec<(usize, Mlp, Vec<LossPoint>, usize, f64)>> = Mutex::new(Vec::new());
+
+        crossbeam::scope(|scope| {
+            for rank in 0..num_ranks {
+                let disk = Arc::clone(&disk);
+                let grad_sync = Arc::clone(&grad_sync);
+                let validation = Arc::clone(&validation);
+                let mlp_config = mlp_config.clone();
+                let occurrences = &occurrences;
+                let outcomes = &outcomes;
+                let config = &self.config;
+                let epochs = self.epochs;
+                scope.spawn(move |_| {
+                    let mut model = Mlp::new(mlp_config);
+                    let mut optimizer = Adam::new(AdamConfig::default(), model.param_count());
+                    let schedule = SampleBasedHalving {
+                        initial: config.training.initial_learning_rate,
+                        interval_samples: config.training.lr_halving_samples,
+                        floor: config.training.lr_floor,
+                    };
+                    let loss_fn = MseLoss;
+                    let mut tracker = ThroughputTracker::new(10, batch_size);
+                    let mut losses = Vec::new();
+                    let mut batches = 0usize;
+                    let mut samples_trained = 0usize;
+
+                    for epoch in 0..epochs {
+                        // Same permutation on every rank (seeded by epoch).
+                        let mut indices: Vec<usize> = (0..n).collect();
+                        let mut rng =
+                            ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(epoch as u64));
+                        indices.shuffle(&mut rng);
+
+                        for step in 0..steps_per_epoch {
+                            let offset = (step * num_ranks + rank) * batch_size;
+                            let batch_indices = &indices[offset..offset + batch_size];
+                            let samples = disk.read_batch(batch_indices);
+                            {
+                                let mut occurrences = occurrences.lock();
+                                for s in &samples {
+                                    *occurrences.entry(s.key()).or_default() += 1;
+                                }
+                            }
+                            let batch = Batch::from_owned(&samples);
+                            let prediction = model.forward(&batch.inputs);
+                            let (loss, grad_out) = loss_fn.evaluate(&prediction, &batch.targets);
+                            model.zero_grads();
+                            model.backward(&grad_out);
+                            let mut grads = model.grads_flat();
+                            grad_sync.all_reduce_mean(&mut grads);
+                            batches += 1;
+                            samples_trained += samples.len();
+                            let nominal_samples = batches * batch_size * num_ranks;
+                            let lr = schedule.learning_rate(batches, nominal_samples);
+                            optimizer.step(&mut model, &grads, lr);
+                            if !config.training.device.extra_batch_delay().is_zero() {
+                                std::thread::sleep(config.training.device.extra_batch_delay());
+                            }
+                            tracker.record_batch(samples.len());
+
+                            if rank == 0 {
+                                let validation_loss = if config.training.validation_interval_batches
+                                    > 0
+                                    && batches % config.training.validation_interval_batches == 0
+                                {
+                                    Some(validation.evaluate(&model))
+                                } else {
+                                    None
+                                };
+                                losses.push(LossPoint {
+                                    batches,
+                                    samples_seen: nominal_samples,
+                                    train_loss: loss,
+                                    validation_loss,
+                                    elapsed_seconds: training_start.elapsed().as_secs_f64(),
+                                });
+                            }
+                        }
+                    }
+
+                    if rank == 0 {
+                        losses.push(LossPoint {
+                            batches,
+                            samples_seen: batches * batch_size * num_ranks,
+                            train_loss: losses.last().map(|p| p.train_loss).unwrap_or(f32::NAN),
+                            validation_loss: Some(validation.evaluate(&model)),
+                            elapsed_seconds: training_start.elapsed().as_secs_f64(),
+                        });
+                    }
+                    let mean_throughput = tracker.mean_throughput();
+                    outcomes
+                        .lock()
+                        .push((rank, model, losses, samples_trained, mean_throughput));
+                });
+            }
+        })
+        .expect("an offline-training thread panicked");
+
+        let training_seconds = training_start.elapsed().as_secs_f64();
+        let mut outcomes = outcomes.into_inner();
+        outcomes.sort_by_key(|(rank, ..)| *rank);
+        let model = outcomes[0].1.clone();
+        let mut losses = Vec::new();
+        for (_, _, rank_losses, _, _) in &outcomes {
+            losses.extend(rank_losses.iter().copied());
+        }
+        losses.sort_by_key(|p| p.batches);
+        let samples_trained: usize = outcomes.iter().map(|(_, _, _, s, _)| *s).sum();
+        let batches = samples_trained / batch_size;
+        let mean_throughput: f64 = outcomes.iter().map(|(_, _, _, _, t)| *t).sum();
+
+        let occurrences = occurrences.into_inner();
+        let metrics = ExperimentMetrics {
+            losses,
+            throughput: Vec::new(),
+            occupancy: Vec::new(),
+            occurrences: OccurrenceHistogram::from_occurrences(&occurrences),
+        };
+
+        let report = ExperimentReport {
+            label: "Offline".to_string(),
+            buffer: None,
+            num_ranks,
+            batch_size,
+            simulations: config.total_simulations(),
+            unique_samples_produced: config.total_unique_samples(),
+            unique_samples_trained: occurrences.len(),
+            samples_trained,
+            batches,
+            dataset_bytes: disk.bytes_written(),
+            generation_seconds: Some(generation_seconds),
+            training_seconds,
+            total_seconds: start.elapsed().as_secs_f64(),
+            min_validation_mse: metrics.min_validation_loss(),
+            final_validation_mse: metrics.final_validation_loss(),
+            mean_throughput,
+            metrics,
+            buffer_stats: Vec::new(),
+            transport: None,
+            launcher: Some(launcher_report),
+        };
+
+        (model, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melissa_ensemble::CampaignPlan;
+
+    fn tiny_config(num_ranks: usize) -> ExperimentConfig {
+        let mut config = ExperimentConfig::small_scale();
+        config.solver.nx = 8;
+        config.solver.ny = 8;
+        config.solver.steps = 10;
+        config.campaign = CampaignPlan::single_series(4, 2);
+        config.training.num_ranks = num_ranks;
+        config.training.batch_size = 5;
+        config.training.validation_simulations = 2;
+        config.training.validation_interval_batches = 4;
+        config.surrogate.hidden_width = 16;
+        config
+    }
+
+    #[test]
+    fn offline_single_epoch_sees_each_sample_once() {
+        let experiment =
+            OfflineExperiment::new(tiny_config(1), DiskConfig::default(), 1).unwrap();
+        let (model, report) = experiment.run();
+        assert!(model.params_flat().iter().all(|p| p.is_finite()));
+        assert_eq!(report.label, "Offline");
+        assert!(report.generation_seconds.is_some());
+        // One epoch, 40 samples, batch 5 → 8 batches, every sample exactly once.
+        assert_eq!(report.samples_trained, 40);
+        assert_eq!(report.batches, 8);
+        assert_eq!(report.unique_samples_trained, 40);
+        assert_eq!(report.metrics.occurrences.max_repetitions(), 1);
+        assert!(report.min_validation_mse.is_some());
+    }
+
+    #[test]
+    fn offline_multi_epoch_repeats_samples() {
+        let experiment =
+            OfflineExperiment::new(tiny_config(1), DiskConfig::default(), 3).unwrap();
+        let (_, report) = experiment.run();
+        assert_eq!(report.samples_trained, 120);
+        assert_eq!(report.metrics.occurrences.max_repetitions(), 3);
+    }
+
+    #[test]
+    fn offline_multi_rank_partitions_the_epoch() {
+        let experiment =
+            OfflineExperiment::new(tiny_config(2), DiskConfig::default(), 1).unwrap();
+        let (_, report) = experiment.run();
+        // 40 samples / (5 × 2) = 4 steps per epoch, 8 batches in total.
+        assert_eq!(report.batches, 8);
+        assert_eq!(report.samples_trained, 40);
+    }
+
+    #[test]
+    fn slow_disk_reduces_throughput() {
+        let fast = OfflineExperiment::new(tiny_config(1), DiskConfig::default(), 1)
+            .unwrap()
+            .run()
+            .1;
+        let slow_config = DiskConfig {
+            read_latency_micros: 2_000,
+            ..DiskConfig::default()
+        };
+        let slow = OfflineExperiment::new(tiny_config(1), slow_config, 1)
+            .unwrap()
+            .run()
+            .1;
+        assert!(
+            slow.mean_throughput < fast.mean_throughput,
+            "I/O cost must reduce throughput: slow {} vs fast {}",
+            slow.mean_throughput,
+            fast.mean_throughput
+        );
+    }
+
+    #[test]
+    fn zero_epochs_rejected() {
+        assert!(OfflineExperiment::new(tiny_config(1), DiskConfig::default(), 0).is_err());
+    }
+}

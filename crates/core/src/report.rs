@@ -1,0 +1,179 @@
+//! The result of one experiment run, with everything the paper's tables report.
+
+use crate::metrics::ExperimentMetrics;
+use melissa_ensemble::LauncherReport;
+use melissa_transport::TransportStats;
+use serde::{Deserialize, Serialize};
+use training_buffer::{BufferKind, BufferStats};
+
+/// A complete record of one experiment (online or offline).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Human-readable label ("Reservoir", "Offline", …).
+    pub label: String,
+    /// Buffer policy used (None for offline training).
+    pub buffer: Option<BufferKind>,
+    /// Number of data-parallel ranks ("GPUs").
+    pub num_ranks: usize,
+    /// Batch size per rank.
+    pub batch_size: usize,
+    /// Number of simulations the campaign ran.
+    pub simulations: usize,
+    /// Number of unique samples produced by the campaign.
+    pub unique_samples_produced: usize,
+    /// Number of unique samples actually used in at least one training batch.
+    pub unique_samples_trained: usize,
+    /// Number of training samples consumed, counting repetitions.
+    pub samples_trained: usize,
+    /// Number of batches that contained data, summed over ranks.
+    pub batches: usize,
+    /// Dataset volume produced, in bytes.
+    pub dataset_bytes: u64,
+    /// Wall-clock seconds of the standalone generation phase (offline only).
+    pub generation_seconds: Option<f64>,
+    /// Wall-clock seconds of training (online: generation and training overlap,
+    /// so this equals the total).
+    pub training_seconds: f64,
+    /// Total wall-clock seconds of the experiment.
+    pub total_seconds: f64,
+    /// Lowest validation MSE observed (normalised units).
+    pub min_validation_mse: Option<f32>,
+    /// Validation MSE at the end of training (normalised units).
+    pub final_validation_mse: Option<f32>,
+    /// Aggregate throughput in samples per second (summed over ranks).
+    pub mean_throughput: f64,
+    /// Detailed time series (losses, throughput, occupancy, occurrences).
+    pub metrics: ExperimentMetrics,
+    /// Per-rank buffer counters (empty for offline).
+    pub buffer_stats: Vec<BufferStats>,
+    /// Transport counters (None for offline).
+    pub transport: Option<TransportStats>,
+    /// Launcher report of the data-generation campaign, when one ran.
+    pub launcher: Option<LauncherReport>,
+}
+
+impl ExperimentReport {
+    /// Dataset size in gigabytes (10⁹ bytes), as the paper reports it.
+    pub fn dataset_gigabytes(&self) -> f64 {
+        self.dataset_bytes as f64 / 1e9
+    }
+
+    /// Fraction of consumed samples that were repetitions.
+    pub fn repetition_fraction(&self) -> f64 {
+        if self.samples_trained == 0 {
+            0.0
+        } else {
+            1.0 - self.unique_samples_trained as f64 / self.samples_trained as f64
+        }
+    }
+
+    /// One row of Table 1: buffer, ranks, generation hours, total hours,
+    /// min MSE and mean throughput.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:<10} {:>2}  {:>10}  {:>9.4}  {:>12}  {:>14.1}",
+            self.label,
+            self.num_ranks,
+            self.generation_seconds
+                .map(|s| format!("{:.3}", s / 3600.0))
+                .unwrap_or_else(|| "—".to_string()),
+            self.total_seconds / 3600.0,
+            self.min_validation_mse
+                .map(|m| format!("{m:.5}"))
+                .unwrap_or_else(|| "—".to_string()),
+            self.mean_throughput,
+        )
+    }
+
+    /// One row of Table 2: resources, generation, total, dataset size, unique
+    /// samples, MSE, throughput.
+    pub fn table2_row(&self, resources: &str) -> String {
+        format!(
+            "{:<10} {:<22} {:>10} {:>9.4} {:>10.3} {:>12} {:>10} {:>12.1}",
+            self.label,
+            resources,
+            self.generation_seconds
+                .map(|s| format!("{:.3}", s / 3600.0))
+                .unwrap_or_else(|| "—".to_string()),
+            self.total_seconds / 3600.0,
+            self.dataset_gigabytes(),
+            self.unique_samples_produced,
+            self.min_validation_mse
+                .map(|m| format!("{m:.5}"))
+                .unwrap_or_else(|| "—".to_string()),
+            self.mean_throughput,
+        )
+    }
+
+    /// A short one-line summary used by the examples.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} ranks, {} sims, {} unique samples, {} batches, {:.1} samples/s, min val MSE {}",
+            self.label,
+            self.num_ranks,
+            self.simulations,
+            self.unique_samples_produced,
+            self.batches,
+            self.mean_throughput,
+            self.min_validation_mse
+                .map(|m| format!("{m:.5}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExperimentReport {
+        ExperimentReport {
+            label: "Reservoir".to_string(),
+            buffer: Some(BufferKind::Reservoir),
+            num_ranks: 2,
+            batch_size: 10,
+            simulations: 25,
+            unique_samples_produced: 2_500,
+            unique_samples_trained: 2_500,
+            samples_trained: 5_000,
+            batches: 500,
+            dataset_bytes: 2_000_000_000,
+            generation_seconds: None,
+            training_seconds: 120.0,
+            total_seconds: 120.0,
+            min_validation_mse: Some(0.012),
+            final_validation_mse: Some(0.013),
+            mean_throughput: 41.7,
+            metrics: ExperimentMetrics::default(),
+            buffer_stats: Vec::new(),
+            transport: None,
+            launcher: None,
+        }
+    }
+
+    #[test]
+    fn gigabytes_and_repetitions() {
+        let r = report();
+        assert!((r.dataset_gigabytes() - 2.0).abs() < 1e-9);
+        assert!((r.repetition_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_contain_the_label_and_values() {
+        let r = report();
+        let row1 = r.table1_row();
+        assert!(row1.contains("Reservoir"));
+        assert!(row1.contains("0.01200"));
+        let row2 = r.table2_row("5,120C / 40C, 4G");
+        assert!(row2.contains("5,120C"));
+        assert!(row2.contains("2500"));
+        assert!(!r.summary().is_empty());
+    }
+
+    #[test]
+    fn zero_samples_has_zero_repetition_fraction() {
+        let mut r = report();
+        r.samples_trained = 0;
+        assert_eq!(r.repetition_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The online training server: the full Melissa pipeline in one process.
+//!
+//! [`OnlineExperiment::run`] wires everything together exactly as Figure 1 of
+//! the paper describes:
+//!
+//! 1. the training server starts first: one data-aggregator thread and one
+//!    training thread per rank ("GPU"), each pair sharing a training buffer;
+//! 2. the launcher then submits the client series; each client runs the solver
+//!    (or the fast analytic workload) for its sampled parameters and streams
+//!    every computed time step to the server ranks round-robin;
+//! 3. training proceeds concurrently with data generation; when all clients
+//!    have finalized, the buffers drain and training terminates;
+//! 4. the run returns the trained surrogate and an [`ExperimentReport`] with
+//!    every measurement needed by the paper's figures and tables.
+
+use crate::aggregator::Aggregator;
+use crate::config::ExperimentConfig;
+use crate::metrics::{ExperimentMetrics, OccurrenceHistogram};
+use crate::report::ExperimentReport;
+use crate::sample::timestep_to_payload;
+use crate::trainer::{RankOutcome, RankTrainer, TrainerShared};
+use crate::validation::ValidationSet;
+use heat_solver::SyntheticWorkload;
+use melissa_ensemble::{Launcher, LauncherConfig, LauncherReport};
+use melissa_transport::{Fabric, FabricConfig};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use surrogate_nn::{InputNormalizer, Mlp, Sample};
+use training_buffer::{build_buffer, TrainingBuffer};
+
+/// One online-training experiment.
+pub struct OnlineExperiment {
+    config: ExperimentConfig,
+}
+
+impl OnlineExperiment {
+    /// Creates the experiment after validating its configuration.
+    pub fn new(config: ExperimentConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs the experiment and returns the trained surrogate and its report.
+    pub fn run(&self) -> (Mlp, ExperimentReport) {
+        let config = &self.config;
+        let start = Instant::now();
+
+        // Validation set (held-out simulations, generated before training).
+        let validation = Arc::new(ValidationSet::generate(config));
+
+        // Transport fabric: one endpoint per server rank.
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: config.training.num_ranks,
+            channel_capacity: config.channel_capacity,
+            fault: config.fault,
+        });
+        let endpoints = fabric.server_endpoints();
+
+        // One training buffer per rank (the paper: "there is one training
+        // buffer per server process"), each with its own seed.
+        let buffers: Vec<Arc<dyn TrainingBuffer<Sample>>> = (0..config.training.num_ranks)
+            .map(|rank| {
+                let mut buffer_config = config.buffer;
+                buffer_config.seed = config.seed.wrapping_add(rank as u64);
+                Arc::from(build_buffer::<Sample>(&buffer_config))
+            })
+            .collect();
+
+        let input_norm = InputNormalizer::for_trajectory(config.solver.steps, config.solver.dt);
+        let production_done = Arc::new(AtomicBool::new(false));
+        let expected_clients = config.campaign.total_clients();
+
+        // Model replicas: identical seed → identical initial weights everywhere.
+        let mlp_config = config.surrogate.mlp_config(config.output_size());
+        let param_count = Mlp::new(mlp_config.clone()).param_count();
+        let shared = Arc::new(TrainerShared::new(config.training.num_ranks, param_count));
+
+        let aggregator_outcomes = Mutex::new(Vec::new());
+        let rank_outcomes: Mutex<Vec<RankOutcome>> = Mutex::new(Vec::new());
+        let launcher_report: Mutex<Option<LauncherReport>> = Mutex::new(None);
+
+        crossbeam::scope(|scope| {
+            // Data-aggregator threads.
+            for (rank, endpoint) in endpoints.into_iter().enumerate() {
+                let aggregator = Aggregator::new(
+                    endpoint,
+                    Arc::clone(&buffers[rank]),
+                    input_norm.clone(),
+                    expected_clients,
+                    Arc::clone(&production_done),
+                );
+                let outcomes = &aggregator_outcomes;
+                scope.spawn(move |_| {
+                    let outcome = aggregator.run(start);
+                    outcomes.lock().push(outcome);
+                });
+            }
+
+            // Training threads.
+            for rank in 0..config.training.num_ranks {
+                let trainer = RankTrainer::new(
+                    rank,
+                    Mlp::new(mlp_config.clone()),
+                    Arc::clone(&buffers[rank]),
+                    config.training.clone(),
+                    (rank == 0).then(|| Arc::clone(&validation)),
+                    Arc::clone(&shared),
+                );
+                let outcomes = &rank_outcomes;
+                scope.spawn(move |_| {
+                    let outcome = trainer.run(start);
+                    outcomes.lock().push(outcome);
+                });
+            }
+
+            // The launcher drives the ensemble campaign: every client runs its
+            // simulation and streams the produced time steps to the server.
+            {
+                let fabric = &fabric;
+                let config = &self.config;
+                let production_done = Arc::clone(&production_done);
+                let launcher_report = &launcher_report;
+                scope.spawn(move |_| {
+                    let launcher = Launcher::new(LauncherConfig::default());
+                    let workload = SyntheticWorkload {
+                        config: config.solver,
+                        kind: config.workload,
+                        step_delay: std::time::Duration::ZERO,
+                    };
+                    let report = launcher.run_campaign(&config.campaign, |job| {
+                        let connection = fabric.connect_client(job.client_id);
+                        workload
+                            .generate(job.parameters, |step| {
+                                let payload = timestep_to_payload(&step, job.client_id);
+                                // A send only fails when the server is gone, in
+                                // which case the client simply stops producing.
+                                let _ = connection.send(payload);
+                            })
+                            .map_err(|e| e.to_string())?;
+                        connection.finalize().map_err(|e| e.to_string())
+                    });
+                    production_done.store(true, Ordering::Release);
+                    *launcher_report.lock() = Some(report);
+                });
+            }
+        })
+        .expect("an online-experiment thread panicked");
+
+        let total_seconds = start.elapsed().as_secs_f64();
+        let mut rank_outcomes = rank_outcomes.into_inner();
+        rank_outcomes.sort_by_key(|o| o.rank);
+        let aggregator_outcomes = aggregator_outcomes.into_inner();
+        let launcher_report = launcher_report.into_inner();
+
+        let model = rank_outcomes
+            .first()
+            .map(|o| o.model.clone())
+            .expect("at least one training rank");
+
+        let occurrences = shared.occurrences.lock().clone();
+        let histogram = OccurrenceHistogram::from_occurrences(&occurrences);
+
+        let mut losses = Vec::new();
+        let mut throughput = Vec::new();
+        for outcome in &rank_outcomes {
+            losses.extend(outcome.losses.iter().copied());
+            throughput.extend(outcome.throughput.iter().copied());
+        }
+        losses.sort_by_key(|p| p.batches);
+        throughput.sort_by(|a, b| a.elapsed_seconds.total_cmp(&b.elapsed_seconds));
+        let mut occupancy = Vec::new();
+        for outcome in &aggregator_outcomes {
+            occupancy.extend(outcome.occupancy.iter().copied());
+        }
+        occupancy.sort_by(|a, b| a.elapsed_seconds.total_cmp(&b.elapsed_seconds));
+
+        let metrics = ExperimentMetrics {
+            losses,
+            throughput,
+            occupancy,
+            occurrences: histogram,
+        };
+
+        let samples_trained: usize = rank_outcomes.iter().map(|o| o.samples_consumed).sum();
+        let batches: usize = rank_outcomes.iter().map(|o| o.batches_with_data).sum();
+        let mean_throughput: f64 = rank_outcomes.iter().map(|o| o.mean_throughput).sum();
+
+        let report = ExperimentReport {
+            label: config.buffer.kind.label().to_string(),
+            buffer: Some(config.buffer.kind),
+            num_ranks: config.training.num_ranks,
+            batch_size: config.training.batch_size,
+            simulations: config.total_simulations(),
+            unique_samples_produced: config.total_unique_samples(),
+            unique_samples_trained: occurrences.len(),
+            samples_trained,
+            batches,
+            dataset_bytes: config.dataset_bytes() as u64,
+            generation_seconds: None,
+            training_seconds: total_seconds,
+            total_seconds,
+            min_validation_mse: metrics.min_validation_loss(),
+            final_validation_mse: metrics.final_validation_loss(),
+            mean_throughput,
+            metrics,
+            buffer_stats: buffers.iter().map(|b| b.stats()).collect(),
+            transport: Some(fabric.stats()),
+            launcher: launcher_report,
+        };
+
+        (model, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use training_buffer::BufferKind;
+
+    fn tiny_config(kind: BufferKind, num_ranks: usize) -> ExperimentConfig {
+        let mut config = ExperimentConfig::small_scale();
+        config.solver.nx = 8;
+        config.solver.ny = 8;
+        config.solver.steps = 10;
+        config.campaign = melissa_ensemble::CampaignPlan::single_series(4, 2);
+        config.buffer = training_buffer::BufferConfig {
+            kind,
+            capacity: 16,
+            threshold: 4,
+            seed: 1,
+        };
+        config.training.num_ranks = num_ranks;
+        config.training.batch_size = 5;
+        config.training.validation_simulations = 2;
+        config.training.validation_interval_batches = 4;
+        config.surrogate.hidden_width = 16;
+        config
+    }
+
+    #[test]
+    fn online_experiment_runs_end_to_end_with_each_buffer() {
+        for kind in BufferKind::ALL {
+            let config = tiny_config(kind, 1);
+            let (model, report) = OnlineExperiment::new(config).unwrap().run();
+            assert!(model.params_flat().iter().all(|p| p.is_finite()), "{kind:?}");
+            assert_eq!(report.simulations, 4);
+            assert_eq!(report.unique_samples_produced, 40);
+            // Every produced sample reached some rank and was trained on at
+            // least once (FIFO/FIRO see each exactly once, Reservoir at least once).
+            assert_eq!(report.unique_samples_trained, 40, "{kind:?}");
+            assert!(report.samples_trained >= 40, "{kind:?}");
+            assert!(report.batches > 0);
+            assert!(report.min_validation_mse.is_some());
+            assert!(report.mean_throughput > 0.0);
+            let transport = report.transport.unwrap();
+            assert_eq!(transport.messages_sent, 40);
+            assert_eq!(transport.messages_delivered, 40);
+        }
+    }
+
+    #[test]
+    fn online_experiment_scales_to_multiple_ranks() {
+        let config = tiny_config(BufferKind::Reservoir, 2);
+        let (_, report) = OnlineExperiment::new(config).unwrap().run();
+        assert_eq!(report.num_ranks, 2);
+        assert_eq!(report.unique_samples_trained, 40);
+        assert_eq!(report.buffer_stats.len(), 2);
+        // Round-robin distribution: both ranks received data.
+        for stats in &report.buffer_stats {
+            assert!(stats.puts > 0);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = tiny_config(BufferKind::Fifo, 1);
+        config.training.batch_size = 0;
+        assert!(OnlineExperiment::new(config).is_err());
+    }
+}

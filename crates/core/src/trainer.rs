@@ -1,0 +1,391 @@
+//! The training thread of one server rank.
+//!
+//! §3.1: *"The second thread, the training thread, reads data from the training
+//! buffer to build a batch, feeds the GPU with it and performs the forward and
+//! backward passes through the NN. An all-reduce operation amongst the
+//! different training threads aggregates the gradients to update the network
+//! weights."* Each rank owns a full model replica; after every batch the
+//! gradients are averaged across ranks and the same update is applied
+//! everywhere, so the replicas stay bit-identical (synchronous data parallel).
+//!
+//! Termination: a rank whose buffer has drained keeps participating in the
+//! collectives with zero gradients until *every* rank has drained, so no rank
+//! ever blocks on a missing peer (the round is coordinated by a small
+//! "active ranks" all-reduce before each gradient all-reduce).
+
+use crate::config::{DeviceProfile, TrainingConfig};
+use crate::metrics::{LossPoint, ThroughputPoint, ThroughputTracker};
+use crate::validation::ValidationSet;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use surrogate_nn::{
+    Adam, AdamConfig, Batch, GradientSynchronizer, Loss, LrSchedule, Mlp, MseLoss, Optimizer,
+    SampleBasedHalving, Sample,
+};
+use training_buffer::TrainingBuffer;
+
+/// State shared by every rank of one training run.
+pub struct TrainerShared {
+    /// Gradient all-reduce (vector length = parameter count).
+    pub grad_sync: GradientSynchronizer,
+    /// One-element all-reduce used to coordinate termination.
+    pub status_sync: GradientSynchronizer,
+    /// Per-sample occurrence counts across all ranks (Figure 3).
+    pub occurrences: Mutex<HashMap<(u64, usize), u32>>,
+    /// Number of ranks.
+    pub num_ranks: usize,
+}
+
+impl TrainerShared {
+    /// Creates the shared state for `num_ranks` ranks and `param_count` parameters.
+    pub fn new(num_ranks: usize, param_count: usize) -> Self {
+        Self {
+            grad_sync: GradientSynchronizer::new(num_ranks, param_count),
+            status_sync: GradientSynchronizer::new(num_ranks, 1),
+            occurrences: Mutex::new(HashMap::new()),
+            num_ranks,
+        }
+    }
+}
+
+/// Result of one rank's training loop.
+#[derive(Debug, Clone)]
+pub struct RankOutcome {
+    /// The rank index.
+    pub rank: usize,
+    /// The trained model replica (identical on every rank).
+    pub model: Mlp,
+    /// Number of batches this rank processed (including idle rounds where the
+    /// rank only participated in the collectives).
+    pub rounds: usize,
+    /// Number of batches with actual data.
+    pub batches_with_data: usize,
+    /// Number of samples this rank consumed from its buffer.
+    pub samples_consumed: usize,
+    /// Loss history (rank 0 only; empty on other ranks).
+    pub losses: Vec<LossPoint>,
+    /// Throughput measurements of this rank.
+    pub throughput: Vec<ThroughputPoint>,
+    /// Mean throughput of this rank in samples per second.
+    pub mean_throughput: f64,
+}
+
+/// The per-rank training loop.
+pub struct RankTrainer {
+    rank: usize,
+    model: Mlp,
+    optimizer: Adam,
+    schedule: SampleBasedHalving,
+    buffer: Arc<dyn TrainingBuffer<Sample>>,
+    config: TrainingConfig,
+    validation: Option<Arc<ValidationSet>>,
+    shared: Arc<TrainerShared>,
+}
+
+impl RankTrainer {
+    /// Creates the trainer of one rank. Every rank must be given a model built
+    /// from the same configuration and seed so the replicas start identical.
+    pub fn new(
+        rank: usize,
+        model: Mlp,
+        buffer: Arc<dyn TrainingBuffer<Sample>>,
+        config: TrainingConfig,
+        validation: Option<Arc<ValidationSet>>,
+        shared: Arc<TrainerShared>,
+    ) -> Self {
+        let optimizer = Adam::new(AdamConfig::default(), model.param_count());
+        let schedule = SampleBasedHalving {
+            initial: config.initial_learning_rate,
+            interval_samples: config.lr_halving_samples,
+            floor: config.lr_floor,
+        };
+        Self {
+            rank,
+            model,
+            optimizer,
+            schedule,
+            buffer,
+            config,
+            validation,
+            shared,
+        }
+    }
+
+    /// Runs the training loop until every rank's buffer has drained.
+    pub fn run(mut self, start: Instant) -> RankOutcome {
+        let loss_fn = MseLoss;
+        let device: DeviceProfile = self.config.device;
+        let batch_size = self.config.batch_size.max(1);
+        let mut tracker = ThroughputTracker::new(10, batch_size);
+        let mut losses = Vec::new();
+        let mut rounds = 0usize;
+        let mut batches_with_data = 0usize;
+        let mut samples_consumed = 0usize;
+
+        loop {
+            // Assemble a batch; `get` blocks until a sample can be served or the
+            // buffer has drained after the end of reception.
+            let mut samples: Vec<Sample> = Vec::with_capacity(batch_size);
+            while samples.len() < batch_size {
+                match self.buffer.get() {
+                    Some(sample) => samples.push(sample),
+                    None => break,
+                }
+            }
+            let has_data = !samples.is_empty();
+
+            // Termination round: how many ranks still have data this round?
+            let mut active_flag = vec![if has_data { 1.0 } else { 0.0 }];
+            self.shared.status_sync.all_reduce_mean(&mut active_flag);
+            let active_ranks =
+                (active_flag[0] * self.shared.num_ranks as f32).round() as usize;
+            if active_ranks == 0 {
+                break;
+            }
+
+            // Forward/backward on this replica.
+            let train_loss = if has_data {
+                let batch = Batch::from_owned(&samples);
+                let prediction = self.model.forward(&batch.inputs);
+                let (loss, grad_out) = loss_fn.evaluate(&prediction, &batch.targets);
+                self.model.zero_grads();
+                self.model.backward(&grad_out);
+                let mut occurrences = self.shared.occurrences.lock();
+                for key in &batch.keys {
+                    *occurrences.entry(*key).or_default() += 1;
+                }
+                loss
+            } else {
+                self.model.zero_grads();
+                0.0
+            };
+
+            // Synchronous data parallelism: average the gradients and apply the
+            // identical update on every replica.
+            let mut grads = self.model.grads_flat();
+            self.shared.grad_sync.all_reduce_mean(&mut grads);
+
+            // Learning-rate decay is scheduled in *sample* space so that runs
+            // with different rank counts decay at the same point (§4.5). The
+            // sample count is derived deterministically from the round number so
+            // every replica computes the same learning rate.
+            let nominal_samples_seen =
+                (rounds + 1) * batch_size * self.shared.num_ranks;
+            let lr = self
+                .schedule
+                .learning_rate(rounds + 1, nominal_samples_seen);
+            self.optimizer.step(&mut self.model, &grads, lr);
+
+            if !device.extra_batch_delay().is_zero() {
+                std::thread::sleep(device.extra_batch_delay());
+            }
+
+            rounds += 1;
+            if has_data {
+                batches_with_data += 1;
+                samples_consumed += samples.len();
+                tracker.record_batch(samples.len());
+            }
+
+            // Rank 0 records the loss history and runs periodic validation
+            // (validation stalls batch consumption, exactly as in the paper).
+            if self.rank == 0 && has_data {
+                let validation_loss = if self.config.validation_interval_batches > 0
+                    && rounds % self.config.validation_interval_batches == 0
+                {
+                    self.validation.as_ref().map(|v| v.evaluate(&self.model))
+                } else {
+                    None
+                };
+                losses.push(LossPoint {
+                    batches: rounds,
+                    samples_seen: nominal_samples_seen,
+                    train_loss,
+                    validation_loss,
+                    elapsed_seconds: start.elapsed().as_secs_f64(),
+                });
+            }
+        }
+
+        // A final validation point so every run reports a terminal MSE.
+        if self.rank == 0 {
+            if let Some(validation) = &self.validation {
+                losses.push(LossPoint {
+                    batches: rounds,
+                    samples_seen: rounds * batch_size * self.shared.num_ranks,
+                    train_loss: losses.last().map(|p| p.train_loss).unwrap_or(f32::NAN),
+                    validation_loss: Some(validation.evaluate(&self.model)),
+                    elapsed_seconds: start.elapsed().as_secs_f64(),
+                });
+            }
+        }
+
+        let mean_throughput = tracker.mean_throughput();
+        RankOutcome {
+            rank: self.rank,
+            model: self.model,
+            rounds,
+            batches_with_data,
+            samples_consumed,
+            losses,
+            throughput: tracker.into_points(),
+            mean_throughput,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingConfig;
+    use surrogate_nn::MlpConfig;
+    use training_buffer::{FifoBuffer, ReservoirBuffer};
+
+    fn sample(sim: u64, step: usize) -> Sample {
+        let x = (sim as f32 * 0.1 + step as f32 * 0.01).fract();
+        Sample::new(vec![x; 4], vec![x * 2.0; 8], sim, step)
+    }
+
+    fn model() -> Mlp {
+        Mlp::new(MlpConfig {
+            layer_sizes: vec![4, 16, 8],
+            activation: surrogate_nn::Activation::ReLU,
+            init: surrogate_nn::InitScheme::HeUniform,
+            seed: 5,
+        })
+    }
+
+    fn config(num_ranks: usize) -> TrainingConfig {
+        TrainingConfig {
+            batch_size: 4,
+            num_ranks,
+            validation_interval_batches: 0,
+            ..TrainingConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_rank_consumes_all_samples() {
+        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(256));
+        for k in 0..40 {
+            buffer.put(sample(0, k));
+        }
+        buffer.mark_reception_over();
+        let shared = Arc::new(TrainerShared::new(1, model().param_count()));
+        let trainer = RankTrainer::new(0, model(), Arc::clone(&buffer), config(1), None, shared);
+        let outcome = trainer.run(Instant::now());
+        assert_eq!(outcome.samples_consumed, 40);
+        assert_eq!(outcome.batches_with_data, 10);
+        assert!(outcome.model.params_flat().iter().all(|p| p.is_finite()));
+        assert!(outcome.mean_throughput > 0.0);
+    }
+
+    #[test]
+    fn replicas_stay_identical_across_two_ranks() {
+        let param_count = model().param_count();
+        let shared = Arc::new(TrainerShared::new(2, param_count));
+        let buffers: Vec<Arc<dyn TrainingBuffer<Sample>>> = (0..2)
+            .map(|_| Arc::new(FifoBuffer::new(256)) as Arc<dyn TrainingBuffer<Sample>>)
+            .collect();
+        // Rank 0 receives 24 samples, rank 1 only 12: the ranks finish at
+        // different times, exercising the idle-round protocol.
+        for k in 0..24 {
+            buffers[0].put(sample(0, k));
+        }
+        for k in 0..12 {
+            buffers[1].put(sample(1, k));
+        }
+        for buffer in &buffers {
+            buffer.mark_reception_over();
+        }
+
+        let mut handles = Vec::new();
+        for rank in 0..2 {
+            let trainer = RankTrainer::new(
+                rank,
+                model(),
+                Arc::clone(&buffers[rank]),
+                config(2),
+                None,
+                Arc::clone(&shared),
+            );
+            handles.push(std::thread::spawn(move || trainer.run(Instant::now())));
+        }
+        let outcomes: Vec<RankOutcome> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            outcomes[0].model.params_flat(),
+            outcomes[1].model.params_flat(),
+            "data-parallel replicas must end identical"
+        );
+        // Both ranks executed the same number of collective rounds.
+        assert_eq!(outcomes[0].rounds, outcomes[1].rounds);
+        let total: usize = outcomes.iter().map(|o| o.samples_consumed).sum();
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_learnable_mapping() {
+        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(ReservoirBuffer::new(64, 4, 3));
+        // A simple learnable mapping with plenty of repetition via the Reservoir.
+        for k in 0..64usize {
+            buffer.put(sample((k % 8) as u64, k));
+        }
+        buffer.mark_reception_over();
+        let shared = Arc::new(TrainerShared::new(1, model().param_count()));
+        let mut cfg = config(1);
+        cfg.initial_learning_rate = 5e-3;
+        let trainer = RankTrainer::new(0, model(), buffer, cfg, None, shared);
+        let outcome = trainer.run(Instant::now());
+        assert!(!outcome.losses.is_empty());
+        let first = outcome.losses.first().unwrap().train_loss;
+        let last = outcome.losses.last().unwrap().train_loss;
+        assert!(
+            last < first,
+            "loss should decrease: first {first} last {last}"
+        );
+    }
+
+    #[test]
+    fn occurrences_are_tracked() {
+        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(ReservoirBuffer::new(16, 2, 9));
+        for k in 0..16 {
+            buffer.put(sample(0, k));
+        }
+        buffer.mark_reception_over();
+        let shared = Arc::new(TrainerShared::new(1, model().param_count()));
+        let trainer =
+            RankTrainer::new(0, model(), buffer, config(1), None, Arc::clone(&shared));
+        let outcome = trainer.run(Instant::now());
+        let occurrences = shared.occurrences.lock();
+        assert_eq!(occurrences.len(), 16, "every sample trained on at least once");
+        let total: u32 = occurrences.values().sum();
+        assert_eq!(total as usize, outcome.samples_consumed);
+    }
+
+    #[test]
+    fn validation_points_are_recorded_on_rank_zero() {
+        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(256));
+        for k in 0..40 {
+            buffer.put(sample(0, k));
+        }
+        buffer.mark_reception_over();
+        let validation = Arc::new(ValidationSet::from_samples(
+            (0..8).map(|k| sample(100, k)).collect(),
+            4,
+        ));
+        let shared = Arc::new(TrainerShared::new(1, model().param_count()));
+        let mut cfg = config(1);
+        cfg.validation_interval_batches = 3;
+        let trainer = RankTrainer::new(0, model(), buffer, cfg, Some(validation), shared);
+        let outcome = trainer.run(Instant::now());
+        let validated: Vec<&LossPoint> = outcome
+            .losses
+            .iter()
+            .filter(|p| p.validation_loss.is_some())
+            .collect();
+        assert!(validated.len() >= 3, "periodic + final validation points");
+    }
+}

@@ -1,0 +1,194 @@
+//! The held-out validation set.
+//!
+//! The paper validates on 10 simulations generated offline and never seen
+//! during training (§4.4). The validation set here is generated with a
+//! dedicated sampler seed far away from the training campaign's seed, so the
+//! validation parameters never coincide with training parameters.
+
+use crate::config::ExperimentConfig;
+use crate::sample::timestep_to_sample;
+use heat_solver::SyntheticWorkload;
+use melissa_ensemble::{ParameterSampler, SamplerKind};
+use surrogate_nn::{Batch, InputNormalizer, Loss, Mlp, MseLoss, OutputNormalizer, Sample};
+
+/// A fixed set of held-out samples with a method to score a model on them.
+#[derive(Debug, Clone)]
+pub struct ValidationSet {
+    samples: Vec<Sample>,
+    batch_size: usize,
+}
+
+impl ValidationSet {
+    /// Generates the validation set for an experiment: `validation_simulations`
+    /// held-out trajectories of the configured workload.
+    pub fn generate(config: &ExperimentConfig) -> Self {
+        let workload = SyntheticWorkload {
+            config: config.solver,
+            kind: config.workload,
+            step_delay: std::time::Duration::ZERO,
+        };
+        let input_norm = InputNormalizer::for_trajectory(config.solver.steps, config.solver.dt);
+        let output_norm = OutputNormalizer::default();
+        // A seed offset keeps validation parameters disjoint from training ones.
+        let mut sampler = ParameterSampler::new(
+            SamplerKind::MonteCarlo,
+            Default::default(),
+            config.training.validation_simulations,
+            config.seed.wrapping_add(0x5EED_5EED),
+        );
+        let mut samples = Vec::new();
+        for sim in 0..config.training.validation_simulations {
+            let params = sampler.parameters(sim);
+            let trajectory = workload
+                .trajectory(params)
+                .expect("validated solver configuration");
+            for step in &trajectory {
+                samples.push(timestep_to_sample(
+                    step,
+                    u64::MAX - sim as u64,
+                    &input_norm,
+                    &output_norm,
+                ));
+            }
+        }
+        Self {
+            samples,
+            batch_size: config.training.batch_size.max(1),
+        }
+    }
+
+    /// Builds a validation set directly from samples (used in tests).
+    pub fn from_samples(samples: Vec<Sample>, batch_size: usize) -> Self {
+        Self {
+            samples,
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// Number of validation samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The held-out samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Mean squared error of the model over the whole validation set
+    /// (normalised units, as plotted by the paper).
+    pub fn evaluate(&self, model: &Mlp) -> f32 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let loss_fn = MseLoss;
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for chunk in self.samples.chunks(self.batch_size) {
+            let batch = Batch::from_owned(chunk);
+            let prediction = model.predict(&batch.inputs);
+            let loss = loss_fn.value(&prediction, &batch.targets);
+            total += loss as f64 * chunk.len() as f64;
+            count += chunk.len();
+        }
+        (total / count as f64) as f32
+    }
+
+    /// Validation MSE converted back to Kelvin² (the physical scale).
+    pub fn evaluate_kelvin(&self, model: &Mlp) -> f32 {
+        OutputNormalizer::default().denormalize_mse(self.evaluate(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use surrogate_nn::MlpConfig;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut config = ExperimentConfig::small_scale();
+        config.training.validation_simulations = 2;
+        config.solver.steps = 5;
+        config.solver.nx = 8;
+        config.solver.ny = 8;
+        config
+    }
+
+    #[test]
+    fn generates_expected_number_of_samples() {
+        let config = tiny_config();
+        let validation = ValidationSet::generate(&config);
+        assert_eq!(validation.len(), 2 * 5);
+        for s in validation.samples() {
+            assert_eq!(s.input.len(), 6);
+            assert_eq!(s.target.len(), 64);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = tiny_config();
+        let a = ValidationSet::generate(&config);
+        let b = ValidationSet::generate(&config);
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn different_experiment_seed_changes_the_set() {
+        let config = tiny_config();
+        let mut other = tiny_config();
+        other.seed += 1;
+        let a = ValidationSet::generate(&config);
+        let b = ValidationSet::generate(&other);
+        assert_ne!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn evaluate_is_finite_and_kelvin_scaled() {
+        let config = tiny_config();
+        let validation = ValidationSet::generate(&config);
+        let model = Mlp::new(config.surrogate.mlp_config(config.output_size()));
+        let mse = validation.evaluate(&model);
+        assert!(mse.is_finite());
+        assert!(mse >= 0.0);
+        let kelvin = validation.evaluate_kelvin(&model);
+        assert!((kelvin - mse * 400.0 * 400.0).abs() < kelvin.abs() * 1e-4 + 1e-6);
+    }
+
+    #[test]
+    fn perfect_model_scores_zero_on_constant_targets() {
+        // A validation set whose targets are all zero and a model with all-zero
+        // weights: the prediction is exactly zero, so the MSE must be zero.
+        let samples = vec![
+            Sample::new(vec![0.0; 3], vec![0.0; 4], 1, 0),
+            Sample::new(vec![0.5; 3], vec![0.0; 4], 1, 1),
+        ];
+        let validation = ValidationSet::from_samples(samples, 2);
+        let model = Mlp::new(MlpConfig {
+            layer_sizes: vec![3, 4, 4],
+            activation: surrogate_nn::Activation::ReLU,
+            init: surrogate_nn::InitScheme::Zeros,
+            seed: 0,
+        });
+        assert_eq!(validation.evaluate(&model), 0.0);
+    }
+
+    #[test]
+    fn empty_set_evaluates_to_zero() {
+        let validation = ValidationSet::from_samples(Vec::new(), 4);
+        let model = Mlp::new(MlpConfig {
+            layer_sizes: vec![2, 2],
+            activation: surrogate_nn::Activation::ReLU,
+            init: surrogate_nn::InitScheme::HeUniform,
+            seed: 0,
+        });
+        assert!(validation.is_empty());
+        assert_eq!(validation.evaluate(&model), 0.0);
+    }
+}

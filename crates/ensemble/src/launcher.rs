@@ -1,0 +1,307 @@
+//! The launcher: submits, monitors, kills and restarts client jobs.
+//!
+//! §3.1 of the paper: *"The launcher orchestrates and monitors the workflow. It
+//! interacts with the supercomputer batch scheduler to start clients or server
+//! jobs, monitor their progress, kill some of them or restart them in case of
+//! failure."* Here the batch scheduler is the in-process
+//! [`SimulatedScheduler`](crate::scheduler::SimulatedScheduler) and client jobs
+//! are closures executed on a bounded pool of worker threads, one series at a
+//! time, with retries on failure.
+
+use crate::campaign::CampaignPlan;
+use crate::sampler::ParameterSampler;
+use crate::scheduler::{JobState, SchedulerConfig, SimulatedScheduler};
+use heat_solver::{ParameterSpace, SimulationParams};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Configuration of the launcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LauncherConfig {
+    /// How many times a failed client is resubmitted before giving up.
+    pub max_retries: usize,
+    /// Start-up delay applied to every client job (scheduling overhead).
+    pub job_startup_delay: Duration,
+}
+
+impl Default for LauncherConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            job_startup_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// One client job handed to the user-provided execution closure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientJob {
+    /// Ensemble-member identifier (stable across retries).
+    pub client_id: u64,
+    /// Which series of the campaign this client belongs to.
+    pub series: usize,
+    /// 1-based attempt number (> 1 means the client was restarted).
+    pub attempt: usize,
+    /// The sampled simulation parameters of this member.
+    pub parameters: SimulationParams,
+}
+
+/// Outcome of one client execution, as reported by the closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOutcome {
+    /// The client ran to completion.
+    Completed,
+    /// The client failed with a reason.
+    Failed(String),
+}
+
+/// Aggregate report of a campaign execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LauncherReport {
+    /// Clients that eventually completed.
+    pub completed: usize,
+    /// Clients that exhausted their retries and were abandoned.
+    pub failed: usize,
+    /// Number of resubmissions performed.
+    pub retries: usize,
+    /// Wall-clock duration of each series, in seconds.
+    pub series_durations: Vec<f64>,
+    /// Total wall-clock duration of the campaign, in seconds.
+    pub total_duration: f64,
+    /// Peak number of concurrently running clients observed.
+    pub peak_concurrency: usize,
+}
+
+/// The workflow orchestrator.
+pub struct Launcher {
+    config: LauncherConfig,
+}
+
+impl Launcher {
+    /// Creates a launcher.
+    pub fn new(config: LauncherConfig) -> Self {
+        Self { config }
+    }
+
+    /// The launcher configuration.
+    pub fn config(&self) -> &LauncherConfig {
+        &self.config
+    }
+
+    /// Runs a full campaign: every series in order, every client of a series on
+    /// a bounded worker pool, with retries on failure. `client_fn` is invoked
+    /// once per attempt and must return `Ok(())` on success.
+    pub fn run_campaign<F>(&self, plan: &CampaignPlan, client_fn: F) -> LauncherReport
+    where
+        F: Fn(&ClientJob) -> Result<(), String> + Sync,
+    {
+        let campaign_start = Instant::now();
+        let mut sampler = ParameterSampler::new(
+            plan.sampler,
+            ParameterSpace::default(),
+            plan.total_clients(),
+            plan.seed,
+        );
+        // Draw every member's parameters upfront so a retried client reruns the
+        // exact same simulation.
+        let all_params: Vec<SimulationParams> = (0..plan.total_clients())
+            .map(|i| sampler.parameters(i))
+            .collect();
+
+        let mut report = LauncherReport::default();
+        let mut next_client_id: u64 = 0;
+
+        for (series_index, series) in plan.series.iter().enumerate() {
+            if series_index > 0 && !plan.inter_series_delay.is_zero() {
+                std::thread::sleep(plan.inter_series_delay);
+            }
+            let series_start = Instant::now();
+            let scheduler = SimulatedScheduler::new(SchedulerConfig {
+                max_concurrent_jobs: series.max_concurrent.max(1),
+                startup_delay: self.config.job_startup_delay,
+            });
+
+            // Work queue of pending jobs for this series (including retries).
+            let queue: Mutex<VecDeque<ClientJob>> = Mutex::new(
+                (0..series.num_clients)
+                    .map(|k| {
+                        let client_id = next_client_id + k as u64;
+                        ClientJob {
+                            client_id,
+                            series: series_index,
+                            attempt: 1,
+                            parameters: all_params[client_id as usize],
+                        }
+                    })
+                    .collect(),
+            );
+            next_client_id += series.num_clients as u64;
+
+            let counters = Mutex::new((0usize, 0usize, 0usize)); // completed, failed, retries
+            let workers = series.max_concurrent.max(1).min(series.num_clients.max(1));
+            crossbeam::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| loop {
+                        let job = match queue.lock().pop_front() {
+                            Some(job) => job,
+                            None => break,
+                        };
+                        let job_id = scheduler.submit(job.attempt);
+                        scheduler.acquire_slot(job_id);
+                        let outcome = client_fn(&job);
+                        match outcome {
+                            Ok(()) => {
+                                scheduler.release_slot(job_id, JobState::Completed);
+                                counters.lock().0 += 1;
+                            }
+                            Err(_reason) => {
+                                scheduler.release_slot(job_id, JobState::Failed);
+                                if job.attempt <= self.config.max_retries {
+                                    let mut retry = job.clone();
+                                    retry.attempt += 1;
+                                    counters.lock().2 += 1;
+                                    queue.lock().push_back(retry);
+                                } else {
+                                    counters.lock().1 += 1;
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("launcher worker panicked");
+
+            let (completed, failed, retries) = *counters.lock();
+            report.completed += completed;
+            report.failed += failed;
+            report.retries += retries;
+            report.peak_concurrency = report
+                .peak_concurrency
+                .max(scheduler.stats().peak_concurrency);
+            report
+                .series_durations
+                .push(series_start.elapsed().as_secs_f64());
+        }
+
+        report.total_duration = campaign_start.elapsed().as_secs_f64();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignPlan;
+    use parking_lot::Mutex as PlMutex;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_client_of_every_series() {
+        let plan = CampaignPlan::series_of(&[5, 3, 2], 4);
+        let launcher = Launcher::new(LauncherConfig::default());
+        let seen = PlMutex::new(Vec::new());
+        let report = launcher.run_campaign(&plan, |job| {
+            seen.lock().push((job.client_id, job.series));
+            Ok(())
+        });
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.series_durations.len(), 3);
+        let mut ids: Vec<u64> = seen.lock().iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+        // Clients 0..5 belong to series 0, 5..8 to series 1, 8..10 to series 2.
+        for (id, series) in seen.lock().iter() {
+            let expected = if *id < 5 {
+                0
+            } else if *id < 8 {
+                1
+            } else {
+                2
+            };
+            assert_eq!(*series, expected, "client {id}");
+        }
+    }
+
+    #[test]
+    fn concurrency_is_bounded_per_series() {
+        let plan = CampaignPlan::single_series(16, 3);
+        let launcher = Launcher::new(LauncherConfig::default());
+        let in_flight = AtomicUsize::new(0);
+        let max_in_flight = AtomicUsize::new(0);
+        let report = launcher.run_campaign(&plan, |_| {
+            let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            max_in_flight.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(3));
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert_eq!(report.completed, 16);
+        assert!(max_in_flight.load(Ordering::SeqCst) <= 3);
+        assert!(report.peak_concurrency <= 3);
+    }
+
+    #[test]
+    fn failed_clients_are_retried_with_same_parameters() {
+        let plan = CampaignPlan::single_series(4, 2).with_seed(3);
+        let launcher = Launcher::new(LauncherConfig {
+            max_retries: 3,
+            ..LauncherConfig::default()
+        });
+        let attempts: PlMutex<HashMap<u64, Vec<(usize, [f64; 5])>>> = PlMutex::new(HashMap::new());
+        let report = launcher.run_campaign(&plan, |job| {
+            attempts
+                .lock()
+                .entry(job.client_id)
+                .or_default()
+                .push((job.attempt, job.parameters.as_vector()));
+            // Client 2 fails on its first two attempts.
+            if job.client_id == 2 && job.attempt <= 2 {
+                Err("simulated crash".to_string())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.retries, 2);
+        let attempts = attempts.lock();
+        let client2 = &attempts[&2];
+        assert_eq!(client2.len(), 3);
+        // Every retry reruns the exact same parameters.
+        assert!(client2.windows(2).all(|w| w[0].1 == w[1].1));
+    }
+
+    #[test]
+    fn clients_exhausting_retries_are_reported_failed() {
+        let plan = CampaignPlan::single_series(3, 2);
+        let launcher = Launcher::new(LauncherConfig {
+            max_retries: 1,
+            ..LauncherConfig::default()
+        });
+        let report = launcher.run_campaign(&plan, |job| {
+            if job.client_id == 0 {
+                Err("always fails".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.retries, 1);
+    }
+
+    #[test]
+    fn inter_series_delay_is_applied() {
+        let plan = CampaignPlan::series_of(&[1, 1], 1)
+            .with_inter_series_delay(Duration::from_millis(40));
+        let launcher = Launcher::new(LauncherConfig::default());
+        let start = Instant::now();
+        let report = launcher.run_campaign(&plan, |_| Ok(()));
+        assert_eq!(report.completed, 2);
+        assert!(start.elapsed() >= Duration::from_millis(35));
+    }
+}

@@ -1,0 +1,56 @@
+//! # melissa-ensemble
+//!
+//! Ensemble-run management for the Melissa reproduction: everything the paper's
+//! *launcher* does around the training server (§3.1), plus the experimental
+//! design that decides which parameters each ensemble member simulates.
+//!
+//! * [`sampler`] — experimental-design samplers drawing the input parameters
+//!   `X` of each client: Monte Carlo, Latin hypercube and the Halton sequence,
+//!   the three methods the paper's data-aggregator thread supports.
+//! * [`scheduler`] — a simulated batch scheduler (the Slurm/OAR stand-in) with a
+//!   bounded number of concurrent slots, per-job start-up delays, and job
+//!   lifecycle records. The paper's throughput dips at client-series boundaries
+//!   (Figure 2) are caused by exactly this admission behaviour.
+//! * [`launcher`] — orchestrates the workflow: submits client jobs in series,
+//!   monitors them, kills and resubmits failed clients (fault tolerance), and
+//!   supports elastic per-series concurrency.
+//! * [`campaign`] — the description of one ensemble campaign: how many
+//!   simulations, in which series, with which sampler and which solver
+//!   configuration.
+
+pub mod campaign;
+pub mod launcher;
+pub mod sampler;
+pub mod scheduler;
+
+pub use campaign::{CampaignPlan, ClientSeries};
+pub use launcher::{ClientOutcome, Launcher, LauncherConfig, LauncherReport};
+pub use sampler::{
+    ExperimentalDesign, HaltonSampler, LatinHypercubeSampler, MonteCarloSampler, ParameterSampler,
+    SamplerKind,
+};
+pub use scheduler::{JobId, JobRecord, JobState, SchedulerConfig, SchedulerStats, SimulatedScheduler};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn crate_level_campaign_runs() {
+        let plan = CampaignPlan::series_of(&[4, 2], 2);
+        let launcher = Launcher::new(LauncherConfig {
+            max_retries: 1,
+            ..LauncherConfig::default()
+        });
+        let executed = AtomicUsize::new(0);
+        let report = launcher.run_campaign(&plan, |job| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            assert!(job.parameters.within_range(&Default::default()));
+            Ok(())
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 6);
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.failed, 0);
+    }
+}

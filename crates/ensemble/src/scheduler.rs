@@ -1,0 +1,339 @@
+//! A simulated batch scheduler — the Slurm/OAR stand-in.
+//!
+//! The paper's launcher interacts with the supercomputer batch scheduler to
+//! start client and server jobs, monitor them, kill them and restart them in
+//! case of failure (§3.1). On the reproduction machine there is no Slurm, so
+//! this module provides a small in-process scheduler with the properties that
+//! matter to the framework's behaviour:
+//!
+//! * a bounded number of concurrently running jobs (the resource allocation);
+//! * a configurable start-up delay per job (scheduling overhead), which is what
+//!   produces the throughput dips between client series in Figure 2;
+//! * job lifecycle records (submit → start → end, attempts) for reporting.
+
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Identifier of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Submitted, waiting for a free slot.
+    Pending,
+    /// Currently holding a slot.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Finished with an error.
+    Failed,
+    /// Killed by the launcher (e.g. unresponsive client).
+    Killed,
+}
+
+/// Bookkeeping record of one job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job identifier.
+    pub id: JobId,
+    /// Current state.
+    pub state: JobState,
+    /// Time the job was submitted.
+    pub submitted_at: Instant,
+    /// Time the job obtained a slot, if it started.
+    pub started_at: Option<Instant>,
+    /// Time the job released its slot, if it ended.
+    pub ended_at: Option<Instant>,
+    /// How many times this logical job has been (re)submitted.
+    pub attempt: usize,
+}
+
+impl JobRecord {
+    /// Time spent waiting in the queue (so far, or until start).
+    pub fn queue_wait(&self) -> Duration {
+        match self.started_at {
+            Some(start) => start.duration_since(self.submitted_at),
+            None => self.submitted_at.elapsed(),
+        }
+    }
+
+    /// Wall-clock duration of the job, when it has ended.
+    pub fn run_time(&self) -> Option<Duration> {
+        match (self.started_at, self.ended_at) {
+            (Some(s), Some(e)) => Some(e.duration_since(s)),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of the simulated scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Maximum number of jobs running at the same time (the allocation size).
+    pub max_concurrent_jobs: usize,
+    /// Artificial delay between obtaining a slot and actually starting the job,
+    /// emulating batch-scheduler overheads.
+    pub startup_delay: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            max_concurrent_jobs: 8,
+            startup_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Aggregate statistics of a scheduler instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Jobs submitted in total.
+    pub submitted: usize,
+    /// Jobs that completed successfully.
+    pub completed: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Jobs killed by the launcher.
+    pub killed: usize,
+    /// Largest number of jobs observed running at once.
+    pub peak_concurrency: usize,
+}
+
+struct SchedulerInner {
+    running: usize,
+    next_id: u64,
+    records: HashMap<JobId, JobRecord>,
+    stats: SchedulerStats,
+}
+
+/// The in-process batch scheduler.
+pub struct SimulatedScheduler {
+    config: SchedulerConfig,
+    inner: Mutex<SchedulerInner>,
+    slot_freed: Condvar,
+}
+
+impl SimulatedScheduler {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    /// Panics when `max_concurrent_jobs` is zero.
+    pub fn new(config: SchedulerConfig) -> Self {
+        assert!(config.max_concurrent_jobs > 0, "need at least one job slot");
+        Self {
+            config,
+            inner: Mutex::new(SchedulerInner {
+                running: 0,
+                next_id: 0,
+                records: HashMap::new(),
+                stats: SchedulerStats::default(),
+            }),
+            slot_freed: Condvar::new(),
+        }
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Submits a job: registers it as pending and returns its id.
+    pub fn submit(&self, attempt: usize) -> JobId {
+        let mut inner = self.inner.lock();
+        let id = JobId(inner.next_id);
+        inner.next_id += 1;
+        inner.records.insert(
+            id,
+            JobRecord {
+                id,
+                state: JobState::Pending,
+                submitted_at: Instant::now(),
+                started_at: None,
+                ended_at: None,
+                attempt,
+            },
+        );
+        inner.stats.submitted += 1;
+        id
+    }
+
+    /// Blocks until a slot is free, then marks the job running. Applies the
+    /// configured start-up delay before returning.
+    pub fn acquire_slot(&self, id: JobId) {
+        let mut inner = self.inner.lock();
+        while inner.running >= self.config.max_concurrent_jobs {
+            self.slot_freed.wait(&mut inner);
+        }
+        inner.running += 1;
+        let running_now = inner.running;
+        inner.stats.peak_concurrency = inner.stats.peak_concurrency.max(running_now);
+        if let Some(record) = inner.records.get_mut(&id) {
+            record.state = JobState::Running;
+            record.started_at = Some(Instant::now());
+        }
+        drop(inner);
+        if !self.config.startup_delay.is_zero() {
+            std::thread::sleep(self.config.startup_delay);
+        }
+    }
+
+    /// Releases the job's slot with its final state.
+    pub fn release_slot(&self, id: JobId, state: JobState) {
+        let mut inner = self.inner.lock();
+        inner.running = inner.running.saturating_sub(1);
+        match state {
+            JobState::Completed => inner.stats.completed += 1,
+            JobState::Failed => inner.stats.failed += 1,
+            JobState::Killed => inner.stats.killed += 1,
+            _ => {}
+        }
+        if let Some(record) = inner.records.get_mut(&id) {
+            record.state = state;
+            record.ended_at = Some(Instant::now());
+        }
+        drop(inner);
+        self.slot_freed.notify_one();
+    }
+
+    /// Number of jobs currently holding a slot.
+    pub fn running_jobs(&self) -> usize {
+        self.inner.lock().running
+    }
+
+    /// The record of a job, if it exists.
+    pub fn record(&self, id: JobId) -> Option<JobRecord> {
+        self.inner.lock().records.get(&id).cloned()
+    }
+
+    /// All job records (cloned snapshot).
+    pub fn records(&self) -> Vec<JobRecord> {
+        let mut records: Vec<JobRecord> = self.inner.lock().records.values().cloned().collect();
+        records.sort_by_key(|r| r.id);
+        records
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SchedulerStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn submit_acquire_release_lifecycle() {
+        let scheduler = SimulatedScheduler::new(SchedulerConfig::default());
+        let id = scheduler.submit(1);
+        assert_eq!(scheduler.record(id).unwrap().state, JobState::Pending);
+        scheduler.acquire_slot(id);
+        assert_eq!(scheduler.record(id).unwrap().state, JobState::Running);
+        assert_eq!(scheduler.running_jobs(), 1);
+        scheduler.release_slot(id, JobState::Completed);
+        let record = scheduler.record(id).unwrap();
+        assert_eq!(record.state, JobState::Completed);
+        assert!(record.run_time().is_some());
+        assert_eq!(scheduler.running_jobs(), 0);
+        assert_eq!(scheduler.stats().completed, 1);
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_the_allocation() {
+        let scheduler = Arc::new(SimulatedScheduler::new(SchedulerConfig {
+            max_concurrent_jobs: 3,
+            startup_delay: Duration::ZERO,
+        }));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..12 {
+            let scheduler = Arc::clone(&scheduler);
+            let in_flight = Arc::clone(&in_flight);
+            let max_seen = Arc::clone(&max_seen);
+            handles.push(std::thread::spawn(move || {
+                let id = scheduler.submit(1);
+                scheduler.acquire_slot(id);
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                scheduler.release_slot(id, JobState::Completed);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(max_seen.load(Ordering::SeqCst) <= 3);
+        let stats = scheduler.stats();
+        assert_eq!(stats.submitted, 12);
+        assert_eq!(stats.completed, 12);
+        assert!(stats.peak_concurrency <= 3);
+    }
+
+    #[test]
+    fn startup_delay_is_applied() {
+        let scheduler = SimulatedScheduler::new(SchedulerConfig {
+            max_concurrent_jobs: 1,
+            startup_delay: Duration::from_millis(30),
+        });
+        let id = scheduler.submit(1);
+        let start = Instant::now();
+        scheduler.acquire_slot(id);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        scheduler.release_slot(id, JobState::Completed);
+    }
+
+    #[test]
+    fn failed_and_killed_jobs_are_counted() {
+        let scheduler = SimulatedScheduler::new(SchedulerConfig::default());
+        for state in [JobState::Failed, JobState::Killed, JobState::Completed] {
+            let id = scheduler.submit(1);
+            scheduler.acquire_slot(id);
+            scheduler.release_slot(id, state);
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.killed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn queue_wait_is_measured() {
+        let scheduler = Arc::new(SimulatedScheduler::new(SchedulerConfig {
+            max_concurrent_jobs: 1,
+            startup_delay: Duration::ZERO,
+        }));
+        let first = scheduler.submit(1);
+        scheduler.acquire_slot(first);
+        let second = scheduler.submit(1);
+        let waiter = {
+            let scheduler = Arc::clone(&scheduler);
+            std::thread::spawn(move || {
+                scheduler.acquire_slot(second);
+                scheduler.release_slot(second, JobState::Completed);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(25));
+        scheduler.release_slot(first, JobState::Completed);
+        waiter.join().unwrap();
+        let record = scheduler.record(second).unwrap();
+        assert!(record.queue_wait() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job slot")]
+    fn zero_slots_rejected() {
+        let _ = SimulatedScheduler::new(SchedulerConfig {
+            max_concurrent_jobs: 0,
+            startup_delay: Duration::ZERO,
+        });
+    }
+}

@@ -1,0 +1,470 @@
+//! Linear algebra kernels for the implicit time integrators.
+//!
+//! The implicit Euler step of the heat equation requires solving the sparse,
+//! symmetric positive-definite system `(I - α Δt L) u^{n+1} = u^n + α Δt b`
+//! where `L` is the 5-point discrete Laplacian restricted to interior nodes and
+//! `b` gathers the Dirichlet boundary contributions. This module implements the
+//! matrix-free operator, a preconditioner-free [`ConjugateGradient`] solver, a
+//! [`JacobiSolver`] baseline, and the [`ThomasSolver`] (tridiagonal) used by the
+//! ADI scheme.
+
+use crate::grid::Grid2D;
+
+/// Matrix-free application of the implicit heat operator `A = I - α Δt L`.
+///
+/// `L` is the standard 5-point Laplacian with homogeneous Dirichlet conditions
+/// (the inhomogeneous boundary values are moved to the right-hand side).
+#[derive(Debug, Clone, Copy)]
+pub struct HeatOperator {
+    /// Grid the operator is defined on.
+    pub grid: Grid2D,
+    /// Thermal diffusivity `α`.
+    pub alpha: f64,
+    /// Time step `Δt`.
+    pub dt: f64,
+}
+
+impl HeatOperator {
+    /// Creates the operator.
+    pub fn new(grid: Grid2D, alpha: f64, dt: f64) -> Self {
+        Self { grid, alpha, dt }
+    }
+
+    /// `out = A · v`. Both slices must have `grid.len()` entries.
+    pub fn apply(&self, v: &[f64], out: &mut [f64]) {
+        let grid = self.grid;
+        debug_assert_eq!(v.len(), grid.len());
+        debug_assert_eq!(out.len(), grid.len());
+        let nx = grid.nx;
+        let ny = grid.ny;
+        let inv_dx2 = 1.0 / (grid.dx() * grid.dx());
+        let inv_dy2 = 1.0 / (grid.dy() * grid.dy());
+        let c = self.alpha * self.dt;
+        let diag = 1.0 + 2.0 * c * (inv_dx2 + inv_dy2);
+        for j in 0..ny {
+            let row = j * nx;
+            for i in 0..nx {
+                let k = row + i;
+                let mut acc = diag * v[k];
+                if i > 0 {
+                    acc -= c * inv_dx2 * v[k - 1];
+                }
+                if i + 1 < nx {
+                    acc -= c * inv_dx2 * v[k + 1];
+                }
+                if j > 0 {
+                    acc -= c * inv_dy2 * v[k - nx];
+                }
+                if j + 1 < ny {
+                    acc -= c * inv_dy2 * v[k + nx];
+                }
+                out[k] = acc;
+            }
+        }
+    }
+
+    /// Diagonal entry of `A` (constant over the grid), used by Jacobi.
+    pub fn diagonal(&self) -> f64 {
+        let inv_dx2 = 1.0 / (self.grid.dx() * self.grid.dx());
+        let inv_dy2 = 1.0 / (self.grid.dy() * self.grid.dy());
+        1.0 + 2.0 * self.alpha * self.dt * (inv_dx2 + inv_dy2)
+    }
+}
+
+/// Convergence report of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgReport {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual: f64,
+    /// Whether the tolerance was reached before hitting the iteration cap.
+    pub converged: bool,
+}
+
+/// Conjugate-gradient solver for the SPD implicit heat system.
+#[derive(Debug, Clone, Copy)]
+pub struct ConjugateGradient {
+    /// Relative residual tolerance (‖r‖ / ‖b‖).
+    pub tolerance: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for ConjugateGradient {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+impl ConjugateGradient {
+    /// Creates a solver with the given tolerance and iteration cap.
+    pub fn new(tolerance: f64, max_iterations: usize) -> Self {
+        Self {
+            tolerance,
+            max_iterations,
+        }
+    }
+
+    /// Solves `A x = b` in place, starting from the provided `x` (warm start).
+    pub fn solve(&self, op: &HeatOperator, b: &[f64], x: &mut [f64]) -> CgReport {
+        let n = b.len();
+        debug_assert_eq!(x.len(), n);
+        let norm_b = dot(b, b).sqrt();
+        if norm_b == 0.0 {
+            x.iter_mut().for_each(|v| *v = 0.0);
+            return CgReport {
+                iterations: 0,
+                residual: 0.0,
+                converged: true,
+            };
+        }
+        let tol = self.tolerance * norm_b;
+
+        let mut ax = vec![0.0; n];
+        op.apply(x, &mut ax);
+        let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let mut p = r.clone();
+        let mut rs_old = dot(&r, &r);
+        if rs_old.sqrt() <= tol {
+            return CgReport {
+                iterations: 0,
+                residual: rs_old.sqrt(),
+                converged: true,
+            };
+        }
+        let mut ap = vec![0.0; n];
+        for iter in 1..=self.max_iterations {
+            op.apply(&p, &mut ap);
+            let p_ap = dot(&p, &ap);
+            if p_ap == 0.0 {
+                return CgReport {
+                    iterations: iter,
+                    residual: rs_old.sqrt(),
+                    converged: false,
+                };
+            }
+            let alpha = rs_old / p_ap;
+            for k in 0..n {
+                x[k] += alpha * p[k];
+                r[k] -= alpha * ap[k];
+            }
+            let rs_new = dot(&r, &r);
+            if rs_new.sqrt() <= tol {
+                return CgReport {
+                    iterations: iter,
+                    residual: rs_new.sqrt(),
+                    converged: true,
+                };
+            }
+            let beta = rs_new / rs_old;
+            for k in 0..n {
+                p[k] = r[k] + beta * p[k];
+            }
+            rs_old = rs_new;
+        }
+        CgReport {
+            iterations: self.max_iterations,
+            residual: rs_old.sqrt(),
+            converged: false,
+        }
+    }
+}
+
+/// Weighted Jacobi iterative solver — a slower baseline kept for testing the
+/// matrix-free operator and for ablation of the linear-solver choice.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiSolver {
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Maximum number of sweeps.
+    pub max_iterations: usize,
+    /// Damping factor (1.0 = plain Jacobi; 2/3 is a common smoothing choice).
+    pub omega: f64,
+}
+
+impl Default for JacobiSolver {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-8,
+            max_iterations: 50_000,
+            omega: 1.0,
+        }
+    }
+}
+
+impl JacobiSolver {
+    /// Solves `A x = b` in place with damped Jacobi sweeps.
+    pub fn solve(&self, op: &HeatOperator, b: &[f64], x: &mut [f64]) -> CgReport {
+        let n = b.len();
+        let norm_b = dot(b, b).sqrt();
+        if norm_b == 0.0 {
+            x.iter_mut().for_each(|v| *v = 0.0);
+            return CgReport {
+                iterations: 0,
+                residual: 0.0,
+                converged: true,
+            };
+        }
+        let tol = self.tolerance * norm_b;
+        let diag = op.diagonal();
+        let mut ax = vec![0.0; n];
+        for iter in 1..=self.max_iterations {
+            op.apply(x, &mut ax);
+            let mut res2 = 0.0;
+            for k in 0..n {
+                let r = b[k] - ax[k];
+                res2 += r * r;
+                x[k] += self.omega * r / diag;
+            }
+            if res2.sqrt() <= tol {
+                return CgReport {
+                    iterations: iter,
+                    residual: res2.sqrt(),
+                    converged: true,
+                };
+            }
+        }
+        op.apply(x, &mut ax);
+        let res = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt();
+        CgReport {
+            iterations: self.max_iterations,
+            residual: res,
+            converged: false,
+        }
+    }
+}
+
+/// Thomas algorithm for tridiagonal systems, used by the ADI scheme.
+///
+/// Solves a system with constant sub-/super-diagonal `off` and constant
+/// diagonal `diag` (the structure arising from 1D implicit heat steps).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThomasSolver;
+
+impl ThomasSolver {
+    /// Solves the constant-coefficient tridiagonal system in place.
+    ///
+    /// `rhs` holds the right-hand side on input and the solution on output.
+    /// `scratch` must have the same length and is used for the forward sweep.
+    pub fn solve_constant(
+        &self,
+        diag: f64,
+        off: f64,
+        rhs: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        let n = rhs.len();
+        if n == 0 {
+            return;
+        }
+        debug_assert_eq!(scratch.len(), n);
+        // Forward elimination.
+        scratch[0] = off / diag;
+        rhs[0] /= diag;
+        for k in 1..n {
+            let m = diag - off * scratch[k - 1];
+            scratch[k] = off / m;
+            rhs[k] = (rhs[k] - off * rhs[k - 1]) / m;
+        }
+        // Back substitution.
+        for k in (0..n - 1).rev() {
+            rhs[k] -= scratch[k] * rhs[k + 1];
+        }
+    }
+
+    /// Solves a general tridiagonal system `lower/diag/upper` in place.
+    pub fn solve_general(
+        &self,
+        lower: &[f64],
+        diag: &[f64],
+        upper: &[f64],
+        rhs: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        let n = rhs.len();
+        if n == 0 {
+            return;
+        }
+        debug_assert_eq!(lower.len(), n);
+        debug_assert_eq!(diag.len(), n);
+        debug_assert_eq!(upper.len(), n);
+        debug_assert_eq!(scratch.len(), n);
+        scratch[0] = upper[0] / diag[0];
+        rhs[0] /= diag[0];
+        for k in 1..n {
+            let m = diag[k] - lower[k] * scratch[k - 1];
+            scratch[k] = upper[k] / m;
+            rhs[k] = (rhs[k] - lower[k] * rhs[k - 1]) / m;
+        }
+        for k in (0..n - 1).rev() {
+            rhs[k] -= scratch[k] * rhs[k + 1];
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (BLAS axpy).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid2D;
+
+    fn op(n: usize) -> HeatOperator {
+        HeatOperator::new(Grid2D::unit_square(n, n), 1.0, 0.01)
+    }
+
+    #[test]
+    fn operator_is_symmetric() {
+        let op = op(6);
+        let n = op.grid.len();
+        // Check <Av, w> == <v, Aw> for a few random-ish vectors.
+        let v: Vec<f64> = (0..n).map(|k| ((k * 7 + 3) % 11) as f64 - 5.0).collect();
+        let w: Vec<f64> = (0..n).map(|k| ((k * 13 + 1) % 17) as f64 - 8.0).collect();
+        let mut av = vec![0.0; n];
+        let mut aw = vec![0.0; n];
+        op.apply(&v, &mut av);
+        op.apply(&w, &mut aw);
+        assert!((dot(&av, &w) - dot(&v, &aw)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn operator_is_positive_definite_on_samples() {
+        let op = op(5);
+        let n = op.grid.len();
+        for seed in 0..5u64 {
+            let v: Vec<f64> = (0..n)
+                .map(|k| (((k as u64 + seed * 31) * 2654435761) % 1000) as f64 / 500.0 - 1.0)
+                .collect();
+            if v.iter().all(|&x| x == 0.0) {
+                continue;
+            }
+            let mut av = vec![0.0; n];
+            op.apply(&v, &mut av);
+            assert!(dot(&v, &av) > 0.0);
+        }
+    }
+
+    #[test]
+    fn cg_solves_manufactured_system() {
+        let op = op(8);
+        let n = op.grid.len();
+        let x_true: Vec<f64> = (0..n).map(|k| (k as f64 * 0.37).sin()).collect();
+        let mut b = vec![0.0; n];
+        op.apply(&x_true, &mut b);
+        let mut x = vec![0.0; n];
+        let report = ConjugateGradient::default().solve(&op, &b, &mut x);
+        assert!(report.converged, "CG failed: {report:?}");
+        let err: f64 = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "error too large: {err}");
+    }
+
+    #[test]
+    fn cg_zero_rhs_gives_zero_solution() {
+        let op = op(4);
+        let n = op.grid.len();
+        let b = vec![0.0; n];
+        let mut x = vec![1.0; n];
+        let report = ConjugateGradient::default().solve(&op, &b, &mut x);
+        assert!(report.converged);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cg_warm_start_converges_immediately_on_exact_guess() {
+        let op = op(6);
+        let n = op.grid.len();
+        let x_true: Vec<f64> = (0..n).map(|k| k as f64).collect();
+        let mut b = vec![0.0; n];
+        op.apply(&x_true, &mut b);
+        let mut x = x_true.clone();
+        let report = ConjugateGradient::default().solve(&op, &b, &mut x);
+        assert_eq!(report.iterations, 0);
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn jacobi_matches_cg_solution() {
+        let op = op(6);
+        let n = op.grid.len();
+        let b: Vec<f64> = (0..n).map(|k| ((k % 7) as f64) - 3.0).collect();
+        let mut x_cg = vec![0.0; n];
+        let mut x_j = vec![0.0; n];
+        assert!(ConjugateGradient::default().solve(&op, &b, &mut x_cg).converged);
+        assert!(JacobiSolver::default().solve(&op, &b, &mut x_j).converged);
+        for k in 0..n {
+            assert!((x_cg[k] - x_j[k]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn thomas_constant_solves_small_system() {
+        // System: diag 2, off -1, n=3 -> matrix [[2,-1,0],[-1,2,-1],[0,-1,2]]
+        let mut rhs = vec![1.0, 0.0, 1.0];
+        let mut scratch = vec![0.0; 3];
+        ThomasSolver.solve_constant(2.0, -1.0, &mut rhs, &mut scratch);
+        // Exact solution is [1, 1, 1].
+        for v in &rhs {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn thomas_general_matches_constant() {
+        let n = 10;
+        let diag_val = 3.0;
+        let off_val = -0.7;
+        let rhs0: Vec<f64> = (0..n).map(|k| (k as f64 * 0.9).cos()).collect();
+
+        let mut rhs_a = rhs0.clone();
+        let mut scratch = vec![0.0; n];
+        ThomasSolver.solve_constant(diag_val, off_val, &mut rhs_a, &mut scratch);
+
+        let mut rhs_b = rhs0;
+        let lower = vec![off_val; n];
+        let diag = vec![diag_val; n];
+        let upper = vec![off_val; n];
+        let mut scratch_b = vec![0.0; n];
+        ThomasSolver.solve_general(&lower, &diag, &upper, &mut rhs_b, &mut scratch_b);
+
+        for k in 0..n {
+            assert!((rhs_a[k] - rhs_b[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn axpy_and_dot_basics() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        assert_eq!(dot(&x, &x), 14.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Simulation parameters and the sampled parameter space.
+//!
+//! The paper's input vector `X` holds five temperatures: the initial condition
+//! `T_ic` and the four Dirichlet boundary temperatures `(T_x1, T_y1, T_x2, T_y2)`,
+//! each sampled uniformly in `[100, 500]` K. The thermal diffusivity is fixed to
+//! `α = 1 m²/s`, the time step to `Δt = 0.01 s` and the trajectory length to 100
+//! steps. Everything is configurable here so the ensemble can be scaled down.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of sampled input parameters (the dimension of `X` in the paper).
+pub const PARAM_DIM: usize = 5;
+
+/// Default lower bound of the sampled temperature range (Kelvin).
+pub const DEFAULT_T_MIN: f64 = 100.0;
+/// Default upper bound of the sampled temperature range (Kelvin).
+pub const DEFAULT_T_MAX: f64 = 500.0;
+
+/// The five sampled temperatures of one ensemble member.
+///
+/// Order matches the paper: `[T_ic, T_x1, T_y1, T_x2, T_y2]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationParams {
+    /// Initial temperature of the whole domain.
+    pub t_initial: f64,
+    /// Dirichlet temperature on the `x = 0` boundary.
+    pub t_x1: f64,
+    /// Dirichlet temperature on the `y = 0` boundary.
+    pub t_y1: f64,
+    /// Dirichlet temperature on the `x = L` boundary.
+    pub t_x2: f64,
+    /// Dirichlet temperature on the `y = L` boundary.
+    pub t_y2: f64,
+}
+
+impl SimulationParams {
+    /// Builds parameters from the `[T_ic, T_x1, T_y1, T_x2, T_y2]` vector.
+    pub fn new(x: [f64; PARAM_DIM]) -> Self {
+        Self {
+            t_initial: x[0],
+            t_x1: x[1],
+            t_y1: x[2],
+            t_x2: x[3],
+            t_y2: x[4],
+        }
+    }
+
+    /// Returns the parameters as the flat vector `X` used as surrogate input.
+    pub fn as_vector(&self) -> [f64; PARAM_DIM] {
+        [self.t_initial, self.t_x1, self.t_y1, self.t_x2, self.t_y2]
+    }
+
+    /// Returns the parameters as `f32`, the precision used for training inputs.
+    pub fn as_f32_vector(&self) -> [f32; PARAM_DIM] {
+        let v = self.as_vector();
+        [v[0] as f32, v[1] as f32, v[2] as f32, v[3] as f32, v[4] as f32]
+    }
+
+    /// Mean of the four boundary temperatures — the steady-state mean temperature
+    /// the solution converges towards, useful for sanity checks.
+    pub fn boundary_mean(&self) -> f64 {
+        (self.t_x1 + self.t_x2 + self.t_y1 + self.t_y2) / 4.0
+    }
+
+    /// Smallest of the five temperatures.
+    pub fn min_temperature(&self) -> f64 {
+        self.as_vector().into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest of the five temperatures.
+    pub fn max_temperature(&self) -> f64 {
+        self.as_vector()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// True when every temperature lies in the given inclusive range.
+    pub fn within_range(&self, range: &ParamRange) -> bool {
+        self.as_vector()
+            .into_iter()
+            .all(|t| t >= range.min && t <= range.max)
+    }
+}
+
+/// The inclusive range each temperature is sampled from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamRange {
+    /// Lower bound (inclusive).
+    pub min: f64,
+    /// Upper bound (inclusive).
+    pub max: f64,
+}
+
+impl Default for ParamRange {
+    fn default() -> Self {
+        Self {
+            min: DEFAULT_T_MIN,
+            max: DEFAULT_T_MAX,
+        }
+    }
+}
+
+impl ParamRange {
+    /// Creates a range, panicking when `min > max`.
+    pub fn new(min: f64, max: f64) -> Self {
+        assert!(min <= max, "invalid parameter range: {min} > {max}");
+        Self { min, max }
+    }
+
+    /// Width of the range.
+    pub fn span(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Maps a unit-interval coordinate `u ∈ [0, 1]` into the range.
+    pub fn lerp(&self, u: f64) -> f64 {
+        self.min + u.clamp(0.0, 1.0) * self.span()
+    }
+
+    /// Maps a value of the range back to the unit interval.
+    pub fn normalize(&self, value: f64) -> f64 {
+        if self.span() == 0.0 {
+            0.0
+        } else {
+            ((value - self.min) / self.span()).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// The sampled parameter space: one [`ParamRange`] per input dimension.
+///
+/// Experimental-design samplers in `melissa-ensemble` draw unit hypercube points
+/// and map them through this space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSpace {
+    /// Per-dimension ranges, ordered as `[T_ic, T_x1, T_y1, T_x2, T_y2]`.
+    pub ranges: [ParamRange; PARAM_DIM],
+}
+
+impl Default for ParameterSpace {
+    fn default() -> Self {
+        Self {
+            ranges: [ParamRange::default(); PARAM_DIM],
+        }
+    }
+}
+
+impl ParameterSpace {
+    /// A space where every dimension shares the same range.
+    pub fn uniform(range: ParamRange) -> Self {
+        Self {
+            ranges: [range; PARAM_DIM],
+        }
+    }
+
+    /// Maps a unit hypercube point into a [`SimulationParams`].
+    pub fn from_unit(&self, u: [f64; PARAM_DIM]) -> SimulationParams {
+        let mut x = [0.0; PARAM_DIM];
+        for (k, (range, coord)) in self.ranges.iter().zip(u.iter()).enumerate() {
+            x[k] = range.lerp(*coord);
+        }
+        SimulationParams::new(x)
+    }
+
+    /// Maps a parameter vector back to the unit hypercube.
+    pub fn to_unit(&self, params: &SimulationParams) -> [f64; PARAM_DIM] {
+        let x = params.as_vector();
+        let mut u = [0.0; PARAM_DIM];
+        for k in 0..PARAM_DIM {
+            u[k] = self.ranges[k].normalize(x[k]);
+        }
+        u
+    }
+
+    /// True when the parameters lie inside the space.
+    pub fn contains(&self, params: &SimulationParams) -> bool {
+        let x = params.as_vector();
+        self.ranges
+            .iter()
+            .zip(x.iter())
+            .all(|(r, v)| *v >= r.min && *v <= r.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_vector_roundtrip() {
+        let x = [300.0, 150.0, 200.0, 450.0, 100.0];
+        let p = SimulationParams::new(x);
+        assert_eq!(p.as_vector(), x);
+        assert_eq!(p.t_initial, 300.0);
+        assert_eq!(p.t_y2, 100.0);
+    }
+
+    #[test]
+    fn params_boundary_mean_and_extrema() {
+        let p = SimulationParams::new([300.0, 100.0, 200.0, 300.0, 400.0]);
+        assert!((p.boundary_mean() - 250.0).abs() < 1e-12);
+        assert_eq!(p.min_temperature(), 100.0);
+        assert_eq!(p.max_temperature(), 400.0);
+    }
+
+    #[test]
+    fn range_lerp_and_normalize_are_inverse() {
+        let r = ParamRange::new(100.0, 500.0);
+        for &u in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = r.lerp(u);
+            assert!((r.normalize(v) - u).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn range_lerp_clamps() {
+        let r = ParamRange::new(0.0, 10.0);
+        assert_eq!(r.lerp(-1.0), 0.0);
+        assert_eq!(r.lerp(2.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid parameter range")]
+    fn range_rejects_inverted_bounds() {
+        let _ = ParamRange::new(10.0, 0.0);
+    }
+
+    #[test]
+    fn space_unit_mapping_roundtrip() {
+        let space = ParameterSpace::default();
+        let u = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let p = space.from_unit(u);
+        assert!(space.contains(&p));
+        let back = space.to_unit(&p);
+        for k in 0..PARAM_DIM {
+            assert!((back[k] - u[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_space_matches_paper_range() {
+        let space = ParameterSpace::default();
+        let low = space.from_unit([0.0; PARAM_DIM]);
+        let high = space.from_unit([1.0; PARAM_DIM]);
+        assert_eq!(low.min_temperature(), 100.0);
+        assert_eq!(high.max_temperature(), 500.0);
+    }
+
+    #[test]
+    fn params_within_range_detects_outliers() {
+        let r = ParamRange::default();
+        let inside = SimulationParams::new([100.0, 200.0, 300.0, 400.0, 500.0]);
+        let outside = SimulationParams::new([99.0, 200.0, 300.0, 400.0, 500.0]);
+        assert!(inside.within_range(&r));
+        assert!(!outside.within_range(&r));
+    }
+}

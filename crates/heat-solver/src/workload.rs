@@ -1,0 +1,215 @@
+//! Synthetic workload generation for throughput experiments.
+//!
+//! The paper's largest experiment streams 8 TB of solver output through the
+//! framework. Reproducing the *framework* behaviour (buffer dynamics, throughput
+//! balance, scheduler effects) does not require paying the full solver cost for
+//! every sample, so this module provides a [`SyntheticWorkload`] that can emit
+//! time steps either from the real solver ([`WorkloadKind::Solver`]) or from a
+//! cheap closed-form approximation ([`WorkloadKind::Analytic`]) with an optional
+//! per-step artificial compute delay to emulate a given solver cost.
+
+use crate::analytic::approximate_transient;
+use crate::boundary::BoundaryConditions;
+use crate::params::SimulationParams;
+use crate::solver::{HeatSolver, SolverConfig, SolverError, TimeStepField};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How the workload produces its time steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum WorkloadKind {
+    /// Run the actual finite-difference solver (accurate, slower).
+    #[default]
+    Solver,
+    /// Evaluate a closed-form approximation of the solution (fast; preserves the
+    /// data shape, sizes and parameter dependence needed by framework studies).
+    Analytic,
+}
+
+/// A generator of solver-shaped time-step streams.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    /// Solver configuration (grid, steps, Δt, …).
+    pub config: SolverConfig,
+    /// Data source.
+    pub kind: WorkloadKind,
+    /// Optional artificial per-step compute time, emulating a more expensive
+    /// solver or slower hardware; applied by [`SyntheticWorkload::generate`].
+    pub step_delay: Duration,
+}
+
+impl SyntheticWorkload {
+    /// Creates a workload backed by the real solver.
+    pub fn solver(config: SolverConfig) -> Self {
+        Self {
+            config,
+            kind: WorkloadKind::Solver,
+            step_delay: Duration::ZERO,
+        }
+    }
+
+    /// Creates a workload backed by the closed-form approximation.
+    pub fn analytic(config: SolverConfig) -> Self {
+        Self {
+            config,
+            kind: WorkloadKind::Analytic,
+            step_delay: Duration::ZERO,
+        }
+    }
+
+    /// Sets the artificial per-step delay.
+    pub fn with_step_delay(mut self, delay: Duration) -> Self {
+        self.step_delay = delay;
+        self
+    }
+
+    /// Generates the full trajectory for one parameter draw, invoking `sink`
+    /// for every produced step (in time order).
+    pub fn generate(
+        &self,
+        params: SimulationParams,
+        mut sink: impl FnMut(TimeStepField),
+    ) -> Result<(), SolverError> {
+        match self.kind {
+            WorkloadKind::Solver => {
+                let solver = HeatSolver::new(self.config, params)?;
+                for step in solver.run()? {
+                    if !self.step_delay.is_zero() {
+                        std::thread::sleep(self.step_delay);
+                    }
+                    sink(step);
+                }
+                Ok(())
+            }
+            WorkloadKind::Analytic => {
+                self.config.validate()?;
+                for step in 0..self.config.steps {
+                    if !self.step_delay.is_zero() {
+                        std::thread::sleep(self.step_delay);
+                    }
+                    sink(self.analytic_step(params, step));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Generates and collects the full trajectory.
+    pub fn trajectory(
+        &self,
+        params: SimulationParams,
+    ) -> Result<Vec<TimeStepField>, SolverError> {
+        let mut out = Vec::with_capacity(self.config.steps);
+        self.generate(params, |s| out.push(s))?;
+        Ok(out)
+    }
+
+    /// One closed-form step.
+    fn analytic_step(&self, params: SimulationParams, step: usize) -> TimeStepField {
+        let grid = self.config.grid();
+        let bc = BoundaryConditions::from_params(&params);
+        let time = (step as f64 + 1.0) * self.config.dt;
+        let mut values = Vec::with_capacity(grid.len());
+        for j in 0..grid.ny {
+            for i in 0..grid.nx {
+                let (x, y) = grid.coords(i, j);
+                values.push(approximate_transient(
+                    grid,
+                    &bc,
+                    params.t_initial,
+                    self.config.alpha,
+                    time,
+                    x,
+                    y,
+                ) as f32);
+            }
+        }
+        TimeStepField {
+            step,
+            time,
+            params,
+            nx: self.config.nx,
+            ny: self.config.ny,
+            values,
+        }
+    }
+
+    /// Total number of bytes one trajectory of this workload produces.
+    pub fn trajectory_bytes(&self) -> usize {
+        self.config.trajectory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SolverConfig {
+        SolverConfig {
+            nx: 8,
+            ny: 8,
+            steps: 6,
+            ..SolverConfig::default()
+        }
+    }
+
+    fn params() -> SimulationParams {
+        SimulationParams::new([400.0, 150.0, 200.0, 250.0, 300.0])
+    }
+
+    #[test]
+    fn analytic_workload_produces_full_trajectory() {
+        let w = SyntheticWorkload::analytic(config());
+        let steps = w.trajectory(params()).unwrap();
+        assert_eq!(steps.len(), 6);
+        for (k, s) in steps.iter().enumerate() {
+            assert_eq!(s.step, k);
+            assert_eq!(s.values.len(), 64);
+            assert!(s.values.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn analytic_values_stay_in_physical_range() {
+        let w = SyntheticWorkload::analytic(config());
+        let steps = w.trajectory(params()).unwrap();
+        for s in steps {
+            for &v in &s.values {
+                assert!(v >= 100.0 && v <= 500.0, "value {v} escapes sampled range");
+            }
+        }
+    }
+
+    #[test]
+    fn solver_and_analytic_agree_qualitatively_late_in_time() {
+        // Late in the trajectory both converge towards a boundary-driven field.
+        let mut cfg = config();
+        cfg.steps = 200;
+        cfg.dt = 0.01;
+        let analytic = SyntheticWorkload::analytic(cfg);
+        let solver = SyntheticWorkload::solver(cfg);
+        let p = params();
+        let a = analytic.trajectory(p).unwrap();
+        let s = solver.trajectory(p).unwrap();
+        let last_a = a.last().unwrap();
+        let last_s = s.last().unwrap();
+        let mean_a: f32 = last_a.values.iter().sum::<f32>() / last_a.values.len() as f32;
+        let mean_s: f32 = last_s.values.iter().sum::<f32>() / last_s.values.len() as f32;
+        // Both should sit near the boundary mean (225 K), far from the IC (400 K).
+        assert!((mean_a - mean_s).abs() < 30.0, "means {mean_a} vs {mean_s}");
+    }
+
+    #[test]
+    fn workload_reports_trajectory_bytes() {
+        let w = SyntheticWorkload::analytic(config());
+        assert_eq!(w.trajectory_bytes(), 8 * 8 * 4 * 6);
+    }
+
+    #[test]
+    fn generate_respects_sink_ordering() {
+        let w = SyntheticWorkload::analytic(config());
+        let mut seen = Vec::new();
+        w.generate(params(), |s| seen.push(s.step)).unwrap();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

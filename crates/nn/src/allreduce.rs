@@ -1,0 +1,157 @@
+//! Gradient all-reduce for data-distributed parallel training.
+//!
+//! The paper's training server runs one model replica per GPU; after each batch
+//! backpropagation the locally computed gradients are all-reduced between all
+//! processes and applied to each local copy so the replicas stay identical
+//! (§3.1). [`GradientSynchronizer`] reproduces this with a barrier-protected
+//! shared accumulation buffer: every rank contributes its gradient vector,
+//! receives the mean, and all ranks proceed in lock-step — exactly the
+//! synchronous data-parallel semantics of PyTorch DDP / Horovod.
+
+use parking_lot::Mutex;
+use std::sync::Barrier;
+
+/// Synchronous mean all-reduce over `num_ranks` participating training threads.
+pub struct GradientSynchronizer {
+    num_ranks: usize,
+    barrier: Barrier,
+    accumulator: Mutex<Vec<f32>>,
+}
+
+impl GradientSynchronizer {
+    /// Creates a synchronizer for `num_ranks` ranks and `param_count` parameters.
+    pub fn new(num_ranks: usize, param_count: usize) -> Self {
+        assert!(num_ranks > 0, "need at least one rank");
+        Self {
+            num_ranks,
+            barrier: Barrier::new(num_ranks),
+            accumulator: Mutex::new(vec![0.0; param_count]),
+        }
+    }
+
+    /// Number of participating ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// All-reduces `grads` in place: on return every rank holds the element-wise
+    /// mean of all contributed gradient vectors.
+    ///
+    /// Every rank must call this once per training step, with equal-length
+    /// vectors, or the collective deadlocks (as MPI would).
+    ///
+    /// # Panics
+    /// Panics when `grads.len()` differs from the configured parameter count.
+    pub fn all_reduce_mean(&self, grads: &mut [f32]) {
+        {
+            let mut acc = self.accumulator.lock();
+            assert_eq!(acc.len(), grads.len(), "gradient length mismatch");
+            for (a, g) in acc.iter_mut().zip(grads.iter()) {
+                *a += g;
+            }
+        }
+        // Phase 1: all contributions are in.
+        self.barrier.wait();
+        {
+            let acc = self.accumulator.lock();
+            let scale = 1.0 / self.num_ranks as f32;
+            for (g, a) in grads.iter_mut().zip(acc.iter()) {
+                *g = a * scale;
+            }
+        }
+        // Phase 2: all ranks have read; the leader resets the buffer.
+        if self.barrier.wait().is_leader() {
+            self.accumulator.lock().iter_mut().for_each(|a| *a = 0.0);
+        }
+        // Phase 3: reset is visible before anyone contributes again.
+        self.barrier.wait();
+    }
+
+    /// Barrier without a reduction (used to align replicas at epoch boundaries).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_rank_mean_is_identity() {
+        let sync = GradientSynchronizer::new(1, 4);
+        let mut grads = vec![1.0, -2.0, 3.0, 0.5];
+        sync.all_reduce_mean(&mut grads);
+        assert_eq!(grads, vec![1.0, -2.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn mean_across_four_ranks() {
+        let sync = Arc::new(GradientSynchronizer::new(4, 3));
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for rank in 0..4 {
+            let sync = Arc::clone(&sync);
+            let results = Arc::clone(&results);
+            handles.push(std::thread::spawn(move || {
+                let mut grads = vec![rank as f32; 3];
+                sync.all_reduce_mean(&mut grads);
+                results.lock().push(grads);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let results = results.lock();
+        assert_eq!(results.len(), 4);
+        for r in results.iter() {
+            // Mean of 0, 1, 2, 3 is 1.5.
+            assert_eq!(r, &vec![1.5, 1.5, 1.5]);
+        }
+    }
+
+    #[test]
+    fn consecutive_reductions_do_not_leak_state() {
+        let sync = Arc::new(GradientSynchronizer::new(2, 2));
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for rank in 0..2 {
+            let sync = Arc::clone(&sync);
+            let results = Arc::clone(&results);
+            handles.push(std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for round in 0..5 {
+                    let mut grads = vec![(rank + round) as f32; 2];
+                    sync.all_reduce_mean(&mut grads);
+                    out.push(grads[0]);
+                }
+                results.lock().push(out);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let results = results.lock();
+        // Round r: mean of r and r+1 is r + 0.5.
+        for per_rank in results.iter() {
+            for (round, v) in per_rank.iter().enumerate() {
+                assert_eq!(*v, round as f32 + 0.5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length mismatch")]
+    fn rejects_wrong_length() {
+        let sync = GradientSynchronizer::new(1, 4);
+        let mut grads = vec![0.0; 3];
+        sync.all_reduce_mean(&mut grads);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one rank")]
+    fn rejects_zero_ranks() {
+        let _ = GradientSynchronizer::new(0, 4);
+    }
+}

@@ -1,0 +1,209 @@
+//! Training samples, datasets and batch assembly.
+//!
+//! One sample is the pair `((X, t), u_X^t)`: the six-dimensional surrogate input
+//! (five sampled temperatures plus the requested time) and the flattened
+//! temperature field at that time. Batches stack samples into the matrices the
+//! MLP consumes.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One training sample: input vector and target vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Surrogate input `(X, t)`.
+    pub input: Vec<f32>,
+    /// Target field values.
+    pub target: Vec<f32>,
+    /// Identifier of the simulation (ensemble member) this sample came from.
+    pub simulation_id: u64,
+    /// Time-step index inside the simulation.
+    pub step: usize,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub fn new(input: Vec<f32>, target: Vec<f32>, simulation_id: u64, step: usize) -> Self {
+        Self {
+            input,
+            target,
+            simulation_id,
+            step,
+        }
+    }
+
+    /// A globally unique key identifying this sample inside an experiment.
+    pub fn key(&self) -> (u64, usize) {
+        (self.simulation_id, self.step)
+    }
+
+    /// Size of the sample payload in bytes (inputs + targets).
+    pub fn payload_bytes(&self) -> usize {
+        (self.input.len() + self.target.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// A batch of samples assembled into input/target matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Stacked inputs, shape `batch_size × input_dim`.
+    pub inputs: Matrix,
+    /// Stacked targets, shape `batch_size × output_dim`.
+    pub targets: Matrix,
+    /// Keys of the samples in the batch (used for occurrence accounting).
+    pub keys: Vec<(u64, usize)>,
+}
+
+impl Batch {
+    /// Assembles a batch from samples.
+    ///
+    /// # Panics
+    /// Panics when `samples` is empty or the samples have inconsistent sizes.
+    pub fn from_samples(samples: &[&Sample]) -> Self {
+        assert!(!samples.is_empty(), "cannot build an empty batch");
+        let input_dim = samples[0].input.len();
+        let output_dim = samples[0].target.len();
+        let mut inputs = Vec::with_capacity(samples.len() * input_dim);
+        let mut targets = Vec::with_capacity(samples.len() * output_dim);
+        let mut keys = Vec::with_capacity(samples.len());
+        for s in samples {
+            assert_eq!(s.input.len(), input_dim, "inconsistent input size");
+            assert_eq!(s.target.len(), output_dim, "inconsistent target size");
+            inputs.extend_from_slice(&s.input);
+            targets.extend_from_slice(&s.target);
+            keys.push(s.key());
+        }
+        Self {
+            inputs: Matrix::from_vec(samples.len(), input_dim, inputs),
+            targets: Matrix::from_vec(samples.len(), output_dim, targets),
+            keys,
+        }
+    }
+
+    /// Assembles a batch from owned samples.
+    pub fn from_owned(samples: &[Sample]) -> Self {
+        let refs: Vec<&Sample> = samples.iter().collect();
+        Self::from_samples(&refs)
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.inputs.rows()
+    }
+
+    /// True when the batch holds no samples (never produced by the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.rows() == 0
+    }
+}
+
+/// An in-memory dataset of samples, as used by offline training.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dataset from samples.
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        Self { samples }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Sample at an index.
+    pub fn get(&self, index: usize) -> &Sample {
+        &self.samples[index]
+    }
+
+    /// Total payload size in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.samples.iter().map(|s| s.payload_bytes()).sum()
+    }
+
+    /// Builds the batch made of the samples at `indices`.
+    pub fn batch(&self, indices: &[usize]) -> Batch {
+        let refs: Vec<&Sample> = indices.iter().map(|&i| &self.samples[i]).collect();
+        Batch::from_samples(&refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64, step: usize) -> Sample {
+        Sample::new(vec![id as f32, step as f32], vec![1.0, 2.0, 3.0], id, step)
+    }
+
+    #[test]
+    fn sample_key_and_bytes() {
+        let s = sample(7, 3);
+        assert_eq!(s.key(), (7, 3));
+        assert_eq!(s.payload_bytes(), 5 * 4);
+    }
+
+    #[test]
+    fn batch_from_samples_stacks_rows() {
+        let a = sample(1, 0);
+        let b = sample(2, 5);
+        let batch = Batch::from_samples(&[&a, &b]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.inputs.rows(), 2);
+        assert_eq!(batch.inputs.cols(), 2);
+        assert_eq!(batch.targets.cols(), 3);
+        assert_eq!(batch.keys, vec![(1, 0), (2, 5)]);
+        assert_eq!(batch.inputs.row(1), &[2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot build an empty batch")]
+    fn empty_batch_is_rejected() {
+        let _ = Batch::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent target size")]
+    fn inconsistent_samples_are_rejected() {
+        let a = sample(1, 0);
+        let mut b = sample(2, 0);
+        b.target.push(4.0);
+        let _ = Batch::from_samples(&[&a, &b]);
+    }
+
+    #[test]
+    fn dataset_accumulates_and_batches() {
+        let mut ds = Dataset::new();
+        for k in 0..10 {
+            ds.push(sample(k, k as usize));
+        }
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.payload_bytes(), 10 * 5 * 4);
+        let batch = ds.batch(&[0, 5, 9]);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.keys[1], (5, 5));
+    }
+}

@@ -1,0 +1,87 @@
+//! # surrogate-nn
+//!
+//! A from-scratch dense neural-network library providing the deep-learning
+//! substrate of the SC'23 Melissa reproduction (see `DESIGN.md`): the paper
+//! trains a fully connected surrogate (6 → 256 → 256 → H·W, ReLU, Adam,
+//! halve-the-learning-rate schedule) with PyTorch's distributed data parallelism
+//! across GPUs. Here the same architecture family is implemented directly:
+//!
+//! * [`Matrix`] — a minimal dense 2D tensor with the matmul/transpose kernels
+//!   needed by fully connected layers.
+//! * [`Mlp`] — a multilayer perceptron with ReLU/Tanh/Identity activations,
+//!   seeded initialisation, forward/backward passes and flattened parameter and
+//!   gradient views (convenient for optimizers and all-reduce).
+//! * [`MseLoss`] / [`Loss`] — losses producing both the scalar value and the
+//!   gradient with respect to the network output.
+//! * [`Adam`] / [`Sgd`] — optimizers operating on the flattened parameters.
+//! * [`LrSchedule`] — the paper's "halve every N batches with a floor" schedule
+//!   plus constant and sample-based variants (§4.5 scales the schedule with the
+//!   number of GPUs so the decay happens per-sample, not per-batch).
+//! * [`GradientSynchronizer`] — the data-parallel all-reduce used by the
+//!   training server replicas (each worker thread plays the role of one GPU).
+//! * [`InputNormalizer`]/[`OutputNormalizer`] — normalisation for the heat workload.
+//!
+//! Everything is deterministic under a fixed seed, matching the paper's remark
+//! that all stochastic components are seeded for reproducibility.
+
+pub mod allreduce;
+pub mod data;
+pub mod init;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod normalize;
+pub mod optim;
+pub mod schedule;
+pub mod serialize;
+
+pub use allreduce::GradientSynchronizer;
+pub use data::{Batch, Dataset, Sample};
+pub use init::{InitScheme, WeightInit};
+pub use loss::{Loss, MaeLoss, MseLoss};
+pub use matrix::Matrix;
+pub use mlp::{Activation, Mlp, MlpConfig};
+pub use normalize::{InputNormalizer, OutputNormalizer};
+pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
+pub use schedule::{ConstantLr, LrSchedule, SampleBasedHalving, StepHalving};
+pub use serialize::{load_mlp, save_mlp, ModelCheckpoint};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_training_smoke() {
+        // Train y = 2x + 1 on a tiny MLP and check the loss decreases.
+        let config = MlpConfig {
+            layer_sizes: vec![1, 8, 1],
+            activation: Activation::Tanh,
+            init: InitScheme::XavierUniform,
+            seed: 7,
+        };
+        let mut model = Mlp::new(config);
+        let mut optim = Adam::new(AdamConfig::default(), model.param_count());
+        let loss_fn = MseLoss;
+
+        let xs: Vec<f32> = (0..32).map(|k| k as f32 / 32.0).collect();
+        let inputs = Matrix::from_rows(&xs.iter().map(|&x| vec![x]).collect::<Vec<_>>());
+        let targets =
+            Matrix::from_rows(&xs.iter().map(|&x| vec![2.0 * x + 1.0]).collect::<Vec<_>>());
+
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..300 {
+            let pred = model.forward(&inputs);
+            let (loss, grad) = loss_fn.evaluate(&pred, &targets);
+            model.zero_grads();
+            model.backward(&grad);
+            let grads = model.grads_flat();
+            optim.step(&mut model, &grads, 1e-2);
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.05, "loss {last} vs {:?}", first);
+    }
+}

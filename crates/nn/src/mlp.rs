@@ -1,0 +1,547 @@
+//! The multilayer-perceptron surrogate.
+//!
+//! The paper's surrogate is a fully connected network: an input layer of 6
+//! neurons (the five sampled temperatures plus the requested time), two hidden
+//! layers of 256 neurons with ReLU activations, and a linear output layer of
+//! one neuron per grid node. [`MlpConfig::paper_architecture`] builds exactly
+//! that shape for a given output size; tests use much smaller variants.
+
+use crate::init::{InitScheme, WeightInit};
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// Rectified linear unit (the paper's choice for hidden layers).
+    #[default]
+    ReLU,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (used for the output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::ReLU => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative with respect to the pre-activation value.
+    #[inline]
+    pub fn derivative(&self, x: f32) -> f32 {
+        match self {
+            Activation::ReLU => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One fully connected layer with its activation and gradient buffers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DenseLayer {
+    /// Weight matrix, shape `fan_in × fan_out`.
+    pub weights: Matrix,
+    /// Bias vector, length `fan_out`.
+    pub biases: Vec<f32>,
+    /// Activation applied after the affine map.
+    pub activation: Activation,
+    /// Gradient of the loss with respect to `weights` (accumulated).
+    #[serde(skip)]
+    pub grad_weights: Option<Matrix>,
+    /// Gradient of the loss with respect to `biases` (accumulated).
+    #[serde(skip)]
+    pub grad_biases: Vec<f32>,
+    /// Cached input of the last forward pass (needed by backward).
+    #[serde(skip)]
+    input_cache: Option<Matrix>,
+    /// Cached pre-activation of the last forward pass.
+    #[serde(skip)]
+    preact_cache: Option<Matrix>,
+}
+
+impl DenseLayer {
+    /// Creates a layer with the given initialiser.
+    pub fn new(fan_in: usize, fan_out: usize, activation: Activation, init: &mut WeightInit) -> Self {
+        Self {
+            weights: Matrix::from_vec(fan_in, fan_out, init.weights(fan_in, fan_out)),
+            biases: init.biases(fan_out),
+            activation,
+            grad_weights: None,
+            grad_biases: vec![0.0; fan_out],
+            input_cache: None,
+            preact_cache: None,
+        }
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.data().len() + self.biases.len()
+    }
+
+    /// Forward pass: `act(x · W + b)`.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut pre = input.matmul(&self.weights);
+        pre.add_row_broadcast(&self.biases);
+        let activation = self.activation;
+        let out = pre.map(|v| activation.apply(v));
+        self.input_cache = Some(input.clone());
+        self.preact_cache = Some(pre);
+        out
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut pre = input.matmul(&self.weights);
+        pre.add_row_broadcast(&self.biases);
+        let activation = self.activation;
+        pre.map(|v| activation.apply(v))
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the gradient
+    /// with respect to the layer input.
+    ///
+    /// # Panics
+    /// Panics when called before `forward`.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .input_cache
+            .as_ref()
+            .expect("backward called before forward");
+        let pre = self
+            .preact_cache
+            .as_ref()
+            .expect("backward called before forward");
+        // grad_pre = grad_output ⊙ act'(pre)
+        let activation = self.activation;
+        let mut grad_pre = pre.map(|v| activation.derivative(v));
+        grad_pre.hadamard_assign(grad_output);
+
+        // Parameter gradients (accumulated across backward calls until zeroed).
+        let gw = input.transpose_matmul(&grad_pre);
+        match &mut self.grad_weights {
+            Some(acc) => {
+                for (a, g) in acc.data_mut().iter_mut().zip(gw.data()) {
+                    *a += g;
+                }
+            }
+            None => self.grad_weights = Some(gw),
+        }
+        for (b, g) in self.grad_biases.iter_mut().zip(grad_pre.column_sums()) {
+            *b += g;
+        }
+
+        // Gradient w.r.t. the input: grad_pre · Wᵀ.
+        grad_pre.matmul_transpose(&self.weights)
+    }
+
+    /// Clears accumulated gradients and cached activations.
+    pub fn zero_grads(&mut self) {
+        self.grad_weights = None;
+        self.grad_biases.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// Configuration of an [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Layer widths, including input and output (e.g. `[6, 256, 256, 1024]`).
+    pub layer_sizes: Vec<usize>,
+    /// Hidden-layer activation (the output layer is always linear).
+    pub activation: Activation,
+    /// Weight-initialisation scheme.
+    pub init: InitScheme,
+    /// Seed for the initialisation (the paper seeds all stochastic components).
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// The paper's architecture: `6 → 256 → 256 → output_size`, ReLU hidden layers.
+    pub fn paper_architecture(output_size: usize, seed: u64) -> Self {
+        Self {
+            layer_sizes: vec![6, 256, 256, output_size],
+            activation: Activation::ReLU,
+            init: InitScheme::HeUniform,
+            seed,
+        }
+    }
+
+    /// A scaled-down variant of the paper's architecture for tests/benches.
+    pub fn small(input_size: usize, hidden: usize, output_size: usize, seed: u64) -> Self {
+        Self {
+            layer_sizes: vec![input_size, hidden, hidden, output_size],
+            activation: Activation::ReLU,
+            init: InitScheme::HeUniform,
+            seed,
+        }
+    }
+}
+
+/// A multilayer perceptron with flattened parameter/gradient access.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Builds the network described by `config`.
+    ///
+    /// # Panics
+    /// Panics when fewer than two layer sizes are given.
+    pub fn new(config: MlpConfig) -> Self {
+        assert!(
+            config.layer_sizes.len() >= 2,
+            "an MLP needs at least an input and an output size"
+        );
+        let mut init = WeightInit::new(config.init, config.seed);
+        let n = config.layer_sizes.len() - 1;
+        let mut layers = Vec::with_capacity(n);
+        for k in 0..n {
+            let activation = if k + 1 == n {
+                Activation::Identity
+            } else {
+                config.activation
+            };
+            layers.push(DenseLayer::new(
+                config.layer_sizes[k],
+                config.layer_sizes[k + 1],
+                activation,
+                &mut init,
+            ));
+        }
+        Self { config, layers }
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Input dimension.
+    pub fn input_size(&self) -> usize {
+        self.config.layer_sizes[0]
+    }
+
+    /// Output dimension.
+    pub fn output_size(&self) -> usize {
+        *self.config.layer_sizes.last().unwrap()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Forward pass with caching (training).
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn predict(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Backward pass from the loss gradient with respect to the network output.
+    /// Accumulates parameter gradients; returns the gradient w.r.t. the input.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Flattened copy of all parameters (layer order: weights then biases).
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.weights.data());
+            out.extend_from_slice(&layer.biases);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flattened vector.
+    ///
+    /// # Panics
+    /// Panics when the length does not match [`Mlp::param_count`].
+    pub fn set_params_flat(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.param_count(), "parameter length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let w_len = layer.weights.data().len();
+            layer
+                .weights
+                .data_mut()
+                .copy_from_slice(&params[offset..offset + w_len]);
+            offset += w_len;
+            let b_len = layer.biases.len();
+            layer.biases.copy_from_slice(&params[offset..offset + b_len]);
+            offset += b_len;
+        }
+    }
+
+    /// Flattened copy of the accumulated gradients (zeros where no gradient was
+    /// accumulated yet), in the same order as [`Mlp::params_flat`].
+    pub fn grads_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            match &layer.grad_weights {
+                Some(g) => out.extend_from_slice(g.data()),
+                None => out.extend(std::iter::repeat(0.0).take(layer.weights.data().len())),
+            }
+            out.extend_from_slice(&layer.grad_biases);
+        }
+        out
+    }
+
+    /// Adds `delta` to every parameter (the optimizer computes the delta).
+    ///
+    /// # Panics
+    /// Panics when the length does not match [`Mlp::param_count`].
+    pub fn apply_delta(&mut self, delta: &[f32]) {
+        assert_eq!(delta.len(), self.param_count(), "delta length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let w = layer.weights.data_mut();
+            for v in w.iter_mut() {
+                *v += delta[offset];
+                offset += 1;
+            }
+            for b in layer.biases.iter_mut() {
+                *b += delta[offset];
+                offset += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_mlp(seed: u64) -> Mlp {
+        Mlp::new(MlpConfig {
+            layer_sizes: vec![3, 5, 2],
+            activation: Activation::ReLU,
+            init: InitScheme::HeUniform,
+            seed,
+        })
+    }
+
+    #[test]
+    fn activation_values_and_derivatives() {
+        assert_eq!(Activation::ReLU.apply(-1.0), 0.0);
+        assert_eq!(Activation::ReLU.apply(2.0), 2.0);
+        assert_eq!(Activation::ReLU.derivative(-1.0), 0.0);
+        assert_eq!(Activation::ReLU.derivative(1.0), 1.0);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-7);
+        assert!((Activation::Tanh.derivative(0.0) - 1.0).abs() < 1e-7);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-7);
+        assert!((Activation::Sigmoid.derivative(0.0) - 0.25).abs() < 1e-7);
+        assert_eq!(Activation::Identity.apply(3.5), 3.5);
+        assert_eq!(Activation::Identity.derivative(3.5), 1.0);
+    }
+
+    #[test]
+    fn paper_architecture_shape_and_size() {
+        let config = MlpConfig::paper_architecture(1_000_000, 0);
+        assert_eq!(config.layer_sizes, vec![6, 256, 256, 1_000_000]);
+        // The paper quotes ~514M parameters for the 1M-output network.
+        let params: usize = config
+            .layer_sizes
+            .windows(2)
+            .map(|w| w[0] * w[1] + w[1])
+            .sum();
+        assert!(
+            (200_000_000..600_000_000).contains(&params),
+            "param count {params}"
+        );
+    }
+
+    #[test]
+    fn forward_output_shape() {
+        let mut mlp = tiny_mlp(1);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, -1.0, 0.5]]);
+        let y = mlp.forward(&x);
+        assert_eq!(y.rows(), 2);
+        assert_eq!(y.cols(), 2);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn predict_matches_forward() {
+        let mut mlp = tiny_mlp(2);
+        let x = Matrix::from_rows(&[vec![0.3, -0.2, 0.9]]);
+        let y1 = mlp.forward(&x);
+        let y2 = mlp.predict(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_models() {
+        let a = tiny_mlp(9);
+        let b = tiny_mlp(9);
+        assert_eq!(a.params_flat(), b.params_flat());
+        let c = tiny_mlp(10);
+        assert_ne!(a.params_flat(), c.params_flat());
+    }
+
+    #[test]
+    fn params_flat_roundtrip() {
+        let mut mlp = tiny_mlp(3);
+        let params = mlp.params_flat();
+        assert_eq!(params.len(), mlp.param_count());
+        let mut modified = params.clone();
+        modified[0] += 1.0;
+        mlp.set_params_flat(&modified);
+        assert_eq!(mlp.params_flat(), modified);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        // Finite-difference check of the analytic gradient on a tiny tanh MLP.
+        let mut mlp = Mlp::new(MlpConfig {
+            layer_sizes: vec![2, 4, 1],
+            activation: Activation::Tanh,
+            init: InitScheme::XavierUniform,
+            seed: 11,
+        });
+        let x = Matrix::from_rows(&[vec![0.5, -0.3], vec![0.1, 0.9]]);
+        let target = Matrix::from_rows(&[vec![0.2], vec![-0.4]]);
+
+        // Loss = mean squared error; gradient w.r.t. output = 2 (pred - target) / N.
+        let loss_of = |model: &Mlp| -> f32 {
+            let pred = model.predict(&x);
+            pred.sub(&target).mean_square()
+        };
+
+        let pred = mlp.forward(&x);
+        let n = (pred.rows() * pred.cols()) as f32;
+        let mut grad_out = pred.sub(&target);
+        grad_out.scale_assign(2.0 / n);
+        mlp.zero_grads();
+        mlp.backward(&grad_out);
+        let analytic = mlp.grads_flat();
+
+        let params = mlp.params_flat();
+        let eps = 1e-3f32;
+        // Spot check a handful of parameters across all layers.
+        for &idx in &[0usize, 3, 7, params.len() / 2, params.len() - 1] {
+            let mut plus = params.clone();
+            plus[idx] += eps;
+            let mut minus = params.clone();
+            minus[idx] -= eps;
+            let mut m_plus = mlp.clone();
+            m_plus.set_params_flat(&plus);
+            let mut m_minus = mlp.clone();
+            m_minus.set_params_flat(&minus);
+            let numeric = (loss_of(&mut m_plus) - loss_of(&mut m_minus)) / (2.0 * eps);
+            let diff = (numeric - analytic[idx]).abs();
+            assert!(
+                diff < 2e-3,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut mlp = tiny_mlp(4);
+        let x = Matrix::from_rows(&[vec![1.0, 1.0, 1.0]]);
+        let grad_out = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        mlp.forward(&x);
+        mlp.backward(&grad_out);
+        let once = mlp.grads_flat();
+        mlp.forward(&x);
+        mlp.backward(&grad_out);
+        let twice = mlp.grads_flat();
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((2.0 * a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        mlp.zero_grads();
+        assert!(mlp.grads_flat().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn apply_delta_shifts_parameters() {
+        let mut mlp = tiny_mlp(5);
+        let before = mlp.params_flat();
+        let delta = vec![0.25; mlp.param_count()];
+        mlp.apply_delta(&delta);
+        let after = mlp.params_flat();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((a - b - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter length mismatch")]
+    fn set_params_checks_length() {
+        let mut mlp = tiny_mlp(6);
+        mlp.set_params_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn output_layer_is_linear() {
+        let mlp = tiny_mlp(7);
+        assert_eq!(mlp.layers().last().unwrap().activation, Activation::Identity);
+        assert_eq!(mlp.layers().first().unwrap().activation, Activation::ReLU);
+    }
+}

@@ -1,0 +1,168 @@
+//! Input/output normalisation for the heat-equation workload.
+//!
+//! The sampled temperatures lie in `[100, 500]` K and the requested time in
+//! `[0, steps · Δt]`; the target fields also live in the temperature range.
+//! Normalising both to the unit interval keeps the MLP activations in a healthy
+//! range and makes MSE values comparable across grid sizes.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Affine normaliser for surrogate inputs `(X, t)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputNormalizer {
+    /// Lower bound of the temperature range.
+    pub temp_min: f32,
+    /// Upper bound of the temperature range.
+    pub temp_max: f32,
+    /// Largest time value (end of a trajectory).
+    pub time_max: f32,
+}
+
+impl Default for InputNormalizer {
+    fn default() -> Self {
+        Self {
+            temp_min: 100.0,
+            temp_max: 500.0,
+            time_max: 1.0,
+        }
+    }
+}
+
+impl InputNormalizer {
+    /// Creates a normaliser for the paper's ranges and a trajectory of
+    /// `steps × dt` seconds.
+    pub fn for_trajectory(steps: usize, dt: f64) -> Self {
+        Self {
+            temp_min: 100.0,
+            temp_max: 500.0,
+            time_max: (steps as f64 * dt) as f32,
+        }
+    }
+
+    /// Normalises one raw input vector `[T_ic, T_x1, T_y1, T_x2, T_y2, t]` in place.
+    pub fn normalize_in_place(&self, input: &mut [f32]) {
+        let span = self.temp_max - self.temp_min;
+        let n = input.len();
+        for v in input.iter_mut().take(n.saturating_sub(1)) {
+            *v = (*v - self.temp_min) / span;
+        }
+        if let Some(t) = input.last_mut() {
+            if self.time_max > 0.0 {
+                *t /= self.time_max;
+            }
+        }
+    }
+
+    /// Returns the normalised copy of a raw input vector.
+    pub fn normalize(&self, input: &[f32]) -> Vec<f32> {
+        let mut out = input.to_vec();
+        self.normalize_in_place(&mut out);
+        out
+    }
+}
+
+/// Affine normaliser for temperature fields (the surrogate targets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputNormalizer {
+    /// Lower bound of the temperature range.
+    pub temp_min: f32,
+    /// Upper bound of the temperature range.
+    pub temp_max: f32,
+}
+
+impl Default for OutputNormalizer {
+    fn default() -> Self {
+        Self {
+            temp_min: 100.0,
+            temp_max: 500.0,
+        }
+    }
+}
+
+impl OutputNormalizer {
+    /// Normalises a field to the unit range in place.
+    pub fn normalize_in_place(&self, values: &mut [f32]) {
+        let span = self.temp_max - self.temp_min;
+        for v in values {
+            *v = (*v - self.temp_min) / span;
+        }
+    }
+
+    /// Returns the normalised copy of a field.
+    pub fn normalize(&self, values: &[f32]) -> Vec<f32> {
+        let mut out = values.to_vec();
+        self.normalize_in_place(&mut out);
+        out
+    }
+
+    /// Maps a normalised prediction back to Kelvin.
+    pub fn denormalize(&self, values: &[f32]) -> Vec<f32> {
+        let span = self.temp_max - self.temp_min;
+        values.iter().map(|v| v * span + self.temp_min).collect()
+    }
+
+    /// Maps a normalised prediction matrix back to Kelvin.
+    pub fn denormalize_matrix(&self, values: &Matrix) -> Matrix {
+        let span = self.temp_max - self.temp_min;
+        values.map(|v| v * span + self.temp_min)
+    }
+
+    /// Converts an MSE computed on normalised values back to Kelvin².
+    pub fn denormalize_mse(&self, mse: f32) -> f32 {
+        let span = self.temp_max - self.temp_min;
+        mse * span * span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_normalization_maps_to_unit_interval() {
+        let norm = InputNormalizer::for_trajectory(100, 0.01);
+        let raw = vec![100.0, 300.0, 500.0, 200.0, 400.0, 0.5];
+        let n = norm.normalize(&raw);
+        assert_eq!(n[0], 0.0);
+        assert_eq!(n[1], 0.5);
+        assert_eq!(n[2], 1.0);
+        assert!((n[5] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn output_normalize_denormalize_roundtrip() {
+        let norm = OutputNormalizer::default();
+        let raw = vec![100.0, 250.0, 499.0, 321.5];
+        let n = norm.normalize(&raw);
+        let back = norm.denormalize(&n);
+        for (a, b) in raw.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        assert!(n.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn mse_denormalization_scales_by_span_squared() {
+        let norm = OutputNormalizer::default();
+        assert!((norm.denormalize_mse(1e-4) - 16.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn denormalize_matrix_matches_vector_path() {
+        let norm = OutputNormalizer::default();
+        let m = Matrix::from_rows(&[vec![0.0, 0.5, 1.0]]);
+        let d = norm.denormalize_matrix(&m);
+        assert_eq!(d.data(), &[100.0, 300.0, 500.0]);
+    }
+
+    #[test]
+    fn zero_time_max_does_not_divide_by_zero() {
+        let norm = InputNormalizer {
+            time_max: 0.0,
+            ..InputNormalizer::default()
+        };
+        let n = norm.normalize(&[100.0, 100.0, 100.0, 100.0, 100.0, 3.0]);
+        assert_eq!(n[5], 3.0);
+    }
+}

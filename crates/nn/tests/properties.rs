@@ -1,0 +1,158 @@
+//! Property-based tests of the neural-network substrate.
+
+use proptest::prelude::*;
+use surrogate_nn::{
+    Activation, Adam, AdamConfig, InitScheme, InputNormalizer, Loss, Matrix, Mlp, MlpConfig,
+    MseLoss, Optimizer, OutputNormalizer, Sgd,
+};
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (AᵀB) computed without materialising Aᵀ equals the explicit product.
+    #[test]
+    fn transpose_matmul_equivalence(a in small_matrix(4, 3), b in small_matrix(4, 5)) {
+        let fast = a.transpose_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() <= 1e-3);
+        }
+    }
+
+    /// (ABᵀ) computed without materialising Bᵀ equals the explicit product.
+    #[test]
+    fn matmul_transpose_equivalence(a in small_matrix(3, 4), b in small_matrix(6, 4)) {
+        let fast = a.matmul_transpose(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() <= 1e-3);
+        }
+    }
+
+    /// Transposition is an involution.
+    #[test]
+    fn transpose_involution(a in small_matrix(5, 7)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// The MSE loss is non-negative, zero only for identical tensors, and its
+    /// gradient vanishes exactly when the loss vanishes.
+    #[test]
+    fn mse_loss_properties(pred in small_matrix(3, 6), target in small_matrix(3, 6)) {
+        let (loss, grad) = MseLoss.evaluate(&pred, &target);
+        prop_assert!(loss >= 0.0);
+        let (self_loss, self_grad) = MseLoss.evaluate(&pred, &pred);
+        prop_assert_eq!(self_loss, 0.0);
+        prop_assert!(self_grad.data().iter().all(|&g| g == 0.0));
+        if loss == 0.0 {
+            prop_assert!(grad.data().iter().all(|&g| g == 0.0));
+        }
+    }
+
+    /// Forward passes produce finite outputs of the right shape for any input in
+    /// a reasonable range, for every activation.
+    #[test]
+    fn mlp_forward_is_finite(
+        inputs in small_matrix(4, 3),
+        seed in 0u64..1000,
+        activation in prop::sample::select(vec![
+            Activation::ReLU,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ]),
+    ) {
+        let mut mlp = Mlp::new(MlpConfig {
+            layer_sizes: vec![3, 8, 2],
+            activation,
+            init: InitScheme::HeUniform,
+            seed,
+        });
+        let out = mlp.forward(&inputs);
+        prop_assert_eq!(out.rows(), 4);
+        prop_assert_eq!(out.cols(), 2);
+        prop_assert!(out.is_finite());
+        prop_assert_eq!(mlp.predict(&inputs), out);
+    }
+
+    /// One optimizer step keeps the parameters finite and actually changes them
+    /// when the gradient is non-zero (Adam and SGD).
+    #[test]
+    fn optimizer_steps_are_finite_and_effective(
+        seed in 0u64..500,
+        grad_value in 0.01f32..5.0,
+        lr in 1e-4f32..1e-1,
+    ) {
+        let mut adam_model = Mlp::new(MlpConfig::small(3, 6, 2, seed));
+        let mut sgd_model = adam_model.clone();
+        let grads = vec![grad_value; adam_model.param_count()];
+
+        let before = adam_model.params_flat();
+        let mut adam = Adam::new(AdamConfig::default(), adam_model.param_count());
+        adam.step(&mut adam_model, &grads, lr);
+        let after = adam_model.params_flat();
+        prop_assert!(after.iter().all(|p| p.is_finite()));
+        prop_assert!(before.iter().zip(&after).any(|(b, a)| b != a));
+
+        let mut sgd = Sgd::new(0.9, sgd_model.param_count());
+        sgd.step(&mut sgd_model, &grads, lr);
+        prop_assert!(sgd_model.params_flat().iter().all(|p| p.is_finite()));
+    }
+
+    /// Checkpoint serialisation is lossless for the predictions.
+    #[test]
+    fn checkpoint_roundtrip(seed in 0u64..500, probe in prop::collection::vec(-1.0f32..1.0, 3)) {
+        let model = Mlp::new(MlpConfig::small(3, 5, 2, seed));
+        let json = surrogate_nn::save_mlp(&model, 10, 100);
+        let restored = surrogate_nn::load_mlp(&json).unwrap().restore();
+        let x = Matrix::from_rows(&[probe]);
+        prop_assert_eq!(model.predict(&x), restored.predict(&x));
+    }
+
+    /// Output normalisation round-trips within f32 tolerance and maps the
+    /// sampled temperature range into the unit interval.
+    #[test]
+    fn normalizer_roundtrip(values in prop::collection::vec(100.0f32..500.0, 1..64)) {
+        let norm = OutputNormalizer::default();
+        let unit = norm.normalize(&values);
+        prop_assert!(unit.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let back = norm.denormalize(&unit);
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    /// Input normalisation keeps the five temperatures in [0, 1] and the time
+    /// coordinate finite for any trajectory length.
+    #[test]
+    fn input_normalizer_bounds(
+        temps in prop::collection::vec(100.0f32..500.0, 5),
+        step in 1usize..200,
+        steps in 1usize..200,
+    ) {
+        let dt = 0.01;
+        let norm = InputNormalizer::for_trajectory(steps, dt);
+        let mut input = temps.clone();
+        input.push((step.min(steps) as f64 * dt) as f32);
+        let normalised = norm.normalize(&input);
+        for v in &normalised[..5] {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+        prop_assert!(normalised[5].is_finite());
+        prop_assert!(normalised[5] <= 1.0 + 1e-6);
+    }
+
+    /// The same seed always builds the same network, and different seeds differ.
+    #[test]
+    fn seeded_initialisation_is_deterministic(seed in 0u64..10_000) {
+        let a = Mlp::new(MlpConfig::small(4, 8, 3, seed));
+        let b = Mlp::new(MlpConfig::small(4, 8, 3, seed));
+        prop_assert_eq!(a.params_flat(), b.params_flat());
+        let c = Mlp::new(MlpConfig::small(4, 8, 3, seed.wrapping_add(1)));
+        prop_assert_ne!(a.params_flat(), c.params_flat());
+    }
+}

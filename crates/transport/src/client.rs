@@ -1,0 +1,231 @@
+//! The client-side instrumentation API.
+//!
+//! The paper exposes a minimalist API for C, Fortran and Python to instrument
+//! the simulation code: one call to connect to the server
+//! (`init_communication`), one `send` per computed time step, and one
+//! `finalize_communication` to signal that no more data will be sent. This
+//! module mirrors those three calls; the round-robin dispatch across server
+//! ranks and the client-id-dependent starting rank of §3.2.2 happen inside
+//! [`ClientConnection::send`].
+
+use crate::fabric::{record_send, Fabric};
+use crate::fault::{Delivery, FaultInjector};
+use crate::message::{Message, SamplePayload};
+use crate::stats::TransportStats;
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned when the server side of a connection has gone away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError;
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the server endpoints have been dropped")
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// An open connection from one client to every rank of the training server.
+pub struct ClientConnection {
+    client_id: u64,
+    senders: Vec<Sender<Message>>,
+    /// Index of the rank that receives the next time step.
+    next_rank: AtomicUsize,
+    /// Per-client monotonically increasing sequence number.
+    next_sequence: AtomicU64,
+    injector: Arc<FaultInjector>,
+    stats: Arc<Mutex<TransportStats>>,
+}
+
+impl ClientConnection {
+    pub(crate) fn new(
+        client_id: u64,
+        senders: Vec<Sender<Message>>,
+        injector: Arc<FaultInjector>,
+        stats: Arc<Mutex<TransportStats>>,
+    ) -> Self {
+        // "The destination of the first time step is chosen according to the
+        // client id to limit having all clients sending the same time step to
+        // the same GPU." (§3.2.2)
+        let start = (client_id as usize) % senders.len();
+        Self {
+            client_id,
+            senders,
+            next_rank: AtomicUsize::new(start),
+            next_sequence: AtomicU64::new(0),
+            injector,
+            stats,
+        }
+    }
+
+    /// The identifier of this client.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Number of server ranks this client is connected to.
+    pub fn num_server_ranks(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Number of time-step messages sent so far (including dropped ones).
+    pub fn sent_messages(&self) -> u64 {
+        self.next_sequence.load(Ordering::Relaxed)
+    }
+
+    /// Restores the sequence counter after a client restart so replayed steps
+    /// keep their original sequence numbers (the server dedups them).
+    pub fn resume_from_sequence(&self, sequence: u64) {
+        self.next_sequence.store(sequence, Ordering::Relaxed);
+    }
+
+    /// Streams one computed time step to the next server rank (round-robin).
+    /// Blocks when the destination rank's channel is full (backpressure), just
+    /// like the paper's clients stall when the server cannot keep up.
+    pub fn send(&self, payload: SamplePayload) -> Result<(), SendError> {
+        let sequence = self.next_sequence.fetch_add(1, Ordering::Relaxed);
+        let rank = self.next_rank.fetch_add(1, Ordering::Relaxed) % self.senders.len();
+        let message = Message::TimeStep {
+            client_id: self.client_id,
+            sequence,
+            payload,
+        };
+        let bytes = message.wire_bytes();
+        let delivery = self.injector.decide();
+        record_send(&self.stats, bytes, delivery);
+        match delivery {
+            Delivery::Drop => Ok(()),
+            Delivery::Deliver => self.senders[rank].send(message).map_err(|_| SendError),
+            Delivery::Duplicate => {
+                self.senders[rank]
+                    .send(message.clone())
+                    .map_err(|_| SendError)?;
+                self.senders[rank].send(message).map_err(|_| SendError)
+            }
+        }
+    }
+
+    /// Signals every server rank that this client will send no more data.
+    pub fn finalize(&self) -> Result<(), SendError> {
+        let sent = self.sent_messages();
+        for sender in &self.senders {
+            sender
+                .send(Message::Finalize {
+                    client_id: self.client_id,
+                    sent_messages: sent,
+                })
+                .map_err(|_| SendError)?;
+        }
+        Ok(())
+    }
+}
+
+/// The paper's three-call API, as free functions over the fabric.
+pub struct ClientApi;
+
+impl ClientApi {
+    /// `init_communication`: connects the client to every server rank.
+    pub fn init_communication(fabric: &Fabric, client_id: u64) -> ClientConnection {
+        fabric.connect_client(client_id)
+    }
+
+    /// `send`: streams one time step.
+    pub fn send(connection: &ClientConnection, payload: SamplePayload) -> Result<(), SendError> {
+        connection.send(payload)
+    }
+
+    /// `finalize_communication`: signals completion and drops the connection.
+    pub fn finalize_communication(connection: ClientConnection) -> Result<(), SendError> {
+        connection.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+    use crate::message::Message;
+
+    fn payload(step: usize) -> SamplePayload {
+        SamplePayload {
+            simulation_id: 3,
+            step,
+            time: 0.01 * step as f64,
+            parameters: vec![1.0; 5],
+            values: vec![0.5; 4],
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_increase_monotonically() {
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 2,
+            channel_capacity: 64,
+            ..FabricConfig::default()
+        });
+        let endpoints = fabric.server_endpoints();
+        let client = ClientApi::init_communication(&fabric, 0);
+        for step in 0..10 {
+            ClientApi::send(&client, payload(step)).unwrap();
+        }
+        assert_eq!(client.sent_messages(), 10);
+        let mut sequences = Vec::new();
+        for ep in &endpoints {
+            while let Some(Message::TimeStep { sequence, .. }) = ep.try_recv() {
+                sequences.push(sequence);
+            }
+        }
+        sequences.sort_unstable();
+        assert_eq!(sequences, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn resume_from_sequence_replays_old_numbers() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let client = fabric.connect_client(1);
+        for step in 0..5 {
+            client.send(payload(step)).unwrap();
+        }
+        // Simulated restart from the last checkpoint at step 2.
+        client.resume_from_sequence(2);
+        client.send(payload(2)).unwrap();
+        assert_eq!(client.sent_messages(), 3);
+    }
+
+    #[test]
+    fn finalize_consumes_connection_through_api() {
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 2,
+            channel_capacity: 8,
+            ..FabricConfig::default()
+        });
+        let endpoints = fabric.server_endpoints();
+        let client = ClientApi::init_communication(&fabric, 9);
+        ClientApi::send(&client, payload(0)).unwrap();
+        ClientApi::finalize_communication(client).unwrap();
+        let mut finalizes = 0;
+        for ep in &endpoints {
+            while let Some(msg) = ep.try_recv() {
+                if matches!(msg, Message::Finalize { client_id: 9, .. }) {
+                    finalizes += 1;
+                }
+            }
+        }
+        assert_eq!(finalizes, 2);
+    }
+
+    #[test]
+    fn send_after_endpoints_dropped_fails() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let client = fabric.connect_client(0);
+        let endpoints = fabric.server_endpoints();
+        drop(endpoints);
+        drop(fabric);
+        assert_eq!(client.send(payload(0)), Err(SendError));
+        assert!(client.finalize().is_err());
+    }
+}

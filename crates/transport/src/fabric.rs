@@ -1,0 +1,319 @@
+//! The in-process message fabric connecting clients to server ranks.
+//!
+//! Every client holds one bounded channel to *each* server rank (the paper's
+//! clients connect to all the ranks of the server); the channel capacity plays
+//! the role of the ZMQ high-water mark and provides backpressure when the
+//! server-side aggregator cannot keep up.
+
+use crate::fault::{Delivery, FaultConfig, FaultInjector};
+use crate::message::Message;
+use crate::stats::TransportStats;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Construction parameters of a [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// Number of server ranks (one data-aggregator thread each).
+    pub num_server_ranks: usize,
+    /// Capacity of each rank's inbound channel (the ZMQ high-water mark stand-in).
+    pub channel_capacity: usize,
+    /// Fault-injection configuration applied to every sent message.
+    pub fault: FaultConfig,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        Self {
+            num_server_ranks: 1,
+            channel_capacity: 1024,
+            fault: FaultConfig::none(),
+        }
+    }
+}
+
+/// The shared data plane: holds the per-rank channels, the fault injector and
+/// the traffic counters.
+pub struct Fabric {
+    config: FabricConfig,
+    senders: Vec<Sender<Message>>,
+    receivers: Vec<Receiver<Message>>,
+    injector: Arc<FaultInjector>,
+    stats: Arc<Mutex<TransportStats>>,
+}
+
+impl Fabric {
+    /// Creates the fabric for the requested number of server ranks.
+    ///
+    /// # Panics
+    /// Panics when the rank count or the channel capacity is zero.
+    pub fn new(config: FabricConfig) -> Self {
+        assert!(config.num_server_ranks > 0, "need at least one server rank");
+        assert!(config.channel_capacity > 0, "channel capacity must be positive");
+        let mut senders = Vec::with_capacity(config.num_server_ranks);
+        let mut receivers = Vec::with_capacity(config.num_server_ranks);
+        for _ in 0..config.num_server_ranks {
+            let (tx, rx) = bounded(config.channel_capacity);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        Self {
+            config,
+            senders,
+            receivers,
+            injector: Arc::new(FaultInjector::new(config.fault)),
+            stats: Arc::new(Mutex::new(TransportStats::default())),
+        }
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Number of server ranks.
+    pub fn num_server_ranks(&self) -> usize {
+        self.config.num_server_ranks
+    }
+
+    /// Builds the per-rank receive endpoints polled by the aggregator threads.
+    pub fn server_endpoints(&self) -> Vec<ServerEndpoint> {
+        self.receivers
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(rank, receiver)| ServerEndpoint {
+                rank,
+                receiver,
+                stats: Arc::clone(&self.stats),
+            })
+            .collect()
+    }
+
+    /// Opens a connection for a client; the returned handle owns one sender per
+    /// server rank and performs the round-robin dispatch of §3.2.2.
+    pub fn connect_client(&self, client_id: u64) -> crate::client::ClientConnection {
+        {
+            let mut stats = self.stats.lock();
+            stats.connections += 1;
+        }
+        crate::client::ClientConnection::new(
+            client_id,
+            self.senders.clone(),
+            Arc::clone(&self.injector),
+            Arc::clone(&self.stats),
+        )
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> TransportStats {
+        *self.stats.lock()
+    }
+}
+
+/// The receive side of one server rank, polled by its data-aggregator thread.
+pub struct ServerEndpoint {
+    rank: usize,
+    receiver: Receiver<Message>,
+    stats: Arc<Mutex<TransportStats>>,
+}
+
+impl ServerEndpoint {
+    /// The rank this endpoint belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        match self.receiver.try_recv() {
+            Ok(msg) => {
+                self.account(&msg);
+                Some(msg)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Blocking receive with a timeout; `None` on timeout or when every sender
+    /// side has been dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(msg) => {
+                self.account(&msg);
+                Some(msg)
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Number of messages currently queued for this rank.
+    pub fn queued(&self) -> usize {
+        self.receiver.len()
+    }
+
+    fn account(&self, msg: &Message) {
+        let mut stats = self.stats.lock();
+        match msg {
+            Message::TimeStep { .. } => stats.messages_delivered += 1,
+            Message::Finalize { .. } => stats.finalized_clients += 1,
+            Message::Connect { .. } => {}
+        }
+    }
+}
+
+/// Internal hook used by [`crate::client::ClientConnection`] to record a send.
+pub(crate) fn record_send(
+    stats: &Mutex<TransportStats>,
+    bytes: usize,
+    delivery: Delivery,
+) {
+    let mut stats = stats.lock();
+    stats.messages_sent += 1;
+    stats.bytes_sent += bytes as u64;
+    match delivery {
+        Delivery::Drop => stats.messages_dropped += 1,
+        Delivery::Duplicate => stats.messages_duplicated += 1,
+        Delivery::Deliver => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::SamplePayload;
+
+    fn payload(step: usize) -> SamplePayload {
+        SamplePayload {
+            simulation_id: 1,
+            step,
+            time: step as f64 * 0.01,
+            parameters: vec![300.0; 5],
+            values: vec![0.0; 8],
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_ranks() {
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 4,
+            channel_capacity: 128,
+            ..FabricConfig::default()
+        });
+        let endpoints = fabric.server_endpoints();
+        let client = fabric.connect_client(0);
+        for step in 0..40 {
+            client.send(payload(step)).unwrap();
+        }
+        let counts: Vec<usize> = endpoints.iter().map(|e| e.queued()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 40);
+        for &c in &counts {
+            assert_eq!(c, 10, "round-robin must balance exactly: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn client_id_offsets_first_destination() {
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 3,
+            channel_capacity: 8,
+            ..FabricConfig::default()
+        });
+        let endpoints = fabric.server_endpoints();
+        // Client 1 starts at rank 1, client 2 at rank 2 (client_id mod ranks).
+        let c1 = fabric.connect_client(1);
+        c1.send(payload(0)).unwrap();
+        let c2 = fabric.connect_client(2);
+        c2.send(payload(0)).unwrap();
+        assert_eq!(endpoints[0].queued(), 0);
+        assert_eq!(endpoints[1].queued(), 1);
+        assert_eq!(endpoints[2].queued(), 1);
+    }
+
+    #[test]
+    fn finalize_reaches_every_rank() {
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 3,
+            channel_capacity: 8,
+            ..FabricConfig::default()
+        });
+        let endpoints = fabric.server_endpoints();
+        let client = fabric.connect_client(5);
+        client.finalize().unwrap();
+        for ep in &endpoints {
+            let msg = ep.try_recv().expect("finalize delivered");
+            assert!(matches!(msg, Message::Finalize { client_id: 5, .. }));
+        }
+        assert_eq!(fabric.stats().finalized_clients, 3);
+    }
+
+    #[test]
+    fn dropped_messages_never_arrive() {
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 1,
+            channel_capacity: 256,
+            fault: FaultConfig {
+                drop_probability: 1.0,
+                ..FaultConfig::default()
+            },
+        });
+        let endpoints = fabric.server_endpoints();
+        let client = fabric.connect_client(0);
+        for step in 0..10 {
+            client.send(payload(step)).unwrap();
+        }
+        assert!(endpoints[0].try_recv().is_none());
+        let stats = fabric.stats();
+        assert_eq!(stats.messages_sent, 10);
+        assert_eq!(stats.messages_dropped, 10);
+        assert_eq!(stats.messages_delivered, 0);
+    }
+
+    #[test]
+    fn duplicated_messages_arrive_twice() {
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 1,
+            channel_capacity: 256,
+            fault: FaultConfig {
+                duplicate_probability: 1.0,
+                ..FaultConfig::default()
+            },
+        });
+        let endpoints = fabric.server_endpoints();
+        let client = fabric.connect_client(0);
+        client.send(payload(0)).unwrap();
+        assert!(endpoints[0].try_recv().is_some());
+        assert!(endpoints[0].try_recv().is_some());
+        assert!(endpoints[0].try_recv().is_none());
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let client = fabric.connect_client(0);
+        client.send(payload(0)).unwrap();
+        let stats = fabric.stats();
+        assert!(stats.bytes_sent > 0);
+        assert_eq!(stats.connections, 1);
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let endpoints = fabric.server_endpoints();
+        let start = std::time::Instant::now();
+        assert!(endpoints[0].recv_timeout(Duration::from_millis(20)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server rank")]
+    fn zero_ranks_rejected() {
+        let _ = Fabric::new(FabricConfig {
+            num_server_ranks: 0,
+            ..FabricConfig::default()
+        });
+    }
+}

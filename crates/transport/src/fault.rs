@@ -1,0 +1,167 @@
+//! Fault injection for the transport layer.
+//!
+//! The paper's framework is fault-tolerant: clients can crash and be restarted,
+//! and the server discards messages it has already received. To exercise those
+//! paths without a real cluster, the fabric can be configured to drop,
+//! duplicate or delay messages with given probabilities.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Probabilities and delays applied to every sent message.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that a message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability that a message is delivered twice (emulating a client
+    /// retransmitting after an acknowledgement was lost).
+    pub duplicate_probability: f64,
+    /// Fixed latency added to every delivery (emulating the interconnect).
+    pub latency: Duration,
+    /// Seed of the injector's random decisions.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            latency: Duration::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A configuration that never perturbs messages.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no fault of any kind is configured.
+    pub fn is_noop(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self.latency.is_zero()
+    }
+}
+
+/// The per-fabric fault decision engine.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: parking_lot::Mutex<ChaCha8Rng>,
+}
+
+/// What should happen to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver the message once.
+    Deliver,
+    /// Deliver the message twice.
+    Duplicate,
+    /// Drop the message.
+    Drop,
+}
+
+impl FaultInjector {
+    /// Creates an injector.
+    pub fn new(config: FaultConfig) -> Self {
+        Self {
+            config,
+            rng: parking_lot::Mutex::new(ChaCha8Rng::seed_from_u64(config.seed)),
+        }
+    }
+
+    /// The configuration of this injector.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Decides the fate of one message and applies the configured latency.
+    pub fn decide(&self) -> Delivery {
+        if !self.config.latency.is_zero() {
+            std::thread::sleep(self.config.latency);
+        }
+        if self.config.drop_probability == 0.0 && self.config.duplicate_probability == 0.0 {
+            return Delivery::Deliver;
+        }
+        let mut rng = self.rng.lock();
+        let roll: f64 = rng.gen();
+        if roll < self.config.drop_probability {
+            Delivery::Drop
+        } else if roll < self.config.drop_probability + self.config.duplicate_probability {
+            Delivery::Duplicate
+        } else {
+            Delivery::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_config_always_delivers() {
+        let injector = FaultInjector::new(FaultConfig::none());
+        assert!(injector.config().is_noop());
+        for _ in 0..100 {
+            assert_eq!(injector.decide(), Delivery::Deliver);
+        }
+    }
+
+    #[test]
+    fn drop_probability_one_always_drops() {
+        let injector = FaultInjector::new(FaultConfig {
+            drop_probability: 1.0,
+            ..FaultConfig::default()
+        });
+        for _ in 0..50 {
+            assert_eq!(injector.decide(), Delivery::Drop);
+        }
+    }
+
+    #[test]
+    fn probabilities_roughly_respected() {
+        let injector = FaultInjector::new(FaultConfig {
+            drop_probability: 0.3,
+            duplicate_probability: 0.2,
+            seed: 7,
+            ..FaultConfig::default()
+        });
+        let mut drops = 0;
+        let mut dups = 0;
+        let n = 5_000;
+        for _ in 0..n {
+            match injector.decide() {
+                Delivery::Drop => drops += 1,
+                Delivery::Duplicate => dups += 1,
+                Delivery::Deliver => {}
+            }
+        }
+        let drop_rate = drops as f64 / n as f64;
+        let dup_rate = dups as f64 / n as f64;
+        assert!((drop_rate - 0.3).abs() < 0.05, "drop rate {drop_rate}");
+        assert!((dup_rate - 0.2).abs() < 0.05, "duplicate rate {dup_rate}");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let make = || {
+            FaultInjector::new(FaultConfig {
+                drop_probability: 0.5,
+                seed: 3,
+                ..FaultConfig::default()
+            })
+        };
+        let a = make();
+        let b = make();
+        for _ in 0..50 {
+            assert_eq!(a.decide(), b.decide());
+        }
+    }
+}

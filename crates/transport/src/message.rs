@@ -1,0 +1,314 @@
+//! Messages exchanged between clients and the training server.
+//!
+//! The wire format mirrors what the paper's ZMQ layer carries: a connection
+//! handshake, one message per computed time step (the payload is the gathered,
+//! `f32`-converted field plus its input parameters), and a finalisation message
+//! signalling that a client will send no more data.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// The data carried by one time-step message: one training sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplePayload {
+    /// Ensemble-member identifier (which simulation produced this step).
+    pub simulation_id: u64,
+    /// Time-step index inside the simulation.
+    pub step: usize,
+    /// Physical time of the step.
+    pub time: f64,
+    /// The sampled input parameters `X` of the simulation.
+    pub parameters: Vec<f32>,
+    /// The gathered field values (row-major, `f32`).
+    pub values: Vec<f32>,
+}
+
+impl SamplePayload {
+    /// Unique key of the sample inside an experiment.
+    pub fn key(&self) -> (u64, usize) {
+        (self.simulation_id, self.step)
+    }
+
+    /// Payload size in bytes (as transported).
+    pub fn payload_bytes(&self) -> usize {
+        8 + 8 + 8 + 4 * (self.parameters.len() + self.values.len())
+    }
+
+    /// The surrogate input vector `(X, t)`.
+    pub fn input_vector(&self) -> Vec<f32> {
+        let mut v = self.parameters.clone();
+        v.push(self.time as f32);
+        v
+    }
+}
+
+/// A message on a client→server connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// A client announces itself to a server rank.
+    Connect {
+        /// Identifier of the connecting client.
+        client_id: u64,
+    },
+    /// One computed time step.
+    TimeStep {
+        /// Identifier of the sending client.
+        client_id: u64,
+        /// Per-client monotonically increasing sequence number, used by the
+        /// server-side message log to discard replays after a client restart.
+        sequence: u64,
+        /// The sample itself.
+        payload: SamplePayload,
+    },
+    /// The client will send no more data.
+    Finalize {
+        /// Identifier of the finalizing client.
+        client_id: u64,
+        /// Number of time-step messages the client sent in total (per rank
+        /// accounting is derived by the server).
+        sent_messages: u64,
+    },
+}
+
+impl Message {
+    /// The client this message originates from.
+    pub fn client_id(&self) -> u64 {
+        match self {
+            Message::Connect { client_id }
+            | Message::TimeStep { client_id, .. }
+            | Message::Finalize { client_id, .. } => *client_id,
+        }
+    }
+
+    /// Approximate transported size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Message::Connect { .. } => 9,
+            Message::Finalize { .. } => 17,
+            Message::TimeStep { payload, .. } => 17 + payload.payload_bytes(),
+        }
+    }
+
+    /// Encodes the message into a length-prefixed binary frame (the stand-in for
+    /// the ZMQ wire format, used by the volume accounting and by tests).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_bytes() + 16);
+        match self {
+            Message::Connect { client_id } => {
+                buf.put_u8(0);
+                buf.put_u64(*client_id);
+            }
+            Message::TimeStep {
+                client_id,
+                sequence,
+                payload,
+            } => {
+                buf.put_u8(1);
+                buf.put_u64(*client_id);
+                buf.put_u64(*sequence);
+                buf.put_u64(payload.simulation_id);
+                buf.put_u64(payload.step as u64);
+                buf.put_f64(payload.time);
+                buf.put_u32(payload.parameters.len() as u32);
+                for &p in &payload.parameters {
+                    buf.put_f32(p);
+                }
+                buf.put_u32(payload.values.len() as u32);
+                for &v in &payload.values {
+                    buf.put_f32(v);
+                }
+            }
+            Message::Finalize {
+                client_id,
+                sent_messages,
+            } => {
+                buf.put_u8(2);
+                buf.put_u64(*client_id);
+                buf.put_u64(*sent_messages);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame produced by [`Message::encode`].
+    pub fn decode(mut frame: Bytes) -> Result<Message, DecodeError> {
+        if frame.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = frame.get_u8();
+        match tag {
+            0 => {
+                if frame.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(Message::Connect {
+                    client_id: frame.get_u64(),
+                })
+            }
+            1 => {
+                if frame.remaining() < 8 * 5 + 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let client_id = frame.get_u64();
+                let sequence = frame.get_u64();
+                let simulation_id = frame.get_u64();
+                let step = frame.get_u64() as usize;
+                let time = frame.get_f64();
+                let n_params = frame.get_u32() as usize;
+                if frame.remaining() < n_params * 4 + 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut parameters = Vec::with_capacity(n_params);
+                for _ in 0..n_params {
+                    parameters.push(frame.get_f32());
+                }
+                let n_values = frame.get_u32() as usize;
+                if frame.remaining() < n_values * 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut values = Vec::with_capacity(n_values);
+                for _ in 0..n_values {
+                    values.push(frame.get_f32());
+                }
+                Ok(Message::TimeStep {
+                    client_id,
+                    sequence,
+                    payload: SamplePayload {
+                        simulation_id,
+                        step,
+                        time,
+                        parameters,
+                        values,
+                    },
+                })
+            }
+            2 => {
+                if frame.remaining() < 16 {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(Message::Finalize {
+                    client_id: frame.get_u64(),
+                    sent_messages: frame.get_u64(),
+                })
+            }
+            other => Err(DecodeError::UnknownTag(other)),
+        }
+    }
+}
+
+/// Errors produced when decoding a binary frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The frame ended before the message was complete.
+    Truncated,
+    /// The frame starts with an unknown message tag.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated message frame"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> SamplePayload {
+        SamplePayload {
+            simulation_id: 42,
+            step: 7,
+            time: 0.08,
+            parameters: vec![300.0, 100.0, 200.0, 400.0, 500.0],
+            values: vec![1.5, 2.5, -3.0, 0.0],
+        }
+    }
+
+    #[test]
+    fn payload_key_bytes_and_input() {
+        let p = payload();
+        assert_eq!(p.key(), (42, 7));
+        assert_eq!(p.payload_bytes(), 24 + 4 * 9);
+        let input = p.input_vector();
+        assert_eq!(input.len(), 6);
+        assert!((input[5] - 0.08).abs() < 1e-6);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_timestep() {
+        let msg = Message::TimeStep {
+            client_id: 3,
+            sequence: 99,
+            payload: payload(),
+        };
+        let decoded = Message::decode(msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_control_messages() {
+        for msg in [
+            Message::Connect { client_id: 11 },
+            Message::Finalize {
+                client_id: 11,
+                sent_messages: 1234,
+            },
+        ] {
+            assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            Message::decode(Bytes::from_static(&[9, 0, 0])),
+            Err(DecodeError::UnknownTag(9))
+        );
+        assert_eq!(
+            Message::decode(Bytes::from_static(&[1, 0])),
+            Err(DecodeError::Truncated)
+        );
+        assert_eq!(Message::decode(Bytes::new()), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn wire_bytes_tracks_payload_size() {
+        let small = Message::TimeStep {
+            client_id: 0,
+            sequence: 0,
+            payload: SamplePayload {
+                simulation_id: 0,
+                step: 0,
+                time: 0.0,
+                parameters: vec![],
+                values: vec![],
+            },
+        };
+        let large = Message::TimeStep {
+            client_id: 0,
+            sequence: 0,
+            payload: payload(),
+        };
+        assert!(large.wire_bytes() > small.wire_bytes());
+        assert_eq!(Message::Connect { client_id: 1 }.wire_bytes(), 9);
+    }
+
+    #[test]
+    fn client_id_accessor() {
+        assert_eq!(Message::Connect { client_id: 5 }.client_id(), 5);
+        assert_eq!(
+            Message::Finalize {
+                client_id: 6,
+                sent_messages: 0
+            }
+            .client_id(),
+            6
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Transport-level instrumentation counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing the traffic that went through a fabric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Time-step messages sent by clients.
+    pub messages_sent: usize,
+    /// Time-step messages delivered to server endpoints.
+    pub messages_delivered: usize,
+    /// Messages dropped by the fault injector.
+    pub messages_dropped: usize,
+    /// Messages duplicated by the fault injector.
+    pub messages_duplicated: usize,
+    /// Total payload bytes sent by clients (the paper's "dataset size").
+    pub bytes_sent: u64,
+    /// Number of client connections opened.
+    pub connections: usize,
+    /// Number of finalize messages received.
+    pub finalized_clients: usize,
+}
+
+impl TransportStats {
+    /// Dataset size in gigabytes (10⁹ bytes), as the paper reports it.
+    pub fn gigabytes_sent(&self) -> f64 {
+        self.bytes_sent as f64 / 1e9
+    }
+
+    /// Fraction of sent messages that were dropped.
+    pub fn drop_fraction(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.messages_dropped as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabyte_conversion() {
+        let stats = TransportStats {
+            bytes_sent: 2_500_000_000,
+            ..TransportStats::default()
+        };
+        assert!((stats.gigabytes_sent() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_fraction_handles_zero() {
+        assert_eq!(TransportStats::default().drop_fraction(), 0.0);
+        let stats = TransportStats {
+            messages_sent: 10,
+            messages_dropped: 2,
+            ..TransportStats::default()
+        };
+        assert!((stats.drop_fraction() - 0.2).abs() < 1e-12);
+    }
+}

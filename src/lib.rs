@@ -1,0 +1,1 @@
+//! Workspace meta-crate: examples and cross-crate integration tests.

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: full online and offline experiments through
+//! the public API of the workspace crates.
+
+use melissa::{DiskConfig, ExperimentConfig, OfflineExperiment, OnlineExperiment, ServerCheckpoint};
+use melissa_ensemble::CampaignPlan;
+use melissa_transport::FaultConfig;
+use surrogate_nn::Matrix;
+use training_buffer::{BufferConfig, BufferKind};
+
+fn base_config(simulations: usize, kind: BufferKind, num_ranks: usize) -> ExperimentConfig {
+    let mut config = ExperimentConfig::small_scale();
+    config.solver.nx = 8;
+    config.solver.ny = 8;
+    config.solver.steps = 10;
+    config.campaign = CampaignPlan::single_series(simulations, 3);
+    config.buffer = BufferConfig {
+        kind,
+        capacity: 40,
+        threshold: 8,
+        seed: 5,
+    };
+    config.training.num_ranks = num_ranks;
+    config.training.batch_size = 5;
+    config.training.validation_simulations = 2;
+    config.training.validation_interval_batches = 5;
+    config.surrogate.hidden_width = 16;
+    config
+}
+
+#[test]
+fn online_training_processes_every_sample_for_each_buffer() {
+    for kind in BufferKind::ALL {
+        let config = base_config(5, kind, 1);
+        let (model, report) = OnlineExperiment::new(config).unwrap().run();
+        assert!(model.params_flat().iter().all(|p| p.is_finite()));
+        assert_eq!(report.unique_samples_produced, 50);
+        assert_eq!(report.unique_samples_trained, 50, "{kind:?}");
+        if kind != BufferKind::Reservoir {
+            // FIFO/FIRO never repeat: consumed == produced.
+            assert_eq!(report.samples_trained, 50, "{kind:?}");
+        } else {
+            assert!(report.samples_trained >= 50);
+        }
+        assert!(report.min_validation_mse.unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn online_training_with_multiple_ranks_balances_data() {
+    let config = base_config(6, BufferKind::Reservoir, 3);
+    let (_, report) = OnlineExperiment::new(config).unwrap().run();
+    assert_eq!(report.buffer_stats.len(), 3);
+    let total_puts: usize = report.buffer_stats.iter().map(|s| s.puts).sum();
+    assert_eq!(total_puts, 60, "round-robin delivers every sample to some rank");
+    for stats in &report.buffer_stats {
+        // 6 clients × 10 steps round-robined over 3 ranks → 20 per rank.
+        assert_eq!(stats.puts, 20);
+    }
+}
+
+#[test]
+fn offline_training_is_deterministic_for_a_fixed_seed() {
+    let run = || {
+        let config = base_config(4, BufferKind::Reservoir, 1);
+        let (model, report) = OfflineExperiment::new(config, DiskConfig::default(), 2)
+            .unwrap()
+            .run();
+        (model.params_flat(), report.samples_trained)
+    };
+    let (params_a, samples_a) = run();
+    let (params_b, samples_b) = run();
+    assert_eq!(samples_a, samples_b);
+    assert_eq!(params_a, params_b, "offline training must be bit-reproducible");
+}
+
+#[test]
+fn online_and_offline_see_the_same_generated_data() {
+    let config = base_config(4, BufferKind::Fifo, 1);
+    let (_, online) = OnlineExperiment::new(config.clone()).unwrap().run();
+    let (_, offline) = OfflineExperiment::new(config, DiskConfig::default(), 1)
+        .unwrap()
+        .run();
+    assert_eq!(
+        online.unique_samples_produced,
+        offline.unique_samples_produced
+    );
+    assert_eq!(online.unique_samples_trained, offline.unique_samples_trained);
+    // Offline pays a separate generation phase; online overlaps it with training.
+    assert!(offline.generation_seconds.is_some());
+    assert!(online.generation_seconds.is_none());
+}
+
+#[test]
+fn transport_faults_do_not_break_training() {
+    let mut config = base_config(6, BufferKind::Reservoir, 1);
+    config.fault = FaultConfig {
+        drop_probability: 0.1,
+        duplicate_probability: 0.1,
+        seed: 3,
+        ..FaultConfig::default()
+    };
+    let (_, report) = OnlineExperiment::new(config).unwrap().run();
+    let transport = report.transport.unwrap();
+    assert!(transport.messages_dropped > 0 || transport.messages_duplicated > 0);
+    // Duplicated messages must not inflate the unique-sample count.
+    assert!(report.unique_samples_trained <= report.unique_samples_produced);
+    assert!(report.min_validation_mse.is_some());
+}
+
+#[test]
+fn checkpoint_restores_an_equivalent_model() {
+    let config = base_config(4, BufferKind::Reservoir, 1);
+    let (model, report) = OnlineExperiment::new(config.clone()).unwrap().run();
+    let checkpoint = ServerCheckpoint::capture(
+        &model,
+        report.batches,
+        report.samples_trained,
+        (0..4).collect(),
+        config.seed,
+    );
+    let restored = ServerCheckpoint::from_json(&checkpoint.to_json())
+        .unwrap()
+        .restore_model();
+    let probe = Matrix::from_rows(&[vec![0.3, 0.5, 0.7, 0.2, 0.9, 0.5]]);
+    assert_eq!(model.predict(&probe), restored.predict(&probe));
+    assert!(checkpoint.missing_simulations(6).len() == 2);
+}
+
+#[test]
+fn reservoir_multi_rank_run_reports_throughput_and_occurrences() {
+    let config = base_config(6, BufferKind::Reservoir, 2);
+    let (_, report) = OnlineExperiment::new(config).unwrap().run();
+    assert!(report.mean_throughput > 0.0);
+    let histogram = &report.metrics.occurrences;
+    assert_eq!(histogram.unique_samples(), 60);
+    assert!(histogram.mean_repetitions() >= 1.0);
+    assert!(!report.metrics.occupancy.is_empty());
+}
