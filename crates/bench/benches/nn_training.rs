@@ -15,12 +15,16 @@ fn batch(batch_size: usize, input: usize, output: usize) -> (Matrix, Matrix) {
     let inputs = Matrix::from_vec(
         batch_size,
         input,
-        (0..batch_size * input).map(|k| (k % 17) as f32 / 17.0).collect(),
+        (0..batch_size * input)
+            .map(|k| (k % 17) as f32 / 17.0)
+            .collect(),
     );
     let targets = Matrix::from_vec(
         batch_size,
         output,
-        (0..batch_size * output).map(|k| (k % 13) as f32 / 13.0).collect(),
+        (0..batch_size * output)
+            .map(|k| (k % 13) as f32 / 13.0)
+            .collect(),
     );
     (inputs, targets)
 }

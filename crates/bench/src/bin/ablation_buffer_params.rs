@@ -24,11 +24,10 @@ fn main() {
     for capacity_fraction in [0.05, 0.125, 0.25, 0.5] {
         for threshold_fraction in [0.05, 0.17, 0.5] {
             let mut config = base.clone();
-            config.buffer.capacity =
-                ((total_samples as f64 * capacity_fraction) as usize).max(4);
-            config.buffer.threshold =
-                ((config.buffer.capacity as f64 * threshold_fraction) as usize)
-                    .min(config.buffer.capacity - 1);
+            config.buffer.capacity = ((total_samples as f64 * capacity_fraction) as usize).max(4);
+            config.buffer.threshold = ((config.buffer.capacity as f64 * threshold_fraction)
+                as usize)
+                .min(config.buffer.capacity - 1);
             let (_, report) = OnlineExperiment::new(config.clone())
                 .expect("valid configuration")
                 .run();

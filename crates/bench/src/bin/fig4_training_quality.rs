@@ -31,8 +31,8 @@ fn main() {
     // Offline reference: one epoch over the same data (batches drawn uniformly
     // from the full dataset — the unbiased reference of the paper).
     let config = figure_config(scale, BufferKind::Reservoir, 1);
-    let offline = OfflineExperiment::new(config, DiskConfig::default(), 1)
-        .expect("valid configuration");
+    let offline =
+        OfflineExperiment::new(config, DiskConfig::default(), 1).expect("valid configuration");
     let (_, report) = offline.run();
     header("Offline (1 epoch)");
     print_summary(&report);

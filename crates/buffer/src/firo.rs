@@ -78,7 +78,11 @@ impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
         let mut inner = self.inner.lock();
         loop {
             // The blocking threshold is lifted once data production is over.
-            let threshold = if inner.reception_over { 0 } else { self.threshold };
+            let threshold = if inner.reception_over {
+                0
+            } else {
+                self.threshold
+            };
             if inner.items.len() > threshold {
                 let len = inner.items.len();
                 let idx = inner.rng.gen_range(0..len);
@@ -160,7 +164,10 @@ mod tests {
         let consumer = Arc::clone(&buffer);
         let handle = std::thread::spawn(move || consumer.get());
         std::thread::sleep(Duration::from_millis(30));
-        assert!(!handle.is_finished(), "consumer should wait at the threshold");
+        assert!(
+            !handle.is_finished(),
+            "consumer should wait at the threshold"
+        );
         buffer.put(4);
         assert!(handle.join().unwrap().is_some());
         assert!(buffer.stats().consumer_waits >= 1);

@@ -51,7 +51,11 @@ pub fn build_buffer<T: Clone + Send + 'static>(
 ) -> Box<dyn TrainingBuffer<T>> {
     match config.kind {
         BufferKind::Fifo => Box::new(FifoBuffer::new(config.capacity)),
-        BufferKind::Firo => Box::new(FiroBuffer::new(config.capacity, config.threshold, config.seed)),
+        BufferKind::Firo => Box::new(FiroBuffer::new(
+            config.capacity,
+            config.threshold,
+            config.seed,
+        )),
         BufferKind::Reservoir => Box::new(ReservoirBuffer::new(
             config.capacity,
             config.threshold,

@@ -11,11 +11,7 @@ use training_buffer::{
 
 /// Drives a buffer with an interleaved put/get schedule and returns the served
 /// items and the maximum observed population.
-fn drive(
-    buffer: &dyn TrainingBuffer<u32>,
-    items: &[u32],
-    get_every: usize,
-) -> (Vec<u32>, usize) {
+fn drive(buffer: &dyn TrainingBuffer<u32>, items: &[u32], get_every: usize) -> (Vec<u32>, usize) {
     let mut served = Vec::new();
     let mut max_pop = 0;
     for (k, &item) in items.iter().enumerate() {

@@ -109,9 +109,7 @@ impl Aggregator {
                     if log.finalized_clients() >= self.expected_clients {
                         break;
                     }
-                    if self.production_done.load(Ordering::Acquire)
-                        && self.endpoint.queued() == 0
-                    {
+                    if self.production_done.load(Ordering::Acquire) && self.endpoint.queued() == 0 {
                         break;
                     }
                 }
@@ -194,7 +192,12 @@ mod tests {
     fn accepts_samples_and_terminates_on_finalize() {
         let fabric = Fabric::new(FabricConfig::default());
         let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
-        let handle = run_aggregator(&fabric, Arc::clone(&buffer), 1, Arc::new(AtomicBool::new(false)));
+        let handle = run_aggregator(
+            &fabric,
+            Arc::clone(&buffer),
+            1,
+            Arc::new(AtomicBool::new(false)),
+        );
 
         let client = fabric.connect_client(0);
         for step in 0..10 {
@@ -213,7 +216,12 @@ mod tests {
     fn discards_replayed_messages_after_client_restart() {
         let fabric = Fabric::new(FabricConfig::default());
         let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
-        let handle = run_aggregator(&fabric, Arc::clone(&buffer), 1, Arc::new(AtomicBool::new(false)));
+        let handle = run_aggregator(
+            &fabric,
+            Arc::clone(&buffer),
+            1,
+            Arc::new(AtomicBool::new(false)),
+        );
 
         let client = fabric.connect_client(3);
         for step in 0..5 {
@@ -237,7 +245,12 @@ mod tests {
         let fabric = Fabric::new(FabricConfig::default());
         let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
         let production_done = Arc::new(AtomicBool::new(false));
-        let handle = run_aggregator(&fabric, Arc::clone(&buffer), 2, Arc::clone(&production_done));
+        let handle = run_aggregator(
+            &fabric,
+            Arc::clone(&buffer),
+            2,
+            Arc::clone(&production_done),
+        );
 
         let client = fabric.connect_client(0);
         for step in 0..4 {

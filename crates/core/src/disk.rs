@@ -12,7 +12,10 @@ use std::time::Duration;
 use surrogate_nn::{Dataset, Sample};
 
 /// The performance model of the simulated storage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The derived default is a fast disk that charges nothing, so unit tests
+/// stay quick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct DiskConfig {
     /// Fixed latency charged per read request (seek / metadata / request cost).
     pub read_latency_micros: u64,
@@ -20,17 +23,6 @@ pub struct DiskConfig {
     pub read_bandwidth_bytes_per_sec: u64,
     /// Sustained write bandwidth in bytes per second; 0 means infinite.
     pub write_bandwidth_bytes_per_sec: u64,
-}
-
-impl Default for DiskConfig {
-    fn default() -> Self {
-        // Default: a fast disk that charges nothing, so unit tests stay quick.
-        Self {
-            read_latency_micros: 0,
-            read_bandwidth_bytes_per_sec: 0,
-            write_bandwidth_bytes_per_sec: 0,
-        }
-    }
 }
 
 impl DiskConfig {
@@ -48,7 +40,8 @@ impl DiskConfig {
     fn read_delay(&self, bytes: usize) -> Duration {
         let mut delay = Duration::from_micros(self.read_latency_micros);
         if self.read_bandwidth_bytes_per_sec > 0 {
-            delay += Duration::from_secs_f64(bytes as f64 / self.read_bandwidth_bytes_per_sec as f64);
+            delay +=
+                Duration::from_secs_f64(bytes as f64 / self.read_bandwidth_bytes_per_sec as f64);
         }
         delay
     }

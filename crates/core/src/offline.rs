@@ -23,8 +23,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 use surrogate_nn::{
-    Adam, AdamConfig, Batch, GradientSynchronizer, InputNormalizer, Loss, LrSchedule, Mlp,
-    MseLoss, Optimizer, OutputNormalizer, SampleBasedHalving,
+    Adam, AdamConfig, Batch, GradientSynchronizer, InputNormalizer, Loss, LrSchedule, Mlp, MseLoss,
+    Optimizer, OutputNormalizer, SampleBasedHalving,
 };
 
 /// One offline-training experiment.
@@ -108,12 +108,16 @@ impl OfflineExperiment {
         let grad_sync = Arc::new(GradientSynchronizer::new(num_ranks, param_count));
         let training_start = Instant::now();
 
+        // What each training rank reports back: (rank, model replica, loss
+        // history, samples trained, training seconds).
+        type RankOutcome = (usize, Mlp, Vec<LossPoint>, usize, f64);
+
         // Epoch schedules: shuffled once per epoch with a common seed, then
         // partitioned into equally sized rank shards (PyTorch DistributedSampler).
         let n = disk.len();
         let steps_per_epoch = n / (batch_size * num_ranks);
         let occurrences: Mutex<HashMap<(u64, usize), u32>> = Mutex::new(HashMap::new());
-        let outcomes: Mutex<Vec<(usize, Mlp, Vec<LossPoint>, usize, f64)>> = Mutex::new(Vec::new());
+        let outcomes: Mutex<Vec<RankOutcome>> = Mutex::new(Vec::new());
 
         crossbeam::scope(|scope| {
             for rank in 0..num_ranks {
@@ -176,7 +180,8 @@ impl OfflineExperiment {
                             if rank == 0 {
                                 let validation_loss = if config.training.validation_interval_batches
                                     > 0
-                                    && batches % config.training.validation_interval_batches == 0
+                                    && batches
+                                        .is_multiple_of(config.training.validation_interval_batches)
                                 {
                                     Some(validation.evaluate(&model))
                                 } else {
@@ -280,8 +285,7 @@ mod tests {
 
     #[test]
     fn offline_single_epoch_sees_each_sample_once() {
-        let experiment =
-            OfflineExperiment::new(tiny_config(1), DiskConfig::default(), 1).unwrap();
+        let experiment = OfflineExperiment::new(tiny_config(1), DiskConfig::default(), 1).unwrap();
         let (model, report) = experiment.run();
         assert!(model.params_flat().iter().all(|p| p.is_finite()));
         assert_eq!(report.label, "Offline");
@@ -296,8 +300,7 @@ mod tests {
 
     #[test]
     fn offline_multi_epoch_repeats_samples() {
-        let experiment =
-            OfflineExperiment::new(tiny_config(1), DiskConfig::default(), 3).unwrap();
+        let experiment = OfflineExperiment::new(tiny_config(1), DiskConfig::default(), 3).unwrap();
         let (_, report) = experiment.run();
         assert_eq!(report.samples_trained, 120);
         assert_eq!(report.metrics.occurrences.max_repetitions(), 3);
@@ -305,8 +308,7 @@ mod tests {
 
     #[test]
     fn offline_multi_rank_partitions_the_epoch() {
-        let experiment =
-            OfflineExperiment::new(tiny_config(2), DiskConfig::default(), 1).unwrap();
+        let experiment = OfflineExperiment::new(tiny_config(2), DiskConfig::default(), 1).unwrap();
         let (_, report) = experiment.run();
         // 40 samples / (5 × 2) = 4 steps per epoch, 8 batches in total.
         assert_eq!(report.batches, 8);

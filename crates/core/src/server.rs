@@ -104,11 +104,11 @@ impl OnlineExperiment {
             }
 
             // Training threads.
-            for rank in 0..config.training.num_ranks {
+            for (rank, buffer) in buffers.iter().enumerate() {
                 let trainer = RankTrainer::new(
                     rank,
                     Mlp::new(mlp_config.clone()),
-                    Arc::clone(&buffers[rank]),
+                    Arc::clone(buffer),
                     config.training.clone(),
                     (rank == 0).then(|| Arc::clone(&validation)),
                     Arc::clone(&shared),
@@ -249,7 +249,10 @@ mod tests {
         for kind in BufferKind::ALL {
             let config = tiny_config(kind, 1);
             let (model, report) = OnlineExperiment::new(config).unwrap().run();
-            assert!(model.params_flat().iter().all(|p| p.is_finite()), "{kind:?}");
+            assert!(
+                model.params_flat().iter().all(|p| p.is_finite()),
+                "{kind:?}"
+            );
             assert_eq!(report.simulations, 4);
             assert_eq!(report.unique_samples_produced, 40);
             // Every produced sample reached some rank and was trained on at

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use surrogate_nn::{
     Adam, AdamConfig, Batch, GradientSynchronizer, Loss, LrSchedule, Mlp, MseLoss, Optimizer,
-    SampleBasedHalving, Sample,
+    Sample, SampleBasedHalving,
 };
 use training_buffer::TrainingBuffer;
 
@@ -139,8 +139,7 @@ impl RankTrainer {
             // Termination round: how many ranks still have data this round?
             let mut active_flag = vec![if has_data { 1.0 } else { 0.0 }];
             self.shared.status_sync.all_reduce_mean(&mut active_flag);
-            let active_ranks =
-                (active_flag[0] * self.shared.num_ranks as f32).round() as usize;
+            let active_ranks = (active_flag[0] * self.shared.num_ranks as f32).round() as usize;
             if active_ranks == 0 {
                 break;
             }
@@ -171,8 +170,7 @@ impl RankTrainer {
             // with different rank counts decay at the same point (§4.5). The
             // sample count is derived deterministically from the round number so
             // every replica computes the same learning rate.
-            let nominal_samples_seen =
-                (rounds + 1) * batch_size * self.shared.num_ranks;
+            let nominal_samples_seen = (rounds + 1) * batch_size * self.shared.num_ranks;
             let lr = self
                 .schedule
                 .learning_rate(rounds + 1, nominal_samples_seen);
@@ -193,7 +191,7 @@ impl RankTrainer {
             // (validation stalls batch consumption, exactly as in the paper).
             if self.rank == 0 && has_data {
                 let validation_loss = if self.config.validation_interval_batches > 0
-                    && rounds % self.config.validation_interval_batches == 0
+                    && rounds.is_multiple_of(self.config.validation_interval_batches)
                 {
                     self.validation.as_ref().map(|v| v.evaluate(&self.model))
                 } else {
@@ -302,19 +300,18 @@ mod tests {
         }
 
         let mut handles = Vec::new();
-        for rank in 0..2 {
+        for (rank, buffer) in buffers.iter().enumerate() {
             let trainer = RankTrainer::new(
                 rank,
                 model(),
-                Arc::clone(&buffers[rank]),
+                Arc::clone(buffer),
                 config(2),
                 None,
                 Arc::clone(&shared),
             );
             handles.push(std::thread::spawn(move || trainer.run(Instant::now())));
         }
-        let outcomes: Vec<RankOutcome> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let outcomes: Vec<RankOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(
             outcomes[0].model.params_flat(),
             outcomes[1].model.params_flat(),
@@ -356,11 +353,14 @@ mod tests {
         }
         buffer.mark_reception_over();
         let shared = Arc::new(TrainerShared::new(1, model().param_count()));
-        let trainer =
-            RankTrainer::new(0, model(), buffer, config(1), None, Arc::clone(&shared));
+        let trainer = RankTrainer::new(0, model(), buffer, config(1), None, Arc::clone(&shared));
         let outcome = trainer.run(Instant::now());
         let occurrences = shared.occurrences.lock();
-        assert_eq!(occurrences.len(), 16, "every sample trained on at least once");
+        assert_eq!(
+            occurrences.len(),
+            16,
+            "every sample trained on at least once"
+        );
         let total: u32 = occurrences.values().sum();
         assert_eq!(total as usize, outcome.samples_consumed);
     }

@@ -105,7 +105,11 @@ impl CampaignPlan {
 
     /// Largest concurrency bound over all series.
     pub fn peak_concurrency(&self) -> usize {
-        self.series.iter().map(|s| s.max_concurrent).max().unwrap_or(0)
+        self.series
+            .iter()
+            .map(|s| s.max_concurrent)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -251,7 +251,9 @@ mod tests {
             max_retries: 3,
             ..LauncherConfig::default()
         });
-        let attempts: PlMutex<HashMap<u64, Vec<(usize, [f64; 5])>>> = PlMutex::new(HashMap::new());
+        // Per client: the (attempt index, sampled parameters) of every try.
+        type AttemptLog = HashMap<u64, Vec<(usize, [f64; 5])>>;
+        let attempts: PlMutex<AttemptLog> = PlMutex::new(HashMap::new());
         let report = launcher.run_campaign(&plan, |job| {
             attempts
                 .lock()
@@ -296,8 +298,8 @@ mod tests {
 
     #[test]
     fn inter_series_delay_is_applied() {
-        let plan = CampaignPlan::series_of(&[1, 1], 1)
-            .with_inter_series_delay(Duration::from_millis(40));
+        let plan =
+            CampaignPlan::series_of(&[1, 1], 1).with_inter_series_delay(Duration::from_millis(40));
         let launcher = Launcher::new(LauncherConfig::default());
         let start = Instant::now();
         let report = launcher.run_campaign(&plan, |_| Ok(()));

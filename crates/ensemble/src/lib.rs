@@ -29,7 +29,9 @@ pub use sampler::{
     ExperimentalDesign, HaltonSampler, LatinHypercubeSampler, MonteCarloSampler, ParameterSampler,
     SamplerKind,
 };
-pub use scheduler::{JobId, JobRecord, JobState, SchedulerConfig, SchedulerStats, SimulatedScheduler};
+pub use scheduler::{
+    JobId, JobRecord, JobState, SchedulerConfig, SchedulerStats, SimulatedScheduler,
+};
 
 #[cfg(test)]
 mod tests {

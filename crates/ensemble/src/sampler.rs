@@ -6,7 +6,7 @@
 //! unit hypercube and mapped through [`ParameterSpace`] to the five sampled
 //! temperatures. Everything is seeded for reproducibility.
 
-use heat_solver::{ParameterSpace, SimulationParams, params::PARAM_DIM};
+use heat_solver::{params::PARAM_DIM, ParameterSpace, SimulationParams};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -91,16 +91,17 @@ impl LatinHypercubeSampler {
             strata.shuffle(&mut rng);
             per_dim_permutations.push(strata);
         }
-        let mut points = Vec::with_capacity(n);
-        for member in 0..n {
-            let mut point = [0.0; PARAM_DIM];
-            for (d, coordinate) in point.iter_mut().enumerate() {
-                let stratum = per_dim_permutations[d][member];
-                let jitter: f64 = rng.gen();
-                *coordinate = (stratum as f64 + jitter) / n as f64;
-            }
-            points.push(point);
-        }
+        let points = (0..n)
+            .map(|member| {
+                let mut point = [0.0; PARAM_DIM];
+                for (d, coordinate) in point.iter_mut().enumerate() {
+                    let stratum = per_dim_permutations[d][member];
+                    let jitter: f64 = rng.gen();
+                    *coordinate = (stratum as f64 + jitter) / n as f64;
+                }
+                point
+            })
+            .collect();
         Self { points }
     }
 
@@ -248,7 +249,10 @@ mod tests {
                 );
                 strata_hit[stratum] = true;
             }
-            assert!(strata_hit.iter().all(|&hit| hit), "dimension {d} incomplete");
+            assert!(
+                strata_hit.iter().all(|&hit| hit),
+                "dimension {d} incomplete"
+            );
         }
     }
 

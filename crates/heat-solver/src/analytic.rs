@@ -134,9 +134,11 @@ mod tests {
         for _ in 0..steps {
             scheme.step(&mut field, &bc);
         }
-        let expected_scale = factor.powi(steps as i32);
-        let expected =
-            Field::from_values(grid, mode.values().iter().map(|v| v * expected_scale).collect());
+        let expected_scale = factor.powi(steps);
+        let expected = Field::from_values(
+            grid,
+            mode.values().iter().map(|v| v * expected_scale).collect(),
+        );
         assert!(
             field.rms_diff(&expected) < 1e-7,
             "rms {}",
@@ -157,8 +159,7 @@ mod tests {
         let mut field = mode.clone();
         let scheme = ExplicitEuler::new(alpha, dt);
         scheme.step(&mut field, &bc);
-        let expected =
-            Field::from_values(grid, mode.values().iter().map(|v| v * factor).collect());
+        let expected = Field::from_values(grid, mode.values().iter().map(|v| v * factor).collect());
         assert!(field.rms_diff(&expected) < 1e-10);
     }
 

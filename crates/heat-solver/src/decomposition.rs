@@ -283,7 +283,15 @@ impl DistributedImplicitSolver {
                 let bc = *bc;
                 scope.spawn(move |_| {
                     solver.rank_loop(
-                        rank, decomp, local, bc, link, reducer, gather_slots, results, steps,
+                        rank,
+                        decomp,
+                        local,
+                        bc,
+                        link,
+                        reducer,
+                        gather_slots,
+                        results,
+                        steps,
                     );
                 });
             }
@@ -531,7 +539,10 @@ mod tests {
         let grid = Grid2D::unit_square(4, 10);
         let d = DomainDecomposition::rows(grid, 4);
         let counts: Vec<usize> = d.blocks().iter().map(|b| b.j_count).collect();
-        assert_eq!(counts.iter().max().unwrap() - counts.iter().min().unwrap(), 1);
+        assert_eq!(
+            counts.iter().max().unwrap() - counts.iter().min().unwrap(),
+            1
+        );
     }
 
     #[test]
@@ -596,11 +607,7 @@ mod tests {
             assert_eq!(gathered.len(), steps);
             for (g, r) in gathered.iter().zip(&reference_steps) {
                 let rms = g.field.rms_diff(r);
-                assert!(
-                    rms < 1e-6,
-                    "ranks={ranks} step={} rms={rms}",
-                    g.step
-                );
+                assert!(rms < 1e-6, "ranks={ranks} step={} rms={rms}", g.step);
             }
         }
     }

@@ -38,7 +38,9 @@ pub mod solver;
 pub mod workload;
 
 pub use boundary::BoundaryConditions;
-pub use decomposition::{AllReducer, DistributedImplicitSolver, DomainDecomposition, GatheredStep, LocalBlock};
+pub use decomposition::{
+    AllReducer, DistributedImplicitSolver, DomainDecomposition, GatheredStep, LocalBlock,
+};
 pub use grid::{Field, Grid2D};
 pub use linalg::{CgReport, ConjugateGradient, JacobiSolver, ThomasSolver};
 pub use params::{ParamRange, ParameterSpace, SimulationParams};

@@ -255,13 +255,7 @@ impl ThomasSolver {
     ///
     /// `rhs` holds the right-hand side on input and the solution on output.
     /// `scratch` must have the same length and is used for the forward sweep.
-    pub fn solve_constant(
-        &self,
-        diag: f64,
-        off: f64,
-        rhs: &mut [f64],
-        scratch: &mut [f64],
-    ) {
+    pub fn solve_constant(&self, diag: f64, off: f64, rhs: &mut [f64], scratch: &mut [f64]) {
         let n = rhs.len();
         if n == 0 {
             return;
@@ -417,7 +411,11 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|k| ((k % 7) as f64) - 3.0).collect();
         let mut x_cg = vec![0.0; n];
         let mut x_j = vec![0.0; n];
-        assert!(ConjugateGradient::default().solve(&op, &b, &mut x_cg).converged);
+        assert!(
+            ConjugateGradient::default()
+                .solve(&op, &b, &mut x_cg)
+                .converged
+        );
         assert!(JacobiSolver::default().solve(&op, &b, &mut x_j).converged);
         for k in 0..n {
             assert!((x_cg[k] - x_j[k]).abs() < 1e-5);

@@ -53,7 +53,13 @@ impl SimulationParams {
     /// Returns the parameters as `f32`, the precision used for training inputs.
     pub fn as_f32_vector(&self) -> [f32; PARAM_DIM] {
         let v = self.as_vector();
-        [v[0] as f32, v[1] as f32, v[2] as f32, v[3] as f32, v[4] as f32]
+        [
+            v[0] as f32,
+            v[1] as f32,
+            v[2] as f32,
+            v[3] as f32,
+            v[4] as f32,
+        ]
     }
 
     /// Mean of the four boundary temperatures — the steady-state mean temperature

@@ -67,13 +67,7 @@ impl TimeScheme for ImplicitEuler {
 
 /// Right-hand side of the implicit system: `u^n + α Δt b` with `b` the Dirichlet
 /// boundary contribution of the 5-point Laplacian.
-fn build_rhs(
-    grid: &Grid2D,
-    u: &[f64],
-    bc: &BoundaryConditions,
-    alpha: f64,
-    dt: f64,
-) -> Vec<f64> {
+fn build_rhs(grid: &Grid2D, u: &[f64], bc: &BoundaryConditions, alpha: f64, dt: f64) -> Vec<f64> {
     let mut rhs = Vec::with_capacity(grid.len());
     let c = alpha * dt;
     for j in 0..grid.ny {
@@ -184,7 +178,7 @@ impl TimeScheme for AdiScheme {
             let mut rhs = vec![0.0; nx];
             let mut scratch = vec![0.0; nx];
             for j in 0..ny {
-                for i in 0..nx {
+                for (i, slot) in rhs.iter_mut().enumerate() {
                     let k = j * nx + i;
                     let south = if j > 0 { u[k - nx] } else { bc.south };
                     let north = if j + 1 < ny { u[k + nx] } else { bc.north };
@@ -196,7 +190,7 @@ impl TimeScheme for AdiScheme {
                     if i + 1 == nx {
                         r += rx * bc.east;
                     }
-                    rhs[i] = r;
+                    *slot = r;
                 }
                 thomas.solve_constant(1.0 + 2.0 * rx, -rx, &mut rhs, &mut scratch);
                 half[j * nx..(j + 1) * nx].copy_from_slice(&rhs);
@@ -209,7 +203,7 @@ impl TimeScheme for AdiScheme {
             let mut scratch = vec![0.0; ny];
             let out = field.values_mut();
             for i in 0..nx {
-                for j in 0..ny {
+                for (j, slot) in rhs.iter_mut().enumerate() {
                     let k = j * nx + i;
                     let west = if i > 0 { half[k - 1] } else { bc.west };
                     let east = if i + 1 < nx { half[k + 1] } else { bc.east };
@@ -220,7 +214,7 @@ impl TimeScheme for AdiScheme {
                     if j + 1 == ny {
                         r += ry * bc.north;
                     }
-                    rhs[j] = r;
+                    *slot = r;
                 }
                 thomas.solve_constant(1.0 + 2.0 * ry, -ry, &mut rhs, &mut scratch);
                 for j in 0..ny {
@@ -373,7 +367,11 @@ mod tests {
             let mut field = Field::constant(grid, 300.0);
             scheme.step(&mut field, &bc);
             for &v in field.values() {
-                assert!((v - 300.0).abs() < 1e-9, "{} broke fixed point", scheme.name());
+                assert!(
+                    (v - 300.0).abs() < 1e-9,
+                    "{} broke fixed point",
+                    scheme.name()
+                );
             }
         }
     }

@@ -106,12 +106,12 @@ impl SolverConfig {
                 "at least one time step is required".into(),
             ));
         }
-        if !(self.dt > 0.0) || !(self.alpha > 0.0) {
+        if self.dt <= 0.0 || self.dt.is_nan() || self.alpha <= 0.0 || self.alpha.is_nan() {
             return Err(SolverError::InvalidConfig(
                 "dt and alpha must be positive".into(),
             ));
         }
-        if !(self.lx > 0.0) || !(self.ly > 0.0) {
+        if self.lx <= 0.0 || self.lx.is_nan() || self.ly <= 0.0 || self.ly.is_nan() {
             return Err(SolverError::InvalidConfig(
                 "domain lengths must be positive".into(),
             ));
@@ -245,10 +245,7 @@ impl HeatSolver {
     }
 
     /// Runs the full trajectory, pushing every step into `sink`.
-    pub fn run_with_sink(
-        &self,
-        mut sink: impl FnMut(TimeStepField),
-    ) -> Result<(), SolverError> {
+    pub fn run_with_sink(&self, mut sink: impl FnMut(TimeStepField)) -> Result<(), SolverError> {
         for step in self.run()? {
             sink(step);
         }
@@ -352,14 +349,20 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_configs() {
-        let mut c = SolverConfig::default();
-        c.nx = 0;
+        let c = SolverConfig {
+            nx: 0,
+            ..Default::default()
+        };
         assert!(matches!(c.validate(), Err(SolverError::InvalidConfig(_))));
-        let mut c = SolverConfig::default();
-        c.dt = 0.0;
+        let c = SolverConfig {
+            dt: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SolverConfig::default();
-        c.steps = 0;
+        let c = SolverConfig {
+            steps: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -414,14 +417,21 @@ mod tests {
 
     #[test]
     fn all_schemes_stay_within_physical_bounds() {
-        for scheme in [SchemeKind::ImplicitEuler, SchemeKind::ExplicitEuler, SchemeKind::Adi] {
+        for scheme in [
+            SchemeKind::ImplicitEuler,
+            SchemeKind::ExplicitEuler,
+            SchemeKind::Adi,
+        ] {
             let solver = HeatSolver::new(small_config(scheme), params()).unwrap();
             let steps = solver.trajectory().unwrap();
             for s in steps {
                 for &v in &s.values {
                     assert!(v.is_finite());
                     assert!((150.0..=450.0).contains(&(v as f64 + 1e-3)) || v >= 150.0 - 1.0);
-                    assert!(v >= 149.0 && v <= 451.0, "value {v} out of physical range");
+                    assert!(
+                        (149.0..=451.0).contains(&v),
+                        "value {v} out of physical range"
+                    );
                 }
             }
         }

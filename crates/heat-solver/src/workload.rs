@@ -95,10 +95,7 @@ impl SyntheticWorkload {
     }
 
     /// Generates and collects the full trajectory.
-    pub fn trajectory(
-        &self,
-        params: SimulationParams,
-    ) -> Result<Vec<TimeStepField>, SolverError> {
+    pub fn trajectory(&self, params: SimulationParams) -> Result<Vec<TimeStepField>, SolverError> {
         let mut out = Vec::with_capacity(self.config.steps);
         self.generate(params, |s| out.push(s))?;
         Ok(out)
@@ -175,7 +172,10 @@ mod tests {
         let steps = w.trajectory(params()).unwrap();
         for s in steps {
             for &v in &s.values {
-                assert!(v >= 100.0 && v <= 500.0, "value {v} escapes sampled range");
+                assert!(
+                    (100.0..=500.0).contains(&v),
+                    "value {v} escapes sampled range"
+                );
             }
         }
     }

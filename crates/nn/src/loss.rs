@@ -97,8 +97,14 @@ mod tests {
     fn value_matches_evaluate() {
         let pred = Matrix::from_rows(&[vec![1.0, 2.0], vec![-1.0, 0.5]]);
         let target = Matrix::from_rows(&[vec![0.5, 2.0], vec![0.0, 0.0]]);
-        assert_eq!(MseLoss.value(&pred, &target), MseLoss.evaluate(&pred, &target).0);
-        assert_eq!(MaeLoss.value(&pred, &target), MaeLoss.evaluate(&pred, &target).0);
+        assert_eq!(
+            MseLoss.value(&pred, &target),
+            MseLoss.evaluate(&pred, &target).0
+        );
+        assert_eq!(
+            MaeLoss.value(&pred, &target),
+            MaeLoss.evaluate(&pred, &target).0
+        );
     }
 
     #[test]

@@ -134,10 +134,7 @@ impl Matrix {
 
     /// `selfᵀ · other` without materialising the transpose.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, other.rows,
-            "transpose_matmul dimension mismatch"
-        );
+        assert_eq!(self.rows, other.rows, "transpose_matmul dimension mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
         let n = other.cols;
         for r in 0..self.rows {

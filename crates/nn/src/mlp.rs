@@ -85,7 +85,12 @@ pub struct DenseLayer {
 
 impl DenseLayer {
     /// Creates a layer with the given initialiser.
-    pub fn new(fan_in: usize, fan_out: usize, activation: Activation, init: &mut WeightInit) -> Self {
+    pub fn new(
+        fan_in: usize,
+        fan_out: usize,
+        activation: Activation,
+        init: &mut WeightInit,
+    ) -> Self {
         Self {
             weights: Matrix::from_vec(fan_in, fan_out, init.weights(fan_in, fan_out)),
             biases: init.biases(fan_out),
@@ -321,7 +326,11 @@ impl Mlp {
     /// # Panics
     /// Panics when the length does not match [`Mlp::param_count`].
     pub fn set_params_flat(&mut self, params: &[f32]) {
-        assert_eq!(params.len(), self.param_count(), "parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "parameter length mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             let w_len = layer.weights.data().len();
@@ -331,7 +340,9 @@ impl Mlp {
                 .copy_from_slice(&params[offset..offset + w_len]);
             offset += w_len;
             let b_len = layer.biases.len();
-            layer.biases.copy_from_slice(&params[offset..offset + b_len]);
+            layer
+                .biases
+                .copy_from_slice(&params[offset..offset + b_len]);
             offset += b_len;
         }
     }
@@ -343,7 +354,7 @@ impl Mlp {
         for layer in &self.layers {
             match &layer.grad_weights {
                 Some(g) => out.extend_from_slice(g.data()),
-                None => out.extend(std::iter::repeat(0.0).take(layer.weights.data().len())),
+                None => out.extend(std::iter::repeat_n(0.0, layer.weights.data().len())),
             }
             out.extend_from_slice(&layer.grad_biases);
         }
@@ -541,7 +552,10 @@ mod tests {
     #[test]
     fn output_layer_is_linear() {
         let mlp = tiny_mlp(7);
-        assert_eq!(mlp.layers().last().unwrap().activation, Activation::Identity);
+        assert_eq!(
+            mlp.layers().last().unwrap().activation,
+            Activation::Identity
+        );
         assert_eq!(mlp.layers().first().unwrap().activation, Activation::ReLU);
     }
 }

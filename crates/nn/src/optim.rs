@@ -225,8 +225,14 @@ mod tests {
         let mut opt = Adam::new(AdamConfig::default(), m.param_count());
         opt.step(&mut m, &grads, 1e-3);
         let after = m.params_flat();
-        assert!((before[0] - after[0] - 1e-3).abs() < 1e-5, "positive gradient moves down");
-        assert!((after[1] - before[1] - 1e-3).abs() < 1e-5, "negative gradient moves up");
+        assert!(
+            (before[0] - after[0] - 1e-3).abs() < 1e-5,
+            "positive gradient moves down"
+        );
+        assert!(
+            (after[1] - before[1] - 1e-3).abs() < 1e-5,
+            "negative gradient moves up"
+        );
         // Untouched parameters keep their value.
         assert_eq!(before[2], after[2]);
     }
@@ -256,7 +262,10 @@ mod tests {
     #[test]
     fn optimizer_names() {
         let m = model();
-        assert_eq!(Adam::new(AdamConfig::default(), m.param_count()).name(), "adam");
+        assert_eq!(
+            Adam::new(AdamConfig::default(), m.param_count()).name(),
+            "adam"
+        );
         assert_eq!(Sgd::new(0.0, m.param_count()).name(), "sgd");
     }
 

@@ -62,11 +62,7 @@ impl Default for StepHalving {
 
 impl LrSchedule for StepHalving {
     fn learning_rate(&self, batches: usize, _samples: usize) -> f32 {
-        let halvings = if self.interval_batches == 0 {
-            0
-        } else {
-            (batches / self.interval_batches) as i32
-        };
+        let halvings = batches.checked_div(self.interval_batches).unwrap_or(0) as i32;
         (self.initial * 0.5f32.powi(halvings)).max(self.floor)
     }
 
@@ -99,11 +95,7 @@ impl Default for SampleBasedHalving {
 
 impl LrSchedule for SampleBasedHalving {
     fn learning_rate(&self, _batches: usize, samples: usize) -> f32 {
-        let halvings = if self.interval_samples == 0 {
-            0
-        } else {
-            (samples / self.interval_samples) as i32
-        };
+        let halvings = samples.checked_div(self.interval_samples).unwrap_or(0) as i32;
         (self.initial * 0.5f32.powi(halvings)).max(self.floor)
     }
 
@@ -118,7 +110,9 @@ mod tests {
 
     #[test]
     fn constant_is_constant() {
-        let s = ConstantLr { learning_rate: 0.01 };
+        let s = ConstantLr {
+            learning_rate: 0.01,
+        };
         assert_eq!(s.learning_rate(0, 0), 0.01);
         assert_eq!(s.learning_rate(1_000_000, 99), 0.01);
     }
@@ -168,7 +162,10 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        assert_ne!(StepHalving::default().name(), SampleBasedHalving::default().name());
+        assert_ne!(
+            StepHalving::default().name(),
+            SampleBasedHalving::default().name()
+        );
         assert_ne!(
             StepHalving::default().name(),
             ConstantLr { learning_rate: 1.0 }.name()

@@ -51,7 +51,10 @@ impl Fabric {
     /// Panics when the rank count or the channel capacity is zero.
     pub fn new(config: FabricConfig) -> Self {
         assert!(config.num_server_ranks > 0, "need at least one server rank");
-        assert!(config.channel_capacity > 0, "channel capacity must be positive");
+        assert!(
+            config.channel_capacity > 0,
+            "channel capacity must be positive"
+        );
         let mut senders = Vec::with_capacity(config.num_server_ranks);
         let mut receivers = Vec::with_capacity(config.num_server_ranks);
         for _ in 0..config.num_server_ranks {
@@ -165,11 +168,7 @@ impl ServerEndpoint {
 }
 
 /// Internal hook used by [`crate::client::ClientConnection`] to record a send.
-pub(crate) fn record_send(
-    stats: &Mutex<TransportStats>,
-    bytes: usize,
-    delivery: Delivery,
-) {
+pub(crate) fn record_send(stats: &Mutex<TransportStats>, bytes: usize, delivery: Delivery) {
     let mut stats = stats.lock();
     stats.messages_sent += 1;
     stats.bytes_sent += bytes as u64;
@@ -304,7 +303,9 @@ mod tests {
         let fabric = Fabric::new(FabricConfig::default());
         let endpoints = fabric.server_endpoints();
         let start = std::time::Instant::now();
-        assert!(endpoints[0].recv_timeout(Duration::from_millis(20)).is_none());
+        assert!(endpoints[0]
+            .recv_timeout(Duration::from_millis(20))
+            .is_none());
         assert!(start.elapsed() >= Duration::from_millis(15));
     }
 

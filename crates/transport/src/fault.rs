@@ -43,9 +43,7 @@ impl FaultConfig {
 
     /// True when no fault of any kind is configured.
     pub fn is_noop(&self) -> bool {
-        self.drop_probability == 0.0
-            && self.duplicate_probability == 0.0
-            && self.latency.is_zero()
+        self.drop_probability == 0.0 && self.duplicate_probability == 0.0 && self.latency.is_zero()
     }
 }
 

@@ -68,14 +68,24 @@ fn main() {
         config.training.num_ranks = 2;
         config.training.validation_interval_batches = 10;
 
-        let (_, report) = OnlineExperiment::new(config).expect("valid configuration").run();
+        let (_, report) = OnlineExperiment::new(config)
+            .expect("valid configuration")
+            .run();
         println!("{:<10} {}", kind.label(), report.summary());
         println!(
             "{:<10}   repeats {:.1}%  producer waits {}  consumer waits {}",
             "",
             100.0 * report.repetition_fraction(),
-            report.buffer_stats.iter().map(|s| s.producer_waits).sum::<usize>(),
-            report.buffer_stats.iter().map(|s| s.consumer_waits).sum::<usize>(),
+            report
+                .buffer_stats
+                .iter()
+                .map(|s| s.producer_waits)
+                .sum::<usize>(),
+            report
+                .buffer_stats
+                .iter()
+                .map(|s| s.consumer_waits)
+                .sum::<usize>(),
         );
     }
 

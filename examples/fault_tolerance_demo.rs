@@ -63,7 +63,9 @@ fn main() {
     let (_, report) = OnlineExperiment::new(config.clone())
         .expect("valid configuration")
         .run();
-    let transport = report.transport.expect("online runs record transport stats");
+    let transport = report
+        .transport
+        .expect("online runs record transport stats");
     println!("  {}", report.summary());
     println!(
         "  transport: {} sent, {} delivered, {} dropped, {} duplicated",

@@ -25,7 +25,10 @@ fn main() {
     config.training.validation_interval_batches = 25;
     config.surrogate.hidden_width = 64;
 
-    println!("Training a surrogate on {} solver runs…", config.total_simulations());
+    println!(
+        "Training a surrogate on {} solver runs…",
+        config.total_simulations()
+    );
     let (surrogate, report) = OnlineExperiment::new(config.clone())
         .expect("valid configuration")
         .run();
@@ -58,8 +61,14 @@ fn main() {
     let input_norm = InputNormalizer::for_trajectory(config.solver.steps, config.solver.dt);
     let output_norm = OutputNormalizer::default();
 
-    println!("\nSurrogate vs solver on unseen parameters {:?}:", params.as_vector());
-    println!("{:>6} {:>12} {:>12} {:>10}", "step", "solver mean", "surrogate", "RMSE (K)");
+    println!(
+        "\nSurrogate vs solver on unseen parameters {:?}:",
+        params.as_vector()
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "step", "solver mean", "surrogate", "RMSE (K)"
+    );
     for step in reference.iter().step_by(5) {
         let input = input_norm.normalize(&step.input_vector());
         let prediction = restored.predict(&Matrix::from_rows(&[input]));

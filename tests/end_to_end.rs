@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: full online and offline experiments through
 //! the public API of the workspace crates.
 
-use melissa::{DiskConfig, ExperimentConfig, OfflineExperiment, OnlineExperiment, ServerCheckpoint};
+use melissa::{
+    DiskConfig, ExperimentConfig, OfflineExperiment, OnlineExperiment, ServerCheckpoint,
+};
 use melissa_ensemble::CampaignPlan;
 use melissa_transport::FaultConfig;
 use surrogate_nn::Matrix;
@@ -51,7 +53,10 @@ fn online_training_with_multiple_ranks_balances_data() {
     let (_, report) = OnlineExperiment::new(config).unwrap().run();
     assert_eq!(report.buffer_stats.len(), 3);
     let total_puts: usize = report.buffer_stats.iter().map(|s| s.puts).sum();
-    assert_eq!(total_puts, 60, "round-robin delivers every sample to some rank");
+    assert_eq!(
+        total_puts, 60,
+        "round-robin delivers every sample to some rank"
+    );
     for stats in &report.buffer_stats {
         // 6 clients × 10 steps round-robined over 3 ranks → 20 per rank.
         assert_eq!(stats.puts, 20);
@@ -70,7 +75,10 @@ fn offline_training_is_deterministic_for_a_fixed_seed() {
     let (params_a, samples_a) = run();
     let (params_b, samples_b) = run();
     assert_eq!(samples_a, samples_b);
-    assert_eq!(params_a, params_b, "offline training must be bit-reproducible");
+    assert_eq!(
+        params_a, params_b,
+        "offline training must be bit-reproducible"
+    );
 }
 
 #[test]
@@ -84,7 +92,10 @@ fn online_and_offline_see_the_same_generated_data() {
         online.unique_samples_produced,
         offline.unique_samples_produced
     );
-    assert_eq!(online.unique_samples_trained, offline.unique_samples_trained);
+    assert_eq!(
+        online.unique_samples_trained,
+        offline.unique_samples_trained
+    );
     // Offline pays a separate generation phase; online overlaps it with training.
     assert!(offline.generation_seconds.is_some());
     assert!(online.generation_seconds.is_none());

@@ -35,13 +35,8 @@ fn solver_to_transport_to_buffer_to_network_pipeline() {
     });
     let endpoints = fabric.server_endpoints();
     for client_id in 0..2u64 {
-        let params = SimulationParams::new([
-            300.0 + client_id as f64 * 50.0,
-            150.0,
-            250.0,
-            350.0,
-            450.0,
-        ]);
+        let params =
+            SimulationParams::new([300.0 + client_id as f64 * 50.0, 150.0, 250.0, 350.0, 450.0]);
         let solver = HeatSolver::new(config, params).unwrap();
         let connection = ClientApi::init_communication(&fabric, client_id);
         solver
@@ -142,7 +137,10 @@ fn restarted_client_is_deduplicated_across_the_full_stack() {
             }
         }
     }
-    assert_eq!(accepted, config.steps, "each unique step accepted exactly once");
+    assert_eq!(
+        accepted, config.steps,
+        "each unique step accepted exactly once"
+    );
     assert_eq!(discarded, 5, "the replayed prefix is discarded");
 }
 
@@ -182,6 +180,9 @@ fn buffer_is_shareable_between_producer_and_consumer_threads() {
     };
     producer.join().unwrap();
     let consumed = consumer.join().unwrap();
-    assert!(consumed >= config.steps, "at least every unique step is served");
+    assert!(
+        consumed >= config.steps,
+        "at least every unique step is served"
+    );
     assert_eq!(buffer.len(), 0);
 }

@@ -1,0 +1,274 @@
+//! Vendored stand-in for the `bytes` crate.
+//!
+//! [`BytesMut`] is a growable buffer implementing [`BufMut`]; freezing it
+//! yields a cheaply-cloneable [`Bytes`] (shared `Arc` storage) implementing
+//! the cursor-style [`Buf`] reader. Multi-byte accessors are big-endian, like
+//! the upstream crate.
+
+use std::sync::Arc;
+
+/// Read side: a cursor over a byte sequence.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `count` bytes.
+    fn advance(&mut self, count: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let value = self.chunk()[0];
+        self.advance(1);
+        value
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `f32`.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_array())
+    }
+
+    /// Copies out the next `N` bytes (helper for the fixed-width getters).
+    #[doc(hidden)]
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.chunk()[..N]);
+        self.advance(N);
+        out
+    }
+}
+
+/// Write side: an append-only byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, value: u16) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f32`.
+    fn put_f32(&mut self, value: f32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, value: f64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+}
+
+/// A cheaply-cloneable, immutable byte sequence with a read cursor.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+}
+
+impl Bytes {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static slice (copied here; the upstream crate borrows it).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::copy_from_slice(bytes)
+    }
+
+    /// Copies a slice into a new `Bytes`.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Self {
+            data: bytes.into(),
+            start: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// True when fully consumed (or empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    fn advance(&mut self, count: usize) {
+        assert!(count <= self.len(), "advance past end of Bytes");
+        self.start += count;
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Self {
+        Self {
+            data: vec.into(),
+            start: 0,
+        }
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            vec: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.vec.extend_from_slice(bytes);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_roundtrip() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(u64::MAX - 3);
+        buf.put_f32(1.5);
+        buf.put_f64(-2.25);
+        let mut frozen = buf.freeze();
+        assert_eq!(frozen.remaining(), 1 + 4 + 8 + 4 + 8);
+        assert_eq!(frozen.get_u8(), 7);
+        assert_eq!(frozen.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(frozen.get_u64(), u64::MAX - 3);
+        assert_eq!(frozen.get_f32(), 1.5);
+        assert_eq!(frozen.get_f64(), -2.25);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn clones_have_independent_cursors() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u32(2);
+        let mut a = buf.freeze();
+        let mut b = a.clone();
+        assert_eq!(a.get_u32(), 1);
+        assert_eq!(b.get_u32(), 1);
+        assert_eq!(a.get_u32(), 2);
+        assert_eq!(b.get_u32(), 2);
+    }
+}

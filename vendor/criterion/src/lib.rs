@@ -1,0 +1,280 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Exposes the API surface the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`] / `iter_with_setup`,
+//! [`BenchmarkId`] — and reports a simple mean time per iteration. There is
+//! no statistical analysis; the point is that `cargo bench` runs and prints
+//! comparable numbers without network access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Modest defaults: enough for stable means, fast enough for CI.
+            measurement_time: Duration::from_millis(200),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; command-line filtering is not
+    /// implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Bounds the time spent measuring one benchmark (capped at 1s so
+    /// vendored benches stay quick even with upstream-tuned settings).
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Sets the sample count.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the vendored harness has no warm-up
+    /// phase beyond the first discarded calibration sample.
+    pub fn warm_up_time(self, _time: Duration) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: impl Display, mut routine: impl FnMut(&mut Bencher)) {
+        let label = name.to_string();
+        let (mean, iterations) = run_bench(self.measurement_time, self.sample_size, &mut routine);
+        report(&label, mean, iterations);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Bounds the time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        // Cap so vendored benches stay quick even with upstream-tuned settings.
+        self.measurement_time = time.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Accepted for API compatibility; the vendored harness has no warm-up
+    /// phase beyond the first discarded sample.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let (mean, iterations) = run_bench(self.measurement_time, self.sample_size, &mut routine);
+        report(&label, mean, iterations);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let (mean, iterations) =
+            run_bench(self.measurement_time, self.sample_size, &mut |bencher| {
+                routine(bencher, input)
+            });
+        report(&label, mean, iterations);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.function {
+            Some(function) => write!(f, "{}/{}", function, self.parameter),
+            None => f.write_str(&self.parameter),
+        }
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark routine; runs and times the measured closure.
+pub struct Bencher {
+    /// Iterations the harness asks for in the current sample.
+    iterations: u64,
+    /// Time the measured closure consumed in the current sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iterations` times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Runs one benchmark: calibrates an iteration count, then averages samples.
+/// Returns (mean time per iteration, total iterations).
+fn run_bench(
+    measurement_time: Duration,
+    sample_size: usize,
+    routine: &mut impl FnMut(&mut Bencher),
+) -> (Duration, u64) {
+    // Calibration: one iteration, discarded (also serves as warm-up).
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let calibration = bencher.elapsed.max(Duration::from_nanos(1));
+
+    // Pick a per-sample iteration count that fits the time budget.
+    let budget_per_sample = measurement_time / (sample_size as u32);
+    let iterations =
+        (budget_per_sample.as_nanos() / calibration.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iterations = 0u64;
+    for _ in 0..sample_size {
+        bencher.iterations = iterations;
+        routine(&mut bencher);
+        total += bencher.elapsed;
+        total_iterations += iterations;
+    }
+    (total / (total_iterations.max(1) as u32), total_iterations)
+}
+
+fn report(label: &str, mean: Duration, iterations: u64) {
+    println!(
+        "bench: {label:<60} {:>12.1} ns/iter ({iterations} iterations)",
+        mean.as_nanos() as f64
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $group;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,13 @@
+//! Vendored stand-in for the `crossbeam` facade crate.
+//!
+//! Provides the two pieces the workspace uses:
+//!
+//! * [`scope`] — scoped threads whose closures receive the scope (crossbeam's
+//!   signature), implemented over `std::thread::scope`;
+//! * [`channel`] — bounded MPMC channels with blocking `send` / `recv`,
+//!   `try_recv`, `recv_timeout` and disconnection semantics.
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::{scope, Scope, ScopedJoinHandle};

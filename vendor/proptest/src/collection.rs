@@ -1,0 +1,29 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::{SizeRange, Strategy};
+use rand_chacha::ChaCha8Rng;
+
+/// A strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

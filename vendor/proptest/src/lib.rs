@@ -1,0 +1,78 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property suites use: the [`proptest!`]
+//! macro (with `#![proptest_config(…)]`), range strategies for integers and
+//! floats, `prop::collection::vec`, `prop::sample::select`, `Just`,
+//! `Strategy::prop_map`, and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking: inputs are drawn from a
+//! deterministic per-case ChaCha stream (so failures reproduce run-to-run)
+//! and failures panic with the case number.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the test files import via `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! The `prop::` module-path alias used inside test bodies.
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, …) { body }` becomes
+/// a `#[test]` running the body over `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}

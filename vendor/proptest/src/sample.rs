@@ -1,0 +1,25 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A strategy choosing uniformly from a fixed list.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires at least one item");
+    Select { items }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+        self.items[rng.gen_range(0..self.items.len())].clone()
+    }
+}

@@ -1,0 +1,148 @@
+//! The [`Strategy`] trait and the core strategy adapters.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+/// A strategy over a type's "natural" full range (`any::<bool>()`, …).
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a natural full-range distribution for [`any`].
+pub trait ArbitraryValue: Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut ChaCha8Rng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut ChaCha8Rng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy always yielding clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut ChaCha8Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) strategy: S,
+    pub(crate) map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+/// Sizes accepted by `collection::vec`: a fixed length or a range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    pub(crate) min: usize,
+    pub(crate) max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self {
+            min: len,
+            max_exclusive: len + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        Self {
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        Self {
+            min: *range.start(),
+            max_exclusive: range.end() + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    pub(crate) fn pick(&self, rng: &mut ChaCha8Rng) -> usize {
+        if self.min + 1 >= self.max_exclusive {
+            self.min
+        } else {
+            rng.gen_range(self.min..self.max_exclusive)
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Test-run configuration and per-case RNG derivation.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration accepted by `#![proptest_config(…)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for one test case: seeded from the test name and the
+/// case index so every property explores a distinct but reproducible stream.
+pub fn case_rng(test_name: &str, case: u32) -> ChaCha8Rng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    ChaCha8Rng::seed_from_u64(hash ^ ((case as u64) << 32 | case as u64))
+}

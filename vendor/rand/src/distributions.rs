@@ -1,0 +1,205 @@
+//! Distributions: [`Standard`] and [`Uniform`], plus the sampling traits
+//! backing `Rng::gen_range`.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution: uniform `[0, 1)` for floats, full range for
+/// integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64
+);
+
+/// Uniform distribution over a fixed interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T: uniform::SampleUniform> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: uniform::SampleUniform> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        Self {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        Self {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: uniform::SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(self.low, self.high, self.inclusive, rng)
+    }
+}
+
+pub mod uniform {
+    //! The traits backing `Rng::gen_range` and [`super::Uniform`].
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from an interval.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform draw from `[low, high)` (`inclusive` = false) or
+        /// `[low, high]` (`inclusive` = true).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty as $wide:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    if inclusive {
+                        assert!(low <= high, "gen_range: empty range");
+                    } else {
+                        assert!(low < high, "gen_range: empty range");
+                    }
+                    let span = (high as $wide).wrapping_sub(low as $wide);
+                    let span = if inclusive { span.wrapping_add(1) } else { span };
+                    if span == 0 {
+                        // Inclusive full-range request: every value is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    // Modulo draw from 64 fresh bits: the bias is at most
+                    // span / 2^64, far below anything the workspace's
+                    // statistical tests can resolve.
+                    let draw = rng.next_u64() % (span as u64);
+                    ((low as $wide).wrapping_add(draw as $wide)) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(
+        u8 as u64,
+        u16 as u64,
+        u32 as u64,
+        u64 as u64,
+        usize as u64,
+        i8 as i64,
+        i16 as i64,
+        i32 as i64,
+        i64 as i64,
+        isize as i64
+    );
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low <= high, "gen_range: empty range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let sampled = (low as f64 + unit * (high as f64 - low as f64)) as $t;
+                    // Floating rounding may land exactly on `high`; nudge back
+                    // inside so the half-open contract holds.
+                    if !inclusive && sampled >= high && low < high {
+                        let bits = high.to_bits();
+                        // The next float toward -inf: bits-1 for positives,
+                        // bits+1 for negatives (and -min_positive below +0.0).
+                        if high > 0.0 {
+                            <$t>::from_bits(bits - 1)
+                        } else if high < 0.0 {
+                            <$t>::from_bits(bits + 1)
+                        } else {
+                            -<$t>::from_bits(1)
+                        }
+                    } else {
+                        sampled
+                    }
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+
+    /// Ranges accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(*self.start(), *self.end(), true, rng)
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The single error type shared by serialisation and deserialisation.
+
+/// Error produced when a [`crate::Value`] tree cannot be converted to the
+/// requested type, or when JSON text is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with an arbitrary message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Error for a struct field absent from the serialised object.
+    pub fn missing_field(field: &str, container: &str) -> Self {
+        Self::custom(format!("missing field `{field}` in `{container}`"))
+    }
+
+    /// Error for a [`crate::Value`] of the wrong kind.
+    pub fn expected(what: &str, context: &str) -> Self {
+        Self::custom(format!("expected {what} for {context}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}

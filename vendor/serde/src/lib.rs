@@ -1,0 +1,38 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships a
+//! minimal replacement that preserves the import surface the code base uses —
+//! `serde::{Serialize, Deserialize}` as both traits and derive macros — while
+//! replacing serde's visitor architecture with a direct JSON-oriented data
+//! model ([`Value`]). `serde_json` (also vendored) serialises any
+//! [`Serialize`] type to JSON text and back.
+//!
+//! Numbers are carried as their literal JSON text ([`Value::Number`]) so that
+//! every integer and floating-point type round-trips exactly: the text is
+//! produced with Rust's shortest-roundtrip formatting and re-parsed with the
+//! destination type's own parser.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::Value;
+
+/// A type that can be converted into the JSON data model.
+///
+/// Stand-in for `serde::Serialize`; implemented via `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the JSON data model.
+///
+/// Stand-in for `serde::Deserialize`; implemented via `#[derive(Deserialize)]`.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}

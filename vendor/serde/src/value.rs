@@ -1,0 +1,77 @@
+//! The JSON data model used by the vendored serde stand-in.
+
+/// A JSON value.
+///
+/// Numbers keep their literal JSON text so that integers up to `u64::MAX` and
+/// floating-point values round-trip without precision loss (the text is parsed
+/// with the destination type's own parser on conversion).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON number, as its literal text (e.g. `"-12.5e3"`).
+    Number(String),
+    /// A JSON string.
+    Str(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object. Insertion order is preserved; lookups scan linearly
+    /// (objects here are small struct images).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The boolean payload, when this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The literal number text, when this is a `Number`.
+    pub fn as_number(&self) -> Option<&str> {
+        match self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The entries, when this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key, when this is an `Object`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// True when this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}

@@ -1,0 +1,290 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are not available offline, so the derive input is parsed
+//! directly from the `proc_macro` token stream by a small hand-rolled parser.
+//! The supported shapes are exactly what the workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(default)]`),
+//! * tuple structs (newtype and general),
+//! * unit structs,
+//! * enums with unit, newtype/tuple and struct variants (serialised with
+//!   serde's externally-tagged representation).
+//!
+//! Generics are not supported; deriving on a generic type fails with a
+//! compile error naming this limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Fields, Variant};
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    let body = match &item.data {
+        parse::Data::Struct(fields) => serialize_struct_body(fields, "self", true),
+        parse::Data::Enum(variants) => serialize_enum_body(&item.name, variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    )
+    .parse()
+    .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    let body = match &item.data {
+        parse::Data::Struct(fields) => deserialize_struct_body(&item.name, fields),
+        parse::Data::Enum(variants) => deserialize_enum_body(&item.name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    )
+    .parse()
+    .expect("serde_derive generated invalid Deserialize impl")
+}
+
+/// Serialisation expression for struct-like fields.
+///
+/// `access` is how fields are reached: `"self"` generates `self.a` / `self.0`
+/// (`direct` = true); anything else means match bindings `__f0, __f1, …` are
+/// in scope (`direct` = false, used for enum variants).
+fn serialize_struct_body(fields: &Fields, access: &str, direct: bool) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_owned(),
+        Fields::Tuple(count) => {
+            let element = |idx: usize| {
+                if direct {
+                    format!("::serde::Serialize::serialize(&{access}.{idx})")
+                } else {
+                    format!("::serde::Serialize::serialize(__f{idx})")
+                }
+            };
+            if *count == 1 {
+                // Newtype: serialise transparently as the inner value.
+                element(0)
+            } else {
+                let items: Vec<String> = (0..*count).map(element).collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Fields::Named(named) => {
+            let mut out = String::from(
+                "{ let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for field in named {
+                if field.skip {
+                    continue;
+                }
+                let value = if direct {
+                    format!("::serde::Serialize::serialize(&{access}.{})", field.name)
+                } else {
+                    format!("::serde::Serialize::serialize({})", field.name)
+                };
+                out.push_str(&format!(
+                    "__obj.push((\"{name}\".to_owned(), {value}));\n",
+                    name = field.name,
+                ));
+            }
+            out.push_str("::serde::Value::Object(__obj) }");
+            out
+        }
+    }
+}
+
+fn serialize_enum_body(enum_name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{enum_name}::{vname} => ::serde::Value::Str(\"{vname}\".to_owned()),\n"
+                ));
+            }
+            Fields::Tuple(count) => {
+                let bindings: Vec<String> = (0..*count).map(|i| format!("__f{i}")).collect();
+                let payload = serialize_struct_body(&variant.fields, "", false);
+                arms.push_str(&format!(
+                    "{enum_name}::{vname}({binds}) => ::serde::Value::Object(vec![(\
+                     \"{vname}\".to_owned(), {payload})]),\n",
+                    binds = bindings.join(", "),
+                ));
+            }
+            Fields::Named(named) => {
+                let bindings: Vec<&str> = named.iter().map(|f| f.name.as_str()).collect();
+                let payload = serialize_struct_body(&variant.fields, "", false);
+                arms.push_str(&format!(
+                    "{enum_name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                     \"{vname}\".to_owned(), {payload})]),\n",
+                    binds = bindings.join(", "),
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+/// Field initialiser list for a named-field constructor (`a: …, b: …`).
+///
+/// `source` is an expression of type `&::serde::Value` holding the object.
+fn named_field_inits(container: &str, named: &[parse::Field], source: &str) -> String {
+    let mut out = String::new();
+    for field in named {
+        let name = &field.name;
+        if field.skip {
+            out.push_str(&format!("{name}: ::core::default::Default::default(),\n"));
+        } else if field.default {
+            out.push_str(&format!(
+                "{name}: match {source}.get(\"{name}\") {{\n\
+                     Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+                     None => ::core::default::Default::default(),\n\
+                 }},\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{name}: ::serde::Deserialize::deserialize({source}.get(\"{name}\")\
+                 .ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{container}\"))?)?,\n"
+            ));
+        }
+    }
+    out
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("let _ = value; Ok({name})"),
+        Fields::Tuple(count) => {
+            if *count == 1 {
+                format!("Ok({name}(::serde::Deserialize::deserialize(value)?))")
+            } else {
+                let items: Vec<String> = (0..*count)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = value.as_array()\
+                         .ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                     if __items.len() != {count} {{\n\
+                         return Err(::serde::Error::custom(format!(\
+                             \"expected {count} elements for {name}, got {{}}\", __items.len())));\n\
+                     }}\n\
+                     Ok({name}({items}))",
+                    items = items.join(", "),
+                )
+            }
+        }
+        Fields::Named(named) => {
+            format!(
+                "if value.as_object().is_none() {{\n\
+                     return Err(::serde::Error::expected(\"object\", \"{name}\"));\n\
+                 }}\n\
+                 Ok({name} {{\n{inits}}})",
+                inits = named_field_inits(name, named, "value"),
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(enum_name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .collect();
+    let data: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .collect();
+
+    let mut out = String::new();
+    if !unit.is_empty() {
+        out.push_str("if let Some(__s) = value.as_str() {\nreturn match __s {\n");
+        for variant in &unit {
+            let vname = &variant.name;
+            out.push_str(&format!("\"{vname}\" => Ok({enum_name}::{vname}),\n"));
+        }
+        out.push_str(&format!(
+            "__other => Err(::serde::Error::custom(format!(\
+             \"unknown variant `{{__other}}` of {enum_name}\"))),\n}};\n}}\n"
+        ));
+    }
+    if !data.is_empty() {
+        out.push_str(
+            "if let Some(__obj) = value.as_object() {\n\
+             if __obj.len() == 1 {\n\
+             let (__tag, __inner) = &__obj[0];\n\
+             return match __tag.as_str() {\n",
+        );
+        for variant in &data {
+            let vname = &variant.name;
+            match &variant.fields {
+                Fields::Unit => unreachable!("unit variants handled above"),
+                Fields::Tuple(count) => {
+                    if *count == 1 {
+                        out.push_str(&format!(
+                            "\"{vname}\" => Ok({enum_name}::{vname}(\
+                             ::serde::Deserialize::deserialize(__inner)?)),\n"
+                        ));
+                    } else {
+                        let items: Vec<String> = (0..*count)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = __inner.as_array()\
+                                 .ok_or_else(|| ::serde::Error::expected(\"array\", \"{enum_name}::{vname}\"))?;\n\
+                             if __items.len() != {count} {{\n\
+                                 return Err(::serde::Error::custom(format!(\
+                                     \"expected {count} elements for {enum_name}::{vname}, got {{}}\",\
+                                     __items.len())));\n\
+                             }}\n\
+                             Ok({enum_name}::{vname}({items}))\n\
+                             }}\n",
+                            items = items.join(", "),
+                        ));
+                    }
+                }
+                Fields::Named(named) => {
+                    out.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         if __inner.as_object().is_none() {{\n\
+                             return Err(::serde::Error::expected(\"object\", \"{enum_name}::{vname}\"));\n\
+                         }}\n\
+                         Ok({enum_name}::{vname} {{\n{inits}}})\n\
+                         }}\n",
+                        inits =
+                            named_field_inits(&format!("{enum_name}::{vname}"), named, "__inner"),
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "__other => Err(::serde::Error::custom(format!(\
+             \"unknown variant `{{__other}}` of {enum_name}\"))),\n}};\n}}\n}}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "Err(::serde::Error::expected(\"a {enum_name} variant\", \"{enum_name}\"))"
+    ));
+    out
+}
+
+/// Returns the tokens inside the single delimiter group, panicking otherwise.
+pub(crate) fn group_tokens(tree: &TokenTree, delimiter: Delimiter) -> Vec<TokenTree> {
+    match tree {
+        TokenTree::Group(g) if g.delimiter() == delimiter => g.stream().into_iter().collect(),
+        other => panic!("serde derive: expected {delimiter:?} group, found `{other}`"),
+    }
+}

@@ -1,0 +1,271 @@
+//! Hand-rolled parser for derive input token streams.
+//!
+//! Recognises `struct` / `enum` items with attributes, visibility markers and
+//! the `#[serde(skip)]` / `#[serde(default)]` field attributes. Commas inside
+//! generic types (`HashMap<u64, ClientLog>`) are handled by tracking angle
+//! bracket depth; generic *containers* are rejected with a clear panic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed derive input.
+pub struct Input {
+    /// The container name.
+    pub name: String,
+    /// Struct or enum payload.
+    pub data: Data,
+}
+
+pub enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+pub enum Fields {
+    /// `struct Foo;` or a unit enum variant.
+    Unit,
+    /// `struct Foo(A, B);` — only the field count matters (types are inferred
+    /// in the generated code).
+    Tuple(usize),
+    /// `struct Foo { a: A, … }`.
+    Named(Vec<Field>),
+}
+
+pub struct Field {
+    pub name: String,
+    /// `#[serde(skip)]`: not serialised; deserialised via `Default`.
+    pub skip: bool,
+    /// `#[serde(default)]`: `Default` when the key is absent.
+    pub default: bool,
+}
+
+pub struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+/// Field attributes that matter to the generated code.
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+pub fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic containers are not supported (deriving on `{name}`)");
+    }
+
+    let data = match kind.as_str() {
+        "struct" => Data::Struct(parse_struct_fields(&tokens, &mut pos)),
+        "enum" => {
+            let body = crate::group_tokens(
+                tokens.get(pos).expect("serde derive: missing enum body"),
+                Delimiter::Brace,
+            );
+            Data::Enum(parse_variants(&body))
+        }
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    };
+
+    Input { name, data }
+}
+
+/// Parses what follows a struct name: `{ … }`, `( … );` or `;`.
+fn parse_struct_fields(tokens: &[TokenTree], pos: &mut usize) -> Fields {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Named(parse_named_fields(&body))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Tuple(count_tuple_fields(&body))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde derive: unexpected struct body `{other:?}`"),
+    }
+}
+
+/// Parses `name: Type, …` sequences, honouring field attributes.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = consume_attributes(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut pos);
+        let name = expect_ident(tokens, &mut pos);
+        expect_punct(tokens, &mut pos, ':');
+        skip_type(tokens, &mut pos);
+        // Optional trailing comma.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple field list.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                Fields::Named(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(&body))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional explicit discriminant (`= expr`), then the comma.
+        while pos < tokens.len()
+            && !matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',')
+        {
+            pos += 1;
+        }
+        if pos < tokens.len() {
+            pos += 1; // the comma
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Consumes `#[…]` attributes, extracting serde markers.
+fn consume_attributes(tokens: &[TokenTree], pos: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        let body = crate::group_tokens(
+            tokens
+                .get(*pos)
+                .expect("serde derive: dangling `#` in attribute"),
+            Delimiter::Bracket,
+        );
+        *pos += 1;
+        // Attributes look like `serde(skip)` / `serde(skip, default)`.
+        if let Some(TokenTree::Ident(ident)) = body.first() {
+            if ident.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = body.get(1) {
+                    for token in args.stream() {
+                        if let TokenTree::Ident(marker) = token {
+                            match marker.to_string().as_str() {
+                                "skip" => attrs.skip = true,
+                                "default" => attrs.default = true,
+                                other => {
+                                    panic!("serde derive: unsupported serde attribute `{other}`")
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    attrs
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    consume_attributes(tokens, pos);
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in …)` markers.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips one type, stopping at a top-level comma or the end of input.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(ident)) => {
+            *pos += 1;
+            ident.to_string()
+        }
+        other => panic!("serde derive: expected identifier, found `{other:?}`"),
+    }
+}
+
+fn expect_punct(tokens: &[TokenTree], pos: &mut usize, expected: char) {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == expected => *pos += 1,
+        other => panic!("serde derive: expected `{expected}`, found `{other:?}`"),
+    }
+}

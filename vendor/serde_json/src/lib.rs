@@ -1,0 +1,86 @@
+//! Vendored stand-in for `serde_json`: serialises the vendored
+//! [`serde::Value`] data model to JSON text and parses it back.
+
+mod read;
+mod write;
+
+pub use serde::Value;
+
+/// Errors share the vendored serde error type.
+pub type Error = serde::Error;
+
+/// Serialises `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write_value(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = read::parse(text)?;
+    T::deserialize(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("-1.5e3").unwrap(), -1500.0);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(to_string(&"a\"b\n".to_owned()).unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(from_str::<String>("\"a\\\"b\\n\"").unwrap(), "a\"b\n");
+    }
+
+    #[test]
+    fn u64_precision_is_preserved() {
+        let big = u64::MAX - 1;
+        let json = to_string(&big).unwrap();
+        assert_eq!(from_str::<u64>(&json).unwrap(), big);
+    }
+
+    #[test]
+    fn f32_roundtrips_exactly() {
+        for &x in &[0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 123456.78] {
+            let json = to_string(&x).unwrap();
+            assert_eq!(from_str::<f32>(&json).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(from_str::<Vec<u32>>(&to_string(&v).unwrap()).unwrap(), v);
+        let opt: Option<f32> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        assert_eq!(from_str::<Option<f32>>("null").unwrap(), None);
+        let mut map = std::collections::HashMap::new();
+        map.insert(7u64, vec![1.0f64, 2.0]);
+        let json = to_string(&map).unwrap();
+        assert_eq!(
+            from_str::<std::collections::HashMap<u64, Vec<f64>>>(&json).unwrap(),
+            map
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            from_str::<String>("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            "é😀"
+        );
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<Vec<u32>>("[1,]").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}
