@@ -6,8 +6,7 @@
 //! cargo run -p melissa-bench --release --bin ablation_buffer_params -- --scale 0.04
 //! ```
 
-use melissa::OnlineExperiment;
-use melissa_bench::{arg_f64, figure_config, header, print_series};
+use melissa_bench::{arg_f64, figure_config, header, print_series, run_online};
 use training_buffer::BufferKind;
 
 fn main() {
@@ -28,9 +27,7 @@ fn main() {
             config.buffer.threshold = ((config.buffer.capacity as f64 * threshold_fraction)
                 as usize)
                 .min(config.buffer.capacity - 1);
-            let (_, report) = OnlineExperiment::new(config.clone())
-                .expect("valid configuration")
-                .run();
+            let (_, report) = run_online(config.clone());
             rows.push(vec![
                 config.buffer.capacity.to_string(),
                 config.buffer.threshold.to_string(),

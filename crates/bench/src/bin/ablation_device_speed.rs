@@ -7,8 +7,8 @@
 //! cargo run -p melissa-bench --release --bin ablation_device_speed -- --scale 0.04
 //! ```
 
-use melissa::{DeviceProfile, OnlineExperiment};
-use melissa_bench::{arg_f64, figure_config, header, print_series};
+use melissa::DeviceProfile;
+use melissa_bench::{arg_f64, figure_config, header, print_series, run_online};
 use training_buffer::BufferKind;
 
 fn main() {
@@ -22,9 +22,7 @@ fn main() {
         for kind in BufferKind::ALL {
             let mut config = figure_config(scale, kind, 1);
             config.training.device = DeviceProfile { extra_batch_micros };
-            let (_, report) = OnlineExperiment::new(config)
-                .expect("valid configuration")
-                .run();
+            let (_, report) = run_online(config);
             rows.push(vec![
                 format!("{extra_batch_micros}"),
                 kind.label().to_string(),

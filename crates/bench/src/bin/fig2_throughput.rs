@@ -5,8 +5,7 @@
 //! cargo run -p melissa-bench --release --bin fig2_throughput -- --scale 0.06
 //! ```
 
-use melissa::OnlineExperiment;
-use melissa_bench::{arg_f64, figure_config, header, print_series, print_summary};
+use melissa_bench::{arg_f64, figure_config, header, print_series, print_summary, run_online};
 use training_buffer::BufferKind;
 
 fn main() {
@@ -21,9 +20,7 @@ fn main() {
 
     for kind in BufferKind::ALL {
         let config = figure_config(scale, kind, 1);
-        let (_, report) = OnlineExperiment::new(config)
-            .expect("valid configuration")
-            .run();
+        let (_, report) = run_online(config);
         header(&format!("{} buffer", kind.label()));
         print_summary(&report);
 

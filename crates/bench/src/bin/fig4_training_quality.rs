@@ -5,8 +5,10 @@
 //! cargo run -p melissa-bench --release --bin fig4_training_quality -- --scale 0.06
 //! ```
 
-use melissa::{DiskConfig, OfflineExperiment, OnlineExperiment};
-use melissa_bench::{arg_f64, figure_config, header, print_series, print_summary};
+use melissa::DiskConfig;
+use melissa_bench::{
+    arg_f64, figure_config, header, print_series, print_summary, run_offline, run_online,
+};
 use training_buffer::BufferKind;
 
 fn main() {
@@ -19,9 +21,7 @@ fn main() {
 
     for kind in BufferKind::ALL {
         let config = figure_config(scale, kind, 1);
-        let (_, report) = OnlineExperiment::new(config)
-            .expect("valid configuration")
-            .run();
+        let (_, report) = run_online(config);
         header(&format!("{} buffer", kind.label()));
         print_summary(&report);
         print_loss_series(kind.label(), &report);
@@ -31,9 +31,7 @@ fn main() {
     // Offline reference: one epoch over the same data (batches drawn uniformly
     // from the full dataset — the unbiased reference of the paper).
     let config = figure_config(scale, BufferKind::Reservoir, 1);
-    let offline =
-        OfflineExperiment::new(config, DiskConfig::default(), 1).expect("valid configuration");
-    let (_, report) = offline.run();
+    let (_, report) = run_offline(config, DiskConfig::default(), 1);
     header("Offline (1 epoch)");
     print_summary(&report);
     print_loss_series("Offline", &report);

@@ -5,8 +5,7 @@
 //! cargo run -p melissa-bench --release --bin fig5_multi_gpu -- --scale 0.06
 //! ```
 
-use melissa::OnlineExperiment;
-use melissa_bench::{arg_f64, figure_config, header, print_series, print_summary};
+use melissa_bench::{arg_f64, figure_config, header, print_series, print_summary, run_online};
 use training_buffer::BufferKind;
 
 fn main() {
@@ -23,9 +22,7 @@ fn main() {
     for kind in BufferKind::ALL {
         for num_ranks in [1usize, 2, 4] {
             let config = figure_config(scale, kind, num_ranks);
-            let (_, report) = OnlineExperiment::new(config)
-                .expect("valid configuration")
-                .run();
+            let (_, report) = run_online(config);
             header(&format!("{} × {num_ranks} rank(s)", kind.label()));
             print_summary(&report);
             let rows: Vec<Vec<String>> = report

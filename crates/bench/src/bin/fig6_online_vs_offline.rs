@@ -6,8 +6,10 @@
 //! cargo run -p melissa-bench --release --bin fig6_online_vs_offline -- --scale 0.04 --epochs 6
 //! ```
 
-use melissa::{DiskConfig, OfflineExperiment, OnlineExperiment};
-use melissa_bench::{arg_f64, arg_usize, figure_config, header, print_series, print_summary};
+use melissa::DiskConfig;
+use melissa_bench::{
+    arg_f64, arg_usize, figure_config, header, print_series, print_summary, run_offline, run_online,
+};
 use training_buffer::BufferKind;
 
 fn main() {
@@ -23,19 +25,14 @@ fn main() {
 
     // Offline: small dataset, many epochs, reads charged against a slow FS.
     let offline_config = figure_config(scale, BufferKind::Reservoir, 1);
-    let (_, offline_report) =
-        OfflineExperiment::new(offline_config, DiskConfig::slow_parallel_fs(), epochs)
-            .expect("valid configuration")
-            .run();
+    let (_, offline_report) = run_offline(offline_config, DiskConfig::slow_parallel_fs(), epochs);
     header("Offline (multi-epoch)");
     print_summary(&offline_report);
     print_losses("Offline", &offline_report);
 
     // Online: Reservoir over a dataset `epochs`× larger, seen (mostly) once.
     let online_config = figure_config(online_scale, BufferKind::Reservoir, 1);
-    let (_, online_report) = OnlineExperiment::new(online_config)
-        .expect("valid configuration")
-        .run();
+    let (_, online_report) = run_online(online_config);
     header("Online (Reservoir)");
     print_summary(&online_report);
     print_losses("Online", &online_report);

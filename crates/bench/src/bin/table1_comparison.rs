@@ -5,8 +5,8 @@
 //! cargo run -p melissa-bench --release --bin table1_comparison -- --scale 0.05
 //! ```
 
-use melissa::{DiskConfig, OfflineExperiment, OnlineExperiment};
-use melissa_bench::{arg_f64, figure_config, header};
+use melissa::DiskConfig;
+use melissa_bench::{arg_f64, figure_config, header, run_offline, run_online};
 use training_buffer::BufferKind;
 
 fn main() {
@@ -22,18 +22,13 @@ fn main() {
     for num_ranks in [1usize, 2, 4] {
         // Offline row: generation phase + one-epoch training from (fast) disk.
         let offline_config = figure_config(scale, BufferKind::Reservoir, num_ranks);
-        let (_, offline_report) =
-            OfflineExperiment::new(offline_config, DiskConfig::slow_parallel_fs(), 1)
-                .expect("valid configuration")
-                .run();
+        let (_, offline_report) = run_offline(offline_config, DiskConfig::slow_parallel_fs(), 1);
         println!("{}", offline_report.table1_row());
 
         // Online rows: FIFO, FIRO, Reservoir.
         for kind in BufferKind::ALL {
             let config = figure_config(scale, kind, num_ranks);
-            let (_, report) = OnlineExperiment::new(config)
-                .expect("valid configuration")
-                .run();
+            let (_, report) = run_online(config);
             println!("{}", report.table1_row());
         }
         println!();

@@ -6,8 +6,8 @@
 //! cargo run -p melissa-bench --release --bin table2_scale -- --scale 0.03 --factor 8
 //! ```
 
-use melissa::{DiskConfig, OfflineExperiment, OnlineExperiment};
-use melissa_bench::{arg_f64, arg_usize, figure_config, header};
+use melissa::DiskConfig;
+use melissa_bench::{arg_f64, arg_usize, figure_config, header, run_offline, run_online};
 use training_buffer::BufferKind;
 
 fn main() {
@@ -29,10 +29,7 @@ fn main() {
 
     let offline_config = figure_config(scale, BufferKind::Reservoir, ranks);
     let offline_clients = offline_config.total_simulations();
-    let (_, offline_report) =
-        OfflineExperiment::new(offline_config, DiskConfig::slow_parallel_fs(), epochs)
-            .expect("valid configuration")
-            .run();
+    let (_, offline_report) = run_offline(offline_config, DiskConfig::slow_parallel_fs(), epochs);
     println!(
         "{}",
         offline_report.table2_row(&format!("{offline_clients} clients / {ranks} ranks"))
@@ -40,9 +37,7 @@ fn main() {
 
     let online_config = figure_config(scale * factor as f64, BufferKind::Reservoir, ranks);
     let online_clients = online_config.total_simulations();
-    let (_, online_report) = OnlineExperiment::new(online_config)
-        .expect("valid configuration")
-        .run();
+    let (_, online_report) = run_online(online_config);
     println!(
         "{}",
         online_report.table2_row(&format!("{online_clients} clients / {ranks} ranks"))

@@ -10,7 +10,11 @@
 //!   differs per experiment; the paper scale is 1.0);
 //! * `--ranks <n>`  — number of data-parallel ranks for single-run harnesses.
 
-use melissa::{DeviceProfile, ExperimentConfig, ExperimentReport};
+use melissa::{
+    DeviceProfile, DiskConfig, ExperimentConfig, ExperimentConfigBuilder, ExperimentReport,
+    OfflineExperiment, OnlineExperiment,
+};
+use surrogate_nn::Mlp;
 use training_buffer::BufferKind;
 
 /// Parses `--key value` style options from the command line.
@@ -39,13 +43,34 @@ pub fn arg_usize(key: &str, default: usize) -> usize {
 /// paper's §4.3 campaign (three series of clients) scaled down by `scale`,
 /// with the requested buffer policy and rank count.
 pub fn figure_config(scale: f64, kind: BufferKind, num_ranks: usize) -> ExperimentConfig {
-    let mut config = ExperimentConfig::paper_scaled(scale, kind, num_ranks);
     // A small artificial per-batch cost keeps the consumer/producer balance in
     // the regime the paper studies (GPUs much faster than one client).
-    config.training.device = DeviceProfile {
-        extra_batch_micros: 200,
-    };
-    config
+    ExperimentConfigBuilder::from_config(ExperimentConfig::paper_scaled(scale, kind, num_ranks))
+        .device(DeviceProfile {
+            extra_batch_micros: 200,
+        })
+        .build()
+        .expect("the paper-scaled configuration is always consistent")
+}
+
+/// Builds and runs one online experiment, panicking on an invalid
+/// configuration — the shared construction path of every figure binary.
+pub fn run_online(config: ExperimentConfig) -> (Mlp, ExperimentReport) {
+    OnlineExperiment::new(config)
+        .expect("valid configuration")
+        .run()
+}
+
+/// Builds and runs one offline experiment, panicking on an invalid
+/// configuration.
+pub fn run_offline(
+    config: ExperimentConfig,
+    disk: DiskConfig,
+    epochs: usize,
+) -> (Mlp, ExperimentReport) {
+    OfflineExperiment::new(config, disk, epochs)
+        .expect("valid configuration")
+        .run()
 }
 
 /// Prints a section header.
@@ -80,6 +105,15 @@ mod tests {
             assert_eq!(config.buffer.kind, kind);
             assert_eq!(config.training.num_ranks, 2);
         }
+    }
+
+    #[test]
+    fn run_online_drives_a_tiny_experiment() {
+        let mut config = figure_config(0.02, BufferKind::Reservoir, 1);
+        config.training.validation_simulations = 2;
+        let (model, report) = run_online(config);
+        assert!(model.params_flat().iter().all(|p| p.is_finite()));
+        assert!(report.batches > 0);
     }
 
     #[test]

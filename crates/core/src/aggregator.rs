@@ -46,11 +46,13 @@ pub struct Aggregator {
 }
 
 impl Aggregator {
-    /// Creates the aggregator of one rank.
+    /// Creates the aggregator of one rank. The normalisers must match the
+    /// workload whose payloads this rank receives.
     pub fn new(
         endpoint: ServerEndpoint,
         buffer: Arc<dyn TrainingBuffer<Sample>>,
         input_norm: InputNormalizer,
+        output_norm: OutputNormalizer,
         expected_clients: usize,
         production_done: Arc<AtomicBool>,
     ) -> Self {
@@ -58,7 +60,7 @@ impl Aggregator {
             endpoint,
             buffer,
             input_norm,
-            output_norm: OutputNormalizer::default(),
+            output_norm,
             expected_clients,
             production_done,
             snapshot_every: Duration::from_millis(25),
@@ -182,6 +184,7 @@ mod tests {
             endpoint,
             buffer,
             InputNormalizer::for_trajectory(100, 0.01),
+            OutputNormalizer::default(),
             expected_clients,
             production_done,
         );
@@ -275,6 +278,7 @@ mod tests {
             endpoint,
             Arc::clone(&buffer),
             InputNormalizer::for_trajectory(100, 0.01),
+            OutputNormalizer::default(),
             1,
             Arc::new(AtomicBool::new(false)),
         )

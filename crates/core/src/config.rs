@@ -1,8 +1,15 @@
 //! Configuration of one training experiment.
+//!
+//! [`ExperimentConfig`] is plain serialisable data; [`ExperimentConfig::builder`]
+//! is the fluent way to assemble one, and [`ExperimentConfig::validate`]
+//! reports inconsistencies as typed [`ConfigError`]s.
 
-use heat_solver::{SolverConfig, WorkloadKind};
+use crate::error::ConfigError;
+use crate::workload_spec::WorkloadSpec;
+use heat_solver::SolverConfig;
 use melissa_ensemble::{CampaignPlan, SamplerKind};
 use melissa_transport::FaultConfig;
+use melissa_workload::PARAM_DIM;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use surrogate_nn::{Activation, InitScheme, MlpConfig};
@@ -30,9 +37,10 @@ impl Default for SurrogateConfig {
 }
 
 impl SurrogateConfig {
-    /// Builds the MLP configuration for a given output size (`nx × ny`).
+    /// Builds the MLP configuration for a given output size (the workload's
+    /// field length). The input is always the parameter vector plus time.
     pub fn mlp_config(&self, output_size: usize) -> MlpConfig {
-        let mut layer_sizes = vec![6];
+        let mut layer_sizes = vec![PARAM_DIM + 1];
         for _ in 0..self.hidden_layers {
             layer_sizes.push(self.hidden_width);
         }
@@ -107,10 +115,8 @@ impl Default for TrainingConfig {
 /// The full description of one experiment (online or offline).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
-    /// Solver / workload configuration (grid, steps, Δt, scheme).
-    pub solver: SolverConfig,
-    /// Whether clients run the real solver or the fast analytic workload.
-    pub workload: WorkloadKind,
+    /// The physics the clients stream (grid, steps, Δt, variant).
+    pub workload: WorkloadSpec,
     /// Surrogate architecture.
     pub surrogate: SurrogateConfig,
     /// Training-loop parameters.
@@ -134,8 +140,13 @@ impl Default for ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// Starts a fluent builder seeded with [`ExperimentConfig::small_scale`].
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder::default()
+    }
+
     /// A small configuration that runs in seconds on a laptop: 8 simulations of
-    /// a 16×16 grid, analytic workload, Reservoir buffer, one rank.
+    /// a 16×16 grid, analytic heat workload, Reservoir buffer, one rank.
     pub fn small_scale() -> Self {
         let solver = SolverConfig {
             nx: 16,
@@ -143,10 +154,10 @@ impl ExperimentConfig {
             steps: 20,
             ..SolverConfig::default()
         };
-        let total_samples = 8 * solver.steps;
+        let workload = WorkloadSpec::heat_analytic(solver);
+        let total_samples = 8 * workload.steps();
         Self {
-            solver,
-            workload: WorkloadKind::Analytic,
+            workload,
             surrogate: SurrogateConfig::default(),
             training: TrainingConfig::default(),
             buffer: BufferConfig::paper_proportions(BufferKind::Reservoir, total_samples, 1),
@@ -167,11 +178,11 @@ impl ExperimentConfig {
             steps: 100,
             ..SolverConfig::default()
         };
+        let workload = WorkloadSpec::heat_analytic(solver);
         let campaign = CampaignPlan::paper_figure2(scale);
-        let total_samples = campaign.total_clients() * solver.steps;
+        let total_samples = campaign.total_clients() * workload.steps();
         let mut config = Self {
-            solver,
-            workload: WorkloadKind::Analytic,
+            workload,
             surrogate: SurrogateConfig::default(),
             training: TrainingConfig {
                 num_ranks,
@@ -194,17 +205,17 @@ impl ExperimentConfig {
 
     /// Total number of unique samples the campaign produces.
     pub fn total_unique_samples(&self) -> usize {
-        self.total_simulations() * self.solver.steps
+        self.total_simulations() * self.workload.steps()
     }
 
     /// Total dataset size in bytes produced by the campaign.
     pub fn dataset_bytes(&self) -> usize {
-        self.total_simulations() * self.solver.trajectory_bytes()
+        self.total_simulations() * self.workload.trajectory_bytes()
     }
 
     /// The surrogate output size (one value per grid node).
     pub fn output_size(&self) -> usize {
-        self.solver.field_len()
+        self.workload.field_len()
     }
 
     /// The experimental-design family used by the campaign.
@@ -212,28 +223,181 @@ impl ExperimentConfig {
         self.campaign.sampler
     }
 
+    /// A deterministic per-rank seed derived from the experiment seed, used
+    /// wherever a rank-local randomised resource is built.
+    pub fn rank_seed(&self, rank: usize) -> u64 {
+        self.seed.wrapping_add(rank as u64)
+    }
+
+    /// The buffer configuration of one rank: the shared policy with the rank's
+    /// derived seed, so no caller re-implements the seeding rule.
+    pub fn rank_buffer_config(&self, rank: usize) -> BufferConfig {
+        let mut buffer = self.buffer;
+        buffer.seed = self.rank_seed(rank);
+        buffer
+    }
+
+    /// A deterministic per-epoch shuffling seed (offline training).
+    pub fn epoch_seed(&self, epoch: usize) -> u64 {
+        self.seed.wrapping_add(epoch as u64)
+    }
+
+    /// The seed of the held-out validation sampler, offset far from the
+    /// training campaign's seed so the two parameter sets never coincide.
+    pub fn validation_seed(&self) -> u64 {
+        self.seed.wrapping_add(0x5EED_5EED)
+    }
+
     /// Validates cross-field consistency.
-    pub fn validate(&self) -> Result<(), String> {
-        self.solver.validate().map_err(|e| e.to_string())?;
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.workload.validate()?;
         if self.training.batch_size == 0 {
-            return Err("batch size must be positive".into());
+            return Err(ConfigError::ZeroBatchSize);
         }
         if self.training.num_ranks == 0 {
-            return Err("at least one training rank is required".into());
+            return Err(ConfigError::ZeroRanks);
         }
         if self.buffer.capacity <= self.buffer.threshold {
-            return Err("buffer capacity must exceed the threshold".into());
+            return Err(ConfigError::BufferCapacityNotAboveThreshold {
+                capacity: self.buffer.capacity,
+                threshold: self.buffer.threshold,
+            });
         }
         if self.campaign.total_clients() == 0 {
-            return Err("the campaign must run at least one simulation".into());
+            return Err(ConfigError::EmptyCampaign);
         }
         Ok(())
+    }
+}
+
+/// Fluent builder for [`ExperimentConfig`].
+///
+/// Starts from [`ExperimentConfig::small_scale`] and lets call sites override
+/// exactly what they care about; [`ExperimentConfigBuilder::build`] validates
+/// the result, so a successfully built configuration is always runnable.
+///
+/// ```
+/// use melissa::{ExperimentConfig, WorkloadSpec};
+/// use melissa_workload::AdvectionConfig;
+///
+/// let config = ExperimentConfig::builder()
+///     .workload(WorkloadSpec::advection_analytic(AdvectionConfig::default()))
+///     .ranks(2)
+///     .batch_size(8)
+///     .build()
+///     .expect("consistent configuration");
+/// assert_eq!(config.training.num_ranks, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentConfigBuilder {
+    config: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Starts from an existing configuration instead of the small-scale default.
+    pub fn from_config(config: ExperimentConfig) -> Self {
+        Self { config }
+    }
+
+    /// Sets the workload (physics, grid, steps, variant).
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.config.workload = workload;
+        self
+    }
+
+    /// Sets the surrogate architecture.
+    pub fn surrogate(mut self, surrogate: SurrogateConfig) -> Self {
+        self.config.surrogate = surrogate;
+        self
+    }
+
+    /// Sets the full training configuration.
+    pub fn training(mut self, training: TrainingConfig) -> Self {
+        self.config.training = training;
+        self
+    }
+
+    /// Sets the buffer policy and sizing.
+    pub fn buffer(mut self, buffer: BufferConfig) -> Self {
+        self.config.buffer = buffer;
+        self
+    }
+
+    /// Sizes the buffer with the paper's capacity/threshold proportions for
+    /// the *current* workload and campaign. Call after [`Self::workload`] and
+    /// [`Self::campaign`].
+    pub fn buffer_paper_proportions(mut self, kind: BufferKind) -> Self {
+        let total = self.config.total_unique_samples();
+        self.config.buffer = BufferConfig::paper_proportions(kind, total, self.config.seed);
+        self
+    }
+
+    /// Sets the campaign plan.
+    pub fn campaign(mut self, campaign: CampaignPlan) -> Self {
+        self.config.campaign = campaign;
+        self
+    }
+
+    /// Sets the transport fault injection.
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
+    /// Sets the per-rank inbound channel capacity.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.config.channel_capacity = capacity;
+        self
+    }
+
+    /// Sets the global experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the number of data-parallel training ranks.
+    pub fn ranks(mut self, num_ranks: usize) -> Self {
+        self.config.training.num_ranks = num_ranks;
+        self
+    }
+
+    /// Sets the per-rank batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.training.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the hidden-layer width of the surrogate.
+    pub fn hidden_width(mut self, hidden_width: usize) -> Self {
+        self.config.surrogate.hidden_width = hidden_width;
+        self
+    }
+
+    /// Sets the validation-set size and cadence.
+    pub fn validation(mut self, simulations: usize, interval_batches: usize) -> Self {
+        self.config.training.validation_simulations = simulations;
+        self.config.training.validation_interval_batches = interval_batches;
+        self
+    }
+
+    /// Sets the emulated device profile.
+    pub fn device(mut self, device: DeviceProfile) -> Self {
+        self.config.training.device = device;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ExperimentConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use melissa_workload::AdvectionConfig;
 
     #[test]
     fn small_scale_is_valid() {
@@ -269,15 +433,22 @@ mod tests {
     fn validation_catches_inconsistencies() {
         let mut config = ExperimentConfig::small_scale();
         config.training.batch_size = 0;
-        assert!(config.validate().is_err());
+        assert_eq!(config.validate(), Err(ConfigError::ZeroBatchSize));
 
         let mut config = ExperimentConfig::small_scale();
         config.buffer.threshold = config.buffer.capacity;
-        assert!(config.validate().is_err());
+        assert!(matches!(
+            config.validate(),
+            Err(ConfigError::BufferCapacityNotAboveThreshold { .. })
+        ));
 
         let mut config = ExperimentConfig::small_scale();
         config.campaign.series.clear();
-        assert!(config.validate().is_err());
+        assert_eq!(config.validate(), Err(ConfigError::EmptyCampaign));
+
+        let mut config = ExperimentConfig::small_scale();
+        config.training.num_ranks = 0;
+        assert_eq!(config.validate(), Err(ConfigError::ZeroRanks));
     }
 
     #[test]
@@ -293,5 +464,42 @@ mod tests {
             extra_batch_micros: 1500,
         };
         assert_eq!(d.extra_batch_delay(), Duration::from_micros(1500));
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_distinct() {
+        let config = ExperimentConfig::small_scale();
+        assert_eq!(config.rank_seed(0), config.seed);
+        assert_ne!(config.rank_seed(1), config.rank_seed(2));
+        assert_eq!(config.rank_buffer_config(3).seed, config.rank_seed(3));
+        assert_eq!(config.rank_buffer_config(3).kind, config.buffer.kind);
+        assert_ne!(config.validation_seed(), config.seed);
+        assert_eq!(config.epoch_seed(0), config.seed);
+    }
+
+    #[test]
+    fn builder_composes_and_validates() {
+        let config = ExperimentConfig::builder()
+            .workload(WorkloadSpec::advection_analytic(AdvectionConfig::default()))
+            .campaign(CampaignPlan::single_series(6, 3))
+            .buffer_paper_proportions(BufferKind::Fifo)
+            .ranks(2)
+            .batch_size(4)
+            .hidden_width(16)
+            .validation(2, 5)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(config.training.num_ranks, 2);
+        assert_eq!(config.buffer.kind, BufferKind::Fifo);
+        assert_eq!(config.total_unique_samples(), 6 * 25);
+        assert_eq!(config.output_size(), 256);
+        assert_eq!(config.seed, 9);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_configs() {
+        let result = ExperimentConfig::builder().batch_size(0).build();
+        assert_eq!(result, Err(ConfigError::ZeroBatchSize));
     }
 }

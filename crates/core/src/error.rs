@@ -1,0 +1,131 @@
+//! The typed error hierarchy of the experiment API.
+//!
+//! Configuration and construction failures used to be reported as bare
+//! `Result<_, String>`; these enums make every failure mode matchable and keep
+//! the workload-level errors ([`WorkloadError`]) intact as they bubble up
+//! through [`ConfigError`] into [`ExperimentError`].
+
+use melissa_workload::WorkloadError;
+use std::fmt;
+
+/// A cross-field inconsistency in an [`ExperimentConfig`](crate::ExperimentConfig).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The workload configuration is invalid.
+    Workload(WorkloadError),
+    /// The batch size is zero.
+    ZeroBatchSize,
+    /// No training ranks were requested.
+    ZeroRanks,
+    /// The buffer capacity does not exceed its threshold.
+    BufferCapacityNotAboveThreshold {
+        /// The configured capacity.
+        capacity: usize,
+        /// The configured threshold.
+        threshold: usize,
+    },
+    /// The campaign contains no clients.
+    EmptyCampaign,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Workload(e) => write!(f, "{e}"),
+            ConfigError::ZeroBatchSize => write!(f, "batch size must be positive"),
+            ConfigError::ZeroRanks => write!(f, "at least one training rank is required"),
+            ConfigError::BufferCapacityNotAboveThreshold {
+                capacity,
+                threshold,
+            } => write!(
+                f,
+                "buffer capacity ({capacity}) must exceed the threshold ({threshold})"
+            ),
+            ConfigError::EmptyCampaign => {
+                write!(f, "the campaign must run at least one simulation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for ConfigError {
+    fn from(error: WorkloadError) -> Self {
+        ConfigError::Workload(error)
+    }
+}
+
+/// A failure constructing or running an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// The experiment configuration is invalid.
+    Config(ConfigError),
+    /// Offline training was requested with zero epochs.
+    ZeroEpochs,
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Config(e) => write!(f, "invalid experiment configuration: {e}"),
+            ExperimentError::ZeroEpochs => {
+                write!(f, "offline training needs at least one epoch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Config(e) => Some(e),
+            ExperimentError::ZeroEpochs => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ExperimentError {
+    fn from(error: ConfigError) -> Self {
+        ExperimentError::Config(error)
+    }
+}
+
+impl From<WorkloadError> for ExperimentError {
+    fn from(error: WorkloadError) -> Self {
+        ExperimentError::Config(ConfigError::Workload(error))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn errors_render_and_chain() {
+        let workload = WorkloadError::InvalidConfig("grid must be non-empty".into());
+        let config: ConfigError = workload.into();
+        assert!(config.to_string().contains("grid must be non-empty"));
+        assert!(config.source().is_some());
+
+        let experiment: ExperimentError = config.clone().into();
+        assert!(experiment.to_string().contains("grid must be non-empty"));
+        assert_eq!(experiment, ExperimentError::Config(config));
+
+        assert!(ExperimentError::ZeroEpochs.to_string().contains("epoch"));
+        let capacity = ConfigError::BufferCapacityNotAboveThreshold {
+            capacity: 4,
+            threshold: 8,
+        };
+        assert!(capacity.to_string().contains('4'));
+        assert!(capacity.to_string().contains('8'));
+    }
+}

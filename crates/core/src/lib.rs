@@ -20,8 +20,13 @@
 //!      gradient all-reduce across ranks, identical weight update everywhere
 //! ```
 //!
-//! * [`ExperimentConfig`] describes one experiment (solver, surrogate, buffer,
-//!   rank count, schedules, validation).
+//! * [`ExperimentConfig`] describes one experiment (workload, surrogate,
+//!   buffer, rank count, schedules, validation); it is assembled fluently with
+//!   [`ExperimentConfig::builder`] and validated into typed [`ConfigError`]s.
+//! * [`WorkloadSpec`] names the physics the clients stream. The pipeline only
+//!   ever sees it through the physics-agnostic `melissa_workload::Workload`
+//!   trait, so any physics implementing that trait trains the same way (the
+//!   heat equation and the advection–diffusion reference both ship).
 //! * [`OnlineExperiment`] runs the full online pipeline and returns an
 //!   [`ExperimentReport`] with losses, throughput, buffer population and sample
 //!   occurrence histograms — everything needed to regenerate the paper's
@@ -35,6 +40,7 @@ pub mod aggregator;
 pub mod checkpoint;
 pub mod config;
 pub mod disk;
+pub mod error;
 pub mod metrics;
 pub mod offline;
 pub mod report;
@@ -42,17 +48,22 @@ pub mod sample;
 pub mod server;
 pub mod trainer;
 pub mod validation;
+pub mod workload_spec;
 
 pub use aggregator::{Aggregator, AggregatorOutcome};
 pub use checkpoint::ServerCheckpoint;
-pub use config::{DeviceProfile, ExperimentConfig, SurrogateConfig, TrainingConfig};
+pub use config::{
+    DeviceProfile, ExperimentConfig, ExperimentConfigBuilder, SurrogateConfig, TrainingConfig,
+};
 pub use disk::{DiskConfig, SimulatedDisk};
+pub use error::{ConfigError, ExperimentError};
 pub use metrics::{
     ExperimentMetrics, LossPoint, OccurrenceHistogram, ThroughputPoint, ThroughputTracker,
 };
 pub use offline::OfflineExperiment;
 pub use report::ExperimentReport;
-pub use sample::{payload_to_sample, timestep_to_payload, timestep_to_sample};
+pub use sample::{payload_to_sample, step_to_payload, step_to_sample};
 pub use server::OnlineExperiment;
 pub use trainer::{RankTrainer, TrainerShared};
 pub use validation::ValidationSet;
+pub use workload_spec::WorkloadSpec;

@@ -9,12 +9,12 @@
 
 use crate::config::ExperimentConfig;
 use crate::disk::{DiskConfig, SimulatedDisk};
+use crate::error::ExperimentError;
 use crate::metrics::{ExperimentMetrics, LossPoint, OccurrenceHistogram, ThroughputTracker};
 use crate::report::ExperimentReport;
-use crate::sample::timestep_to_sample;
+use crate::sample::step_to_sample;
 use crate::validation::ValidationSet;
-use heat_solver::SyntheticWorkload;
-use melissa_ensemble::{Launcher, LauncherConfig};
+use melissa_ensemble::{ClientError, Launcher, LauncherConfig};
 use parking_lot::Mutex;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -23,8 +23,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 use surrogate_nn::{
-    Adam, AdamConfig, Batch, GradientSynchronizer, InputNormalizer, Loss, LrSchedule, Mlp, MseLoss,
-    Optimizer, OutputNormalizer, SampleBasedHalving,
+    Adam, AdamConfig, Batch, GradientSynchronizer, Loss, LrSchedule, Mlp, MseLoss, Optimizer,
+    SampleBasedHalving,
 };
 
 /// One offline-training experiment.
@@ -41,10 +41,10 @@ impl OfflineExperiment {
         config: ExperimentConfig,
         disk_config: DiskConfig,
         epochs: usize,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, ExperimentError> {
         config.validate()?;
         if epochs == 0 {
-            return Err("offline training needs at least one epoch".into());
+            return Err(ExperimentError::ZeroEpochs);
         }
         Ok(Self {
             config,
@@ -69,27 +69,24 @@ impl OfflineExperiment {
         let start = Instant::now();
 
         // ---- Phase 1: parallel data generation to the simulated disk. ----
-        let input_norm = InputNormalizer::for_trajectory(config.solver.steps, config.solver.dt);
-        let output_norm = OutputNormalizer::default();
+        let workload = config.workload.build();
+        let input_norm = config.workload.input_normalizer();
+        let output_norm = config.workload.output_normalizer();
         let disk = Mutex::new(SimulatedDisk::new(self.disk_config));
         let launcher = Launcher::new(LauncherConfig::default());
-        let workload = SyntheticWorkload {
-            config: config.solver,
-            kind: config.workload,
-            step_delay: std::time::Duration::ZERO,
-        };
-        let launcher_report = launcher.run_campaign(&config.campaign, |job| {
-            let mut local = Vec::with_capacity(config.solver.steps);
+        let space = workload.parameter_space();
+        let launcher_report = launcher.run_campaign_in(&config.campaign, &space, |job| {
+            let mut local = Vec::with_capacity(workload.steps());
             workload
-                .generate(job.parameters, |step| {
-                    local.push(timestep_to_sample(
+                .generate(job.parameters, &mut |step| {
+                    local.push(step_to_sample(
                         &step,
                         job.client_id,
                         &input_norm,
                         &output_norm,
                     ));
                 })
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| ClientError::new(e.to_string()))?;
             let mut disk = disk.lock();
             for sample in local {
                 disk.write_sample(sample);
@@ -100,7 +97,12 @@ impl OfflineExperiment {
         let generation_seconds = start.elapsed().as_secs_f64();
 
         // ---- Phase 2: epoch-based data-parallel training from the disk. ----
-        let validation = Arc::new(ValidationSet::generate(config));
+        let validation = Arc::new(ValidationSet::generate_with(
+            config,
+            workload.as_ref(),
+            &input_norm,
+            &output_norm,
+        ));
         let mlp_config = config.surrogate.mlp_config(config.output_size());
         let num_ranks = config.training.num_ranks;
         let batch_size = config.training.batch_size.max(1);
@@ -146,8 +148,7 @@ impl OfflineExperiment {
                     for epoch in 0..epochs {
                         // Same permutation on every rank (seeded by epoch).
                         let mut indices: Vec<usize> = (0..n).collect();
-                        let mut rng =
-                            ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(epoch as u64));
+                        let mut rng = ChaCha8Rng::seed_from_u64(config.epoch_seed(epoch));
                         indices.shuffle(&mut rng);
 
                         for step in 0..steps_per_epoch {
@@ -270,17 +271,22 @@ mod tests {
     use melissa_ensemble::CampaignPlan;
 
     fn tiny_config(num_ranks: usize) -> ExperimentConfig {
-        let mut config = ExperimentConfig::small_scale();
-        config.solver.nx = 8;
-        config.solver.ny = 8;
-        config.solver.steps = 10;
-        config.campaign = CampaignPlan::single_series(4, 2);
-        config.training.num_ranks = num_ranks;
-        config.training.batch_size = 5;
-        config.training.validation_simulations = 2;
-        config.training.validation_interval_batches = 4;
-        config.surrogate.hidden_width = 16;
-        config
+        ExperimentConfig::builder()
+            .workload(crate::WorkloadSpec::heat_analytic(
+                heat_solver::SolverConfig {
+                    nx: 8,
+                    ny: 8,
+                    steps: 10,
+                    ..heat_solver::SolverConfig::default()
+                },
+            ))
+            .campaign(CampaignPlan::single_series(4, 2))
+            .ranks(num_ranks)
+            .batch_size(5)
+            .validation(2, 4)
+            .hidden_width(16)
+            .build()
+            .expect("consistent test configuration")
     }
 
     #[test]
@@ -339,6 +345,9 @@ mod tests {
 
     #[test]
     fn zero_epochs_rejected() {
-        assert!(OfflineExperiment::new(tiny_config(1), DiskConfig::default(), 0).is_err());
+        assert_eq!(
+            OfflineExperiment::new(tiny_config(1), DiskConfig::default(), 0).err(),
+            Some(crate::ExperimentError::ZeroEpochs)
+        );
     }
 }

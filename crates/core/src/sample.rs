@@ -1,17 +1,18 @@
-//! Conversions between the solver's time steps, the transport payloads and the
+//! Conversions between workload time steps, transport payloads and the
 //! network's training samples, including the input/output normalisation.
 
-use heat_solver::TimeStepField;
 use melissa_transport::SamplePayload;
+use melissa_workload::WorkloadStep;
 use surrogate_nn::{InputNormalizer, OutputNormalizer, Sample};
 
-/// Converts a solver time step into the transport payload streamed to the server.
-pub fn timestep_to_payload(step: &TimeStepField, simulation_id: u64) -> SamplePayload {
+/// Converts a workload time step into the transport payload streamed to the
+/// server.
+pub fn step_to_payload(step: &WorkloadStep, simulation_id: u64) -> SamplePayload {
     SamplePayload {
         simulation_id,
         step: step.step,
         time: step.time,
-        parameters: step.params.as_f32_vector().to_vec(),
+        parameters: step.params.iter().map(|&p| p as f32).collect(),
         values: step.values.clone(),
     }
 }
@@ -27,39 +28,36 @@ pub fn payload_to_sample(
     Sample::new(input, target, payload.simulation_id, payload.step)
 }
 
-/// Converts a solver time step directly into a normalised training sample
+/// Converts a workload time step directly into a normalised training sample
 /// (used by the offline path, which bypasses the transport).
-pub fn timestep_to_sample(
-    step: &TimeStepField,
+pub fn step_to_sample(
+    step: &WorkloadStep,
     simulation_id: u64,
     input_norm: &InputNormalizer,
     output_norm: &OutputNormalizer,
 ) -> Sample {
-    let payload = timestep_to_payload(step, simulation_id);
+    let payload = step_to_payload(step, simulation_id);
     payload_to_sample(&payload, input_norm, output_norm)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use heat_solver::SimulationParams;
 
-    fn step() -> TimeStepField {
-        TimeStepField {
+    fn step() -> WorkloadStep {
+        WorkloadStep {
             step: 3,
             time: 0.04,
-            params: SimulationParams::new([300.0, 100.0, 200.0, 400.0, 500.0]),
-            nx: 2,
-            ny: 2,
+            params: [300.0, 100.0, 200.0, 400.0, 500.0],
             values: vec![100.0, 300.0, 500.0, 200.0],
         }
     }
 
     #[test]
-    fn timestep_payload_sample_pipeline() {
+    fn step_payload_sample_pipeline() {
         let input_norm = InputNormalizer::for_trajectory(100, 0.01);
         let output_norm = OutputNormalizer::default();
-        let payload = timestep_to_payload(&step(), 12);
+        let payload = step_to_payload(&step(), 12);
         assert_eq!(payload.simulation_id, 12);
         assert_eq!(payload.step, 3);
         assert_eq!(payload.values.len(), 4);
@@ -70,7 +68,7 @@ mod tests {
         // Normalised inputs and targets live in [0, 1].
         assert!(sample.input.iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert!(sample.target.iter().all(|&v| (0.0..=1.0).contains(&v)));
-        // T_ic = 300 K maps to 0.5 of the [100, 500] range.
+        // The first parameter, 300 K, maps to 0.5 of the [100, 500] range.
         assert!((sample.input[0] - 0.5).abs() < 1e-6);
         // t = 0.04 of a 1-second trajectory maps to 0.04.
         assert!((sample.input[5] - 0.04).abs() < 1e-6);
@@ -81,8 +79,8 @@ mod tests {
         let input_norm = InputNormalizer::for_trajectory(100, 0.01);
         let output_norm = OutputNormalizer::default();
         let via_payload =
-            payload_to_sample(&timestep_to_payload(&step(), 5), &input_norm, &output_norm);
-        let direct = timestep_to_sample(&step(), 5, &input_norm, &output_norm);
+            payload_to_sample(&step_to_payload(&step(), 5), &input_norm, &output_norm);
+        let direct = step_to_sample(&step(), 5, &input_norm, &output_norm);
         assert_eq!(via_payload, direct);
     }
 }

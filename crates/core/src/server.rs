@@ -15,19 +15,19 @@
 
 use crate::aggregator::Aggregator;
 use crate::config::ExperimentConfig;
+use crate::error::ExperimentError;
 use crate::metrics::{ExperimentMetrics, OccurrenceHistogram};
 use crate::report::ExperimentReport;
-use crate::sample::timestep_to_payload;
+use crate::sample::step_to_payload;
 use crate::trainer::{RankOutcome, RankTrainer, TrainerShared};
 use crate::validation::ValidationSet;
-use heat_solver::SyntheticWorkload;
-use melissa_ensemble::{Launcher, LauncherConfig, LauncherReport};
+use melissa_ensemble::{ClientError, Launcher, LauncherConfig, LauncherReport};
 use melissa_transport::{Fabric, FabricConfig};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use surrogate_nn::{InputNormalizer, Mlp, Sample};
+use surrogate_nn::{Mlp, Sample};
 use training_buffer::{build_buffer, TrainingBuffer};
 
 /// One online-training experiment.
@@ -37,7 +37,7 @@ pub struct OnlineExperiment {
 
 impl OnlineExperiment {
     /// Creates the experiment after validating its configuration.
-    pub fn new(config: ExperimentConfig) -> Result<Self, String> {
+    pub fn new(config: ExperimentConfig) -> Result<Self, ExperimentError> {
         config.validate()?;
         Ok(Self { config })
     }
@@ -52,8 +52,18 @@ impl OnlineExperiment {
         let config = &self.config;
         let start = Instant::now();
 
+        // The physics behind the clients, seen only through the Workload trait.
+        let workload = config.workload.build();
+        let input_norm = config.workload.input_normalizer();
+        let output_norm = config.workload.output_normalizer();
+
         // Validation set (held-out simulations, generated before training).
-        let validation = Arc::new(ValidationSet::generate(config));
+        let validation = Arc::new(ValidationSet::generate_with(
+            config,
+            workload.as_ref(),
+            &input_norm,
+            &output_norm,
+        ));
 
         // Transport fabric: one endpoint per server rank.
         let fabric = Fabric::new(FabricConfig {
@@ -66,14 +76,9 @@ impl OnlineExperiment {
         // One training buffer per rank (the paper: "there is one training
         // buffer per server process"), each with its own seed.
         let buffers: Vec<Arc<dyn TrainingBuffer<Sample>>> = (0..config.training.num_ranks)
-            .map(|rank| {
-                let mut buffer_config = config.buffer;
-                buffer_config.seed = config.seed.wrapping_add(rank as u64);
-                Arc::from(build_buffer::<Sample>(&buffer_config))
-            })
+            .map(|rank| Arc::from(build_buffer::<Sample>(&config.rank_buffer_config(rank))))
             .collect();
 
-        let input_norm = InputNormalizer::for_trajectory(config.solver.steps, config.solver.dt);
         let production_done = Arc::new(AtomicBool::new(false));
         let expected_clients = config.campaign.total_clients();
 
@@ -93,6 +98,7 @@ impl OnlineExperiment {
                     endpoint,
                     Arc::clone(&buffers[rank]),
                     input_norm.clone(),
+                    output_norm.clone(),
                     expected_clients,
                     Arc::clone(&production_done),
                 );
@@ -125,26 +131,25 @@ impl OnlineExperiment {
             {
                 let fabric = &fabric;
                 let config = &self.config;
+                let workload = Arc::clone(&workload);
                 let production_done = Arc::clone(&production_done);
                 let launcher_report = &launcher_report;
                 scope.spawn(move |_| {
                     let launcher = Launcher::new(LauncherConfig::default());
-                    let workload = SyntheticWorkload {
-                        config: config.solver,
-                        kind: config.workload,
-                        step_delay: std::time::Duration::ZERO,
-                    };
-                    let report = launcher.run_campaign(&config.campaign, |job| {
+                    let space = workload.parameter_space();
+                    let report = launcher.run_campaign_in(&config.campaign, &space, |job| {
                         let connection = fabric.connect_client(job.client_id);
                         workload
-                            .generate(job.parameters, |step| {
-                                let payload = timestep_to_payload(&step, job.client_id);
+                            .generate(job.parameters, &mut |step| {
+                                let payload = step_to_payload(&step, job.client_id);
                                 // A send only fails when the server is gone, in
                                 // which case the client simply stops producing.
                                 let _ = connection.send(payload);
                             })
-                            .map_err(|e| e.to_string())?;
-                        connection.finalize().map_err(|e| e.to_string())
+                            .map_err(|e| ClientError::new(e.to_string()))?;
+                        connection
+                            .finalize()
+                            .map_err(|e| ClientError::new(e.to_string()))
                     });
                     production_done.store(true, Ordering::Release);
                     *launcher_report.lock() = Some(report);
@@ -225,23 +230,28 @@ mod tests {
     use training_buffer::BufferKind;
 
     fn tiny_config(kind: BufferKind, num_ranks: usize) -> ExperimentConfig {
-        let mut config = ExperimentConfig::small_scale();
-        config.solver.nx = 8;
-        config.solver.ny = 8;
-        config.solver.steps = 10;
-        config.campaign = melissa_ensemble::CampaignPlan::single_series(4, 2);
-        config.buffer = training_buffer::BufferConfig {
-            kind,
-            capacity: 16,
-            threshold: 4,
-            seed: 1,
-        };
-        config.training.num_ranks = num_ranks;
-        config.training.batch_size = 5;
-        config.training.validation_simulations = 2;
-        config.training.validation_interval_batches = 4;
-        config.surrogate.hidden_width = 16;
-        config
+        ExperimentConfig::builder()
+            .workload(crate::WorkloadSpec::heat_analytic(
+                heat_solver::SolverConfig {
+                    nx: 8,
+                    ny: 8,
+                    steps: 10,
+                    ..heat_solver::SolverConfig::default()
+                },
+            ))
+            .campaign(melissa_ensemble::CampaignPlan::single_series(4, 2))
+            .buffer(training_buffer::BufferConfig {
+                kind,
+                capacity: 16,
+                threshold: 4,
+                seed: 1,
+            })
+            .ranks(num_ranks)
+            .batch_size(5)
+            .validation(2, 4)
+            .hidden_width(16)
+            .build()
+            .expect("consistent test configuration")
     }
 
     #[test]

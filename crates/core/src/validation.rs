@@ -3,12 +3,14 @@
 //! The paper validates on 10 simulations generated offline and never seen
 //! during training (§4.4). The validation set here is generated with a
 //! dedicated sampler seed far away from the training campaign's seed, so the
-//! validation parameters never coincide with training parameters.
+//! validation parameters never coincide with training parameters. Generation
+//! goes through the physics-agnostic [`Workload`] trait, so any physics the
+//! experiment streams can also be validated against.
 
 use crate::config::ExperimentConfig;
-use crate::sample::timestep_to_sample;
-use heat_solver::SyntheticWorkload;
+use crate::sample::step_to_sample;
 use melissa_ensemble::{ParameterSampler, SamplerKind};
+use melissa_workload::Workload;
 use surrogate_nn::{Batch, InputNormalizer, Loss, Mlp, MseLoss, OutputNormalizer, Sample};
 
 /// A fixed set of held-out samples with a method to score a model on them.
@@ -16,53 +18,38 @@ use surrogate_nn::{Batch, InputNormalizer, Loss, Mlp, MseLoss, OutputNormalizer,
 pub struct ValidationSet {
     samples: Vec<Sample>,
     batch_size: usize,
+    output_norm: OutputNormalizer,
 }
 
 impl ValidationSet {
     /// Generates the validation set for an experiment: `validation_simulations`
     /// held-out trajectories of the configured workload.
     pub fn generate(config: &ExperimentConfig) -> Self {
-        let workload = SyntheticWorkload {
-            config: config.solver,
-            kind: config.workload,
-            step_delay: std::time::Duration::ZERO,
-        };
-        let input_norm = InputNormalizer::for_trajectory(config.solver.steps, config.solver.dt);
-        let output_norm = OutputNormalizer::default();
-        // A seed offset keeps validation parameters disjoint from training ones.
-        let mut sampler = ParameterSampler::new(
-            SamplerKind::MonteCarlo,
-            Default::default(),
-            config.training.validation_simulations,
-            config.seed.wrapping_add(0x5EED_5EED),
-        );
-        let mut samples = Vec::new();
-        for sim in 0..config.training.validation_simulations {
-            let params = sampler.parameters(sim);
-            let trajectory = workload
-                .trajectory(params)
-                .expect("validated solver configuration");
-            for step in &trajectory {
-                samples.push(timestep_to_sample(
-                    step,
-                    u64::MAX - sim as u64,
-                    &input_norm,
-                    &output_norm,
-                ));
-            }
-        }
-        Self {
-            samples,
-            batch_size: config.training.batch_size.max(1),
-        }
+        Self::generate_with(
+            config,
+            config.workload.build().as_ref(),
+            &config.workload.input_normalizer(),
+            &config.workload.output_normalizer(),
+        )
     }
 
-    /// Builds a validation set directly from samples (used in tests).
+    /// Builds a validation set directly from samples (used in tests). The
+    /// output normaliser defaults to the paper's heat range; override it with
+    /// [`ValidationSet::with_output_normalizer`] before calling
+    /// [`ValidationSet::evaluate_physical`] on another physics.
     pub fn from_samples(samples: Vec<Sample>, batch_size: usize) -> Self {
         Self {
             samples,
             batch_size: batch_size.max(1),
+            output_norm: OutputNormalizer::default(),
         }
+    }
+
+    /// Overrides the output normaliser used by
+    /// [`ValidationSet::evaluate_physical`].
+    pub fn with_output_normalizer(mut self, output_norm: OutputNormalizer) -> Self {
+        self.output_norm = output_norm;
+        self
     }
 
     /// Number of validation samples.
@@ -78,6 +65,11 @@ impl ValidationSet {
     /// The held-out samples.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
+    }
+
+    /// The output normaliser the targets were normalised with.
+    pub fn output_normalizer(&self) -> &OutputNormalizer {
+        &self.output_norm
     }
 
     /// Mean squared error of the model over the whole validation set
@@ -99,9 +91,46 @@ impl ValidationSet {
         (total / count as f64) as f32
     }
 
-    /// Validation MSE converted back to Kelvin² (the physical scale).
-    pub fn evaluate_kelvin(&self, model: &Mlp) -> f32 {
-        OutputNormalizer::default().denormalize_mse(self.evaluate(model))
+    /// Validation MSE converted back to the workload's squared physical units
+    /// (Kelvin² for the heat workload).
+    pub fn evaluate_physical(&self, model: &Mlp) -> f32 {
+        self.output_norm.denormalize_mse(self.evaluate(model))
+    }
+
+    /// Generates a validation set for an experiment and an explicit input
+    /// normaliser (used when the caller already built the workload).
+    pub fn generate_with(
+        config: &ExperimentConfig,
+        workload: &dyn Workload,
+        input_norm: &InputNormalizer,
+        output_norm: &OutputNormalizer,
+    ) -> Self {
+        let mut sampler = ParameterSampler::new(
+            SamplerKind::MonteCarlo,
+            workload.parameter_space(),
+            config.training.validation_simulations,
+            config.validation_seed(),
+        );
+        let mut samples = Vec::new();
+        for sim in 0..config.training.validation_simulations {
+            let params = sampler.parameters(sim);
+            let trajectory = workload
+                .trajectory(params)
+                .expect("validated workload configuration");
+            for step in &trajectory {
+                samples.push(step_to_sample(
+                    step,
+                    u64::MAX - sim as u64,
+                    input_norm,
+                    output_norm,
+                ));
+            }
+        }
+        Self {
+            samples,
+            batch_size: config.training.batch_size.max(1),
+            output_norm: output_norm.clone(),
+        }
     }
 }
 
@@ -109,14 +138,20 @@ impl ValidationSet {
 mod tests {
     use super::*;
     use crate::config::ExperimentConfig;
+    use crate::workload_spec::WorkloadSpec;
+    use heat_solver::SolverConfig;
+    use melissa_workload::AdvectionConfig;
     use surrogate_nn::MlpConfig;
 
     fn tiny_config() -> ExperimentConfig {
         let mut config = ExperimentConfig::small_scale();
         config.training.validation_simulations = 2;
-        config.solver.steps = 5;
-        config.solver.nx = 8;
-        config.solver.ny = 8;
+        config.workload = WorkloadSpec::heat_analytic(SolverConfig {
+            nx: 8,
+            ny: 8,
+            steps: 5,
+            ..SolverConfig::default()
+        });
         config
     }
 
@@ -150,15 +185,53 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_is_finite_and_kelvin_scaled() {
+    fn evaluate_is_finite_and_physically_scaled() {
         let config = tiny_config();
         let validation = ValidationSet::generate(&config);
         let model = Mlp::new(config.surrogate.mlp_config(config.output_size()));
         let mse = validation.evaluate(&model);
         assert!(mse.is_finite());
         assert!(mse >= 0.0);
-        let kelvin = validation.evaluate_kelvin(&model);
+        let kelvin = validation.evaluate_physical(&model);
         assert!((kelvin - mse * 400.0 * 400.0).abs() < kelvin.abs() * 1e-4 + 1e-6);
+    }
+
+    #[test]
+    fn advection_workload_validates_too() {
+        let mut config = tiny_config();
+        config.workload = WorkloadSpec::advection_analytic(AdvectionConfig {
+            nx: 8,
+            ny: 8,
+            steps: 5,
+            ..AdvectionConfig::default()
+        });
+        let validation = ValidationSet::generate(&config);
+        assert_eq!(validation.len(), 2 * 5);
+        for s in validation.samples() {
+            assert_eq!(s.input.len(), 6);
+            assert_eq!(s.target.len(), 64);
+            // Inputs are normalised through the advection design space.
+            assert!(s.input.iter().all(|&v| (-1e-6..=1.0 + 1e-6).contains(&v)));
+        }
+        let model = Mlp::new(config.surrogate.mlp_config(config.output_size()));
+        assert!(validation.evaluate(&model).is_finite());
+    }
+
+    #[test]
+    fn from_samples_physical_scale_follows_the_overridden_normalizer() {
+        let samples = vec![Sample::new(vec![0.5; 3], vec![0.25; 4], 1, 0)];
+        let model = Mlp::new(MlpConfig {
+            layer_sizes: vec![3, 4],
+            activation: surrogate_nn::Activation::ReLU,
+            init: surrogate_nn::InitScheme::Zeros,
+            seed: 0,
+        });
+        let heat = ValidationSet::from_samples(samples.clone(), 1);
+        let unit = ValidationSet::from_samples(samples, 1)
+            .with_output_normalizer(OutputNormalizer::for_range(0.0, 1.0));
+        let mse = unit.evaluate(&model);
+        assert_eq!(unit.evaluate_physical(&model), mse);
+        assert!((heat.evaluate_physical(&model) - mse * 400.0 * 400.0).abs() < 1e-3);
     }
 
     #[test]

@@ -4,17 +4,18 @@
 //! interacts with the supercomputer batch scheduler to start clients or server
 //! jobs, monitor their progress, kill some of them or restart them in case of
 //! failure."* Here the batch scheduler is the in-process
-//! [`SimulatedScheduler`](crate::scheduler::SimulatedScheduler) and client jobs
+//! [`crate::scheduler::SimulatedScheduler`] and client jobs
 //! are closures executed on a bounded pool of worker threads, one series at a
 //! time, with retries on failure.
 
 use crate::campaign::CampaignPlan;
 use crate::sampler::ParameterSampler;
 use crate::scheduler::{JobState, SchedulerConfig, SimulatedScheduler};
-use heat_solver::{ParameterSpace, SimulationParams};
+use melissa_workload::{ParamPoint, ParameterSpace};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Configuration of the launcher.
@@ -44,8 +45,45 @@ pub struct ClientJob {
     pub series: usize,
     /// 1-based attempt number (> 1 means the client was restarted).
     pub attempt: usize,
-    /// The sampled simulation parameters of this member.
-    pub parameters: SimulationParams,
+    /// The sampled parameter vector of this member.
+    pub parameters: ParamPoint,
+}
+
+/// A client failure, as reported by the execution closure: the launcher only
+/// needs a reason to log; whether the failure is retryable is its own policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientError {
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+impl ClientError {
+    /// Creates a failure with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<String> for ClientError {
+    fn from(reason: String) -> Self {
+        Self::new(reason)
+    }
+}
+
+impl From<&str> for ClientError {
+    fn from(reason: &str) -> Self {
+        Self::new(reason)
+    }
 }
 
 /// Outcome of one client execution, as reported by the closure.
@@ -53,8 +91,8 @@ pub struct ClientJob {
 pub enum ClientOutcome {
     /// The client ran to completion.
     Completed,
-    /// The client failed with a reason.
-    Failed(String),
+    /// The client failed.
+    Failed(ClientError),
 }
 
 /// Aggregate report of a campaign execution.
@@ -90,23 +128,35 @@ impl Launcher {
         &self.config
     }
 
-    /// Runs a full campaign: every series in order, every client of a series on
-    /// a bounded worker pool, with retries on failure. `client_fn` is invoked
-    /// once per attempt and must return `Ok(())` on success.
+    /// Runs a full campaign over the default (paper) parameter space. See
+    /// [`Launcher::run_campaign_in`].
     pub fn run_campaign<F>(&self, plan: &CampaignPlan, client_fn: F) -> LauncherReport
     where
-        F: Fn(&ClientJob) -> Result<(), String> + Sync,
+        F: Fn(&ClientJob) -> Result<(), ClientError> + Sync,
+    {
+        self.run_campaign_in(plan, &ParameterSpace::default(), client_fn)
+    }
+
+    /// Runs a full campaign: every series in order, every client of a series on
+    /// a bounded worker pool, with retries on failure. Parameters are drawn
+    /// from `space` (a workload's design space), making the launcher
+    /// physics-agnostic. `client_fn` is invoked once per attempt and must
+    /// return `Ok(())` on success.
+    pub fn run_campaign_in<F>(
+        &self,
+        plan: &CampaignPlan,
+        space: &ParameterSpace,
+        client_fn: F,
+    ) -> LauncherReport
+    where
+        F: Fn(&ClientJob) -> Result<(), ClientError> + Sync,
     {
         let campaign_start = Instant::now();
-        let mut sampler = ParameterSampler::new(
-            plan.sampler,
-            ParameterSpace::default(),
-            plan.total_clients(),
-            plan.seed,
-        );
+        let mut sampler =
+            ParameterSampler::new(plan.sampler, *space, plan.total_clients(), plan.seed);
         // Draw every member's parameters upfront so a retried client reruns the
         // exact same simulation.
-        let all_params: Vec<SimulationParams> = (0..plan.total_clients())
+        let all_params: Vec<ParamPoint> = (0..plan.total_clients())
             .map(|i| sampler.parameters(i))
             .collect();
 
@@ -259,10 +309,10 @@ mod tests {
                 .lock()
                 .entry(job.client_id)
                 .or_default()
-                .push((job.attempt, job.parameters.as_vector()));
+                .push((job.attempt, job.parameters));
             // Client 2 fails on its first two attempts.
             if job.client_id == 2 && job.attempt <= 2 {
-                Err("simulated crash".to_string())
+                Err(ClientError::new("simulated crash"))
             } else {
                 Ok(())
             }

@@ -24,7 +24,9 @@ pub mod sampler;
 pub mod scheduler;
 
 pub use campaign::{CampaignPlan, ClientSeries};
-pub use launcher::{ClientOutcome, Launcher, LauncherConfig, LauncherReport};
+pub use launcher::{
+    ClientError, ClientJob, ClientOutcome, Launcher, LauncherConfig, LauncherReport,
+};
 pub use sampler::{
     ExperimentalDesign, HaltonSampler, LatinHypercubeSampler, MonteCarloSampler, ParameterSampler,
     SamplerKind,
@@ -46,9 +48,10 @@ mod tests {
             ..LauncherConfig::default()
         });
         let executed = AtomicUsize::new(0);
-        let report = launcher.run_campaign(&plan, |job| {
+        let space = melissa_workload::ParameterSpace::default();
+        let report = launcher.run_campaign_in(&plan, &space, |job| {
             executed.fetch_add(1, Ordering::Relaxed);
-            assert!(job.parameters.within_range(&Default::default()));
+            assert!(space.contains(&job.parameters));
             Ok(())
         });
         assert_eq!(executed.load(Ordering::Relaxed), 6);

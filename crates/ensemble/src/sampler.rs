@@ -3,10 +3,10 @@
 //! The paper's data-aggregator thread controls the experimental design and
 //! currently supports the traditional Monte Carlo method, Latin hypercube
 //! sampling and the Halton sequence (§3.1). All three are implemented on the
-//! unit hypercube and mapped through [`ParameterSpace`] to the five sampled
-//! temperatures. Everything is seeded for reproducibility.
+//! unit hypercube and mapped through a physics-agnostic [`ParameterSpace`] to
+//! the sampled parameter vector. Everything is seeded for reproducibility.
 
-use heat_solver::{params::PARAM_DIM, ParameterSpace, SimulationParams};
+use melissa_workload::{ParamPoint, ParameterSpace, PARAM_DIM};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -172,7 +172,8 @@ impl ExperimentalDesign for HaltonSampler {
 }
 
 /// Maps an [`ExperimentalDesign`] through a [`ParameterSpace`] to produce the
-/// simulation parameters of each ensemble member.
+/// parameter vector of each ensemble member, independent of the physics that
+/// will consume it.
 pub struct ParameterSampler {
     design: Box<dyn ExperimentalDesign>,
     space: ParameterSpace,
@@ -199,8 +200,8 @@ impl ParameterSampler {
         self.design.kind()
     }
 
-    /// The simulation parameters of ensemble member `index`.
-    pub fn parameters(&mut self, index: usize) -> SimulationParams {
+    /// The parameter vector of ensemble member `index`.
+    pub fn parameters(&mut self, index: usize) -> ParamPoint {
         let unit = self.design.unit_sample(index);
         self.space.from_unit(unit)
     }
@@ -302,8 +303,7 @@ mod tests {
             for i in 0..16 {
                 let p = sampler.parameters(i);
                 assert!(sampler.space().contains(&p), "{kind:?} escaped the space");
-                assert!(p.min_temperature() >= 100.0);
-                assert!(p.max_temperature() <= 500.0);
+                assert!(p.iter().all(|&v| (100.0..=500.0).contains(&v)));
             }
         }
     }
@@ -314,7 +314,7 @@ mod tests {
             ParameterSampler::new(SamplerKind::MonteCarlo, ParameterSpace::default(), 8, 13);
         let a = sampler.parameters(0);
         let b = sampler.parameters(1);
-        assert_ne!(a.as_vector(), b.as_vector());
+        assert_ne!(a, b);
     }
 
     #[test]

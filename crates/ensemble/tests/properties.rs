@@ -1,10 +1,10 @@
 //! Property-based tests of the ensemble-management substrate.
 
-use heat_solver::ParameterSpace;
 use melissa_ensemble::{
     CampaignPlan, ExperimentalDesign, HaltonSampler, LatinHypercubeSampler, Launcher,
     LauncherConfig, MonteCarloSampler, ParameterSampler, SamplerKind,
 };
+use melissa_workload::ParameterSpace;
 use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::collections::HashSet;

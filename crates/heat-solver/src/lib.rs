@@ -43,7 +43,7 @@ pub use decomposition::{
 };
 pub use grid::{Field, Grid2D};
 pub use linalg::{CgReport, ConjugateGradient, JacobiSolver, ThomasSolver};
-pub use params::{ParamRange, ParameterSpace, SimulationParams};
+pub use params::{ParamPoint, ParamRange, ParameterSpace, SimulationParams, PARAM_DIM};
 pub use scheme::{AdiScheme, ExplicitEuler, ImplicitEuler, TimeScheme};
 pub use solver::{HeatSolver, SolverConfig, SolverError, TimeStepField};
 pub use workload::{SyntheticWorkload, WorkloadKind};

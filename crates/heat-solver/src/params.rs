@@ -1,15 +1,19 @@
-//! Simulation parameters and the sampled parameter space.
+//! Simulation parameters of the heat-equation workload.
 //!
 //! The paper's input vector `X` holds five temperatures: the initial condition
 //! `T_ic` and the four Dirichlet boundary temperatures `(T_x1, T_y1, T_x2, T_y2)`,
 //! each sampled uniformly in `[100, 500]` K. The thermal diffusivity is fixed to
 //! `α = 1 m²/s`, the time step to `Δt = 0.01 s` and the trajectory length to 100
 //! steps. Everything is configurable here so the ensemble can be scaled down.
+//!
+//! The physics-agnostic parameter-space machinery ([`ParamRange`],
+//! [`ParameterSpace`], [`PARAM_DIM`]) lives in `melissa_workload` and is
+//! re-exported here; [`SimulationParams`] is the heat-specific view of one
+//! sampled [`ParamPoint`].
 
 use serde::{Deserialize, Serialize};
 
-/// Number of sampled input parameters (the dimension of `X` in the paper).
-pub const PARAM_DIM: usize = 5;
+pub use melissa_workload::{ParamPoint, ParamRange, ParameterSpace, PARAM_DIM};
 
 /// Default lower bound of the sampled temperature range (Kelvin).
 pub const DEFAULT_T_MIN: f64 = 100.0;
@@ -35,7 +39,7 @@ pub struct SimulationParams {
 
 impl SimulationParams {
     /// Builds parameters from the `[T_ic, T_x1, T_y1, T_x2, T_y2]` vector.
-    pub fn new(x: [f64; PARAM_DIM]) -> Self {
+    pub fn new(x: ParamPoint) -> Self {
         Self {
             t_initial: x[0],
             t_x1: x[1],
@@ -46,7 +50,7 @@ impl SimulationParams {
     }
 
     /// Returns the parameters as the flat vector `X` used as surrogate input.
-    pub fn as_vector(&self) -> [f64; PARAM_DIM] {
+    pub fn as_vector(&self) -> ParamPoint {
         [self.t_initial, self.t_x1, self.t_y1, self.t_x2, self.t_y2]
     }
 
@@ -88,103 +92,15 @@ impl SimulationParams {
     }
 }
 
-/// The inclusive range each temperature is sampled from.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ParamRange {
-    /// Lower bound (inclusive).
-    pub min: f64,
-    /// Upper bound (inclusive).
-    pub max: f64,
-}
-
-impl Default for ParamRange {
-    fn default() -> Self {
-        Self {
-            min: DEFAULT_T_MIN,
-            max: DEFAULT_T_MAX,
-        }
+impl From<ParamPoint> for SimulationParams {
+    fn from(x: ParamPoint) -> Self {
+        Self::new(x)
     }
 }
 
-impl ParamRange {
-    /// Creates a range, panicking when `min > max`.
-    pub fn new(min: f64, max: f64) -> Self {
-        assert!(min <= max, "invalid parameter range: {min} > {max}");
-        Self { min, max }
-    }
-
-    /// Width of the range.
-    pub fn span(&self) -> f64 {
-        self.max - self.min
-    }
-
-    /// Maps a unit-interval coordinate `u ∈ [0, 1]` into the range.
-    pub fn lerp(&self, u: f64) -> f64 {
-        self.min + u.clamp(0.0, 1.0) * self.span()
-    }
-
-    /// Maps a value of the range back to the unit interval.
-    pub fn normalize(&self, value: f64) -> f64 {
-        if self.span() == 0.0 {
-            0.0
-        } else {
-            ((value - self.min) / self.span()).clamp(0.0, 1.0)
-        }
-    }
-}
-
-/// The sampled parameter space: one [`ParamRange`] per input dimension.
-///
-/// Experimental-design samplers in `melissa-ensemble` draw unit hypercube points
-/// and map them through this space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ParameterSpace {
-    /// Per-dimension ranges, ordered as `[T_ic, T_x1, T_y1, T_x2, T_y2]`.
-    pub ranges: [ParamRange; PARAM_DIM],
-}
-
-impl Default for ParameterSpace {
-    fn default() -> Self {
-        Self {
-            ranges: [ParamRange::default(); PARAM_DIM],
-        }
-    }
-}
-
-impl ParameterSpace {
-    /// A space where every dimension shares the same range.
-    pub fn uniform(range: ParamRange) -> Self {
-        Self {
-            ranges: [range; PARAM_DIM],
-        }
-    }
-
-    /// Maps a unit hypercube point into a [`SimulationParams`].
-    pub fn from_unit(&self, u: [f64; PARAM_DIM]) -> SimulationParams {
-        let mut x = [0.0; PARAM_DIM];
-        for (k, (range, coord)) in self.ranges.iter().zip(u.iter()).enumerate() {
-            x[k] = range.lerp(*coord);
-        }
-        SimulationParams::new(x)
-    }
-
-    /// Maps a parameter vector back to the unit hypercube.
-    pub fn to_unit(&self, params: &SimulationParams) -> [f64; PARAM_DIM] {
-        let x = params.as_vector();
-        let mut u = [0.0; PARAM_DIM];
-        for k in 0..PARAM_DIM {
-            u[k] = self.ranges[k].normalize(x[k]);
-        }
-        u
-    }
-
-    /// True when the parameters lie inside the space.
-    pub fn contains(&self, params: &SimulationParams) -> bool {
-        let x = params.as_vector();
-        self.ranges
-            .iter()
-            .zip(x.iter())
-            .all(|(r, v)| *v >= r.min && *v <= r.max)
+impl From<SimulationParams> for ParamPoint {
+    fn from(p: SimulationParams) -> Self {
+        p.as_vector()
     }
 }
 
@@ -199,6 +115,8 @@ mod tests {
         assert_eq!(p.as_vector(), x);
         assert_eq!(p.t_initial, 300.0);
         assert_eq!(p.t_y2, 100.0);
+        assert_eq!(SimulationParams::from(x), p);
+        assert_eq!(ParamPoint::from(p), x);
     }
 
     #[test]
@@ -210,46 +128,12 @@ mod tests {
     }
 
     #[test]
-    fn range_lerp_and_normalize_are_inverse() {
-        let r = ParamRange::new(100.0, 500.0);
-        for &u in &[0.0, 0.25, 0.5, 0.75, 1.0] {
-            let v = r.lerp(u);
-            assert!((r.normalize(v) - u).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn range_lerp_clamps() {
-        let r = ParamRange::new(0.0, 10.0);
-        assert_eq!(r.lerp(-1.0), 0.0);
-        assert_eq!(r.lerp(2.0), 10.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid parameter range")]
-    fn range_rejects_inverted_bounds() {
-        let _ = ParamRange::new(10.0, 0.0);
-    }
-
-    #[test]
-    fn space_unit_mapping_roundtrip() {
-        let space = ParameterSpace::default();
-        let u = [0.1, 0.2, 0.3, 0.4, 0.5];
-        let p = space.from_unit(u);
-        assert!(space.contains(&p));
-        let back = space.to_unit(&p);
-        for k in 0..PARAM_DIM {
-            assert!((back[k] - u[k]).abs() < 1e-12);
-        }
-    }
-
-    #[test]
     fn default_space_matches_paper_range() {
         let space = ParameterSpace::default();
-        let low = space.from_unit([0.0; PARAM_DIM]);
-        let high = space.from_unit([1.0; PARAM_DIM]);
-        assert_eq!(low.min_temperature(), 100.0);
-        assert_eq!(high.max_temperature(), 500.0);
+        let low = SimulationParams::new(space.from_unit([0.0; PARAM_DIM]));
+        let high = SimulationParams::new(space.from_unit([1.0; PARAM_DIM]));
+        assert_eq!(low.min_temperature(), DEFAULT_T_MIN);
+        assert_eq!(high.max_temperature(), DEFAULT_T_MAX);
     }
 
     #[test]

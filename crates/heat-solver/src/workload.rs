@@ -12,8 +12,23 @@ use crate::analytic::approximate_transient;
 use crate::boundary::BoundaryConditions;
 use crate::params::SimulationParams;
 use crate::solver::{HeatSolver, SolverConfig, SolverError, TimeStepField};
+use melissa_workload::{
+    ParamPoint, ParamRange, ParameterSpace, Workload, WorkloadError, WorkloadStep,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+impl From<SolverError> for WorkloadError {
+    fn from(error: SolverError) -> Self {
+        match error {
+            SolverError::InvalidConfig(reason) => WorkloadError::InvalidConfig(reason),
+            SolverError::UnstableExplicitScheme { stability_number } => WorkloadError::Unstable {
+                // Normalise by the explicit limit (0.5) so 1.0 is the boundary.
+                stability_number: stability_number / 0.5,
+            },
+        }
+    }
+}
 
 /// How the workload produces its time steps.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -134,6 +149,59 @@ impl SyntheticWorkload {
     /// Total number of bytes one trajectory of this workload produces.
     pub fn trajectory_bytes(&self) -> usize {
         self.config.trajectory_bytes()
+    }
+}
+
+/// The paper's physics, seen through the physics-agnostic seam: the training
+/// stack drives [`SyntheticWorkload`] exclusively through this impl.
+impl Workload for SyntheticWorkload {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            WorkloadKind::Solver => "heat2d",
+            WorkloadKind::Analytic => "heat2d-analytic",
+        }
+    }
+
+    fn shape(&self) -> Vec<usize> {
+        vec![self.config.nx, self.config.ny]
+    }
+
+    fn steps(&self) -> usize {
+        self.config.steps
+    }
+
+    fn dt(&self) -> f64 {
+        self.config.dt
+    }
+
+    fn parameter_space(&self) -> ParameterSpace {
+        // The paper's design space: five temperatures in [100, 500] K.
+        ParameterSpace::default()
+    }
+
+    fn output_range(&self) -> ParamRange {
+        // The maximum principle keeps the field inside the sampled range.
+        ParamRange::default()
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        self.config.validate().map_err(Into::into)
+    }
+
+    fn generate(
+        &self,
+        params: ParamPoint,
+        sink: &mut dyn FnMut(WorkloadStep),
+    ) -> Result<(), WorkloadError> {
+        SyntheticWorkload::generate(self, SimulationParams::new(params), |field| {
+            sink(WorkloadStep {
+                step: field.step,
+                time: field.time,
+                params,
+                values: field.values,
+            })
+        })
+        .map_err(Into::into)
     }
 }
 

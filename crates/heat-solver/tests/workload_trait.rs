@@ -1,0 +1,106 @@
+//! Property-based tests of the [`Workload`] contract on the heat physics:
+//! the paper's workload, exercised exclusively through the physics-agnostic
+//! trait the training stack uses.
+
+use heat_solver::{SolverConfig, SyntheticWorkload};
+use melissa_workload::Workload;
+use proptest::prelude::*;
+
+fn coarse_config() -> SolverConfig {
+    SolverConfig {
+        nx: 8,
+        ny: 8,
+        steps: 6,
+        ..SolverConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same parameters ⇒ bit-identical stream through the trait, for both the
+    /// real solver and the analytic variant.
+    #[test]
+    fn generation_is_deterministic(
+        t_ic in 100.0f64..500.0,
+        t_x1 in 100.0f64..500.0,
+        t_y1 in 100.0f64..500.0,
+        t_x2 in 100.0f64..500.0,
+        t_y2 in 100.0f64..500.0,
+        analytic in any::<bool>(),
+    ) {
+        let params = [t_ic, t_x1, t_y1, t_x2, t_y2];
+        let workload = if analytic {
+            SyntheticWorkload::analytic(coarse_config())
+        } else {
+            SyntheticWorkload::solver(coarse_config())
+        };
+        let a = Workload::trajectory(&workload, params).unwrap();
+        let b = Workload::trajectory(&workload, params).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Field length equals the declared grid size and values stay inside the
+    /// declared output range (the maximum principle), through the trait.
+    #[test]
+    fn fields_match_the_declared_shape(
+        t_ic in 100.0f64..500.0,
+        t_x1 in 100.0f64..500.0,
+        t_y1 in 100.0f64..500.0,
+        t_x2 in 100.0f64..500.0,
+        t_y2 in 100.0f64..500.0,
+        analytic in any::<bool>(),
+    ) {
+        let params = [t_ic, t_x1, t_y1, t_x2, t_y2];
+        let workload = if analytic {
+            SyntheticWorkload::analytic(coarse_config())
+        } else {
+            SyntheticWorkload::solver(coarse_config())
+        };
+        prop_assert_eq!(workload.shape(), vec![8, 8]);
+        prop_assert_eq!(workload.field_len(), 64);
+        let range = workload.output_range();
+        let trajectory = Workload::trajectory(&workload, params).unwrap();
+        prop_assert_eq!(trajectory.len(), workload.steps());
+        for (k, step) in trajectory.iter().enumerate() {
+            prop_assert_eq!(step.step, k);
+            prop_assert_eq!(step.values.len(), workload.field_len());
+            prop_assert_eq!(step.params, params);
+            for &v in &step.values {
+                prop_assert!(v.is_finite());
+                // A whisker of slack for f32 rounding at the range edges.
+                prop_assert!(
+                    (v as f64) >= range.min - 1.0 && (v as f64) <= range.max + 1.0,
+                    "value {} escapes [{}, {}]", v, range.min, range.max
+                );
+            }
+        }
+    }
+
+    /// The closed-form approximation tracks the real solver on a coarse grid
+    /// late in the trajectory, when both approach the boundary-driven steady
+    /// state (the regime the analytic blend is built for).
+    #[test]
+    fn analytic_and_solver_variants_agree(
+        t_ic in 100.0f64..500.0,
+        t_x1 in 100.0f64..500.0,
+        t_y1 in 100.0f64..500.0,
+        t_x2 in 100.0f64..500.0,
+        t_y2 in 100.0f64..500.0,
+    ) {
+        let params = [t_ic, t_x1, t_y1, t_x2, t_y2];
+        let mut config = coarse_config();
+        config.steps = 150;
+        let analytic = Workload::trajectory(&SyntheticWorkload::analytic(config), params).unwrap();
+        let solver = Workload::trajectory(&SyntheticWorkload::solver(config), params).unwrap();
+        let last_a = analytic.last().unwrap();
+        let last_s = solver.last().unwrap();
+        let mean = |values: &[f32]| values.iter().sum::<f32>() / values.len() as f32;
+        let (mean_a, mean_s) = (mean(&last_a.values), mean(&last_s.values));
+        // 400 K is the span of the sampled range; agree within 10% of it.
+        prop_assert!(
+            (mean_a - mean_s).abs() < 40.0,
+            "field means {mean_a} vs {mean_s}"
+        );
+    }
+}

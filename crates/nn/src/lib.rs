@@ -19,7 +19,8 @@
 //!   number of GPUs so the decay happens per-sample, not per-batch).
 //! * [`GradientSynchronizer`] — the data-parallel all-reduce used by the
 //!   training server replicas (each worker thread plays the role of one GPU).
-//! * [`InputNormalizer`]/[`OutputNormalizer`] — normalisation for the heat workload.
+//! * [`InputNormalizer`]/[`OutputNormalizer`] — per-dimension affine normalisation
+//!   of workload inputs and output fields (defaults match the paper's heat setup).
 //!
 //! Everything is deterministic under a fixed seed, matching the paper's remark
 //! that all stochastic components are seeded for reproducibility.

@@ -1,51 +1,74 @@
-//! Input/output normalisation for the heat-equation workload.
+//! Input/output normalisation for surrogate training.
 //!
-//! The sampled temperatures lie in `[100, 500]` K and the requested time in
-//! `[0, steps · Δt]`; the target fields also live in the temperature range.
-//! Normalising both to the unit interval keeps the MLP activations in a healthy
-//! range and makes MSE values comparable across grid sizes.
+//! Workload parameters are sampled from per-dimension ranges and the requested
+//! time lies in `[0, steps · Δt]`; the target fields live in a physical range
+//! the workload declares. Normalising both to the unit interval keeps the MLP
+//! activations in a healthy range and makes MSE values comparable across grid
+//! sizes and physics. The defaults reproduce the paper's heat-equation setup
+//! (five temperatures in `[100, 500]` K over a 1-second trajectory).
 
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
-/// Affine normaliser for surrogate inputs `(X, t)`.
+/// Affine normaliser for surrogate inputs `(X, t)`: one `(min, span)` pair per
+/// parameter dimension, plus the trajectory duration for the trailing time
+/// entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InputNormalizer {
-    /// Lower bound of the temperature range.
-    pub temp_min: f32,
-    /// Upper bound of the temperature range.
-    pub temp_max: f32,
+    /// Per-dimension lower bounds of the parameter ranges.
+    pub mins: Vec<f32>,
+    /// Per-dimension widths of the parameter ranges.
+    pub spans: Vec<f32>,
     /// Largest time value (end of a trajectory).
     pub time_max: f32,
 }
 
 impl Default for InputNormalizer {
     fn default() -> Self {
-        Self {
-            temp_min: 100.0,
-            temp_max: 500.0,
-            time_max: 1.0,
-        }
+        Self::uniform(100.0, 500.0, 5, 1.0)
     }
 }
 
 impl InputNormalizer {
-    /// Creates a normaliser for the paper's ranges and a trajectory of
-    /// `steps × dt` seconds.
-    pub fn for_trajectory(steps: usize, dt: f64) -> Self {
+    /// Creates a normaliser whose `dim` parameter dimensions share one range.
+    pub fn uniform(min: f32, max: f32, dim: usize, time_max: f64) -> Self {
         Self {
-            temp_min: 100.0,
-            temp_max: 500.0,
-            time_max: (steps as f64 * dt) as f32,
+            mins: vec![min; dim],
+            spans: vec![max - min; dim],
+            time_max: time_max as f32,
         }
     }
 
-    /// Normalises one raw input vector `[T_ic, T_x1, T_y1, T_x2, T_y2, t]` in place.
+    /// Creates a normaliser from per-dimension `(min, max)` bounds.
+    pub fn for_ranges(ranges: &[(f64, f64)], time_max: f64) -> Self {
+        Self {
+            mins: ranges.iter().map(|&(min, _)| min as f32).collect(),
+            spans: ranges
+                .iter()
+                .map(|&(min, max)| (max - min) as f32)
+                .collect(),
+            time_max: time_max as f32,
+        }
+    }
+
+    /// Creates a normaliser for the paper's ranges and a trajectory of
+    /// `steps × dt` seconds.
+    pub fn for_trajectory(steps: usize, dt: f64) -> Self {
+        Self::uniform(100.0, 500.0, 5, steps as f64 * dt)
+    }
+
+    /// Normalises one raw input vector `[X, t]` in place (the last entry is
+    /// the time; the others are parameter dimensions).
     pub fn normalize_in_place(&self, input: &mut [f32]) {
-        let span = self.temp_max - self.temp_min;
         let n = input.len();
-        for v in input.iter_mut().take(n.saturating_sub(1)) {
-            *v = (*v - self.temp_min) / span;
+        for (v, (min, span)) in input
+            .iter_mut()
+            .take(n.saturating_sub(1))
+            .zip(self.mins.iter().zip(&self.spans))
+        {
+            // A pinned dimension (zero span) maps to 0.0, mirroring
+            // `ParamRange::normalize`, so the input stays bounded.
+            *v = if *span != 0.0 { (*v - min) / span } else { 0.0 };
         }
         if let Some(t) = input.last_mut() {
             if self.time_max > 0.0 {
@@ -62,30 +85,48 @@ impl InputNormalizer {
     }
 }
 
-/// Affine normaliser for temperature fields (the surrogate targets).
+/// Affine normaliser for output fields (the surrogate targets).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OutputNormalizer {
-    /// Lower bound of the temperature range.
-    pub temp_min: f32,
-    /// Upper bound of the temperature range.
-    pub temp_max: f32,
+    /// Lower bound of the physical output range.
+    pub value_min: f32,
+    /// Upper bound of the physical output range.
+    pub value_max: f32,
 }
 
 impl Default for OutputNormalizer {
     fn default() -> Self {
+        // The paper's temperature range, in Kelvin.
         Self {
-            temp_min: 100.0,
-            temp_max: 500.0,
+            value_min: 100.0,
+            value_max: 500.0,
         }
     }
 }
 
 impl OutputNormalizer {
+    /// Creates a normaliser for outputs in `[min, max]`.
+    pub fn for_range(min: f64, max: f64) -> Self {
+        Self {
+            value_min: min as f32,
+            value_max: max as f32,
+        }
+    }
+
+    fn span(&self) -> f32 {
+        let span = self.value_max - self.value_min;
+        if span == 0.0 {
+            1.0
+        } else {
+            span
+        }
+    }
+
     /// Normalises a field to the unit range in place.
     pub fn normalize_in_place(&self, values: &mut [f32]) {
-        let span = self.temp_max - self.temp_min;
+        let span = self.span();
         for v in values {
-            *v = (*v - self.temp_min) / span;
+            *v = (*v - self.value_min) / span;
         }
     }
 
@@ -96,21 +137,22 @@ impl OutputNormalizer {
         out
     }
 
-    /// Maps a normalised prediction back to Kelvin.
+    /// Maps a normalised prediction back to physical units.
     pub fn denormalize(&self, values: &[f32]) -> Vec<f32> {
-        let span = self.temp_max - self.temp_min;
-        values.iter().map(|v| v * span + self.temp_min).collect()
+        let span = self.span();
+        values.iter().map(|v| v * span + self.value_min).collect()
     }
 
-    /// Maps a normalised prediction matrix back to Kelvin.
+    /// Maps a normalised prediction matrix back to physical units.
     pub fn denormalize_matrix(&self, values: &Matrix) -> Matrix {
-        let span = self.temp_max - self.temp_min;
-        values.map(|v| v * span + self.temp_min)
+        let span = self.span();
+        values.map(|v| v * span + self.value_min)
     }
 
-    /// Converts an MSE computed on normalised values back to Kelvin².
+    /// Converts an MSE computed on normalised values back to squared physical
+    /// units (Kelvin² for the heat workload).
     pub fn denormalize_mse(&self, mse: f32) -> f32 {
-        let span = self.temp_max - self.temp_min;
+        let span = self.span();
         mse * span * span
     }
 }
@@ -131,6 +173,16 @@ mod tests {
     }
 
     #[test]
+    fn per_dimension_ranges_normalize_independently() {
+        let norm = InputNormalizer::for_ranges(&[(0.0, 1.0), (-0.5, 0.5), (10.0, 20.0)], 2.0);
+        let n = norm.normalize(&[0.25, 0.0, 15.0, 1.0]);
+        assert!((n[0] - 0.25).abs() < 1e-6);
+        assert!((n[1] - 0.5).abs() < 1e-6);
+        assert!((n[2] - 0.5).abs() < 1e-6);
+        assert!((n[3] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
     fn output_normalize_denormalize_roundtrip() {
         let norm = OutputNormalizer::default();
         let raw = vec![100.0, 250.0, 499.0, 321.5];
@@ -140,6 +192,14 @@ mod tests {
             assert!((a - b).abs() < 1e-3);
         }
         assert!(n.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn output_range_constructor_scales_accordingly() {
+        let norm = OutputNormalizer::for_range(0.0, 2.0);
+        assert_eq!(norm.normalize(&[1.0]), vec![0.5]);
+        assert_eq!(norm.denormalize(&[0.25]), vec![0.5]);
+        assert!((norm.denormalize_mse(1.0) - 4.0).abs() < 1e-6);
     }
 
     #[test]
@@ -164,5 +224,11 @@ mod tests {
         };
         let n = norm.normalize(&[100.0, 100.0, 100.0, 100.0, 100.0, 3.0]);
         assert_eq!(n[5], 3.0);
+    }
+
+    #[test]
+    fn degenerate_output_range_does_not_divide_by_zero() {
+        let norm = OutputNormalizer::for_range(5.0, 5.0);
+        assert!(norm.normalize(&[5.0])[0].is_finite());
     }
 }

@@ -1,0 +1,476 @@
+//! The second reference physics: 2D advection–diffusion of a Gaussian tracer.
+//!
+//! A pulse of tracer concentration is released at the centre of a rectangular
+//! domain and transported by a constant velocity field while diffusing:
+//!
+//! ```text
+//!   ∂u/∂t + v · ∇u = κ ∇²u
+//! ```
+//!
+//! The five sampled parameters `X` are `[A, vx, vy, κ, σ₀]`: pulse amplitude,
+//! the two velocity components, the diffusivity and the initial pulse width.
+//! Mirroring the heat workload's [`WorkloadKind`](crate::Workload) split, the
+//! trajectory can be produced either by a first-order upwind / central
+//! finite-difference scheme ([`AdvectionVariant::FiniteDifference`]) or by the
+//! closed-form free-space solution ([`AdvectionVariant::Analytic`]):
+//!
+//! ```text
+//!   u(x, y, t) = A σ₀²/σ²(t) · exp(−|x − x₀ − v t|² / (2 σ²(t))),
+//!   σ²(t) = σ₀² + 2 κ t
+//! ```
+//!
+//! The parameter ranges are chosen so the pulse stays far from the boundary
+//! over one trajectory, which keeps the free-space solution an accurate
+//! reference; the finite-difference variant imposes the analytic values as
+//! Dirichlet boundary conditions.
+
+use crate::space::{ParamPoint, ParamRange, ParameterSpace};
+use crate::traits::{Workload, WorkloadError, WorkloadStep};
+use serde::{Deserialize, Serialize};
+
+/// Index of the pulse amplitude in the parameter vector.
+pub const P_AMPLITUDE: usize = 0;
+/// Index of the x-velocity in the parameter vector.
+pub const P_VELOCITY_X: usize = 1;
+/// Index of the y-velocity in the parameter vector.
+pub const P_VELOCITY_Y: usize = 2;
+/// Index of the diffusivity in the parameter vector.
+pub const P_DIFFUSIVITY: usize = 3;
+/// Index of the initial pulse width in the parameter vector.
+pub const P_SIGMA0: usize = 4;
+
+/// How the advection–diffusion workload produces its time steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AdvectionVariant {
+    /// First-order upwind advection with central diffusion (explicit Euler).
+    #[default]
+    FiniteDifference,
+    /// The closed-form free-space Gaussian solution (fast; exact up to the
+    /// boundary truncation the parameter ranges keep negligible).
+    Analytic,
+}
+
+/// Configuration of the advection–diffusion workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdvectionConfig {
+    /// Interior nodes along x.
+    pub nx: usize,
+    /// Interior nodes along y.
+    pub ny: usize,
+    /// Physical domain length along x.
+    pub lx: f64,
+    /// Physical domain length along y.
+    pub ly: f64,
+    /// Time step `Δt`.
+    pub dt: f64,
+    /// Number of time steps per trajectory.
+    pub steps: usize,
+}
+
+impl Default for AdvectionConfig {
+    fn default() -> Self {
+        Self {
+            nx: 16,
+            ny: 16,
+            lx: 1.0,
+            ly: 1.0,
+            dt: 0.02,
+            steps: 25,
+        }
+    }
+}
+
+impl AdvectionConfig {
+    /// Grid spacing along x; nodes sit at `x_i = (i + 1) · dx`, as in the heat
+    /// workload.
+    pub fn dx(&self) -> f64 {
+        self.lx / (self.nx as f64 + 1.0)
+    }
+
+    /// Grid spacing along y.
+    pub fn dy(&self) -> f64 {
+        self.ly / (self.ny as f64 + 1.0)
+    }
+
+    /// Number of values in one emitted time step.
+    pub fn field_len(&self) -> usize {
+        self.nx * self.ny
+    }
+}
+
+/// The advection–diffusion workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct AdvectionWorkload {
+    /// Grid, Δt and trajectory length.
+    pub config: AdvectionConfig,
+    /// Data source (finite differences or closed form).
+    pub variant: AdvectionVariant,
+}
+
+impl AdvectionWorkload {
+    /// Creates a finite-difference-backed workload.
+    pub fn finite_difference(config: AdvectionConfig) -> Self {
+        Self {
+            config,
+            variant: AdvectionVariant::FiniteDifference,
+        }
+    }
+
+    /// Creates a workload backed by the closed-form solution.
+    pub fn analytic(config: AdvectionConfig) -> Self {
+        Self {
+            config,
+            variant: AdvectionVariant::Analytic,
+        }
+    }
+
+    /// The design space of `[A, vx, vy, κ, σ₀]`: amplitudes in `[0.5, 1]`,
+    /// velocities in `[−0.3, 0.3]`, diffusivities in `[5·10⁻⁴, 5·10⁻³]` and
+    /// initial widths in `[0.04, 0.1]` — chosen so the pulse never reaches the
+    /// boundary within one trajectory.
+    pub fn design_space() -> ParameterSpace {
+        ParameterSpace::from_bounds([
+            (0.5, 1.0),
+            (-0.3, 0.3),
+            (-0.3, 0.3),
+            (5e-4, 5e-3),
+            (0.04, 0.1),
+        ])
+    }
+
+    /// The free-space solution at `(x, y, t)` for the given parameters.
+    pub fn analytic_value(&self, params: &ParamPoint, x: f64, y: f64, time: f64) -> f64 {
+        let (x0, y0) = (0.5 * self.config.lx, 0.5 * self.config.ly);
+        let amplitude = params[P_AMPLITUDE];
+        let sigma0_sq = params[P_SIGMA0] * params[P_SIGMA0];
+        let sigma_sq = sigma0_sq + 2.0 * params[P_DIFFUSIVITY] * time;
+        let cx = x - x0 - params[P_VELOCITY_X] * time;
+        let cy = y - y0 - params[P_VELOCITY_Y] * time;
+        amplitude * (sigma0_sq / sigma_sq) * (-(cx * cx + cy * cy) / (2.0 * sigma_sq)).exp()
+    }
+
+    /// The conservative explicit-stability number of the scheme at the worst
+    /// corner of the design space: `Δt · (2κ(1/dx² + 1/dy²) + |vx|/dx + |vy|/dy)`
+    /// must stay ≤ 1.
+    pub fn stability_number(&self) -> f64 {
+        let space = Self::design_space();
+        let kappa = space.ranges[P_DIFFUSIVITY].max;
+        let vx = space.ranges[P_VELOCITY_X].max.abs();
+        let vy = space.ranges[P_VELOCITY_Y].max.abs();
+        self.stability_number_for(kappa, vx, vy)
+    }
+
+    /// The explicit-stability number for one concrete `(κ, vx, vy)` draw.
+    pub fn stability_number_for(&self, kappa: f64, vx: f64, vy: f64) -> f64 {
+        let (dx, dy) = (self.config.dx(), self.config.dy());
+        self.config.dt
+            * (2.0 * kappa * (1.0 / (dx * dx) + 1.0 / (dy * dy)) + vx.abs() / dx + vy.abs() / dy)
+    }
+
+    fn analytic_field(&self, params: &ParamPoint, time: f64) -> Vec<f64> {
+        let (dx, dy) = (self.config.dx(), self.config.dy());
+        let mut values = Vec::with_capacity(self.config.field_len());
+        for j in 0..self.config.ny {
+            for i in 0..self.config.nx {
+                let x = (i as f64 + 1.0) * dx;
+                let y = (j as f64 + 1.0) * dy;
+                values.push(self.analytic_value(params, x, y, time));
+            }
+        }
+        values
+    }
+
+    /// One explicit upwind/central step of the interior field. `time` is the
+    /// time of the *current* field, used for the analytic Dirichlet boundary.
+    fn fd_step(&self, params: &ParamPoint, field: &[f64], time: f64) -> Vec<f64> {
+        let (nx, ny) = (self.config.nx, self.config.ny);
+        let (dx, dy) = (self.config.dx(), self.config.dy());
+        let dt = self.config.dt;
+        let kappa = params[P_DIFFUSIVITY];
+        let (vx, vy) = (params[P_VELOCITY_X], params[P_VELOCITY_Y]);
+
+        // Neighbour lookup falling back to the analytic Dirichlet boundary.
+        let at = |i: isize, j: isize| -> f64 {
+            if i >= 0 && i < nx as isize && j >= 0 && j < ny as isize {
+                field[j as usize * nx + i as usize]
+            } else {
+                let x = (i as f64 + 1.0) * dx;
+                let y = (j as f64 + 1.0) * dy;
+                self.analytic_value(params, x, y, time)
+            }
+        };
+
+        let mut next = vec![0.0; field.len()];
+        for j in 0..ny as isize {
+            for i in 0..nx as isize {
+                let u = at(i, j);
+                let (west, east) = (at(i - 1, j), at(i + 1, j));
+                let (south, north) = (at(i, j - 1), at(i, j + 1));
+                let laplacian =
+                    (east - 2.0 * u + west) / (dx * dx) + (north - 2.0 * u + south) / (dy * dy);
+                // First-order upwind: difference against the inflow side.
+                let advect_x = if vx >= 0.0 {
+                    vx * (u - west) / dx
+                } else {
+                    vx * (east - u) / dx
+                };
+                let advect_y = if vy >= 0.0 {
+                    vy * (u - south) / dy
+                } else {
+                    vy * (north - u) / dy
+                };
+                next[j as usize * nx + i as usize] =
+                    u + dt * (kappa * laplacian - advect_x - advect_y);
+            }
+        }
+        next
+    }
+
+    fn check_params(&self, params: &ParamPoint) -> Result<(), WorkloadError> {
+        if params.iter().any(|v| !v.is_finite()) {
+            return Err(WorkloadError::InvalidParams(
+                "parameters must be finite".into(),
+            ));
+        }
+        if params[P_DIFFUSIVITY] < 0.0 {
+            return Err(WorkloadError::InvalidParams(
+                "diffusivity must be non-negative".into(),
+            ));
+        }
+        if params[P_SIGMA0] <= 0.0 {
+            return Err(WorkloadError::InvalidParams(
+                "initial pulse width must be positive".into(),
+            ));
+        }
+        if self.variant == AdvectionVariant::FiniteDifference {
+            // The design-space check in validate() only covers the declared
+            // box; a caller-supplied draw outside it must not silently produce
+            // an unstable (overflowing) trajectory.
+            let number = self.stability_number_for(
+                params[P_DIFFUSIVITY],
+                params[P_VELOCITY_X],
+                params[P_VELOCITY_Y],
+            );
+            if number > 1.0 {
+                return Err(WorkloadError::InvalidParams(format!(
+                    "parameters violate the explicit stability limit (stability number {number:.3} > 1)"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Workload for AdvectionWorkload {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            AdvectionVariant::FiniteDifference => "advection-diffusion-2d",
+            AdvectionVariant::Analytic => "advection-diffusion-2d-analytic",
+        }
+    }
+
+    fn shape(&self) -> Vec<usize> {
+        vec![self.config.nx, self.config.ny]
+    }
+
+    fn steps(&self) -> usize {
+        self.config.steps
+    }
+
+    fn dt(&self) -> f64 {
+        self.config.dt
+    }
+
+    fn parameter_space(&self) -> ParameterSpace {
+        Self::design_space()
+    }
+
+    fn output_range(&self) -> ParamRange {
+        // Concentrations stay within [0, A_max]; the maximum principle of both
+        // variants keeps values inside the initial range.
+        ParamRange::new(0.0, Self::design_space().ranges[P_AMPLITUDE].max)
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        if self.config.nx == 0 || self.config.ny == 0 {
+            return Err(WorkloadError::InvalidConfig(
+                "grid must be non-empty".into(),
+            ));
+        }
+        if self.config.steps == 0 {
+            return Err(WorkloadError::InvalidConfig(
+                "at least one time step is required".into(),
+            ));
+        }
+        if self.config.dt <= 0.0 || !self.config.dt.is_finite() {
+            return Err(WorkloadError::InvalidConfig("dt must be positive".into()));
+        }
+        if self.config.lx <= 0.0 || self.config.ly <= 0.0 {
+            return Err(WorkloadError::InvalidConfig(
+                "domain lengths must be positive".into(),
+            ));
+        }
+        if self.variant == AdvectionVariant::FiniteDifference {
+            let stability_number = self.stability_number();
+            if stability_number > 1.0 {
+                return Err(WorkloadError::Unstable { stability_number });
+            }
+        }
+        Ok(())
+    }
+
+    fn generate(
+        &self,
+        params: ParamPoint,
+        sink: &mut dyn FnMut(WorkloadStep),
+    ) -> Result<(), WorkloadError> {
+        self.validate()?;
+        self.check_params(&params)?;
+        let emit = |step: usize, values: &[f64], sink: &mut dyn FnMut(WorkloadStep)| {
+            sink(WorkloadStep {
+                step,
+                time: (step as f64 + 1.0) * self.config.dt,
+                params,
+                values: values.iter().map(|&v| v as f32).collect(),
+            });
+        };
+        match self.variant {
+            AdvectionVariant::Analytic => {
+                for step in 0..self.config.steps {
+                    let time = (step as f64 + 1.0) * self.config.dt;
+                    emit(step, &self.analytic_field(&params, time), sink);
+                }
+            }
+            AdvectionVariant::FiniteDifference => {
+                let mut field = self.analytic_field(&params, 0.0);
+                for step in 0..self.config.steps {
+                    let time = step as f64 * self.config.dt;
+                    field = self.fd_step(&params, &field, time);
+                    emit(step, &field, sink);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid_params() -> ParamPoint {
+        let mut p = AdvectionWorkload::design_space().midpoint();
+        // A non-zero velocity exercises the upwind switch in both directions.
+        p[P_VELOCITY_X] = 0.2;
+        p[P_VELOCITY_Y] = -0.15;
+        p
+    }
+
+    #[test]
+    fn default_config_is_stable_and_valid() {
+        let w = AdvectionWorkload::finite_difference(AdvectionConfig::default());
+        assert!(w.validate().is_ok());
+        assert!(w.stability_number() <= 1.0, "{}", w.stability_number());
+    }
+
+    #[test]
+    fn both_variants_produce_full_finite_trajectories() {
+        for variant in [
+            AdvectionVariant::Analytic,
+            AdvectionVariant::FiniteDifference,
+        ] {
+            let w = AdvectionWorkload {
+                config: AdvectionConfig::default(),
+                variant,
+            };
+            let steps = w.trajectory(mid_params()).unwrap();
+            assert_eq!(steps.len(), 25);
+            for (k, s) in steps.iter().enumerate() {
+                assert_eq!(s.step, k);
+                assert_eq!(s.values.len(), 256);
+                assert!(s.values.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn values_respect_the_maximum_principle() {
+        for variant in [
+            AdvectionVariant::Analytic,
+            AdvectionVariant::FiniteDifference,
+        ] {
+            let w = AdvectionWorkload {
+                config: AdvectionConfig::default(),
+                variant,
+            };
+            let range = w.output_range();
+            for s in w.trajectory(mid_params()).unwrap() {
+                for &v in &s.values {
+                    assert!(
+                        (v as f64) >= range.min - 1e-6 && (v as f64) <= range.max + 1e-6,
+                        "value {v} escapes {:?} ({variant:?})",
+                        range
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_pulse_advects_downstream() {
+        let w = AdvectionWorkload::analytic(AdvectionConfig::default());
+        let params = mid_params();
+        let steps = w.trajectory(params).unwrap();
+        let centroid_x = |values: &[f32]| {
+            let dx = w.config.dx();
+            let mut mass = 0.0f64;
+            let mut moment = 0.0f64;
+            for j in 0..w.config.ny {
+                for i in 0..w.config.nx {
+                    let v = values[j * w.config.nx + i] as f64;
+                    mass += v;
+                    moment += v * (i as f64 + 1.0) * dx;
+                }
+            }
+            moment / mass
+        };
+        let first = centroid_x(&steps.first().unwrap().values);
+        let last = centroid_x(&steps.last().unwrap().values);
+        assert!(
+            last > first + 0.05,
+            "pulse must move with vx > 0: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_and_params_are_rejected() {
+        let config = AdvectionConfig {
+            nx: 0,
+            ..AdvectionConfig::default()
+        };
+        assert!(matches!(
+            AdvectionWorkload::finite_difference(config).validate(),
+            Err(WorkloadError::InvalidConfig(_))
+        ));
+
+        // A dt far beyond the explicit stability limit.
+        let config = AdvectionConfig {
+            dt: 1.0,
+            ..AdvectionConfig::default()
+        };
+        assert!(matches!(
+            AdvectionWorkload::finite_difference(config).validate(),
+            Err(WorkloadError::Unstable { .. })
+        ));
+        // The analytic variant has no stability constraint.
+        assert!(AdvectionWorkload::analytic(config).validate().is_ok());
+
+        let w = AdvectionWorkload::analytic(AdvectionConfig::default());
+        let mut params = mid_params();
+        params[P_SIGMA0] = 0.0;
+        assert!(matches!(
+            w.trajectory(params),
+            Err(WorkloadError::InvalidParams(_))
+        ));
+    }
+}

@@ -1,0 +1,50 @@
+//! # melissa-workload
+//!
+//! The physics-agnostic workload abstraction of the Melissa reproduction.
+//!
+//! The SC'23 paper's framework claim is that online surrogate training is
+//! *independent of the solver*: ensemble clients are black boxes that stream
+//! time steps to the training server. This crate is that seam, with no
+//! dependency on any concrete solver:
+//!
+//! * [`Workload`] — the trait every physics implements: deterministic
+//!   `generate(params) → stream of [`WorkloadStep`]`, plus the shape, timing
+//!   and range metadata the training stack needs to size the surrogate and
+//!   normalise its inputs and outputs.
+//! * [`ParameterSpace`] / [`ParamRange`] / [`ParamPoint`] — the sampled design
+//!   space, shared by the experimental-design samplers in `melissa-ensemble`
+//!   and by every workload.
+//! * [`WorkloadError`] — the typed error hierarchy for workload validation and
+//!   generation.
+//! * [`advection`] — the reference second physics: 2D advection–diffusion of a
+//!   Gaussian tracer, with analytic and finite-difference variants, proving the
+//!   training stack runs unchanged on a physics it was not written for. (The
+//!   first physics, the paper's 2D heat equation, lives in the `heat-solver`
+//!   crate and implements [`Workload`] there.)
+
+pub mod advection;
+pub mod space;
+pub mod traits;
+
+pub use advection::{AdvectionConfig, AdvectionVariant, AdvectionWorkload};
+pub use space::{ParamPoint, ParamRange, ParameterSpace, PARAM_DIM};
+pub use traits::{Workload, WorkloadError, WorkloadStep};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advection_workload_through_the_trait_object() {
+        let workload: Box<dyn Workload> =
+            Box::new(AdvectionWorkload::analytic(AdvectionConfig::default()));
+        assert_eq!(workload.shape(), vec![16, 16]);
+        assert_eq!(workload.field_len(), 256);
+        assert_eq!(workload.step_bytes(), 1024);
+        assert_eq!(workload.trajectory_bytes(), 1024 * 25);
+        assert!((workload.duration() - 0.5).abs() < 1e-12);
+        let params = workload.parameter_space().midpoint();
+        let steps = workload.trajectory(params).unwrap();
+        assert_eq!(steps.len(), workload.steps());
+    }
+}

@@ -7,11 +7,11 @@
 //! cargo run --release --example ensemble_campaign
 //! ```
 
-use heat_solver::{HeatSolver, SolverConfig, WorkloadKind};
-use melissa::{ExperimentConfig, OnlineExperiment};
+use heat_solver::{HeatSolver, SolverConfig};
+use melissa::{ExperimentConfig, OnlineExperiment, WorkloadSpec};
 use melissa_ensemble::{CampaignPlan, SamplerKind};
 use std::time::Duration;
-use training_buffer::{BufferConfig, BufferKind};
+use training_buffer::BufferKind;
 
 fn main() {
     // First, show the substrate on its own: one ensemble member solved with the
@@ -51,22 +51,21 @@ fn main() {
     );
 
     for kind in BufferKind::ALL {
-        let mut config = ExperimentConfig::small_scale();
-        config.solver = SolverConfig {
-            nx: 16,
-            ny: 16,
-            steps: 25,
-            ..SolverConfig::default()
-        };
-        config.workload = WorkloadKind::Solver; // run the real solver in the clients
-        config.campaign = campaign.clone();
-        config.buffer = BufferConfig::paper_proportions(
-            kind,
-            campaign.total_clients() * config.solver.steps,
-            7,
-        );
-        config.training.num_ranks = 2;
-        config.training.validation_interval_batches = 10;
+        // Run the real solver in the clients (not the analytic shortcut).
+        let config = ExperimentConfig::builder()
+            .workload(WorkloadSpec::heat(SolverConfig {
+                nx: 16,
+                ny: 16,
+                steps: 25,
+                ..SolverConfig::default()
+            }))
+            .campaign(campaign.clone())
+            .seed(7)
+            .buffer_paper_proportions(kind)
+            .ranks(2)
+            .validation(10, 10)
+            .build()
+            .expect("valid configuration");
 
         let (_, report) = OnlineExperiment::new(config)
             .expect("valid configuration")

@@ -7,12 +7,13 @@
 //! cargo run --release --example fault_tolerance_demo
 //! ```
 
-use melissa::{ExperimentConfig, OnlineExperiment};
-use melissa_ensemble::{CampaignPlan, Launcher, LauncherConfig};
+use heat_solver::SolverConfig;
+use melissa::{ExperimentConfig, OnlineExperiment, WorkloadSpec};
+use melissa_ensemble::{CampaignPlan, ClientError, Launcher, LauncherConfig};
 use melissa_transport::FaultConfig;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use training_buffer::{BufferConfig, BufferKind};
+use training_buffer::BufferKind;
 
 fn main() {
     // Part 1: launcher-level fault tolerance — a flaky client that fails its
@@ -30,7 +31,7 @@ fn main() {
         *count += 1;
         // Clients 1 and 4 crash on their first attempt.
         if (job.client_id == 1 || job.client_id == 4) && *count == 1 {
-            Err("node failure".to_string())
+            Err(ClientError::new("node failure"))
         } else {
             Ok(())
         }
@@ -45,20 +46,25 @@ fn main() {
     // dropped and 5% are duplicated. The duplicate-discard log keeps the
     // training data consistent; dropped steps are simply missing samples.
     println!("\nPart 2: online training under message drops and duplicates");
-    let mut config = ExperimentConfig::small_scale();
-    config.solver.nx = 10;
-    config.solver.ny = 10;
-    config.solver.steps = 20;
-    config.campaign = CampaignPlan::single_series(10, 5);
-    config.buffer =
-        BufferConfig::paper_proportions(BufferKind::Reservoir, 10 * config.solver.steps, 5);
-    config.fault = FaultConfig {
-        drop_probability: 0.05,
-        duplicate_probability: 0.05,
-        seed: 13,
-        ..FaultConfig::default()
-    };
-    config.training.validation_interval_batches = 20;
+    let config = ExperimentConfig::builder()
+        .workload(WorkloadSpec::heat_analytic(SolverConfig {
+            nx: 10,
+            ny: 10,
+            steps: 20,
+            ..SolverConfig::default()
+        }))
+        .campaign(CampaignPlan::single_series(10, 5))
+        .seed(5)
+        .buffer_paper_proportions(BufferKind::Reservoir)
+        .fault(FaultConfig {
+            drop_probability: 0.05,
+            duplicate_probability: 0.05,
+            seed: 13,
+            ..FaultConfig::default()
+        })
+        .validation(10, 20)
+        .build()
+        .expect("valid configuration");
 
     let (_, report) = OnlineExperiment::new(config.clone())
         .expect("valid configuration")

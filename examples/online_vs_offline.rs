@@ -5,23 +5,25 @@
 //! cargo run --release --example online_vs_offline
 //! ```
 
-use melissa::{DiskConfig, ExperimentConfig, OfflineExperiment, OnlineExperiment};
+use heat_solver::SolverConfig;
+use melissa::{DiskConfig, ExperimentConfig, OfflineExperiment, OnlineExperiment, WorkloadSpec};
 use melissa_ensemble::CampaignPlan;
-use training_buffer::{BufferConfig, BufferKind};
+use training_buffer::BufferKind;
 
 fn config(simulations: usize) -> ExperimentConfig {
-    let mut config = ExperimentConfig::small_scale();
-    config.solver.nx = 12;
-    config.solver.ny = 12;
-    config.solver.steps = 25;
-    config.campaign = CampaignPlan::single_series(simulations, 6);
-    config.buffer = BufferConfig::paper_proportions(
-        BufferKind::Reservoir,
-        simulations * config.solver.steps,
-        3,
-    );
-    config.training.validation_interval_batches = 20;
-    config
+    ExperimentConfig::builder()
+        .workload(WorkloadSpec::heat_analytic(SolverConfig {
+            nx: 12,
+            ny: 12,
+            steps: 25,
+            ..SolverConfig::default()
+        }))
+        .campaign(CampaignPlan::single_series(simulations, 6))
+        .seed(3)
+        .buffer_paper_proportions(BufferKind::Reservoir)
+        .validation(10, 20)
+        .build()
+        .expect("consistent configuration")
 }
 
 fn main() {

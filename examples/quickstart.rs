@@ -9,27 +9,27 @@
 use melissa::{ExperimentConfig, OnlineExperiment};
 use melissa_ensemble::CampaignPlan;
 use surrogate_nn::Matrix;
-use training_buffer::{BufferConfig, BufferKind};
+use training_buffer::BufferKind;
 
 fn main() {
     // 1. Describe the experiment: 12 simulations of a 16×16 heat-equation grid,
-    //    streamed to one training rank through a Reservoir buffer.
-    let mut config = ExperimentConfig::small_scale();
-    config.campaign = CampaignPlan::single_series(12, 4);
-    config.buffer = BufferConfig::paper_proportions(
-        BufferKind::Reservoir,
-        config.total_unique_samples(),
-        config.seed,
-    );
-    config.training.validation_interval_batches = 10;
+    //    streamed to one training rank through a Reservoir buffer. The builder
+    //    starts from the laptop-sized defaults and validates on `build()`.
+    let config = ExperimentConfig::builder()
+        .campaign(CampaignPlan::single_series(12, 4))
+        .buffer_paper_proportions(BufferKind::Reservoir)
+        .validation(10, 10)
+        .build()
+        .expect("consistent configuration");
 
+    let shape = config.workload.shape();
     println!("Running an online training campaign:");
     println!(
         "  {} simulations × {} time steps on a {}×{} grid ({} unique samples, {:.2} MB)",
         config.total_simulations(),
-        config.solver.steps,
-        config.solver.nx,
-        config.solver.ny,
+        config.workload.steps(),
+        shape[0],
+        shape[1],
         config.total_unique_samples(),
         config.dataset_bytes() as f64 / 1e6
     );
@@ -63,7 +63,10 @@ fn main() {
         0.5,     // t     = half of the trajectory
     ];
     let prediction = surrogate.predict(&Matrix::from_rows(&[query]));
-    let kelvin = surrogate_nn::OutputNormalizer::default().denormalize(prediction.row(0));
+    let kelvin = config
+        .workload
+        .output_normalizer()
+        .denormalize(prediction.row(0));
     let mean = kelvin.iter().sum::<f32>() / kelvin.len() as f32;
     let min = kelvin.iter().copied().fold(f32::INFINITY, f32::min);
     let max = kelvin.iter().copied().fold(f32::NEG_INFINITY, f32::max);

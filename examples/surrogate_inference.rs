@@ -6,24 +6,29 @@
 //! cargo run --release --example surrogate_inference
 //! ```
 
-use heat_solver::{HeatSolver, SimulationParams, WorkloadKind};
-use melissa::{ExperimentConfig, OnlineExperiment, ServerCheckpoint};
+use heat_solver::{HeatSolver, SimulationParams, SolverConfig};
+use melissa::{ExperimentConfig, OnlineExperiment, ServerCheckpoint, WorkloadSpec};
 use melissa_ensemble::CampaignPlan;
-use surrogate_nn::{InputNormalizer, Matrix, OutputNormalizer};
-use training_buffer::{BufferConfig, BufferKind};
+use surrogate_nn::Matrix;
+use training_buffer::BufferKind;
 
 fn main() {
     // Train a surrogate on 30 solver runs of a small grid.
-    let mut config = ExperimentConfig::small_scale();
-    config.solver.nx = 12;
-    config.solver.ny = 12;
-    config.solver.steps = 25;
-    config.workload = WorkloadKind::Solver;
-    config.campaign = CampaignPlan::single_series(30, 6);
-    config.buffer =
-        BufferConfig::paper_proportions(BufferKind::Reservoir, 30 * config.solver.steps, 11);
-    config.training.validation_interval_batches = 25;
-    config.surrogate.hidden_width = 64;
+    let solver_config = SolverConfig {
+        nx: 12,
+        ny: 12,
+        steps: 25,
+        ..SolverConfig::default()
+    };
+    let config = ExperimentConfig::builder()
+        .workload(WorkloadSpec::heat(solver_config))
+        .campaign(CampaignPlan::single_series(30, 6))
+        .seed(11)
+        .buffer_paper_proportions(BufferKind::Reservoir)
+        .validation(10, 25)
+        .hidden_width(64)
+        .build()
+        .expect("valid configuration");
 
     println!(
         "Training a surrogate on {} solver runs…",
@@ -55,11 +60,11 @@ fn main() {
 
     // Evaluate on a parameter set the training campaign never saw.
     let params = SimulationParams::new([275.0, 180.0, 320.0, 440.0, 120.0]);
-    let solver = HeatSolver::new(config.solver, params).expect("valid solver configuration");
+    let solver = HeatSolver::new(solver_config, params).expect("valid solver configuration");
     let reference = solver.trajectory().expect("reference trajectory");
 
-    let input_norm = InputNormalizer::for_trajectory(config.solver.steps, config.solver.dt);
-    let output_norm = OutputNormalizer::default();
+    let input_norm = config.workload.input_normalizer();
+    let output_norm = config.workload.output_normalizer();
 
     println!(
         "\nSurrogate vs solver on unseen parameters {:?}:",

@@ -1,8 +1,10 @@
 //! Cross-crate integration tests: full online and offline experiments through
 //! the public API of the workspace crates.
 
+use heat_solver::SolverConfig;
 use melissa::{
     DiskConfig, ExperimentConfig, OfflineExperiment, OnlineExperiment, ServerCheckpoint,
+    WorkloadSpec,
 };
 use melissa_ensemble::CampaignPlan;
 use melissa_transport::FaultConfig;
@@ -10,23 +12,26 @@ use surrogate_nn::Matrix;
 use training_buffer::{BufferConfig, BufferKind};
 
 fn base_config(simulations: usize, kind: BufferKind, num_ranks: usize) -> ExperimentConfig {
-    let mut config = ExperimentConfig::small_scale();
-    config.solver.nx = 8;
-    config.solver.ny = 8;
-    config.solver.steps = 10;
-    config.campaign = CampaignPlan::single_series(simulations, 3);
-    config.buffer = BufferConfig {
-        kind,
-        capacity: 40,
-        threshold: 8,
-        seed: 5,
-    };
-    config.training.num_ranks = num_ranks;
-    config.training.batch_size = 5;
-    config.training.validation_simulations = 2;
-    config.training.validation_interval_batches = 5;
-    config.surrogate.hidden_width = 16;
-    config
+    ExperimentConfig::builder()
+        .workload(WorkloadSpec::heat_analytic(SolverConfig {
+            nx: 8,
+            ny: 8,
+            steps: 10,
+            ..SolverConfig::default()
+        }))
+        .campaign(CampaignPlan::single_series(simulations, 3))
+        .buffer(BufferConfig {
+            kind,
+            capacity: 40,
+            threshold: 8,
+            seed: 5,
+        })
+        .ranks(num_ranks)
+        .batch_size(5)
+        .validation(2, 5)
+        .hidden_width(16)
+        .build()
+        .expect("consistent test configuration")
 }
 
 #[test]

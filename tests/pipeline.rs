@@ -1,10 +1,12 @@
-//! Integration tests that assemble the substrates by hand (solver → transport →
-//! buffer → network), checking the contracts between crates without going
-//! through the high-level `OnlineExperiment` driver.
+//! Integration tests that assemble the substrates by hand (workload →
+//! transport → buffer → network), checking the contracts between crates
+//! without going through the high-level `OnlineExperiment` driver. The data
+//! source is driven exclusively through the physics-agnostic `Workload` trait.
 
-use heat_solver::{HeatSolver, SimulationParams, SolverConfig};
-use melissa::{payload_to_sample, timestep_to_payload};
+use heat_solver::{SolverConfig, SyntheticWorkload};
+use melissa::{payload_to_sample, step_to_payload};
 use melissa_transport::{ClientApi, Fabric, FabricConfig, Message, MessageLog};
+use melissa_workload::{ParamPoint, Workload};
 use std::sync::Arc;
 use surrogate_nn::{
     Adam, AdamConfig, Batch, InputNormalizer, Loss, Mlp, MlpConfig, MseLoss, Optimizer,
@@ -22,8 +24,9 @@ fn solver_config() -> SolverConfig {
 }
 
 #[test]
-fn solver_to_transport_to_buffer_to_network_pipeline() {
+fn workload_to_transport_to_buffer_to_network_pipeline() {
     let config = solver_config();
+    let workload = SyntheticWorkload::solver(config);
     let input_norm = InputNormalizer::for_trajectory(config.steps, config.dt);
     let output_norm = OutputNormalizer::default();
 
@@ -35,17 +38,12 @@ fn solver_to_transport_to_buffer_to_network_pipeline() {
     });
     let endpoints = fabric.server_endpoints();
     for client_id in 0..2u64 {
-        let params =
-            SimulationParams::new([300.0 + client_id as f64 * 50.0, 150.0, 250.0, 350.0, 450.0]);
-        let solver = HeatSolver::new(config, params).unwrap();
+        let params: ParamPoint = [300.0 + client_id as f64 * 50.0, 150.0, 250.0, 350.0, 450.0];
         let connection = ClientApi::init_communication(&fabric, client_id);
-        solver
-            .run_with_sink(|step| {
-                connection
-                    .send(timestep_to_payload(&step, client_id))
-                    .unwrap();
-            })
-            .unwrap();
+        Workload::generate(&workload, params, &mut |step| {
+            connection.send(step_to_payload(&step, client_id)).unwrap();
+        })
+        .unwrap();
         ClientApi::finalize_communication(connection).unwrap();
     }
 
@@ -98,26 +96,28 @@ fn solver_to_transport_to_buffer_to_network_pipeline() {
 #[test]
 fn restarted_client_is_deduplicated_across_the_full_stack() {
     let config = solver_config();
-    let params = SimulationParams::new([400.0, 100.0, 200.0, 300.0, 500.0]);
+    let workload = SyntheticWorkload::solver(config);
+    let params: ParamPoint = [400.0, 100.0, 200.0, 300.0, 500.0];
     let fabric = Fabric::new(FabricConfig::default());
     let endpoint = fabric.server_endpoints().remove(0);
 
+    // Determinism across attempts: a restarted client replays an identical
+    // stream, which is exactly what the message log relies on.
+    let trajectory = Workload::trajectory(&workload, params).unwrap();
+    assert_eq!(trajectory, Workload::trajectory(&workload, params).unwrap());
+
     // First attempt: the client "crashes" after 5 steps.
     let connection = fabric.connect_client(9);
-    let solver = HeatSolver::new(config, params).unwrap();
-    for step in solver.run().unwrap().take(5) {
-        connection.send(timestep_to_payload(&step, 9)).unwrap();
+    for step in trajectory.iter().take(5) {
+        connection.send(step_to_payload(step, 9)).unwrap();
     }
     drop(connection);
 
     // Restart: the client replays the whole trajectory from the beginning.
     let connection = fabric.connect_client(9);
-    let solver = HeatSolver::new(config, params).unwrap();
-    solver
-        .run_with_sink(|step| {
-            connection.send(timestep_to_payload(&step, 9)).unwrap();
-        })
-        .unwrap();
+    for step in &trajectory {
+        connection.send(step_to_payload(step, 9)).unwrap();
+    }
     connection.finalize().unwrap();
 
     let mut log = MessageLog::new();
@@ -149,7 +149,7 @@ fn buffer_is_shareable_between_producer_and_consumer_threads() {
     // The aggregator/trainer threading contract: one producer thread, one
     // consumer thread, one shared buffer, clean termination.
     let config = solver_config();
-    let params = SimulationParams::new([250.0, 150.0, 350.0, 450.0, 200.0]);
+    let params: ParamPoint = [250.0, 150.0, 350.0, 450.0, 200.0];
     let input_norm = InputNormalizer::for_trajectory(config.steps, config.dt);
     let output_norm = OutputNormalizer::default();
     let buffer: Arc<ReservoirBuffer<surrogate_nn::Sample>> =
@@ -158,13 +158,12 @@ fn buffer_is_shareable_between_producer_and_consumer_threads() {
     let producer = {
         let buffer = Arc::clone(&buffer);
         std::thread::spawn(move || {
-            let solver = HeatSolver::new(config, params).unwrap();
-            solver
-                .run_with_sink(|step| {
-                    let payload = timestep_to_payload(&step, 0);
-                    buffer.put(payload_to_sample(&payload, &input_norm, &output_norm));
-                })
-                .unwrap();
+            let workload = SyntheticWorkload::solver(config);
+            Workload::generate(&workload, params, &mut |step| {
+                let payload = step_to_payload(&step, 0);
+                buffer.put(payload_to_sample(&payload, &input_norm, &output_norm));
+            })
+            .unwrap();
             buffer.mark_reception_over();
         })
     };
