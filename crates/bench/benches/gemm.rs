@@ -1,0 +1,97 @@
+//! Criterion benchmarks of the dense-kernel family: blocked `*_into` kernels
+//! against the retained naive reference kernels at MLP-shaped sizes
+//! (batch × fan_in · fan_in × fan_out, the forward/backward GEMMs of the
+//! paper's 6 → 256 → 256 → grid architecture).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use surrogate_nn::Matrix;
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| ((i as u64).wrapping_mul(seed * 2 + 1) % 89) as f32 / 44.5 - 1.0)
+            .collect(),
+    )
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_forward_batch64");
+    for &fan_out in &[256usize, 1024, 4096] {
+        let a = filled(64, 256, 1);
+        let b = filled(256, fan_out, 2);
+        let mut out = Matrix::zeros(64, fan_out);
+        group.bench_with_input(BenchmarkId::new("naive", fan_out), &fan_out, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("blocked_into", fan_out),
+            &fan_out,
+            |bench, _| {
+                bench.iter(|| {
+                    a.matmul_into(&b, &mut out);
+                    std::hint::black_box(out.get(0, 0))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_matmul_transpose(c: &mut Criterion) {
+    // grad_input = grad_pre · Wᵀ: the backward input-gradient kernel.
+    let mut group = c.benchmark_group("gemm_backward_input_batch64");
+    for &fan_out in &[1024usize, 4096] {
+        let grad = filled(64, fan_out, 3);
+        let w = filled(256, fan_out, 4);
+        let mut out = Matrix::zeros(64, 256);
+        group.bench_with_input(BenchmarkId::new("naive", fan_out), &fan_out, |bench, _| {
+            bench.iter(|| std::hint::black_box(grad.matmul_transpose(&w)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("blocked_into", fan_out),
+            &fan_out,
+            |bench, _| {
+                bench.iter(|| {
+                    grad.matmul_transpose_into(&w, &mut out);
+                    std::hint::black_box(out.get(0, 0))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transpose_matmul(c: &mut Criterion) {
+    // grad_w += inputᵀ · grad_pre: the backward weight-gradient kernel.
+    let mut group = c.benchmark_group("gemm_backward_weights_batch64");
+    for &fan_out in &[1024usize, 4096] {
+        let input = filled(64, 256, 5);
+        let grad = filled(64, fan_out, 6);
+        let mut acc = Matrix::zeros(256, fan_out);
+        group.bench_with_input(BenchmarkId::new("naive", fan_out), &fan_out, |bench, _| {
+            bench.iter(|| std::hint::black_box(input.transpose_matmul(&grad)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("blocked_acc_into", fan_out),
+            &fan_out,
+            |bench, _| {
+                bench.iter(|| {
+                    input.transpose_matmul_acc_into(&grad, &mut acc);
+                    std::hint::black_box(acc.get(0, 0))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(400))
+        .sample_size(10);
+    targets = bench_matmul, bench_matmul_transpose, bench_transpose_matmul
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benchmark of a full training step (batch assembly, forward,
+//! loss, backward, gradient export, Adam) on the paper's architecture:
+//! the clone-based reference path against the allocation-free workspace path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use surrogate_nn::{
+    Activation, Adam, AdamConfig, InitScheme, Loss, Matrix, Mlp, MlpConfig, MseLoss, Optimizer,
+};
+
+fn model(output: usize) -> Mlp {
+    Mlp::new(MlpConfig {
+        layer_sizes: vec![6, 256, 256, output],
+        activation: Activation::ReLU,
+        init: InitScheme::HeUniform,
+        seed: 9,
+    })
+}
+
+fn data(batch: usize, output: usize) -> (Matrix, Matrix) {
+    let inputs = Matrix::from_vec(
+        batch,
+        6,
+        (0..batch * 6).map(|k| (k % 17) as f32 / 17.0).collect(),
+    );
+    let targets = Matrix::from_vec(
+        batch,
+        output,
+        (0..batch * output)
+            .map(|k| (k % 13) as f32 / 13.0)
+            .collect(),
+    );
+    (inputs, targets)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step_paper_arch_batch10");
+    group.sample_size(10);
+    for &output in &[576usize, 2304] {
+        let (inputs, targets) = data(10, output);
+        group.bench_with_input(
+            BenchmarkId::new("reference_clone_path", output),
+            &output,
+            |b, &output| {
+                let mut m = model(output);
+                let mut optimizer = Adam::new(AdamConfig::default(), m.param_count());
+                b.iter(|| {
+                    let prediction = m.forward(&inputs);
+                    let (loss, grad) = MseLoss.evaluate(&prediction, &targets);
+                    m.zero_grads();
+                    m.backward(&grad);
+                    let grads = m.grads_flat();
+                    optimizer.step(&mut m, &grads, 1e-3);
+                    std::hint::black_box(loss)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("workspace_blocked_path", output),
+            &output,
+            |b, &output| {
+                let mut m = model(output);
+                let mut optimizer = Adam::new(AdamConfig::default(), m.param_count());
+                let mut ws = m.workspace(10);
+                let mut grads = Vec::with_capacity(m.param_count());
+                b.iter(|| {
+                    m.forward_ws(&inputs, &mut ws);
+                    let (prediction, grad_out) = ws.output_and_grad_mut();
+                    let loss = MseLoss.evaluate_into(prediction, &targets, grad_out);
+                    m.backward_ws(&mut ws);
+                    m.grads_flat_into(&mut grads);
+                    optimizer.step(&mut m, &grads, 1e-3);
+                    std::hint::black_box(loss)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_train_step
+}
+criterion_main!(benches);

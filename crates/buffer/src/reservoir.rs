@@ -22,11 +22,16 @@ use parking_lot::{Condvar, Mutex};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// Single-storage state: every sample lives exactly once in `items`, with the
+/// seen/unseen split expressed as a partition index instead of two vectors.
+/// Moving a sample between populations is an index swap, never a payload copy,
+/// so a `get` clones the sampled item at most once (and not at all once
+/// reception is over and the selected item can be moved out).
 struct Inner<T> {
-    /// Samples already served at least once.
-    seen: Vec<T>,
-    /// Samples not yet served.
-    not_seen: Vec<T>,
+    /// `items[..seen]` have been served at least once; `items[seen..]` never.
+    items: Vec<T>,
+    /// The partition index: number of seen samples.
+    seen: usize,
     reception_over: bool,
     stats: BufferStats,
     rng: ChaCha8Rng,
@@ -34,7 +39,22 @@ struct Inner<T> {
 
 impl<T> Inner<T> {
     fn total(&self) -> usize {
-        self.seen.len() + self.not_seen.len()
+        self.items.len()
+    }
+
+    fn unseen(&self) -> usize {
+        self.items.len() - self.seen
+    }
+
+    /// Removes and returns the seen sample at `idx < seen`, keeping the
+    /// partition intact: the last seen sample takes its slot, the last unseen
+    /// sample (if any) takes the freed boundary slot.
+    fn remove_seen(&mut self, idx: usize) -> T {
+        debug_assert!(idx < self.seen);
+        self.items.swap(idx, self.seen - 1);
+        let item = self.items.swap_remove(self.seen - 1);
+        self.seen -= 1;
+        item
     }
 }
 
@@ -61,8 +81,8 @@ impl<T> ReservoirBuffer<T> {
         );
         Self {
             inner: Mutex::new(Inner {
-                seen: Vec::new(),
-                not_seen: Vec::new(),
+                items: Vec::new(),
+                seen: 0,
                 reception_over: false,
                 stats: BufferStats::default(),
                 rng: ChaCha8Rng::seed_from_u64(seed),
@@ -81,12 +101,12 @@ impl<T> ReservoirBuffer<T> {
 
     /// Number of stored samples that have not been served yet.
     pub fn unseen_len(&self) -> usize {
-        self.inner.lock().not_seen.len()
+        self.inner.lock().unseen()
     }
 
     /// Number of stored samples that have been served at least once.
     pub fn seen_len(&self) -> usize {
-        self.inner.lock().seen.len()
+        self.inner.lock().seen
     }
 }
 
@@ -96,18 +116,18 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
     /// total population is at capacity, then store the new sample as unseen.
     fn put(&self, item: T) {
         let mut inner = self.inner.lock();
-        while inner.not_seen.len() >= self.capacity {
+        while inner.unseen() >= self.capacity {
             inner.stats.producer_waits += 1;
             self.not_full.wait(&mut inner);
         }
         if inner.total() >= self.capacity {
-            debug_assert!(!inner.seen.is_empty());
-            let seen_len = inner.seen.len();
-            let idx = inner.rng.gen_range(0..seen_len);
-            inner.seen.swap_remove(idx);
+            debug_assert!(inner.seen > 0);
+            let seen = inner.seen;
+            let idx = inner.rng.gen_range(0..seen);
+            inner.remove_seen(idx);
             inner.stats.evictions += 1;
         }
-        inner.not_seen.push(item);
+        inner.items.push(item);
         inner.stats.puts += 1;
         drop(inner);
         self.available.notify_one();
@@ -118,6 +138,10 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
     /// unseen samples. A selected unseen sample is moved to the seen population
     /// (or dropped once reception is over); a selected seen sample is served
     /// again (and removed once reception is over, so the buffer finally empties).
+    ///
+    /// The single-storage layout makes the population moves index swaps, so
+    /// every `get` clones the served item at most once — and moves it out
+    /// without any clone once reception is over.
     fn get(&self) -> Option<T> {
         let mut inner = self.inner.lock();
         loop {
@@ -134,21 +158,23 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
 
             let total = inner.total();
             let idx = inner.rng.gen_range(0..total);
-            let not_seen_len = inner.not_seen.len();
-            let (item, repeated) = if idx < not_seen_len {
-                let item = inner.not_seen.swap_remove(idx);
-                if !inner.reception_over {
-                    inner.seen.push(item.clone());
-                }
-                (item, false)
-            } else {
-                let sidx = idx - not_seen_len;
-                let item = if inner.reception_over {
-                    inner.seen.swap_remove(sidx)
+            let (item, repeated) = if idx >= inner.seen {
+                // Unseen sample: serve it for the first time.
+                if inner.reception_over {
+                    (inner.items.swap_remove(idx), false)
                 } else {
-                    inner.seen[sidx].clone()
-                };
-                (item, true)
+                    let boundary = inner.seen;
+                    inner.items.swap(idx, boundary);
+                    inner.seen += 1;
+                    (inner.items[boundary].clone(), false)
+                }
+            } else {
+                // Seen sample: serve it again.
+                if inner.reception_over {
+                    (inner.remove_seen(idx), true)
+                } else {
+                    (inner.items[idx].clone(), true)
+                }
             };
             inner.stats.gets += 1;
             if repeated {

@@ -95,6 +95,10 @@ pub struct TrainingConfig {
     pub validation_simulations: usize,
     /// Emulated device characteristics.
     pub device: DeviceProfile,
+    /// GEMM threads per rank for the blocked training kernels; 0 = auto
+    /// (all available cores for a single rank, serial when ranks already
+    /// occupy the cores). Results are bit-identical for every value.
+    pub gemm_threads: usize,
 }
 
 impl Default for TrainingConfig {
@@ -108,7 +112,26 @@ impl Default for TrainingConfig {
             validation_interval_batches: 100,
             validation_simulations: 10,
             device: DeviceProfile::default(),
+            gemm_threads: 0,
         }
+    }
+}
+
+impl TrainingConfig {
+    /// Resolves the configured [`TrainingConfig::gemm_threads`] to a concrete
+    /// thread count: an explicit value wins; `0` uses every available core
+    /// when a single rank runs, and stays serial when multiple ranks already
+    /// parallelise across cores.
+    pub fn effective_gemm_threads(&self) -> usize {
+        if self.gemm_threads > 0 {
+            return self.gemm_threads;
+        }
+        if self.num_ranks > 1 {
+            return 1;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -387,6 +410,12 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the per-rank GEMM thread count (0 = auto).
+    pub fn gemm_threads(mut self, threads: usize) -> Self {
+        self.config.training.gemm_threads = threads;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ExperimentConfig, ConfigError> {
         self.config.validate()?;
@@ -456,6 +485,17 @@ mod tests {
         let config = ExperimentConfig::small_scale();
         // 8 simulations × 20 steps × 16×16 × 4 bytes.
         assert_eq!(config.dataset_bytes(), 8 * 20 * 256 * 4);
+    }
+
+    #[test]
+    fn gemm_threads_resolution() {
+        let mut training = TrainingConfig::default();
+        assert!(training.effective_gemm_threads() >= 1);
+        training.gemm_threads = 3;
+        assert_eq!(training.effective_gemm_threads(), 3);
+        training.gemm_threads = 0;
+        training.num_ranks = 4;
+        assert_eq!(training.effective_gemm_threads(), 1);
     }
 
     #[test]

@@ -97,6 +97,16 @@ impl SimulatedDisk {
         }
     }
 
+    /// Sorts the stored samples into the canonical `(simulation, step)` order.
+    ///
+    /// Clients write concurrently, so the raw storage order depends on client
+    /// *completion* order — a scheduling artifact. Offline training indexes
+    /// samples by position when building its epoch permutations, so the order
+    /// must be canonicalised first for fixed-seed runs to be bit-reproducible.
+    pub fn sort_by_key(&mut self) {
+        self.samples.sort_by_key(|s| s.key());
+    }
+
     /// Number of stored samples.
     pub fn len(&self) -> usize {
         self.samples.len()

@@ -93,7 +93,11 @@ impl OfflineExperiment {
             }
             Ok(())
         });
-        let disk = Arc::new(disk.into_inner());
+        let mut disk = disk.into_inner();
+        // Canonical (simulation, step) order: training must not depend on the
+        // scheduling-dependent order in which concurrent clients finished.
+        disk.sort_by_key();
+        let disk = Arc::new(disk);
         let generation_seconds = start.elapsed().as_secs_f64();
 
         // ---- Phase 2: epoch-based data-parallel training from the disk. ----
@@ -111,8 +115,8 @@ impl OfflineExperiment {
         let training_start = Instant::now();
 
         // What each training rank reports back: (rank, model replica, loss
-        // history, samples trained, training seconds).
-        type RankOutcome = (usize, Mlp, Vec<LossPoint>, usize, f64);
+        // history, samples trained, mean wall-clock and compute throughput).
+        type RankOutcome = (usize, Mlp, Vec<LossPoint>, usize, f64, f64);
 
         // Epoch schedules: shuffled once per epoch with a common seed, then
         // partitioned into equally sized rank shards (PyTorch DistributedSampler).
@@ -140,7 +144,14 @@ impl OfflineExperiment {
                         floor: config.training.lr_floor,
                     };
                     let loss_fn = MseLoss;
-                    let mut tracker = ThroughputTracker::new(10, batch_size);
+                    // Reused hot-path state: workspace, batch and gradient vector.
+                    let mut ws = model
+                        .workspace(batch_size)
+                        .with_threads(config.training.effective_gemm_threads());
+                    let mut batch =
+                        Batch::with_capacity(batch_size, model.input_size(), model.output_size());
+                    let mut grads: Vec<f32> = Vec::with_capacity(model.param_count());
+                    let mut tracker = ThroughputTracker::new(10);
                     let mut losses = Vec::new();
                     let mut batches = 0usize;
                     let mut samples_trained = 0usize;
@@ -161,22 +172,27 @@ impl OfflineExperiment {
                                     *occurrences.entry(s.key()).or_default() += 1;
                                 }
                             }
-                            let batch = Batch::from_owned(&samples);
-                            let prediction = model.forward(&batch.inputs);
-                            let (loss, grad_out) = loss_fn.evaluate(&prediction, &batch.targets);
-                            model.zero_grads();
-                            model.backward(&grad_out);
-                            let mut grads = model.grads_flat();
+                            batch.fill_owned(&samples);
+                            model.forward_ws(&batch.inputs, &mut ws);
+                            let (prediction, grad_out) = ws.output_and_grad_mut();
+                            let loss = loss_fn.evaluate_into(prediction, &batch.targets, grad_out);
+                            // backward_ws overwrites the gradients in place.
+                            model.backward_ws(&mut ws);
+                            model.grads_flat_into(&mut grads);
                             grad_sync.all_reduce_mean(&mut grads);
                             batches += 1;
                             samples_trained += samples.len();
                             let nominal_samples = batches * batch_size * num_ranks;
                             let lr = schedule.learning_rate(batches, nominal_samples);
                             optimizer.step(&mut model, &grads, lr);
-                            if !config.training.device.extra_batch_delay().is_zero() {
+                            let stall = if config.training.device.extra_batch_delay().is_zero() {
+                                std::time::Duration::ZERO
+                            } else {
+                                let stall_start = Instant::now();
                                 std::thread::sleep(config.training.device.extra_batch_delay());
-                            }
-                            tracker.record_batch(samples.len());
+                                stall_start.elapsed()
+                            };
+                            tracker.record_batch(samples.len(), stall);
 
                             if rank == 0 {
                                 let validation_loss = if config.training.validation_interval_batches
@@ -184,7 +200,7 @@ impl OfflineExperiment {
                                     && batches
                                         .is_multiple_of(config.training.validation_interval_batches)
                                 {
-                                    Some(validation.evaluate(&model))
+                                    Some(validation.evaluate_with(&model, &mut ws))
                                 } else {
                                     None
                                 };
@@ -204,14 +220,20 @@ impl OfflineExperiment {
                             batches,
                             samples_seen: batches * batch_size * num_ranks,
                             train_loss: losses.last().map(|p| p.train_loss).unwrap_or(f32::NAN),
-                            validation_loss: Some(validation.evaluate(&model)),
+                            validation_loss: Some(validation.evaluate_with(&model, &mut ws)),
                             elapsed_seconds: training_start.elapsed().as_secs_f64(),
                         });
                     }
                     let mean_throughput = tracker.mean_throughput();
-                    outcomes
-                        .lock()
-                        .push((rank, model, losses, samples_trained, mean_throughput));
+                    let mean_compute = tracker.mean_compute_throughput();
+                    outcomes.lock().push((
+                        rank,
+                        model,
+                        losses,
+                        samples_trained,
+                        mean_throughput,
+                        mean_compute,
+                    ));
                 });
             }
         })
@@ -222,13 +244,14 @@ impl OfflineExperiment {
         outcomes.sort_by_key(|(rank, ..)| *rank);
         let model = outcomes[0].1.clone();
         let mut losses = Vec::new();
-        for (_, _, rank_losses, _, _) in &outcomes {
+        for (_, _, rank_losses, ..) in &outcomes {
             losses.extend(rank_losses.iter().copied());
         }
         losses.sort_by_key(|p| p.batches);
-        let samples_trained: usize = outcomes.iter().map(|(_, _, _, s, _)| *s).sum();
+        let samples_trained: usize = outcomes.iter().map(|(_, _, _, s, _, _)| *s).sum();
         let batches = samples_trained / batch_size;
-        let mean_throughput: f64 = outcomes.iter().map(|(_, _, _, _, t)| *t).sum();
+        let mean_throughput: f64 = outcomes.iter().map(|(_, _, _, _, t, _)| *t).sum();
+        let mean_compute_throughput: f64 = outcomes.iter().map(|(_, _, _, _, _, c)| *c).sum();
 
         let occurrences = occurrences.into_inner();
         let metrics = ExperimentMetrics {
@@ -255,6 +278,7 @@ impl OfflineExperiment {
             min_validation_mse: metrics.min_validation_loss(),
             final_validation_mse: metrics.final_validation_loss(),
             mean_throughput,
+            mean_compute_throughput,
             metrics,
             buffer_stats: Vec::new(),
             transport: None,

@@ -42,6 +42,9 @@ pub struct ExperimentReport {
     pub final_validation_mse: Option<f32>,
     /// Aggregate throughput in samples per second (summed over ranks).
     pub mean_throughput: f64,
+    /// Aggregate throughput with emulated-device stall time subtracted —
+    /// the rate the training kernels sustained (summed over ranks).
+    pub mean_compute_throughput: f64,
     /// Detailed time series (losses, throughput, occupancy, occurrences).
     pub metrics: ExperimentMetrics,
     /// Per-rank buffer counters (empty for offline).
@@ -108,13 +111,14 @@ impl ExperimentReport {
     /// A short one-line summary used by the examples.
     pub fn summary(&self) -> String {
         format!(
-            "{}: {} ranks, {} sims, {} unique samples, {} batches, {:.1} samples/s, min val MSE {}",
+            "{}: {} ranks, {} sims, {} unique samples, {} batches, {:.1} samples/s ({:.1} compute), min val MSE {}",
             self.label,
             self.num_ranks,
             self.simulations,
             self.unique_samples_produced,
             self.batches,
             self.mean_throughput,
+            self.mean_compute_throughput,
             self.min_validation_mse
                 .map(|m| format!("{m:.5}"))
                 .unwrap_or_else(|| "n/a".to_string()),
@@ -144,6 +148,7 @@ mod tests {
             min_validation_mse: Some(0.012),
             final_validation_mse: Some(0.013),
             mean_throughput: 41.7,
+            mean_compute_throughput: 55.2,
             metrics: ExperimentMetrics::default(),
             buffer_stats: Vec::new(),
             transport: None,

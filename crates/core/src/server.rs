@@ -196,6 +196,10 @@ impl OnlineExperiment {
         let samples_trained: usize = rank_outcomes.iter().map(|o| o.samples_consumed).sum();
         let batches: usize = rank_outcomes.iter().map(|o| o.batches_with_data).sum();
         let mean_throughput: f64 = rank_outcomes.iter().map(|o| o.mean_throughput).sum();
+        let mean_compute_throughput: f64 = rank_outcomes
+            .iter()
+            .map(|o| o.mean_compute_throughput)
+            .sum();
 
         let report = ExperimentReport {
             label: config.buffer.kind.label().to_string(),
@@ -214,6 +218,7 @@ impl OnlineExperiment {
             min_validation_mse: metrics.min_validation_loss(),
             final_validation_mse: metrics.final_validation_loss(),
             mean_throughput,
+            mean_compute_throughput,
             metrics,
             buffer_stats: buffers.iter().map(|b| b.stats()).collect(),
             transport: Some(fabric.stats()),

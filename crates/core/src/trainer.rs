@@ -19,7 +19,7 @@ use crate::validation::ValidationSet;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use surrogate_nn::{
     Adam, AdamConfig, Batch, GradientSynchronizer, Loss, LrSchedule, Mlp, MseLoss, Optimizer,
     Sample, SampleBasedHalving,
@@ -68,8 +68,10 @@ pub struct RankOutcome {
     pub losses: Vec<LossPoint>,
     /// Throughput measurements of this rank.
     pub throughput: Vec<ThroughputPoint>,
-    /// Mean throughput of this rank in samples per second.
+    /// Mean throughput of this rank in samples per second (wall clock).
     pub mean_throughput: f64,
+    /// Mean throughput with emulated-device stall time subtracted.
+    pub mean_compute_throughput: f64,
 }
 
 /// The per-rank training loop.
@@ -114,11 +116,27 @@ impl RankTrainer {
     }
 
     /// Runs the training loop until every rank's buffer has drained.
+    ///
+    /// The loop is allocation-free in steady state: the forward/backward
+    /// passes borrow a per-trainer [`surrogate_nn::Workspace`], the batch
+    /// matrices and the flattened-gradient vector are reused across rounds,
+    /// and the optimizer keeps its own update buffer.
     pub fn run(mut self, start: Instant) -> RankOutcome {
         let loss_fn = MseLoss;
         let device: DeviceProfile = self.config.device;
         let batch_size = self.config.batch_size.max(1);
-        let mut tracker = ThroughputTracker::new(10, batch_size);
+        let mut ws = self
+            .model
+            .workspace(batch_size)
+            .with_threads(self.config.effective_gemm_threads());
+        let mut batch = Batch::with_capacity(
+            batch_size,
+            self.model.input_size(),
+            self.model.output_size(),
+        );
+        let mut grads: Vec<f32> = Vec::with_capacity(self.model.param_count());
+        let mut samples: Vec<Sample> = Vec::with_capacity(batch_size);
+        let mut tracker = ThroughputTracker::new(10);
         let mut losses = Vec::new();
         let mut rounds = 0usize;
         let mut batches_with_data = 0usize;
@@ -127,7 +145,7 @@ impl RankTrainer {
         loop {
             // Assemble a batch; `get` blocks until a sample can be served or the
             // buffer has drained after the end of reception.
-            let mut samples: Vec<Sample> = Vec::with_capacity(batch_size);
+            samples.clear();
             while samples.len() < batch_size {
                 match self.buffer.get() {
                     Some(sample) => samples.push(sample),
@@ -137,20 +155,21 @@ impl RankTrainer {
             let has_data = !samples.is_empty();
 
             // Termination round: how many ranks still have data this round?
-            let mut active_flag = vec![if has_data { 1.0 } else { 0.0 }];
+            let mut active_flag = [if has_data { 1.0 } else { 0.0 }];
             self.shared.status_sync.all_reduce_mean(&mut active_flag);
             let active_ranks = (active_flag[0] * self.shared.num_ranks as f32).round() as usize;
             if active_ranks == 0 {
                 break;
             }
 
-            // Forward/backward on this replica.
+            // Forward/backward on this replica through the reused workspace.
             let train_loss = if has_data {
-                let batch = Batch::from_owned(&samples);
-                let prediction = self.model.forward(&batch.inputs);
-                let (loss, grad_out) = loss_fn.evaluate(&prediction, &batch.targets);
-                self.model.zero_grads();
-                self.model.backward(&grad_out);
+                batch.fill_owned(&samples);
+                self.model.forward_ws(&batch.inputs, &mut ws);
+                let (prediction, grad_out) = ws.output_and_grad_mut();
+                let loss = loss_fn.evaluate_into(prediction, &batch.targets, grad_out);
+                // backward_ws overwrites the gradients — no zeroing pass needed.
+                self.model.backward_ws(&mut ws);
                 let mut occurrences = self.shared.occurrences.lock();
                 for key in &batch.keys {
                     *occurrences.entry(*key).or_default() += 1;
@@ -163,7 +182,7 @@ impl RankTrainer {
 
             // Synchronous data parallelism: average the gradients and apply the
             // identical update on every replica.
-            let mut grads = self.model.grads_flat();
+            self.model.grads_flat_into(&mut grads);
             self.shared.grad_sync.all_reduce_mean(&mut grads);
 
             // Learning-rate decay is scheduled in *sample* space so that runs
@@ -176,15 +195,25 @@ impl RankTrainer {
                 .learning_rate(rounds + 1, nominal_samples_seen);
             self.optimizer.step(&mut self.model, &grads, lr);
 
-            if !device.extra_batch_delay().is_zero() {
+            // The emulated-device stall is measured so throughput reports can
+            // separate kernel time from what the device emulation adds.
+            let stall = if device.extra_batch_delay().is_zero() {
+                Duration::ZERO
+            } else {
+                let stall_start = Instant::now();
                 std::thread::sleep(device.extra_batch_delay());
-            }
+                stall_start.elapsed()
+            };
 
             rounds += 1;
             if has_data {
                 batches_with_data += 1;
                 samples_consumed += samples.len();
-                tracker.record_batch(samples.len());
+                tracker.record_batch(samples.len(), stall);
+            } else {
+                // Idle rounds still pay the emulated-device delay; count it so
+                // the compute-throughput metric is not diluted by it.
+                tracker.record_stall(stall);
             }
 
             // Rank 0 records the loss history and runs periodic validation
@@ -193,7 +222,9 @@ impl RankTrainer {
                 let validation_loss = if self.config.validation_interval_batches > 0
                     && rounds.is_multiple_of(self.config.validation_interval_batches)
                 {
-                    self.validation.as_ref().map(|v| v.evaluate(&self.model))
+                    self.validation
+                        .as_ref()
+                        .map(|v| v.evaluate_with(&self.model, &mut ws))
                 } else {
                     None
                 };
@@ -214,13 +245,14 @@ impl RankTrainer {
                     batches: rounds,
                     samples_seen: rounds * batch_size * self.shared.num_ranks,
                     train_loss: losses.last().map(|p| p.train_loss).unwrap_or(f32::NAN),
-                    validation_loss: Some(validation.evaluate(&self.model)),
+                    validation_loss: Some(validation.evaluate_with(&self.model, &mut ws)),
                     elapsed_seconds: start.elapsed().as_secs_f64(),
                 });
             }
         }
 
         let mean_throughput = tracker.mean_throughput();
+        let mean_compute_throughput = tracker.mean_compute_throughput();
         RankOutcome {
             rank: self.rank,
             model: self.model,
@@ -230,6 +262,7 @@ impl RankTrainer {
             losses,
             throughput: tracker.into_points(),
             mean_throughput,
+            mean_compute_throughput,
         }
     }
 }

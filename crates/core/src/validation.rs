@@ -11,9 +11,14 @@ use crate::config::ExperimentConfig;
 use crate::sample::step_to_sample;
 use melissa_ensemble::{ParameterSampler, SamplerKind};
 use melissa_workload::Workload;
-use surrogate_nn::{Batch, InputNormalizer, Loss, Mlp, MseLoss, OutputNormalizer, Sample};
+use surrogate_nn::{Batch, InputNormalizer, Mlp, OutputNormalizer, Sample, Workspace};
 
 /// A fixed set of held-out samples with a method to score a model on them.
+///
+/// [`ValidationSet::evaluate_with`] routes the forward passes through a
+/// caller-provided [`Workspace`] and assembles the evaluation batches into a
+/// single reused buffer, so one evaluation of the whole set costs one small
+/// allocation (the batch buffer) — and the samples are stored exactly once.
 #[derive(Debug, Clone)]
 pub struct ValidationSet {
     samples: Vec<Sample>,
@@ -73,19 +78,46 @@ impl ValidationSet {
     }
 
     /// Mean squared error of the model over the whole validation set
-    /// (normalised units, as plotted by the paper).
+    /// (normalised units, as plotted by the paper). Convenience wrapper that
+    /// builds a throwaway workspace; the training loop uses
+    /// [`ValidationSet::evaluate_with`] with its own.
     pub fn evaluate(&self, model: &Mlp) -> f32 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let loss_fn = MseLoss;
+        let mut ws = model.workspace(self.batch_size);
+        self.evaluate_with(model, &mut ws)
+    }
+
+    /// Mean squared error of the model through a reusable [`Workspace`]:
+    /// every chunk is assembled into one reused batch buffer and run through
+    /// [`Mlp::predict_ws`]; the per-batch MSE is reduced without
+    /// materialising a difference matrix.
+    pub fn evaluate_with(&self, model: &Mlp, ws: &mut Workspace) -> f32 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut batch = Batch::with_capacity(
+            self.batch_size.min(self.samples.len()),
+            model.input_size(),
+            model.output_size(),
+        );
         let mut total = 0.0f64;
         let mut count = 0usize;
         for chunk in self.samples.chunks(self.batch_size) {
-            let batch = Batch::from_owned(chunk);
-            let prediction = model.predict(&batch.inputs);
-            let loss = loss_fn.value(&prediction, &batch.targets);
-            total += loss as f64 * chunk.len() as f64;
+            batch.fill_owned(chunk);
+            let prediction = model.predict_ws(&batch.inputs, ws);
+            let n = (prediction.rows() * prediction.cols()).max(1) as f32;
+            let sum: f32 = prediction
+                .data()
+                .iter()
+                .zip(batch.targets.data())
+                .map(|(p, t)| {
+                    let d = p - t;
+                    d * d
+                })
+                .sum();
+            total += (sum / n) as f64 * chunk.len() as f64;
             count += chunk.len();
         }
         (total / count as f64) as f32
@@ -232,6 +264,18 @@ mod tests {
         let mse = unit.evaluate(&model);
         assert_eq!(unit.evaluate_physical(&model), mse);
         assert!((heat.evaluate_physical(&model) - mse * 400.0 * 400.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn evaluate_with_matches_evaluate() {
+        let config = tiny_config();
+        let validation = ValidationSet::generate(&config);
+        let model = Mlp::new(config.surrogate.mlp_config(config.output_size()));
+        let mut ws = model.workspace(config.training.batch_size);
+        assert_eq!(
+            validation.evaluate_with(&model, &mut ws),
+            validation.evaluate(&model)
+        );
     }
 
     #[test]

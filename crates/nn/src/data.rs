@@ -86,6 +86,41 @@ impl Batch {
         Self::from_samples(&refs)
     }
 
+    /// Creates an empty, preallocated batch to be refilled with
+    /// [`Batch::fill_owned`] — the reusable counterpart of
+    /// [`Batch::from_owned`] for the allocation-free training loop.
+    pub fn with_capacity(batch_size: usize, input_dim: usize, output_dim: usize) -> Self {
+        Self {
+            inputs: Matrix::zeros(batch_size, input_dim),
+            targets: Matrix::zeros(batch_size, output_dim),
+            keys: Vec::with_capacity(batch_size),
+        }
+    }
+
+    /// Refills this batch in place from owned samples, resizing the matrices
+    /// logically (no heap allocation while the sample count stays within the
+    /// preallocated capacity).
+    ///
+    /// # Panics
+    /// Panics when `samples` is empty or a sample's sizes do not match the
+    /// batch dimensions.
+    pub fn fill_owned(&mut self, samples: &[Sample]) {
+        assert!(!samples.is_empty(), "cannot build an empty batch");
+        let input_dim = self.inputs.cols();
+        let output_dim = self.targets.cols();
+        self.inputs.resize_rows(samples.len());
+        self.targets.resize_rows(samples.len());
+        self.keys.clear();
+        for (r, s) in samples.iter().enumerate() {
+            assert_eq!(s.input.len(), input_dim, "inconsistent input size");
+            assert_eq!(s.target.len(), output_dim, "inconsistent target size");
+            self.inputs.data_mut()[r * input_dim..(r + 1) * input_dim].copy_from_slice(&s.input);
+            self.targets.data_mut()[r * output_dim..(r + 1) * output_dim]
+                .copy_from_slice(&s.target);
+            self.keys.push(s.key());
+        }
+    }
+
     /// Number of samples in the batch.
     pub fn len(&self) -> usize {
         self.inputs.rows()
@@ -183,6 +218,18 @@ mod tests {
     #[should_panic(expected = "cannot build an empty batch")]
     fn empty_batch_is_rejected() {
         let _ = Batch::from_samples(&[]);
+    }
+
+    #[test]
+    fn reusable_batch_matches_from_owned() {
+        let samples: Vec<Sample> = (0..4).map(|k| sample(k, k as usize)).collect();
+        let mut reusable = Batch::with_capacity(4, 2, 3);
+        reusable.fill_owned(&samples);
+        assert_eq!(reusable, Batch::from_owned(&samples));
+        // Refilling with a smaller (partial) batch shrinks logically.
+        reusable.fill_owned(&samples[..2]);
+        assert_eq!(reusable, Batch::from_owned(&samples[..2]));
+        assert_eq!(reusable.len(), 2);
     }
 
     #[test]

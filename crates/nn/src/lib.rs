@@ -7,7 +7,13 @@
 //! across GPUs. Here the same architecture family is implemented directly:
 //!
 //! * [`Matrix`] — a minimal dense 2D tensor with the matmul/transpose kernels
-//!   needed by fully connected layers.
+//!   needed by fully connected layers, in two families: naive allocating
+//!   reference kernels and cache-blocked, register-tiled `*_into` kernels
+//!   (see [`kernels`]) that write into reused buffers.
+//! * [`Workspace`] — the preallocated forward/backward buffers behind
+//!   [`Mlp::forward_ws`] / [`Mlp::backward_ws`]: zero heap allocations per
+//!   training batch in steady state, with optional row-parallel GEMM that is
+//!   bit-identical for every thread count.
 //! * [`Mlp`] — a multilayer perceptron with ReLU/Tanh/Identity activations,
 //!   seeded initialisation, forward/backward passes and flattened parameter and
 //!   gradient views (convenient for optimizers and all-reduce).
@@ -28,6 +34,7 @@
 pub mod allreduce;
 pub mod data;
 pub mod init;
+pub mod kernels;
 pub mod loss;
 pub mod matrix;
 pub mod mlp;
@@ -35,6 +42,7 @@ pub mod normalize;
 pub mod optim;
 pub mod schedule;
 pub mod serialize;
+pub mod workspace;
 
 pub use allreduce::GradientSynchronizer;
 pub use data::{Batch, Dataset, Sample};
@@ -46,6 +54,7 @@ pub use normalize::{InputNormalizer, OutputNormalizer};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
 pub use schedule::{ConstantLr, LrSchedule, SampleBasedHalving, StepHalving};
 pub use serialize::{load_mlp, save_mlp, ModelCheckpoint};
+pub use workspace::Workspace;
 
 #[cfg(test)]
 mod tests {

@@ -12,6 +12,20 @@ pub trait Loss: Send + Sync {
         self.evaluate(prediction, target).0
     }
 
+    /// Writes `dLoss/dPred` into a caller-provided buffer and returns the
+    /// scalar loss. The default forwards to [`Loss::evaluate`] (allocating);
+    /// hot-path losses override it with an allocation-free implementation.
+    ///
+    /// # Panics
+    /// Implementations panic when `grad` does not match the prediction shape.
+    fn evaluate_into(&self, prediction: &Matrix, target: &Matrix, grad: &mut Matrix) -> f32 {
+        let (loss, g) = self.evaluate(prediction, target);
+        assert_eq!(grad.rows(), g.rows(), "gradient buffer rows");
+        assert_eq!(grad.cols(), g.cols(), "gradient buffer cols");
+        grad.data_mut().copy_from_slice(g.data());
+        loss
+    }
+
     /// Human-readable loss name.
     fn name(&self) -> &'static str;
 }
@@ -36,6 +50,33 @@ impl Loss for MseLoss {
         prediction.sub(target).mean_square()
     }
 
+    /// Allocation-free MSE: one fused pass computing the loss and writing the
+    /// gradient, bit-compatible with [`MseLoss::evaluate`] (same element order,
+    /// same `diff · 2/n` scaling).
+    fn evaluate_into(&self, prediction: &Matrix, target: &Matrix, grad: &mut Matrix) -> f32 {
+        assert_eq!(prediction.rows(), target.rows(), "batch size mismatch");
+        assert_eq!(prediction.cols(), target.cols(), "output size mismatch");
+        assert_eq!(grad.rows(), prediction.rows(), "gradient buffer rows");
+        assert_eq!(grad.cols(), prediction.cols(), "gradient buffer cols");
+        let n = (prediction.rows() * prediction.cols()) as f32;
+        let scale = 2.0 / n;
+        let mut sum = 0.0f32;
+        for ((g, &p), &t) in grad
+            .data_mut()
+            .iter_mut()
+            .zip(prediction.data())
+            .zip(target.data())
+        {
+            let diff = p - t;
+            sum += diff * diff;
+            *g = diff * scale;
+        }
+        if n == 0.0 {
+            return 0.0;
+        }
+        sum / n
+    }
+
     fn name(&self) -> &'static str {
         "mse"
     }
@@ -49,11 +90,11 @@ impl Loss for MaeLoss {
     fn evaluate(&self, prediction: &Matrix, target: &Matrix) -> (f32, Matrix) {
         assert_eq!(prediction.rows(), target.rows(), "batch size mismatch");
         assert_eq!(prediction.cols(), target.cols(), "output size mismatch");
-        let diff = prediction.sub(target);
+        let mut diff = prediction.sub(target);
         let n = (diff.rows() * diff.cols()) as f32;
         let loss = diff.data().iter().map(|v| v.abs()).sum::<f32>() / n;
-        let grad = diff.map(|v| v.signum() / n);
-        (loss, grad)
+        diff.apply_mut(|v| v.signum() / n);
+        (loss, diff)
     }
 
     fn name(&self) -> &'static str {
@@ -105,6 +146,23 @@ mod tests {
             MaeLoss.value(&pred, &target),
             MaeLoss.evaluate(&pred, &target).0
         );
+    }
+
+    #[test]
+    fn evaluate_into_matches_evaluate_bit_for_bit() {
+        let pred = Matrix::from_rows(&[vec![1.0, 2.0, -0.5], vec![-1.0, 0.5, 3.0]]);
+        let target = Matrix::from_rows(&[vec![0.5, 2.0, 0.0], vec![0.0, 0.0, 2.5]]);
+        let (loss, grad) = MseLoss.evaluate(&pred, &target);
+        let mut grad_buf = Matrix::zeros(2, 3);
+        let loss_into = MseLoss.evaluate_into(&pred, &target, &mut grad_buf);
+        assert_eq!(loss_into, loss);
+        assert_eq!(grad_buf, grad);
+        // The default (allocating) trait implementation agrees too.
+        let mut mae_buf = Matrix::zeros(2, 3);
+        let mae_into = MaeLoss.evaluate_into(&pred, &target, &mut mae_buf);
+        let (mae_loss, mae_grad) = MaeLoss.evaluate(&pred, &target);
+        assert_eq!(mae_into, mae_loss);
+        assert_eq!(mae_buf, mae_grad);
     }
 
     #[test]

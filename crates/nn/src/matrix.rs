@@ -1,10 +1,20 @@
 //! A minimal dense row-major `f32` matrix with the kernels needed by MLPs.
 //!
-//! Batches are stored as `batch_size × features` matrices. The matmul kernel
-//! uses an i-k-j loop order so the innermost loop walks both operands
-//! contiguously (see the Rust Performance Book guidance on cache-friendly
-//! iteration); this is plenty for the layer sizes used in the reproduction.
+//! Batches are stored as `batch_size × features` matrices. Two kernel
+//! families coexist:
+//!
+//! * the original allocating kernels ([`Matrix::matmul`],
+//!   [`Matrix::transpose_matmul`], [`Matrix::matmul_transpose`]) are **kept as
+//!   the naive reference**: simple i-k-j loops whose output the blocked
+//!   kernels must reproduce (the property tests pin the equivalence), and the
+//!   baseline every benchmark measures speedups against;
+//! * the `*_into` kernels ([`Matrix::matmul_into`],
+//!   [`Matrix::matmul_transpose_into`], [`Matrix::transpose_matmul_acc_into`],
+//!   [`Matrix::add_outer_into`]) delegate to the cache-blocked, register-tiled
+//!   implementations in [`crate::kernels`] and write into caller-provided
+//!   buffers, so the training hot path never allocates.
 
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 
 /// Dense row-major matrix of `f32` values.
@@ -104,7 +114,17 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
-    /// Matrix product `self · other`.
+    /// Changes the number of rows in place, keeping the column width.
+    ///
+    /// Shrinking truncates, growing zero-fills. No allocation happens as long
+    /// as the new size fits the buffer's existing capacity, which makes this
+    /// the resize primitive of the reusable [`crate::Workspace`] buffers.
+    pub fn resize_rows(&mut self, rows: usize) {
+        self.rows = rows;
+        self.data.resize(rows * self.cols, 0.0);
+    }
+
+    /// Matrix product `self · other` (naive reference kernel, allocating).
     ///
     /// # Panics
     /// Panics when the inner dimensions do not match.
@@ -171,6 +191,95 @@ impl Matrix {
         out
     }
 
+    /// Blocked matrix product `out = self · other`, written into `out` without
+    /// allocating. Bit-compatible with [`Matrix::matmul`] (the reduction runs
+    /// in the same ascending-k order per output element).
+    ///
+    /// # Panics
+    /// Panics when the inner dimensions or the output shape do not match.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_into dimension mismatch: {}×{} · {}×{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.rows, self.rows, "matmul_into output rows");
+        assert_eq!(out.cols, other.cols, "matmul_into output cols");
+        kernels::gemm_nn(
+            1,
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+            |_, acc| acc,
+        );
+    }
+
+    /// Blocked `out = self · otherᵀ` without materialising the transpose or
+    /// allocating. Bit-compatible with [`Matrix::matmul_transpose`].
+    ///
+    /// # Panics
+    /// Panics when the shared dimension or the output shape do not match.
+    pub fn matmul_transpose_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_into dimension mismatch"
+        );
+        assert_eq!(out.rows, self.rows, "matmul_transpose_into output rows");
+        assert_eq!(out.cols, other.rows, "matmul_transpose_into output cols");
+        kernels::gemm_nt(
+            1,
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            &mut out.data,
+            |_, acc| acc,
+        );
+    }
+
+    /// Blocked accumulating `out += selfᵀ · other` without materialising the
+    /// transpose or allocating — the weight-gradient kernel. Bit-compatible
+    /// with accumulating [`Matrix::transpose_matmul`] into `out`.
+    ///
+    /// # Panics
+    /// Panics when the shared dimension or the output shape do not match.
+    pub fn transpose_matmul_acc_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul_acc_into dimension mismatch"
+        );
+        assert_eq!(out.rows, self.cols, "transpose_matmul_acc_into output rows");
+        assert_eq!(
+            out.cols, other.cols,
+            "transpose_matmul_acc_into output cols"
+        );
+        kernels::gemm_tn(
+            1,
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+            true,
+        );
+    }
+
+    /// Rank-1 update `self += x ⊗ y` (`self[i][j] += x[i]·y[j]`), the
+    /// single-sample fast path of the weight-gradient accumulation.
+    ///
+    /// # Panics
+    /// Panics when the vector lengths do not match the matrix shape.
+    pub fn add_outer_into(&mut self, x: &[f32], y: &[f32]) {
+        assert_eq!(x.len(), self.rows, "add_outer_into row-vector length");
+        assert_eq!(y.len(), self.cols, "add_outer_into column-vector length");
+        kernels::add_outer(x, y, &mut self.data);
+    }
+
     /// Returns the transposed matrix.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -196,23 +305,41 @@ impl Matrix {
         }
     }
 
-    /// Column-wise sum (used for bias gradients).
+    /// Column-wise sum (used for bias gradients; allocating variant).
     pub fn column_sums(&self) -> Vec<f32> {
         let mut sums = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            for (s, v) in sums.iter_mut().zip(self.row(r)) {
-                *s += v;
-            }
-        }
+        self.add_column_sums_to(&mut sums);
         sums
     }
 
-    /// Element-wise map.
+    /// Accumulates the column-wise sums into `acc` without allocating.
+    ///
+    /// # Panics
+    /// Panics when `acc.len() != cols`.
+    pub fn add_column_sums_to(&self, acc: &mut [f32]) {
+        assert_eq!(acc.len(), self.cols, "column-sum accumulator length");
+        for r in 0..self.rows {
+            for (s, v) in acc.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+    }
+
+    /// Element-wise map into a freshly allocated matrix. Prefer
+    /// [`Matrix::apply_mut`] on the hot path when the input can be consumed.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise map in place (the allocation-free counterpart of
+    /// [`Matrix::map`]).
+    pub fn apply_mut(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
         }
     }
 
@@ -342,6 +469,68 @@ mod tests {
     fn mean_square_of_known_values() {
         let a = Matrix::from_rows(&[vec![1.0, -1.0], vec![2.0, 0.0]]);
         assert!((a.mean_square() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blocked_into_kernels_match_naive_references() {
+        let a = Matrix::from_vec(5, 7, (0..35).map(|v| v as f32 * 0.3 - 5.0).collect());
+        let b = Matrix::from_vec(7, 9, (0..63).map(|v| (v % 11) as f32 - 5.0).collect());
+        let mut out = Matrix::zeros(5, 9);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let bt = Matrix::from_vec(9, 7, (0..63).map(|v| (v % 13) as f32 * 0.5).collect());
+        let mut out_nt = Matrix::zeros(5, 9);
+        a.matmul_transpose_into(&bt, &mut out_nt);
+        assert_eq!(out_nt, a.matmul_transpose(&bt));
+
+        let c = Matrix::from_vec(5, 4, (0..20).map(|v| v as f32 - 10.0).collect());
+        let reference = a.transpose_matmul(&c);
+        // From a zeroed accumulator (the state after `zero_grads`) the blocked
+        // kernel reproduces the naive product bit for bit.
+        let mut acc = Matrix::zeros(7, 4);
+        a.transpose_matmul_acc_into(&c, &mut acc);
+        assert_eq!(acc, reference);
+        // Accumulating a second time doubles the result (up to the rounding of
+        // the interleaved adds).
+        a.transpose_matmul_acc_into(&c, &mut acc);
+        for (twice, once) in acc.data().iter().zip(reference.data()) {
+            assert!((twice - 2.0 * once).abs() <= once.abs() * 1e-5 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn add_outer_into_is_a_rank_one_update() {
+        let mut m = Matrix::filled(2, 3, 1.0);
+        m.add_outer_into(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(m.data(), &[4.0, 5.0, 6.0, 7.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn resize_rows_truncates_and_zero_fills_without_losing_width() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        m.resize_rows(1);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.data(), &[1.0, 2.0]);
+        m.resize_rows(3);
+        assert_eq!(m.data(), &[1.0, 2.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn apply_mut_matches_map() {
+        let m = Matrix::from_rows(&[vec![1.0, -2.0], vec![3.0, -4.0]]);
+        let mapped = m.map(|v| v.max(0.0));
+        let mut inplace = m;
+        inplace.apply_mut(|v| v.max(0.0));
+        assert_eq!(inplace, mapped);
+    }
+
+    #[test]
+    fn add_column_sums_accumulates() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut acc = vec![1.0, 1.0];
+        m.add_column_sums_to(&mut acc);
+        assert_eq!(acc, vec![5.0, 7.0]);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! that shape for a given output size; tests use much smaller variants.
 
 use crate::init::{InitScheme, WeightInit};
+use crate::kernels;
 use crate::matrix::Matrix;
+use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// Supported activation functions.
@@ -55,6 +57,30 @@ impl Activation {
                 let s = 1.0 / (1.0 + (-x).exp());
                 s * (1.0 - s)
             }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Derivative expressed through the *post-activation* value `y = act(x)`.
+    ///
+    /// Every supported activation admits this form (ReLU: `y > 0`; tanh:
+    /// `1 − y²`; sigmoid: `y(1 − y)`; identity: `1`), which lets the
+    /// workspace-based backward pass drop the pre-activation buffers entirely.
+    /// The result is bitwise identical to [`Activation::derivative`] on the
+    /// matching pre-activation, because the forward pass computes `y` with the
+    /// exact same operations this method re-uses.
+    #[inline]
+    pub fn derivative_from_output(&self, y: f32) -> f32 {
+        match self {
+            Activation::ReLU => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
             Activation::Identity => 1.0,
         }
     }
@@ -136,6 +162,25 @@ impl DenseLayer {
         pre.map(|v| activation.apply(v))
     }
 
+    /// Allocation-free fused forward: `out = act(input · W + b)` in one
+    /// blocked-GEMM pass (bias-add and activation run in the kernel epilogue
+    /// while the output tile is hot). `out` must be `batch × fan_out`.
+    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix, threads: usize) {
+        assert_eq!(input.cols(), self.fan_in(), "layer input width");
+        let activation = self.activation;
+        let biases = &self.biases;
+        kernels::gemm_nn(
+            threads,
+            input.data(),
+            input.rows(),
+            self.fan_in(),
+            self.weights.data(),
+            self.fan_out(),
+            out.data_mut(),
+            |j, acc| activation.apply(acc + biases[j]),
+        );
+    }
+
     /// Backward pass: accumulates parameter gradients and returns the gradient
     /// with respect to the layer input.
     ///
@@ -174,8 +219,13 @@ impl DenseLayer {
     }
 
     /// Clears accumulated gradients and cached activations.
+    ///
+    /// An already-allocated weight-gradient buffer is zeroed in place rather
+    /// than dropped, so the steady-state training loop never reallocates it.
     pub fn zero_grads(&mut self) {
-        self.grad_weights = None;
+        if let Some(gw) = &mut self.grad_weights {
+            gw.data_mut().iter_mut().for_each(|g| *g = 0.0);
+        }
         self.grad_biases.iter_mut().for_each(|g| *g = 0.0);
     }
 }
@@ -304,6 +354,150 @@ impl Mlp {
         grad
     }
 
+    /// Creates a [`Workspace`] sized for this architecture and batch capacity.
+    pub fn workspace(&self, batch_capacity: usize) -> Workspace {
+        Workspace::for_config(&self.config, batch_capacity)
+    }
+
+    /// Allocation-free forward pass through a reusable [`Workspace`]; returns
+    /// the network output living inside the workspace.
+    ///
+    /// Unlike [`Mlp::forward`], nothing is cached on the layers — the
+    /// workspace holds the activations the matching [`Mlp::backward_ws`]
+    /// needs, so this takes `&self` and doubles as the inference fast path
+    /// (see [`Mlp::predict_ws`]). Results match [`Mlp::forward`] bit for bit.
+    ///
+    /// # Panics
+    /// Panics when the workspace was built for a different architecture or
+    /// the input width does not match.
+    pub fn forward_ws<'w>(&self, input: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
+        assert_eq!(
+            ws.layer_sizes, self.config.layer_sizes,
+            "workspace architecture mismatch"
+        );
+        assert_eq!(input.cols(), self.input_size(), "input width mismatch");
+        ws.prepare(input.rows());
+        ws.input.data_mut().copy_from_slice(input.data());
+        let threads = ws.threads();
+        for (l, layer) in self.layers.iter().enumerate() {
+            if l == 0 {
+                layer.forward_into(&ws.input, &mut ws.acts[0], threads);
+            } else {
+                let (prev, rest) = ws.acts.split_at_mut(l);
+                layer.forward_into(&prev[l - 1], &mut rest[0], threads);
+            }
+        }
+        ws.output()
+    }
+
+    /// Allocation-free inference through a reusable [`Workspace`] — identical
+    /// to [`Mlp::forward_ws`], named for call sites that never backpropagate.
+    pub fn predict_ws<'w>(&self, input: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
+        self.forward_ws(input, ws)
+    }
+
+    /// Allocation-free backward pass consuming the state a preceding
+    /// [`Mlp::forward_ws`] left in `ws`, with dLoss/dOutput already written to
+    /// [`Workspace::output_grad_mut`] (e.g. by [`crate::Loss::evaluate_into`]).
+    ///
+    /// **Overwrites** the parameter gradients — unlike [`Mlp::backward`],
+    /// which accumulates. A training loop that zeroes gradients before every
+    /// backward pass gets bit-for-bit the values `zero_grads` + `backward`
+    /// would produce, without paying a zeroing pass plus a read-modify-write
+    /// over every parameter. The gradient w.r.t. the network input is left in
+    /// [`Workspace::input_grad`]. The activation derivative is evaluated from
+    /// the post-activation values, so no pre-activation buffers exist at all;
+    /// the identity output layer skips the derivative pass entirely.
+    pub fn backward_ws(&mut self, ws: &mut Workspace) {
+        assert_eq!(
+            ws.layer_sizes, self.config.layer_sizes,
+            "workspace architecture mismatch"
+        );
+        let threads = ws.threads();
+        let rows = ws.input.rows();
+        for l in (0..self.layers.len()).rev() {
+            let layer = &mut self.layers[l];
+            let (lower, upper) = ws.grads.split_at_mut(l);
+            let grad_l = &mut upper[0];
+
+            // dLoss/d preact in place: grad ⊙ act'(output).
+            let activation = layer.activation;
+            if activation != Activation::Identity {
+                for (g, &y) in grad_l.data_mut().iter_mut().zip(ws.acts[l].data()) {
+                    *g *= activation.derivative_from_output(y);
+                }
+            }
+
+            // Parameter gradients (overwritten; buffers reused once allocated).
+            let input = if l == 0 { &ws.input } else { &ws.acts[l - 1] };
+            let gw = layer
+                .grad_weights
+                .get_or_insert_with(|| Matrix::zeros(layer.weights.rows(), layer.weights.cols()));
+            if rows == 1 {
+                // Single-sample batches reduce to a rank-1 update.
+                kernels::fill_outer(input.row(0), grad_l.row(0), gw.data_mut());
+            } else {
+                kernels::gemm_tn(
+                    threads,
+                    input.data(),
+                    rows,
+                    input.cols(),
+                    grad_l.data(),
+                    grad_l.cols(),
+                    gw.data_mut(),
+                    false,
+                );
+            }
+            layer.grad_biases.iter_mut().for_each(|g| *g = 0.0);
+            grad_l.add_column_sums_to(&mut layer.grad_biases);
+
+            // Gradient w.r.t. the layer input: grad_pre · Wᵀ. Both variants
+            // keep the per-element summation in ascending fan-out order, so
+            // they are bit-compatible with the naive dot-product path.
+            let fan_in = layer.weights.rows();
+            let fan_out = layer.weights.cols();
+            let grad_in = if l == 0 {
+                &mut ws.input_grad
+            } else {
+                &mut lower[l - 1]
+            };
+            if rows >= kernels::NR && rows < fan_in {
+                // Small-batch variant: compute (W · grad_preᵀ)ᵀ, transposing
+                // the two batch-sized matrices instead of the (much larger)
+                // weight matrix — the big operand is streamed exactly once.
+                let gpt = &mut ws.scratch_t[..fan_out * rows];
+                kernels::transpose(grad_l.data(), rows, fan_out, gpt);
+                let git = &mut ws.scratch_o[..fan_in * rows];
+                kernels::gemm_nn(
+                    threads,
+                    layer.weights.data(),
+                    fan_in,
+                    fan_out,
+                    gpt,
+                    rows,
+                    git,
+                    |_, acc| acc,
+                );
+                kernels::transpose(git, fan_in, rows, grad_in.data_mut());
+            } else {
+                // Large-batch variant: materialise Wᵀ once and run the
+                // register micro-kernel on grad_pre · Wᵀ directly.
+                let wt = &mut ws.weights_t[l];
+                kernels::transpose(layer.weights.data(), fan_in, fan_out, wt.data_mut());
+                kernels::gemm_nn(
+                    threads,
+                    grad_l.data(),
+                    rows,
+                    fan_out,
+                    wt.data(),
+                    fan_in,
+                    grad_in.data_mut(),
+                    |_, acc| acc,
+                );
+            }
+        }
+    }
+
     /// Clears accumulated gradients.
     pub fn zero_grads(&mut self) {
         for layer in &mut self.layers {
@@ -351,6 +545,15 @@ impl Mlp {
     /// accumulated yet), in the same order as [`Mlp::params_flat`].
     pub fn grads_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
+        self.grads_flat_into(&mut out);
+        out
+    }
+
+    /// Writes the flattened gradients into a reused vector (cleared first);
+    /// allocation-free once the vector has reached its steady-state capacity.
+    pub fn grads_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_count());
         for layer in &self.layers {
             match &layer.grad_weights {
                 Some(g) => out.extend_from_slice(g.data()),
@@ -358,7 +561,17 @@ impl Mlp {
             }
             out.extend_from_slice(&layer.grad_biases);
         }
-        out
+    }
+
+    /// Visits every parameter slice mutably in flat order (per layer: weights,
+    /// then biases — the order of [`Mlp::params_flat`]). Lets optimizers fuse
+    /// their state update and the parameter update into one pass instead of
+    /// materialising a delta vector.
+    pub fn for_each_param_slice_mut(&mut self, mut f: impl FnMut(&mut [f32])) {
+        for layer in &mut self.layers {
+            f(layer.weights.data_mut());
+            f(&mut layer.biases);
+        }
     }
 
     /// Adds `delta` to every parameter (the optimizer computes the delta).
@@ -547,6 +760,116 @@ mod tests {
     fn set_params_checks_length() {
         let mut mlp = tiny_mlp(6);
         mlp.set_params_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn forward_ws_matches_reference_forward_bit_for_bit() {
+        for activation in [Activation::ReLU, Activation::Tanh, Activation::Sigmoid] {
+            let mut mlp = Mlp::new(MlpConfig {
+                layer_sizes: vec![3, 6, 5, 2],
+                activation,
+                init: InitScheme::HeUniform,
+                seed: 42,
+            });
+            let mut ws = mlp.workspace(4);
+            let x = Matrix::from_rows(&[
+                vec![1.0, 2.0, 3.0],
+                vec![-0.5, 0.0, 0.25],
+                vec![0.1, -0.2, 0.3],
+                vec![0.0, 0.0, 0.0],
+            ]);
+            let reference = mlp.forward(&x);
+            let out = mlp.forward_ws(&x, &mut ws).clone();
+            assert_eq!(out, reference, "{activation:?}");
+            assert_eq!(mlp.predict_ws(&x, &mut ws), &mlp.predict(&x));
+        }
+    }
+
+    #[test]
+    fn backward_ws_matches_reference_backward_bit_for_bit() {
+        let mut reference = Mlp::new(MlpConfig {
+            layer_sizes: vec![3, 8, 5, 4],
+            activation: Activation::ReLU,
+            init: InitScheme::HeUniform,
+            seed: 7,
+        });
+        let mut fast = reference.clone();
+        let mut ws = fast.workspace(3);
+        let x = Matrix::from_rows(&[
+            vec![0.5, -0.3, 0.8],
+            vec![0.1, 0.9, -0.7],
+            vec![-0.2, 0.4, 0.6],
+        ]);
+        let grad_out = Matrix::from_vec(3, 4, (0..12).map(|v| v as f32 * 0.1 - 0.5).collect());
+
+        reference.forward(&x);
+        reference.zero_grads();
+        let grad_in_reference = reference.backward(&grad_out);
+
+        fast.forward_ws(&x, &mut ws);
+        ws.output_grad_mut()
+            .data_mut()
+            .copy_from_slice(grad_out.data());
+        fast.zero_grads();
+        fast.backward_ws(&mut ws);
+
+        assert_eq!(fast.grads_flat(), reference.grads_flat());
+        assert_eq!(ws.input_grad(), &grad_in_reference);
+    }
+
+    #[test]
+    fn backward_ws_overwrites_instead_of_accumulating() {
+        let mut mlp = tiny_mlp(8);
+        let mut ws = mlp.workspace(2);
+        let x = Matrix::from_rows(&[vec![0.4, -0.1, 0.7], vec![0.2, 0.5, -0.3]]);
+        let grad_out = Matrix::from_rows(&[vec![1.0, -1.0], vec![0.5, 0.25]]);
+        mlp.forward_ws(&x, &mut ws);
+        ws.output_grad_mut()
+            .data_mut()
+            .copy_from_slice(grad_out.data());
+        mlp.backward_ws(&mut ws);
+        let once = mlp.grads_flat();
+        // Running the same backward again must give the same gradients, not 2×.
+        mlp.forward_ws(&x, &mut ws);
+        ws.output_grad_mut()
+            .data_mut()
+            .copy_from_slice(grad_out.data());
+        mlp.backward_ws(&mut ws);
+        assert_eq!(mlp.grads_flat(), once);
+    }
+
+    #[test]
+    fn workspace_path_handles_partial_batches() {
+        let mlp = tiny_mlp(3);
+        let mut ws = mlp.workspace(8);
+        let full = Matrix::from_vec(8, 3, (0..24).map(|v| v as f32 * 0.1).collect());
+        let partial = Matrix::from_vec(2, 3, full.data()[..6].to_vec());
+        mlp.predict_ws(&full, &mut ws);
+        let out = mlp.predict_ws(&partial, &mut ws);
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out, &mlp.predict(&partial));
+    }
+
+    #[test]
+    fn single_sample_batches_use_the_rank_one_update() {
+        let mut reference = tiny_mlp(11);
+        let mut fast = reference.clone();
+        let mut ws = fast.workspace(1);
+        let x = Matrix::from_rows(&[vec![0.3, -0.6, 0.9]]);
+        let grad_out = Matrix::from_rows(&[vec![0.7, -0.1]]);
+
+        reference.forward(&x);
+        reference.zero_grads();
+        reference.backward(&grad_out);
+
+        fast.forward_ws(&x, &mut ws);
+        ws.output_grad_mut()
+            .data_mut()
+            .copy_from_slice(grad_out.data());
+        fast.zero_grads();
+        fast.backward_ws(&mut ws);
+
+        assert_eq!(fast.grads_flat(), reference.grads_flat());
     }
 
     #[test]

@@ -43,6 +43,13 @@ impl Default for AdamConfig {
 }
 
 /// Adam optimizer (Kingma & Ba), the paper's choice.
+///
+/// The step is fully fused: moment update, bias correction, optional
+/// decoupled weight decay and the parameter update run in a single pass over
+/// the parameters via [`Mlp::for_each_param_slice_mut`] — no delta vector is
+/// ever materialised, so a step performs zero allocations and touches each
+/// parameter-sized buffer the minimum number of times. The arithmetic per
+/// element is identical to the classic compute-delta-then-apply formulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
     config: AdamConfig,
@@ -75,28 +82,41 @@ impl Optimizer for Adam {
             self.first_moment.len(),
             "gradient length does not match optimizer state"
         );
+        assert_eq!(
+            grads.len(),
+            model.param_count(),
+            "gradient length does not match the model"
+        );
         self.steps += 1;
         let t = self.steps as f32;
         let b1 = self.config.beta1;
         let b2 = self.config.beta2;
         let bias1 = 1.0 - b1.powf(t);
         let bias2 = 1.0 - b2.powf(t);
-        let mut delta = vec![0.0f32; grads.len()];
-        for k in 0..grads.len() {
-            let g = grads[k];
-            self.first_moment[k] = b1 * self.first_moment[k] + (1.0 - b1) * g;
-            self.second_moment[k] = b2 * self.second_moment[k] + (1.0 - b2) * g * g;
-            let m_hat = self.first_moment[k] / bias1;
-            let v_hat = self.second_moment[k] / bias2;
-            delta[k] = -learning_rate * m_hat / (v_hat.sqrt() + self.config.epsilon);
-        }
-        if self.config.weight_decay > 0.0 {
-            let params = model.params_flat();
-            for (d, p) in delta.iter_mut().zip(params) {
-                *d -= learning_rate * self.config.weight_decay * p;
+        let epsilon = self.config.epsilon;
+        let decay = learning_rate * self.config.weight_decay;
+        let first = &mut self.first_moment;
+        let second = &mut self.second_moment;
+        let mut offset = 0usize;
+        model.for_each_param_slice_mut(|params| {
+            let g = &grads[offset..offset + params.len()];
+            let m = &mut first[offset..offset + params.len()];
+            let v = &mut second[offset..offset + params.len()];
+            for k in 0..params.len() {
+                let gv = g[k];
+                m[k] = b1 * m[k] + (1.0 - b1) * gv;
+                v[k] = b2 * v[k] + (1.0 - b2) * gv * gv;
+                let m_hat = m[k] / bias1;
+                let v_hat = v[k] / bias2;
+                let mut delta = -learning_rate * m_hat / (v_hat.sqrt() + epsilon);
+                if decay > 0.0 {
+                    delta -= decay * params[k];
+                }
+                params[k] += delta;
             }
-        }
-        model.apply_delta(&delta);
+            offset += params.len();
+        });
+        debug_assert_eq!(offset, grads.len());
     }
 
     fn steps_taken(&self) -> usize {
@@ -135,12 +155,10 @@ impl Optimizer for Sgd {
             "gradient length does not match optimizer state"
         );
         self.steps += 1;
-        let mut delta = vec![0.0f32; grads.len()];
-        for k in 0..grads.len() {
-            self.velocity[k] = self.momentum * self.velocity[k] - learning_rate * grads[k];
-            delta[k] = self.velocity[k];
+        for (v, &g) in self.velocity.iter_mut().zip(grads) {
+            *v = self.momentum * *v - learning_rate * g;
         }
-        model.apply_delta(&delta);
+        model.apply_delta(&self.velocity);
     }
 
     fn steps_taken(&self) -> usize {

@@ -155,4 +155,123 @@ proptest! {
         let c = Mlp::new(MlpConfig::small(4, 8, 3, seed.wrapping_add(1)));
         prop_assert_ne!(a.params_flat(), c.params_flat());
     }
+
+    /// The blocked `matmul_into` reproduces the retained naive `matmul` on
+    /// random shapes — including shapes that straddle the register-tile (4)
+    /// and column-block (256) boundaries.
+    #[test]
+    fn blocked_matmul_into_equals_naive(
+        m in 1usize..9,
+        k in 1usize..9,
+        n in 1usize..12,
+        a_data in prop::collection::vec(-10.0f32..10.0, 96),
+        b_data in prop::collection::vec(-10.0f32..10.0, 144),
+    ) {
+        // Stretch some columns across the NC boundary by tiling the data.
+        let wide_n = if n % 3 == 0 { n * 87 } else { n };
+        let a = Matrix::from_vec(m, k, a_data[..m * k].to_vec());
+        let b = Matrix::from_vec(
+            k,
+            wide_n,
+            (0..k * wide_n).map(|i| b_data[i % b_data.len()]).collect(),
+        );
+        let mut blocked = Matrix::zeros(m, wide_n);
+        a.matmul_into(&b, &mut blocked);
+        prop_assert_eq!(blocked, a.matmul(&b));
+    }
+
+    /// The blocked `matmul_transpose_into` reproduces the naive
+    /// `matmul_transpose` on random shapes.
+    #[test]
+    fn blocked_matmul_transpose_into_equals_naive(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        a_data in prop::collection::vec(-10.0f32..10.0, 100),
+        b_data in prop::collection::vec(-10.0f32..10.0, 100),
+    ) {
+        let a = Matrix::from_vec(m, k, a_data[..m * k].to_vec());
+        let b = Matrix::from_vec(n, k, b_data[..n * k].to_vec());
+        let mut blocked = Matrix::zeros(m, n);
+        a.matmul_transpose_into(&b, &mut blocked);
+        prop_assert_eq!(blocked, a.matmul_transpose(&b));
+    }
+
+    /// From a zeroed accumulator, the blocked `transpose_matmul_acc_into`
+    /// reproduces the naive `transpose_matmul`.
+    #[test]
+    fn blocked_transpose_matmul_acc_equals_naive(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        a_data in prop::collection::vec(-10.0f32..10.0, 100),
+        b_data in prop::collection::vec(-10.0f32..10.0, 100),
+    ) {
+        let a = Matrix::from_vec(m, k, a_data[..m * k].to_vec());
+        let b = Matrix::from_vec(m, n, b_data[..m * n].to_vec());
+        let mut blocked = Matrix::zeros(k, n);
+        a.transpose_matmul_acc_into(&b, &mut blocked);
+        prop_assert_eq!(blocked, a.transpose_matmul(&b));
+    }
+
+    /// Row-parallel kernel dispatch is bit-identical to the serial kernels for
+    /// any thread count (the per-element reduction order never changes).
+    #[test]
+    fn parallel_kernels_are_bit_identical(threads in 2usize..5, seed in 0u64..100) {
+        let (m, k, n) = (40, 40, 320);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| (((i as u64).wrapping_mul(seed + 1) % 41) as f32 - 20.0) * 0.1)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| (((i as u64).wrapping_mul(seed + 7) % 37) as f32 - 18.0) * 0.1)
+            .collect();
+        let mut serial = vec![0.0f32; m * n];
+        let mut par = vec![0.0f32; m * n];
+        surrogate_nn::kernels::gemm_nn(1, &a, m, k, &b, n, &mut serial, |_, acc| acc);
+        surrogate_nn::kernels::gemm_nn(threads, &a, m, k, &b, n, &mut par, |_, acc| acc);
+        prop_assert_eq!(&serial, &par);
+    }
+
+    /// The workspace-based forward/backward path matches the retained
+    /// clone-based reference path bit for bit on random seeds and batches:
+    /// outputs, parameter gradients and the gradient w.r.t. the input.
+    #[test]
+    fn workspace_training_step_equals_reference(
+        seed in 0u64..500,
+        rows in 1usize..6,
+        activation in prop::sample::select(vec![
+            Activation::ReLU,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ]),
+        x_data in prop::collection::vec(-2.0f32..2.0, 30),
+        t_data in prop::collection::vec(-2.0f32..2.0, 18),
+    ) {
+        let mut reference = Mlp::new(MlpConfig {
+            layer_sizes: vec![5, 7, 3],
+            activation,
+            init: InitScheme::HeUniform,
+            seed,
+        });
+        let mut fast = reference.clone();
+        let mut ws = fast.workspace(rows);
+        let x = Matrix::from_vec(rows, 5, x_data[..rows * 5].to_vec());
+        let targets = Matrix::from_vec(rows, 3, t_data[..rows * 3].to_vec());
+
+        let pred_ref = reference.forward(&x);
+        let (loss_ref, grad_out) = MseLoss.evaluate(&pred_ref, &targets);
+        reference.zero_grads();
+        let grad_in_ref = reference.backward(&grad_out);
+
+        fast.forward_ws(&x, &mut ws);
+        let (pred, grad_buf) = ws.output_and_grad_mut();
+        prop_assert_eq!(pred, &pred_ref);
+        let loss = MseLoss.evaluate_into(pred, &targets, grad_buf);
+        prop_assert_eq!(loss, loss_ref);
+        fast.zero_grads();
+        fast.backward_ws(&mut ws);
+
+        prop_assert_eq!(fast.grads_flat(), reference.grads_flat());
+        prop_assert_eq!(ws.input_grad(), &grad_in_ref);
+    }
 }

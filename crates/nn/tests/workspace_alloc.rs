@@ -1,0 +1,107 @@
+//! Asserts the central perf invariant of the workspace training path: once the
+//! buffers reached steady state, a full training step — batch refill, forward,
+//! loss, backward, flattened-gradient export, all-reduce and optimizer step —
+//! performs **zero heap allocations**.
+//!
+//! A counting global allocator makes the claim falsifiable instead of
+//! aspirational. The file holds exactly one test so no concurrent test thread
+//! can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use surrogate_nn::{
+    Activation, Adam, AdamConfig, Batch, GradientSynchronizer, InitScheme, Loss, Mlp, MlpConfig,
+    MseLoss, Optimizer, Sample,
+};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_training_step_allocates_nothing() {
+    let batch_size = 8usize;
+    let mut model = Mlp::new(MlpConfig {
+        layer_sizes: vec![6, 32, 32, 64],
+        activation: Activation::ReLU,
+        init: InitScheme::HeUniform,
+        seed: 3,
+    });
+    let mut optimizer = Adam::new(AdamConfig::default(), model.param_count());
+    let sync = GradientSynchronizer::new(1, model.param_count());
+    let loss_fn = MseLoss;
+
+    // Per-trainer reusable state (threads = 1: the scoped thread pool spawns,
+    // and therefore allocates, only when explicitly enabled).
+    let mut ws = model.workspace(batch_size).with_threads(1);
+    let mut batch = Batch::with_capacity(batch_size, model.input_size(), model.output_size());
+    let mut grads: Vec<f32> = Vec::with_capacity(model.param_count());
+
+    let samples: Vec<Sample> = (0..batch_size)
+        .map(|k| {
+            let x = k as f32 / batch_size as f32;
+            Sample::new(vec![x; 6], vec![x * 0.5; 64], 0, k)
+        })
+        .collect();
+
+    let mut step = |model: &mut Mlp, optimizer: &mut Adam, ws: &mut surrogate_nn::Workspace| {
+        batch.fill_owned(&samples);
+        model.forward_ws(&batch.inputs, ws);
+        let (prediction, grad_out) = ws.output_and_grad_mut();
+        let loss = loss_fn.evaluate_into(prediction, &batch.targets, grad_out);
+        model.backward_ws(ws);
+        model.grads_flat_into(&mut grads);
+        sync.all_reduce_mean(&mut grads);
+        optimizer.step(model, &grads, 1e-3);
+        loss
+    };
+
+    // Warm up: lazily allocated buffers (weight gradients, optimizer scratch,
+    // gradient vector) reach their steady-state capacity.
+    for _ in 0..3 {
+        step(&mut model, &mut optimizer, &mut ws);
+    }
+
+    // The test-harness thread may allocate concurrently (output buffering),
+    // so accept any clean 10-step window out of a few attempts — the training
+    // thread itself must be able to run allocation-free.
+    let mut min_allocations = usize::MAX;
+    let mut last_loss = 0.0;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..10 {
+            last_loss = step(&mut model, &mut optimizer, &mut ws);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        min_allocations = min_allocations.min(after - before);
+        if min_allocations == 0 {
+            break;
+        }
+    }
+
+    assert!(last_loss.is_finite());
+    assert_eq!(
+        min_allocations, 0,
+        "steady-state training steps must not allocate \
+         (best window: {min_allocations} allocations in 10 steps)"
+    );
+}
