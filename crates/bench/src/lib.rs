@@ -17,6 +17,8 @@ use melissa::{
 use surrogate_nn::Mlp;
 use training_buffer::BufferKind;
 
+pub mod train_step;
+
 /// Parses `--key value` style options from the command line.
 pub fn arg_value(key: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -49,6 +51,9 @@ pub fn figure_config(scale: f64, kind: BufferKind, num_ranks: usize) -> Experime
         .device(DeviceProfile {
             extra_batch_micros: 200,
         })
+        // The figure harnesses run the full data plane: overlap batch
+        // assembly with the train step (results are bit-identical either way).
+        .prefetch(true)
         .build()
         .expect("the paper-scaled configuration is always consistent")
 }

@@ -1,0 +1,269 @@
+//! The train-step throughput benchmark core, shared by `bench_throughput`
+//! (which established the PR 3 baseline) and `bench_data_plane` (which re-runs
+//! the same cases so every benchmark JSON carries the full trajectory).
+//!
+//! One *case* measures training samples/s of the allocation-free blocked
+//! workspace path against the retained seed-style naive path at one output
+//! size, trains both paths side by side and verifies the final parameters
+//! agree bit for bit — the speedup is only meaningful for a path that
+//! provably computes the same model.
+
+use std::time::Instant;
+use surrogate_nn::{
+    Activation, Adam, AdamConfig, InitScheme, Loss, Mlp, MlpConfig, MseLoss, Optimizer, Sample,
+};
+
+/// The seed implementation's Adam step, retained as the measured baseline:
+/// a delta vector is allocated per step, filled from the moments, then applied
+/// in a second pass — numerically identical to [`Adam`], but with the
+/// pre-refactor allocation and memory-traffic profile.
+pub struct ReferenceAdam {
+    config: AdamConfig,
+    first_moment: Vec<f32>,
+    second_moment: Vec<f32>,
+    steps: usize,
+}
+
+impl ReferenceAdam {
+    /// Creates the reference optimizer for `param_count` parameters.
+    pub fn new(param_count: usize) -> Self {
+        Self {
+            config: AdamConfig::default(),
+            first_moment: vec![0.0; param_count],
+            second_moment: vec![0.0; param_count],
+            steps: 0,
+        }
+    }
+
+    /// One two-pass Adam update.
+    pub fn step(&mut self, model: &mut Mlp, grads: &[f32], learning_rate: f32) {
+        self.steps += 1;
+        let t = self.steps as f32;
+        let b1 = self.config.beta1;
+        let b2 = self.config.beta2;
+        let bias1 = 1.0 - b1.powf(t);
+        let bias2 = 1.0 - b2.powf(t);
+        let mut delta = vec![0.0f32; grads.len()];
+        for k in 0..grads.len() {
+            let g = grads[k];
+            self.first_moment[k] = b1 * self.first_moment[k] + (1.0 - b1) * g;
+            self.second_moment[k] = b2 * self.second_moment[k] + (1.0 - b2) * g * g;
+            let m_hat = self.first_moment[k] / bias1;
+            let v_hat = self.second_moment[k] / bias2;
+            delta[k] = -learning_rate * m_hat / (v_hat.sqrt() + self.config.epsilon);
+        }
+        model.apply_delta(&delta);
+    }
+}
+
+/// Result of one train-step case.
+pub struct TrainStepCase {
+    /// Output-layer size of the measured architecture.
+    pub output_size: usize,
+    /// Parameter count of the measured architecture.
+    pub param_count: usize,
+    /// Seed-style path rate.
+    pub reference_samples_per_second: f64,
+    /// Blocked workspace path rate.
+    pub blocked_samples_per_second: f64,
+    /// `blocked / reference`.
+    pub speedup: f64,
+    /// Whether five side-by-side steps leave both models bit-identical.
+    pub bit_identical: bool,
+}
+
+/// The paper-shape model measured by the cases.
+pub fn model(output: usize) -> Mlp {
+    Mlp::new(MlpConfig {
+        layer_sizes: vec![6, 256, 256, output],
+        activation: Activation::ReLU,
+        init: InitScheme::HeUniform,
+        seed: 7,
+    })
+}
+
+/// The streamed samples a training step consumes (the trainer pulls owned
+/// samples from the buffer and assembles the batch from them).
+pub fn samples(batch: usize, output: usize) -> Vec<Sample> {
+    (0..batch)
+        .map(|r| {
+            Sample::new(
+                (0..6).map(|k| ((r * 6 + k) % 19) as f32 / 19.0).collect(),
+                (0..output)
+                    .map(|k| ((r * output + k) % 23) as f32 / 23.0)
+                    .collect(),
+                0,
+                r,
+            )
+        })
+        .collect()
+}
+
+/// One seed-style training step: per-step batch assembly, clone-based
+/// forward/backward through the naive kernels, freshly allocated flattened
+/// gradients and a two-pass Adam — the pre-refactor hot path.
+pub fn reference_step(m: &mut Mlp, optimizer: &mut ReferenceAdam, streamed: &[Sample]) -> f32 {
+    let batch = surrogate_nn::Batch::from_owned(streamed);
+    let prediction = m.forward(&batch.inputs);
+    let (loss, grad) = MseLoss.evaluate(&prediction, &batch.targets);
+    m.zero_grads();
+    m.backward(&grad);
+    let grads = m.grads_flat();
+    optimizer.step(m, &grads, 1e-3);
+    loss
+}
+
+/// One workspace training step: reused batch, blocked allocation-free
+/// forward/backward, reused gradient vector and the fused Adam.
+pub fn workspace_step(
+    m: &mut Mlp,
+    optimizer: &mut Adam,
+    ws: &mut surrogate_nn::Workspace,
+    batch: &mut surrogate_nn::Batch,
+    grads: &mut Vec<f32>,
+    streamed: &[Sample],
+) -> f32 {
+    batch.fill_owned(streamed);
+    m.forward_ws(&batch.inputs, ws);
+    let (prediction, grad_out) = ws.output_and_grad_mut();
+    let loss = MseLoss.evaluate_into(prediction, &batch.targets, grad_out);
+    m.backward_ws(ws);
+    m.grads_flat_into(grads);
+    optimizer.step(m, grads, 1e-3);
+    loss
+}
+
+/// Runs one measurement window of `min_seconds` (at least 3 steps) after a
+/// short warm-up and returns samples per second.
+pub fn measure_window(batch: usize, min_seconds: f64, mut step: impl FnMut() -> f32) -> f64 {
+    // Warm-up establishes the steady state (lazy buffers, caches).
+    for _ in 0..2 {
+        std::hint::black_box(step());
+    }
+    let start = Instant::now();
+    let mut steps = 0usize;
+    while steps < 3 || start.elapsed().as_secs_f64() < min_seconds {
+        std::hint::black_box(step());
+        steps += 1;
+    }
+    (steps * batch) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Best of `attempts` windows, each with *freshly constructed* state — this
+/// samples both machine noise and heap-placement luck (buffer alignment can
+/// shift cache aliasing between runs), so the reported rate reflects the
+/// kernels rather than an unlucky allocation.
+pub fn measure_best(attempts: usize, run: impl Fn() -> f64) -> f64 {
+    (0..attempts.max(1)).map(|_| run()).fold(0.0f64, f64::max)
+}
+
+/// Trains both paths side by side and checks the final parameters agree
+/// bit for bit.
+pub fn paths_agree(batch: usize, output: usize) -> bool {
+    let streamed = samples(batch, output);
+    let mut reference = model(output);
+    let mut fast = reference.clone();
+    let mut ref_opt = ReferenceAdam::new(reference.param_count());
+    let mut fast_opt = Adam::new(AdamConfig::default(), fast.param_count());
+    let mut ws = fast.workspace(batch);
+    let mut batch_buf = surrogate_nn::Batch::with_capacity(batch, 6, output);
+    let mut grads = Vec::with_capacity(fast.param_count());
+    for _ in 0..5 {
+        reference_step(&mut reference, &mut ref_opt, &streamed);
+        workspace_step(
+            &mut fast,
+            &mut fast_opt,
+            &mut ws,
+            &mut batch_buf,
+            &mut grads,
+            &streamed,
+        );
+    }
+    reference.params_flat() == fast.params_flat()
+}
+
+/// Runs one full case at the given batch size and measurement window.
+pub fn run_case(batch: usize, output: usize, min_seconds: f64) -> TrainStepCase {
+    let streamed = samples(batch, output);
+    let param_count = model(output).param_count();
+
+    let reference_rate = measure_best(3, || {
+        let mut m = model(output);
+        let mut optimizer = ReferenceAdam::new(param_count);
+        measure_window(batch, min_seconds, || {
+            reference_step(&mut m, &mut optimizer, &streamed)
+        })
+    });
+    let blocked_rate = measure_best(3, || {
+        let mut m = model(output);
+        let mut optimizer = Adam::new(AdamConfig::default(), param_count);
+        let mut ws = m.workspace(batch);
+        let mut batch_buf = surrogate_nn::Batch::with_capacity(batch, 6, output);
+        let mut grads = Vec::with_capacity(param_count);
+        measure_window(batch, min_seconds, || {
+            workspace_step(
+                &mut m,
+                &mut optimizer,
+                &mut ws,
+                &mut batch_buf,
+                &mut grads,
+                &streamed,
+            )
+        })
+    });
+
+    TrainStepCase {
+        output_size: output,
+        param_count,
+        reference_samples_per_second: reference_rate,
+        blocked_samples_per_second: blocked_rate,
+        speedup: blocked_rate / reference_rate,
+        bit_identical: paths_agree(batch, output),
+    }
+}
+
+/// Formats the cases as the JSON fragment shared by both benchmark binaries.
+pub fn cases_to_json(results: &[TrainStepCase]) -> String {
+    let mut out = String::from("[\n");
+    for (k, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"output_size\": {}, \"param_count\": {}, \
+             \"reference_samples_per_second\": {:.2}, \
+             \"blocked_samples_per_second\": {:.2}, \
+             \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+            r.output_size,
+            r.param_count,
+            r.reference_samples_per_second,
+            r.blocked_samples_per_second,
+            r.speedup,
+            r.bit_identical,
+            if k + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Geometric-mean speedup across cases.
+pub fn geomean_speedup(results: &[TrainStepCase]) -> f64 {
+    (results.iter().map(|r| r.speedup.ln()).sum::<f64>() / results.len().max(1) as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paths_compute_the_same_model() {
+        assert!(paths_agree(4, 32));
+    }
+
+    #[test]
+    fn a_tiny_case_runs_and_reports_finite_rates() {
+        let case = run_case(2, 16, 0.01);
+        assert!(case.reference_samples_per_second > 0.0);
+        assert!(case.blocked_samples_per_second > 0.0);
+        assert!(case.speedup.is_finite());
+        assert!(case.bit_identical);
+    }
+}

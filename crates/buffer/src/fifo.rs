@@ -42,6 +42,38 @@ impl<T> FifoBuffer<T> {
             capacity,
         }
     }
+
+    /// The batch-serving core shared by `get_batch` and `get_batch_with`:
+    /// serves up to `n` samples under one lock acquisition, blocking exactly
+    /// where sequential `get`s would (queue empty, reception not over).
+    fn serve_batch(&self, n: usize, mut emit: impl FnMut(T)) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        let mut served = 0;
+        loop {
+            while served < n {
+                match inner.queue.pop_front() {
+                    Some(item) => {
+                        inner.stats.gets += 1;
+                        emit(item);
+                        served += 1;
+                    }
+                    None => break,
+                }
+            }
+            if served == n || inner.reception_over {
+                break;
+            }
+            inner.stats.consumer_waits += 1;
+            self.not_full.notify_all();
+            self.available.wait(&mut inner);
+        }
+        drop(inner);
+        self.not_full.notify_all();
+        served
+    }
 }
 
 impl<T: Clone + Send> TrainingBuffer<T> for FifoBuffer<T> {
@@ -72,6 +104,38 @@ impl<T: Clone + Send> TrainingBuffer<T> for FifoBuffer<T> {
             inner.stats.consumer_waits += 1;
             self.available.wait(&mut inner);
         }
+    }
+
+    /// Whole-batch insertion under one lock acquisition. When the queue fills
+    /// mid-batch the consumer is woken before waiting, so the sequential-`put`
+    /// liveness (every insertion eventually notifies the consumer) is kept.
+    fn put_many(&self, items: &mut Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        for item in items.drain(..) {
+            while inner.queue.len() >= self.capacity {
+                inner.stats.producer_waits += 1;
+                self.available.notify_all();
+                self.not_full.wait(&mut inner);
+            }
+            inner.queue.push_back(item);
+            inner.stats.puts += 1;
+        }
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Whole-batch extraction under one lock acquisition: pops in arrival
+    /// order, waiting whenever the queue empties before the batch is complete
+    /// (exactly where sequential `get`s would block).
+    fn get_batch(&self, n: usize, out: &mut Vec<T>) -> usize {
+        self.serve_batch(n, |item| out.push(item))
+    }
+
+    fn get_batch_with(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
+        self.serve_batch(n, |item| visit(&item))
     }
 
     fn mark_reception_over(&self) {
@@ -192,5 +256,72 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_is_rejected() {
         let _: FifoBuffer<u32> = FifoBuffer::new(0);
+    }
+
+    #[test]
+    fn put_many_and_get_batch_preserve_arrival_order() {
+        let buffer = FifoBuffer::new(32);
+        let mut items: Vec<u32> = (0..10).collect();
+        buffer.put_many(&mut items);
+        assert!(items.is_empty(), "put_many drains the scratch");
+        buffer.mark_reception_over();
+        let mut out = Vec::new();
+        assert_eq!(buffer.get_batch(4, &mut out), 4);
+        assert_eq!(buffer.get_batch(16, &mut out), 6, "partial batch at drain");
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(buffer.get_batch(4, &mut out), 0, "drained signals 0");
+        assert_eq!(buffer.stats().gets, 10);
+        assert_eq!(buffer.stats().puts, 10);
+    }
+
+    #[test]
+    fn get_batch_blocks_until_the_batch_completes() {
+        let buffer = Arc::new(FifoBuffer::new(16));
+        buffer.put(1u32);
+        let consumer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let served = consumer.get_batch(3, &mut out);
+            (served, out)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!handle.is_finished(), "batch of 3 must wait for more data");
+        buffer.put(2);
+        buffer.put(3);
+        let (served, out) = handle.join().unwrap();
+        assert_eq!(served, 3);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn put_many_blocks_at_capacity_until_consumed() {
+        let buffer = Arc::new(FifoBuffer::new(2));
+        let producer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || {
+            let mut items: Vec<u32> = (0..5).collect();
+            producer.put_many(&mut items);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!handle.is_finished(), "batch larger than capacity blocks");
+        let mut out = Vec::new();
+        // A blocked mid-batch producer must still wake this consumer.
+        while out.len() < 5 {
+            buffer.get_batch(5 - out.len(), &mut out);
+        }
+        handle.join().unwrap();
+        assert_eq!(out, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn get_batch_with_visits_the_same_sequence() {
+        let buffer = FifoBuffer::new(16);
+        for k in 0..6u32 {
+            buffer.put(k);
+        }
+        buffer.mark_reception_over();
+        let mut seen = Vec::new();
+        assert_eq!(buffer.get_batch_with(10, &mut |v| seen.push(*v)), 6);
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+        assert!(buffer.is_empty());
     }
 }

@@ -59,6 +59,44 @@ impl<T> FiroBuffer<T> {
     pub fn threshold(&self) -> usize {
         self.threshold
     }
+
+    /// The batch-serving core shared by `get_batch` and `get_batch_with`:
+    /// serves up to `n` random extractions under one lock acquisition. The
+    /// threshold is re-checked before every extraction and the RNG is drawn
+    /// once per served sample, so the population trajectory and the random
+    /// stream are exactly those of sequential `get`s.
+    fn serve_batch(&self, n: usize, mut emit: impl FnMut(T)) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        let mut served = 0;
+        while served < n {
+            let threshold = if inner.reception_over {
+                0
+            } else {
+                self.threshold
+            };
+            if inner.items.len() > threshold {
+                let len = inner.items.len();
+                let idx = inner.rng.gen_range(0..len);
+                let item = inner.items.swap_remove(idx);
+                inner.stats.gets += 1;
+                emit(item);
+                served += 1;
+                continue;
+            }
+            if inner.reception_over && inner.items.is_empty() {
+                break;
+            }
+            inner.stats.consumer_waits += 1;
+            self.not_full.notify_all();
+            self.available.wait(&mut inner);
+        }
+        drop(inner);
+        self.not_full.notify_all();
+        served
+    }
 }
 
 impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
@@ -98,6 +136,34 @@ impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
             inner.stats.consumer_waits += 1;
             self.available.wait(&mut inner);
         }
+    }
+
+    /// Whole-batch insertion under one lock acquisition; the consumer is woken
+    /// before any mid-batch capacity wait so no notification is lost.
+    fn put_many(&self, items: &mut Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        for item in items.drain(..) {
+            while inner.items.len() >= self.capacity {
+                inner.stats.producer_waits += 1;
+                self.available.notify_all();
+                self.not_full.wait(&mut inner);
+            }
+            inner.items.push(item);
+            inner.stats.puts += 1;
+        }
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    fn get_batch(&self, n: usize, out: &mut Vec<T>) -> usize {
+        self.serve_batch(n, |item| out.push(item))
+    }
+
+    fn get_batch_with(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
+        self.serve_batch(n, |item| visit(&item))
     }
 
     fn mark_reception_over(&self) {
@@ -222,5 +288,67 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn threshold_must_be_below_capacity() {
         let _: FiroBuffer<u32> = FiroBuffer::new(4, 4, 0);
+    }
+
+    #[test]
+    fn batched_ops_replay_the_sequential_random_stream() {
+        // Same seed: put/get one at a time vs put_many/get_batch must serve
+        // the identical sequence (the RNG is drawn once per extraction).
+        let sequential = FiroBuffer::new(64, 2, 9);
+        for k in 0..32u32 {
+            sequential.put(k);
+        }
+        sequential.mark_reception_over();
+        let mut expected = Vec::new();
+        while let Some(v) = sequential.get() {
+            expected.push(v);
+        }
+
+        let batched = FiroBuffer::new(64, 2, 9);
+        let mut items: Vec<u32> = (0..32).collect();
+        batched.put_many(&mut items);
+        batched.mark_reception_over();
+        let mut served = Vec::new();
+        while batched.get_batch(5, &mut served) > 0 {}
+        assert_eq!(served, expected);
+    }
+
+    #[test]
+    fn get_batch_respects_the_threshold_mid_batch() {
+        // 6 items, threshold 4: only 2 may be served before the population
+        // reaches the threshold, then the batch must wait.
+        let buffer = Arc::new(FiroBuffer::new(16, 4, 3));
+        for k in 0..6u32 {
+            buffer.put(k);
+        }
+        let consumer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            consumer.get_batch(4, &mut out);
+            out
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!handle.is_finished(), "population at threshold must block");
+        buffer.put(6);
+        buffer.put(7);
+        let out = handle.join().unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(buffer.len(), 4, "population stops at the threshold");
+    }
+
+    #[test]
+    fn put_many_wakes_a_waiting_consumer_when_crossing_the_threshold() {
+        let buffer = Arc::new(FiroBuffer::new(64, 8, 4));
+        let consumer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            consumer.get_batch(3, &mut out);
+            out.len()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!handle.is_finished());
+        let mut items: Vec<u32> = (0..12).collect();
+        buffer.put_many(&mut items);
+        assert_eq!(handle.join().unwrap(), 3);
     }
 }

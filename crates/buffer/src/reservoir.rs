@@ -81,7 +81,9 @@ impl<T> ReservoirBuffer<T> {
         );
         Self {
             inner: Mutex::new(Inner {
-                items: Vec::new(),
+                // Preallocated to capacity so steady-state insertion never
+                // grows the storage (the ingestion path is allocation-free).
+                items: Vec::with_capacity(capacity),
                 seen: 0,
                 reception_over: false,
                 stats: BufferStats::default(),
@@ -107,6 +109,65 @@ impl<T> ReservoirBuffer<T> {
     /// Number of stored samples that have been served at least once.
     pub fn seen_len(&self) -> usize {
         self.inner.lock().seen
+    }
+}
+
+impl<T: Clone> ReservoirBuffer<T> {
+    /// The borrow-based batch-serving core behind
+    /// [`TrainingBuffer::get_batch_with`]: selections, population moves and
+    /// the RNG stream are exactly those of sequential `get`s, but the served
+    /// sample is handed to `visit` as a borrow, so **no clone happens at all**
+    /// — the one clone per pre-drain `get` disappears entirely on this path.
+    fn serve_batch_visit(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        let mut served = 0;
+        while served < n {
+            let total = inner.total();
+            if inner.reception_over {
+                if total == 0 {
+                    break;
+                }
+            } else if total <= self.threshold {
+                inner.stats.consumer_waits += 1;
+                self.not_full.notify_all();
+                self.available.wait(&mut inner);
+                continue;
+            }
+
+            let total = inner.total();
+            let idx = inner.rng.gen_range(0..total);
+            let repeated = if idx >= inner.seen {
+                // Unseen sample: serve it for the first time.
+                if inner.reception_over {
+                    visit(&inner.items[idx]);
+                    inner.items.swap_remove(idx);
+                } else {
+                    let boundary = inner.seen;
+                    inner.items.swap(idx, boundary);
+                    inner.seen += 1;
+                    visit(&inner.items[boundary]);
+                }
+                false
+            } else {
+                // Seen sample: serve it again.
+                visit(&inner.items[idx]);
+                if inner.reception_over {
+                    inner.remove_seen(idx);
+                }
+                true
+            };
+            inner.stats.gets += 1;
+            if repeated {
+                inner.stats.repeated_gets += 1;
+            }
+            served += 1;
+        }
+        drop(inner);
+        self.not_full.notify_all();
+        served
     }
 }
 
@@ -185,6 +246,89 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
             self.not_full.notify_one();
             return Some(item);
         }
+    }
+
+    /// Whole-batch insertion under one lock acquisition: per sample, the
+    /// unseen-full wait and the seen-eviction draw happen exactly as in
+    /// sequential `put`s; the consumer is woken before any mid-batch wait so
+    /// no notification is lost.
+    fn put_many(&self, items: &mut Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        for item in items.drain(..) {
+            while inner.unseen() >= self.capacity {
+                inner.stats.producer_waits += 1;
+                self.available.notify_all();
+                self.not_full.wait(&mut inner);
+            }
+            if inner.total() >= self.capacity {
+                debug_assert!(inner.seen > 0);
+                let seen = inner.seen;
+                let idx = inner.rng.gen_range(0..seen);
+                inner.remove_seen(idx);
+                inner.stats.evictions += 1;
+            }
+            inner.items.push(item);
+            inner.stats.puts += 1;
+        }
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Whole-batch extraction under one lock acquisition; selections and
+    /// clone-vs-move behaviour mirror sequential `get`s exactly (a pre-drain
+    /// serve clones once, a post-drain serve moves the sample out).
+    fn get_batch(&self, n: usize, out: &mut Vec<T>) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        let mut served = 0;
+        while served < n {
+            let total = inner.total();
+            if inner.reception_over {
+                if total == 0 {
+                    break;
+                }
+            } else if total <= self.threshold {
+                inner.stats.consumer_waits += 1;
+                self.not_full.notify_all();
+                self.available.wait(&mut inner);
+                continue;
+            }
+
+            let total = inner.total();
+            let idx = inner.rng.gen_range(0..total);
+            let (item, repeated) = if idx >= inner.seen {
+                if inner.reception_over {
+                    (inner.items.swap_remove(idx), false)
+                } else {
+                    let boundary = inner.seen;
+                    inner.items.swap(idx, boundary);
+                    inner.seen += 1;
+                    (inner.items[boundary].clone(), false)
+                }
+            } else if inner.reception_over {
+                (inner.remove_seen(idx), true)
+            } else {
+                (inner.items[idx].clone(), true)
+            };
+            inner.stats.gets += 1;
+            if repeated {
+                inner.stats.repeated_gets += 1;
+            }
+            out.push(item);
+            served += 1;
+        }
+        drop(inner);
+        self.not_full.notify_all();
+        served
+    }
+
+    fn get_batch_with(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
+        self.serve_batch_visit(n, visit)
     }
 
     fn mark_reception_over(&self) {
@@ -401,5 +545,100 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn threshold_must_be_below_capacity() {
         let _: ReservoirBuffer<u32> = ReservoirBuffer::new(4, 5, 0);
+    }
+
+    #[test]
+    fn batched_ops_replay_the_sequential_random_stream() {
+        let drive_sequential = || {
+            let buffer = ReservoirBuffer::new(16, 2, 21);
+            for k in 0..12u32 {
+                buffer.put(k);
+            }
+            let mut out = Vec::new();
+            for _ in 0..20 {
+                out.push(buffer.get().unwrap());
+            }
+            // Eviction draws interleave with serving draws.
+            for k in 100..110u32 {
+                buffer.put(k);
+            }
+            buffer.mark_reception_over();
+            while let Some(v) = buffer.get() {
+                out.push(v);
+            }
+            (out, buffer.stats())
+        };
+        let drive_batched = || {
+            let buffer = ReservoirBuffer::new(16, 2, 21);
+            let mut items: Vec<u32> = (0..12).collect();
+            buffer.put_many(&mut items);
+            let mut out = Vec::new();
+            for _ in 0..4 {
+                buffer.get_batch(5, &mut out);
+            }
+            let mut items: Vec<u32> = (100..110).collect();
+            buffer.put_many(&mut items);
+            buffer.mark_reception_over();
+            while buffer.get_batch(7, &mut out) > 0 {}
+            (out, buffer.stats())
+        };
+        let (sequential, seq_stats) = drive_sequential();
+        let (batched, batch_stats) = drive_batched();
+        assert_eq!(sequential, batched);
+        assert_eq!(seq_stats.gets, batch_stats.gets);
+        assert_eq!(seq_stats.repeated_gets, batch_stats.repeated_gets);
+        assert_eq!(seq_stats.evictions, batch_stats.evictions);
+    }
+
+    #[test]
+    fn get_batch_with_serves_borrows_and_matches_get_batch() {
+        let build = || {
+            let buffer = ReservoirBuffer::new(16, 1, 5);
+            for k in 0..8u32 {
+                buffer.put(k);
+            }
+            buffer
+        };
+        let owned = build();
+        let mut expected = Vec::new();
+        owned.get_batch(10, &mut expected);
+
+        let visited_buffer = build();
+        let mut visited = Vec::new();
+        let served = visited_buffer.get_batch_with(10, &mut |v| visited.push(*v));
+        assert_eq!(served, 10);
+        assert_eq!(visited, expected);
+        // Pre-drain serving must not change the population.
+        assert_eq!(visited_buffer.len(), 8);
+
+        // After reception ends the visitor path drains and removes.
+        visited_buffer.mark_reception_over();
+        let mut drained = Vec::new();
+        while visited_buffer.get_batch_with(3, &mut |v| drained.push(*v)) > 0 {}
+        assert_eq!(visited_buffer.len(), 0);
+        assert_eq!(drained.len(), 8);
+    }
+
+    #[test]
+    fn put_many_never_discards_unseen_data() {
+        let buffer = Arc::new(ReservoirBuffer::new(4, 1, 2));
+        let mut items: Vec<u32> = (0..4).collect();
+        buffer.put_many(&mut items);
+        let producer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || {
+            let mut items: Vec<u32> = vec![99, 100];
+            producer.put_many(&mut items);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !handle.is_finished(),
+            "put_many must block while the buffer is full of unseen data"
+        );
+        // Serving moves samples to the seen side, making them evictable.
+        let mut out = Vec::new();
+        buffer.get_batch(2, &mut out);
+        handle.join().unwrap();
+        assert_eq!(buffer.stats().evictions, 2);
+        assert_eq!(buffer.len(), 4);
     }
 }

@@ -76,6 +76,59 @@ pub trait TrainingBuffer<T: Clone + Send>: Send + Sync {
     /// Returns `None` once reception is over and the buffer has emptied.
     fn get(&self) -> Option<T>;
 
+    /// Inserts every sample drained from `items`, observationally identical to
+    /// calling [`TrainingBuffer::put`] on each in order (same blocking points,
+    /// same eviction draws). Implementations override this to insert the whole
+    /// batch under a single lock acquisition; `items` is left empty so the
+    /// caller can reuse its allocation as an ingestion scratch.
+    fn put_many(&self, items: &mut Vec<T>) {
+        for item in items.drain(..) {
+            self.put(item);
+        }
+    }
+
+    /// Serves up to `n` samples into `out` (appended), observationally
+    /// identical to `n` sequential [`TrainingBuffer::get`] calls: each sample
+    /// blocks until it may be served, and the batch ends early only when `get`
+    /// would have returned `None` (reception over and the buffer drained).
+    /// Returns the number of samples appended; `0` (for `n > 0`) therefore
+    /// signals termination exactly like `get() == None`. Implementations
+    /// override this to serve the whole batch under one lock acquisition.
+    fn get_batch(&self, n: usize, out: &mut Vec<T>) -> usize {
+        let mut served = 0;
+        while served < n {
+            match self.get() {
+                Some(item) => {
+                    out.push(item);
+                    served += 1;
+                }
+                None => break,
+            }
+        }
+        served
+    }
+
+    /// Zero-copy variant of [`TrainingBuffer::get_batch`]: `visit` is invoked
+    /// once per served sample with a borrow, so the caller can copy the sample
+    /// contents straight into its batch matrices without the intermediate
+    /// owned clone a policy would otherwise have to hand out. Identical
+    /// serving semantics (order, RNG draws, blocking, termination) to
+    /// `get_batch`; the visitor runs under the buffer lock, so it must be
+    /// short and must not touch the buffer.
+    fn get_batch_with(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
+        let mut served = 0;
+        while served < n {
+            match self.get() {
+                Some(item) => {
+                    visit(&item);
+                    served += 1;
+                }
+                None => break,
+            }
+        }
+        served
+    }
+
     /// Signals that no more data will be produced (all clients finished).
     fn mark_reception_over(&self);
 

@@ -99,6 +99,11 @@ pub struct TrainingConfig {
     /// (all available cores for a single rank, serial when ranks already
     /// occupy the cores). Results are bit-identical for every value.
     pub gemm_threads: usize,
+    /// Overlap batch assembly with compute: a per-rank prefetch stage
+    /// assembles batch N+1 from the training buffer while the train step runs
+    /// batch N (double-buffered handoff, single consumer). Sample order and
+    /// training results are bit-identical to the non-prefetch path.
+    pub prefetch: bool,
 }
 
 impl Default for TrainingConfig {
@@ -113,6 +118,7 @@ impl Default for TrainingConfig {
             validation_simulations: 10,
             device: DeviceProfile::default(),
             gemm_threads: 0,
+            prefetch: false,
         }
     }
 }
@@ -413,6 +419,12 @@ impl ExperimentConfigBuilder {
     /// Sets the per-rank GEMM thread count (0 = auto).
     pub fn gemm_threads(mut self, threads: usize) -> Self {
         self.config.training.gemm_threads = threads;
+        self
+    }
+
+    /// Enables or disables the per-rank batch prefetch pipeline.
+    pub fn prefetch(mut self, prefetch: bool) -> Self {
+        self.config.training.prefetch = prefetch;
         self
     }
 

@@ -115,14 +115,15 @@ impl OfflineExperiment {
         let training_start = Instant::now();
 
         // What each training rank reports back: (rank, model replica, loss
-        // history, samples trained, mean wall-clock and compute throughput).
-        type RankOutcome = (usize, Mlp, Vec<LossPoint>, usize, f64, f64);
+        // history, samples trained, mean wall-clock and compute throughput,
+        // rank-local occurrence counts).
+        type OccurrenceMap = HashMap<(u64, usize), u32>;
+        type RankOutcome = (usize, Mlp, Vec<LossPoint>, usize, f64, f64, OccurrenceMap);
 
         // Epoch schedules: shuffled once per epoch with a common seed, then
         // partitioned into equally sized rank shards (PyTorch DistributedSampler).
         let n = disk.len();
         let steps_per_epoch = n / (batch_size * num_ranks);
-        let occurrences: Mutex<HashMap<(u64, usize), u32>> = Mutex::new(HashMap::new());
         let outcomes: Mutex<Vec<RankOutcome>> = Mutex::new(Vec::new());
 
         crossbeam::scope(|scope| {
@@ -131,7 +132,6 @@ impl OfflineExperiment {
                 let grad_sync = Arc::clone(&grad_sync);
                 let validation = Arc::clone(&validation);
                 let mlp_config = mlp_config.clone();
-                let occurrences = &occurrences;
                 let outcomes = &outcomes;
                 let config = &self.config;
                 let epochs = self.epochs;
@@ -155,6 +155,9 @@ impl OfflineExperiment {
                     let mut losses = Vec::new();
                     let mut batches = 0usize;
                     let mut samples_trained = 0usize;
+                    // Rank-local occurrence counts, merged after the join —
+                    // the epoch loop takes no cross-rank lock.
+                    let mut occurrences: OccurrenceMap = HashMap::new();
 
                     for epoch in 0..epochs {
                         // Same permutation on every rank (seeded by epoch).
@@ -166,11 +169,8 @@ impl OfflineExperiment {
                             let offset = (step * num_ranks + rank) * batch_size;
                             let batch_indices = &indices[offset..offset + batch_size];
                             let samples = disk.read_batch(batch_indices);
-                            {
-                                let mut occurrences = occurrences.lock();
-                                for s in &samples {
-                                    *occurrences.entry(s.key()).or_default() += 1;
-                                }
+                            for s in &samples {
+                                *occurrences.entry(s.key()).or_default() += 1;
                             }
                             batch.fill_owned(&samples);
                             model.forward_ws(&batch.inputs, &mut ws);
@@ -233,6 +233,7 @@ impl OfflineExperiment {
                         samples_trained,
                         mean_throughput,
                         mean_compute,
+                        occurrences,
                     ));
                 });
             }
@@ -248,12 +249,18 @@ impl OfflineExperiment {
             losses.extend(rank_losses.iter().copied());
         }
         losses.sort_by_key(|p| p.batches);
-        let samples_trained: usize = outcomes.iter().map(|(_, _, _, s, _, _)| *s).sum();
+        let samples_trained: usize = outcomes.iter().map(|(_, _, _, s, ..)| *s).sum();
         let batches = samples_trained / batch_size;
-        let mean_throughput: f64 = outcomes.iter().map(|(_, _, _, _, t, _)| *t).sum();
-        let mean_compute_throughput: f64 = outcomes.iter().map(|(_, _, _, _, _, c)| *c).sum();
+        let mean_throughput: f64 = outcomes.iter().map(|(_, _, _, _, t, ..)| *t).sum();
+        let mean_compute_throughput: f64 = outcomes.iter().map(|(_, _, _, _, _, c, _)| *c).sum();
 
-        let occurrences = occurrences.into_inner();
+        // Merge the rank-local occurrence counts gathered after the join.
+        let mut occurrences: OccurrenceMap = HashMap::new();
+        for (.., rank_occurrences) in &outcomes {
+            for (key, count) in rank_occurrences {
+                *occurrences.entry(*key).or_default() += count;
+            }
+        }
         let metrics = ExperimentMetrics {
             losses,
             throughput: Vec::new(),

@@ -169,7 +169,9 @@ impl OnlineExperiment {
             .map(|o| o.model.clone())
             .expect("at least one training rank");
 
-        let occurrences = shared.occurrences.lock().clone();
+        // Occurrences are counted rank-locally in the hot loop and merged
+        // here, after the rank threads have joined — no cross-rank lock.
+        let occurrences = crate::trainer::merge_occurrences(&rank_outcomes);
         let histogram = OccurrenceHistogram::from_occurrences(&occurrences);
 
         let mut losses = Vec::new();

@@ -12,28 +12,38 @@
 //! collectives with zero gradients until *every* rank has drained, so no rank
 //! ever blocks on a missing peer (the round is coordinated by a small
 //! "active ranks" all-reduce before each gradient all-reduce).
+//!
+//! Data plane: batches are assembled straight from the training buffer into
+//! the batch matrices ([`crate::sample::fill_batch_from_buffer`]) — one buffer
+//! lock acquisition per batch, no intermediate `Vec<Sample>`, no per-sample
+//! clone. With [`TrainingConfig::prefetch`] enabled, a per-rank prefetch stage
+//! assembles batch N+1 behind a double-buffered handoff while the train step
+//! runs batch N; the prefetcher is the buffer's only consumer, so the sample
+//! stream — and therefore the trained parameters — is bit-identical to the
+//! non-prefetch path.
 
 use crate::config::{DeviceProfile, TrainingConfig};
 use crate::metrics::{LossPoint, ThroughputPoint, ThroughputTracker};
+use crate::sample::fill_batch_from_buffer;
 use crate::validation::ValidationSet;
-use parking_lot::Mutex;
+use crossbeam::channel::bounded;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use surrogate_nn::{
     Adam, AdamConfig, Batch, GradientSynchronizer, Loss, LrSchedule, Mlp, MseLoss, Optimizer,
-    Sample, SampleBasedHalving,
+    Sample, SampleBasedHalving, Workspace,
 };
 use training_buffer::TrainingBuffer;
 
-/// State shared by every rank of one training run.
+/// State shared by every rank of one training run. The hot loop shares only
+/// the collectives — per-sample accounting stays rank-local (see
+/// [`RankOutcome::occurrences`]) so no cross-rank lock is taken per round.
 pub struct TrainerShared {
     /// Gradient all-reduce (vector length = parameter count).
     pub grad_sync: GradientSynchronizer,
     /// One-element all-reduce used to coordinate termination.
     pub status_sync: GradientSynchronizer,
-    /// Per-sample occurrence counts across all ranks (Figure 3).
-    pub occurrences: Mutex<HashMap<(u64, usize), u32>>,
     /// Number of ranks.
     pub num_ranks: usize,
 }
@@ -44,7 +54,6 @@ impl TrainerShared {
         Self {
             grad_sync: GradientSynchronizer::new(num_ranks, param_count),
             status_sync: GradientSynchronizer::new(num_ranks, 1),
-            occurrences: Mutex::new(HashMap::new()),
             num_ranks,
         }
     }
@@ -64,6 +73,10 @@ pub struct RankOutcome {
     pub batches_with_data: usize,
     /// Number of samples this rank consumed from its buffer.
     pub samples_consumed: usize,
+    /// Per-sample occurrence counts of this rank (Figure 3). Counted locally
+    /// in the hot loop and merged across ranks by the orchestrator after the
+    /// rank threads join, replacing the former global occurrence mutex.
+    pub occurrences: HashMap<(u64, usize), u32>,
     /// Loss history (rank 0 only; empty on other ranks).
     pub losses: Vec<LossPoint>,
     /// Throughput measurements of this rank.
@@ -72,6 +85,29 @@ pub struct RankOutcome {
     pub mean_throughput: f64,
     /// Mean throughput with emulated-device stall time subtracted.
     pub mean_compute_throughput: f64,
+}
+
+/// Merges per-rank occurrence counts into one experiment-wide map.
+pub fn merge_occurrences(outcomes: &[RankOutcome]) -> HashMap<(u64, usize), u32> {
+    let mut merged = HashMap::new();
+    for outcome in outcomes {
+        for (key, count) in &outcome.occurrences {
+            *merged.entry(*key).or_default() += count;
+        }
+    }
+    merged
+}
+
+/// The reusable per-rank training state threaded through every round.
+struct RoundState {
+    ws: Workspace,
+    grads: Vec<f32>,
+    tracker: ThroughputTracker,
+    losses: Vec<LossPoint>,
+    occurrences: HashMap<(u64, usize), u32>,
+    rounds: usize,
+    batches_with_data: usize,
+    samples_consumed: usize,
 }
 
 /// The per-rank training loop.
@@ -119,148 +155,251 @@ impl RankTrainer {
     ///
     /// The loop is allocation-free in steady state: the forward/backward
     /// passes borrow a per-trainer [`surrogate_nn::Workspace`], the batch
-    /// matrices and the flattened-gradient vector are reused across rounds,
-    /// and the optimizer keeps its own update buffer.
-    pub fn run(mut self, start: Instant) -> RankOutcome {
-        let loss_fn = MseLoss;
-        let device: DeviceProfile = self.config.device;
+    /// matrices are filled straight from the buffer and reused across rounds,
+    /// the flattened-gradient vector is reused, and the optimizer keeps its
+    /// own update buffer.
+    pub fn run(self, start: Instant) -> RankOutcome {
+        if self.config.prefetch {
+            self.run_prefetch(start)
+        } else {
+            self.run_direct(start)
+        }
+    }
+
+    /// The direct path: the training thread assembles each batch itself, then
+    /// runs the round on it.
+    fn run_direct(mut self, start: Instant) -> RankOutcome {
         let batch_size = self.config.batch_size.max(1);
-        let mut ws = self
-            .model
-            .workspace(batch_size)
-            .with_threads(self.config.effective_gemm_threads());
+        let mut state = self.new_state(batch_size);
         let mut batch = Batch::with_capacity(
             batch_size,
             self.model.input_size(),
             self.model.output_size(),
         );
-        let mut grads: Vec<f32> = Vec::with_capacity(self.model.param_count());
-        let mut samples: Vec<Sample> = Vec::with_capacity(batch_size);
-        let mut tracker = ThroughputTracker::new(10);
-        let mut losses = Vec::new();
-        let mut rounds = 0usize;
-        let mut batches_with_data = 0usize;
-        let mut samples_consumed = 0usize;
-
         loop {
-            // Assemble a batch; `get` blocks until a sample can be served or the
-            // buffer has drained after the end of reception.
-            samples.clear();
-            while samples.len() < batch_size {
-                match self.buffer.get() {
-                    Some(sample) => samples.push(sample),
-                    None => break,
-                }
-            }
-            let has_data = !samples.is_empty();
-
-            // Termination round: how many ranks still have data this round?
-            let mut active_flag = [if has_data { 1.0 } else { 0.0 }];
-            self.shared.status_sync.all_reduce_mean(&mut active_flag);
-            let active_ranks = (active_flag[0] * self.shared.num_ranks as f32).round() as usize;
-            if active_ranks == 0 {
+            let served = fill_batch_from_buffer(self.buffer.as_ref(), &mut batch, batch_size);
+            let data = (served > 0).then_some(&batch);
+            if !self.round(&mut state, data, start) {
                 break;
             }
+        }
+        self.finish(state, start)
+    }
 
-            // Forward/backward on this replica through the reused workspace.
-            let train_loss = if has_data {
-                batch.fill_owned(&samples);
-                self.model.forward_ws(&batch.inputs, &mut ws);
-                let (prediction, grad_out) = ws.output_and_grad_mut();
-                let loss = loss_fn.evaluate_into(prediction, &batch.targets, grad_out);
-                // backward_ws overwrites the gradients — no zeroing pass needed.
-                self.model.backward_ws(&mut ws);
-                let mut occurrences = self.shared.occurrences.lock();
-                for key in &batch.keys {
-                    *occurrences.entry(*key).or_default() += 1;
+    /// The prefetch path: a dedicated stage assembles batch N+1 while the
+    /// round runs batch N. Two batches rotate through a pair of bounded
+    /// single-slot channels (full/empty), so the stage is never more than one
+    /// batch ahead and no batch is ever allocated in steady state. The stage
+    /// is the buffer's only consumer, which keeps the sample stream — and the
+    /// trained parameters — bit-identical to [`RankTrainer::run_direct`].
+    fn run_prefetch(mut self, start: Instant) -> RankOutcome {
+        let batch_size = self.config.batch_size.max(1);
+        let mut state = self.new_state(batch_size);
+        let make_batch = || {
+            Batch::with_capacity(
+                batch_size,
+                self.model.input_size(),
+                self.model.output_size(),
+            )
+        };
+        // full: assembled batches (+ how many samples they hold) travelling to
+        // the trainer; empty: consumed batches travelling back for refill.
+        let (full_tx, full_rx) = bounded::<(Batch, usize)>(1);
+        let (empty_tx, empty_rx) = bounded::<Batch>(2);
+        empty_tx.send(make_batch()).expect("fresh channel");
+        empty_tx.send(make_batch()).expect("fresh channel");
+        let buffer = Arc::clone(&self.buffer);
+
+        let mut outcome = None;
+        crossbeam::scope(|scope| {
+            scope.spawn(move |_| {
+                while let Ok(mut batch) = empty_rx.recv() {
+                    let served = fill_batch_from_buffer(buffer.as_ref(), &mut batch, batch_size);
+                    let drained = served == 0;
+                    if full_tx.send((batch, served)).is_err() || drained {
+                        // The trainer hung up, or the buffer has drained and
+                        // this rank will only run idle rounds from now on.
+                        break;
+                    }
                 }
-                loss
-            } else {
-                self.model.zero_grads();
-                0.0
-            };
+            });
 
-            // Synchronous data parallelism: average the gradients and apply the
-            // identical update on every replica.
-            self.model.grads_flat_into(&mut grads);
-            self.shared.grad_sync.all_reduce_mean(&mut grads);
-
-            // Learning-rate decay is scheduled in *sample* space so that runs
-            // with different rank counts decay at the same point (§4.5). The
-            // sample count is derived deterministically from the round number so
-            // every replica computes the same learning rate.
-            let nominal_samples_seen = (rounds + 1) * batch_size * self.shared.num_ranks;
-            let lr = self
-                .schedule
-                .learning_rate(rounds + 1, nominal_samples_seen);
-            self.optimizer.step(&mut self.model, &grads, lr);
-
-            // The emulated-device stall is measured so throughput reports can
-            // separate kernel time from what the device emulation adds.
-            let stall = if device.extra_batch_delay().is_zero() {
-                Duration::ZERO
-            } else {
-                let stall_start = Instant::now();
-                std::thread::sleep(device.extra_batch_delay());
-                stall_start.elapsed()
-            };
-
-            rounds += 1;
-            if has_data {
-                batches_with_data += 1;
-                samples_consumed += samples.len();
-                tracker.record_batch(samples.len(), stall);
-            } else {
-                // Idle rounds still pay the emulated-device delay; count it so
-                // the compute-throughput metric is not diluted by it.
-                tracker.record_stall(stall);
-            }
-
-            // Rank 0 records the loss history and runs periodic validation
-            // (validation stalls batch consumption, exactly as in the paper).
-            if self.rank == 0 && has_data {
-                let validation_loss = if self.config.validation_interval_batches > 0
-                    && rounds.is_multiple_of(self.config.validation_interval_batches)
-                {
-                    self.validation
-                        .as_ref()
-                        .map(|v| v.evaluate_with(&self.model, &mut ws))
-                } else {
+            let mut drained = false;
+            loop {
+                let batch = if drained {
                     None
+                } else {
+                    match full_rx.recv() {
+                        Ok((batch, served)) if served > 0 => Some(batch),
+                        _ => {
+                            drained = true;
+                            None
+                        }
+                    }
                 };
-                losses.push(LossPoint {
-                    batches: rounds,
-                    samples_seen: nominal_samples_seen,
-                    train_loss,
-                    validation_loss,
-                    elapsed_seconds: start.elapsed().as_secs_f64(),
-                });
+                let proceed = self.round(&mut state, batch.as_ref(), start);
+                if let Some(batch) = batch {
+                    // Hand the consumed batch back for refilling; the stage
+                    // may already have exited if the buffer drained meanwhile.
+                    let _ = empty_tx.send(batch);
+                }
+                if !proceed {
+                    break;
+                }
             }
+            // Unblock the stage if it is still waiting for an empty batch.
+            drop(empty_tx);
+            outcome = Some(self.finish(state, start));
+        })
+        .expect("the prefetch stage panicked");
+        outcome.expect("the prefetch scope always produces an outcome")
+    }
+
+    fn new_state(&mut self, batch_size: usize) -> RoundState {
+        RoundState {
+            ws: self
+                .model
+                .workspace(batch_size)
+                .with_threads(self.config.effective_gemm_threads()),
+            grads: Vec::with_capacity(self.model.param_count()),
+            tracker: ThroughputTracker::new(10),
+            losses: Vec::new(),
+            occurrences: HashMap::new(),
+            rounds: 0,
+            batches_with_data: 0,
+            samples_consumed: 0,
+        }
+    }
+
+    /// One collective round: termination vote, forward/backward (or the idle
+    /// zero-gradient contribution), gradient all-reduce, optimizer step and
+    /// metrics. Returns `false` once every rank has drained. Identical for
+    /// the direct and prefetch paths — only who assembled `batch` differs.
+    fn round(&mut self, state: &mut RoundState, batch: Option<&Batch>, start: Instant) -> bool {
+        let loss_fn = MseLoss;
+        let device: DeviceProfile = self.config.device;
+        let batch_size = self.config.batch_size.max(1);
+        let has_data = batch.is_some();
+
+        // Termination round: how many ranks still have data this round?
+        let mut active_flag = [if has_data { 1.0 } else { 0.0 }];
+        self.shared.status_sync.all_reduce_mean(&mut active_flag);
+        let active_ranks = (active_flag[0] * self.shared.num_ranks as f32).round() as usize;
+        if active_ranks == 0 {
+            return false;
         }
 
-        // A final validation point so every run reports a terminal MSE.
+        // Forward/backward on this replica through the reused workspace.
+        let train_loss = if let Some(batch) = batch {
+            self.model.forward_ws(&batch.inputs, &mut state.ws);
+            let (prediction, grad_out) = state.ws.output_and_grad_mut();
+            let loss = loss_fn.evaluate_into(prediction, &batch.targets, grad_out);
+            // backward_ws overwrites the gradients — no zeroing pass needed.
+            self.model.backward_ws(&mut state.ws);
+            // Rank-local occurrence accounting: merged after the join, so the
+            // hot loop takes no cross-rank lock.
+            for key in &batch.keys {
+                *state.occurrences.entry(*key).or_default() += 1;
+            }
+            loss
+        } else {
+            self.model.zero_grads();
+            0.0
+        };
+
+        // Synchronous data parallelism: average the gradients and apply the
+        // identical update on every replica.
+        self.model.grads_flat_into(&mut state.grads);
+        self.shared.grad_sync.all_reduce_mean(&mut state.grads);
+
+        // Learning-rate decay is scheduled in *sample* space so that runs
+        // with different rank counts decay at the same point (§4.5). The
+        // sample count is derived deterministically from the round number so
+        // every replica computes the same learning rate.
+        let nominal_samples_seen = (state.rounds + 1) * batch_size * self.shared.num_ranks;
+        let lr = self
+            .schedule
+            .learning_rate(state.rounds + 1, nominal_samples_seen);
+        self.optimizer.step(&mut self.model, &state.grads, lr);
+
+        // The emulated-device stall is measured so throughput reports can
+        // separate kernel time from what the device emulation adds.
+        let stall = if device.extra_batch_delay().is_zero() {
+            Duration::ZERO
+        } else {
+            let stall_start = Instant::now();
+            std::thread::sleep(device.extra_batch_delay());
+            stall_start.elapsed()
+        };
+
+        state.rounds += 1;
+        if let Some(batch) = batch {
+            state.batches_with_data += 1;
+            state.samples_consumed += batch.len();
+            state.tracker.record_batch(batch.len(), stall);
+        } else {
+            // Idle rounds still pay the emulated-device delay; count it so
+            // the compute-throughput metric is not diluted by it.
+            state.tracker.record_stall(stall);
+        }
+
+        // Rank 0 records the loss history and runs periodic validation. On
+        // the direct path validation stalls batch consumption exactly as in
+        // the paper; with prefetch enabled the stage may assemble one batch
+        // ahead while validation runs.
+        if self.rank == 0 && has_data {
+            let validation_loss = if self.config.validation_interval_batches > 0
+                && state
+                    .rounds
+                    .is_multiple_of(self.config.validation_interval_batches)
+            {
+                self.validation
+                    .as_ref()
+                    .map(|v| v.evaluate_with(&self.model, &mut state.ws))
+            } else {
+                None
+            };
+            state.losses.push(LossPoint {
+                batches: state.rounds,
+                samples_seen: nominal_samples_seen,
+                train_loss,
+                validation_loss,
+                elapsed_seconds: start.elapsed().as_secs_f64(),
+            });
+        }
+        true
+    }
+
+    /// Final validation point and outcome assembly, shared by both paths.
+    fn finish(self, mut state: RoundState, start: Instant) -> RankOutcome {
+        let batch_size = self.config.batch_size.max(1);
         if self.rank == 0 {
             if let Some(validation) = &self.validation {
-                losses.push(LossPoint {
-                    batches: rounds,
-                    samples_seen: rounds * batch_size * self.shared.num_ranks,
-                    train_loss: losses.last().map(|p| p.train_loss).unwrap_or(f32::NAN),
-                    validation_loss: Some(validation.evaluate_with(&self.model, &mut ws)),
+                state.losses.push(LossPoint {
+                    batches: state.rounds,
+                    samples_seen: state.rounds * batch_size * self.shared.num_ranks,
+                    train_loss: state
+                        .losses
+                        .last()
+                        .map(|p| p.train_loss)
+                        .unwrap_or(f32::NAN),
+                    validation_loss: Some(validation.evaluate_with(&self.model, &mut state.ws)),
                     elapsed_seconds: start.elapsed().as_secs_f64(),
                 });
             }
         }
 
-        let mean_throughput = tracker.mean_throughput();
-        let mean_compute_throughput = tracker.mean_compute_throughput();
+        let mean_throughput = state.tracker.mean_throughput();
+        let mean_compute_throughput = state.tracker.mean_compute_throughput();
         RankOutcome {
             rank: self.rank,
             model: self.model,
-            rounds,
-            batches_with_data,
-            samples_consumed,
-            losses,
-            throughput: tracker.into_points(),
+            rounds: state.rounds,
+            batches_with_data: state.batches_with_data,
+            samples_consumed: state.samples_consumed,
+            occurrences: state.occurrences,
+            losses: state.losses,
+            throughput: state.tracker.into_points(),
             mean_throughput,
             mean_compute_throughput,
         }
@@ -354,6 +493,9 @@ mod tests {
         assert_eq!(outcomes[0].rounds, outcomes[1].rounds);
         let total: usize = outcomes.iter().map(|o| o.samples_consumed).sum();
         assert_eq!(total, 36);
+        // The merged occurrence map accounts for every consumed sample.
+        let merged = merge_occurrences(&outcomes);
+        assert_eq!(merged.values().map(|&v| v as usize).sum::<usize>(), 36);
     }
 
     #[test]
@@ -379,7 +521,7 @@ mod tests {
     }
 
     #[test]
-    fn occurrences_are_tracked() {
+    fn occurrences_are_tracked_per_rank() {
         let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(ReservoirBuffer::new(16, 2, 9));
         for k in 0..16 {
             buffer.put(sample(0, k));
@@ -388,13 +530,12 @@ mod tests {
         let shared = Arc::new(TrainerShared::new(1, model().param_count()));
         let trainer = RankTrainer::new(0, model(), buffer, config(1), None, Arc::clone(&shared));
         let outcome = trainer.run(Instant::now());
-        let occurrences = shared.occurrences.lock();
         assert_eq!(
-            occurrences.len(),
+            outcome.occurrences.len(),
             16,
             "every sample trained on at least once"
         );
-        let total: u32 = occurrences.values().sum();
+        let total: u32 = outcome.occurrences.values().sum();
         assert_eq!(total as usize, outcome.samples_consumed);
     }
 
@@ -420,5 +561,59 @@ mod tests {
             .filter(|p| p.validation_loss.is_some())
             .collect();
         assert!(validated.len() >= 3, "periodic + final validation points");
+    }
+
+    #[test]
+    fn prefetch_path_runs_and_consumes_everything() {
+        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(256));
+        for k in 0..40 {
+            buffer.put(sample(0, k));
+        }
+        buffer.mark_reception_over();
+        let shared = Arc::new(TrainerShared::new(1, model().param_count()));
+        let mut cfg = config(1);
+        cfg.prefetch = true;
+        let trainer = RankTrainer::new(0, model(), buffer, cfg, None, shared);
+        let outcome = trainer.run(Instant::now());
+        assert_eq!(outcome.samples_consumed, 40);
+        assert_eq!(outcome.batches_with_data, 10);
+    }
+
+    #[test]
+    fn prefetch_replicas_stay_identical_across_two_ranks() {
+        let param_count = model().param_count();
+        let shared = Arc::new(TrainerShared::new(2, param_count));
+        let buffers: Vec<Arc<dyn TrainingBuffer<Sample>>> = (0..2)
+            .map(|_| Arc::new(FifoBuffer::new(256)) as Arc<dyn TrainingBuffer<Sample>>)
+            .collect();
+        for k in 0..24 {
+            buffers[0].put(sample(0, k));
+        }
+        for k in 0..12 {
+            buffers[1].put(sample(1, k));
+        }
+        for buffer in &buffers {
+            buffer.mark_reception_over();
+        }
+        let mut handles = Vec::new();
+        for (rank, buffer) in buffers.iter().enumerate() {
+            let mut cfg = config(2);
+            cfg.prefetch = true;
+            let trainer = RankTrainer::new(
+                rank,
+                model(),
+                Arc::clone(buffer),
+                cfg,
+                None,
+                Arc::clone(&shared),
+            );
+            handles.push(std::thread::spawn(move || trainer.run(Instant::now())));
+        }
+        let outcomes: Vec<RankOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            outcomes[0].model.params_flat(),
+            outcomes[1].model.params_flat()
+        );
+        assert_eq!(outcomes[0].rounds, outcomes[1].rounds);
     }
 }

@@ -121,6 +121,36 @@ impl Batch {
         }
     }
 
+    /// Logically empties the batch (keeping the matrix storage) so rows can be
+    /// appended one by one with [`Batch::push_sample`] — the entry point of
+    /// the direct buffer→batch assembly path, where samples served by a
+    /// training buffer land in the batch matrices without an intermediate
+    /// `Vec<Sample>` copy.
+    pub fn clear(&mut self) {
+        self.inputs.resize_rows(0);
+        self.targets.resize_rows(0);
+        self.keys.clear();
+    }
+
+    /// Appends one sample's input/target rows and key. No heap allocation
+    /// while the row count stays within the preallocated capacity.
+    ///
+    /// # Panics
+    /// Panics when the sample's sizes do not match the batch dimensions.
+    pub fn push_sample(&mut self, sample: &Sample) {
+        let input_dim = self.inputs.cols();
+        let output_dim = self.targets.cols();
+        assert_eq!(sample.input.len(), input_dim, "inconsistent input size");
+        assert_eq!(sample.target.len(), output_dim, "inconsistent target size");
+        let r = self.keys.len();
+        self.inputs.resize_rows(r + 1);
+        self.targets.resize_rows(r + 1);
+        self.inputs.data_mut()[r * input_dim..(r + 1) * input_dim].copy_from_slice(&sample.input);
+        self.targets.data_mut()[r * output_dim..(r + 1) * output_dim]
+            .copy_from_slice(&sample.target);
+        self.keys.push(sample.key());
+    }
+
     /// Number of samples in the batch.
     pub fn len(&self) -> usize {
         self.inputs.rows()
@@ -230,6 +260,32 @@ mod tests {
         reusable.fill_owned(&samples[..2]);
         assert_eq!(reusable, Batch::from_owned(&samples[..2]));
         assert_eq!(reusable.len(), 2);
+    }
+
+    #[test]
+    fn incremental_fill_matches_fill_owned() {
+        let samples: Vec<Sample> = (0..4).map(|k| sample(k, k as usize)).collect();
+        let mut incremental = Batch::with_capacity(4, 2, 3);
+        incremental.clear();
+        for s in &samples {
+            incremental.push_sample(s);
+        }
+        let mut reference = Batch::with_capacity(4, 2, 3);
+        reference.fill_owned(&samples);
+        assert_eq!(incremental, reference);
+        // A shorter refill after a longer one must not leak stale rows.
+        incremental.clear();
+        incremental.push_sample(&samples[3]);
+        assert_eq!(incremental.len(), 1);
+        assert_eq!(incremental.keys, vec![samples[3].key()]);
+        assert_eq!(incremental.inputs.row(0), &samples[3].input[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent input size")]
+    fn push_sample_rejects_wrong_width() {
+        let mut batch = Batch::with_capacity(2, 3, 3);
+        batch.push_sample(&sample(1, 0));
     }
 
     #[test]

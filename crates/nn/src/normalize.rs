@@ -83,6 +83,19 @@ impl InputNormalizer {
         self.normalize_in_place(&mut out);
         out
     }
+
+    /// Assembles and normalises the surrogate input `(X, t)` into a reusable
+    /// buffer: `out` is cleared, the parameters and trailing time entry are
+    /// appended and normalised in place. Performs no heap allocation once
+    /// `out` has reached its steady-state capacity — the allocation-free
+    /// replacement for `input_vector()` + [`InputNormalizer::normalize`] on
+    /// the ingestion path.
+    pub fn normalize_into(&self, params: &[f32], time: f32, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(params);
+        out.push(time);
+        self.normalize_in_place(out);
+    }
 }
 
 /// Affine normaliser for output fields (the surrogate targets).
@@ -137,6 +150,15 @@ impl OutputNormalizer {
         out
     }
 
+    /// Normalises a field into a reusable buffer: `out` is cleared and
+    /// refilled with the normalised values. Performs no heap allocation once
+    /// `out` has reached its steady-state capacity.
+    pub fn normalize_into(&self, values: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(values);
+        self.normalize_in_place(out);
+    }
+
     /// Maps a normalised prediction back to physical units.
     pub fn denormalize(&self, values: &[f32]) -> Vec<f32> {
         let span = self.span();
@@ -170,6 +192,27 @@ mod tests {
         assert_eq!(n[1], 0.5);
         assert_eq!(n[2], 1.0);
         assert!((n[5] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_into_matches_the_allocating_paths() {
+        let input_norm = InputNormalizer::for_trajectory(100, 0.01);
+        let params = [100.0, 300.0, 500.0, 200.0, 400.0];
+        let mut raw = params.to_vec();
+        raw.push(0.5);
+        let expected = input_norm.normalize(&raw);
+        let mut out = Vec::new();
+        input_norm.normalize_into(&params, 0.5, &mut out);
+        assert_eq!(out, expected);
+        // Reuse: same result, capacity already sufficient.
+        input_norm.normalize_into(&params, 0.5, &mut out);
+        assert_eq!(out, expected);
+
+        let output_norm = OutputNormalizer::default();
+        let field = [100.0, 250.0, 499.0];
+        let mut out = Vec::new();
+        output_norm.normalize_into(&field, &mut out);
+        assert_eq!(out, output_norm.normalize(&field));
     }
 
     #[test]

@@ -11,9 +11,8 @@
 use crate::fabric::{record_send, Fabric};
 use crate::fault::{Delivery, FaultInjector};
 use crate::message::{Message, SamplePayload};
-use crate::stats::TransportStats;
+use crate::stats::StatsCell;
 use crossbeam::channel::Sender;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -38,7 +37,7 @@ pub struct ClientConnection {
     /// Per-client monotonically increasing sequence number.
     next_sequence: AtomicU64,
     injector: Arc<FaultInjector>,
-    stats: Arc<Mutex<TransportStats>>,
+    stats: Arc<StatsCell>,
 }
 
 impl ClientConnection {
@@ -46,7 +45,7 @@ impl ClientConnection {
         client_id: u64,
         senders: Vec<Sender<Message>>,
         injector: Arc<FaultInjector>,
-        stats: Arc<Mutex<TransportStats>>,
+        stats: Arc<StatsCell>,
     ) -> Self {
         // "The destination of the first time step is chosen according to the
         // client id to limit having all clients sending the same time step to

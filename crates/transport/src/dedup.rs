@@ -24,8 +24,15 @@ impl ClientLog {
         if sequence < self.contiguous_until || self.ahead.contains(&sequence) {
             return false; // duplicate
         }
-        self.ahead.insert(sequence);
-        // Advance the contiguous frontier.
+        if sequence == self.contiguous_until {
+            // Fast path — in-order arrival, the steady state of a healthy
+            // client: advance the frontier directly without touching the
+            // `ahead` set, keeping the ingestion path allocation-free.
+            self.contiguous_until += 1;
+        } else {
+            self.ahead.insert(sequence);
+        }
+        // Advance the contiguous frontier over any previously ahead arrivals.
         while self.ahead.remove(&self.contiguous_until) {
             self.contiguous_until += 1;
         }

@@ -7,9 +7,9 @@
 
 use crate::fault::{Delivery, FaultConfig, FaultInjector};
 use crate::message::Message;
-use crate::stats::TransportStats;
+use crate::stats::{StatsCell, TransportStats};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -41,7 +41,7 @@ pub struct Fabric {
     senders: Vec<Sender<Message>>,
     receivers: Vec<Receiver<Message>>,
     injector: Arc<FaultInjector>,
-    stats: Arc<Mutex<TransportStats>>,
+    stats: Arc<StatsCell>,
 }
 
 impl Fabric {
@@ -67,7 +67,7 @@ impl Fabric {
             senders,
             receivers,
             injector: Arc::new(FaultInjector::new(config.fault)),
-            stats: Arc::new(Mutex::new(TransportStats::default())),
+            stats: Arc::new(StatsCell::default()),
         }
     }
 
@@ -98,10 +98,7 @@ impl Fabric {
     /// Opens a connection for a client; the returned handle owns one sender per
     /// server rank and performs the round-robin dispatch of §3.2.2.
     pub fn connect_client(&self, client_id: u64) -> crate::client::ClientConnection {
-        {
-            let mut stats = self.stats.lock();
-            stats.connections += 1;
-        }
+        self.stats.connections.fetch_add(1, Ordering::Relaxed);
         crate::client::ClientConnection::new(
             client_id,
             self.senders.clone(),
@@ -112,7 +109,7 @@ impl Fabric {
 
     /// A snapshot of the traffic counters.
     pub fn stats(&self) -> TransportStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 }
 
@@ -120,7 +117,7 @@ impl Fabric {
 pub struct ServerEndpoint {
     rank: usize,
     receiver: Receiver<Message>,
-    stats: Arc<Mutex<TransportStats>>,
+    stats: Arc<StatsCell>,
 }
 
 impl ServerEndpoint {
@@ -138,6 +135,35 @@ impl ServerEndpoint {
             }
             Err(_) => None,
         }
+    }
+
+    /// Non-blocking batched receive: drains up to `max` queued messages into
+    /// `out` (appended) under a single channel lock, with a single sender
+    /// wake-up and a single traffic-counter update for the whole burst —
+    /// the aggregator's steady-state drain path. Returns the number of
+    /// messages moved.
+    pub fn try_recv_many(&self, out: &mut Vec<Message>, max: usize) -> usize {
+        let before = out.len();
+        let moved = self.receiver.recv_many(out, max);
+        if moved == 0 {
+            return 0;
+        }
+        let mut delivered = 0usize;
+        let mut finalized = 0usize;
+        for msg in &out[before..] {
+            match msg {
+                Message::TimeStep { .. } => delivered += 1,
+                Message::Finalize { .. } => finalized += 1,
+                Message::Connect { .. } => {}
+            }
+        }
+        self.stats
+            .messages_delivered
+            .fetch_add(delivered, Ordering::Relaxed);
+        self.stats
+            .finalized_clients
+            .fetch_add(finalized, Ordering::Relaxed);
+        moved
     }
 
     /// Blocking receive with a timeout; `None` on timeout or when every sender
@@ -158,23 +184,32 @@ impl ServerEndpoint {
     }
 
     fn account(&self, msg: &Message) {
-        let mut stats = self.stats.lock();
         match msg {
-            Message::TimeStep { .. } => stats.messages_delivered += 1,
-            Message::Finalize { .. } => stats.finalized_clients += 1,
+            Message::TimeStep { .. } => {
+                self.stats
+                    .messages_delivered
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Message::Finalize { .. } => {
+                self.stats.finalized_clients.fetch_add(1, Ordering::Relaxed);
+            }
             Message::Connect { .. } => {}
         }
     }
 }
 
-/// Internal hook used by [`crate::client::ClientConnection`] to record a send.
-pub(crate) fn record_send(stats: &Mutex<TransportStats>, bytes: usize, delivery: Delivery) {
-    let mut stats = stats.lock();
-    stats.messages_sent += 1;
-    stats.bytes_sent += bytes as u64;
+/// Internal hook used by [`crate::client::ClientConnection`] to record a send
+/// — lock-free, so concurrent clients never contend on the counters.
+pub(crate) fn record_send(stats: &StatsCell, bytes: usize, delivery: Delivery) {
+    stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+    stats.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
     match delivery {
-        Delivery::Drop => stats.messages_dropped += 1,
-        Delivery::Duplicate => stats.messages_duplicated += 1,
+        Delivery::Drop => {
+            stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        Delivery::Duplicate => {
+            stats.messages_duplicated.fetch_add(1, Ordering::Relaxed);
+        }
         Delivery::Deliver => {}
     }
 }
@@ -296,6 +331,36 @@ mod tests {
         let stats = fabric.stats();
         assert!(stats.bytes_sent > 0);
         assert_eq!(stats.connections, 1);
+    }
+
+    #[test]
+    fn try_recv_many_drains_in_order_with_batched_accounting() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let endpoints = fabric.server_endpoints();
+        let client = fabric.connect_client(0);
+        for step in 0..7 {
+            client.send(payload(step)).unwrap();
+        }
+        client.finalize().unwrap();
+        let mut out = Vec::new();
+        assert_eq!(endpoints[0].try_recv_many(&mut out, 5), 5);
+        assert_eq!(
+            endpoints[0].try_recv_many(&mut out, 64),
+            3,
+            "2 steps + finalize"
+        );
+        assert_eq!(endpoints[0].try_recv_many(&mut out, 64), 0);
+        let steps: Vec<usize> = out
+            .iter()
+            .filter_map(|m| match m {
+                Message::TimeStep { payload, .. } => Some(payload.step),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steps, (0..7).collect::<Vec<_>>());
+        let stats = fabric.stats();
+        assert_eq!(stats.messages_delivered, 7);
+        assert_eq!(stats.finalized_clients, 1);
     }
 
     #[test]

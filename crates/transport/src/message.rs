@@ -80,19 +80,35 @@ impl Message {
         }
     }
 
-    /// Approximate transported size in bytes.
+    /// Exact transported size in bytes: the length of the frame
+    /// [`Message::encode`] produces (the roundtrip tests pin the equality), so
+    /// transport volume accounting matches the wire format byte for byte.
     pub fn wire_bytes(&self) -> usize {
         match self {
-            Message::Connect { .. } => 9,
-            Message::Finalize { .. } => 17,
-            Message::TimeStep { payload, .. } => 17 + payload.payload_bytes(),
+            // tag + client_id.
+            Message::Connect { .. } => 1 + 8,
+            // tag + client_id + sent_messages.
+            Message::Finalize { .. } => 1 + 8 + 8,
+            // tag + client_id + sequence + simulation_id + step + time
+            // + two u32 length prefixes + the f32 parameters and values.
+            Message::TimeStep { payload, .. } => {
+                1 + 8
+                    + 8
+                    + 8
+                    + 8
+                    + 8
+                    + 4
+                    + 4 * payload.parameters.len()
+                    + 4
+                    + 4 * payload.values.len()
+            }
         }
     }
 
     /// Encodes the message into a length-prefixed binary frame (the stand-in for
     /// the ZMQ wire format, used by the volume accounting and by tests).
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_bytes() + 16);
+        let mut buf = BytesMut::with_capacity(self.wire_bytes());
         match self {
             Message::Connect { client_id } => {
                 buf.put_u8(0);
@@ -158,7 +174,10 @@ impl Message {
                 if frame.remaining() < n_params * 4 + 4 {
                     return Err(DecodeError::Truncated);
                 }
-                let mut parameters = Vec::with_capacity(n_params);
+                // One spare slot beyond the parameters: the server-side
+                // ingestion appends the time entry in place to build the
+                // surrogate input without reallocating.
+                let mut parameters = Vec::with_capacity(n_params + 1);
                 for _ in 0..n_params {
                     parameters.push(frame.get_f32());
                 }
@@ -247,7 +266,13 @@ mod tests {
             sequence: 99,
             payload: payload(),
         };
-        let decoded = Message::decode(msg.encode()).unwrap();
+        let frame = msg.encode();
+        assert_eq!(
+            frame.len(),
+            msg.wire_bytes(),
+            "wire_bytes must be exact for TimeStep"
+        );
+        let decoded = Message::decode(frame).unwrap();
         assert_eq!(decoded, msg);
     }
 
@@ -260,7 +285,31 @@ mod tests {
                 sent_messages: 1234,
             },
         ] {
-            assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+            let frame = msg.encode();
+            assert_eq!(frame.len(), msg.wire_bytes(), "wire_bytes must be exact");
+            assert_eq!(Message::decode(frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn wire_bytes_is_exact_for_every_payload_shape() {
+        for (n_params, n_values) in [(0usize, 0usize), (5, 1), (5, 256), (3, 17)] {
+            let msg = Message::TimeStep {
+                client_id: 7,
+                sequence: 1,
+                payload: SamplePayload {
+                    simulation_id: 2,
+                    step: 3,
+                    time: 0.5,
+                    parameters: vec![1.0; n_params],
+                    values: vec![2.0; n_values],
+                },
+            };
+            assert_eq!(
+                msg.encode().len(),
+                msg.wire_bytes(),
+                "{n_params} params, {n_values} values"
+            );
         }
     }
 

@@ -166,6 +166,26 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Dequeues up to `max` queued messages into `out` (appended) without
+    /// blocking, under a single channel lock and with a single wake-up of
+    /// blocked senders — the batched counterpart of repeated
+    /// [`try_recv`](Self::try_recv) for drain-style consumers. Returns the
+    /// number of messages moved.
+    pub fn recv_many(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut state = self.shared.lock();
+        let take = state.queue.len().min(max);
+        out.extend(state.queue.drain(..take));
+        drop(state);
+        if take > 0 {
+            // Many slots freed at once: wake every blocked sender.
+            self.shared.not_full.notify_all();
+        }
+        take
+    }
+
     /// Number of queued messages.
     pub fn len(&self) -> usize {
         self.shared.lock().queue.len()
@@ -360,6 +380,27 @@ mod tests {
         assert_eq!(err, RecvTimeoutError::Timeout);
         tx.send(9).unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 9);
+    }
+
+    #[test]
+    fn recv_many_drains_in_order_and_wakes_senders() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        // A sender blocked on the full channel must be woken by the drain.
+        let blocked = thread::spawn(move || tx.send(4).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        let mut out = Vec::new();
+        assert_eq!(rx.recv_many(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        blocked.join().unwrap();
+        assert_eq!(rx.recv_many(&mut out, 16), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        // Empty channel: nothing moved, nothing blocked.
+        assert_eq!(rx.recv_many(&mut out, 16), 0);
+        assert_eq!(rx.recv_many(&mut out, 0), 0);
+        assert_eq!(out.len(), 5);
     }
 
     #[test]
