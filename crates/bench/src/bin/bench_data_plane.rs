@@ -1,9 +1,10 @@
 //! Data-plane throughput benchmark: measures the rebuilt
 //! reception→buffer→batch pipeline against the seed-style path **in the same
-//! run**, and emits `BENCH_pr4.json` — the PR 4 baseline next to the PR 3
-//! train-step cases (re-run here so the JSON carries the full trajectory).
+//! run**, and emits `BENCH_pr5.json` — the sharded-ingestion sweep next to
+//! the PR 4 data-plane cases and the PR 3 train-step cases (re-run here so
+//! the JSON carries the full trajectory).
 //!
-//! Three data-plane measurements plus one training measurement:
+//! Measurements:
 //!
 //! * **ingestion** — messages/s through the aggregator conversion+insert
 //!   path: seed style (per-message `input_vector()` clone+extend, two
@@ -17,11 +18,16 @@
 //! * **end-to-end** — samples/s through the full two-thread §3.1 pipeline
 //!   (clients → fabric → aggregator → buffer → batch assembly with
 //!   occurrence accounting), seed style vs. new, same run.
+//! * **sharded ingestion** — samples/s through the full reception path
+//!   (clients → sharded fabric → shard workers → sharded buffer) swept over
+//!   the ingest-shard counts of `--shards` (default 1,2,4). On a multi-core
+//!   runner the rate should rise with the shard count; the JSON records
+//!   `available_parallelism` so single-core results read correctly.
 //! * **prefetch train** — a real `RankTrainer` run with the prefetch pipeline
 //!   off vs. on; the final parameters are asserted bit-identical.
 //!
 //! Usage:
-//!   bench_data_plane [--quick] [--out PATH]
+//!   bench_data_plane [--quick] [--out PATH] [--shards 1,2,4]
 
 use melissa::trainer::{RankTrainer, TrainerShared};
 use melissa::{fill_batch_from_buffer, payload_into_sample, Aggregator, TrainingConfig};
@@ -38,7 +44,9 @@ use std::time::{Duration, Instant};
 use surrogate_nn::{
     Activation, Batch, InitScheme, InputNormalizer, Mlp, MlpConfig, OutputNormalizer, Sample,
 };
-use training_buffer::{FifoBuffer, ReservoirBuffer, TrainingBuffer};
+use training_buffer::{
+    BufferConfig, BufferKind, FifoBuffer, ReservoirBuffer, ShardedBuffer, TrainingBuffer,
+};
 
 const PARAM_DIM: usize = 5;
 const BATCH: usize = 10;
@@ -250,8 +258,24 @@ fn end_to_end_rate(new_path: bool, sizes: &Sizes) -> f64 {
         num_server_ranks: 1,
         channel_capacity: 4096,
         fault: FaultConfig::none(),
+        ..FabricConfig::default()
     });
-    let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(4096));
+    // The new-path rank owns a single-shard ShardedBuffer (bit-identical
+    // delegation to the plain FIFO); the seed path keeps the plain buffer.
+    let sharded: Arc<ShardedBuffer<Sample>> = Arc::new(ShardedBuffer::new(
+        &BufferConfig {
+            kind: BufferKind::Fifo,
+            capacity: 4096,
+            threshold: 1,
+            seed: 17,
+        },
+        1,
+    ));
+    let buffer: Arc<dyn TrainingBuffer<Sample>> = if new_path {
+        Arc::clone(&sharded) as Arc<dyn TrainingBuffer<Sample>>
+    } else {
+        Arc::new(FifoBuffer::new(4096))
+    };
     let in_norm = input_norm();
     let out_norm = OutputNormalizer::default();
     let per_client = sizes.end_to_end_msgs / sizes.clients;
@@ -295,8 +319,8 @@ fn end_to_end_rate(new_path: bool, sizes: &Sizes) -> f64 {
         let endpoint = fabric.server_endpoints().remove(0);
         if new_path {
             let aggregator = Aggregator::new(
-                endpoint,
-                Arc::clone(&buffer),
+                vec![endpoint],
+                Arc::clone(&sharded),
                 in_norm.clone(),
                 out_norm.clone(),
                 sizes.clients,
@@ -378,6 +402,96 @@ fn end_to_end_rate(new_path: bool, sizes: &Sizes) -> f64 {
     total as f64 / elapsed
 }
 
+// --------------------------------------------------------- sharded ingestion
+
+/// Full reception-path throughput of one rank running `shards` ingest
+/// shards: ensemble clients → sharded fabric → shard workers (dedup log +
+/// in-place conversion) → sharded buffer. No training consumer — the buffer
+/// is sized to hold everything, so the measured rate is the ingestion
+/// capacity of the rank, the quantity sharding is meant to scale. The client
+/// count is fixed by the caller across the whole sweep, so every point of
+/// the sweep measures the identical producer workload; like the other
+/// stages, the best of three attempts is reported so scheduler noise (which
+/// dominates thread-heavy runs on few cores) does not decide the shape.
+fn sharded_ingestion_rate(shards: usize, clients: usize, sizes: &Sizes) -> f64 {
+    (0..3)
+        .map(|_| sharded_ingestion_attempt(shards, clients, sizes))
+        .fold(0.0f64, f64::max)
+}
+
+fn sharded_ingestion_attempt(shards: usize, clients: usize, sizes: &Sizes) -> f64 {
+    let per_client = sizes.end_to_end_msgs / clients;
+    let total = per_client * clients;
+    let fabric = Fabric::new(FabricConfig {
+        num_server_ranks: 1,
+        shards_per_rank: shards,
+        channel_capacity: 4096,
+        fault: FaultConfig::none(),
+    });
+    // Per-shard capacity = total, so a skewed client→shard hash can never
+    // block a producer on a full shard (nothing consumes during the run).
+    let buffer: Arc<ShardedBuffer<Sample>> = Arc::new(ShardedBuffer::new(
+        &BufferConfig {
+            kind: BufferKind::Fifo,
+            capacity: total * shards,
+            threshold: 1,
+            seed: 17,
+        },
+        shards,
+    ));
+    let in_norm = input_norm();
+    let out_norm = OutputNormalizer::default();
+    let start = Instant::now();
+
+    crossbeam::scope(|scope| {
+        for client_id in 0..clients {
+            let connection = fabric.connect_client(client_id as u64);
+            let field = sizes.field;
+            scope.spawn(move |_| {
+                let pool: Vec<SamplePayload> = (0..64)
+                    .map(|s| make_payload(client_id as u64, s, field))
+                    .collect();
+                for step in 0..per_client {
+                    let template = &pool[step % pool.len()];
+                    let mut parameters = Vec::with_capacity(template.parameters.len() + 1);
+                    parameters.extend_from_slice(&template.parameters);
+                    let payload = SamplePayload {
+                        simulation_id: template.simulation_id,
+                        step: template.step,
+                        time: template.time,
+                        parameters,
+                        values: template.values.clone(),
+                    };
+                    let _ = connection.send(payload);
+                }
+                let _ = connection.finalize();
+            });
+        }
+
+        let endpoints = fabric.rank_shard_endpoints().remove(0);
+        let aggregator = Aggregator::new(
+            endpoints,
+            Arc::clone(&buffer),
+            in_norm.clone(),
+            out_norm.clone(),
+            clients,
+            Arc::new(AtomicBool::new(false)),
+        );
+        scope.spawn(move |_| {
+            aggregator.run(start);
+        });
+    })
+    .expect("a sharded-ingestion thread panicked");
+
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        buffer.len(),
+        total,
+        "every sent sample must be stored exactly once"
+    );
+    total as f64 / elapsed
+}
+
 // ----------------------------------------------------------- prefetch train
 
 fn prefetch_model(field: usize) -> Mlp {
@@ -434,7 +548,13 @@ impl PairResult {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let shard_counts: Vec<usize> = arg_value("--shards")
+        .unwrap_or_else(|| "1,2,4".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&s| s > 0)
+        .collect();
     let sizes = if quick { Sizes::quick() } else { Sizes::full() };
 
     println!(
@@ -454,6 +574,20 @@ fn main() {
         seed: end_to_end_rate(false, &sizes),
         new: end_to_end_rate(true, &sizes),
     };
+    // One client count for the whole sweep (enough to feed the largest shard
+    // count), so the points differ only in the shard count under test.
+    let sweep_clients = sizes
+        .clients
+        .max(2 * shard_counts.iter().copied().max().unwrap_or(1));
+    let sharded: Vec<(usize, f64)> = shard_counts
+        .iter()
+        .map(|&shards| {
+            (
+                shards,
+                sharded_ingestion_rate(shards, sweep_clients, &sizes),
+            )
+        })
+        .collect();
     let (prefetch_off_rate, params_off) = prefetch_train_run(false, &sizes);
     let (prefetch_on_rate, params_on) = prefetch_train_run(true, &sizes);
     let prefetch_identical = params_off == params_on;
@@ -493,6 +627,22 @@ fn main() {
         ],
     );
 
+    let base_rate = sharded.first().map(|&(_, r)| r).unwrap_or(0.0);
+    print_series(
+        "sharded ingestion (full reception path, 1 rank)",
+        &["shards", "samples/s", "vs 1 shard"],
+        &sharded
+            .iter()
+            .map(|&(shards, rate)| {
+                vec![
+                    format!("{shards}"),
+                    format!("{rate:.0}"),
+                    format!("{:.2}x", rate / base_rate),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
     // The PR 3 train-step cases, re-run for the trajectory.
     let mut train_cases = Vec::new();
     for &output in sizes.train_step_outputs {
@@ -510,7 +660,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"data_plane\",\n");
-    json.push_str("  \"pr\": \"pr4\",\n");
+    json.push_str("  \"pr\": \"pr5\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"field_len\": {},\n", sizes.field));
     json.push_str(&format!("  \"batch_size\": {BATCH},\n"));
@@ -532,6 +682,15 @@ fn main() {
         "  \"end_to_end\": {{\"seed_samples_per_second\": {:.2}, \"new_samples_per_second\": {:.2}, \"speedup\": {:.3}}},\n",
         end_to_end.seed, end_to_end.new, end_to_end.speedup()
     ));
+    json.push_str("  \"sharded_ingestion\": [\n");
+    for (i, &(shards, rate)) in sharded.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"samples_per_second\": {rate:.2}, \"speedup_vs_one_shard\": {:.3}}}{}\n",
+            rate / base_rate,
+            if i + 1 < sharded.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"prefetch_train\": {{\"off_samples_per_second\": {:.2}, \"on_samples_per_second\": {:.2}, \"speedup\": {:.3}, \"bit_identical\": {}}},\n",
         prefetch_off_rate,

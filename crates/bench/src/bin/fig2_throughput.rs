@@ -4,14 +4,22 @@
 //! ```bash
 //! cargo run -p melissa-bench --release --bin fig2_throughput -- --scale 0.06
 //! ```
+//!
+//! `--ingest-shards <n>` runs the rank's reception path with `n` aggregator
+//! shard workers (default 1, the paper's single-aggregator design).
 
-use melissa_bench::{arg_f64, figure_config, header, print_series, print_summary, run_online};
+use melissa::ExperimentConfigBuilder;
+use melissa_bench::{
+    arg_f64, arg_usize, figure_config, header, print_series, print_summary, run_online,
+};
 use training_buffer::BufferKind;
 
 fn main() {
     let scale = arg_f64("--scale", 0.06);
+    let ingest_shards = arg_usize("--ingest-shards", 1);
     header(&format!(
-        "Figure 2: throughput and buffer population over time (scale {scale}, 1 rank)"
+        "Figure 2: throughput and buffer population over time \
+         (scale {scale}, 1 rank, {ingest_shards} ingest shard(s))"
     ));
     println!(
         "Paper setting: 250 simulations in series of 100/100/50 concurrent clients, batch 10,\n\
@@ -19,7 +27,10 @@ fn main() {
     );
 
     for kind in BufferKind::ALL {
-        let config = figure_config(scale, kind, 1);
+        let config = ExperimentConfigBuilder::from_config(figure_config(scale, kind, 1))
+            .ingest_shards(ingest_shards)
+            .build()
+            .expect("shard count validated against the campaign");
         let (_, report) = run_online(config);
         header(&format!("{} buffer", kind.label()));
         print_summary(&report);

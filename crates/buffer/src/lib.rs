@@ -34,6 +34,7 @@ pub mod fifo;
 pub mod firo;
 pub mod reservoir;
 pub mod sampling;
+pub mod sharded;
 pub mod stats;
 pub mod traits;
 
@@ -41,6 +42,7 @@ pub use fifo::FifoBuffer;
 pub use firo::FiroBuffer;
 pub use reservoir::ReservoirBuffer;
 pub use sampling::ReservoirSampler;
+pub use sharded::{shard_draw_seed, shard_seed, ShardedBuffer};
 pub use stats::{BufferStats, OccupancySnapshot};
 pub use traits::{BufferConfig, BufferKind, TrainingBuffer};
 

@@ -1,4 +1,5 @@
-//! The data-aggregator thread of one server rank.
+//! The data-aggregation side of one server rank: shard workers plus a rank
+//! coordinator.
 //!
 //! §3.1: *"Each server process runs two threads. The data aggregator thread
 //! manages connections to clients, receives data and stores these data into the
@@ -6,21 +7,36 @@
 //! messages already received from a restarted client are discarded (§3.1), and
 //! it decides when data reception is over so the buffer can drain and training
 //! can terminate.
+//!
+//! This reproduction generalises the paper's single aggregator thread to
+//! `ingest_shards` **shard workers** per rank. The transport routes every
+//! message of one simulation to the same shard (stable hash of the simulation
+//! id), so each worker owns a disjoint set of clients: its [`MessageLog`] is
+//! private, contention-free, and still complete for the clients it serves.
+//! Each worker drains its own channel and inserts into its own shard of the
+//! rank's [`ShardedBuffer`] — the wire→buffer path shares **nothing** between
+//! shards except two rank-level atomics. The rank coordinator
+//! ([`Aggregator::run`]) owns the cross-shard bookkeeping: the finalize
+//! counter every worker checks for termination, the merge of the per-shard
+//! outcomes, and the single `mark_reception_over` handoff to the trainer.
+//! With one shard the worker runs inline on the rank's aggregator thread —
+//! no extra thread, no behaviour change from the single-aggregator design.
 
 use crate::sample::payload_into_sample;
 use melissa_transport::{Message, MessageLog, ServerEndpoint};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use surrogate_nn::{InputNormalizer, OutputNormalizer, Sample};
-use training_buffer::{OccupancySnapshot, TrainingBuffer};
+use training_buffer::{OccupancySnapshot, ShardedBuffer, TrainingBuffer};
 
-/// Summary of one aggregator's work, returned when its thread exits.
+/// Summary of one rank's aggregation work (all shards merged), returned when
+/// the rank's aggregation completes.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AggregatorOutcome {
     /// Time-step messages accepted into the buffer.
     pub accepted: usize,
-    /// Replayed messages discarded thanks to the message log.
+    /// Replayed messages discarded thanks to the message logs.
     pub duplicates_discarded: usize,
     /// Clients that sent their finalize message to this rank.
     pub finalized_clients: usize,
@@ -28,10 +44,12 @@ pub struct AggregatorOutcome {
     pub occupancy: Vec<OccupancySnapshot>,
 }
 
-/// The data-aggregator of one server rank.
+/// The data-aggregation coordinator of one server rank: drives one shard
+/// worker per endpoint and merges their outcomes.
 pub struct Aggregator {
-    endpoint: ServerEndpoint,
-    buffer: Arc<dyn TrainingBuffer<Sample>>,
+    /// One endpoint per ingest shard of this rank.
+    endpoints: Vec<ServerEndpoint>,
+    buffer: Arc<ShardedBuffer<Sample>>,
     input_norm: InputNormalizer,
     output_norm: OutputNormalizer,
     /// Number of clients expected to finalize before reception is over.
@@ -50,18 +68,30 @@ impl Aggregator {
     /// flushed to the buffer and the snapshot/termination checks run again.
     const MAX_BURST: usize = 256;
 
-    /// Creates the aggregator of one rank. The normalisers must match the
+    /// Creates the aggregator of one rank: one shard worker per endpoint,
+    /// inserting into the matching shard of `buffer` (the endpoint count must
+    /// equal the buffer's shard count). The normalisers must match the
     /// workload whose payloads this rank receives.
+    ///
+    /// # Panics
+    /// Panics when no endpoint is given or the endpoint and buffer shard
+    /// counts disagree.
     pub fn new(
-        endpoint: ServerEndpoint,
-        buffer: Arc<dyn TrainingBuffer<Sample>>,
+        endpoints: Vec<ServerEndpoint>,
+        buffer: Arc<ShardedBuffer<Sample>>,
         input_norm: InputNormalizer,
         output_norm: OutputNormalizer,
         expected_clients: usize,
         production_done: Arc<AtomicBool>,
     ) -> Self {
+        assert!(!endpoints.is_empty(), "need at least one shard endpoint");
+        assert_eq!(
+            endpoints.len(),
+            buffer.shard_count(),
+            "one endpoint per buffer shard"
+        );
         Self {
-            endpoint,
+            endpoints,
             buffer,
             input_norm,
             output_norm,
@@ -78,28 +108,128 @@ impl Aggregator {
         self
     }
 
-    /// Runs the aggregation loop until reception is over; returns the summary.
+    /// Number of ingest shards this rank runs.
+    pub fn shard_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Runs the rank's aggregation until reception is over; returns the
+    /// merged summary.
     ///
     /// Reception is over when either every expected client has finalized on
-    /// this rank, or the orchestrator has signalled the end of data production
-    /// and the inbound queue has drained.
-    ///
+    /// this rank (counted across shards through a rank-level atomic), or the
+    /// orchestrator has signalled the end of data production and every
+    /// shard's inbound queue has drained. With one shard the worker runs
+    /// inline on the calling thread; with more, each worker gets its own
+    /// thread and the coordinator joins them before handing the buffer over
+    /// to the trainer with a single `mark_reception_over`.
+    pub fn run(self, start: Instant) -> AggregatorOutcome {
+        let Self {
+            endpoints,
+            buffer,
+            input_norm,
+            output_norm,
+            expected_clients,
+            production_done,
+            snapshot_every,
+            poll_timeout,
+        } = self;
+        let finalized = AtomicUsize::new(0);
+        let multi_shard = endpoints.len() > 1;
+
+        let make_worker = |(index, endpoint): (usize, ServerEndpoint)| ShardWorker {
+            endpoint,
+            buffer: buffer.as_ref(),
+            input_norm: &input_norm,
+            output_norm: &output_norm,
+            expected_clients,
+            production_done: production_done.as_ref(),
+            finalized: &finalized,
+            // Shard 0 owns the rank's occupancy sampling; the others skip the
+            // clock entirely.
+            take_snapshots: index == 0,
+            snapshot_every,
+            poll_timeout,
+        };
+
+        let shard_outcomes: Vec<ShardOutcome> = if multi_shard {
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = endpoints
+                    .into_iter()
+                    .enumerate()
+                    .map(|indexed| {
+                        let worker = make_worker(indexed);
+                        scope.spawn(move |_| worker.run(start))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("a shard worker panicked"))
+                    .collect()
+            })
+            .expect("the shard-worker scope panicked")
+        } else {
+            let worker = make_worker((0, endpoints.into_iter().next().expect("one endpoint")));
+            vec![worker.run(start)]
+        };
+
+        let mut outcome = AggregatorOutcome::default();
+        for shard in shard_outcomes {
+            outcome.accepted += shard.accepted;
+            outcome.duplicates_discarded += shard.duplicates_discarded;
+            outcome.occupancy.extend(shard.occupancy);
+        }
+        outcome.finalized_clients = finalized.load(Ordering::Acquire);
+        outcome.occupancy.push(snapshot(buffer.as_ref(), start));
+        buffer.mark_reception_over();
+        outcome
+    }
+}
+
+/// What one shard worker measured.
+struct ShardOutcome {
+    accepted: usize,
+    duplicates_discarded: usize,
+    occupancy: Vec<OccupancySnapshot>,
+}
+
+/// The receive loop of one ingest shard. The transport guarantees all
+/// messages of one simulation land on the same shard, so `log` is complete
+/// for this worker's clients without any cross-shard coordination.
+struct ShardWorker<'a> {
+    endpoint: ServerEndpoint,
+    buffer: &'a ShardedBuffer<Sample>,
+    input_norm: &'a InputNormalizer,
+    output_norm: &'a OutputNormalizer,
+    expected_clients: usize,
+    production_done: &'a AtomicBool,
+    /// Rank-level finalize counter shared by every shard worker.
+    finalized: &'a AtomicUsize,
+    take_snapshots: bool,
+    snapshot_every: Duration,
+    poll_timeout: Duration,
+}
+
+impl ShardWorker<'_> {
     /// The message path is allocation-free in steady state: each payload is
     /// converted into its sample **in place** (the message's own storage is
     /// reused, see [`payload_into_sample`]), accepted samples accumulate in a
-    /// reusable scratch owned by this aggregator, and every inbound burst is
+    /// reusable scratch owned by this worker, and every inbound burst is
     /// drained with non-blocking receives before the whole scratch is handed
-    /// to the buffer under a single `put_many` lock acquisition — instead of
-    /// one buffer round-trip (and four allocations) per message.
-    pub fn run(self, start: Instant) -> AggregatorOutcome {
+    /// to this worker's buffer shard under a single `put_many` lock
+    /// acquisition — instead of one buffer round-trip (and four allocations)
+    /// per message.
+    fn run(self, start: Instant) -> ShardOutcome {
+        let shard = self.endpoint.shard();
         let mut log = MessageLog::new();
-        let mut outcome = AggregatorOutcome::default();
+        let mut accepted = 0usize;
+        let mut occupancy = Vec::new();
         let mut last_snapshot = Instant::now();
         // The ingestion scratches, owned here and recycled across bursts: the
         // inbound messages drained from the channel, and the converted
         // samples handed to the buffer by `put_many`.
-        let mut inbound: Vec<Message> = Vec::with_capacity(Self::MAX_BURST);
-        let mut scratch: Vec<surrogate_nn::Sample> = Vec::with_capacity(Self::MAX_BURST);
+        let mut inbound: Vec<Message> = Vec::with_capacity(Aggregator::MAX_BURST);
+        let mut scratch: Vec<Sample> = Vec::with_capacity(Aggregator::MAX_BURST);
 
         loop {
             match self.endpoint.recv_timeout(self.poll_timeout) {
@@ -108,9 +238,9 @@ impl Aggregator {
                     // so a sustained stream cannot starve the snapshot clock
                     // or grow the scratches without bound) is pulled under one
                     // channel lock, converted into the sample scratch, then
-                    // stored under one buffer lock.
+                    // stored under one buffer-shard lock.
                     self.endpoint
-                        .try_recv_many(&mut inbound, Self::MAX_BURST - 1);
+                        .try_recv_many(&mut inbound, Aggregator::MAX_BURST - 1);
                     for message in std::iter::once(first).chain(inbound.drain(..)) {
                         match message {
                             Message::Connect { .. } => {}
@@ -124,28 +254,33 @@ impl Aggregator {
                                 if log.observe(client_id, sequence) {
                                     scratch.push(payload_into_sample(
                                         payload,
-                                        &self.input_norm,
-                                        &self.output_norm,
+                                        self.input_norm,
+                                        self.output_norm,
                                     ));
-                                    outcome.accepted += 1;
+                                    accepted += 1;
                                 }
                             }
                             Message::Finalize { client_id, .. } => {
-                                log.mark_finalized(client_id);
-                                outcome.finalized_clients = log.finalized_clients();
+                                // Count each client's finalize once into the
+                                // rank-level counter every worker polls.
+                                if !log.is_finalized(client_id) {
+                                    log.mark_finalized(client_id);
+                                    self.finalized.fetch_add(1, Ordering::AcqRel);
+                                }
                             }
                         }
                     }
-                    self.buffer.put_many(&mut scratch);
-                    // If this burst contained the last expected finalize, stop
-                    // immediately instead of sleeping through one more poll.
-                    if log.finalized_clients() >= self.expected_clients {
+                    self.buffer.put_many_shard(shard, &mut scratch);
+                    // If this burst contained the rank's last expected
+                    // finalize, stop immediately instead of sleeping through
+                    // one more poll.
+                    if self.finalized.load(Ordering::Acquire) >= self.expected_clients {
                         break;
                     }
                 }
                 None => {
                     // Idle: check the termination conditions.
-                    if log.finalized_clients() >= self.expected_clients {
+                    if self.finalized.load(Ordering::Acquire) >= self.expected_clients {
                         break;
                     }
                     if self.production_done.load(Ordering::Acquire) && self.endpoint.queued() == 0 {
@@ -154,15 +289,19 @@ impl Aggregator {
                 }
             }
 
-            if last_snapshot.elapsed() >= self.snapshot_every {
-                outcome.occupancy.push(self.snapshot(start));
+            if self.take_snapshots && last_snapshot.elapsed() >= self.snapshot_every {
+                occupancy.push(snapshot(self.buffer, start));
                 last_snapshot = Instant::now();
             }
         }
 
-        // Drain whatever is still queued (e.g. messages that raced with the
-        // last finalize), then hand the buffer over to the trainers.
-        while self.endpoint.try_recv_many(&mut inbound, Self::MAX_BURST) > 0 {
+        // Drain whatever is still queued on this shard (e.g. messages that
+        // raced with the rank's last finalize).
+        while self
+            .endpoint
+            .try_recv_many(&mut inbound, Aggregator::MAX_BURST)
+            > 0
+        {
             for message in inbound.drain(..) {
                 if let Message::TimeStep {
                     client_id,
@@ -173,36 +312,37 @@ impl Aggregator {
                     if log.observe(client_id, sequence) {
                         scratch.push(payload_into_sample(
                             payload,
-                            &self.input_norm,
-                            &self.output_norm,
+                            self.input_norm,
+                            self.output_norm,
                         ));
-                        outcome.accepted += 1;
+                        accepted += 1;
                     }
                 }
             }
-            self.buffer.put_many(&mut scratch);
+            self.buffer.put_many_shard(shard, &mut scratch);
         }
-        outcome.occupancy.push(self.snapshot(start));
-        outcome.finalized_clients = log.finalized_clients();
-        outcome.duplicates_discarded = log.duplicates_discarded() as usize;
-        self.buffer.mark_reception_over();
-        outcome
+        ShardOutcome {
+            accepted,
+            duplicates_discarded: log.duplicates_discarded() as usize,
+            occupancy,
+        }
     }
+}
 
-    fn snapshot(&self, start: Instant) -> OccupancySnapshot {
-        OccupancySnapshot {
-            elapsed_seconds: start.elapsed().as_secs_f64(),
-            population: self.buffer.len(),
-            unseen: self.buffer.len() - self.buffer.stats().repeated_gets.min(self.buffer.len()),
-        }
+fn snapshot(buffer: &ShardedBuffer<Sample>, start: Instant) -> OccupancySnapshot {
+    let population = buffer.len();
+    OccupancySnapshot {
+        elapsed_seconds: start.elapsed().as_secs_f64(),
+        population,
+        unseen: population - buffer.stats().repeated_gets.min(population),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use melissa_transport::{Fabric, FabricConfig, SamplePayload};
-    use training_buffer::FifoBuffer;
+    use melissa_transport::{stable_shard, Fabric, FabricConfig, SamplePayload};
+    use training_buffer::{BufferConfig, BufferKind};
 
     fn payload(sim: u64, step: usize) -> SamplePayload {
         SamplePayload {
@@ -214,15 +354,27 @@ mod tests {
         }
     }
 
+    fn fifo_buffer(shards: usize) -> Arc<ShardedBuffer<Sample>> {
+        Arc::new(ShardedBuffer::new(
+            &BufferConfig {
+                kind: BufferKind::Fifo,
+                capacity: 128,
+                threshold: 1,
+                seed: 1,
+            },
+            shards,
+        ))
+    }
+
     fn run_aggregator(
         fabric: &Fabric,
-        buffer: Arc<dyn TrainingBuffer<Sample>>,
+        buffer: Arc<ShardedBuffer<Sample>>,
         expected_clients: usize,
         production_done: Arc<AtomicBool>,
     ) -> std::thread::JoinHandle<AggregatorOutcome> {
-        let endpoint = fabric.server_endpoints().remove(0);
+        let endpoints = fabric.rank_shard_endpoints().remove(0);
         let aggregator = Aggregator::new(
-            endpoint,
+            endpoints,
             buffer,
             InputNormalizer::for_trajectory(100, 0.01),
             OutputNormalizer::default(),
@@ -235,7 +387,7 @@ mod tests {
     #[test]
     fn accepts_samples_and_terminates_on_finalize() {
         let fabric = Fabric::new(FabricConfig::default());
-        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
+        let buffer = fifo_buffer(1);
         let handle = run_aggregator(
             &fabric,
             Arc::clone(&buffer),
@@ -259,7 +411,7 @@ mod tests {
     #[test]
     fn discards_replayed_messages_after_client_restart() {
         let fabric = Fabric::new(FabricConfig::default());
-        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
+        let buffer = fifo_buffer(1);
         let handle = run_aggregator(
             &fabric,
             Arc::clone(&buffer),
@@ -287,7 +439,7 @@ mod tests {
     #[test]
     fn production_done_flag_terminates_without_finalize() {
         let fabric = Fabric::new(FabricConfig::default());
-        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
+        let buffer = fifo_buffer(1);
         let production_done = Arc::new(AtomicBool::new(false));
         let handle = run_aggregator(
             &fabric,
@@ -313,10 +465,10 @@ mod tests {
     #[test]
     fn records_population_snapshots() {
         let fabric = Fabric::new(FabricConfig::default());
-        let buffer: Arc<dyn TrainingBuffer<Sample>> = Arc::new(FifoBuffer::new(128));
-        let endpoint = fabric.server_endpoints().remove(0);
+        let buffer = fifo_buffer(1);
+        let endpoints = fabric.rank_shard_endpoints().remove(0);
         let aggregator = Aggregator::new(
-            endpoint,
+            endpoints,
             Arc::clone(&buffer),
             InputNormalizer::for_trajectory(100, 0.01),
             OutputNormalizer::default(),
@@ -340,5 +492,75 @@ mod tests {
         );
         // The final snapshot reports the full population.
         assert_eq!(outcome.occupancy.last().unwrap().population, 6);
+    }
+
+    #[test]
+    fn sharded_rank_aggregates_across_worker_threads() {
+        let fabric = Fabric::new(FabricConfig {
+            shards_per_rank: 2,
+            ..FabricConfig::default()
+        });
+        let buffer = fifo_buffer(2);
+        let handle = run_aggregator(
+            &fabric,
+            Arc::clone(&buffer),
+            4,
+            Arc::new(AtomicBool::new(false)),
+        );
+
+        for sim in 0..4u64 {
+            let client = fabric.connect_client(sim);
+            for step in 0..8 {
+                client.send(payload(sim, step)).unwrap();
+            }
+            client.finalize().unwrap();
+        }
+
+        let outcome = handle.join().unwrap();
+        assert_eq!(outcome.accepted, 32);
+        assert_eq!(outcome.finalized_clients, 4);
+        assert_eq!(outcome.duplicates_discarded, 0);
+        assert!(buffer.is_reception_over());
+        assert_eq!(buffer.len(), 32);
+        // Both shards actually received data (the stable hash spreads the
+        // four simulations over the two shards).
+        let spread: std::collections::HashSet<usize> =
+            (0..4u64).map(|sim| stable_shard(sim, 2)).collect();
+        for shard in spread {
+            assert!(buffer.shard_len(shard) > 0, "shard {shard} stayed empty");
+        }
+    }
+
+    #[test]
+    fn sharded_rank_deduplicates_replays_per_shard() {
+        let fabric = Fabric::new(FabricConfig {
+            shards_per_rank: 2,
+            ..FabricConfig::default()
+        });
+        let buffer = fifo_buffer(2);
+        let handle = run_aggregator(
+            &fabric,
+            Arc::clone(&buffer),
+            2,
+            Arc::new(AtomicBool::new(false)),
+        );
+
+        for sim in 0..2u64 {
+            let client = fabric.connect_client(sim);
+            for step in 0..6 {
+                client.send(payload(sim, step)).unwrap();
+            }
+            // Restart and replay everything; the shard's own log discards it.
+            client.resume_from_sequence(0);
+            for step in 0..6 {
+                client.send(payload(sim, step)).unwrap();
+            }
+            client.finalize().unwrap();
+        }
+
+        let outcome = handle.join().unwrap();
+        assert_eq!(outcome.accepted, 12);
+        assert_eq!(outcome.duplicates_discarded, 12);
+        assert_eq!(buffer.len(), 12);
     }
 }

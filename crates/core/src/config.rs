@@ -156,8 +156,14 @@ pub struct ExperimentConfig {
     pub campaign: CampaignPlan,
     /// Transport fault injection.
     pub fault: FaultConfig,
-    /// Capacity of each rank's inbound channel.
+    /// Capacity of each shard's inbound channel.
     pub channel_capacity: usize,
+    /// Ingest shards per rank: the number of data-aggregator worker threads
+    /// (each with its own inbound channel and buffer shard) every server rank
+    /// runs. 1 (the default) is the paper's single-aggregator design and is
+    /// bit-identical to it; raise it when one rank fronts enough clients for
+    /// ingestion to become the wall.
+    pub ingest_shards: usize,
     /// Global experiment seed (buffers, validation set, shuffling).
     pub seed: u64,
 }
@@ -193,6 +199,7 @@ impl ExperimentConfig {
             campaign: CampaignPlan::single_series(8, 4),
             fault: FaultConfig::none(),
             channel_capacity: 256,
+            ingest_shards: 1,
             seed: 1,
         }
     }
@@ -221,6 +228,7 @@ impl ExperimentConfig {
             campaign,
             fault: FaultConfig::none(),
             channel_capacity: 1024,
+            ingest_shards: 1,
             seed: 7,
         };
         config.training.validation_simulations = 10.min(config.campaign.total_clients());
@@ -294,6 +302,15 @@ impl ExperimentConfig {
         }
         if self.campaign.total_clients() == 0 {
             return Err(ConfigError::EmptyCampaign);
+        }
+        if self.ingest_shards == 0 {
+            return Err(ConfigError::ZeroIngestShards);
+        }
+        if self.ingest_shards > self.campaign.total_clients() {
+            return Err(ConfigError::IngestShardsExceedClients {
+                shards: self.ingest_shards,
+                clients: self.campaign.total_clients(),
+            });
         }
         Ok(())
     }
@@ -428,6 +445,13 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the ingest shards per rank (aggregator worker threads + buffer
+    /// shards; 1 = the paper's single-aggregator design).
+    pub fn ingest_shards(mut self, ingest_shards: usize) -> Self {
+        self.config.ingest_shards = ingest_shards;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ExperimentConfig, ConfigError> {
         self.config.validate()?;
@@ -553,5 +577,35 @@ mod tests {
     fn builder_rejects_inconsistent_configs() {
         let result = ExperimentConfig::builder().batch_size(0).build();
         assert_eq!(result, Err(ConfigError::ZeroBatchSize));
+    }
+
+    #[test]
+    fn builder_accepts_a_valid_shard_count() {
+        // The small-scale campaign has 8 clients.
+        let config = ExperimentConfig::builder()
+            .ingest_shards(4)
+            .build()
+            .unwrap();
+        assert_eq!(config.ingest_shards, 4);
+        assert_eq!(ExperimentConfig::small_scale().ingest_shards, 1);
+    }
+
+    #[test]
+    fn builder_rejects_zero_ingest_shards() {
+        let result = ExperimentConfig::builder().ingest_shards(0).build();
+        assert_eq!(result, Err(ConfigError::ZeroIngestShards));
+    }
+
+    #[test]
+    fn builder_rejects_more_shards_than_clients() {
+        // The small-scale campaign has 8 clients; 9 shards cannot all be fed.
+        let result = ExperimentConfig::builder().ingest_shards(9).build();
+        assert_eq!(
+            result,
+            Err(ConfigError::IngestShardsExceedClients {
+                shards: 9,
+                clients: 8,
+            })
+        );
     }
 }

@@ -26,6 +26,15 @@ pub enum ConfigError {
     },
     /// The campaign contains no clients.
     EmptyCampaign,
+    /// No ingest shards were requested.
+    ZeroIngestShards,
+    /// More ingest shards than clients: some shards could never receive data.
+    IngestShardsExceedClients {
+        /// The configured ingest shards per rank.
+        shards: usize,
+        /// The campaign's total client count.
+        clients: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -44,6 +53,14 @@ impl fmt::Display for ConfigError {
             ConfigError::EmptyCampaign => {
                 write!(f, "the campaign must run at least one simulation")
             }
+            ConfigError::ZeroIngestShards => {
+                write!(f, "at least one ingest shard per rank is required")
+            }
+            ConfigError::IngestShardsExceedClients { shards, clients } => write!(
+                f,
+                "ingest shards per rank ({shards}) must not exceed the campaign's \
+                 client count ({clients})"
+            ),
         }
     }
 }

@@ -13,8 +13,9 @@
 //!                  │  ClientApi::send(u_X^t)  (round-robin to all ranks)
 //!                  ▼
 //!  server rank 0..N-1 (one per "GPU"):
-//!      data-aggregator thread ──▶ training buffer (FIFO/FIRO/Reservoir)
-//!      training thread        ◀── batches ── buffer
+//!      data-aggregator shard workers (× ingest_shards, default 1)
+//!          ──▶ sharded training buffer (FIFO/FIRO/Reservoir per shard)
+//!      training thread        ◀── batches ── buffer (cross-shard draws)
 //!           │  forward/backward on the MLP replica
 //!           ▼
 //!      gradient all-reduce across ranks, identical weight update everywhere

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use surrogate_nn::{Mlp, Sample};
-use training_buffer::{build_buffer, TrainingBuffer};
+use training_buffer::{ShardedBuffer, TrainingBuffer};
 
 /// One online-training experiment.
 pub struct OnlineExperiment {
@@ -65,18 +65,26 @@ impl OnlineExperiment {
             &output_norm,
         ));
 
-        // Transport fabric: one endpoint per server rank.
+        // Transport fabric: one endpoint per ingest shard of each rank.
         let fabric = Fabric::new(FabricConfig {
             num_server_ranks: config.training.num_ranks,
+            shards_per_rank: config.ingest_shards,
             channel_capacity: config.channel_capacity,
             fault: config.fault,
         });
-        let endpoints = fabric.server_endpoints();
+        let endpoints = fabric.rank_shard_endpoints();
 
         // One training buffer per rank (the paper: "there is one training
-        // buffer per server process"), each with its own seed.
-        let buffers: Vec<Arc<dyn TrainingBuffer<Sample>>> = (0..config.training.num_ranks)
-            .map(|rank| Arc::from(build_buffer::<Sample>(&config.rank_buffer_config(rank))))
+        // buffer per server process"), each with its own seed, sharded to
+        // match the rank's ingest shards (one shard delegates to the plain
+        // policy buffer, bit for bit).
+        let buffers: Vec<Arc<ShardedBuffer<Sample>>> = (0..config.training.num_ranks)
+            .map(|rank| {
+                Arc::new(ShardedBuffer::new(
+                    &config.rank_buffer_config(rank),
+                    config.ingest_shards,
+                ))
+            })
             .collect();
 
         let production_done = Arc::new(AtomicBool::new(false));
@@ -92,10 +100,11 @@ impl OnlineExperiment {
         let launcher_report: Mutex<Option<LauncherReport>> = Mutex::new(None);
 
         crossbeam::scope(|scope| {
-            // Data-aggregator threads.
-            for (rank, endpoint) in endpoints.into_iter().enumerate() {
+            // Data-aggregation threads: one rank coordinator per rank, which
+            // runs its shard workers inline (one shard) or on worker threads.
+            for (rank, rank_endpoints) in endpoints.into_iter().enumerate() {
                 let aggregator = Aggregator::new(
-                    endpoint,
+                    rank_endpoints,
                     Arc::clone(&buffers[rank]),
                     input_norm.clone(),
                     output_norm.clone(),
@@ -111,10 +120,12 @@ impl OnlineExperiment {
 
             // Training threads.
             for (rank, buffer) in buffers.iter().enumerate() {
+                let buffer: Arc<dyn TrainingBuffer<Sample>> =
+                    Arc::clone(buffer) as Arc<dyn TrainingBuffer<Sample>>;
                 let trainer = RankTrainer::new(
                     rank,
                     Mlp::new(mlp_config.clone()),
-                    Arc::clone(buffer),
+                    buffer,
                     config.training.clone(),
                     (rank == 0).then(|| Arc::clone(&validation)),
                     Arc::clone(&shared),
@@ -295,6 +306,25 @@ mod tests {
         // Round-robin distribution: both ranks received data.
         for stats in &report.buffer_stats {
             assert!(stats.puts > 0);
+        }
+    }
+
+    #[test]
+    fn online_experiment_runs_with_sharded_ingestion() {
+        for kind in BufferKind::ALL {
+            let mut config = tiny_config(kind, 1);
+            config.ingest_shards = 2;
+            let (model, report) = OnlineExperiment::new(config).unwrap().run();
+            assert!(
+                model.params_flat().iter().all(|p| p.is_finite()),
+                "{kind:?}"
+            );
+            // Every produced sample crossed the sharded ingestion path and
+            // was trained on at least once.
+            assert_eq!(report.unique_samples_produced, 40, "{kind:?}");
+            assert_eq!(report.unique_samples_trained, 40, "{kind:?}");
+            let transport = report.transport.unwrap();
+            assert_eq!(transport.messages_delivered, 40, "{kind:?}");
         }
     }
 

@@ -8,7 +8,7 @@
 //! ranks and the client-id-dependent starting rank of §3.2.2 happen inside
 //! [`ClientConnection::send`].
 
-use crate::fabric::{record_send, Fabric};
+use crate::fabric::{record_send, stable_shard, Fabric};
 use crate::fault::{Delivery, FaultInjector};
 use crate::message::{Message, SamplePayload};
 use crate::stats::StatsCell;
@@ -29,9 +29,15 @@ impl std::fmt::Display for SendError {
 impl std::error::Error for SendError {}
 
 /// An open connection from one client to every rank of the training server.
+///
+/// Ranks are addressed round-robin (§3.2.2); within a rank, time-step
+/// messages go to the ingest shard selected by the stable hash of their
+/// simulation id ([`stable_shard`]), so per-simulation arrival order is
+/// preserved on that shard's channel.
 pub struct ClientConnection {
     client_id: u64,
-    senders: Vec<Sender<Message>>,
+    /// Send sides, indexed `[rank][shard]`.
+    senders: Vec<Vec<Sender<Message>>>,
     /// Index of the rank that receives the next time step.
     next_rank: AtomicUsize,
     /// Per-client monotonically increasing sequence number.
@@ -43,7 +49,7 @@ pub struct ClientConnection {
 impl ClientConnection {
     pub(crate) fn new(
         client_id: u64,
-        senders: Vec<Sender<Message>>,
+        senders: Vec<Vec<Sender<Message>>>,
         injector: Arc<FaultInjector>,
         stats: Arc<StatsCell>,
     ) -> Self {
@@ -59,6 +65,11 @@ impl ClientConnection {
             injector,
             stats,
         }
+    }
+
+    /// Ingest shards per rank on this connection.
+    fn shards_per_rank(&self) -> usize {
+        self.senders[0].len()
     }
 
     /// The identifier of this client.
@@ -82,12 +93,14 @@ impl ClientConnection {
         self.next_sequence.store(sequence, Ordering::Relaxed);
     }
 
-    /// Streams one computed time step to the next server rank (round-robin).
-    /// Blocks when the destination rank's channel is full (backpressure), just
-    /// like the paper's clients stall when the server cannot keep up.
+    /// Streams one computed time step to the next server rank (round-robin),
+    /// onto the ingest shard its simulation id hashes to. Blocks when the
+    /// destination shard's channel is full (backpressure), just like the
+    /// paper's clients stall when the server cannot keep up.
     pub fn send(&self, payload: SamplePayload) -> Result<(), SendError> {
         let sequence = self.next_sequence.fetch_add(1, Ordering::Relaxed);
         let rank = self.next_rank.fetch_add(1, Ordering::Relaxed) % self.senders.len();
+        let shard = stable_shard(payload.simulation_id, self.shards_per_rank());
         let message = Message::TimeStep {
             client_id: self.client_id,
             sequence,
@@ -96,23 +109,26 @@ impl ClientConnection {
         let bytes = message.wire_bytes();
         let delivery = self.injector.decide();
         record_send(&self.stats, bytes, delivery);
+        let sender = &self.senders[rank][shard];
         match delivery {
             Delivery::Drop => Ok(()),
-            Delivery::Deliver => self.senders[rank].send(message).map_err(|_| SendError),
+            Delivery::Deliver => sender.send(message).map_err(|_| SendError),
             Delivery::Duplicate => {
-                self.senders[rank]
-                    .send(message.clone())
-                    .map_err(|_| SendError)?;
-                self.senders[rank].send(message).map_err(|_| SendError)
+                sender.send(message.clone()).map_err(|_| SendError)?;
+                sender.send(message).map_err(|_| SendError)
             }
         }
     }
 
-    /// Signals every server rank that this client will send no more data.
+    /// Signals every server rank that this client will send no more data. The
+    /// finalize lands on the client's home shard of each rank (the shard its
+    /// own simulation id hashes to), so it queues behind the client's last
+    /// time-step messages there.
     pub fn finalize(&self) -> Result<(), SendError> {
         let sent = self.sent_messages();
-        for sender in &self.senders {
-            sender
+        let shard = stable_shard(self.client_id, self.shards_per_rank());
+        for rank_senders in &self.senders {
+            rank_senders[shard]
                 .send(Message::Finalize {
                     client_id: self.client_id,
                     sent_messages: sent,

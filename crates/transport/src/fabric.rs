@@ -4,6 +4,17 @@
 //! clients connect to all the ranks of the server); the channel capacity plays
 //! the role of the ZMQ high-water mark and provides backpressure when the
 //! server-side aggregator cannot keep up.
+//!
+//! ## Sharded ranks
+//!
+//! A rank's inbound path can be split into [`FabricConfig::shards_per_rank`]
+//! **ingest shards**: one bounded channel and one lock-free stats cell per
+//! shard, each drained by its own aggregator worker thread. Time-step messages are
+//! routed to the shard given by [`stable_shard`] over their simulation id, so
+//! every message of one simulation lands on the same shard of a rank —
+//! per-simulation arrival order is preserved exactly as with one channel.
+//! With one shard per rank (the default) the routing degenerates to the
+//! single channel of the unsharded design, byte for byte.
 
 use crate::fault::{Delivery, FaultConfig, FaultInjector};
 use crate::message::Message;
@@ -13,12 +24,27 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// The shard of one rank that receives messages of `simulation_id`: a stable
+/// (splitmix64) hash, so the mapping depends on nothing but the simulation id
+/// and the shard count. With `shards == 1` every simulation maps to shard 0.
+pub fn stable_shard(simulation_id: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut z = simulation_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
 /// Construction parameters of a [`Fabric`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FabricConfig {
-    /// Number of server ranks (one data-aggregator thread each).
+    /// Number of server ranks (one aggregator per rank, or one per shard).
     pub num_server_ranks: usize,
-    /// Capacity of each rank's inbound channel (the ZMQ high-water mark stand-in).
+    /// Ingest shards per rank: inbound channels (and aggregator workers)
+    /// every rank runs. 1 reproduces the single-aggregator design exactly.
+    pub shards_per_rank: usize,
+    /// Capacity of each shard's inbound channel (the ZMQ high-water mark stand-in).
     pub channel_capacity: usize,
     /// Fault-injection configuration applied to every sent message.
     pub fault: FaultConfig,
@@ -28,39 +54,61 @@ impl Default for FabricConfig {
     fn default() -> Self {
         Self {
             num_server_ranks: 1,
+            shards_per_rank: 1,
             channel_capacity: 1024,
             fault: FaultConfig::none(),
         }
     }
 }
 
-/// The shared data plane: holds the per-rank channels, the fault injector and
-/// the traffic counters.
+/// The shared data plane: holds the per-rank, per-shard channels, the fault
+/// injector and the traffic counters.
 pub struct Fabric {
     config: FabricConfig,
-    senders: Vec<Sender<Message>>,
-    receivers: Vec<Receiver<Message>>,
+    /// Send sides, indexed `[rank][shard]`.
+    senders: Vec<Vec<Sender<Message>>>,
+    /// Receive sides, indexed `[rank][shard]`.
+    receivers: Vec<Vec<Receiver<Message>>>,
     injector: Arc<FaultInjector>,
+    /// Client-side counters (sends, bytes, drops, duplicates, connections).
     stats: Arc<StatsCell>,
+    /// Server-side counters (deliveries, finalizes), one cell per shard so
+    /// concurrent shard workers never share a counter cache line by design.
+    shard_stats: Vec<Vec<Arc<StatsCell>>>,
 }
 
 impl Fabric {
     /// Creates the fabric for the requested number of server ranks.
     ///
     /// # Panics
-    /// Panics when the rank count or the channel capacity is zero.
+    /// Panics when the rank count, the shard count or the channel capacity is
+    /// zero.
     pub fn new(config: FabricConfig) -> Self {
         assert!(config.num_server_ranks > 0, "need at least one server rank");
+        assert!(
+            config.shards_per_rank > 0,
+            "need at least one ingest shard per rank"
+        );
         assert!(
             config.channel_capacity > 0,
             "channel capacity must be positive"
         );
         let mut senders = Vec::with_capacity(config.num_server_ranks);
         let mut receivers = Vec::with_capacity(config.num_server_ranks);
+        let mut shard_stats = Vec::with_capacity(config.num_server_ranks);
         for _ in 0..config.num_server_ranks {
-            let (tx, rx) = bounded(config.channel_capacity);
-            senders.push(tx);
-            receivers.push(rx);
+            let mut rank_tx = Vec::with_capacity(config.shards_per_rank);
+            let mut rank_rx = Vec::with_capacity(config.shards_per_rank);
+            let mut rank_stats = Vec::with_capacity(config.shards_per_rank);
+            for _ in 0..config.shards_per_rank {
+                let (tx, rx) = bounded(config.channel_capacity);
+                rank_tx.push(tx);
+                rank_rx.push(rx);
+                rank_stats.push(Arc::new(StatsCell::default()));
+            }
+            senders.push(rank_tx);
+            receivers.push(rank_rx);
+            shard_stats.push(rank_stats);
         }
         Self {
             config,
@@ -68,6 +116,7 @@ impl Fabric {
             receivers,
             injector: Arc::new(FaultInjector::new(config.fault)),
             stats: Arc::new(StatsCell::default()),
+            shard_stats,
         }
     }
 
@@ -81,22 +130,53 @@ impl Fabric {
         self.config.num_server_ranks
     }
 
-    /// Builds the per-rank receive endpoints polled by the aggregator threads.
+    /// Ingest shards per rank.
+    pub fn shards_per_rank(&self) -> usize {
+        self.config.shards_per_rank
+    }
+
+    /// Builds the per-rank receive endpoints polled by the aggregator threads
+    /// of an **unsharded** fabric (one endpoint per rank).
+    ///
+    /// # Panics
+    /// Panics when the fabric is sharded — use
+    /// [`Fabric::rank_shard_endpoints`] there, which exposes every shard.
     pub fn server_endpoints(&self) -> Vec<ServerEndpoint> {
+        assert_eq!(
+            self.config.shards_per_rank, 1,
+            "server_endpoints() addresses one endpoint per rank; \
+             a sharded fabric must use rank_shard_endpoints()"
+        );
+        self.rank_shard_endpoints()
+            .into_iter()
+            .map(|mut shards| shards.remove(0))
+            .collect()
+    }
+
+    /// Builds every receive endpoint, indexed `[rank][shard]` — one per
+    /// aggregator shard worker.
+    pub fn rank_shard_endpoints(&self) -> Vec<Vec<ServerEndpoint>> {
         self.receivers
             .iter()
-            .cloned()
             .enumerate()
-            .map(|(rank, receiver)| ServerEndpoint {
-                rank,
-                receiver,
-                stats: Arc::clone(&self.stats),
+            .map(|(rank, rank_rx)| {
+                rank_rx
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, receiver)| ServerEndpoint {
+                        rank,
+                        shard,
+                        receiver: receiver.clone(),
+                        stats: Arc::clone(&self.shard_stats[rank][shard]),
+                    })
+                    .collect()
             })
             .collect()
     }
 
-    /// Opens a connection for a client; the returned handle owns one sender per
-    /// server rank and performs the round-robin dispatch of §3.2.2.
+    /// Opens a connection for a client; the returned handle owns one sender
+    /// per server shard and performs the round-robin rank dispatch of §3.2.2
+    /// plus the stable shard routing within each rank.
     pub fn connect_client(&self, client_id: u64) -> crate::client::ClientConnection {
         self.stats.connections.fetch_add(1, Ordering::Relaxed);
         crate::client::ClientConnection::new(
@@ -107,15 +187,27 @@ impl Fabric {
         )
     }
 
-    /// A snapshot of the traffic counters.
+    /// A snapshot of the traffic counters: the client-side cell plus the
+    /// delivery counters of every shard.
     pub fn stats(&self) -> TransportStats {
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        for rank_stats in &self.shard_stats {
+            for cell in rank_stats {
+                let shard = cell.snapshot();
+                snapshot.messages_delivered += shard.messages_delivered;
+                snapshot.finalized_clients += shard.finalized_clients;
+            }
+        }
+        snapshot
     }
 }
 
-/// The receive side of one server rank, polled by its data-aggregator thread.
+/// The receive side of one shard of one server rank, polled by a
+/// data-aggregator (shard) thread. Owns the shard's stats cell, so
+/// concurrent shard workers account their traffic without sharing counters.
 pub struct ServerEndpoint {
     rank: usize,
+    shard: usize,
     receiver: Receiver<Message>,
     stats: Arc<StatsCell>,
 }
@@ -124,6 +216,11 @@ impl ServerEndpoint {
     /// The rank this endpoint belongs to.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// The ingest shard within the rank.
+    pub fn shard(&self) -> usize {
+        self.shard
     }
 
     /// Non-blocking receive.
@@ -178,7 +275,7 @@ impl ServerEndpoint {
         }
     }
 
-    /// Number of messages currently queued for this rank.
+    /// Number of messages currently queued for this shard.
     pub fn queued(&self) -> usize {
         self.receiver.len()
     }
@@ -226,6 +323,13 @@ mod tests {
             time: step as f64 * 0.01,
             parameters: vec![300.0; 5],
             values: vec![0.0; 8],
+        }
+    }
+
+    fn sim_payload(simulation_id: u64, step: usize) -> SamplePayload {
+        SamplePayload {
+            simulation_id,
+            ..payload(step)
         }
     }
 
@@ -292,6 +396,7 @@ mod tests {
                 drop_probability: 1.0,
                 ..FaultConfig::default()
             },
+            ..FabricConfig::default()
         });
         let endpoints = fabric.server_endpoints();
         let client = fabric.connect_client(0);
@@ -314,6 +419,7 @@ mod tests {
                 duplicate_probability: 1.0,
                 ..FaultConfig::default()
             },
+            ..FabricConfig::default()
         });
         let endpoints = fabric.server_endpoints();
         let client = fabric.connect_client(0);
@@ -381,5 +487,129 @@ mod tests {
             num_server_ranks: 0,
             ..FabricConfig::default()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ingest shard")]
+    fn zero_shards_rejected() {
+        let _ = Fabric::new(FabricConfig {
+            shards_per_rank: 0,
+            ..FabricConfig::default()
+        });
+    }
+
+    #[test]
+    fn stable_shard_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            for sim in 0..64u64 {
+                let shard = stable_shard(sim, shards);
+                assert!(shard < shards);
+                assert_eq!(shard, stable_shard(sim, shards), "stable");
+            }
+        }
+        // One shard: everything maps to shard 0.
+        assert!((0..100).all(|sim| stable_shard(sim, 1) == 0));
+        // The hash actually spreads simulations across shards.
+        let hit: std::collections::HashSet<usize> =
+            (0..32).map(|sim| stable_shard(sim, 4)).collect();
+        assert_eq!(hit.len(), 4, "all four shards are used");
+    }
+
+    #[test]
+    fn sharded_fabric_preserves_per_simulation_order_within_one_shard() {
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 1,
+            shards_per_rank: 4,
+            channel_capacity: 256,
+            ..FabricConfig::default()
+        });
+        let endpoints = fabric.rank_shard_endpoints();
+        assert_eq!(endpoints.len(), 1);
+        assert_eq!(endpoints[0].len(), 4);
+        // Two simulations interleave their sends; each must land wholly on
+        // its own stable shard, in send order.
+        let c0 = fabric.connect_client(0);
+        let c1 = fabric.connect_client(1);
+        for step in 0..12 {
+            c0.send(sim_payload(0, step)).unwrap();
+            c1.send(sim_payload(1, step)).unwrap();
+        }
+        for sim in 0..2u64 {
+            let shard = stable_shard(sim, 4);
+            let ep = &endpoints[0][shard];
+            let mut steps = Vec::new();
+            let mut out = Vec::new();
+            ep.try_recv_many(&mut out, 256);
+            for msg in &out {
+                if let Message::TimeStep { payload, .. } = msg {
+                    if payload.simulation_id == sim {
+                        steps.push(payload.step);
+                    }
+                }
+            }
+            assert_eq!(steps, (0..12).collect::<Vec<_>>(), "sim {sim}");
+        }
+    }
+
+    #[test]
+    fn sharded_finalize_lands_on_the_clients_shard_of_every_rank() {
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 2,
+            shards_per_rank: 3,
+            channel_capacity: 16,
+            ..FabricConfig::default()
+        });
+        let endpoints = fabric.rank_shard_endpoints();
+        let client = fabric.connect_client(7);
+        client.finalize().unwrap();
+        let home = stable_shard(7, 3);
+        for rank_eps in &endpoints {
+            for (shard, ep) in rank_eps.iter().enumerate() {
+                if shard == home {
+                    assert!(matches!(
+                        ep.try_recv(),
+                        Some(Message::Finalize { client_id: 7, .. })
+                    ));
+                } else {
+                    assert!(ep.try_recv().is_none(), "finalize only on the home shard");
+                }
+            }
+        }
+        assert_eq!(fabric.stats().finalized_clients, 2);
+    }
+
+    #[test]
+    fn sharded_stats_aggregate_across_shard_cells() {
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 1,
+            shards_per_rank: 2,
+            channel_capacity: 64,
+            ..FabricConfig::default()
+        });
+        let endpoints = fabric.rank_shard_endpoints();
+        for sim in 0..4u64 {
+            let client = fabric.connect_client(sim);
+            for step in 0..5 {
+                client.send(sim_payload(sim, step)).unwrap();
+            }
+        }
+        let mut out = Vec::new();
+        for ep in &endpoints[0] {
+            ep.try_recv_many(&mut out, 64);
+        }
+        let stats = fabric.stats();
+        assert_eq!(stats.messages_sent, 20);
+        assert_eq!(stats.messages_delivered, 20);
+        assert_eq!(stats.connections, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank_shard_endpoints")]
+    fn server_endpoints_rejects_a_sharded_fabric() {
+        let fabric = Fabric::new(FabricConfig {
+            shards_per_rank: 2,
+            ..FabricConfig::default()
+        });
+        let _ = fabric.server_endpoints();
     }
 }

@@ -11,9 +11,12 @@
 //! This crate replaces the network with an in-process message fabric built on
 //! bounded crossbeam channels:
 //!
-//! * [`Fabric`] — creates the server-side endpoints (one per server rank) and
-//!   hands out client connections. Channel capacity bounds play the role of the
-//!   ZMQ high-water mark and provide backpressure.
+//! * [`Fabric`] — creates the server-side endpoints (one per ingest shard of
+//!   each server rank; one shard per rank by default) and hands out client
+//!   connections. Channel capacity bounds play the role of the ZMQ high-water
+//!   mark and provide backpressure. Time steps are routed to a rank
+//!   round-robin and, within the rank, to the shard given by [`stable_shard`]
+//!   over their simulation id, so per-simulation order is preserved.
 //! * [`ClientApi`] — the three-call instrumentation API of the paper
 //!   (`init_communication`, `send`, `finalize_communication`), including the
 //!   round-robin dispatch with a client-id-dependent starting rank.
@@ -35,7 +38,7 @@ pub mod stats;
 
 pub use client::{ClientApi, ClientConnection};
 pub use dedup::MessageLog;
-pub use fabric::{Fabric, FabricConfig, ServerEndpoint};
+pub use fabric::{stable_shard, Fabric, FabricConfig, ServerEndpoint};
 pub use fault::{FaultConfig, FaultInjector};
 pub use message::{Message, SamplePayload};
 pub use stats::TransportStats;

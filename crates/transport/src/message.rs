@@ -105,10 +105,38 @@ impl Message {
         }
     }
 
+    /// Exact transported size of a burst frame carrying `messages`: one tag
+    /// and one length prefix for the whole burst, then the messages back to
+    /// back ([`Message::encode_burst`] produces exactly this many bytes; the
+    /// roundtrip tests pin the equality).
+    pub fn burst_wire_bytes(messages: &[Message]) -> usize {
+        1 + 4 + messages.iter().map(Message::wire_bytes).sum::<usize>()
+    }
+
     /// Encodes the message into a length-prefixed binary frame (the stand-in for
     /// the ZMQ wire format, used by the volume accounting and by tests).
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_bytes());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes a whole burst of messages into **one** frame: a burst tag and
+    /// a single `u32` count prefix, then the messages back to back (each is
+    /// self-delimiting, so no per-message prefix is repeated). Amortises the
+    /// per-message framing overhead when a real network transport flushes
+    /// many queued time steps at once.
+    pub fn encode_burst(messages: &[Message]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(Self::burst_wire_bytes(messages));
+        buf.put_u8(3);
+        buf.put_u32(messages.len() as u32);
+        for message in messages {
+            message.encode_into(&mut buf);
+        }
+        buf.freeze()
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Message::Connect { client_id } => {
                 buf.put_u8(0);
@@ -143,15 +171,52 @@ impl Message {
                 buf.put_u64(*sent_messages);
             }
         }
-        buf.freeze()
     }
 
-    /// Decodes a frame produced by [`Message::encode`].
+    /// Decodes a frame produced by [`Message::encode`]. A burst frame is
+    /// rejected with [`DecodeError::BurstFrame`] — use
+    /// [`Message::decode_burst`] for those.
     pub fn decode(mut frame: Bytes) -> Result<Message, DecodeError> {
         if frame.remaining() < 1 {
             return Err(DecodeError::Truncated);
         }
         let tag = frame.get_u8();
+        if tag == 3 {
+            return Err(DecodeError::BurstFrame);
+        }
+        Self::decode_body(tag, &mut frame)
+    }
+
+    /// Decodes a burst frame produced by [`Message::encode_burst`] into its
+    /// messages, in order.
+    pub fn decode_burst(mut frame: Bytes) -> Result<Vec<Message>, DecodeError> {
+        if frame.remaining() < 1 + 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = frame.get_u8();
+        if tag != 3 {
+            return Err(DecodeError::UnknownTag(tag));
+        }
+        let count = frame.get_u32() as usize;
+        // The count is untrusted wire data: cap the reservation by what the
+        // frame could possibly hold (the smallest message is 9 bytes), so a
+        // corrupted count cannot force a huge allocation before the
+        // per-message truncation checks reject the frame.
+        let mut messages = Vec::with_capacity(count.min(frame.remaining() / 9 + 1));
+        for _ in 0..count {
+            if frame.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let tag = frame.get_u8();
+            if tag == 3 {
+                return Err(DecodeError::BurstFrame);
+            }
+            messages.push(Self::decode_body(tag, &mut frame)?);
+        }
+        Ok(messages)
+    }
+
+    fn decode_body(tag: u8, frame: &mut Bytes) -> Result<Message, DecodeError> {
         match tag {
             0 => {
                 if frame.remaining() < 8 {
@@ -222,6 +287,9 @@ pub enum DecodeError {
     Truncated,
     /// The frame starts with an unknown message tag.
     UnknownTag(u8),
+    /// A burst frame was handed to the single-message decoder (or nested
+    /// inside another burst).
+    BurstFrame,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -229,6 +297,9 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "truncated message frame"),
             DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::BurstFrame => {
+                write!(f, "burst frame requires Message::decode_burst")
+            }
         }
     }
 }
@@ -346,6 +417,67 @@ mod tests {
         };
         assert!(large.wire_bytes() > small.wire_bytes());
         assert_eq!(Message::Connect { client_id: 1 }.wire_bytes(), 9);
+    }
+
+    #[test]
+    fn burst_roundtrip_with_exact_wire_bytes() {
+        let messages = vec![
+            Message::Connect { client_id: 4 },
+            Message::TimeStep {
+                client_id: 4,
+                sequence: 0,
+                payload: payload(),
+            },
+            Message::TimeStep {
+                client_id: 4,
+                sequence: 1,
+                payload: SamplePayload {
+                    step: 8,
+                    ..payload()
+                },
+            },
+            Message::Finalize {
+                client_id: 4,
+                sent_messages: 2,
+            },
+        ];
+        let frame = Message::encode_burst(&messages);
+        assert_eq!(
+            frame.len(),
+            Message::burst_wire_bytes(&messages),
+            "burst_wire_bytes must be exact"
+        );
+        // One length prefix for the whole burst: cheaper than framing each
+        // message on its own.
+        let individual: usize = messages.iter().map(|m| m.wire_bytes() + 5).sum();
+        assert!(Message::burst_wire_bytes(&messages) < individual);
+        assert_eq!(Message::decode_burst(frame).unwrap(), messages);
+    }
+
+    #[test]
+    fn empty_burst_roundtrips() {
+        let frame = Message::encode_burst(&[]);
+        assert_eq!(frame.len(), Message::burst_wire_bytes(&[]));
+        assert_eq!(Message::decode_burst(frame).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn burst_decode_rejects_malformed_frames() {
+        let messages = vec![Message::Connect { client_id: 1 }];
+        let frame = Message::encode_burst(&messages);
+        // Truncated mid-burst.
+        let cut = Bytes::copy_from_slice(&frame[..frame.len() - 4]);
+        assert_eq!(Message::decode_burst(cut), Err(DecodeError::Truncated));
+        // Single-message decoder refuses a burst, and vice versa.
+        assert_eq!(Message::decode(frame), Err(DecodeError::BurstFrame));
+        assert_eq!(
+            Message::decode_burst(Message::Connect { client_id: 1 }.encode()),
+            Err(DecodeError::UnknownTag(0))
+        );
+        assert_eq!(
+            Message::decode_burst(Bytes::from_static(&[3, 0])),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]
