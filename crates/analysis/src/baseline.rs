@@ -1,0 +1,308 @@
+//! The ratcheting baseline: `analysis/baseline.toml` enumerates every
+//! tolerated pre-existing violation, and its per-rule counts are a
+//! high-water mark that may only go down.
+//!
+//! * findings that match a baseline entry are **tolerated**;
+//! * findings without an entry are **new** and fail `check --deny`;
+//! * entries without a finding are **stale** — the code improved, and
+//!   `ratchet` must be run to shrink the baseline (also enforced by
+//!   `--deny`, so the ratchet can never silently slacken).
+//!
+//! Entries are matched by a line-number-free fingerprint
+//! (`file::function::detail#ordinal`), so unrelated edits that shift lines
+//! do not churn the baseline.
+
+use crate::rules::{Finding, Rule};
+use crate::toml_lite::{parse, quote};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One tolerated violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// The rule key.
+    pub rule: String,
+    /// Workspace-relative file (redundant with the fingerprint, kept for
+    /// human readability of the TOML).
+    pub file: String,
+    /// The fingerprint: `file::function::detail#ordinal`.
+    pub key: String,
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Per-rule high-water marks from `[counts]`.
+    pub counts: BTreeMap<String, i64>,
+    /// Tolerated violations.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// The result of matching current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet<'a> {
+    /// Findings with no baseline entry — regressions.
+    pub new: Vec<&'a Finding>,
+    /// Findings covered by a baseline entry.
+    pub tolerated: Vec<&'a Finding>,
+    /// Baseline entries whose violation no longer exists.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Loads `analysis/baseline.toml` under `root`. A missing baseline is an
+    /// empty baseline (all-zero high-water marks).
+    pub fn load(root: &Path) -> Result<Baseline, String> {
+        let path = root.join("analysis/baseline.toml");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Ok(Baseline::default());
+        };
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the baseline TOML.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = parse(text)?;
+        let mut counts = BTreeMap::new();
+        if let Some(table) = doc.tables.get("counts") {
+            for (key, value) in table {
+                if Rule::from_key(key).is_none() {
+                    return Err(format!("[counts] has unknown rule key `{key}`"));
+                }
+                let n = value
+                    .as_int()
+                    .ok_or_else(|| format!("[counts] `{key}` must be an integer"))?;
+                if n < 0 {
+                    return Err(format!("[counts] `{key}` must be non-negative"));
+                }
+                counts.insert(key.clone(), n);
+            }
+        }
+        let mut entries = Vec::new();
+        for entry in doc
+            .arrays
+            .get("violation")
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+        {
+            let rule = entry
+                .get("rule")
+                .and_then(|v| v.as_str())
+                .ok_or("a [[violation]] is missing `rule`")?
+                .to_string();
+            if Rule::from_key(&rule).is_none() {
+                return Err(format!("[[violation]] has unknown rule `{rule}`"));
+            }
+            entries.push(BaselineEntry {
+                rule,
+                file: entry
+                    .get("file")
+                    .and_then(|v| v.as_str())
+                    .ok_or("a [[violation]] is missing `file`")?
+                    .to_string(),
+                key: entry
+                    .get("key")
+                    .and_then(|v| v.as_str())
+                    .ok_or("a [[violation]] is missing `key`")?
+                    .to_string(),
+            });
+        }
+        Ok(Baseline { counts, entries })
+    }
+
+    /// Internal consistency: per-rule entry tallies must not exceed the
+    /// recorded high-water marks (the ratchet direction), and every rule key
+    /// in `[counts]` must be present (missing keys read as zero, which then
+    /// forbids entries for that rule).
+    pub fn verify_well_formed(&self) -> Result<(), String> {
+        let mut tallies: BTreeMap<&str, i64> = BTreeMap::new();
+        for entry in &self.entries {
+            *tallies.entry(entry.rule.as_str()).or_default() += 1;
+        }
+        for rule in Rule::ALL {
+            let tally = tallies.get(rule.key()).copied().unwrap_or(0);
+            let count = self.counts.get(rule.key()).copied().unwrap_or(0);
+            if tally > count {
+                return Err(format!(
+                    "baseline lists {tally} `{rule}` violations but [counts] caps it at {count} — the baseline may only shrink"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Matches `findings` (with fingerprints from [`fingerprints`]) against
+    /// the baseline.
+    pub fn ratchet<'a>(&self, findings: &'a [Finding]) -> Ratchet<'a> {
+        let prints = fingerprints(findings);
+        let mut result = Ratchet::default();
+        let mut used = vec![false; self.entries.len()];
+        for (finding, print) in findings.iter().zip(&prints) {
+            let slot = self
+                .entries
+                .iter()
+                .enumerate()
+                .find(|(i, e)| !used[*i] && e.rule == finding.rule.key() && e.key == *print);
+            match slot {
+                Some((i, _)) => {
+                    used[i] = true;
+                    result.tolerated.push(finding);
+                }
+                None => result.new.push(finding),
+            }
+        }
+        for (i, entry) in self.entries.iter().enumerate() {
+            if !used[i] {
+                result.stale.push(entry.clone());
+            }
+        }
+        result
+    }
+
+    /// Renders a baseline that tolerates exactly `findings`, ratcheting the
+    /// `[counts]` high-water marks down (never up) from `self`.
+    /// Errors when a rule's finding count exceeds its previous high-water
+    /// mark, unless `force` is set (the override for deliberately accepting
+    /// a new tolerated violation — a reviewed diff of this file).
+    pub fn render_ratcheted(&self, findings: &[Finding], force: bool) -> Result<String, String> {
+        let prints = fingerprints(findings);
+        let mut per_rule: BTreeMap<&str, i64> = BTreeMap::new();
+        for finding in findings {
+            *per_rule.entry(finding.rule.key()).or_default() += 1;
+        }
+        let mut out = String::from(
+            "# Ratcheting baseline for `cargo run -p melissa_analysis -- check`.\n\
+             # [counts] is a per-rule high-water mark: it may only go down.\n\
+             # Regenerate with `cargo run -p melissa_analysis -- ratchet`.\n\nversion = 1\n\n[counts]\n",
+        );
+        for rule in Rule::ALL {
+            let now = per_rule.get(rule.key()).copied().unwrap_or(0);
+            let before = self.counts.get(rule.key()).copied().unwrap_or(0);
+            if now > before && !force {
+                return Err(format!(
+                    "`{rule}` has {now} findings but the baseline high-water mark is {before}; fix the new violations (or ratchet with --force to accept them)"
+                ));
+            }
+            out.push_str(&format!("{} = {now}\n", rule.key()));
+        }
+        for (finding, print) in findings.iter().zip(&prints) {
+            out.push_str(&format!(
+                "\n[[violation]]\nrule = {}\nfile = {}\nkey = {}\n",
+                quote(finding.rule.key()),
+                quote(&finding.file),
+                quote(print),
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Line-number-free fingerprints for `findings`, with `#ordinal` suffixes
+/// disambiguating repeats of the same detail within one function (ordinals
+/// follow source order, so inserting an unrelated violation above an existing
+/// one shifts identity — acceptable: both sites are then re-reviewed).
+pub fn fingerprints(findings: &[Finding]) -> Vec<String> {
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let stem = format!("{}::{}", f.rule.key(), f.fingerprint_stem());
+            let ordinal = seen.entry(stem.clone()).or_insert(0);
+            *ordinal += 1;
+            format!("{}#{}", f.fingerprint_stem(), *ordinal)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, file: &str, function: &str, detail: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            function: function.into(),
+            detail: detail.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn fingerprints_disambiguate_repeats() {
+        let findings = vec![
+            finding(Rule::PanicSurface, "a.rs", "f", ".unwrap()"),
+            finding(Rule::PanicSurface, "a.rs", "f", ".unwrap()"),
+            finding(Rule::PanicSurface, "a.rs", "g", ".unwrap()"),
+        ];
+        assert_eq!(
+            fingerprints(&findings),
+            [
+                "a.rs::f::.unwrap()#1",
+                "a.rs::f::.unwrap()#2",
+                "a.rs::g::.unwrap()#1"
+            ]
+        );
+    }
+
+    #[test]
+    fn ratchet_partitions_new_tolerated_and_stale() {
+        let baseline = Baseline::parse(
+            "version = 1\n[counts]\npanic_surface = 2\n\n[[violation]]\nrule = \"panic_surface\"\nfile = \"a.rs\"\nkey = \"a.rs::f::.unwrap()#1\"\n\n[[violation]]\nrule = \"panic_surface\"\nfile = \"gone.rs\"\nkey = \"gone.rs::h::panic!#1\"\n",
+        )
+        .unwrap();
+        baseline.verify_well_formed().unwrap();
+        let findings = vec![
+            finding(Rule::PanicSurface, "a.rs", "f", ".unwrap()"),
+            finding(Rule::SeedPolicy, "b.rs", "g", ".gen_range()"),
+        ];
+        let ratchet = baseline.ratchet(&findings);
+        assert_eq!(ratchet.tolerated.len(), 1);
+        assert_eq!(ratchet.new.len(), 1);
+        assert_eq!(ratchet.new[0].rule, Rule::SeedPolicy);
+        assert_eq!(ratchet.stale.len(), 1);
+        assert_eq!(ratchet.stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn render_refuses_to_grow_without_force() {
+        let baseline = Baseline::parse("version = 1\n[counts]\npanic_surface = 0\n").unwrap();
+        let findings = vec![finding(Rule::PanicSurface, "a.rs", "f", ".unwrap()")];
+        assert!(baseline.render_ratcheted(&findings, false).is_err());
+        let forced = baseline.render_ratcheted(&findings, true).unwrap();
+        let reparsed = Baseline::parse(&forced).unwrap();
+        assert_eq!(reparsed.counts["panic_surface"], 1);
+        assert_eq!(reparsed.entries.len(), 1);
+        reparsed.verify_well_formed().unwrap();
+    }
+
+    #[test]
+    fn render_shrinks_counts_to_current_findings() {
+        let baseline = Baseline::parse("version = 1\n[counts]\npanic_surface = 5\n").unwrap();
+        let rendered = baseline.render_ratcheted(&[], false).unwrap();
+        let reparsed = Baseline::parse(&rendered).unwrap();
+        assert_eq!(
+            reparsed.counts["panic_surface"], 0,
+            "high-water mark ratchets down"
+        );
+    }
+
+    #[test]
+    fn well_formedness_rejects_entries_over_counts() {
+        let baseline = Baseline::parse(
+            "version = 1\n[counts]\npanic_surface = 0\n\n[[violation]]\nrule = \"panic_surface\"\nfile = \"a.rs\"\nkey = \"k#1\"\n",
+        )
+        .unwrap();
+        assert!(baseline.verify_well_formed().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_rules_and_negative_counts() {
+        assert!(Baseline::parse("[counts]\nbogus_rule = 1\n").is_err());
+        assert!(Baseline::parse("[counts]\npanic_surface = -1\n").is_err());
+        assert!(
+            Baseline::parse("[[violation]]\nrule = \"nope\"\nfile = \"a\"\nkey = \"k\"\n").is_err()
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The analysis engine: walks the workspace, scans every Rust file, applies
+//! the rules, and matches the result against the ratcheting baseline.
+
+use crate::baseline::{fingerprints, Baseline, Ratchet};
+use crate::manifest::{LockManifest, SeedManifest};
+use crate::rules::{apply_all, Finding, Rule};
+use crate::scanner::FileModel;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directories walked under the workspace root.
+const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+/// Path components that end a walk: build output, vendored third-party
+/// stand-ins (not this project's code), and the analyzer's own deliberately
+/// violating fixture files.
+const SKIP_COMPONENTS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
+
+/// Everything one analysis run produced.
+pub struct Analysis {
+    /// All findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Matching fingerprints (same order as `findings`).
+    pub fingerprints: Vec<String>,
+    /// Malformed-directive hard errors: `(file, line, problem)`.
+    pub directive_errors: Vec<(String, u32, String)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Runs the full analysis over the workspace at `root`.
+pub fn analyze(root: &Path) -> Result<Analysis, String> {
+    let locks = LockManifest::load(root)?;
+    let seeds = SeedManifest::load(root)?;
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        collect_rust_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut directive_errors = Vec::new();
+    let files_scanned = files.len();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let model = FileModel::scan_path(root, &rel).map_err(|e| format!("reading {rel}: {e}"))?;
+        for (line, problem) in &model.directives.malformed {
+            directive_errors.push((rel.clone(), *line, problem.clone()));
+        }
+        findings.extend(apply_all(&model, &locks, &seeds));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let fingerprints = fingerprints(&findings);
+    Ok(Analysis {
+        findings,
+        fingerprints,
+        directive_errors,
+        files_scanned,
+    })
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if SKIP_COMPONENTS.contains(&name.as_str()) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Renders the outcome of a `check` run. Returns `(report, failed)` where
+/// `failed` reflects what `--deny` should exit non-zero on: new findings,
+/// stale baseline entries, or malformed directives.
+pub fn report(analysis: &Analysis, ratchet: &Ratchet<'_>) -> (String, bool) {
+    let mut out = String::new();
+    let mut failed = false;
+
+    if !analysis.directive_errors.is_empty() {
+        failed = true;
+        out.push_str("malformed directives (always fatal):\n");
+        for (file, line, problem) in &analysis.directive_errors {
+            out.push_str(&format!("  {file}:{line}: {problem}\n"));
+        }
+        out.push('\n');
+    }
+
+    if !ratchet.new.is_empty() {
+        failed = true;
+        out.push_str(&format!(
+            "{} new violation(s) not covered by analysis/baseline.toml:\n",
+            ratchet.new.len()
+        ));
+        for finding in &ratchet.new {
+            out.push_str(&format!(
+                "  [{}] {}:{}: {}\n",
+                finding.rule, finding.file, finding.line, finding.message
+            ));
+        }
+        out.push('\n');
+    }
+
+    if !ratchet.stale.is_empty() {
+        failed = true;
+        out.push_str(&format!(
+            "{} stale baseline entr{} — the code improved; run `cargo run -p melissa_analysis -- ratchet` to shrink the baseline:\n",
+            ratchet.stale.len(),
+            if ratchet.stale.len() == 1 { "y" } else { "ies" }
+        ));
+        for entry in &ratchet.stale {
+            out.push_str(&format!("  [{}] {}\n", entry.rule, entry.key));
+        }
+        out.push('\n');
+    }
+
+    let mut per_rule: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for rule in Rule::ALL {
+        per_rule.insert(rule.key(), (0, 0));
+    }
+    for finding in &ratchet.new {
+        per_rule.entry(finding.rule.key()).or_default().0 += 1;
+    }
+    for finding in &ratchet.tolerated {
+        per_rule.entry(finding.rule.key()).or_default().1 += 1;
+    }
+    out.push_str(&format!(
+        "scanned {} files: {} finding(s) ({} new, {} tolerated by baseline)\n",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        ratchet.new.len(),
+        ratchet.tolerated.len(),
+    ));
+    for (rule, (new, tolerated)) in per_rule {
+        out.push_str(&format!(
+            "  {rule:<16} new {new:>3}   baselined {tolerated:>3}\n"
+        ));
+    }
+    (out, failed)
+}
+
+/// Loads the baseline and matches `analysis` against it.
+pub fn load_and_ratchet<'a>(
+    root: &Path,
+    analysis: &'a Analysis,
+) -> Result<(Baseline, Ratchet<'a>), String> {
+    let baseline = Baseline::load(root)?;
+    baseline.verify_well_formed()?;
+    let ratchet = baseline.ratchet(&analysis.findings);
+    Ok((baseline, ratchet))
+}

@@ -1,0 +1,488 @@
+//! A small hand-rolled Rust lexer: just enough of the surface grammar to let
+//! the rule scanners reason about *tokens* instead of raw text.
+//!
+//! The lexer understands the parts of Rust that defeat regex-based linting:
+//!
+//! * line comments and **nested** block comments (`/* a /* b */ c */`),
+//! * normal strings with escapes and **raw strings with any hash depth**
+//!   (`r#"…"#`, `br##"…"##`), byte strings and byte chars,
+//! * the `'a` lifetime vs `'x'` char-literal ambiguity,
+//! * raw identifiers (`r#match`),
+//! * numeric literals (including `0..n` ranges, which must not be eaten as a
+//!   float).
+//!
+//! Macro bodies need no special casing: token trees inside `vec![…]` or
+//! `assert!(…)` are lexed like any other tokens, and every delimiter still
+//! balances, so the brace-scoped scanner works through them unchanged.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword; raw identifiers are normalised (the token
+    /// for `r#match` carries the text `match` with [`Token::raw`] set).
+    Ident,
+    /// A lifetime such as `'a` or `'static`; the text excludes the quote.
+    Lifetime,
+    /// A character or byte-character literal.
+    Char,
+    /// Any string literal form (normal, raw, byte, raw byte).
+    Str,
+    /// A numeric literal.
+    Number,
+    /// A single punctuation character (`::` is two consecutive `:` tokens).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text for identifiers, lifetimes and numbers; empty otherwise.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// True for raw identifiers (`r#ident`).
+    pub raw: bool,
+}
+
+/// One comment with its span; the rule layer mines these for directives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for line comments).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/*` framing, untrimmed.
+    pub text: String,
+    /// True for block comments.
+    pub block: bool,
+}
+
+/// The output of [`lex`]: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments. Unterminated constructs (an
+/// unclosed string or block comment) consume to end of input rather than
+/// erroring: the analyzer must degrade gracefully on code rustc would reject.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, raw: bool) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            raw,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string();
+                    self.retag_last_str_line(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.bump();
+                    self.char_body();
+                    self.push(TokenKind::Char, String::new(), line, false);
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(),
+                'r' if self.peek(1) == Some('#') && is_ident_start(self.peek(2)) => {
+                    self.bump();
+                    self.bump();
+                    let text = self.ident_text();
+                    self.push(TokenKind::Ident, text, line, true);
+                }
+                '\'' => self.lifetime_or_char(),
+                c if is_ident_start(Some(c)) => {
+                    let text = self.ident_text();
+                    self.push(TokenKind::Ident, text, line, false);
+                }
+                c if c.is_ascii_digit() => self.number(),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), String::new(), line, false);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `b"…"` is lexed by delegating to [`Lexer::string`] after the `b`; the
+    /// helper fixes the recorded start line back to the prefix (relevant only
+    /// for a multi-line literal whose `b` sits at end of line — impossible —
+    /// so this is belt and braces).
+    fn retag_last_str_line(&mut self, line: u32) {
+        if let Some(last) = self.out.tokens.last_mut() {
+            last.line = line;
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+            block: false,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+            block: true,
+        });
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, String::new(), line, false);
+    }
+
+    /// True when the cursor sits on `r…"` / `br…"` with zero or more hashes
+    /// between the prefix and the quote.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1; // past the leading `r` / `b`
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self) {
+        let line = self.line;
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Str, String::new(), line, false);
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` (char literal). A quote
+    /// followed by an escape is always a char; a quote followed by exactly
+    /// one scalar and a closing quote is a char; anything else that starts
+    /// like an identifier is a lifetime.
+    fn lifetime_or_char(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                self.char_body();
+                self.push(TokenKind::Char, String::new(), line, false);
+            }
+            Some(c) if is_ident_start(Some(c)) && self.peek(1) != Some('\'') => {
+                let text = self.ident_text();
+                self.push(TokenKind::Lifetime, text, line, false);
+            }
+            _ => {
+                self.char_body();
+                self.push(TokenKind::Char, String::new(), line, false);
+            }
+        }
+    }
+
+    /// Consumes a char-literal body up to and including the closing quote
+    /// (the opening quote is already consumed).
+    fn char_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn ident_text(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text
+    }
+
+    /// Numeric literals, conservatively: digits, `_`, type-suffix letters and
+    /// hex digits, plus a `.` **only when followed by a digit** so `0..n`
+    /// stays three tokens and `1.0e-3` stays one.
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+                // Exponent sign: `1e-3` / `2.5E+7`.
+                if (text.ends_with('e') || text.ends_with('E'))
+                    && !text.starts_with("0x")
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    if let Some(sign) = self.bump() {
+                        text.push(sign);
+                    }
+                }
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line, false);
+    }
+}
+
+fn is_ident_start(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_do_not_leak_tokens() {
+        let lexed = lex(r###"let x = r#"quote " and // not a comment"# ; after"###);
+        assert_eq!(idents(&lexed), ["let", "x", "after"]);
+        assert!(lexed.comments.is_empty());
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_byte_strings_and_deep_hashes() {
+        let lexed = lex("let y = br##\"inner \"# still\"## ; done");
+        assert_eq!(idents(&lexed), ["let", "y", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        let lexed = lex("a /* outer /* inner */ still outer */ b");
+        assert_eq!(idents(&lexed), ["a", "b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; let s = 'static; }");
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_are_normalised_and_flagged() {
+        let lexed = lex("let r#match = r#fn + other;");
+        let raws: Vec<(&str, bool)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text.as_str(), t.raw))
+            .collect();
+        assert_eq!(
+            raws,
+            [
+                ("let", false),
+                ("match", true),
+                ("fn", true),
+                ("other", false)
+            ]
+        );
+    }
+
+    #[test]
+    fn macro_bodies_lex_as_plain_token_trees() {
+        let lexed = lex("vec![1, 2]; format!(\"{x}\", x = 'y'); matches!(v, Some(_))");
+        assert_eq!(
+            idents(&lexed),
+            ["vec", "format", "x", "matches", "v", "Some", "_"]
+        );
+    }
+
+    #[test]
+    fn ranges_are_not_floats_and_exponents_are_one_token() {
+        let lexed = lex("for i in 0..10 { let f = 1.5e-3; let h = 0xfe; }");
+        let numbers: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(numbers, ["0", "10", "1.5e-3", "0xfe"]);
+    }
+
+    #[test]
+    fn byte_chars_and_escaped_quotes() {
+        let lexed = lex(r#"let a = b'\''; let s = "esc \" quote"; trail"#);
+        assert_eq!(idents(&lexed), ["let", "a", "let", "s", "trail"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let lexed = lex("first\n/* two\nlines */\n\"str\nstr\"\nlast");
+        let last = lexed.tokens.last().unwrap();
+        assert_eq!((last.text.as_str(), last.line), ("last", 6));
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[0].end_line, 3);
+    }
+
+    #[test]
+    fn line_comment_text_is_captured() {
+        let lexed = lex("code(); // analysis: hot_path\nmore();");
+        assert_eq!(lexed.comments[0].text, " analysis: hot_path");
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+}

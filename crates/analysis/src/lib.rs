@@ -1,0 +1,44 @@
+//! `melissa_analysis` — a project-invariant lint engine for the Melissa
+//! workspace, with a ratcheting baseline and a CI gate.
+//!
+//! The performance work of PRs 3–5 rests on invariants the compiler cannot
+//! see: hot paths must not allocate, locks nest in one declared order, every
+//! atomic ordering is deliberate, library code never panics, and every RNG
+//! stream flows through a versioned seed policy. This crate enforces them
+//! mechanically, offline, with zero external dependencies:
+//!
+//! * a hand-rolled [`lexer`] (nested block comments, raw strings with hash
+//!   depth, `'a` vs `'x'`, raw identifiers) feeds
+//! * a brace-scoped [`scanner`] (function spans, `#[cfg(test)]` regions,
+//!   directive comments), over which
+//! * five [`rules`] run, configured by the checked manifests in
+//!   [`manifest`] (`analysis/locks.toml`, `analysis/seed_policy.toml`), and
+//! * findings diff against the ratcheting [`baseline`]
+//!   (`analysis/baseline.toml`): pre-existing violations are enumerated,
+//!   their count may only go down, and new ones fail `check --deny` in CI.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p melissa_analysis -- check            # report
+//! cargo run -p melissa_analysis -- check --deny     # the CI gate
+//! cargo run -p melissa_analysis -- ratchet          # shrink the baseline
+//! cargo run -p melissa_analysis -- verify-baseline  # well-formedness only
+//! ```
+//!
+//! Annotations understood in source (line comments):
+//!
+//! * `// analysis: hot_path` — marks the next `fn` allocation-free;
+//! * `// analysis: allow(<rule>, reason = "…")` — grants one line an
+//!   exemption (`alloc`, `lock`, `ordering`, `panic`, `seed`), reason
+//!   mandatory;
+//! * `// ordering: <why>` — justifies `Ordering::…` on the same line, or a
+//!   contiguous run of sites below it.
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod scanner;
+pub mod toml_lite;

@@ -1,0 +1,108 @@
+//! CLI for the workspace lint engine: `check [--deny]`, `ratchet [--force]`,
+//! `verify-baseline`, each with an optional `--root <path>`.
+
+use melissa_analysis::baseline::Baseline;
+use melissa_analysis::engine::{analyze, load_and_ratchet, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: melissa_analysis <check [--deny] | ratchet [--force] | verify-baseline> [--root <path>]";
+
+enum Command {
+    Check,
+    Ratchet,
+    VerifyBaseline,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut deny = false;
+    let mut force = false;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some(Command::Check),
+            "ratchet" if command.is_none() => command = Some(Command::Ratchet),
+            "verify-baseline" if command.is_none() => command = Some(Command::VerifyBaseline),
+            "--deny" => deny = true,
+            "--force" => force = true,
+            "--root" => match iter.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => return usage_error("--root needs a path"),
+            },
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(command) = command else {
+        return usage_error("missing command");
+    };
+    // Default root: the workspace this binary was built from (robust under
+    // `cargo run` from any directory).
+    let root = root.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+
+    let outcome = match command {
+        Command::Check => run_check(&root, deny),
+        Command::Ratchet => run_ratchet(&root, force),
+        Command::VerifyBaseline => run_verify(&root),
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn run_check(root: &std::path::Path, deny: bool) -> Result<ExitCode, String> {
+    let analysis = analyze(root)?;
+    let (_, ratchet) = load_and_ratchet(root, &analysis)?;
+    let (text, failed) = report(&analysis, &ratchet);
+    print!("{text}");
+    if failed && deny {
+        println!("check --deny: FAILED");
+        Ok(ExitCode::from(1))
+    } else {
+        if failed {
+            println!("(advisory run: rerun with --deny to enforce)");
+        }
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn run_ratchet(root: &std::path::Path, force: bool) -> Result<ExitCode, String> {
+    let analysis = analyze(root)?;
+    if let Some((file, line, problem)) = analysis.directive_errors.first() {
+        return Err(format!(
+            "malformed directive at {file}:{line}: {problem} (fix before ratcheting)"
+        ));
+    }
+    let baseline = Baseline::load(root)?;
+    let rendered = baseline.render_ratcheted(&analysis.findings, force)?;
+    let path = root.join("analysis/baseline.toml");
+    std::fs::write(&path, rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!(
+        "wrote {} with {} tolerated violation(s)",
+        path.display(),
+        analysis.findings.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_verify(root: &std::path::Path) -> Result<ExitCode, String> {
+    let baseline = Baseline::load(root)?;
+    baseline.verify_well_formed()?;
+    println!(
+        "analysis/baseline.toml well-formed: {} tolerated violation(s), high-water marks {:?}",
+        baseline.entries.len(),
+        baseline.counts
+    );
+    Ok(ExitCode::SUCCESS)
+}

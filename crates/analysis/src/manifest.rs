@@ -1,0 +1,203 @@
+//! The checked manifests: the declared lock order (`analysis/locks.toml`)
+//! and the versioned RNG seed policy (`analysis/seed_policy.toml`).
+//!
+//! Both files are part of the reviewed source tree: changing a lock order or
+//! blessing a new seed-derivation site is a diff a reviewer sees, not a
+//! convention a refactor silently breaks.
+
+use crate::toml_lite::{parse, Doc};
+use std::path::Path;
+
+/// One declared lock class: a receiver pattern within one file, with its
+/// acquisition rank. A lock may only be acquired while every held lock has a
+/// **strictly lower** rank.
+#[derive(Debug, Clone)]
+pub struct LockClass {
+    /// Human name of the class (reporting only).
+    pub name: String,
+    /// Workspace-relative file the class applies to.
+    pub file: String,
+    /// Receiver-chain prefix, as rendered by the scanner (`self.draw`,
+    /// `self.shards`); indexing renders as `[_]` and prefix-matches.
+    pub receiver: String,
+    /// Acquisition rank: lower ranks are acquired first (outermost).
+    pub rank: i64,
+}
+
+/// The declared lock order.
+#[derive(Debug, Clone, Default)]
+pub struct LockManifest {
+    classes: Vec<LockClass>,
+}
+
+impl LockManifest {
+    /// Loads `analysis/locks.toml` under `root`; a missing file is an empty
+    /// manifest (every nested acquisition is then a heuristic finding).
+    pub fn load(root: &Path) -> Result<LockManifest, String> {
+        let path = root.join("analysis/locks.toml");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Ok(LockManifest::default());
+        };
+        let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut classes = Vec::new();
+        for entry in doc.arrays.get("class").map(|v| v.as_slice()).unwrap_or(&[]) {
+            classes.push(LockClass {
+                name: entry
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .ok_or("lock class missing `name`")?
+                    .to_string(),
+                file: entry
+                    .get("file")
+                    .and_then(|v| v.as_str())
+                    .ok_or("lock class missing `file`")?
+                    .to_string(),
+                receiver: entry
+                    .get("receiver")
+                    .and_then(|v| v.as_str())
+                    .ok_or("lock class missing `receiver`")?
+                    .to_string(),
+                rank: entry
+                    .get("rank")
+                    .and_then(|v| v.as_int())
+                    .ok_or("lock class missing integer `rank`")?,
+            });
+        }
+        Ok(LockManifest { classes })
+    }
+
+    /// Builds a manifest from `(file, receiver, rank)` triples (tests).
+    pub fn from_entries(entries: Vec<(String, String, i64)>) -> LockManifest {
+        LockManifest {
+            classes: entries
+                .into_iter()
+                .map(|(file, receiver, rank)| LockClass {
+                    name: receiver.clone(),
+                    file,
+                    receiver,
+                    rank,
+                })
+                .collect(),
+        }
+    }
+
+    /// The rank of `receiver` in `file`, when a class matches. Receivers
+    /// match by prefix so `self.shards[_]` matches a `self.shards` class.
+    pub fn rank_of(&self, file: &str, receiver: &str) -> Option<i64> {
+        self.classes
+            .iter()
+            .filter(|c| c.file == file && receiver.starts_with(c.receiver.as_str()))
+            .map(|c| c.rank)
+            .next()
+    }
+
+    /// All declared classes (reporting).
+    pub fn classes(&self) -> &[LockClass] {
+        &self.classes
+    }
+}
+
+/// One blessed seed-policy location: RNG construction/drawing inside the
+/// listed functions of one file is within policy.
+#[derive(Debug, Clone)]
+pub struct SeedHelper {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Function names blessed within that file.
+    pub functions: Vec<String>,
+}
+
+/// The versioned seed-policy manifest.
+#[derive(Debug, Clone, Default)]
+pub struct SeedManifest {
+    helpers: Vec<SeedHelper>,
+}
+
+impl SeedManifest {
+    /// Loads `analysis/seed_policy.toml` under `root`; a missing file means
+    /// *no* site is blessed.
+    pub fn load(root: &Path) -> Result<SeedManifest, String> {
+        let path = root.join("analysis/seed_policy.toml");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Ok(SeedManifest::default());
+        };
+        let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(SeedManifest {
+            helpers: helpers_from(&doc)?,
+        })
+    }
+
+    /// Builds a manifest from `(file, functions)` pairs (tests).
+    pub fn from_entries(entries: Vec<(String, Vec<String>)>) -> SeedManifest {
+        SeedManifest {
+            helpers: entries
+                .into_iter()
+                .map(|(file, functions)| SeedHelper { file, functions })
+                .collect(),
+        }
+    }
+
+    /// True when `function` in `file` is a blessed seed-policy helper.
+    pub fn allows(&self, file: &str, function: &str) -> bool {
+        self.helpers
+            .iter()
+            .any(|h| h.file == file && h.functions.iter().any(|f| f == function))
+    }
+
+    /// All blessed helpers (reporting).
+    pub fn helpers(&self) -> &[SeedHelper] {
+        &self.helpers
+    }
+}
+
+fn helpers_from(doc: &Doc) -> Result<Vec<SeedHelper>, String> {
+    let mut helpers = Vec::new();
+    for entry in doc
+        .arrays
+        .get("helper")
+        .map(|v| v.as_slice())
+        .unwrap_or(&[])
+    {
+        helpers.push(SeedHelper {
+            file: entry
+                .get("file")
+                .and_then(|v| v.as_str())
+                .ok_or("seed helper missing `file`")?
+                .to_string(),
+            functions: entry
+                .get("functions")
+                .and_then(|v| v.as_str_array())
+                .ok_or("seed helper missing `functions` array")?
+                .to_vec(),
+        });
+    }
+    Ok(helpers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_rank_prefix_matches_indexed_receivers() {
+        let manifest = LockManifest::from_entries(vec![
+            ("f.rs".into(), "self.shards".into(), 5),
+            ("f.rs".into(), "self.wait".into(), 9),
+        ]);
+        assert_eq!(manifest.rank_of("f.rs", "self.shards[_]"), Some(5));
+        assert_eq!(manifest.rank_of("f.rs", "self.wait"), Some(9));
+        assert_eq!(manifest.rank_of("other.rs", "self.wait"), None);
+        assert_eq!(manifest.rank_of("f.rs", "self.other"), None);
+    }
+
+    #[test]
+    fn seed_manifest_blesses_listed_functions_only() {
+        let manifest = SeedManifest::from_entries(vec![(
+            "a.rs".into(),
+            vec!["good".into(), "also_good".into()],
+        )]);
+        assert!(manifest.allows("a.rs", "good"));
+        assert!(!manifest.allows("a.rs", "bad"));
+        assert!(!manifest.allows("b.rs", "good"));
+    }
+}

@@ -1,0 +1,826 @@
+//! The five project-invariant rules, evaluated over a scanned [`FileModel`].
+//!
+//! | rule | key | scope |
+//! |------|-----|-------|
+//! | hot-path allocation | `hot_path_alloc` | fns marked `// analysis: hot_path` |
+//! | lock discipline | `lock_discipline` | library code |
+//! | atomic-ordering audit | `atomic_ordering` | everywhere (incl. tests) |
+//! | panic surface | `panic_surface` | library code outside tests |
+//! | RNG seed policy | `seed_policy` | library code outside tests |
+//!
+//! Every rule honours an inline `// analysis: allow(<key>, reason = "…")`
+//! grant on the offending line (or the line directly above it).
+
+use crate::lexer::{Token, TokenKind};
+use crate::manifest::{LockManifest, SeedManifest};
+use crate::scanner::{FileContext, FileModel, FnSpan};
+use std::fmt;
+
+/// The rule a finding belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Allocation in a `// analysis: hot_path` function.
+    HotPathAlloc,
+    /// Nested lock acquisition out of declared order.
+    LockDiscipline,
+    /// `Ordering::…` without an `// ordering:` justification.
+    AtomicOrdering,
+    /// `unwrap`/`expect`/`panic!` in non-test library code.
+    PanicSurface,
+    /// RNG seeding/drawing outside the versioned seed-policy helpers.
+    SeedPolicy,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::HotPathAlloc,
+        Rule::LockDiscipline,
+        Rule::AtomicOrdering,
+        Rule::PanicSurface,
+        Rule::SeedPolicy,
+    ];
+
+    /// The stable snake_case key used in `baseline.toml`.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::HotPathAlloc => "hot_path_alloc",
+            Rule::LockDiscipline => "lock_discipline",
+            Rule::AtomicOrdering => "atomic_ordering",
+            Rule::PanicSurface => "panic_surface",
+            Rule::SeedPolicy => "seed_policy",
+        }
+    }
+
+    /// The short key accepted by `allow(…)` directives.
+    pub fn allow_key(self) -> &'static str {
+        match self {
+            Rule::HotPathAlloc => "alloc",
+            Rule::LockDiscipline => "lock",
+            Rule::AtomicOrdering => "ordering",
+            Rule::PanicSurface => "panic",
+            Rule::SeedPolicy => "seed",
+        }
+    }
+
+    /// Parses a `baseline.toml` rule key.
+    pub fn from_key(key: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.key() == key)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Enclosing function name (empty at item level).
+    pub function: String,
+    /// Short token-level detail (`"`.clone()`"`, `"Ordering::SeqCst"`);
+    /// part of the baseline fingerprint, so it must not contain line numbers.
+    pub detail: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Finding {
+    /// The line-number-free identity used to match baseline entries: rule,
+    /// file, enclosing function and token detail. An occurrence ordinal is
+    /// appended by the engine when one function repeats the same detail.
+    pub fn fingerprint_stem(&self) -> String {
+        format!("{}::{}::{}", self.file, self.function, self.detail)
+    }
+}
+
+/// Evaluates every applicable rule over one file.
+pub fn apply_all(model: &FileModel, locks: &LockManifest, seeds: &SeedManifest) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    hot_path_alloc(model, &mut findings);
+    if model.context == FileContext::Library {
+        lock_discipline(model, locks, &mut findings);
+        panic_surface(model, &mut findings);
+        seed_policy(model, seeds, &mut findings);
+    }
+    atomic_ordering(model, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+fn is_punct(tok: Option<&Token>, c: char) -> bool {
+    matches!(tok.map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c)
+}
+
+fn ident_text(tok: Option<&Token>) -> Option<&str> {
+    match tok {
+        Some(t) if t.kind == TokenKind::Ident => Some(t.text.as_str()),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: hot-path allocation
+// ---------------------------------------------------------------------------
+
+/// Methods that allocate (called as `.name(…)`).
+const ALLOC_METHODS: [&str; 7] = [
+    "clone",
+    "to_vec",
+    "collect",
+    "to_string",
+    "to_owned",
+    "into_boxed_slice",
+    "into_vec",
+];
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+/// Types whose `new` / `with_capacity` / `from` constructors allocate.
+const ALLOC_TYPES: [&str; 12] = [
+    "Vec", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque", "Rc", "Arc",
+    "Bytes", "BytesMut",
+];
+const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
+
+fn hot_path_alloc(model: &FileModel, findings: &mut Vec<Finding>) {
+    for span in model.functions.iter().filter(|f| f.hot_path) {
+        for i in span.body.clone() {
+            let tok = &model.tokens[i];
+            let detail = if is_punct(Some(tok), '.') {
+                match ident_text(model.tokens.get(i + 1)) {
+                    Some(m)
+                        if ALLOC_METHODS.contains(&m) && is_punct(model.tokens.get(i + 2), '(') =>
+                    {
+                        Some(format!(".{m}()"))
+                    }
+                    _ => None,
+                }
+            } else if ident_text(Some(tok)).is_some_and(|t| ALLOC_MACROS.contains(&t))
+                && is_punct(model.tokens.get(i + 1), '!')
+            {
+                Some(format!("{}!", tok.text))
+            } else if ident_text(Some(tok)).is_some_and(|t| ALLOC_TYPES.contains(&t))
+                && is_punct(model.tokens.get(i + 1), ':')
+                && is_punct(model.tokens.get(i + 2), ':')
+                && ident_text(model.tokens.get(i + 3)).is_some_and(|c| ALLOC_CTORS.contains(&c))
+                && is_punct(model.tokens.get(i + 4), '(')
+            {
+                Some(format!("{}::{}", tok.text, model.tokens[i + 3].text))
+            } else {
+                None
+            };
+            let Some(detail) = detail else { continue };
+            let line = tok.line;
+            if model.allow_for(line, "alloc").is_some() {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::HotPathAlloc,
+                file: model.rel_path.clone(),
+                line,
+                function: span.name.clone(),
+                detail: detail.clone(),
+                message: format!(
+                    "allocating call `{detail}` inside hot-path fn `{}` (add `// analysis: allow(alloc, reason = …)` if deliberate)",
+                    span.name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: lock discipline
+// ---------------------------------------------------------------------------
+
+/// A live guard binding inside one function walk.
+struct Guard {
+    name: String,
+    depth: isize,
+    rank: Option<i64>,
+    receiver: String,
+    line: u32,
+}
+
+fn lock_discipline(model: &FileModel, manifest: &LockManifest, findings: &mut Vec<Finding>) {
+    for span in model.functions.iter().filter(|f| !f.is_test) {
+        lock_walk(model, span, manifest, findings);
+    }
+}
+
+fn lock_walk(
+    model: &FileModel,
+    span: &FnSpan,
+    manifest: &LockManifest,
+    findings: &mut Vec<Finding>,
+) {
+    const ACQUIRERS: [&str; 3] = ["lock", "read", "write"];
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: isize = 0;
+    let toks = &model.tokens;
+    for i in span.body.clone() {
+        match &toks[i].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            // `drop(name)` releases a guard early.
+            TokenKind::Ident if toks[i].text == "drop" && is_punct(toks.get(i + 1), '(') => {
+                if let Some(name) = ident_text(toks.get(i + 2)) {
+                    if is_punct(toks.get(i + 3), ')') {
+                        guards.retain(|g| g.name != name);
+                    }
+                }
+            }
+            // `.lock()` / `.read()` / `.write()` with empty parens.
+            TokenKind::Punct('.')
+                if ident_text(toks.get(i + 1)).is_some_and(|m| ACQUIRERS.contains(&m))
+                    && is_punct(toks.get(i + 2), '(')
+                    && is_punct(toks.get(i + 3), ')') =>
+            {
+                let method = toks[i + 1].text.clone();
+                let line = toks[i + 1].line;
+                let receiver = receiver_chain(toks, i);
+                let rank = manifest.rank_of(&model.rel_path, &receiver);
+                if let Some(conflict) = guards.iter().find(|g| match (g.rank, rank) {
+                    (Some(held), Some(new)) => new <= held,
+                    _ => true,
+                }) {
+                    if model.allow_for(line, "lock").is_none() {
+                        let why = match (conflict.rank, rank) {
+                            (Some(_), Some(_)) => {
+                                "violates the declared lock order in analysis/locks.toml"
+                            }
+                            _ => "no order for this pair is declared in analysis/locks.toml",
+                        };
+                        findings.push(Finding {
+                            rule: Rule::LockDiscipline,
+                            file: model.rel_path.clone(),
+                            line,
+                            function: span.name.clone(),
+                            detail: format!("{receiver}.{method}() under {}", conflict.receiver),
+                            message: format!(
+                                "`{receiver}.{method}()` in fn `{}` while guard `{}` ({}, line {}) is live — {why}",
+                                span.name, conflict.name, conflict.receiver, conflict.line
+                            ),
+                        });
+                    }
+                }
+                // Register a guard when this is a `let name = <recv>.lock();`
+                // statement (acquisition result bound and kept).
+                if let Some(name) = let_binding_name(toks, i, span.body.start) {
+                    if is_punct(toks.get(i + 4), ';') {
+                        guards.retain(|g| g.name != name);
+                        guards.push(Guard {
+                            name,
+                            depth,
+                            rank,
+                            receiver,
+                            line,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Renders the receiver chain ending at the `.` token `dot`: `self.draw`,
+/// `self.shards[_]`, `slot`. Returns `"<expr>"` when the receiver is not a
+/// simple field/index chain.
+fn receiver_chain(toks: &[Token], dot: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = dot;
+    loop {
+        if j == 0 {
+            break;
+        }
+        match &toks[j - 1].kind {
+            TokenKind::Ident => {
+                parts.push(toks[j - 1].text.clone());
+                j -= 1;
+                if j > 0 && is_punct(toks.get(j - 1), '.') {
+                    j -= 1;
+                    continue;
+                }
+                break;
+            }
+            TokenKind::Punct(']') => {
+                // Skip the index expression back to its `[`.
+                let mut depth = 0isize;
+                let mut k = j - 1;
+                loop {
+                    match &toks[k].kind {
+                        TokenKind::Punct(']') => depth += 1,
+                        TokenKind::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                parts.push("[_]".to_string());
+                j = k;
+            }
+            _ => break,
+        }
+    }
+    if parts.is_empty() {
+        return "<expr>".to_string();
+    }
+    parts.reverse();
+    let mut out = String::new();
+    for part in parts {
+        if part == "[_]" {
+            out.push_str("[_]");
+        } else {
+            if !out.is_empty() {
+                out.push('.');
+            }
+            out.push_str(&part);
+        }
+    }
+    out
+}
+
+/// If the statement containing the acquisition at `dot` is a
+/// `let [mut] name = <receiver>…` binding, returns the bound name.
+fn let_binding_name(toks: &[Token], dot: usize, lo: usize) -> Option<String> {
+    // Walk back over the receiver chain to its start.
+    let mut j = dot;
+    loop {
+        if j == 0 || j <= lo {
+            break;
+        }
+        match &toks[j - 1].kind {
+            TokenKind::Ident => {
+                j -= 1;
+                if j > lo && is_punct(toks.get(j - 1), '.') {
+                    j -= 1;
+                    continue;
+                }
+                break;
+            }
+            TokenKind::Punct(']') => {
+                let mut depth = 0isize;
+                let mut k = j - 1;
+                loop {
+                    match &toks[k].kind {
+                        TokenKind::Punct(']') => depth += 1,
+                        TokenKind::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                j = k;
+            }
+            _ => break,
+        }
+    }
+    // Expect `… let [mut] name = ` right before the receiver.
+    if j <= lo || !is_punct(toks.get(j - 1), '=') {
+        return None;
+    }
+    let name_idx = j - 2;
+    let name = ident_text(toks.get(name_idx))?;
+    let mut k = name_idx;
+    if k > lo && ident_text(toks.get(k - 1)) == Some("mut") {
+        k -= 1;
+    }
+    if k > lo && ident_text(toks.get(k - 1)) == Some("let") {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: atomic-ordering audit
+// ---------------------------------------------------------------------------
+
+const ATOMIC_VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn atomic_ordering(model: &FileModel, findings: &mut Vec<Finding>) {
+    // All `Ordering::<atomic variant>` site lines first, so one justification
+    // comment can cover a contiguous run of sites.
+    let mut sites: Vec<(usize, u32, String)> = Vec::new();
+    for i in 0..model.tokens.len() {
+        if ident_text(model.tokens.get(i)) == Some("Ordering")
+            && is_punct(model.tokens.get(i + 1), ':')
+            && is_punct(model.tokens.get(i + 2), ':')
+        {
+            if let Some(variant) = ident_text(model.tokens.get(i + 3)) {
+                if ATOMIC_VARIANTS.contains(&variant) {
+                    sites.push((i, model.tokens[i + 3].line, format!("Ordering::{variant}")));
+                }
+            }
+        }
+    }
+    let site_lines: Vec<u32> = sites.iter().map(|&(_, l, _)| l).collect();
+    let comment_only_lines: Vec<u32> = comment_only_lines(model);
+    for (i, line, detail) in sites {
+        if ordering_covered(model, line, &site_lines, &comment_only_lines) {
+            continue;
+        }
+        if model.allow_for(line, "ordering").is_some() {
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::AtomicOrdering,
+            file: model.rel_path.clone(),
+            line,
+            function: model
+                .enclosing_fn(i)
+                .map(|f| f.name.clone())
+                .unwrap_or_default(),
+            detail: detail.clone(),
+            message: format!(
+                "`{detail}` lacks an `// ordering:` justification on this line or directly above"
+            ),
+        });
+    }
+}
+
+/// Lines that contain a comment and no code token.
+fn comment_only_lines(model: &FileModel) -> Vec<u32> {
+    let mut code: Vec<u32> = model.tokens.iter().map(|t| t.line).collect();
+    code.dedup();
+    let mut out = Vec::new();
+    for c in &model.comments {
+        for l in c.line..=c.end_line {
+            if code.binary_search(&l).is_err() {
+                out.push(l);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// A site at `line` is covered by a justification on the same line, or by one
+/// above the contiguous run of sites/comment-only lines containing it.
+fn ordering_covered(
+    model: &FileModel,
+    line: u32,
+    site_lines: &[u32],
+    comment_lines: &[u32],
+) -> bool {
+    let has_directive = |l: u32| model.directives.ordering_lines.contains(&l);
+    if has_directive(line) {
+        return true;
+    }
+    // Walk up through the run: prior lines that are themselves sites or
+    // comment-only lines stay in the run.
+    let mut l = line;
+    while l > 1 {
+        let prev = l - 1;
+        if has_directive(prev) {
+            return true;
+        }
+        if site_lines.contains(&prev) || comment_lines.binary_search(&prev).is_ok() {
+            l = prev;
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: panic surface
+// ---------------------------------------------------------------------------
+
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_surface(model: &FileModel, findings: &mut Vec<Finding>) {
+    for i in 0..model.tokens.len() {
+        if model.in_test_range(i) {
+            continue;
+        }
+        let tok = &model.tokens[i];
+        let detail = if is_punct(Some(tok), '.') {
+            match ident_text(model.tokens.get(i + 1)) {
+                Some(m) if PANIC_METHODS.contains(&m) && is_punct(model.tokens.get(i + 2), '(') => {
+                    Some((format!(".{m}()"), model.tokens[i + 1].line))
+                }
+                _ => None,
+            }
+        } else if ident_text(Some(tok)).is_some_and(|t| PANIC_MACROS.contains(&t))
+            && !tok.raw
+            && is_punct(model.tokens.get(i + 1), '!')
+        {
+            Some((format!("{}!", tok.text), tok.line))
+        } else {
+            None
+        };
+        let Some((detail, line)) = detail else {
+            continue;
+        };
+        if model.allow_for(line, "panic").is_some() {
+            continue;
+        }
+        let function = model
+            .enclosing_fn(i)
+            .map(|f| f.name.clone())
+            .unwrap_or_default();
+        findings.push(Finding {
+            rule: Rule::PanicSurface,
+            file: model.rel_path.clone(),
+            line,
+            function: function.clone(),
+            detail: detail.clone(),
+            message: format!(
+                "`{detail}` in library code{} — return a typed error or add `// analysis: allow(panic, reason = …)`",
+                if function.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (fn `{function}`)")
+                }
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: RNG seed policy
+// ---------------------------------------------------------------------------
+
+const SEED_FNS: [&str; 3] = ["seed_from_u64", "from_entropy", "from_seed"];
+
+fn seed_policy(model: &FileModel, manifest: &SeedManifest, findings: &mut Vec<Finding>) {
+    let mut seen_lines: Vec<(u32, String)> = Vec::new();
+    for i in 0..model.tokens.len() {
+        if model.in_test_range(i) {
+            continue;
+        }
+        let tok = &model.tokens[i];
+        let hit = if ident_text(Some(tok)) == Some("ChaCha8Rng")
+            && is_punct(model.tokens.get(i + 1), ':')
+            && is_punct(model.tokens.get(i + 2), ':')
+        {
+            Some(("ChaCha8Rng::".to_string(), tok.line))
+        } else if ident_text(Some(tok)).is_some_and(|t| SEED_FNS.contains(&t))
+            && is_punct(model.tokens.get(i + 1), '(')
+        {
+            Some((format!("{}()", tok.text), tok.line))
+        } else if is_punct(Some(tok), '.')
+            && ident_text(model.tokens.get(i + 1)) == Some("gen_range")
+            && is_punct(model.tokens.get(i + 2), '(')
+        {
+            Some((".gen_range()".to_string(), model.tokens[i + 1].line))
+        } else {
+            None
+        };
+        let Some((detail, line)) = hit else { continue };
+        if seen_lines.iter().any(|(l, _)| *l == line) {
+            continue; // `ChaCha8Rng::seed_from_u64(…)` must count once, not per pattern
+        }
+        seen_lines.push((line, detail.clone()));
+        let function = model
+            .enclosing_fn(i)
+            .map(|f| f.name.clone())
+            .unwrap_or_default();
+        if manifest.allows(&model.rel_path, &function) {
+            continue;
+        }
+        if model.allow_for(line, "seed").is_some() {
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::SeedPolicy,
+            file: model.rel_path.clone(),
+            line,
+            function: function.clone(),
+            detail: detail.clone(),
+            message: format!(
+                "RNG policy site `{detail}`{} is outside the versioned seed-policy helpers (declare it in analysis/seed_policy.toml or add `// analysis: allow(seed, reason = …)`)",
+                if function.is_empty() {
+                    String::new()
+                } else {
+                    format!(" in fn `{function}`")
+                }
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{LockManifest, SeedManifest};
+
+    fn check(src: &str) -> Vec<Finding> {
+        let model = FileModel::scan("crates/x/src/lib.rs", src);
+        apply_all(&model, &LockManifest::default(), &SeedManifest::default())
+    }
+
+    #[test]
+    fn hot_path_allocs_are_flagged_and_allows_honoured() {
+        let src = "\
+// analysis: hot_path
+fn hot(xs: &[u32]) -> usize {
+    let v = Vec::with_capacity(4);
+    let c = xs.to_vec();
+    let ok = xs.clone(); // analysis: allow(alloc, reason = \"documented\")
+    v.len() + c.len() + ok.len()
+}
+fn cold(xs: &[u32]) -> Vec<u32> { xs.to_vec() }
+";
+        let findings = check(src);
+        let alloc: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::HotPathAlloc)
+            .collect();
+        assert_eq!(alloc.len(), 2);
+        assert_eq!(alloc[0].detail, "Vec::with_capacity");
+        assert_eq!(alloc[1].detail, ".to_vec()");
+        assert!(alloc.iter().all(|f| f.function == "hot"));
+    }
+
+    #[test]
+    fn ordering_requires_justification_with_run_coverage() {
+        let src = "\
+use std::sync::atomic::Ordering;
+fn f(a: &std::sync::atomic::AtomicUsize) {
+    a.load(Ordering::SeqCst);
+    // ordering: Relaxed counters, read-only snapshot
+    a.load(Ordering::Relaxed);
+    a.load(Ordering::Relaxed);
+    a.store(1, Ordering::Release); // ordering: publishes the snapshot
+}
+";
+        let findings = check(src);
+        let ordering: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::AtomicOrdering)
+            .collect();
+        assert_eq!(ordering.len(), 1, "{ordering:?}");
+        assert_eq!(ordering[0].line, 3);
+        assert_eq!(ordering[0].detail, "Ordering::SeqCst");
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic_site() {
+        let findings = check("fn f(a: u32, b: u32) -> std::cmp::Ordering { a.cmp(&b).then(std::cmp::Ordering::Less) }");
+        assert!(findings.iter().all(|f| f.rule != Rule::AtomicOrdering));
+    }
+
+    #[test]
+    fn panic_surface_skips_tests_and_allows() {
+        let src = "\
+fn lib(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    // analysis: allow(panic, reason = \"infallible by construction\")
+    let b = v.expect(\"fine\");
+    if a + b > 3 { panic!(\"boom\") }
+    a
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { None::<u32>.unwrap(); panic!(\"test-only\"); }
+}
+";
+        let findings = check(src);
+        let panics: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::PanicSurface)
+            .collect();
+        assert_eq!(panics.len(), 2, "{panics:?}");
+        assert_eq!(panics[0].detail, ".unwrap()");
+        assert_eq!(panics[1].detail, "panic!");
+    }
+
+    #[test]
+    fn seed_policy_respects_manifest_and_test_scope() {
+        let src = "\
+use rand_chacha::ChaCha8Rng;
+fn blessed(seed: u64) -> ChaCha8Rng { ChaCha8Rng::seed_from_u64(seed) }
+fn rogue(seed: u64) -> ChaCha8Rng { ChaCha8Rng::seed_from_u64(seed) }
+fn draw(rng: &mut ChaCha8Rng) -> u32 { rng.gen_range(0..4) }
+";
+        let model = FileModel::scan("crates/x/src/lib.rs", src);
+        let seeds = SeedManifest::from_entries(vec![(
+            "crates/x/src/lib.rs".to_string(),
+            vec!["blessed".to_string()],
+        )]);
+        let findings = apply_all(&model, &LockManifest::default(), &seeds);
+        let seeds: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::SeedPolicy)
+            .collect();
+        assert_eq!(seeds.len(), 2, "{seeds:?}");
+        assert_eq!(seeds[0].function, "rogue");
+        assert_eq!(seeds[1].function, "draw");
+    }
+
+    #[test]
+    fn second_lock_while_guard_live_is_flagged_without_manifest() {
+        let src = "\
+fn f(&self) {
+    let guard = self.draw.lock();
+    let second = self.wait.lock();
+    drop(second);
+    drop(guard);
+    let fine = self.wait.lock();
+    drop(fine);
+}
+";
+        let findings = check(src);
+        let locks: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::LockDiscipline)
+            .collect();
+        assert_eq!(locks.len(), 1, "{locks:?}");
+        assert_eq!(locks[0].line, 3);
+        assert!(locks[0].detail.contains("self.wait.lock() under self.draw"));
+    }
+
+    #[test]
+    fn declared_lock_order_permits_inner_after_outer() {
+        let src = "\
+fn f(&self) {
+    let guard = self.draw.lock();
+    let inner = self.wait.lock();
+    drop(inner);
+    drop(guard);
+}
+fn g(&self) {
+    let guard = self.wait.lock();
+    let outer = self.draw.lock();
+}
+";
+        let model = FileModel::scan("crates/x/src/lib.rs", src);
+        let locks = LockManifest::from_entries(vec![
+            ("crates/x/src/lib.rs".into(), "self.draw".into(), 10),
+            ("crates/x/src/lib.rs".into(), "self.wait".into(), 20),
+        ]);
+        let findings = apply_all(&model, &locks, &SeedManifest::default());
+        let lock_findings: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::LockDiscipline)
+            .collect();
+        assert_eq!(lock_findings.len(), 1, "{lock_findings:?}");
+        assert_eq!(lock_findings[0].function, "g");
+        assert_eq!(lock_findings[0].line, 9);
+    }
+
+    #[test]
+    fn scope_exit_releases_guards() {
+        let src = "\
+fn f(&self) {
+    {
+        let guard = self.a.lock();
+    }
+    let other = self.b.lock();
+}
+";
+        let findings = check(src);
+        assert!(findings.iter().all(|f| f.rule != Rule::LockDiscipline));
+    }
+
+    #[test]
+    fn indexed_receivers_render_with_index_placeholder() {
+        let src = "\
+fn f(&self, shard: usize) {
+    let guard = self.shards[shard].lock();
+    let second = self.shards[shard + 1].lock();
+}
+";
+        let findings = check(src);
+        let locks: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::LockDiscipline)
+            .collect();
+        assert_eq!(locks.len(), 1);
+        assert!(locks[0]
+            .detail
+            .contains("self.shards[_].lock() under self.shards[_]"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Line-for-line assertions of every rule's findings over the deliberately
+//! seeded violation fixtures in `tests/fixtures/` (which the engine's
+//! workspace walk skips, so they never pollute `check --deny`).
+
+use melissa_analysis::manifest::{LockManifest, SeedManifest};
+use melissa_analysis::rules::{apply_all, Finding};
+use melissa_analysis::scanner::FileModel;
+
+/// Scans one fixture under a synthetic library rel-path and returns its
+/// findings as `(rule_key, line)` pairs, sorted.
+fn findings_for(fixture: &str, locks: &LockManifest, seeds: &SeedManifest) -> Vec<(String, u32)> {
+    let path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    let rel = format!("crates/demo/src/{fixture}");
+    let model = FileModel::scan(&rel, &source);
+    assert!(
+        model.directives.malformed.is_empty(),
+        "fixture {fixture} has malformed directives: {:?}",
+        model.directives.malformed
+    );
+    let mut out: Vec<(String, u32)> = apply_all(&model, locks, seeds)
+        .into_iter()
+        .map(|f: Finding| (f.rule.key().to_string(), f.line))
+        .collect();
+    out.sort();
+    out
+}
+
+fn expect(pairs: &[(&str, u32)]) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = pairs.iter().map(|(k, l)| (k.to_string(), *l)).collect();
+    out.sort();
+    out
+}
+
+fn empty_manifests() -> (LockManifest, SeedManifest) {
+    (
+        LockManifest::from_entries(Vec::new()),
+        SeedManifest::from_entries(Vec::new()),
+    )
+}
+
+#[test]
+fn hot_path_fixture_findings_line_for_line() {
+    let (locks, seeds) = empty_manifests();
+    assert_eq!(
+        findings_for("hot_path.rs", &locks, &seeds),
+        expect(&[
+            ("hot_path_alloc", 6),  // vec! macro
+            ("hot_path_alloc", 7),  // .to_vec()
+            ("hot_path_alloc", 8),  // Vec::new
+            ("hot_path_alloc", 31), // hot_path marker applies inside #[cfg(test)] too
+        ])
+    );
+}
+
+#[test]
+fn lock_fixture_findings_line_for_line() {
+    let locks = LockManifest::from_entries(vec![
+        ("crates/demo/src/locks.rs".into(), "self.first".into(), 10),
+        ("crates/demo/src/locks.rs".into(), "self.second".into(), 20),
+    ]);
+    let seeds = SeedManifest::from_entries(Vec::new());
+    assert_eq!(
+        findings_for("locks.rs", &locks, &seeds),
+        expect(&[
+            ("lock_discipline", 20), // rank 10 acquired under rank 20
+            ("lock_discipline", 27), // undeclared receiver while a guard is held
+        ])
+    );
+}
+
+#[test]
+fn ordering_fixture_findings_line_for_line() {
+    let (locks, seeds) = empty_manifests();
+    assert_eq!(
+        findings_for("ordering.rs", &locks, &seeds),
+        expect(&[
+            ("atomic_ordering", 23), // no justification at all
+            ("atomic_ordering", 31), // justified run interrupted by a non-site line
+        ])
+    );
+}
+
+#[test]
+fn panic_fixture_findings_line_for_line() {
+    let (locks, seeds) = empty_manifests();
+    assert_eq!(
+        findings_for("panics.rs", &locks, &seeds),
+        expect(&[
+            ("panic_surface", 4),  // .unwrap()
+            ("panic_surface", 8),  // .expect()
+            ("panic_surface", 12), // panic!
+            ("panic_surface", 16), // todo!
+        ])
+    );
+}
+
+#[test]
+fn panic_fixture_is_exempt_in_test_context() {
+    let (locks, seeds) = empty_manifests();
+    let path = format!("{}/tests/fixtures/panics.rs", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    // The same source under a tests/ rel-path: the panic rule stands down.
+    let model = FileModel::scan("crates/demo/tests/panics.rs", &source);
+    let findings = apply_all(&model, &locks, &seeds);
+    assert!(
+        findings.is_empty(),
+        "test-context file should produce no findings, got {findings:?}"
+    );
+}
+
+#[test]
+fn seed_fixture_findings_line_for_line() {
+    let locks = LockManifest::from_entries(Vec::new());
+    let seeds = SeedManifest::from_entries(vec![(
+        "crates/demo/src/seeds.rs".into(),
+        vec!["blessed_helper".into()],
+    )]);
+    assert_eq!(
+        findings_for("seeds.rs", &locks, &seeds),
+        expect(&[
+            ("seed_policy", 11), // construction outside a blessed helper
+            ("seed_policy", 17), // draw outside a blessed helper
+        ])
+    );
+}
+
+#[test]
+fn fixture_fingerprints_are_line_free_and_stable() {
+    let (locks, seeds) = empty_manifests();
+    let path = format!("{}/tests/fixtures/panics.rs", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let model = FileModel::scan("crates/demo/src/panics.rs", &source);
+    let findings = apply_all(&model, &locks, &seeds);
+    // Prepend a comment line: every finding moves down one line, but the
+    // ratchet fingerprints must not change.
+    let shifted = format!("// shifted\n{source}");
+    let shifted_model = FileModel::scan("crates/demo/src/panics.rs", &shifted);
+    let shifted_findings = apply_all(&shifted_model, &locks, &seeds);
+    let stems: Vec<String> = findings.iter().map(Finding::fingerprint_stem).collect();
+    let shifted_stems: Vec<String> = shifted_findings
+        .iter()
+        .map(Finding::fingerprint_stem)
+        .collect();
+    assert_eq!(stems, shifted_stems);
+    assert_ne!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        shifted_findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+    );
+}

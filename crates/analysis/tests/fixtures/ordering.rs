@@ -1,0 +1,32 @@
+//! Fixture: atomic-ordering audit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+pub fn justified_same_line() -> usize {
+    COUNTER.load(Ordering::Relaxed) // ordering: Relaxed — fixture tally
+}
+
+pub fn justified_line_above() {
+    // ordering: Relaxed — fixture tally
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn justified_run() {
+    // ordering: Relaxed for both — fixture tallies with no cross-site invariant
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+    COUNTER.fetch_add(2, Ordering::Relaxed);
+}
+
+pub fn unjustified() {
+    COUNTER.fetch_add(1, Ordering::SeqCst); // line 23: no ordering comment
+}
+
+pub fn run_broken_by_code() {
+    // ordering: Relaxed — covers only the adjacent site below
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+    let x = COUNTER.load(Ordering::Relaxed); // covered: still contiguous with the run
+    std::hint::black_box(x);
+    COUNTER.fetch_add(1, Ordering::Relaxed); // line 31: run interrupted by non-site line
+}

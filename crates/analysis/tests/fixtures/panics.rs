@@ -1,0 +1,35 @@
+//! Fixture: panic-surface rule.
+
+pub fn unwraps(v: Option<u32>) -> u32 {
+    v.unwrap() // line 4
+}
+
+pub fn expects(v: Option<u32>) -> u32 {
+    v.expect("fixture") // line 8
+}
+
+pub fn panics() {
+    panic!("fixture"); // line 12
+}
+
+pub fn todos() {
+    todo!() // line 16
+}
+
+pub fn granted(v: Option<u32>) -> u32 {
+    // analysis: allow(panic, reason = "fixture: documented invariant")
+    v.expect("granted")
+}
+
+pub fn clean(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: seed-policy rule, against a manifest blessing only
+//! `blessed_helper` in this file.
+
+pub fn blessed_helper(seed: u64) -> u64 {
+    let rng = ChaCha8Rng::seed_from_u64(seed); // blessed by the manifest
+    std::hint::black_box(&rng);
+    seed
+}
+
+pub fn rogue_constructor(seed: u64) -> u64 {
+    let rng = ChaCha8Rng::seed_from_u64(seed); // line 11: not blessed
+    std::hint::black_box(&rng);
+    seed
+}
+
+pub fn rogue_draw(rng: &mut SomeRng) -> usize {
+    rng.gen_range(0..10) // line 17: draws outside a blessed helper
+}
+
+pub fn granted(seed: u64) -> u64 {
+    // analysis: allow(seed, reason = "fixture: derived stream documented here")
+    let rng = ChaCha8Rng::seed_from_u64(seed);
+    std::hint::black_box(&rng);
+    seed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_seed_ad_hoc() {
+        let rng = ChaCha8Rng::seed_from_u64(7);
+        std::hint::black_box(&rng);
+    }
+}

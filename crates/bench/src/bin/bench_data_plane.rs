@@ -359,6 +359,7 @@ fn end_to_end_rate(new_path: bool, sizes: &Sizes) -> f64 {
                         for key in &batch.keys {
                             *occurrences.entry(*key).or_default() += 1;
                         }
+                        // ordering: Relaxed — throughput tally only; the scope join publishes the final value before it is read
                         consumed.fetch_add(served, Ordering::Relaxed);
                         std::hint::black_box(batch.inputs.data()[0]);
                     }
@@ -384,6 +385,7 @@ fn end_to_end_rate(new_path: bool, sizes: &Sizes) -> f64 {
                             *occurrences.entry(*key).or_default() += 1;
                         }
                         drop(occurrences);
+                        // ordering: Relaxed — throughput tally only; the scope join publishes the final value before it is read
                         consumed.fetch_add(samples.len(), Ordering::Relaxed);
                         std::hint::black_box(batch.inputs.data()[0]);
                     }
@@ -395,6 +397,7 @@ fn end_to_end_rate(new_path: bool, sizes: &Sizes) -> f64 {
 
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(
+        // ordering: Relaxed — read after the scope join, which already synchronised every worker's tally
         consumed.load(Ordering::Relaxed),
         total,
         "every produced sample must be assembled exactly once"

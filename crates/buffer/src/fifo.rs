@@ -109,6 +109,7 @@ impl<T: Clone + Send> TrainingBuffer<T> for FifoBuffer<T> {
     /// Whole-batch insertion under one lock acquisition. When the queue fills
     /// mid-batch the consumer is woken before waiting, so the sequential-`put`
     /// liveness (every insertion eventually notifies the consumer) is kept.
+    // analysis: hot_path
     fn put_many(&self, items: &mut Vec<T>) {
         if items.is_empty() {
             return;
@@ -130,10 +131,12 @@ impl<T: Clone + Send> TrainingBuffer<T> for FifoBuffer<T> {
     /// Whole-batch extraction under one lock acquisition: pops in arrival
     /// order, waiting whenever the queue empties before the batch is complete
     /// (exactly where sequential `get`s would block).
+    // analysis: hot_path
     fn get_batch(&self, n: usize, out: &mut Vec<T>) -> usize {
         self.serve_batch(n, |item| out.push(item))
     }
 
+    // analysis: hot_path
     fn get_batch_with(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
         self.serve_batch(n, |item| visit(&item))
     }

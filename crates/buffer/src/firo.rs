@@ -140,6 +140,7 @@ impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
 
     /// Whole-batch insertion under one lock acquisition; the consumer is woken
     /// before any mid-batch capacity wait so no notification is lost.
+    // analysis: hot_path
     fn put_many(&self, items: &mut Vec<T>) {
         if items.is_empty() {
             return;
@@ -158,10 +159,12 @@ impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
         self.available.notify_all();
     }
 
+    // analysis: hot_path
     fn get_batch(&self, n: usize, out: &mut Vec<T>) -> usize {
         self.serve_batch(n, |item| out.push(item))
     }
 
+    // analysis: hot_path
     fn get_batch_with(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
         self.serve_batch(n, |item| visit(&item))
     }

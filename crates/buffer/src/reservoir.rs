@@ -252,6 +252,7 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
     /// unseen-full wait and the seen-eviction draw happen exactly as in
     /// sequential `put`s; the consumer is woken before any mid-batch wait so
     /// no notification is lost.
+    // analysis: hot_path
     fn put_many(&self, items: &mut Vec<T>) {
         if items.is_empty() {
             return;
@@ -280,6 +281,7 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
     /// Whole-batch extraction under one lock acquisition; selections and
     /// clone-vs-move behaviour mirror sequential `get`s exactly (a pre-drain
     /// serve clones once, a post-drain serve moves the sample out).
+    // analysis: hot_path
     fn get_batch(&self, n: usize, out: &mut Vec<T>) -> usize {
         if n == 0 {
             return 0;
@@ -308,11 +310,13 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
                     let boundary = inner.seen;
                     inner.items.swap(idx, boundary);
                     inner.seen += 1;
+                    // analysis: allow(alloc, reason = "reservoir serves by value while the sample stays resident for repeated draws; get_batch_with is the borrow path")
                     (inner.items[boundary].clone(), false)
                 }
             } else if inner.reception_over {
                 (inner.remove_seen(idx), true)
             } else {
+                // analysis: allow(alloc, reason = "reservoir serves by value while the sample stays resident for repeated draws; get_batch_with is the borrow path")
                 (inner.items[idx].clone(), true)
             };
             inner.stats.gets += 1;
@@ -327,6 +331,7 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
         served
     }
 
+    // analysis: hot_path
     fn get_batch_with(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
         self.serve_batch_visit(n, visit)
     }

@@ -176,6 +176,8 @@ impl<T: Clone + Send + 'static> ShardedBuffer<T> {
     /// (empty critical section) so a consumer re-checking the populations
     /// under that lock can never miss the notification.
     fn notify_consumers(&self) {
+        #[cfg(debug_assertions)]
+        let _wait_rank = lock_order::acquire(lock_order::RANK_WAIT);
         drop(self.wait.lock());
         self.ready.notify_all();
     }
@@ -191,6 +193,8 @@ impl<T: Clone + Send + 'static> ShardedBuffer<T> {
             return 0;
         }
         let mut draw = self.draw.lock();
+        #[cfg(debug_assertions)]
+        let _draw_rank = lock_order::acquire(lock_order::RANK_DRAW);
         let mut served = 0;
         // Whether the *current* blocked episode has been counted already: the
         // 1 ms re-check loop below must count one consumer wait per episode,
@@ -202,6 +206,7 @@ impl<T: Clone + Send + 'static> ShardedBuffer<T> {
                 *len = shard.len();
             }
             let total: usize = draw_state.lens.iter().sum();
+            // ordering: Acquire — pairs with the Release store in mark_reception_over so the final shard inserts are visible before we decide to drain-and-exit
             let over = self.reception_over.load(Ordering::Acquire);
             if over {
                 if total == 0 {
@@ -216,11 +221,15 @@ impl<T: Clone + Send + 'static> ShardedBuffer<T> {
                 // notification — so the only wake-up for those samples is this
                 // re-check.
                 if !wait_counted {
+                    // ordering: Relaxed — stats tally only, read after the run quiesces
                     self.facade_waits.fetch_add(1, Ordering::Relaxed);
                     wait_counted = true;
                 }
+                #[cfg(debug_assertions)]
+                let _wait_rank = lock_order::acquire(lock_order::RANK_WAIT);
                 let mut guard = self.wait.lock();
                 let recheck: usize = self.shards.iter().map(|s| s.len()).sum();
+                // ordering: Acquire — same pairing as the gate check above, re-examined under the wait lock
                 if !self.reception_over.load(Ordering::Acquire)
                     && (recheck <= self.gate || recheck == 0)
                 {
@@ -254,6 +263,7 @@ impl<T: Clone + Send + 'static> TrainingBuffer<T> for ShardedBuffer<T> {
         if self.shards.len() == 1 {
             return self.shards[0].put(item);
         }
+        // ordering: Relaxed — round-robin cursor; the sub-buffer's own lock orders the insert itself
         let shard = self.next_put_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         self.shards[shard].put(item);
         self.notify_consumers();
@@ -297,6 +307,7 @@ impl<T: Clone + Send + 'static> TrainingBuffer<T> for ShardedBuffer<T> {
     }
 
     fn mark_reception_over(&self) {
+        // ordering: Release — publishes every insert made before end-of-reception to the Acquire loads in serve_across_shards and is_reception_over
         self.reception_over.store(true, Ordering::Release);
         for shard in &self.shards {
             shard.mark_reception_over();
@@ -308,6 +319,7 @@ impl<T: Clone + Send + 'static> TrainingBuffer<T> for ShardedBuffer<T> {
         if self.shards.len() == 1 {
             return self.shards[0].is_reception_over();
         }
+        // ordering: Acquire — pairs with the Release store in mark_reception_over; callers may read shard contents after observing true
         self.reception_over.load(Ordering::Acquire)
     }
 
@@ -331,12 +343,55 @@ impl<T: Clone + Send + 'static> TrainingBuffer<T> for ShardedBuffer<T> {
             total.producer_waits += s.producer_waits;
             total.consumer_waits += s.consumer_waits;
         }
+        // ordering: Relaxed — stats snapshot of a monotonic tally
         total.consumer_waits += self.facade_waits.load(Ordering::Relaxed);
         total
     }
 
     fn kind(&self) -> BufferKind {
         self.shards[0].kind()
+    }
+}
+
+/// Debug-build enforcement of the lock order documented in
+/// `analysis/locks.toml`: `draw` (rank 10) before sub-buffer internals
+/// (rank 20) before the `wait` gate (rank 30). Acquiring a rank
+/// `debug_assert!`s that every rank this thread already holds is strictly
+/// lower, so an out-of-order acquisition fails fast in tests instead of
+/// deadlocking intermittently in production runs.
+#[cfg(debug_assertions)]
+mod lock_order {
+    use std::cell::Cell;
+
+    pub(super) const RANK_DRAW: u32 = 10;
+    pub(super) const RANK_WAIT: u32 = 30;
+
+    thread_local! {
+        static HELD_MAX: Cell<u32> = const { Cell::new(0) };
+    }
+
+    /// RAII token for one acquisition; restores the previous held rank on
+    /// drop, so it must be bound adjacent to (and live as long as) the guard
+    /// it shadows.
+    pub(super) struct Held {
+        prev: u32,
+    }
+
+    pub(super) fn acquire(rank: u32) -> Held {
+        let prev = HELD_MAX.get();
+        debug_assert!(
+            prev < rank,
+            "lock-order violation: acquiring rank {rank} while rank {prev} is held \
+             (documented order: draw(10) -> sub-buffer(20) -> wait(30))"
+        );
+        HELD_MAX.set(rank);
+        Held { prev }
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            HELD_MAX.set(self.prev);
+        }
     }
 }
 
@@ -553,5 +608,22 @@ mod tests {
     #[should_panic(expected = "at least one ingest shard")]
     fn zero_shards_rejected() {
         let _ = ShardedBuffer::<u32>::new(&config(BufferKind::Fifo), 0);
+    }
+
+    #[test]
+    fn lock_order_tracker_accepts_documented_order() {
+        let draw = lock_order::acquire(lock_order::RANK_DRAW);
+        let wait = lock_order::acquire(lock_order::RANK_WAIT);
+        drop(wait);
+        drop(draw);
+        // After release, re-acquiring from the top must succeed again.
+        let _draw = lock_order::acquire(lock_order::RANK_DRAW);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn lock_order_tracker_rejects_wait_before_draw() {
+        let _wait = lock_order::acquire(lock_order::RANK_WAIT);
+        let _draw = lock_order::acquire(lock_order::RANK_DRAW);
     }
 }

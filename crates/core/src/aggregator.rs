@@ -164,11 +164,14 @@ impl Aggregator {
                     .collect();
                 handles
                     .into_iter()
+                    // analysis: allow(panic, reason = "re-raises a shard worker's panic; losing ingested ranks silently would corrupt the experiment")
                     .map(|h| h.join().expect("a shard worker panicked"))
                     .collect()
             })
+            // analysis: allow(panic, reason = "re-raises a panic escaping the crossbeam scope itself")
             .expect("the shard-worker scope panicked")
         } else {
+            // analysis: allow(panic, reason = "Aggregator::new asserts endpoints is non-empty, and !multi_shard means exactly one")
             let worker = make_worker((0, endpoints.into_iter().next().expect("one endpoint")));
             vec![worker.run(start)]
         };
@@ -179,6 +182,7 @@ impl Aggregator {
             outcome.duplicates_discarded += shard.duplicates_discarded;
             outcome.occupancy.extend(shard.occupancy);
         }
+        // ordering: Acquire — pairs with the AcqRel increments in the shard workers (the scope join above also orders this; Acquire keeps the pairing explicit)
         outcome.finalized_clients = finalized.load(Ordering::Acquire);
         outcome.occupancy.push(snapshot(buffer.as_ref(), start));
         buffer.mark_reception_over();
@@ -219,16 +223,20 @@ impl ShardWorker<'_> {
     /// to this worker's buffer shard under a single `put_many` lock
     /// acquisition — instead of one buffer round-trip (and four allocations)
     /// per message.
+    // analysis: hot_path
     fn run(self, start: Instant) -> ShardOutcome {
         let shard = self.endpoint.shard();
         let mut log = MessageLog::new();
         let mut accepted = 0usize;
+        // analysis: allow(alloc, reason = "one-time setup before the drain loop; grows only at snapshot cadence")
         let mut occupancy = Vec::new();
         let mut last_snapshot = Instant::now();
         // The ingestion scratches, owned here and recycled across bursts: the
         // inbound messages drained from the channel, and the converted
         // samples handed to the buffer by `put_many`.
+        // analysis: allow(alloc, reason = "one-time scratch setup before the drain loop; recycled across every burst")
         let mut inbound: Vec<Message> = Vec::with_capacity(Aggregator::MAX_BURST);
+        // analysis: allow(alloc, reason = "one-time scratch setup before the drain loop; recycled across every burst")
         let mut scratch: Vec<Sample> = Vec::with_capacity(Aggregator::MAX_BURST);
 
         loop {
@@ -265,6 +273,7 @@ impl ShardWorker<'_> {
                                 // rank-level counter every worker polls.
                                 if !log.is_finalized(client_id) {
                                     log.mark_finalized(client_id);
+                                    // ordering: AcqRel — the Release half publishes this client's drained messages before the count; the Acquire half orders the RMW against the termination-gate loads
                                     self.finalized.fetch_add(1, Ordering::AcqRel);
                                 }
                             }
@@ -274,15 +283,18 @@ impl ShardWorker<'_> {
                     // If this burst contained the rank's last expected
                     // finalize, stop immediately instead of sleeping through
                     // one more poll.
+                    // ordering: Acquire — pairs with the AcqRel increments so every finalized client's messages are visible before this worker stops
                     if self.finalized.load(Ordering::Acquire) >= self.expected_clients {
                         break;
                     }
                 }
                 None => {
                     // Idle: check the termination conditions.
+                    // ordering: Acquire — pairs with the AcqRel increments so every finalized client's messages are visible before this worker stops
                     if self.finalized.load(Ordering::Acquire) >= self.expected_clients {
                         break;
                     }
+                    // ordering: Acquire — pairs with the orchestrator's Release store; production's sends happen-before observing true, so queued()==0 really means drained
                     if self.production_done.load(Ordering::Acquire) && self.endpoint.queued() == 0 {
                         break;
                     }
@@ -455,6 +467,7 @@ mod tests {
         // The second expected client never finalizes (it was abandoned); the
         // orchestrator signals the end of production instead.
         std::thread::sleep(Duration::from_millis(30));
+        // ordering: Release — pairs with the worker's Acquire gate load, publishing all sends made before the signal
         production_done.store(true, Ordering::Release);
 
         let outcome = handle.join().unwrap();

@@ -44,8 +44,8 @@ impl ServerCheckpoint {
     }
 
     /// Serialises the checkpoint to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("checkpoints are always serialisable")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Restores a checkpoint from JSON.
@@ -85,7 +85,7 @@ mod tests {
     fn checkpoint_roundtrip_preserves_model_and_progress() {
         let m = model();
         let checkpoint = ServerCheckpoint::capture(&m, 120, 1200, vec![0, 1, 2], 77);
-        let json = checkpoint.to_json();
+        let json = checkpoint.to_json().unwrap();
         let restored = ServerCheckpoint::from_json(&json).unwrap();
         assert_eq!(restored.batches_trained, 120);
         assert_eq!(restored.samples_seen, 1200);

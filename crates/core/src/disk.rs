@@ -124,6 +124,7 @@ impl SimulatedDisk {
 
     /// Total volume read back so far in bytes.
     pub fn bytes_read(&self) -> u64 {
+        // ordering: Relaxed — monitoring read of a monotonic I/O tally
         self.bytes_read.load(std::sync::atomic::Ordering::Relaxed)
     }
 
@@ -137,6 +138,7 @@ impl SimulatedDisk {
             std::thread::sleep(delay);
         }
         self.bytes_read
+            // ordering: Relaxed — I/O accounting only; the sample itself is returned by value, nothing is published through this counter
             .fetch_add(bytes as u64, std::sync::atomic::Ordering::Relaxed);
         sample
     }

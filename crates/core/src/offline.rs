@@ -238,6 +238,7 @@ impl OfflineExperiment {
                 });
             }
         })
+        // analysis: allow(panic, reason = "re-raises a rank thread's panic after the scope joins; offline training has no partial-result recovery")
         .expect("an offline-training thread panicked");
 
         let training_seconds = training_start.elapsed().as_secs_f64();

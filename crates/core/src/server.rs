@@ -162,11 +162,13 @@ impl OnlineExperiment {
                             .finalize()
                             .map_err(|e| ClientError::new(e.to_string()))
                     });
+                    // ordering: Release — publishes every rank's sends before the aggregator's Acquire gate can observe end-of-production
                     production_done.store(true, Ordering::Release);
                     *launcher_report.lock() = Some(report);
                 });
             }
         })
+        // analysis: allow(panic, reason = "re-raises a rank/aggregator thread's panic after the scope joins; the experiment cannot continue without them")
         .expect("an online-experiment thread panicked");
 
         let total_seconds = start.elapsed().as_secs_f64();
@@ -178,6 +180,7 @@ impl OnlineExperiment {
         let model = rank_outcomes
             .first()
             .map(|o| o.model.clone())
+            // analysis: allow(panic, reason = "the config validator rejects zero training ranks, so one outcome always exists")
             .expect("at least one training rank");
 
         // Occurrences are counted rank-locally in the hot loop and merged

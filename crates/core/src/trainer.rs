@@ -206,7 +206,9 @@ impl RankTrainer {
         // the trainer; empty: consumed batches travelling back for refill.
         let (full_tx, full_rx) = bounded::<(Batch, usize)>(1);
         let (empty_tx, empty_rx) = bounded::<Batch>(2);
+        // analysis: allow(panic, reason = "sends into a just-created bounded(2) channel whose receiver is alive; capacity and liveness are local facts")
         empty_tx.send(make_batch()).expect("fresh channel");
+        // analysis: allow(panic, reason = "sends into a just-created bounded(2) channel whose receiver is alive; capacity and liveness are local facts")
         empty_tx.send(make_batch()).expect("fresh channel");
         let buffer = Arc::clone(&self.buffer);
 
@@ -251,7 +253,9 @@ impl RankTrainer {
             drop(empty_tx);
             outcome = Some(self.finish(state, start));
         })
+        // analysis: allow(panic, reason = "re-raises the prefetch thread's panic; training cannot proceed without the sample stream")
         .expect("the prefetch stage panicked");
+        // analysis: allow(panic, reason = "the scope body unconditionally sets `outcome` before joining")
         outcome.expect("the prefetch scope always produces an outcome")
     }
 

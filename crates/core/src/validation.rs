@@ -148,6 +148,7 @@ impl ValidationSet {
             let params = sampler.parameters(sim);
             let trajectory = workload
                 .trajectory(params)
+                // analysis: allow(panic, reason = "the workload config was validated at experiment start; a failure here is a bug, not an input error")
                 .expect("validated workload configuration");
             for step in &trajectory {
                 samples.push(step_to_sample(

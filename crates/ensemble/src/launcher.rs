@@ -221,6 +221,7 @@ impl Launcher {
                     });
                 }
             })
+            // analysis: allow(panic, reason = "re-raises a launcher worker's panic; the campaign report would otherwise under-count silently")
             .expect("launcher worker panicked");
 
             let (completed, failed, retries) = *counters.lock();
@@ -283,14 +284,17 @@ mod tests {
         let in_flight = AtomicUsize::new(0);
         let max_in_flight = AtomicUsize::new(0);
         let report = launcher.run_campaign(&plan, |_| {
-            let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-            max_in_flight.fetch_max(now, Ordering::SeqCst);
+            // ordering: Relaxed throughout — per-variable RMW atomicity is all fetch_add/fetch_max need for a correct high-water mark; no other memory is published through these counters
+            let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+            max_in_flight.fetch_max(now, Ordering::Relaxed);
             std::thread::sleep(Duration::from_millis(3));
-            in_flight.fetch_sub(1, Ordering::SeqCst);
+            // ordering: Relaxed — see the high-water-mark comment above
+            in_flight.fetch_sub(1, Ordering::Relaxed);
             Ok(())
         });
         assert_eq!(report.completed, 16);
-        assert!(max_in_flight.load(Ordering::SeqCst) <= 3);
+        // ordering: Relaxed — read after run_campaign joined its workers
+        assert!(max_in_flight.load(Ordering::Relaxed) <= 3);
         assert!(report.peak_concurrency <= 3);
     }
 

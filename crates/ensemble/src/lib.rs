@@ -50,10 +50,12 @@ mod tests {
         let executed = AtomicUsize::new(0);
         let space = melissa_workload::ParameterSpace::default();
         let report = launcher.run_campaign_in(&plan, &space, |job| {
+            // ordering: Relaxed — job tally; run_campaign_in joins its workers before returning, which publishes the final value
             executed.fetch_add(1, Ordering::Relaxed);
             assert!(space.contains(&job.parameters));
             Ok(())
         });
+        // ordering: Relaxed — read after run_campaign_in returned, i.e. after the join
         assert_eq!(executed.load(Ordering::Relaxed), 6);
         assert_eq!(report.completed, 6);
         assert_eq!(report.failed, 0);

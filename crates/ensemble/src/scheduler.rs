@@ -261,17 +261,20 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let id = scheduler.submit(1);
                 scheduler.acquire_slot(id);
-                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-                max_seen.fetch_max(now, Ordering::SeqCst);
+                // ordering: Relaxed throughout — per-variable RMW atomicity is all fetch_add/fetch_max need for a correct high-water mark; no other memory is published through these counters
+                let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                max_seen.fetch_max(now, Ordering::Relaxed);
                 std::thread::sleep(Duration::from_millis(5));
-                in_flight.fetch_sub(1, Ordering::SeqCst);
+                // ordering: Relaxed — see the high-water-mark comment above
+                in_flight.fetch_sub(1, Ordering::Relaxed);
                 scheduler.release_slot(id, JobState::Completed);
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        assert!(max_seen.load(Ordering::SeqCst) <= 3);
+        // ordering: Relaxed — read after every worker was joined above
+        assert!(max_seen.load(Ordering::Relaxed) <= 3);
         let stats = scheduler.stats();
         assert_eq!(stats.submitted, 12);
         assert_eq!(stats.completed, 12);

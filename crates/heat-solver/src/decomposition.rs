@@ -274,6 +274,7 @@ impl DistributedImplicitSolver {
         crossbeam::scope(|scope| {
             let mut link_iter = links.into_iter();
             for (rank, local) in scattered.into_iter().enumerate() {
+                // analysis: allow(panic, reason = "build_halo_links returns exactly num_ranks link sets, one per spawned rank")
                 let link = link_iter.next().expect("one link set per rank");
                 let reducer = &reducer;
                 let decomp = &decomp;
@@ -296,6 +297,7 @@ impl DistributedImplicitSolver {
                 });
             }
         })
+        // analysis: allow(panic, reason = "re-raises a rank thread's panic; a partial gather would silently corrupt the solution field")
         .expect("distributed solver worker panicked");
 
         let mut out = results.into_inner();
@@ -337,6 +339,7 @@ impl DistributedImplicitSolver {
             if rank == 0 {
                 let blocks: Vec<Vec<f64>> = gather_slots
                     .iter()
+                    // analysis: allow(panic, reason = "the barrier above guarantees every rank deposited its block before rank 0 gathers")
                     .map(|slot| slot.lock().take().expect("block deposited"))
                     .collect();
                 let field = decomp.gather(&blocks);
@@ -456,18 +459,22 @@ impl DistributedImplicitSolver {
         // Send own edge rows first (bounded(1) channels never block here because
         // each direction carries exactly one message per exchange).
         if let Some(tx) = &link.to_south {
+            // analysis: allow(panic, reason = "a closed halo channel means the neighbour rank panicked; propagating keeps ranks in lock-step")
             tx.send(v[0..nx].to_vec()).expect("south neighbour alive");
         }
         if let Some(tx) = &link.to_north {
             tx.send(v[(rows - 1) * nx..rows * nx].to_vec())
+                // analysis: allow(panic, reason = "a closed halo channel means the neighbour rank panicked; propagating keeps ranks in lock-step")
                 .expect("north neighbour alive");
         }
         if let Some(rx) = &link.from_south {
+            // analysis: allow(panic, reason = "a closed halo channel means the neighbour rank panicked; propagating keeps ranks in lock-step")
             state.halo_south = rx.recv().expect("south halo row");
         } else {
             state.halo_south.iter_mut().for_each(|h| *h = 0.0);
         }
         if let Some(rx) = &link.from_north {
+            // analysis: allow(panic, reason = "a closed halo channel means the neighbour rank panicked; propagating keeps ranks in lock-step")
             state.halo_north = rx.recv().expect("north halo row");
         } else {
             state.halo_north.iter_mut().for_each(|h| *h = 0.0);

@@ -56,6 +56,7 @@ fn chunk_rows(rows: usize, threads: usize) -> usize {
 ///
 /// # Panics
 /// Panics when the slice lengths do not match the dimensions.
+// analysis: hot_path
 pub fn gemm_nn<F>(
     threads: usize,
     a: &[f32],
@@ -84,6 +85,7 @@ pub fn gemm_nn<F>(
             });
         }
     })
+    // analysis: allow(panic, reason = "re-raises a worker thread's panic; a panicking GEMM worker is a kernel bug, not a recoverable state")
     .expect("gemm_nn worker panicked");
 }
 
@@ -92,6 +94,7 @@ pub fn gemm_nn<F>(
 /// `MR·NR` multiply-adds per `NR`-wide `B` load with no accumulator traffic.
 pub const NR: usize = 8;
 
+// analysis: hot_path
 fn gemm_nn_serial<F>(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32], epi: &F)
 where
     F: Fn(usize, f32) -> f32,
@@ -119,6 +122,7 @@ where
 /// 4×NR micro-kernel: the accumulator tile stays in registers for the whole
 /// reduction; each element's sum runs in ascending `k` order.
 #[inline(always)]
+// analysis: hot_path
 fn micro_4xnr<F>(
     a: &[f32],
     i: usize,
@@ -140,6 +144,7 @@ fn micro_4xnr<F>(
     let a2_row = &a[(i + 2) * k..(i + 3) * k];
     let a3_row = &a[(i + 3) * k..(i + 4) * k];
     for l in 0..k {
+        // analysis: allow(panic, reason = "the slice is exactly NR wide by construction; try_into only re-states the bound the indexing already proved")
         let bv: &[f32; NR] = b[l * n + j..l * n + j + NR].try_into().unwrap();
         let a0 = a0_row[l];
         let a1 = a1_row[l];
@@ -162,6 +167,7 @@ fn micro_4xnr<F>(
 
 /// Single-row variant for the `m % MR` tail.
 #[inline(always)]
+// analysis: hot_path
 fn micro_1xnr<F>(
     a: &[f32],
     i: usize,
@@ -177,6 +183,7 @@ fn micro_1xnr<F>(
     let mut c = [0.0f32; NR];
     let a_row = &a[i * k..(i + 1) * k];
     for (l, &av) in a_row.iter().enumerate() {
+        // analysis: allow(panic, reason = "the slice is exactly NR wide by construction; try_into only re-states the bound the indexing already proved")
         let bv: &[f32; NR] = b[l * n + j..l * n + j + NR].try_into().unwrap();
         for t in 0..NR {
             c[t] += av * bv[t];
@@ -225,6 +232,7 @@ fn gemm_nn_col_tail<F>(
 ///
 /// # Panics
 /// Panics when the slice lengths do not match the dimensions.
+// analysis: hot_path
 pub fn gemm_nt<F>(
     threads: usize,
     a: &[f32],
@@ -253,9 +261,11 @@ pub fn gemm_nt<F>(
             });
         }
     })
+    // analysis: allow(panic, reason = "re-raises a worker thread's panic; a panicking GEMM worker is a kernel bug, not a recoverable state")
     .expect("gemm_nt worker panicked");
 }
 
+// analysis: hot_path
 fn gemm_nt_serial<F>(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32], epi: &F)
 where
     F: Fn(usize, f32) -> f32,
@@ -307,6 +317,7 @@ where
 ///
 /// # Panics
 /// Panics when the slice lengths do not match the dimensions.
+// analysis: hot_path
 pub fn gemm_tn(
     threads: usize,
     a: &[f32],
@@ -334,12 +345,14 @@ pub fn gemm_tn(
             });
         }
     })
+    // analysis: allow(panic, reason = "re-raises a worker thread's panic; a panicking GEMM worker is a kernel bug, not a recoverable state")
     .expect("gemm_tn worker panicked");
 }
 
 /// Serial core over the output-row range `[i0, i1)`; `out` holds exactly
 /// those rows.
 #[allow(clippy::too_many_arguments)]
+// analysis: hot_path
 fn gemm_tn_serial(
     a: &[f32],
     m: usize,

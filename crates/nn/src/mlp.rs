@@ -190,10 +190,12 @@ impl DenseLayer {
         let input = self
             .input_cache
             .as_ref()
+            // analysis: allow(panic, reason = "documented contract: backward requires a prior forward; see the `# Panics` section")
             .expect("backward called before forward");
         let pre = self
             .preact_cache
             .as_ref()
+            // analysis: allow(panic, reason = "documented contract: backward requires a prior forward; see the `# Panics` section")
             .expect("backward called before forward");
         // grad_pre = grad_output ⊙ act'(pre)
         let activation = self.activation;
@@ -318,6 +320,7 @@ impl Mlp {
 
     /// Output dimension.
     pub fn output_size(&self) -> usize {
+        // analysis: allow(panic, reason = "Mlp::new asserts layer_sizes.len() >= 2, so `last` always exists")
         *self.config.layer_sizes.last().unwrap()
     }
 
@@ -370,6 +373,7 @@ impl Mlp {
     /// # Panics
     /// Panics when the workspace was built for a different architecture or
     /// the input width does not match.
+    // analysis: hot_path
     pub fn forward_ws<'w>(&self, input: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
         assert_eq!(
             ws.layer_sizes, self.config.layer_sizes,
@@ -392,6 +396,7 @@ impl Mlp {
 
     /// Allocation-free inference through a reusable [`Workspace`] — identical
     /// to [`Mlp::forward_ws`], named for call sites that never backpropagate.
+    // analysis: hot_path
     pub fn predict_ws<'w>(&self, input: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
         self.forward_ws(input, ws)
     }
@@ -408,6 +413,7 @@ impl Mlp {
     /// [`Workspace::input_grad`]. The activation derivative is evaluated from
     /// the post-activation values, so no pre-activation buffers exist at all;
     /// the identity output layer skips the derivative pass entirely.
+    // analysis: hot_path
     pub fn backward_ws(&mut self, ws: &mut Workspace) {
         assert_eq!(
             ws.layer_sizes, self.config.layer_sizes,

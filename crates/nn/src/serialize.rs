@@ -41,9 +41,13 @@ impl ModelCheckpoint {
 }
 
 /// Serialises a model checkpoint to JSON.
-pub fn save_mlp(model: &Mlp, batches_trained: usize, samples_seen: usize) -> String {
+pub fn save_mlp(
+    model: &Mlp,
+    batches_trained: usize,
+    samples_seen: usize,
+) -> Result<String, serde_json::Error> {
     let checkpoint = ModelCheckpoint::capture(model, batches_trained, samples_seen);
-    serde_json::to_string(&checkpoint).expect("model checkpoints are always serialisable")
+    serde_json::to_string(&checkpoint)
 }
 
 /// Restores a model checkpoint from JSON.
@@ -70,7 +74,7 @@ mod tests {
     #[test]
     fn checkpoint_roundtrip_preserves_predictions() {
         let m = model();
-        let json = save_mlp(&m, 123, 4560);
+        let json = save_mlp(&m, 123, 4560).unwrap();
         let checkpoint = load_mlp(&json).unwrap();
         assert_eq!(checkpoint.batches_trained, 123);
         assert_eq!(checkpoint.samples_seen, 4560);

@@ -106,32 +106,40 @@ impl Workspace {
     }
 
     /// The network output of the last forward pass.
+    // analysis: hot_path
     pub fn output(&self) -> &Matrix {
+        // analysis: allow(panic, reason = "Workspace::for_config builds one buffer per layer and Mlp::new asserts >= 1 layer")
         self.acts.last().expect("workspace has at least one layer")
     }
 
     /// The buffer holding dLoss/dOutput, which the loss writes before
     /// [`crate::Mlp::backward_ws`] consumes it.
+    // analysis: hot_path
     pub fn output_grad_mut(&mut self) -> &mut Matrix {
         self.grads
             .last_mut()
+            // analysis: allow(panic, reason = "Workspace::for_config builds one buffer per layer and Mlp::new asserts >= 1 layer")
             .expect("workspace has at least one layer")
     }
 
     /// The last forward output together with the loss-gradient buffer — the
     /// pair [`crate::Loss::evaluate_into`] consumes (split borrows of two
     /// distinct buffers).
+    // analysis: hot_path
     pub fn output_and_grad_mut(&mut self) -> (&Matrix, &mut Matrix) {
         (
+            // analysis: allow(panic, reason = "Workspace::for_config builds one buffer per layer and Mlp::new asserts >= 1 layer")
             self.acts.last().expect("workspace has at least one layer"),
             self.grads
                 .last_mut()
+                // analysis: allow(panic, reason = "Workspace::for_config builds one buffer per layer and Mlp::new asserts >= 1 layer")
                 .expect("workspace has at least one layer"),
         )
     }
 
     /// Gradient with respect to the network input, valid after
     /// [`crate::Mlp::backward_ws`].
+    // analysis: hot_path
     pub fn input_grad(&self) -> &Matrix {
         &self.input_grad
     }

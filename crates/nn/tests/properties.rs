@@ -107,7 +107,7 @@ proptest! {
     #[test]
     fn checkpoint_roundtrip(seed in 0u64..500, probe in prop::collection::vec(-1.0f32..1.0, 3)) {
         let model = Mlp::new(MlpConfig::small(3, 5, 2, seed));
-        let json = surrogate_nn::save_mlp(&model, 10, 100);
+        let json = surrogate_nn::save_mlp(&model, 10, 100).unwrap();
         let restored = surrogate_nn::load_mlp(&json).unwrap().restore();
         let x = Matrix::from_rows(&[probe]);
         prop_assert_eq!(model.predict(&x), restored.predict(&x));

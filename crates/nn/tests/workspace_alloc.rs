@@ -20,7 +20,8 @@ static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // ordering: Relaxed — a pure allocation tally; the test thread triggers the allocations it counts, so program order already covers the reads
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
@@ -29,7 +30,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // ordering: Relaxed — a pure allocation tally; the test thread triggers the allocations it counts, so program order already covers the reads
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -87,11 +89,13 @@ fn steady_state_training_step_allocates_nothing() {
     let mut min_allocations = usize::MAX;
     let mut last_loss = 0.0;
     for _ in 0..5 {
-        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        // ordering: Relaxed — the counted window runs on this thread; program order relates the loads to the allocator's increments
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
         for _ in 0..10 {
             last_loss = step(&mut model, &mut optimizer, &mut ws);
         }
-        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        // ordering: Relaxed — same single-thread counted window as the load above
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
         min_allocations = min_allocations.min(after - before);
         if min_allocations == 0 {
             break;

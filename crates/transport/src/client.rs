@@ -84,12 +84,14 @@ impl ClientConnection {
 
     /// Number of time-step messages sent so far (including dropped ones).
     pub fn sent_messages(&self) -> u64 {
+        // ordering: Relaxed — monitoring read of a monotonic counter; no other data hangs off it
         self.next_sequence.load(Ordering::Relaxed)
     }
 
     /// Restores the sequence counter after a client restart so replayed steps
     /// keep their original sequence numbers (the server dedups them).
     pub fn resume_from_sequence(&self, sequence: u64) {
+        // ordering: Relaxed — restart-time store before any sender thread runs; the channel handoff orders it
         self.next_sequence.store(sequence, Ordering::Relaxed);
     }
 
@@ -98,7 +100,9 @@ impl ClientConnection {
     /// destination shard's channel is full (backpressure), just like the
     /// paper's clients stall when the server cannot keep up.
     pub fn send(&self, payload: SamplePayload) -> Result<(), SendError> {
+        // ordering: Relaxed — the RMW itself hands out unique values; the sequence travels inside the message, so the channel orders it
         let sequence = self.next_sequence.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — round-robin cursor; only uniqueness matters, not ordering against other memory
         let rank = self.next_rank.fetch_add(1, Ordering::Relaxed) % self.senders.len();
         let shard = stable_shard(payload.simulation_id, self.shards_per_rank());
         let message = Message::TimeStep {

@@ -178,6 +178,7 @@ impl Fabric {
     /// per server shard and performs the round-robin rank dispatch of §3.2.2
     /// plus the stable shard routing within each rank.
     pub fn connect_client(&self, client_id: u64) -> crate::client::ClientConnection {
+        // ordering: Relaxed — monitoring counter; connection setup itself synchronises via the channel clones below
         self.stats.connections.fetch_add(1, Ordering::Relaxed);
         crate::client::ClientConnection::new(
             client_id,
@@ -256,9 +257,11 @@ impl ServerEndpoint {
         }
         self.stats
             .messages_delivered
+            // ordering: Relaxed — monitoring counters; the drained messages were already handed over by the channel
             .fetch_add(delivered, Ordering::Relaxed);
         self.stats
             .finalized_clients
+            // ordering: Relaxed — monitoring counters; the drained messages were already handed over by the channel
             .fetch_add(finalized, Ordering::Relaxed);
         moved
     }
@@ -285,9 +288,11 @@ impl ServerEndpoint {
             Message::TimeStep { .. } => {
                 self.stats
                     .messages_delivered
+                    // ordering: Relaxed — monitoring counter trailing a channel recv that already ordered the message
                     .fetch_add(1, Ordering::Relaxed);
             }
             Message::Finalize { .. } => {
+                // ordering: Relaxed — monitoring counter trailing a channel recv that already ordered the message
                 self.stats.finalized_clients.fetch_add(1, Ordering::Relaxed);
             }
             Message::Connect { .. } => {}
@@ -298,13 +303,16 @@ impl ServerEndpoint {
 /// Internal hook used by [`crate::client::ClientConnection`] to record a send
 /// — lock-free, so concurrent clients never contend on the counters.
 pub(crate) fn record_send(stats: &StatsCell, bytes: usize, delivery: Delivery) {
+    // ordering: Relaxed for all four counters — independent monotonic tallies read after quiescence; contention, not ordering, is the design constraint here
     stats.messages_sent.fetch_add(1, Ordering::Relaxed);
     stats.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
     match delivery {
         Delivery::Drop => {
+            // ordering: Relaxed — see record_send header comment
             stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
         }
         Delivery::Duplicate => {
+            // ordering: Relaxed — see record_send header comment
             stats.messages_duplicated.fetch_add(1, Ordering::Relaxed);
         }
         Delivery::Deliver => {}

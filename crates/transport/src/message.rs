@@ -83,6 +83,7 @@ impl Message {
     /// Exact transported size in bytes: the length of the frame
     /// [`Message::encode`] produces (the roundtrip tests pin the equality), so
     /// transport volume accounting matches the wire format byte for byte.
+    // analysis: hot_path
     pub fn wire_bytes(&self) -> usize {
         match self {
             // tag + client_id.
@@ -109,13 +110,16 @@ impl Message {
     /// and one length prefix for the whole burst, then the messages back to
     /// back ([`Message::encode_burst`] produces exactly this many bytes; the
     /// roundtrip tests pin the equality).
+    // analysis: hot_path
     pub fn burst_wire_bytes(messages: &[Message]) -> usize {
         1 + 4 + messages.iter().map(Message::wire_bytes).sum::<usize>()
     }
 
     /// Encodes the message into a length-prefixed binary frame (the stand-in for
     /// the ZMQ wire format, used by the volume accounting and by tests).
+    // analysis: hot_path
     pub fn encode(&self) -> Bytes {
+        // analysis: allow(alloc, reason = "the frame being built is the function's output; exactly one exact-size allocation per frame")
         let mut buf = BytesMut::with_capacity(self.wire_bytes());
         self.encode_into(&mut buf);
         buf.freeze()
@@ -126,7 +130,9 @@ impl Message {
     /// self-delimiting, so no per-message prefix is repeated). Amortises the
     /// per-message framing overhead when a real network transport flushes
     /// many queued time steps at once.
+    // analysis: hot_path
     pub fn encode_burst(messages: &[Message]) -> Bytes {
+        // analysis: allow(alloc, reason = "the burst frame being built is the function's output; exactly one exact-size allocation per burst")
         let mut buf = BytesMut::with_capacity(Self::burst_wire_bytes(messages));
         buf.put_u8(3);
         buf.put_u32(messages.len() as u32);
@@ -136,6 +142,7 @@ impl Message {
         buf.freeze()
     }
 
+    // analysis: hot_path
     fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Message::Connect { client_id } => {
@@ -176,6 +183,7 @@ impl Message {
     /// Decodes a frame produced by [`Message::encode`]. A burst frame is
     /// rejected with [`DecodeError::BurstFrame`] — use
     /// [`Message::decode_burst`] for those.
+    // analysis: hot_path
     pub fn decode(mut frame: Bytes) -> Result<Message, DecodeError> {
         if frame.remaining() < 1 {
             return Err(DecodeError::Truncated);
@@ -189,6 +197,7 @@ impl Message {
 
     /// Decodes a burst frame produced by [`Message::encode_burst`] into its
     /// messages, in order.
+    // analysis: hot_path
     pub fn decode_burst(mut frame: Bytes) -> Result<Vec<Message>, DecodeError> {
         if frame.remaining() < 1 + 4 {
             return Err(DecodeError::Truncated);
@@ -202,6 +211,7 @@ impl Message {
         // frame could possibly hold (the smallest message is 9 bytes), so a
         // corrupted count cannot force a huge allocation before the
         // per-message truncation checks reject the frame.
+        // analysis: allow(alloc, reason = "the decoded message list is the function's output; the reservation is capped against the untrusted count")
         let mut messages = Vec::with_capacity(count.min(frame.remaining() / 9 + 1));
         for _ in 0..count {
             if frame.remaining() < 1 {
@@ -216,6 +226,7 @@ impl Message {
         Ok(messages)
     }
 
+    // analysis: hot_path
     fn decode_body(tag: u8, frame: &mut Bytes) -> Result<Message, DecodeError> {
         match tag {
             0 => {
@@ -242,6 +253,7 @@ impl Message {
                 // One spare slot beyond the parameters: the server-side
                 // ingestion appends the time entry in place to build the
                 // surrogate input without reallocating.
+                // analysis: allow(alloc, reason = "the payload's parameter storage is the output and is reused in place downstream (spare slot for the time entry)")
                 let mut parameters = Vec::with_capacity(n_params + 1);
                 for _ in 0..n_params {
                     parameters.push(frame.get_f32());
@@ -250,6 +262,7 @@ impl Message {
                 if frame.remaining() < n_values * 4 {
                     return Err(DecodeError::Truncated);
                 }
+                // analysis: allow(alloc, reason = "the payload's value storage is the function's output, moved into the sample without copying")
                 let mut values = Vec::with_capacity(n_values);
                 for _ in 0..n_values {
                     values.push(frame.get_f32());

@@ -58,6 +58,7 @@ impl StatsCell {
     /// the traffic has quiesced, which is when reports read it).
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
+            // ordering: Relaxed for the whole snapshot — monotonic counters with no cross-field invariant; reports read them after traffic quiesces
             messages_sent: self.messages_sent.load(Ordering::Relaxed),
             messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
             messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
@@ -76,6 +77,7 @@ mod tests {
     #[test]
     fn stats_cell_snapshot_materialises_counters() {
         let cell = StatsCell::default();
+        // ordering: Relaxed — single-threaded test; any ordering observes its own writes
         cell.messages_sent.fetch_add(3, Ordering::Relaxed);
         cell.bytes_sent.fetch_add(1024, Ordering::Relaxed);
         cell.finalized_clients.fetch_add(1, Ordering::Relaxed);

@@ -48,7 +48,7 @@ fn main() {
         (0..config.total_simulations() as u64).collect(),
         config.seed,
     );
-    let json = checkpoint.to_json();
+    let json = checkpoint.to_json().expect("serialisable checkpoint");
     println!(
         "  checkpoint captured: {} bytes of JSON, {} batches trained",
         json.len(),

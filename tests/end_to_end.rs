@@ -134,7 +134,7 @@ fn checkpoint_restores_an_equivalent_model() {
         (0..4).collect(),
         config.seed,
     );
-    let restored = ServerCheckpoint::from_json(&checkpoint.to_json())
+    let restored = ServerCheckpoint::from_json(&checkpoint.to_json().unwrap())
         .unwrap()
         .restore_model();
     let probe = Matrix::from_rows(&[vec![0.3, 0.5, 0.7, 0.2, 0.9, 0.5]]);
