@@ -1,19 +1,15 @@
-//! The analysis engine: walks the workspace, scans every Rust file, applies
-//! the rules, and matches the result against the ratcheting baseline.
+//! The analysis engine: loads the workspace once, applies the intra-function
+//! rules per file, resolves the call graph for the interprocedural rules,
+//! and matches the combined result against the ratcheting baseline.
 
 use crate::baseline::{fingerprints, Baseline, Ratchet};
+use crate::callgraph::{interprocedural_findings, propagate, CallGraph, Propagation};
+use crate::lockgraph::LockGraph;
 use crate::manifest::{LockManifest, SeedManifest};
 use crate::rules::{apply_all, Finding, Rule};
-use crate::scanner::FileModel;
+use crate::symbols::{SymbolTable, Workspace};
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
-
-/// Directories walked under the workspace root.
-const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
-/// Path components that end a walk: build output, vendored third-party
-/// stand-ins (not this project's code), and the analyzer's own deliberately
-/// violating fixture files.
-const SKIP_COMPONENTS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
+use std::path::Path;
 
 /// Everything one analysis run produced.
 pub struct Analysis {
@@ -27,57 +23,65 @@ pub struct Analysis {
     pub files_scanned: usize,
 }
 
+/// The resolved workspace graphs (the `graph` subcommand's payload, also
+/// reusable from tests).
+pub struct Graphs {
+    /// Scanned workspace (models retained).
+    pub ws: Workspace,
+    /// Symbol table over it.
+    pub table: SymbolTable,
+    /// Resolved call graph.
+    pub graph: CallGraph,
+    /// Hot-path reachability (alloc-pruned; used for DOT colouring).
+    pub reach: Propagation,
+    /// Inferred lock graph.
+    pub locks: LockGraph,
+}
+
 /// Runs the full analysis over the workspace at `root`.
 pub fn analyze(root: &Path) -> Result<Analysis, String> {
     let locks = LockManifest::load(root)?;
     let seeds = SeedManifest::load(root)?;
-    let mut files = Vec::new();
-    for dir in SCAN_ROOTS {
-        collect_rust_files(&root.join(dir), &mut files);
-    }
-    files.sort();
+    let ws = Workspace::load(root)?;
 
     let mut findings = Vec::new();
     let mut directive_errors = Vec::new();
-    let files_scanned = files.len();
-    for path in files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let model = FileModel::scan_path(root, &rel).map_err(|e| format!("reading {rel}: {e}"))?;
+    for model in &ws.files {
         for (line, problem) in &model.directives.malformed {
-            directive_errors.push((rel.clone(), *line, problem.clone()));
+            directive_errors.push((model.rel_path.clone(), *line, problem.clone()));
         }
-        findings.extend(apply_all(&model, &locks, &seeds));
+        findings.extend(apply_all(model, &locks, &seeds));
     }
+
+    let table = SymbolTable::build(&ws);
+    let graph = CallGraph::build(&ws, &table);
+    findings.extend(interprocedural_findings(&ws, &table, &graph));
+
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     let fingerprints = fingerprints(&findings);
     Ok(Analysis {
         findings,
         fingerprints,
         directive_errors,
-        files_scanned,
+        files_scanned: ws.files.len(),
     })
 }
 
-fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name().to_string_lossy().into_owned();
-        if SKIP_COMPONENTS.contains(&name.as_str()) {
-            continue;
-        }
-        if path.is_dir() {
-            collect_rust_files(&path, out);
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
+/// Resolves the workspace graphs at `root`.
+pub fn build_graphs(root: &Path) -> Result<Graphs, String> {
+    let manifest = LockManifest::load(root)?;
+    let ws = Workspace::load(root)?;
+    let table = SymbolTable::build(&ws);
+    let graph = CallGraph::build(&ws, &table);
+    let reach = propagate(&ws, &table, &graph, Some("alloc"));
+    let locks = LockGraph::build(&ws, &table, &graph, &manifest);
+    Ok(Graphs {
+        ws,
+        table,
+        graph,
+        reach,
+        locks,
+    })
 }
 
 /// Renders the outcome of a `check` run. Returns `(report, failed)` where
@@ -143,8 +147,97 @@ pub fn report(analysis: &Analysis, ratchet: &Ratchet<'_>) -> (String, bool) {
     ));
     for (rule, (new, tolerated)) in per_rule {
         out.push_str(&format!(
-            "  {rule:<16} new {new:>3}   baselined {tolerated:>3}\n"
+            "  {rule:<24} new {new:>3}   baselined {tolerated:>3}\n"
         ));
+    }
+    (out, failed)
+}
+
+/// Renders the `graph` summary. Returns `(report, failed)` where `failed`
+/// reflects what `graph --check` should exit non-zero on: a lock-graph
+/// cycle, or an edge contradicting the ranks declared in
+/// `analysis/locks.toml`.
+pub fn graph_report(graphs: &Graphs) -> (String, bool) {
+    let mut out = String::new();
+    let mut failed = false;
+
+    let fn_count = graphs.table.fns.len();
+    let edge_count: usize = graphs.graph.edges.iter().map(|e| e.len()).sum();
+    let reached = graphs.reach.reached.iter().filter(|&&r| r).count();
+    out.push_str(&format!(
+        "call graph: {fn_count} fns, {edge_count} edges, {} hot root(s), {reached} reachable from hot paths\n",
+        graphs.reach.roots.len(),
+    ));
+    let ext_total: usize = graphs.graph.externals.values().sum();
+    let amb_total: usize = graphs.graph.ambiguous.values().sum();
+    out.push_str(&format!(
+        "  unresolved: {} external name(s) ({ext_total} site(s)), {} ambiguous name(s) ({amb_total} site(s))\n",
+        graphs.graph.externals.len(),
+        graphs.graph.ambiguous.len(),
+    ));
+
+    out.push_str(&format!(
+        "lock graph: {} class(es), {} edge(s)\n",
+        graphs.locks.nodes.len(),
+        graphs.locks.edges.len(),
+    ));
+    for edge in &graphs.locks.edges {
+        let via = if edge.via.is_empty() {
+            String::new()
+        } else {
+            format!(" via {}", edge.via)
+        };
+        out.push_str(&format!(
+            "  {} → {} ({}:{}{via})\n",
+            graphs.locks.nodes[edge.from].key,
+            graphs.locks.nodes[edge.to].key,
+            edge.file,
+            edge.line,
+        ));
+    }
+    let undeclared = graphs.locks.undeclared();
+    if !undeclared.is_empty() {
+        out.push_str(&format!(
+            "  {} lock class(es) not declared in analysis/locks.toml:\n",
+            undeclared.len()
+        ));
+        for node in undeclared {
+            out.push_str(&format!("    {}\n", node.key));
+        }
+    }
+
+    let cycles = graphs.locks.cycles();
+    if !cycles.is_empty() {
+        failed = true;
+        out.push_str(&format!(
+            "{} lock-order cycle(s) — deadlock risk:\n",
+            cycles.len()
+        ));
+        for cycle in &cycles {
+            out.push_str(&format!("  {}\n", graphs.locks.describe_cycle(cycle)));
+        }
+    }
+    let violations = graphs.locks.rank_violations();
+    if !violations.is_empty() {
+        failed = true;
+        out.push_str(&format!(
+            "{} edge(s) contradict the declared ranks in analysis/locks.toml:\n",
+            violations.len()
+        ));
+        for edge in violations {
+            out.push_str(&format!(
+                "  {} (rank {}) held while acquiring {} (rank {}) at {}:{}\n",
+                graphs.locks.nodes[edge.from].key,
+                graphs.locks.nodes[edge.from].rank.unwrap_or(0),
+                graphs.locks.nodes[edge.to].key,
+                graphs.locks.nodes[edge.to].rank.unwrap_or(0),
+                edge.file,
+                edge.line,
+            ));
+        }
+    }
+    if !failed {
+        out.push_str("lock order: cycle-free, declared ranks form a topological order\n");
     }
     (out, failed)
 }

@@ -9,10 +9,14 @@
 //!
 //! * a hand-rolled [`lexer`] (nested block comments, raw strings with hash
 //!   depth, `'a` vs `'x'`, raw identifiers) feeds
-//! * a brace-scoped [`scanner`] (function spans, `#[cfg(test)]` regions,
-//!   directive comments), over which
-//! * five [`rules`] run, configured by the checked manifests in
-//!   [`manifest`] (`analysis/locks.toml`, `analysis/seed_policy.toml`), and
+//! * a brace-scoped [`scanner`] (function spans, impl/trait owners,
+//!   `#[cfg(test)]` regions, directive comments), over which
+//! * the intra-function [`rules`] run, configured by the checked manifests in
+//!   [`manifest`] (`analysis/locks.toml`, `analysis/seed_policy.toml`);
+//! * a workspace-wide [`symbols`] table feeds the [`callgraph`] (call sites
+//!   resolved by receiver-type heuristics, unresolved externals recorded),
+//!   which propagates hot-path constraints transitively and powers the
+//!   [`lockgraph`] deadlock-cycle detector; and
 //! * findings diff against the ratcheting [`baseline`]
 //!   (`analysis/baseline.toml`): pre-existing violations are enumerated,
 //!   their count may only go down, and new ones fail `check --deny` in CI.
@@ -24,21 +28,29 @@
 //! cargo run -p melissa_analysis -- check --deny     # the CI gate
 //! cargo run -p melissa_analysis -- ratchet          # shrink the baseline
 //! cargo run -p melissa_analysis -- verify-baseline  # well-formedness only
+//! cargo run -p melissa_analysis -- graph            # call/lock-graph summary
+//! cargo run -p melissa_analysis -- graph --check    # cycle + rank-order gate
+//! cargo run -p melissa_analysis -- graph --dot      # DOT dumps under target/analysis/
 //! ```
 //!
 //! Annotations understood in source (line comments):
 //!
-//! * `// analysis: hot_path` — marks the next `fn` allocation-free;
+//! * `// analysis: hot_path` — marks the next `fn` allocation-free and
+//!   non-blocking, *including everything it transitively calls*;
 //! * `// analysis: allow(<rule>, reason = "…")` — grants one line an
-//!   exemption (`alloc`, `lock`, `ordering`, `panic`, `seed`), reason
-//!   mandatory;
+//!   exemption (`alloc`, `blocking`, `lock`, `ordering`, `panic`, `seed`),
+//!   reason mandatory; on a call-site line it also stops hot-path
+//!   propagation through that call;
 //! * `// ordering: <why>` — justifies `Ordering::…` on the same line, or a
 //!   contiguous run of sites below it.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod lockgraph;
 pub mod manifest;
 pub mod rules;
 pub mod scanner;
+pub mod symbols;
 pub mod toml_lite;

@@ -1,17 +1,20 @@
 //! CLI for the workspace lint engine: `check [--deny]`, `ratchet [--force]`,
-//! `verify-baseline`, each with an optional `--root <path>`.
+//! `verify-baseline`, `graph [--dot] [--check]`, each with an optional
+//! `--root <path>`.
 
 use melissa_analysis::baseline::Baseline;
-use melissa_analysis::engine::{analyze, load_and_ratchet, report};
+use melissa_analysis::callgraph::to_dot as callgraph_dot;
+use melissa_analysis::engine::{analyze, build_graphs, graph_report, load_and_ratchet, report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: melissa_analysis <check [--deny] | ratchet [--force] | verify-baseline> [--root <path>]";
+const USAGE: &str = "usage: melissa_analysis <check [--deny] | ratchet [--force] | verify-baseline | graph [--dot] [--check]> [--root <path>]";
 
 enum Command {
     Check,
     Ratchet,
     VerifyBaseline,
+    Graph,
 }
 
 fn main() -> ExitCode {
@@ -19,6 +22,8 @@ fn main() -> ExitCode {
     let mut command = None;
     let mut deny = false;
     let mut force = false;
+    let mut dot = false;
+    let mut graph_check = false;
     let mut root: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -26,8 +31,11 @@ fn main() -> ExitCode {
             "check" if command.is_none() => command = Some(Command::Check),
             "ratchet" if command.is_none() => command = Some(Command::Ratchet),
             "verify-baseline" if command.is_none() => command = Some(Command::VerifyBaseline),
+            "graph" if command.is_none() => command = Some(Command::Graph),
             "--deny" => deny = true,
             "--force" => force = true,
+            "--dot" => dot = true,
+            "--check" if matches!(command, Some(Command::Graph)) => graph_check = true,
             "--root" => match iter.next() {
                 Some(path) => root = Some(PathBuf::from(path)),
                 None => return usage_error("--root needs a path"),
@@ -46,6 +54,7 @@ fn main() -> ExitCode {
         Command::Check => run_check(&root, deny),
         Command::Ratchet => run_ratchet(&root, force),
         Command::VerifyBaseline => run_verify(&root),
+        Command::Graph => run_graph(&root, dot, graph_check),
     };
     match outcome {
         Ok(code) => code,
@@ -105,4 +114,33 @@ fn run_verify(root: &std::path::Path) -> Result<ExitCode, String> {
         baseline.counts
     );
     Ok(ExitCode::SUCCESS)
+}
+
+fn run_graph(root: &std::path::Path, dot: bool, check: bool) -> Result<ExitCode, String> {
+    let graphs = build_graphs(root)?;
+    let (text, failed) = graph_report(&graphs);
+    print!("{text}");
+    if dot {
+        let dir = root.join("target/analysis");
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let call_path = dir.join("callgraph.dot");
+        std::fs::write(
+            &call_path,
+            callgraph_dot(&graphs.table, &graphs.graph, &graphs.reach),
+        )
+        .map_err(|e| format!("writing {}: {e}", call_path.display()))?;
+        let lock_path = dir.join("lockgraph.dot");
+        std::fs::write(&lock_path, graphs.locks.to_dot())
+            .map_err(|e| format!("writing {}: {e}", lock_path.display()))?;
+        println!("wrote {} and {}", call_path.display(), lock_path.display());
+    }
+    if failed && check {
+        println!("graph --check: FAILED");
+        Ok(ExitCode::from(1))
+    } else {
+        if failed {
+            println!("(advisory run: rerun with --check to enforce)");
+        }
+        Ok(ExitCode::SUCCESS)
+    }
 }

@@ -84,11 +84,15 @@ impl LockManifest {
     /// The rank of `receiver` in `file`, when a class matches. Receivers
     /// match by prefix so `self.shards[_]` matches a `self.shards` class.
     pub fn rank_of(&self, file: &str, receiver: &str) -> Option<i64> {
+        self.class_of(file, receiver).map(|c| c.rank)
+    }
+
+    /// The declared class for `receiver` in `file`, if any (prefix match,
+    /// like [`LockManifest::rank_of`]).
+    pub fn class_of(&self, file: &str, receiver: &str) -> Option<&LockClass> {
         self.classes
             .iter()
-            .filter(|c| c.file == file && receiver.starts_with(c.receiver.as_str()))
-            .map(|c| c.rank)
-            .next()
+            .find(|c| c.file == file && receiver.starts_with(c.receiver.as_str()))
     }
 
     /// All declared classes (reporting).

@@ -1,15 +1,21 @@
-//! The five project-invariant rules, evaluated over a scanned [`FileModel`].
+//! The intra-function project-invariant rules, evaluated over a scanned
+//! [`FileModel`], plus the site detectors shared with the interprocedural
+//! rules in [`crate::callgraph`].
 //!
 //! | rule | key | scope |
 //! |------|-----|-------|
 //! | hot-path allocation | `hot_path_alloc` | fns marked `// analysis: hot_path` |
+//! | transitive hot-path allocation | `hot_path_transitive_alloc` | fns *reachable* from hot-path roots (callgraph) |
+//! | blocking in hot path | `blocking_in_hot_path` | hot-path roots and everything they reach (callgraph) |
 //! | lock discipline | `lock_discipline` | library code |
 //! | atomic-ordering audit | `atomic_ordering` | everywhere (incl. tests) |
 //! | panic surface | `panic_surface` | library code outside tests |
 //! | RNG seed policy | `seed_policy` | library code outside tests |
 //!
 //! Every rule honours an inline `// analysis: allow(<key>, reason = "…")`
-//! grant on the offending line (or the line directly above it).
+//! grant on the offending line (or the line directly above it). For the two
+//! interprocedural rules an allow on a *call site* also prunes propagation
+//! through that edge.
 
 use crate::lexer::{Token, TokenKind};
 use crate::manifest::{LockManifest, SeedManifest};
@@ -21,6 +27,12 @@ use std::fmt;
 pub enum Rule {
     /// Allocation in a `// analysis: hot_path` function.
     HotPathAlloc,
+    /// Allocation in a function *reachable* from a hot-path root through the
+    /// call graph; findings carry the call-chain witness.
+    HotPathTransitiveAlloc,
+    /// Lock/condvar/channel blocking, sleeps, or file/stdio I/O in a hot-path
+    /// root or anything it reaches.
+    BlockingInHotPath,
     /// Nested lock acquisition out of declared order.
     LockDiscipline,
     /// `Ordering::…` without an `// ordering:` justification.
@@ -33,8 +45,10 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 7] = [
         Rule::HotPathAlloc,
+        Rule::HotPathTransitiveAlloc,
+        Rule::BlockingInHotPath,
         Rule::LockDiscipline,
         Rule::AtomicOrdering,
         Rule::PanicSurface,
@@ -45,6 +59,8 @@ impl Rule {
     pub fn key(self) -> &'static str {
         match self {
             Rule::HotPathAlloc => "hot_path_alloc",
+            Rule::HotPathTransitiveAlloc => "hot_path_transitive_alloc",
+            Rule::BlockingInHotPath => "blocking_in_hot_path",
             Rule::LockDiscipline => "lock_discipline",
             Rule::AtomicOrdering => "atomic_ordering",
             Rule::PanicSurface => "panic_surface",
@@ -52,10 +68,13 @@ impl Rule {
         }
     }
 
-    /// The short key accepted by `allow(…)` directives.
+    /// The short key accepted by `allow(…)` directives. The transitive alloc
+    /// rule deliberately shares `alloc` with the intra-function rule: one
+    /// grant blesses the site no matter how the analyzer reached it.
     pub fn allow_key(self) -> &'static str {
         match self {
-            Rule::HotPathAlloc => "alloc",
+            Rule::HotPathAlloc | Rule::HotPathTransitiveAlloc => "alloc",
+            Rule::BlockingInHotPath => "blocking",
             Rule::LockDiscipline => "lock",
             Rule::AtomicOrdering => "ordering",
             Rule::PanicSurface => "panic",
@@ -116,15 +135,56 @@ pub fn apply_all(model: &FileModel, locks: &LockManifest, seeds: &SeedManifest) 
     findings
 }
 
-fn is_punct(tok: Option<&Token>, c: char) -> bool {
+pub(crate) fn is_punct(tok: Option<&Token>, c: char) -> bool {
     matches!(tok.map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c)
 }
 
-fn ident_text(tok: Option<&Token>) -> Option<&str> {
+pub(crate) fn ident_text(tok: Option<&Token>) -> Option<&str> {
     match tok {
         Some(t) if t.kind == TokenKind::Ident => Some(t.text.as_str()),
         _ => None,
     }
+}
+
+/// Skips a `::<…>` turbofish directly after a method/function name; returns
+/// the index where the argument list's `(` would sit (i.e. `after_name` when
+/// there is no turbofish). Handles nested generics (`::<Vec<Vec<f32>>>`) and
+/// `->` inside `Fn(…) -> T` bounds.
+pub(crate) fn skip_turbofish(toks: &[Token], after_name: usize) -> usize {
+    if !(is_punct(toks.get(after_name), ':')
+        && is_punct(toks.get(after_name + 1), ':')
+        && is_punct(toks.get(after_name + 2), '<'))
+    {
+        return after_name;
+    }
+    let mut depth = 0isize;
+    let mut j = after_name + 2;
+    while let Some(tok) = toks.get(j) {
+        match &tok.kind {
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('>') => {
+                let arrow = is_punct(toks.get(j.wrapping_sub(1)), '-');
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    after_name
+}
+
+/// One detector hit inside a token range.
+#[derive(Debug, Clone)]
+pub(crate) struct Site {
+    /// 1-based source line.
+    pub line: u32,
+    /// Line-number-free description (`".clone()"`, `"Vec::new"`).
+    pub detail: String,
 }
 
 // ---------------------------------------------------------------------------
@@ -150,42 +210,133 @@ const ALLOC_TYPES: [&str; 12] = [
 ];
 const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
 
-fn hot_path_alloc(model: &FileModel, findings: &mut Vec<Finding>) {
-    for span in model.functions.iter().filter(|f| f.hot_path) {
-        for i in span.body.clone() {
-            let tok = &model.tokens[i];
-            let detail = if is_punct(Some(tok), '.') {
-                match ident_text(model.tokens.get(i + 1)) {
-                    Some(m)
-                        if ALLOC_METHODS.contains(&m) && is_punct(model.tokens.get(i + 2), '(') =>
-                    {
-                        Some(format!(".{m}()"))
-                    }
-                    _ => None,
+/// Every allocation-pattern hit inside `range` (allow grants NOT applied —
+/// callers filter, so intra and transitive rules share one detector).
+pub(crate) fn alloc_sites(model: &FileModel, range: std::ops::Range<usize>) -> Vec<Site> {
+    let toks = &model.tokens;
+    let mut out = Vec::new();
+    for i in range {
+        let tok = &toks[i];
+        let detail = if is_punct(Some(tok), '.') {
+            match ident_text(toks.get(i + 1)) {
+                Some(m)
+                    if ALLOC_METHODS.contains(&m)
+                        && is_punct(toks.get(skip_turbofish(toks, i + 2)), '(') =>
+                {
+                    Some(format!(".{m}()"))
                 }
-            } else if ident_text(Some(tok)).is_some_and(|t| ALLOC_MACROS.contains(&t))
-                && is_punct(model.tokens.get(i + 1), '!')
-            {
+                _ => None,
+            }
+        } else if ident_text(Some(tok)).is_some_and(|t| ALLOC_MACROS.contains(&t))
+            && is_punct(toks.get(i + 1), '!')
+        {
+            Some(format!("{}!", tok.text))
+        } else if ident_text(Some(tok)).is_some_and(|t| ALLOC_TYPES.contains(&t))
+            && is_punct(toks.get(i + 1), ':')
+            && is_punct(toks.get(i + 2), ':')
+            && ident_text(toks.get(i + 3)).is_some_and(|c| ALLOC_CTORS.contains(&c))
+            && is_punct(toks.get(skip_turbofish(toks, i + 4)), '(')
+        {
+            Some(format!("{}::{}", tok.text, toks[i + 3].text))
+        } else {
+            None
+        };
+        if let Some(detail) = detail {
+            out.push(Site {
+                line: tok.line,
+                detail,
+            });
+        }
+    }
+    out
+}
+
+/// Methods that block the calling thread when invoked with no arguments
+/// (lock acquisition, thread join, blocking channel receive).
+const BLOCKING_METHODS_NULLARY: [&str; 5] = ["lock", "read", "write", "join", "recv"];
+/// Methods that block regardless of arguments (condvar waits, timed channel
+/// ops, bounded-channel sends, thread parking).
+const BLOCKING_METHODS_ANY: [&str; 9] = [
+    "wait",
+    "wait_for",
+    "wait_timeout",
+    "wait_while",
+    "wait_until",
+    "recv_timeout",
+    "recv_many",
+    "send",
+    "park",
+];
+/// Free/path functions that block or do file I/O.
+const BLOCKING_FREE_FNS: [&str; 4] = ["sleep", "sleep_ms", "yield_now", "read_to_string"];
+/// Stdio macros: line-buffered writes behind a global lock.
+const BLOCKING_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Every blocking-pattern hit inside `range` (allow grants NOT applied).
+pub(crate) fn blocking_sites(model: &FileModel, range: std::ops::Range<usize>) -> Vec<Site> {
+    let toks = &model.tokens;
+    let mut out = Vec::new();
+    for i in range {
+        let tok = &toks[i];
+        let detail = if is_punct(Some(tok), '.') {
+            match ident_text(toks.get(i + 1)) {
+                Some(m) if BLOCKING_METHODS_NULLARY.contains(&m) => {
+                    let open = skip_turbofish(toks, i + 2);
+                    (is_punct(toks.get(open), '(') && is_punct(toks.get(open + 1), ')'))
+                        .then(|| format!(".{m}()"))
+                }
+                Some(m) if BLOCKING_METHODS_ANY.contains(&m) => {
+                    is_punct(toks.get(skip_turbofish(toks, i + 2)), '(').then(|| format!(".{m}(…)"))
+                }
+                _ => None,
+            }
+        } else if tok.kind == TokenKind::Ident {
+            let next = skip_turbofish(toks, i + 1);
+            if is_punct(toks.get(i + 1), '!') && BLOCKING_MACROS.contains(&tok.text.as_str()) {
                 Some(format!("{}!", tok.text))
-            } else if ident_text(Some(tok)).is_some_and(|t| ALLOC_TYPES.contains(&t))
-                && is_punct(model.tokens.get(i + 1), ':')
-                && is_punct(model.tokens.get(i + 2), ':')
-                && ident_text(model.tokens.get(i + 3)).is_some_and(|c| ALLOC_CTORS.contains(&c))
-                && is_punct(model.tokens.get(i + 4), '(')
+            } else if is_punct(toks.get(next), '(')
+                && BLOCKING_FREE_FNS.contains(&tok.text.as_str())
+                && !is_punct(toks.get(i.wrapping_sub(1)), '.')
             {
-                Some(format!("{}::{}", tok.text, model.tokens[i + 3].text))
+                Some(format!("{}()", tok.text))
+            } else if is_punct(toks.get(next), '(')
+                && i >= 2
+                && is_punct(toks.get(i - 1), ':')
+                && is_punct(toks.get(i - 2), ':')
+                && ident_text(toks.get(i.wrapping_sub(3))).is_some_and(|t| t == "File" || t == "fs")
+                && matches!(
+                    tok.text.as_str(),
+                    "open" | "create" | "read" | "write" | "read_to_string" | "remove_file"
+                )
+            {
+                Some(format!("{}::{}", toks[i - 3].text, tok.text))
             } else {
                 None
-            };
-            let Some(detail) = detail else { continue };
-            let line = tok.line;
-            if model.allow_for(line, "alloc").is_some() {
+            }
+        } else {
+            None
+        };
+        if let Some(detail) = detail {
+            out.push(Site {
+                line: tok.line,
+                detail,
+            });
+        }
+    }
+    out
+}
+
+fn hot_path_alloc(model: &FileModel, findings: &mut Vec<Finding>) {
+    for span in model.functions.iter().filter(|f| f.hot_path) {
+        for site in alloc_sites(model, span.body.clone()) {
+            if model.allow_for(site.line, "alloc").is_some() {
                 continue;
             }
+            let detail = &site.detail;
             findings.push(Finding {
                 rule: Rule::HotPathAlloc,
                 file: model.rel_path.clone(),
-                line,
+                line: site.line,
                 function: span.name.clone(),
                 detail: detail.clone(),
                 message: format!(
@@ -298,7 +449,7 @@ fn lock_walk(
 /// Renders the receiver chain ending at the `.` token `dot`: `self.draw`,
 /// `self.shards[_]`, `slot`. Returns `"<expr>"` when the receiver is not a
 /// simple field/index chain.
-fn receiver_chain(toks: &[Token], dot: usize) -> String {
+pub(crate) fn receiver_chain(toks: &[Token], dot: usize) -> String {
     let mut parts: Vec<String> = Vec::new();
     let mut j = dot;
     loop {
@@ -361,7 +512,7 @@ fn receiver_chain(toks: &[Token], dot: usize) -> String {
 
 /// If the statement containing the acquisition at `dot` is a
 /// `let [mut] name = <receiver>…` binding, returns the bound name.
-fn let_binding_name(toks: &[Token], dot: usize, lo: usize) -> Option<String> {
+pub(crate) fn let_binding_name(toks: &[Token], dot: usize, lo: usize) -> Option<String> {
     // Walk back over the receiver chain to its start.
     let mut j = dot;
     loop {

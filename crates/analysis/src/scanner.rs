@@ -40,8 +40,8 @@ impl FileContext {
 /// An inline `// analysis: allow(<rule>, reason = "…")` grant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allow {
-    /// The rule key being allowed (`alloc`, `lock`, `ordering`, `panic`,
-    /// `seed`).
+    /// The rule key being allowed (`alloc`, `blocking`, `lock`, `ordering`,
+    /// `panic`, `seed`).
     pub rule: String,
     /// The mandatory human justification.
     pub reason: String,
@@ -74,10 +74,31 @@ pub struct FnSpan {
     /// Token-index range of the body, **excluding** the outer braces; empty
     /// for bodyless trait-method declarations.
     pub body: Range<usize>,
+    /// True when the `fn` has a braced body at all — distinguishes an empty
+    /// `fn f() {}` (has one) from a bodyless trait declaration `fn f();`.
+    pub has_body: bool,
     /// True when the function carries a `// analysis: hot_path` marker.
     pub hot_path: bool,
     /// True inside `#[cfg(test)]` regions or for `#[test]`/`#[bench]` fns.
     pub is_test: bool,
+    /// The type this function is a method of (`impl Type` / `impl Tr for
+    /// Type` → `Type`), or the trait name for default methods declared in a
+    /// `trait` block; `None` for free functions.
+    pub owner: Option<String>,
+    /// True when [`FnSpan::owner`] names a `trait` block (a provided default
+    /// method) rather than an `impl` block.
+    pub owner_is_trait: bool,
+}
+
+impl FnSpan {
+    /// `Owner::name` for methods, plain `name` for free functions — the form
+    /// interprocedural findings and chain witnesses use.
+    pub fn display_name(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
 }
 
 /// The scanned model of one source file.
@@ -98,6 +119,9 @@ pub struct FileModel {
     /// Token-index ranges that are test-only (`#[cfg(test)]` mod bodies and
     /// `#[test]` function bodies).
     pub test_ranges: Vec<Range<usize>>,
+    /// `(trait, type)` pairs from `impl Trait for Type` blocks, in source
+    /// order — the raw material for trait-dispatch call resolution.
+    pub trait_impls: Vec<(String, String)>,
 }
 
 impl FileModel {
@@ -113,9 +137,10 @@ impl FileModel {
             directives,
             functions: Vec::new(),
             test_ranges: Vec::new(),
+            trait_impls: Vec::new(),
         };
         let mut hot_lines: Vec<u32> = model.directives.hot_path_lines.clone();
-        scan_items(&mut model, &mut hot_lines, 0, usize::MAX, false);
+        scan_items(&mut model, &mut hot_lines, 0, usize::MAX, false, None);
         model
     }
 
@@ -210,7 +235,7 @@ fn parse_allow(body: &str, line: u32) -> Result<Allow, String> {
         .split_once(',')
         .ok_or_else(|| "allow() needs `allow(<rule>, reason = \"…\")`".to_string())?;
     let rule = rule.trim().to_string();
-    const RULES: [&str; 5] = ["alloc", "lock", "ordering", "panic", "seed"];
+    const RULES: [&str; 6] = ["alloc", "blocking", "lock", "ordering", "panic", "seed"];
     if !RULES.contains(&rule.as_str()) {
         return Err(format!(
             "unknown allow rule `{rule}` (expected one of {RULES:?})"
@@ -233,15 +258,23 @@ fn parse_allow(body: &str, line: u32) -> Result<Allow, String> {
     })
 }
 
+/// The owner context `scan_items` threads through `impl`/`trait` blocks.
+#[derive(Clone, Copy)]
+struct Owner<'a> {
+    name: &'a str,
+    is_trait: bool,
+}
+
 /// Recursive item walk from token index `from` up to `until` (exclusive).
 /// Collects `fn` spans and test ranges; `in_test` propagates through
-/// `#[cfg(test)]` modules.
+/// `#[cfg(test)]` modules, `owner` through `impl`/`trait` block bodies.
 fn scan_items(
     model: &mut FileModel,
     hot_lines: &mut Vec<u32>,
     from: usize,
     until: usize,
     in_test: bool,
+    owner: Option<Owner<'_>>,
 ) {
     let mut i = from;
     let mut pending_test = false;
@@ -261,7 +294,7 @@ fn scan_items(
                     .filter(|t| t.kind == TokenKind::Ident)
                     .map(|t| t.text.clone())
                     .unwrap_or_default();
-                let body = fn_body_range(model, i + 1);
+                let (body, has_body) = fn_body_range(model, i + 1);
                 let hot_path = take_hot_marker(hot_lines, line);
                 let is_test = in_test || pending_test;
                 if is_test && !body.is_empty() && !in_test {
@@ -272,13 +305,17 @@ fn scan_items(
                     name,
                     line,
                     body: body.clone(),
+                    has_body,
                     hot_path,
                     is_test,
+                    owner: owner.map(|o| o.name.to_string()),
+                    owner_is_trait: owner.map(|o| o.is_trait).unwrap_or(false),
                 });
                 if !body.is_empty() {
                     // Recurse so nested items (e.g. local fns) are seen, but
                     // nested spans are only *added*, not replacing this one.
-                    scan_items(model, hot_lines, body.start, body.end, is_test);
+                    // Items nested in a body are free-standing again.
+                    scan_items(model, hot_lines, body.start, body.end, is_test, None);
                 }
                 pending_test = false;
                 i = next;
@@ -291,15 +328,46 @@ fn scan_items(
                     if is_test && !in_test {
                         model.test_ranges.push(body.clone());
                     }
-                    scan_items(model, hot_lines, body.start, body.end, is_test);
+                    scan_items(model, hot_lines, body.start, body.end, is_test, None);
                     i = body.end + 1;
                 } else {
                     i += 1;
                 }
                 pending_test = false;
             }
+            TokenKind::Ident if (tok.text == "impl" || tok.text == "trait") && !tok.raw => {
+                let is_trait_block = tok.text == "trait";
+                let header = parse_owner_header(model, i + 1, is_trait_block);
+                let is_test = in_test || pending_test;
+                match header {
+                    Some(header) => {
+                        if is_test && !in_test {
+                            model.test_ranges.push(header.body.clone());
+                        }
+                        if let (Some(tr), Some(ty)) = (&header.trait_name, &header.type_name) {
+                            model.trait_impls.push((tr.clone(), ty.clone()));
+                        }
+                        let next = header.body.end + 1;
+                        let owner_name = header.type_name;
+                        scan_items(
+                            model,
+                            hot_lines,
+                            header.body.start,
+                            header.body.end,
+                            is_test,
+                            owner_name.as_deref().map(|name| Owner {
+                                name,
+                                is_trait: is_trait_block,
+                            }),
+                        );
+                        i = next;
+                    }
+                    None => i += 1,
+                }
+                pending_test = false;
+            }
             TokenKind::Punct('{') => {
-                // An impl/trait/extern block or similar: recurse transparently.
+                // An extern block or similar: recurse transparently.
                 i += 1;
                 pending_test = false;
             }
@@ -312,6 +380,73 @@ fn scan_items(
             }
         }
     }
+}
+
+/// The parsed header of an `impl`/`trait` block.
+struct OwnerHeader {
+    /// `impl Type` / `impl Tr for Type` → `Type`; `trait Tr` → `Tr`.
+    type_name: Option<String>,
+    /// The trait in `impl Tr for Type` headers.
+    trait_name: Option<String>,
+    /// Inner token range of the block body.
+    body: Range<usize>,
+}
+
+/// Parses an `impl [<…>] [Trait for] Type [where …] { … }` or
+/// `trait Name[<…>][: Bounds] { … }` header starting just past the keyword.
+/// A path's last segment at angle-depth 0 is taken as the name, so
+/// `impl<T: Send> fmt::Display for Shard<T>` yields trait `Display`, type
+/// `Shard`. Returns `None` when no body brace is found (e.g. `impl Trait` in
+/// return position won't reach here, but stay defensive).
+fn parse_owner_header(model: &FileModel, from: usize, is_trait_block: bool) -> Option<OwnerHeader> {
+    let mut angle = 0isize;
+    let mut candidate: Option<String> = None;
+    let mut trait_name: Option<String> = None;
+    let mut frozen = false; // set at `where`: the name is decided
+    let mut j = from;
+    const SKIP: [&str; 8] = [
+        "dyn", "mut", "unsafe", "const", "pub", "crate", "async", "ref",
+    ];
+    while let Some(tok) = model.tokens.get(j) {
+        match &tok.kind {
+            TokenKind::Punct('{') => {
+                let close = matching_brace(model, j);
+                return Some(OwnerHeader {
+                    type_name: candidate,
+                    trait_name,
+                    body: j + 1..close,
+                });
+            }
+            TokenKind::Punct(';') if angle == 0 => return None,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => {
+                // `->` in e.g. `impl<F: Fn() -> usize>` is not a closer.
+                let arrow = j > 0 && model.tokens[j - 1].kind == TokenKind::Punct('-');
+                if !arrow {
+                    angle -= 1;
+                }
+            }
+            TokenKind::Ident if angle == 0 && !frozen => {
+                match tok.text.as_str() {
+                    "where" => frozen = true,
+                    "for" => {
+                        // What we read so far was the trait; the type follows.
+                        trait_name = candidate.take();
+                    }
+                    t if SKIP.contains(&t) => {}
+                    _ => candidate = Some(tok.text.clone()),
+                }
+                // A trait's name is the first ident after the keyword; bounds
+                // after `:` must not overwrite it.
+                if is_trait_block && candidate.is_some() {
+                    frozen = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
 }
 
 /// Claims a `// analysis: hot_path` marker for a `fn` at `fn_line`: the
@@ -381,23 +516,23 @@ fn consume_attr(model: &FileModel, i: usize) -> (usize, bool) {
 /// `{` at balanced delimiter depth, or a `;` (bodyless declaration). Returns
 /// the token range strictly inside the braces (empty range at the `;` for
 /// bodyless forms).
-fn fn_body_range(model: &FileModel, from: usize) -> Range<usize> {
+fn fn_body_range(model: &FileModel, from: usize) -> (Range<usize>, bool) {
     let mut depth = 0isize;
     let mut j = from;
     while let Some(tok) = model.tokens.get(j) {
         match &tok.kind {
             TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
             TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
-            TokenKind::Punct(';') if depth == 0 => return j..j,
+            TokenKind::Punct(';') if depth == 0 => return (j..j, false),
             TokenKind::Punct('{') if depth == 0 => {
                 let close = matching_brace(model, j);
-                return j + 1..close;
+                return (j + 1..close, true);
             }
             _ => {}
         }
         j += 1;
     }
-    model.tokens.len()..model.tokens.len()
+    (model.tokens.len()..model.tokens.len(), false)
 }
 
 /// Finds `{ … }` directly after an item keyword (for `mod`): returns the
@@ -527,6 +662,58 @@ mod tests {
             FileContext::Example
         );
         assert_eq!(FileContext::classify("tests/smoke.rs"), FileContext::Test);
+    }
+
+    #[test]
+    fn impl_blocks_attach_owners() {
+        let src = "struct Buf;\n\
+                   impl Buf {\n    fn put(&self) {}\n}\n\
+                   impl<T: Send> std::fmt::Display for Buf {\n    fn fmt(&self) {}\n}\n\
+                   fn free() {}";
+        let model = FileModel::scan("crates/x/src/lib.rs", src);
+        let owner_of = |name: &str| {
+            model
+                .functions
+                .iter()
+                .find(|f| f.name == name)
+                .unwrap()
+                .owner
+                .clone()
+        };
+        assert_eq!(owner_of("put").as_deref(), Some("Buf"));
+        assert_eq!(owner_of("fmt").as_deref(), Some("Buf"));
+        assert_eq!(owner_of("free"), None);
+        assert_eq!(
+            model.trait_impls,
+            vec![("Display".to_string(), "Buf".to_string())]
+        );
+    }
+
+    #[test]
+    fn trait_blocks_own_default_methods() {
+        let src = "trait Policy: Send {\n    fn len(&self) -> usize;\n    fn is_empty(&self) -> bool { self.len() == 0 }\n}\n\
+                   impl<F: Fn(usize) -> usize> Policy for Wrapper<F> {\n    fn len(&self) -> usize { 0 }\n}";
+        let model = FileModel::scan("crates/x/src/lib.rs", src);
+        let is_empty = model
+            .functions
+            .iter()
+            .find(|f| f.name == "is_empty")
+            .unwrap();
+        assert_eq!(is_empty.owner.as_deref(), Some("Policy"));
+        assert!(is_empty.owner_is_trait);
+        assert_eq!(is_empty.display_name(), "Policy::is_empty");
+        // The `->` inside the impl generics must not unbalance the header.
+        let len_impl = model
+            .functions
+            .iter()
+            .find(|f| f.name == "len" && !f.body.is_empty())
+            .unwrap();
+        assert_eq!(len_impl.owner.as_deref(), Some("Wrapper"));
+        assert!(!len_impl.owner_is_trait);
+        assert_eq!(
+            model.trait_impls,
+            vec![("Policy".to_string(), "Wrapper".to_string())]
+        );
     }
 
     #[test]

@@ -126,6 +126,20 @@ fn seed_fixture_findings_line_for_line() {
 }
 
 #[test]
+fn lexer_hardening_fixture_findings_line_for_line() {
+    let (locks, seeds) = empty_manifests();
+    assert_eq!(
+        findings_for("lexer_hardening.rs", &locks, &seeds),
+        expect(&[
+            ("hot_path_alloc", 20), // vec! — first site after the hostile block
+            ("hot_path_alloc", 21), // inner .collect() inside the closure
+            ("hot_path_alloc", 21), // .collect::<Vec<Vec<char>>>() behind nested turbofish
+            ("hot_path_alloc", 22), // String::from — the tail must not be masked
+        ])
+    );
+}
+
+#[test]
 fn fixture_fingerprints_are_line_free_and_stable() {
     let (locks, seeds) = empty_manifests();
     let path = format!("{}/tests/fixtures/panics.rs", env!("CARGO_MANIFEST_DIR"));

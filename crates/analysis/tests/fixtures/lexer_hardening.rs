@@ -1,0 +1,25 @@
+//! Lexer-hardening fixture: hostile surface syntax wrapped around a handful
+//! of genuine allocation sites. Content inside raw strings, byte strings,
+//! nested block comments and char literals must stay inert, and the genuine
+//! sites *after* the hostile constructs must still register — a lexer that
+//! loses sync either invents findings from literal content or masks the tail.
+
+pub struct Holder<'buf, T> {
+    slice: &'buf [T],
+}
+
+// analysis: hot_path
+pub fn hardened<'a>(input: &'a str) -> usize {
+    let decoy = r#"Vec::new() vec![1] .to_vec() // analysis: hot_path"#;
+    let deeper = r##"a closing "# inside, still one string: Box::new(0)"##;
+    let bytes = br#"String::from("x")"#;
+    /* outer /* nested Vec::new() */ still a comment: .to_vec() */
+    let quote = '"';
+    let escaped = '\'';
+    let byte = b'\'';
+    let grid = vec![input; 2];
+    let nested = input.lines().map(|l| l.chars().collect()).collect::<Vec<Vec<char>>>();
+    let tail = String::from(decoy);
+    grid.len() + nested.len() + tail.len() + deeper.len() + bytes.len()
+        + quote.len_utf8() + escaped.len_utf8() + byte as usize
+}

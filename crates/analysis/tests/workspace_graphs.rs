@@ -1,0 +1,96 @@
+//! Whole-workspace graph invariants, pinned as tests: the *real* repository's
+//! lock graph must stay cycle-free and consistent with the ranks declared in
+//! `analysis/locks.toml`. This is the same gate CI runs via `melissa_analysis
+//! graph --check`, duplicated here so a plain `cargo test` catches a
+//! regression without the extra binary invocation.
+
+use melissa_analysis::engine::{build_graphs, graph_report, Graphs};
+use std::path::Path;
+
+fn workspace_graphs() -> Graphs {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    build_graphs(Path::new(root)).expect("workspace scans cleanly")
+}
+
+#[test]
+fn workspace_lock_graph_is_cycle_free() {
+    let graphs = workspace_graphs();
+    let cycles = graphs.locks.cycles();
+    assert!(
+        cycles.is_empty(),
+        "deadlock-capable lock cycle(s) in the workspace:\n{}",
+        cycles
+            .iter()
+            .map(|c| graphs.locks.describe_cycle(c))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn declared_lock_ranks_are_a_topological_order_of_the_inferred_edges() {
+    let graphs = workspace_graphs();
+    let violations: Vec<String> = graphs
+        .locks
+        .rank_violations()
+        .into_iter()
+        .map(|e| {
+            format!(
+                "{} (rank {:?}) acquired while {} (rank {:?}) is held at {}:{}",
+                graphs.locks.nodes[e.to].key,
+                graphs.locks.nodes[e.to].rank,
+                graphs.locks.nodes[e.from].key,
+                graphs.locks.nodes[e.from].rank,
+                e.file,
+                e.line
+            )
+        })
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "analysis/locks.toml ranks contradict the inferred lock graph:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn the_facade_nesting_is_actually_inferred_not_vacuously_absent() {
+    // An empty lock graph would make the two gates above pass for the wrong
+    // reason. The sharded facade's draw→wait nesting and its closure re-entry
+    // into at least one policy's inner mutex must be visible.
+    let graphs = workspace_graphs();
+    let edge_keys: Vec<(String, String)> = graphs
+        .locks
+        .edges
+        .iter()
+        .map(|e| {
+            (
+                graphs.locks.nodes[e.from].key.clone(),
+                graphs.locks.nodes[e.to].key.clone(),
+            )
+        })
+        .collect();
+    assert!(
+        edge_keys
+            .iter()
+            .any(|(f, t)| f == "sharded-buffer.draw" && t == "sharded-buffer.wait-gate"),
+        "draw→wait-gate edge missing; inferred edges: {edge_keys:?}"
+    );
+    assert!(
+        edge_keys
+            .iter()
+            .any(|(f, t)| f == "sharded-buffer.draw" && t.ends_with(".inner")),
+        "closure re-entry edge into a policy inner mutex missing; inferred edges: {edge_keys:?}"
+    );
+}
+
+#[test]
+fn graph_report_over_the_workspace_passes_and_names_the_gates() {
+    let graphs = workspace_graphs();
+    let (report, failed) = graph_report(&graphs);
+    assert!(!failed, "graph --check would fail:\n{report}");
+    assert!(
+        report.contains("cycle-free, declared ranks form a topological order"),
+        "success line missing from report:\n{report}"
+    );
+}

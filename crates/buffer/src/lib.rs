@@ -32,6 +32,7 @@
 
 pub mod fifo;
 pub mod firo;
+pub mod lock_order;
 pub mod reservoir;
 pub mod sampling;
 pub mod sharded;

@@ -240,6 +240,7 @@ impl ShardWorker<'_> {
         let mut scratch: Vec<Sample> = Vec::with_capacity(Aggregator::MAX_BURST);
 
         loop {
+            // analysis: allow(blocking, reason = "deliberate timed poll: the drain loop parks here only when the fabric is idle")
             match self.endpoint.recv_timeout(self.poll_timeout) {
                 Some(first) => {
                     // Drain the burst: everything already queued (up to a cap,

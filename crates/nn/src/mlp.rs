@@ -438,6 +438,7 @@ impl Mlp {
             let input = if l == 0 { &ws.input } else { &ws.acts[l - 1] };
             let gw = layer
                 .grad_weights
+                // analysis: allow(alloc, reason = "lazy one-time gradient-buffer init; every later step reuses the allocation")
                 .get_or_insert_with(|| Matrix::zeros(layer.weights.rows(), layer.weights.cols()));
             if rows == 1 {
                 // Single-sample batches reduce to a rank-1 update.

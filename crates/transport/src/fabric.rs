@@ -242,6 +242,7 @@ impl ServerEndpoint {
     /// messages moved.
     pub fn try_recv_many(&self, out: &mut Vec<Message>, max: usize) -> usize {
         let before = out.len();
+        // analysis: allow(blocking, reason = "recv_many drains only already-queued messages — non-blocking by the channel contract")
         let moved = self.receiver.recv_many(out, max);
         if moved == 0 {
             return 0;
@@ -269,6 +270,7 @@ impl ServerEndpoint {
     /// Blocking receive with a timeout; `None` on timeout or when every sender
     /// side has been dropped.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        // analysis: allow(blocking, reason = "timed blocking receive is this method's documented contract; hot callers bound the timeout")
         match self.receiver.recv_timeout(timeout) {
             Ok(msg) => {
                 self.account(&msg);
