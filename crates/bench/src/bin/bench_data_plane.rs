@@ -30,7 +30,9 @@
 //!   bench_data_plane [--quick] [--out PATH] [--shards 1,2,4]
 
 use melissa::trainer::{RankTrainer, TrainerShared};
-use melissa::{fill_batch_from_buffer, payload_into_sample, Aggregator, TrainingConfig};
+use melissa::{
+    fill_batch_from_buffer, payload_into_sample, Aggregator, IngestControl, TrainingConfig,
+};
 use melissa_bench::train_step;
 use melissa_bench::{arg_value, print_series};
 use melissa_transport::{
@@ -323,8 +325,7 @@ fn end_to_end_rate(new_path: bool, sizes: &Sizes) -> f64 {
                 Arc::clone(&sharded),
                 in_norm.clone(),
                 out_norm.clone(),
-                sizes.clients,
-                Arc::new(AtomicBool::new(false)),
+                IngestControl::basic(sizes.clients, Arc::new(AtomicBool::new(false))),
             );
             scope.spawn(move |_| {
                 aggregator.run(start);
@@ -477,8 +478,7 @@ fn sharded_ingestion_attempt(shards: usize, clients: usize, sizes: &Sizes) -> f6
             Arc::clone(&buffer),
             in_norm.clone(),
             out_norm.clone(),
-            clients,
-            Arc::new(AtomicBool::new(false)),
+            IngestControl::basic(clients, Arc::new(AtomicBool::new(false))),
         );
         scope.spawn(move |_| {
             aggregator.run(start);

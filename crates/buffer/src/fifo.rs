@@ -91,6 +91,12 @@ impl<T: Clone + Send> TrainingBuffer<T> for FifoBuffer<T> {
     fn put(&self, item: T) {
         let mut inner = self.lock_inner();
         while inner.queue.len() >= self.capacity {
+            // Reception is over while the queue is still full: the consumer
+            // side has shut down (e.g. a server crash) and will never drain
+            // it — drop the item instead of blocking forever.
+            if inner.reception_over {
+                return;
+            }
             inner.stats.producer_waits += 1;
             self.not_full.wait(&mut inner.guard);
         }
@@ -129,6 +135,12 @@ impl<T: Clone + Send> TrainingBuffer<T> for FifoBuffer<T> {
         let mut inner = self.lock_inner();
         for item in items.drain(..) {
             while inner.queue.len() >= self.capacity {
+                // Reception over with a full queue means the consumer side
+                // has shut down (e.g. a server crash): drop the rest of the
+                // batch instead of blocking forever.
+                if inner.reception_over {
+                    return;
+                }
                 inner.stats.producer_waits += 1;
                 self.available.notify_all();
                 // analysis: allow(blocking, reason = "producer backpressure: buffer at capacity — waiting here IS the policy")

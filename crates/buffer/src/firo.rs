@@ -114,6 +114,12 @@ impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
     fn put(&self, item: T) {
         let mut inner = self.lock_inner();
         while inner.items.len() >= self.capacity {
+            // Reception over with a full buffer means the consumer side has
+            // shut down (e.g. a server crash): drop the item instead of
+            // blocking forever.
+            if inner.reception_over {
+                return;
+            }
             inner.stats.producer_waits += 1;
             self.not_full.wait(&mut inner.guard);
         }
@@ -160,6 +166,12 @@ impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
         let mut inner = self.lock_inner();
         for item in items.drain(..) {
             while inner.items.len() >= self.capacity {
+                // Reception over with a full buffer means the consumer side
+                // has shut down (e.g. a server crash): drop the rest of the
+                // batch instead of blocking forever.
+                if inner.reception_over {
+                    return;
+                }
                 inner.stats.producer_waits += 1;
                 self.available.notify_all();
                 // analysis: allow(blocking, reason = "producer backpressure: buffer at capacity — waiting here IS the policy")

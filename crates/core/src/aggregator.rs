@@ -22,9 +22,10 @@
 //! With one shard the worker runs inline on the rank's aggregator thread —
 //! no extra thread, no behaviour change from the single-aggregator design.
 
+use crate::recovery::IngestControl;
 use crate::sample::payload_into_sample;
 use melissa_transport::{Message, MessageLog, ServerEndpoint};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use surrogate_nn::{InputNormalizer, OutputNormalizer, Sample};
@@ -52,12 +53,8 @@ pub struct Aggregator {
     buffer: Arc<ShardedBuffer<Sample>>,
     input_norm: InputNormalizer,
     output_norm: OutputNormalizer,
-    /// Number of clients expected to finalize before reception is over.
-    expected_clients: usize,
-    /// Set by the orchestrator once the launcher campaign has ended; used as a
-    /// fallback termination signal when some clients were abandoned after
-    /// exhausting their retries (they will never finalize).
-    production_done: Arc<AtomicBool>,
+    /// Reception gate, termination flags and recovery accounting.
+    control: IngestControl,
     /// How often a population snapshot is recorded.
     snapshot_every: Duration,
     poll_timeout: Duration,
@@ -71,7 +68,9 @@ impl Aggregator {
     /// Creates the aggregator of one rank: one shard worker per endpoint,
     /// inserting into the matching shard of `buffer` (the endpoint count must
     /// equal the buffer's shard count). The normalisers must match the
-    /// workload whose payloads this rank receives.
+    /// workload whose payloads this rank receives; `control` carries the
+    /// reception gate, termination flags and recovery accounting shared with
+    /// the orchestrator.
     ///
     /// # Panics
     /// Panics when no endpoint is given or the endpoint and buffer shard
@@ -81,8 +80,7 @@ impl Aggregator {
         buffer: Arc<ShardedBuffer<Sample>>,
         input_norm: InputNormalizer,
         output_norm: OutputNormalizer,
-        expected_clients: usize,
-        production_done: Arc<AtomicBool>,
+        control: IngestControl,
     ) -> Self {
         assert!(!endpoints.is_empty(), "need at least one shard endpoint");
         assert_eq!(
@@ -95,8 +93,7 @@ impl Aggregator {
             buffer,
             input_norm,
             output_norm,
-            expected_clients,
-            production_done,
+            control,
             snapshot_every: Duration::from_millis(25),
             poll_timeout: Duration::from_millis(10),
         }
@@ -129,8 +126,7 @@ impl Aggregator {
             buffer,
             input_norm,
             output_norm,
-            expected_clients,
-            production_done,
+            control,
             snapshot_every,
             poll_timeout,
         } = self;
@@ -142,8 +138,7 @@ impl Aggregator {
             buffer: buffer.as_ref(),
             input_norm: &input_norm,
             output_norm: &output_norm,
-            expected_clients,
-            production_done: production_done.as_ref(),
+            control: &control,
             finalized: &finalized,
             // Shard 0 owns the rank's occupancy sampling; the others skip the
             // clock entirely.
@@ -205,8 +200,9 @@ struct ShardWorker<'a> {
     buffer: &'a ShardedBuffer<Sample>,
     input_norm: &'a InputNormalizer,
     output_norm: &'a OutputNormalizer,
-    expected_clients: usize,
-    production_done: &'a AtomicBool,
+    /// Reception gate, termination flags and recovery accounting (shared by
+    /// every shard worker of the rank).
+    control: &'a IngestControl,
     /// Rank-level finalize counter shared by every shard worker.
     finalized: &'a AtomicUsize,
     take_snapshots: bool,
@@ -227,19 +223,32 @@ impl ShardWorker<'_> {
     fn run(self, start: Instant) -> ShardOutcome {
         let shard = self.endpoint.shard();
         let mut log = MessageLog::new();
+        // Simulations completed before a server restart: the message log
+        // discards their replayed traffic wholesale (§3.1 fault tolerance).
+        for &simulation_id in self.control.completed.iter() {
+            log.mark_completed(simulation_id);
+        }
         let mut accepted = 0usize;
         // analysis: allow(alloc, reason = "one-time setup before the drain loop; grows only at snapshot cadence")
         let mut occupancy = Vec::new();
         let mut last_snapshot = Instant::now();
         // The ingestion scratches, owned here and recycled across bursts: the
-        // inbound messages drained from the channel, and the converted
-        // samples handed to the buffer by `put_many`.
+        // inbound messages drained from the channel, the converted samples
+        // handed to the buffer by `put_many`, and the per-simulation counts
+        // of one burst flushed to the recovery tracker.
         // analysis: allow(alloc, reason = "one-time scratch setup before the drain loop; recycled across every burst")
         let mut inbound: Vec<Message> = Vec::with_capacity(Aggregator::MAX_BURST);
         // analysis: allow(alloc, reason = "one-time scratch setup before the drain loop; recycled across every burst")
         let mut scratch: Vec<Sample> = Vec::with_capacity(Aggregator::MAX_BURST);
+        // analysis: allow(alloc, reason = "one-time scratch setup before the drain loop; recycled across every burst")
+        let mut burst_counts: Vec<(u64, usize)> = Vec::with_capacity(8);
 
         loop {
+            // After a server crash the workers stop accepting data but keep
+            // draining their queues, so no client ever blocks on a full
+            // channel while the launcher winds the campaign down.
+            // ordering: Acquire — pairs with the trainer's Release store; training state written before the crash is visible once `down` reads true
+            let down = self.control.server_down.load(Ordering::Acquire);
             // analysis: allow(blocking, reason = "deliberate timed poll: the drain loop parks here only when the fabric is idle")
             match self.endpoint.recv_timeout(self.poll_timeout) {
                 Some(first) => {
@@ -260,13 +269,16 @@ impl ShardWorker<'_> {
                             } => {
                                 // Replays are counted by the log itself and
                                 // reported once at the end of the run.
-                                if log.observe(client_id, sequence) {
+                                if !down && log.observe(client_id, sequence) {
                                     scratch.push(payload_into_sample(
                                         payload,
                                         self.input_norm,
                                         self.output_norm,
                                     ));
                                     accepted += 1;
+                                    if self.control.tracker.is_some() {
+                                        bump_burst_count(&mut burst_counts, client_id);
+                                    }
                                 }
                             }
                             Message::Finalize { client_id, .. } => {
@@ -274,6 +286,10 @@ impl ShardWorker<'_> {
                                 // rank-level counter every worker polls.
                                 if !log.is_finalized(client_id) {
                                     log.mark_finalized(client_id);
+                                    if let Some(tracker) = &self.control.tracker {
+                                        // analysis: allow(blocking, reason = "short per-sim map update under an uncontended mutex; at most once per client per rank")
+                                        tracker.record_finalized(client_id);
+                                    }
                                     // ordering: AcqRel — the Release half publishes this client's drained messages before the count; the Acquire half orders the RMW against the termination-gate loads
                                     self.finalized.fetch_add(1, Ordering::AcqRel);
                                 }
@@ -281,22 +297,27 @@ impl ShardWorker<'_> {
                         }
                     }
                     self.buffer.put_many_shard(shard, &mut scratch);
+                    self.flush_burst_counts(&mut burst_counts);
                     // If this burst contained the rank's last expected
                     // finalize, stop immediately instead of sleeping through
                     // one more poll.
                     // ordering: Acquire — pairs with the AcqRel increments so every finalized client's messages are visible before this worker stops
-                    if self.finalized.load(Ordering::Acquire) >= self.expected_clients {
+                    if self.finalized.load(Ordering::Acquire) >= self.control.gate.expected() {
                         break;
                     }
                 }
                 None => {
-                    // Idle: check the termination conditions.
+                    // Idle: check the termination conditions. The gate is
+                    // re-read every pass — the launcher lowers it when a
+                    // client is abandoned mid-run.
                     // ordering: Acquire — pairs with the AcqRel increments so every finalized client's messages are visible before this worker stops
-                    if self.finalized.load(Ordering::Acquire) >= self.expected_clients {
+                    if self.finalized.load(Ordering::Acquire) >= self.control.gate.expected() {
                         break;
                     }
                     // ordering: Acquire — pairs with the orchestrator's Release store; production's sends happen-before observing true, so queued()==0 really means drained
-                    if self.production_done.load(Ordering::Acquire) && self.endpoint.queued() == 0 {
+                    if self.control.production_done.load(Ordering::Acquire)
+                        && self.endpoint.queued() == 0
+                    {
                         break;
                     }
                 }
@@ -310,6 +331,8 @@ impl ShardWorker<'_> {
 
         // Drain whatever is still queued on this shard (e.g. messages that
         // raced with the rank's last finalize).
+        // ordering: Acquire — pairs with the trainer's Release store; decides whether the final drain still accepts data
+        let down = self.control.server_down.load(Ordering::Acquire);
         while self
             .endpoint
             .try_recv_many(&mut inbound, Aggregator::MAX_BURST)
@@ -322,23 +345,53 @@ impl ShardWorker<'_> {
                     payload,
                 } = message
                 {
-                    if log.observe(client_id, sequence) {
+                    if !down && log.observe(client_id, sequence) {
                         scratch.push(payload_into_sample(
                             payload,
                             self.input_norm,
                             self.output_norm,
                         ));
                         accepted += 1;
+                        if self.control.tracker.is_some() {
+                            bump_burst_count(&mut burst_counts, client_id);
+                        }
                     }
                 }
             }
             self.buffer.put_many_shard(shard, &mut scratch);
+            self.flush_burst_counts(&mut burst_counts);
         }
         ShardOutcome {
             accepted,
             duplicates_discarded: log.duplicates_discarded() as usize,
             occupancy,
         }
+    }
+
+    /// Flushes one burst's per-simulation acceptance counts to the recovery
+    /// tracker (one lock acquisition per burst, not per message) and clears
+    /// the scratch for the next burst.
+    fn flush_burst_counts(&self, burst_counts: &mut Vec<(u64, usize)>) {
+        if burst_counts.is_empty() {
+            return;
+        }
+        if let Some(tracker) = &self.control.tracker {
+            for &(simulation_id, count) in burst_counts.iter() {
+                // analysis: allow(blocking, reason = "short per-sim map update under a mutex contended only at burst cadence")
+                tracker.record_received(simulation_id, count);
+            }
+        }
+        burst_counts.clear();
+    }
+}
+
+/// Bumps the burst's acceptance count of `simulation_id`. A linear scan: one
+/// burst rarely spans more than a handful of simulations.
+fn bump_burst_count(counts: &mut Vec<(u64, usize)>, simulation_id: u64) {
+    if let Some(entry) = counts.iter_mut().find(|(sim, _)| *sim == simulation_id) {
+        entry.1 += 1;
+    } else {
+        counts.push((simulation_id, 1));
     }
 }
 
@@ -355,6 +408,7 @@ fn snapshot(buffer: &ShardedBuffer<Sample>, start: Instant) -> OccupancySnapshot
 mod tests {
     use super::*;
     use melissa_transport::{stable_shard, Fabric, FabricConfig, SamplePayload};
+    use std::sync::atomic::AtomicBool;
     use training_buffer::{BufferConfig, BufferKind};
 
     fn payload(sim: u64, step: usize) -> SamplePayload {
@@ -391,8 +445,7 @@ mod tests {
             buffer,
             InputNormalizer::for_trajectory(100, 0.01),
             OutputNormalizer::default(),
-            expected_clients,
-            production_done,
+            IngestControl::basic(expected_clients, production_done),
         );
         std::thread::spawn(move || aggregator.run(Instant::now()))
     }
@@ -486,8 +539,7 @@ mod tests {
             Arc::clone(&buffer),
             InputNormalizer::for_trajectory(100, 0.01),
             OutputNormalizer::default(),
-            1,
-            Arc::new(AtomicBool::new(false)),
+            IngestControl::basic(1, Arc::new(AtomicBool::new(false))),
         )
         .with_snapshot_period(Duration::from_millis(5));
         let handle = std::thread::spawn(move || aggregator.run(Instant::now()));

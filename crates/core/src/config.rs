@@ -7,7 +7,7 @@
 use crate::error::ConfigError;
 use crate::workload_spec::WorkloadSpec;
 use heat_solver::SolverConfig;
-use melissa_ensemble::{CampaignPlan, SamplerKind};
+use melissa_ensemble::{CampaignPlan, LauncherConfig, SamplerKind};
 use melissa_transport::FaultConfig;
 use melissa_workload::PARAM_DIM;
 use serde::{Deserialize, Serialize};
@@ -156,6 +156,15 @@ pub struct ExperimentConfig {
     pub campaign: CampaignPlan,
     /// Transport fault injection.
     pub fault: FaultConfig,
+    /// Launcher behaviour: retry policy, watchdog failure detection, job
+    /// start-up delays.
+    #[serde(default)]
+    pub launcher: LauncherConfig,
+    /// Capture a server checkpoint every this many trained batches on rank 0
+    /// (0 disables periodic checkpointing). Checkpoints are what a restarted
+    /// server resumes from after a crash (§3.1).
+    #[serde(default)]
+    pub checkpoint_every_batches: usize,
     /// Capacity of each shard's inbound channel.
     pub channel_capacity: usize,
     /// Ingest shards per rank: the number of data-aggregator worker threads
@@ -198,6 +207,8 @@ impl ExperimentConfig {
             buffer: BufferConfig::paper_proportions(BufferKind::Reservoir, total_samples, 1),
             campaign: CampaignPlan::single_series(8, 4),
             fault: FaultConfig::none(),
+            launcher: LauncherConfig::default(),
+            checkpoint_every_batches: 0,
             channel_capacity: 256,
             ingest_shards: 1,
             seed: 1,
@@ -227,6 +238,8 @@ impl ExperimentConfig {
             buffer: BufferConfig::paper_proportions(buffer_kind, total_samples, 7),
             campaign,
             fault: FaultConfig::none(),
+            launcher: LauncherConfig::default(),
+            checkpoint_every_batches: 0,
             channel_capacity: 1024,
             ingest_shards: 1,
             seed: 7,
@@ -387,6 +400,18 @@ impl ExperimentConfigBuilder {
     /// Sets the transport fault injection.
     pub fn fault(mut self, fault: FaultConfig) -> Self {
         self.config.fault = fault;
+        self
+    }
+
+    /// Sets the launcher behaviour (retry policy, watchdog, start-up delay).
+    pub fn launcher(mut self, launcher: LauncherConfig) -> Self {
+        self.config.launcher = launcher;
+        self
+    }
+
+    /// Sets the checkpoint cadence in trained batches (0 disables).
+    pub fn checkpoint_every_batches(mut self, batches: usize) -> Self {
+        self.config.checkpoint_every_batches = batches;
         self
     }
 

@@ -44,6 +44,7 @@ pub mod disk;
 pub mod error;
 pub mod metrics;
 pub mod offline;
+pub mod recovery;
 pub mod report;
 pub mod sample;
 pub mod server;
@@ -62,6 +63,7 @@ pub use metrics::{
     ExperimentMetrics, LossPoint, OccurrenceHistogram, ThroughputPoint, ThroughputTracker,
 };
 pub use offline::OfflineExperiment;
+pub use recovery::{CheckpointStore, IngestControl, ReceptionGate, RecoveryHooks, RecoveryTracker};
 pub use report::ExperimentReport;
 pub use sample::{
     fill_batch_from_buffer, payload_into_sample, payload_to_sample, step_to_payload, step_to_sample,

@@ -291,6 +291,11 @@ impl OfflineExperiment {
             buffer_stats: Vec::new(),
             transport: None,
             launcher: Some(launcher_report),
+            crashed: false,
+            checkpoints_taken: 0,
+            abandoned_clients: Vec::new(),
+            recovered_clients: Vec::new(),
+            resumed_from_batches: None,
         };
 
         (model, report)

@@ -1,0 +1,322 @@
+//! Crash-recovery plumbing of the online server: reception gating, per-sim
+//! progress tracking and checkpoint capture.
+//!
+//! §3.1: *"The server is regularly checkpointed. If a server failure is
+//! detected by the launcher, it first kills all running clients and next
+//! restarts a new server instance from the last checkpoint."* This module
+//! holds the shared state that makes that loop work in-process:
+//!
+//! * [`ReceptionGate`] — how many clients the aggregators still wait on. The
+//!   launcher decrements it when a client exhausts its retry budget, so the
+//!   shard workers stop waiting for data that will never arrive (graceful
+//!   degradation instead of a hang).
+//! * [`RecoveryTracker`] — per-simulation received/consumed/finalized
+//!   accounting across every rank, from which the set of *completed*
+//!   simulations is derived. Only completed simulations enter a checkpoint;
+//!   on restart, everything else is rerun from scratch.
+//! * [`CheckpointStore`] — the latest [`ServerCheckpoint`] plus a capture
+//!   counter, written by rank 0's training thread between batches.
+//! * [`RecoveryHooks`] — the bundle of the above handed to each
+//!   [`crate::trainer::RankTrainer`], including the scripted server-crash
+//!   fault and the `server_down` flag every thread polls.
+//! * [`IngestControl`] — the control surface of one rank's
+//!   [`crate::aggregator::Aggregator`]: gate, termination flags, tracker and
+//!   the completed simulations whose replayed traffic must be discarded.
+
+use crate::checkpoint::ServerCheckpoint;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How many clients the aggregators still expect to finalize. Starts at the
+/// campaign (or resume subset) size and is decremented when the launcher
+/// abandons a client for good, so reception can end without its data.
+#[derive(Debug)]
+pub struct ReceptionGate {
+    expected: AtomicUsize,
+}
+
+impl ReceptionGate {
+    /// A gate expecting `expected` clients to finalize.
+    pub fn new(expected: usize) -> Self {
+        Self {
+            expected: AtomicUsize::new(expected),
+        }
+    }
+
+    /// Number of clients still expected to finalize.
+    pub fn expected(&self) -> usize {
+        // ordering: Acquire — pairs with the Release decrement so a worker that observes the lowered expectation also observes everything the abandoning thread published before it
+        self.expected.load(Ordering::Acquire)
+    }
+
+    /// Informs the gate that one client was abandoned and will never
+    /// finalize. Saturates at zero.
+    pub fn abandon_one(&self) {
+        self.expected
+            // ordering: AcqRel — the decrement must be totally ordered against other abandons and publish the abandonment to the workers' Acquire loads; the Acquire failure ordering re-reads the latest count before retrying
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .ok();
+    }
+}
+
+/// Per-simulation reception/consumption progress of one run.
+#[derive(Debug, Default, Clone)]
+struct SimProgress {
+    /// Samples of this simulation accepted into some rank's buffer.
+    received: usize,
+    /// Samples of this simulation consumed by some rank's training loop.
+    consumed: usize,
+    /// Ranks on which this simulation's finalize message was processed.
+    finalized_ranks: usize,
+    /// Pre-seeded from a checkpoint: completed in a previous incarnation.
+    restored: bool,
+}
+
+/// Cross-rank per-simulation accounting, from which the completed-simulation
+/// set of a checkpoint is derived.
+///
+/// A simulation is **completed** when its finalize was processed on every
+/// rank *and* at least as many of its samples were consumed by training as
+/// were received. For FIFO buffers (each sample trained exactly once) this is
+/// exact; for Reservoir/FIRO the criterion is heuristic — under-approximating
+/// completion only costs rerunning a simulation after a restart, never data.
+#[derive(Debug)]
+pub struct RecoveryTracker {
+    num_ranks: usize,
+    progress: Mutex<HashMap<u64, SimProgress>>,
+}
+
+impl RecoveryTracker {
+    /// A tracker for a run with `num_ranks` server ranks.
+    pub fn new(num_ranks: usize) -> Self {
+        Self {
+            num_ranks,
+            progress: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Pre-seeds a simulation as completed (restored from a checkpoint), so
+    /// the next checkpoint of the resumed run carries it forward.
+    pub fn restore_completed(&self, simulation_id: u64) {
+        let mut progress = self.progress.lock();
+        let entry = progress.entry(simulation_id).or_default();
+        entry.restored = true;
+    }
+
+    /// Records `count` samples of `simulation_id` accepted into a buffer.
+    pub fn record_received(&self, simulation_id: u64, count: usize) {
+        self.progress
+            .lock()
+            .entry(simulation_id)
+            .or_default()
+            .received += count;
+    }
+
+    /// Records that one rank processed `simulation_id`'s finalize message.
+    pub fn record_finalized(&self, simulation_id: u64) {
+        self.progress
+            .lock()
+            .entry(simulation_id)
+            .or_default()
+            .finalized_ranks += 1;
+    }
+
+    /// Records one trained batch's sample keys (`(simulation, step)`).
+    pub fn record_consumed(&self, keys: &[(u64, usize)]) {
+        let mut progress = self.progress.lock();
+        for (simulation_id, _step) in keys {
+            progress.entry(*simulation_id).or_default().consumed += 1;
+        }
+    }
+
+    /// The simulations whose data is fully received *and* trained on, in
+    /// ascending id order — the only ones a checkpoint may skip on restart.
+    pub fn completed_simulations(&self) -> Vec<u64> {
+        let progress = self.progress.lock();
+        let mut completed: Vec<u64> = progress
+            .iter()
+            .filter(|(_, p)| {
+                p.restored
+                    || (p.finalized_ranks >= self.num_ranks
+                        && p.received > 0
+                        && p.consumed >= p.received)
+            })
+            .map(|(&sim, _)| sim)
+            .collect();
+        completed.sort_unstable();
+        completed
+    }
+}
+
+/// The latest checkpoint of the run plus how many were taken.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    inner: Mutex<StoreState>,
+}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    latest: Option<ServerCheckpoint>,
+    taken: usize,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a freshly captured checkpoint as the latest.
+    pub fn record(&self, checkpoint: ServerCheckpoint) {
+        let mut inner = self.inner.lock();
+        inner.latest = Some(checkpoint);
+        inner.taken += 1;
+    }
+
+    /// The latest checkpoint, if any was taken.
+    pub fn latest(&self) -> Option<ServerCheckpoint> {
+        self.inner.lock().latest.clone()
+    }
+
+    /// Number of checkpoints taken so far.
+    pub fn taken(&self) -> usize {
+        self.inner.lock().taken
+    }
+}
+
+/// Everything a [`crate::trainer::RankTrainer`] needs to participate in
+/// crash recovery. Cloned per rank; all state is shared through `Arc`s.
+#[derive(Clone)]
+pub struct RecoveryHooks {
+    /// Capture a checkpoint every this many data batches on rank 0; 0
+    /// disables periodic checkpointing.
+    pub checkpoint_every_batches: usize,
+    /// Where rank 0 deposits captured checkpoints.
+    pub store: Arc<CheckpointStore>,
+    /// Cross-rank per-simulation accounting.
+    pub tracker: Arc<RecoveryTracker>,
+    /// Scripted fault: rank 0 takes the whole server down after this many
+    /// data batches (`None` = never).
+    pub crash_after_batches: Option<usize>,
+    /// Set once the server has crashed; polled by aggregators and clients.
+    pub server_down: Arc<AtomicBool>,
+    /// The experiment seed recorded into every checkpoint.
+    pub experiment_seed: u64,
+    /// Collective rounds already trained before this incarnation (from the
+    /// checkpoint being resumed), so the sample-based learning-rate schedule
+    /// continues where it left off instead of restarting hot.
+    pub resume_rounds: usize,
+}
+
+/// The control surface of one rank's aggregator: termination signals, the
+/// reception gate and the recovery accounting. Cloned per rank.
+#[derive(Clone)]
+pub struct IngestControl {
+    /// How many clients must finalize before reception is over (lowered when
+    /// clients are abandoned).
+    pub gate: Arc<ReceptionGate>,
+    /// Set by the orchestrator once the launcher campaign has ended; with
+    /// empty inbound queues this also ends reception.
+    pub production_done: Arc<AtomicBool>,
+    /// Set when the server crashed: stop accepting data, but keep draining
+    /// the inbound queues so no client blocks on a full channel.
+    pub server_down: Arc<AtomicBool>,
+    /// Per-simulation accounting, when the run is recoverable.
+    pub tracker: Option<Arc<RecoveryTracker>>,
+    /// Simulations already completed in a previous incarnation: their
+    /// replayed traffic is discarded wholesale by the message logs.
+    pub completed: Arc<Vec<u64>>,
+}
+
+impl IngestControl {
+    /// A control block for a fresh (non-resumed) run expecting
+    /// `expected_clients` finalizes, without recovery accounting.
+    pub fn basic(expected_clients: usize, production_done: Arc<AtomicBool>) -> Self {
+        Self {
+            gate: Arc::new(ReceptionGate::new(expected_clients)),
+            production_done,
+            server_down: Arc::new(AtomicBool::new(false)),
+            tracker: None,
+            completed: Arc::new(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surrogate_nn::{Activation, InitScheme, Mlp, MlpConfig};
+
+    #[test]
+    fn gate_counts_down_and_saturates() {
+        let gate = ReceptionGate::new(2);
+        assert_eq!(gate.expected(), 2);
+        gate.abandon_one();
+        gate.abandon_one();
+        assert_eq!(gate.expected(), 0);
+        gate.abandon_one();
+        assert_eq!(gate.expected(), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn tracker_completes_only_fully_consumed_finalized_sims() {
+        let tracker = RecoveryTracker::new(2);
+        // Sim 0: fully received, consumed and finalized on both ranks.
+        tracker.record_received(0, 10);
+        tracker.record_finalized(0);
+        tracker.record_finalized(0);
+        let keys: Vec<(u64, usize)> = (0..10).map(|s| (0u64, s)).collect();
+        tracker.record_consumed(&keys);
+        // Sim 1: finalized everywhere but one sample still unconsumed.
+        tracker.record_received(1, 3);
+        tracker.record_finalized(1);
+        tracker.record_finalized(1);
+        tracker.record_consumed(&[(1, 0), (1, 1)]);
+        // Sim 2: consumed but finalize seen on only one rank.
+        tracker.record_received(2, 1);
+        tracker.record_finalized(2);
+        tracker.record_consumed(&[(2, 0)]);
+        assert_eq!(tracker.completed_simulations(), vec![0]);
+        tracker.record_consumed(&[(1, 2)]);
+        assert_eq!(tracker.completed_simulations(), vec![0, 1]);
+    }
+
+    #[test]
+    fn tracker_carries_restored_completions_forward() {
+        let tracker = RecoveryTracker::new(1);
+        tracker.restore_completed(7);
+        tracker.record_received(3, 2);
+        tracker.record_finalized(3);
+        tracker.record_consumed(&[(3, 0), (3, 1)]);
+        assert_eq!(tracker.completed_simulations(), vec![3, 7]);
+    }
+
+    #[test]
+    fn sims_with_no_data_never_complete_without_restore() {
+        let tracker = RecoveryTracker::new(1);
+        // Finalized but nothing received (e.g. every message dropped):
+        // consumed >= received holds vacuously, the received>0 guard rejects it.
+        tracker.record_finalized(4);
+        assert!(tracker.completed_simulations().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_store_keeps_the_latest_and_counts() {
+        let model = Mlp::new(MlpConfig {
+            layer_sizes: vec![2, 4, 1],
+            activation: Activation::ReLU,
+            init: InitScheme::HeUniform,
+            seed: 1,
+        });
+        let store = CheckpointStore::new();
+        assert!(store.latest().is_none());
+        store.record(ServerCheckpoint::capture(&model, 5, 50, vec![0], 9));
+        store.record(ServerCheckpoint::capture(&model, 10, 100, vec![0, 1], 9));
+        assert_eq!(store.taken(), 2);
+        let latest = store.latest().unwrap();
+        assert_eq!(latest.batches_trained, 10);
+        assert_eq!(latest.completed_simulations, vec![0, 1]);
+    }
+}

@@ -53,6 +53,25 @@ pub struct ExperimentReport {
     pub transport: Option<TransportStats>,
     /// Launcher report of the data-generation campaign, when one ran.
     pub launcher: Option<LauncherReport>,
+    /// True when the run ended in a (scripted) server crash instead of
+    /// draining normally; resume from [`ExperimentReport::checkpoints_taken`]
+    /// via `OnlineExperiment::resume`.
+    #[serde(default)]
+    pub crashed: bool,
+    /// Number of server checkpoints captured during the run.
+    #[serde(default)]
+    pub checkpoints_taken: usize,
+    /// Clients abandoned after exhausting their retry budget (or failing
+    /// fatally); the run completed without their data.
+    #[serde(default)]
+    pub abandoned_clients: Vec<u64>,
+    /// Clients that failed at least once but eventually completed.
+    #[serde(default)]
+    pub recovered_clients: Vec<u64>,
+    /// The batch counter of the checkpoint this run resumed from, when it was
+    /// restarted after a crash.
+    #[serde(default)]
+    pub resumed_from_batches: Option<usize>,
 }
 
 impl ExperimentReport {
@@ -153,6 +172,11 @@ mod tests {
             buffer_stats: Vec::new(),
             transport: None,
             launcher: None,
+            crashed: false,
+            checkpoints_taken: 0,
+            abandoned_clients: Vec::new(),
+            recovered_clients: Vec::new(),
+            resumed_from_batches: None,
         }
     }
 

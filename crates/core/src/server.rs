@@ -14,21 +14,42 @@
 //!    every measurement needed by the paper's figures and tables.
 
 use crate::aggregator::Aggregator;
+use crate::checkpoint::ServerCheckpoint;
 use crate::config::ExperimentConfig;
 use crate::error::ExperimentError;
 use crate::metrics::{ExperimentMetrics, OccurrenceHistogram};
+use crate::recovery::{
+    CheckpointStore, IngestControl, ReceptionGate, RecoveryHooks, RecoveryTracker,
+};
 use crate::report::ExperimentReport;
 use crate::sample::step_to_payload;
 use crate::trainer::{RankOutcome, RankTrainer, TrainerShared};
 use crate::validation::ValidationSet;
-use melissa_ensemble::{ClientError, Launcher, LauncherConfig, LauncherReport};
-use melissa_transport::{Fabric, FabricConfig};
+use melissa_ensemble::{CampaignEvents, ClientContext, ClientError, Launcher, LauncherReport};
+use melissa_transport::{ClientFaultKind, Fabric, FabricConfig};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use surrogate_nn::{Mlp, Sample};
 use training_buffer::{ShardedBuffer, TrainingBuffer};
+
+/// A scripted hang: the client stops reporting progress and waits for the
+/// launcher's watchdog to declare the attempt dead, then unwinds. A safety
+/// cap turns the hang into a plain crash when no watchdog is configured, so
+/// a misconfigured experiment degrades into a retry instead of a deadlock.
+fn hang_until_killed(ctx: &ClientContext) -> ClientError {
+    const HANG_SAFETY_CAP: Duration = Duration::from_secs(5);
+    let hung_at = Instant::now();
+    while !ctx.cancelled() && hung_at.elapsed() < HANG_SAFETY_CAP {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if ctx.cancelled() {
+        ClientError::killed("scripted hang: killed by the watchdog")
+    } else {
+        ClientError::crash("scripted hang: safety cap expired with no watchdog configured")
+    }
+}
 
 /// One online-training experiment.
 pub struct OnlineExperiment {
@@ -49,6 +70,34 @@ impl OnlineExperiment {
 
     /// Runs the experiment and returns the trained surrogate and its report.
     pub fn run(&self) -> (Mlp, ExperimentReport) {
+        let (model, report, _checkpoint) = self.run_internal(None);
+        (model, report)
+    }
+
+    /// Runs the experiment like [`OnlineExperiment::run`], additionally
+    /// returning the latest [`ServerCheckpoint`]. When the run ends in a
+    /// (scripted) server crash, the report's `crashed` flag is set and the
+    /// checkpoint is what [`OnlineExperiment::resume`] restarts from.
+    pub fn run_recoverable(&self) -> (Mlp, ExperimentReport, Option<ServerCheckpoint>) {
+        self.run_internal(None)
+    }
+
+    /// Restarts the experiment from a checkpoint (§3.1): the model resumes
+    /// from the checkpointed weights and progress counters, only the
+    /// simulations missing from `checkpoint.completed_simulations` are
+    /// resubmitted to the launcher, and any replayed traffic of completed
+    /// simulations is discarded by the message logs.
+    pub fn resume(
+        &self,
+        checkpoint: &ServerCheckpoint,
+    ) -> (Mlp, ExperimentReport, Option<ServerCheckpoint>) {
+        self.run_internal(Some(checkpoint))
+    }
+
+    fn run_internal(
+        &self,
+        resume: Option<&ServerCheckpoint>,
+    ) -> (Mlp, ExperimentReport, Option<ServerCheckpoint>) {
         let config = &self.config;
         let start = Instant::now();
 
@@ -65,12 +114,20 @@ impl OnlineExperiment {
             &output_norm,
         ));
 
+        // On resume, only the simulations the checkpoint does not cover are
+        // rerun; the aggregators expect exactly those to finalize.
+        let missing: Option<Vec<u64>> =
+            resume.map(|cp| cp.missing_simulations(config.total_simulations() as u64));
+        let expected_clients = missing
+            .as_ref()
+            .map_or(config.campaign.total_clients(), Vec::len);
+
         // Transport fabric: one endpoint per ingest shard of each rank.
         let fabric = Fabric::new(FabricConfig {
             num_server_ranks: config.training.num_ranks,
             shards_per_rank: config.ingest_shards,
             channel_capacity: config.channel_capacity,
-            fault: config.fault,
+            fault: config.fault.clone(),
         });
         let endpoints = fabric.rank_shard_endpoints();
 
@@ -87,12 +144,44 @@ impl OnlineExperiment {
             })
             .collect();
 
+        // The recovery substrate shared by aggregators, trainers and launcher.
         let production_done = Arc::new(AtomicBool::new(false));
-        let expected_clients = config.campaign.total_clients();
+        let server_down = Arc::new(AtomicBool::new(false));
+        let gate = Arc::new(ReceptionGate::new(expected_clients));
+        let tracker = Arc::new(RecoveryTracker::new(config.training.num_ranks));
+        let completed: Arc<Vec<u64>> = Arc::new(
+            resume
+                .map(|cp| cp.completed_simulations.clone())
+                .unwrap_or_default(),
+        );
+        for &simulation_id in completed.iter() {
+            tracker.restore_completed(simulation_id);
+        }
+        let store = Arc::new(CheckpointStore::new());
+        let hooks = RecoveryHooks {
+            checkpoint_every_batches: config.checkpoint_every_batches,
+            store: Arc::clone(&store),
+            tracker: Arc::clone(&tracker),
+            // A scripted server crash fires once: the restarted incarnation
+            // must be able to finish the run.
+            crash_after_batches: if resume.is_some() {
+                None
+            } else {
+                config.fault.plan.server_crash_after()
+            },
+            server_down: Arc::clone(&server_down),
+            experiment_seed: config.seed,
+            resume_rounds: resume.map_or(0, |cp| cp.batches_trained),
+        };
 
-        // Model replicas: identical seed → identical initial weights everywhere.
+        // Model replicas: identical seed → identical initial weights
+        // everywhere; a resumed run restores the checkpointed weights instead.
         let mlp_config = config.surrogate.mlp_config(config.output_size());
-        let param_count = Mlp::new(mlp_config.clone()).param_count();
+        let make_model = || match resume {
+            Some(cp) => cp.restore_model(),
+            None => Mlp::new(mlp_config.clone()),
+        };
+        let param_count = make_model().param_count();
         let shared = Arc::new(TrainerShared::new(config.training.num_ranks, param_count));
 
         let aggregator_outcomes = Mutex::new(Vec::new());
@@ -108,8 +197,13 @@ impl OnlineExperiment {
                     Arc::clone(&buffers[rank]),
                     input_norm.clone(),
                     output_norm.clone(),
-                    expected_clients,
-                    Arc::clone(&production_done),
+                    IngestControl {
+                        gate: Arc::clone(&gate),
+                        production_done: Arc::clone(&production_done),
+                        server_down: Arc::clone(&server_down),
+                        tracker: Some(Arc::clone(&tracker)),
+                        completed: Arc::clone(&completed),
+                    },
                 );
                 let outcomes = &aggregator_outcomes;
                 scope.spawn(move |_| {
@@ -124,12 +218,13 @@ impl OnlineExperiment {
                     Arc::clone(buffer) as Arc<dyn TrainingBuffer<Sample>>;
                 let trainer = RankTrainer::new(
                     rank,
-                    Mlp::new(mlp_config.clone()),
+                    make_model(),
                     buffer,
                     config.training.clone(),
                     (rank == 0).then(|| Arc::clone(&validation)),
                     Arc::clone(&shared),
-                );
+                )
+                .with_recovery(hooks.clone());
                 let outcomes = &rank_outcomes;
                 scope.spawn(move |_| {
                     let outcome = trainer.run(start);
@@ -139,29 +234,96 @@ impl OnlineExperiment {
 
             // The launcher drives the ensemble campaign: every client runs its
             // simulation and streams the produced time steps to the server.
+            // Scripted client faults (crash after N steps, hang until the
+            // watchdog kills the attempt) are injected here, exactly where a
+            // real solver would die.
             {
                 let fabric = &fabric;
                 let config = &self.config;
                 let workload = Arc::clone(&workload);
                 let production_done = Arc::clone(&production_done);
+                let server_down = Arc::clone(&server_down);
+                let gate = Arc::clone(&gate);
                 let launcher_report = &launcher_report;
+                let missing = missing.clone();
                 scope.spawn(move |_| {
-                    let launcher = Launcher::new(LauncherConfig::default());
+                    let launcher = Launcher::new(config.launcher);
                     let space = workload.parameter_space();
-                    let report = launcher.run_campaign_in(&config.campaign, &space, |job| {
+                    // Graceful degradation: when the launcher gives up on a
+                    // client for good, the reception gate stops waiting for
+                    // its finalize, so the run completes without its data
+                    // instead of hanging.
+                    let on_abandoned = |_client_id: u64| gate.abandon_one();
+                    let events = CampaignEvents {
+                        on_abandoned: Some(&on_abandoned),
+                    };
+                    let client_fn = |job: &melissa_ensemble::ClientJob, ctx: &ClientContext| {
+                        // ordering: Acquire — pairs with the trainer's Release crash store; a client never starts streaming to a dead server
+                        if server_down.load(Ordering::Acquire) {
+                            return Err(ClientError::server_down("training server crashed"));
+                        }
+                        let scripted = config
+                            .fault
+                            .plan
+                            .client_fault(job.client_id, job.attempt - 1);
                         let connection = fabric.connect_client(job.client_id);
+                        let mut sent_steps = 0usize;
+                        let mut fault: Option<ClientError> = None;
                         workload
                             .generate(job.parameters, &mut |step| {
+                                // Once faulted, skip the remaining steps: the
+                                // generate callback cannot abort the solver,
+                                // so the "crashed" client just goes silent.
+                                if fault.is_some() {
+                                    return;
+                                }
+                                if let Some(scripted) = scripted {
+                                    if sent_steps >= scripted.after_steps {
+                                        fault = Some(match scripted.kind {
+                                            ClientFaultKind::Crash => ClientError::crash(format!(
+                                                "scripted crash after {sent_steps} steps \
+                                                 (attempt {})",
+                                                job.attempt
+                                            )),
+                                            ClientFaultKind::Hang => hang_until_killed(ctx),
+                                        });
+                                        return;
+                                    }
+                                }
+                                // ordering: Acquire — pairs with the trainer's Release crash store; stop producing once the server is gone
+                                if server_down.load(Ordering::Acquire) {
+                                    fault = Some(ClientError::server_down(
+                                        "training server crashed mid-run",
+                                    ));
+                                    return;
+                                }
                                 let payload = step_to_payload(&step, job.client_id);
                                 // A send only fails when the server is gone, in
                                 // which case the client simply stops producing.
                                 let _ = connection.send(payload);
+                                ctx.beat();
+                                sent_steps += 1;
                             })
-                            .map_err(|e| ClientError::new(e.to_string()))?;
+                            .map_err(|e| ClientError::crash(e.to_string()))?;
+                        if let Some(error) = fault {
+                            return Err(error);
+                        }
                         connection
                             .finalize()
-                            .map_err(|e| ClientError::new(e.to_string()))
-                    });
+                            .map_err(|e| ClientError::crash(e.to_string()))
+                    };
+                    let report = match &missing {
+                        Some(ids) => launcher.run_campaign_subset(
+                            &config.campaign,
+                            &space,
+                            ids,
+                            &events,
+                            client_fn,
+                        ),
+                        None => {
+                            launcher.run_campaign_with(&config.campaign, &space, &events, client_fn)
+                        }
+                    };
                     // ordering: Release — publishes every rank's sends before the aggregator's Acquire gate can observe end-of-production
                     production_done.store(true, Ordering::Release);
                     *launcher_report.lock() = Some(report);
@@ -182,6 +344,22 @@ impl OnlineExperiment {
             .map(|o| o.model.clone())
             // analysis: allow(panic, reason = "the config validator rejects zero training ranks, so one outcome always exists")
             .expect("at least one training rank");
+
+        // ordering: Acquire — pairs with the trainer's Release store; observes whether the run ended in a scripted server crash
+        let crashed = server_down.load(Ordering::Acquire);
+        if !crashed && config.checkpoint_every_batches > 0 {
+            // Capture a final checkpoint so a clean run also leaves a
+            // restart point covering everything it consumed.
+            let rank0_rounds = rank_outcomes.first().map_or(0, |o| o.rounds);
+            let progress_rounds = hooks.resume_rounds + rank0_rounds;
+            store.record(ServerCheckpoint::capture(
+                &model,
+                progress_rounds,
+                progress_rounds * config.training.batch_size * config.training.num_ranks,
+                tracker.completed_simulations(),
+                config.seed,
+            ));
+        }
 
         // Occurrences are counted rank-locally in the hot loop and merged
         // here, after the rank threads have joined — no cross-rank lock.
@@ -238,10 +416,21 @@ impl OnlineExperiment {
             metrics,
             buffer_stats: buffers.iter().map(|b| b.stats()).collect(),
             transport: Some(fabric.stats()),
+            crashed,
+            checkpoints_taken: store.taken(),
+            abandoned_clients: launcher_report
+                .as_ref()
+                .map(|r| r.abandoned_clients.clone())
+                .unwrap_or_default(),
+            recovered_clients: launcher_report
+                .as_ref()
+                .map(|r| r.recovered_clients.clone())
+                .unwrap_or_default(),
+            resumed_from_batches: resume.map(|cp| cp.batches_trained),
             launcher: launcher_report,
         };
 
-        (model, report)
+        (model, report, store.latest())
     }
 }
 

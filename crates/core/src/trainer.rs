@@ -22,12 +22,15 @@
 //! stream — and therefore the trained parameters — is bit-identical to the
 //! non-prefetch path.
 
+use crate::checkpoint::ServerCheckpoint;
 use crate::config::{DeviceProfile, TrainingConfig};
 use crate::metrics::{LossPoint, ThroughputPoint, ThroughputTracker};
+use crate::recovery::RecoveryHooks;
 use crate::sample::fill_batch_from_buffer;
 use crate::validation::ValidationSet;
 use crossbeam::channel::bounded;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use surrogate_nn::{
@@ -110,6 +113,14 @@ struct RoundState {
     samples_consumed: usize,
 }
 
+/// The contribution a crashing rank makes to the status all-reduce: so
+/// negative that the averaged flag stays far below [`CRASH_THRESHOLD`] for
+/// any realistic rank count, making every rank exit the *same* round.
+const SERVER_CRASH_SENTINEL: f32 = -1.0e6;
+/// The averaged status flag below which the round is a server crash (the
+/// normal flag is the mean of 0/1 contributions, never negative).
+const CRASH_THRESHOLD: f32 = -0.5;
+
 /// The per-rank training loop.
 pub struct RankTrainer {
     rank: usize,
@@ -120,6 +131,7 @@ pub struct RankTrainer {
     config: TrainingConfig,
     validation: Option<Arc<ValidationSet>>,
     shared: Arc<TrainerShared>,
+    recovery: Option<RecoveryHooks>,
 }
 
 impl RankTrainer {
@@ -148,7 +160,22 @@ impl RankTrainer {
             config,
             validation,
             shared,
+            recovery: None,
         }
+    }
+
+    /// Attaches the crash-recovery hooks: periodic checkpoint capture and
+    /// per-simulation consumption accounting, the scripted server-crash
+    /// fault, and the learning-rate progress offset of a resumed run. Every
+    /// rank of one run must receive a clone of the same hooks.
+    pub fn with_recovery(mut self, hooks: RecoveryHooks) -> Self {
+        self.recovery = Some(hooks);
+        self
+    }
+
+    /// Collective rounds carried over from the checkpoint being resumed.
+    fn resume_rounds(&self) -> usize {
+        self.recovery.as_ref().map_or(0, |h| h.resume_rounds)
     }
 
     /// Runs the training loop until every rank's buffer has drained.
@@ -285,9 +312,36 @@ impl RankTrainer {
         let batch_size = self.config.batch_size.max(1);
         let has_data = batch.is_some();
 
-        // Termination round: how many ranks still have data this round?
-        let mut active_flag = [if has_data { 1.0 } else { 0.0 }];
+        // Termination round: how many ranks still have data this round? A
+        // scripted server crash rides the same vote: rank 0 contributes a
+        // sentinel so negative that the mean is unmistakably a crash, and
+        // every rank exits this very round — the replicas (and therefore any
+        // checkpoint already captured) stay bit-identical across ranks.
+        let crash_now = self.rank == 0
+            && self
+                .recovery
+                .as_ref()
+                .and_then(|h| h.crash_after_batches)
+                .is_some_and(|after| state.batches_with_data >= after);
+        let mut active_flag = [if crash_now {
+            SERVER_CRASH_SENTINEL
+        } else if has_data {
+            1.0
+        } else {
+            0.0
+        }];
         self.shared.status_sync.all_reduce_mean(&mut active_flag);
+        if active_flag[0] < CRASH_THRESHOLD {
+            if let Some(hooks) = &self.recovery {
+                // ordering: Release — publishes all training state written before the crash to the aggregators' and clients' Acquire loads
+                hooks.server_down.store(true, Ordering::Release);
+            }
+            // This rank stops consuming for good: lift the buffer's producer
+            // backpressure so no ingest worker stays blocked on a full queue
+            // it will never drain (they drop data once reception is over).
+            self.buffer.mark_reception_over();
+            return false;
+        }
         let active_ranks = (active_flag[0] * self.shared.num_ranks as f32).round() as usize;
         if active_ranks == 0 {
             return false;
@@ -319,11 +373,14 @@ impl RankTrainer {
         // Learning-rate decay is scheduled in *sample* space so that runs
         // with different rank counts decay at the same point (§4.5). The
         // sample count is derived deterministically from the round number so
-        // every replica computes the same learning rate.
-        let nominal_samples_seen = (state.rounds + 1) * batch_size * self.shared.num_ranks;
+        // every replica computes the same learning rate; a resumed run
+        // continues from the checkpoint's round counter instead of starting
+        // the schedule over hot.
+        let progress_rounds = self.resume_rounds() + state.rounds + 1;
+        let nominal_samples_seen = progress_rounds * batch_size * self.shared.num_ranks;
         let lr = self
             .schedule
-            .learning_rate(state.rounds + 1, nominal_samples_seen);
+            .learning_rate(progress_rounds, nominal_samples_seen);
         self.optimizer.step(&mut self.model, &state.grads, lr);
 
         // The emulated-device stall is measured so throughput reports can
@@ -345,6 +402,31 @@ impl RankTrainer {
             // Idle rounds still pay the emulated-device delay; count it so
             // the compute-throughput metric is not diluted by it.
             state.tracker.record_stall(stall);
+        }
+
+        // Recovery bookkeeping, after the weight update so a checkpoint never
+        // captures a half-applied batch: record what this batch consumed, and
+        // capture a checkpoint at the configured cadence. Capture runs on the
+        // training thread between batches — the ingest path is never stalled.
+        if let Some(hooks) = &self.recovery {
+            if let Some(batch) = batch {
+                hooks.tracker.record_consumed(&batch.keys);
+            }
+            if self.rank == 0
+                && has_data
+                && hooks.checkpoint_every_batches > 0
+                && state
+                    .batches_with_data
+                    .is_multiple_of(hooks.checkpoint_every_batches)
+            {
+                hooks.store.record(ServerCheckpoint::capture(
+                    &self.model,
+                    self.resume_rounds() + state.rounds,
+                    nominal_samples_seen,
+                    hooks.tracker.completed_simulations(),
+                    hooks.experiment_seed,
+                ));
+            }
         }
 
         // Rank 0 records the loss history and runs periodic validation. On
@@ -381,7 +463,9 @@ impl RankTrainer {
             if let Some(validation) = &self.validation {
                 state.losses.push(LossPoint {
                     batches: state.rounds,
-                    samples_seen: state.rounds * batch_size * self.shared.num_ranks,
+                    samples_seen: (self.resume_rounds() + state.rounds)
+                        * batch_size
+                        * self.shared.num_ranks,
                     train_loss: state
                         .losses
                         .last()

@@ -7,31 +7,130 @@
 //! [`crate::scheduler::SimulatedScheduler`] and client jobs
 //! are closures executed on a bounded pool of worker threads, one series at a
 //! time, with retries on failure.
+//!
+//! ## Failure detection and recovery
+//!
+//! Every running client owns a heartbeat cell it stamps on each step of
+//! progress (see [`ClientContext::beat`]). When the launcher is configured
+//! with a [`WatchdogConfig`], a watchdog thread scans the heartbeats and
+//! declares a client dead once its last stamp is older than the deadline: the
+//! job is killed through the scheduler ([`JobState::Killed`]), its heartbeat
+//! is cancelled so a merely-hung closure can observe the verdict and unwind,
+//! and the client is resubmitted under the [`RetryPolicy`] — capped
+//! exponential backoff, same parameters, a fresh attempt number. Failures are
+//! typed ([`ClientErrorKind`]): crashes and kills are retryable, while errors
+//! that can never succeed (invalid parameters, a dead server) abandon the
+//! client immediately. A client that exhausts its retry budget is reported in
+//! [`LauncherReport::abandoned_clients`] instead of wedging the campaign.
 
 use crate::campaign::CampaignPlan;
 use crate::sampler::ParameterSampler;
-use crate::scheduler::{JobState, SchedulerConfig, SimulatedScheduler};
+use crate::scheduler::{JobId, JobState, SchedulerConfig, SimulatedScheduler};
 use melissa_workload::{ParamPoint, ParameterSpace};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How failed clients are resubmitted: a capped exponential backoff plus the
+/// retry budget. The policy also owns the per-attempt seed derivation, so a
+/// restarted client can re-randomize anything that must *not* replay (e.g.
+/// transport jitter) while its simulation parameters stay fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// How many times a failed client is resubmitted before giving up.
+    pub max_retries: usize,
+    /// Backoff before the first resubmission.
+    pub base_backoff: Duration,
+    /// Multiplier applied to the backoff on every further resubmission.
+    pub backoff_multiplier: f64,
+    /// Upper bound on the backoff, whatever the attempt count.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base_backoff: Duration::ZERO,
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to wait before resubmitting a client whose 1-based attempt
+    /// `attempt` just failed: `base * multiplier^(attempt-1)`, capped at
+    /// [`RetryPolicy::max_backoff`].
+    pub fn backoff(&self, attempt: usize) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let factor = self
+            .backoff_multiplier
+            .max(1.0)
+            .powi(attempt.saturating_sub(1).min(i32::MAX as usize) as i32);
+        let backoff = self.base_backoff.as_secs_f64() * factor;
+        Duration::from_secs_f64(backoff.min(self.max_backoff.as_secs_f64()))
+    }
+
+    /// Deterministic per-attempt seed: a stable splitmix64 hash of
+    /// `(base_seed, client_id, attempt)`. Attempt 1 of client 3 derives the
+    /// same seed in every run of the same campaign; attempt 2 derives a
+    /// different one, so retried clients do not replay transport-level
+    /// randomness bit for bit.
+    pub fn attempt_seed(base_seed: u64, client_id: u64, attempt: usize) -> u64 {
+        fn mix64(x: u64) -> u64 {
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        mix64(mix64(mix64(base_seed) ^ client_id) ^ attempt as u64)
+    }
+}
+
+/// Failure-detection deadlines of the launcher-side watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// A client whose heartbeat is older than this is declared dead.
+    pub deadline: Duration,
+    /// How often the watchdog scans the heartbeats.
+    pub poll_interval: Duration,
+}
+
+impl WatchdogConfig {
+    /// A watchdog with the given deadline, polling at a quarter of it.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            deadline,
+            poll_interval: (deadline / 4).max(Duration::from_millis(1)),
+        }
+    }
+}
 
 /// Configuration of the launcher.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LauncherConfig {
-    /// How many times a failed client is resubmitted before giving up.
-    pub max_retries: usize,
+    /// Resubmission policy for failed clients.
+    pub retry: RetryPolicy,
     /// Start-up delay applied to every client job (scheduling overhead).
     pub job_startup_delay: Duration,
+    /// Watchdog failure detection; `None` means hung clients are never
+    /// declared dead (crash detection still works through returned errors).
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for LauncherConfig {
     fn default() -> Self {
         Self {
-            max_retries: 2,
+            retry: RetryPolicy::default(),
             job_startup_delay: Duration::ZERO,
+            watchdog: None,
         }
     }
 }
@@ -47,28 +146,94 @@ pub struct ClientJob {
     pub attempt: usize,
     /// The sampled parameter vector of this member.
     pub parameters: ParamPoint,
+    /// Deterministic per-attempt seed
+    /// ([`RetryPolicy::attempt_seed`] over the campaign seed).
+    pub seed: u64,
 }
 
-/// A client failure, as reported by the execution closure: the launcher only
-/// needs a reason to log; whether the failure is retryable is its own policy.
+/// What kind of failure a client reported — the launcher's retry policy keys
+/// off this: crashes and kills are worth retrying, the rest never succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientErrorKind {
+    /// The client crashed (solver error, lost connection mid-run, …);
+    /// a restart may well succeed. Retryable.
+    Crash,
+    /// The launcher's watchdog killed the client for missing its progress
+    /// deadline. Retryable.
+    Killed,
+    /// The client's inputs are unusable — no number of retries will ever
+    /// succeed. Fatal.
+    InvalidParameters,
+    /// The training server is gone; restarting clients without a server is
+    /// pointless. Fatal.
+    ServerDown,
+}
+
+impl ClientErrorKind {
+    /// Whether the launcher should resubmit a client that failed this way.
+    pub fn retryable(self) -> bool {
+        matches!(self, Self::Crash | Self::Killed)
+    }
+}
+
+/// A typed client failure, as reported by the execution closure (or
+/// synthesized by the watchdog).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientError {
+    /// What kind of failure this is; drives the retry decision.
+    pub kind: ClientErrorKind,
     /// Human-readable failure reason.
     pub reason: String,
 }
 
 impl ClientError {
-    /// Creates a failure with the given reason.
+    /// Creates a retryable crash with the given reason (the historical
+    /// default: before errors were typed, every failure was retried).
     pub fn new(reason: impl Into<String>) -> Self {
+        Self::crash(reason)
+    }
+
+    /// A retryable crash.
+    pub fn crash(reason: impl Into<String>) -> Self {
         Self {
+            kind: ClientErrorKind::Crash,
             reason: reason.into(),
         }
+    }
+
+    /// A watchdog kill (retryable).
+    pub fn killed(reason: impl Into<String>) -> Self {
+        Self {
+            kind: ClientErrorKind::Killed,
+            reason: reason.into(),
+        }
+    }
+
+    /// A fatal input error: never retried.
+    pub fn invalid_parameters(reason: impl Into<String>) -> Self {
+        Self {
+            kind: ClientErrorKind::InvalidParameters,
+            reason: reason.into(),
+        }
+    }
+
+    /// A fatal server-loss error: never retried.
+    pub fn server_down(reason: impl Into<String>) -> Self {
+        Self {
+            kind: ClientErrorKind::ServerDown,
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether the launcher should resubmit the client.
+    pub fn retryable(&self) -> bool {
+        self.kind.retryable()
     }
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "client failed: {}", self.reason)
+        write!(f, "client failed ({:?}): {}", self.kind, self.reason)
     }
 }
 
@@ -95,21 +260,146 @@ pub enum ClientOutcome {
     Failed(ClientError),
 }
 
+/// The heartbeat cell shared between one running client attempt and the
+/// watchdog: an atomic last-progress stamp plus a cancellation flag.
+#[derive(Debug)]
+struct Heartbeat {
+    /// The common epoch the stamps are measured from.
+    epoch: Instant,
+    /// Microseconds since `epoch` of the client's last progress report.
+    last_beat_micros: AtomicU64,
+    /// Number of progress reports so far.
+    beats: AtomicU64,
+    /// Set by the watchdog when it declares the client dead.
+    cancelled: AtomicBool,
+}
+
+impl Heartbeat {
+    fn new(epoch: Instant) -> Self {
+        let hb = Self {
+            epoch,
+            last_beat_micros: AtomicU64::new(0),
+            beats: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+        };
+        hb.beat();
+        hb
+    }
+
+    fn beat(&self) {
+        let micros = self.epoch.elapsed().as_micros() as u64;
+        // ordering: Relaxed — a monotonic liveness stamp; the watchdog only compares it against the clock, no other memory is published through it
+        self.last_beat_micros.store(micros, Ordering::Relaxed);
+        // ordering: Relaxed — monitoring counter
+        self.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stale(&self, deadline: Duration) -> bool {
+        let now = self.epoch.elapsed().as_micros() as u64;
+        // ordering: Relaxed — liveness stamp; staleness is a heuristic read racing benignly with beats
+        let last = self.last_beat_micros.load(Ordering::Relaxed);
+        now.saturating_sub(last) > deadline.as_micros() as u64
+    }
+
+    fn cancel(&self) {
+        // ordering: Relaxed — a one-way advisory flag polled by the client closure; no data is transferred through it
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    fn is_cancelled(&self) -> bool {
+        // ordering: Relaxed — see cancel()
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle a running client uses to report progress and observe its own
+/// death sentence. Cheap to call from the innermost simulation loop.
+pub struct ClientContext {
+    heartbeat: Arc<Heartbeat>,
+}
+
+impl ClientContext {
+    /// Records one step of progress; resets the watchdog deadline.
+    pub fn beat(&self) {
+        self.heartbeat.beat();
+    }
+
+    /// True once the watchdog has declared this attempt dead. A hung-but-alive
+    /// closure should poll this and unwind; its outcome is already discarded.
+    pub fn cancelled(&self) -> bool {
+        self.heartbeat.is_cancelled()
+    }
+
+    /// Number of progress reports this attempt has made.
+    pub fn beats(&self) -> u64 {
+        // ordering: Relaxed — monitoring counter read
+        self.heartbeat.beats.load(Ordering::Relaxed)
+    }
+}
+
+/// Campaign-level event callbacks, so the embedding server can react to
+/// recovery decisions while the campaign is still running (e.g. stop waiting
+/// for data a permanently-failed client will never send).
+#[derive(Default)]
+pub struct CampaignEvents<'a> {
+    /// Called at most once per client, when its retry budget is exhausted (or
+    /// its failure was fatal) and the launcher gives up on it for good.
+    pub on_abandoned: Option<&'a (dyn Fn(u64) + Sync)>,
+}
+
 /// Aggregate report of a campaign execution.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LauncherReport {
     /// Clients that eventually completed.
     pub completed: usize,
-    /// Clients that exhausted their retries and were abandoned.
+    /// Clients that exhausted their retries (or failed fatally) and were
+    /// abandoned.
     pub failed: usize,
     /// Number of resubmissions performed.
     pub retries: usize,
+    /// Clients the watchdog killed for missing their progress deadline
+    /// (counted per kill, not per client).
+    pub watchdog_kills: usize,
+    /// Failures whose kind was fatal (never retried).
+    pub fatal_errors: usize,
+    /// Ensemble members given up on for good, in ascending id order.
+    pub abandoned_clients: Vec<u64>,
+    /// Ensemble members that failed at least once but eventually completed,
+    /// in ascending id order.
+    pub recovered_clients: Vec<u64>,
     /// Wall-clock duration of each series, in seconds.
     pub series_durations: Vec<f64>,
     /// Total wall-clock duration of the campaign, in seconds.
     pub total_duration: f64,
     /// Peak number of concurrently running clients observed.
     pub peak_concurrency: usize,
+}
+
+/// One queued (re)submission, eligible to start at `ready_at` (backoff).
+struct QueuedJob {
+    job: ClientJob,
+    ready_at: Instant,
+}
+
+/// Registry entry of a running attempt, owned by whoever removes it first —
+/// the worker (normal completion/failure) or the watchdog (kill). Removal is
+/// the arbiter of the terminal transition, so an attempt is never accounted
+/// twice.
+struct ActiveClient {
+    job: ClientJob,
+    heartbeat: Arc<Heartbeat>,
+}
+
+/// Per-series counters, folded into the report when the series ends.
+#[derive(Default)]
+struct SeriesCounters {
+    completed: usize,
+    failed: usize,
+    retries: usize,
+    watchdog_kills: usize,
+    fatal_errors: usize,
+    abandoned: Vec<u64>,
+    recovered: Vec<u64>,
 }
 
 /// The workflow orchestrator.
@@ -137,11 +427,8 @@ impl Launcher {
         self.run_campaign_in(plan, &ParameterSpace::default(), client_fn)
     }
 
-    /// Runs a full campaign: every series in order, every client of a series on
-    /// a bounded worker pool, with retries on failure. Parameters are drawn
-    /// from `space` (a workload's design space), making the launcher
-    /// physics-agnostic. `client_fn` is invoked once per attempt and must
-    /// return `Ok(())` on success.
+    /// Runs a full campaign with a context-free closure. See
+    /// [`Launcher::run_campaign_with`] for the full-featured variant.
     pub fn run_campaign_in<F>(
         &self,
         plan: &CampaignPlan,
@@ -151,22 +438,87 @@ impl Launcher {
     where
         F: Fn(&ClientJob) -> Result<(), ClientError> + Sync,
     {
+        self.run_campaign_with(plan, space, &CampaignEvents::default(), |job, _ctx| {
+            client_fn(job)
+        })
+    }
+
+    /// Runs a full campaign: every series in order, every client of a series
+    /// on a bounded worker pool, with watchdog failure detection and typed
+    /// retries. Parameters are drawn from `space` (a workload's design
+    /// space), making the launcher physics-agnostic. `client_fn` is invoked
+    /// once per attempt with the job and its [`ClientContext`] and must
+    /// return `Ok(())` on success.
+    pub fn run_campaign_with<F>(
+        &self,
+        plan: &CampaignPlan,
+        space: &ParameterSpace,
+        events: &CampaignEvents<'_>,
+        client_fn: F,
+    ) -> LauncherReport
+    where
+        F: Fn(&ClientJob, &ClientContext) -> Result<(), ClientError> + Sync,
+    {
+        self.run_campaign_filtered(plan, space, None, events, client_fn)
+    }
+
+    /// Runs only the campaign members in `client_ids` — the resume path: a
+    /// restarted server re-plans the clients missing from its checkpoint, and
+    /// every rerun member draws the exact parameters of the original run
+    /// (the full campaign's sampler stream is replayed, then filtered).
+    pub fn run_campaign_subset<F>(
+        &self,
+        plan: &CampaignPlan,
+        space: &ParameterSpace,
+        client_ids: &[u64],
+        events: &CampaignEvents<'_>,
+        client_fn: F,
+    ) -> LauncherReport
+    where
+        F: Fn(&ClientJob, &ClientContext) -> Result<(), ClientError> + Sync,
+    {
+        self.run_campaign_filtered(plan, space, Some(client_ids), events, client_fn)
+    }
+
+    fn run_campaign_filtered<F>(
+        &self,
+        plan: &CampaignPlan,
+        space: &ParameterSpace,
+        only: Option<&[u64]>,
+        events: &CampaignEvents<'_>,
+        client_fn: F,
+    ) -> LauncherReport
+    where
+        F: Fn(&ClientJob, &ClientContext) -> Result<(), ClientError> + Sync,
+    {
         let campaign_start = Instant::now();
         let mut sampler =
             ParameterSampler::new(plan.sampler, *space, plan.total_clients(), plan.seed);
-        // Draw every member's parameters upfront so a retried client reruns the
-        // exact same simulation.
+        // Draw every member's parameters upfront so a retried (or resumed)
+        // client reruns the exact same simulation.
         let all_params: Vec<ParamPoint> = (0..plan.total_clients())
             .map(|i| sampler.parameters(i))
             .collect();
+        let wanted = |client_id: u64| only.is_none_or(|ids| ids.contains(&client_id));
 
         let mut report = LauncherReport::default();
         let mut next_client_id: u64 = 0;
+        let mut ran_series = false;
 
         for (series_index, series) in plan.series.iter().enumerate() {
-            if series_index > 0 && !plan.inter_series_delay.is_zero() {
+            let first_client = next_client_id;
+            next_client_id += series.num_clients as u64;
+            let members: Vec<u64> = (first_client..next_client_id)
+                .filter(|&id| wanted(id))
+                .collect();
+            if members.is_empty() {
+                report.series_durations.push(0.0);
+                continue;
+            }
+            if ran_series && !plan.inter_series_delay.is_zero() {
                 std::thread::sleep(plan.inter_series_delay);
             }
+            ran_series = true;
             let series_start = Instant::now();
             let scheduler = SimulatedScheduler::new(SchedulerConfig {
                 max_concurrent_jobs: series.max_concurrent.max(1),
@@ -174,60 +526,60 @@ impl Launcher {
             });
 
             // Work queue of pending jobs for this series (including retries).
-            let queue: Mutex<VecDeque<ClientJob>> = Mutex::new(
-                (0..series.num_clients)
-                    .map(|k| {
-                        let client_id = next_client_id + k as u64;
-                        ClientJob {
+            let queue: Mutex<VecDeque<QueuedJob>> = Mutex::new(
+                members
+                    .iter()
+                    .map(|&client_id| QueuedJob {
+                        job: ClientJob {
                             client_id,
                             series: series_index,
                             attempt: 1,
                             parameters: all_params[client_id as usize],
-                        }
+                            seed: RetryPolicy::attempt_seed(plan.seed, client_id, 1),
+                        },
+                        ready_at: series_start,
                     })
                     .collect(),
             );
-            next_client_id += series.num_clients as u64;
 
-            let counters = Mutex::new((0usize, 0usize, 0usize)); // completed, failed, retries
-            let workers = series.max_concurrent.max(1).min(series.num_clients.max(1));
+            // Members of this series not yet terminal (completed/abandoned);
+            // workers and the watchdog exit when it reaches zero.
+            let remaining = AtomicUsize::new(members.len());
+            let counters = Mutex::new(SeriesCounters::default());
+            let registry: Mutex<HashMap<JobId, ActiveClient>> = Mutex::new(HashMap::new());
+            let epoch = series_start;
+            let workers = series.max_concurrent.max(1).min(members.len());
             crossbeam::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|_| loop {
-                        let job = match queue.lock().pop_front() {
-                            Some(job) => job,
-                            None => break,
-                        };
-                        let job_id = scheduler.submit(job.attempt);
-                        scheduler.acquire_slot(job_id);
-                        let outcome = client_fn(&job);
-                        match outcome {
-                            Ok(()) => {
-                                scheduler.release_slot(job_id, JobState::Completed);
-                                counters.lock().0 += 1;
-                            }
-                            Err(_reason) => {
-                                scheduler.release_slot(job_id, JobState::Failed);
-                                if job.attempt <= self.config.max_retries {
-                                    let mut retry = job.clone();
-                                    retry.attempt += 1;
-                                    counters.lock().2 += 1;
-                                    queue.lock().push_back(retry);
-                                } else {
-                                    counters.lock().1 += 1;
-                                }
-                            }
-                        }
+                    scope.spawn(|_| {
+                        self.worker_loop(
+                            &queue, &remaining, &counters, &registry, &scheduler, epoch, events,
+                            plan.seed, &client_fn,
+                        )
+                    });
+                }
+                if let Some(watchdog) = self.config.watchdog {
+                    let (queue, remaining, counters, registry, scheduler) =
+                        (&queue, &remaining, &counters, &registry, &scheduler);
+                    scope.spawn(move |_| {
+                        self.watchdog_loop(
+                            watchdog, queue, remaining, counters, registry, scheduler, events,
+                            plan.seed,
+                        )
                     });
                 }
             })
             // analysis: allow(panic, reason = "re-raises a launcher worker's panic; the campaign report would otherwise under-count silently")
             .expect("launcher worker panicked");
 
-            let (completed, failed, retries) = *counters.lock();
-            report.completed += completed;
-            report.failed += failed;
-            report.retries += retries;
+            let series_counters = counters.into_inner();
+            report.completed += series_counters.completed;
+            report.failed += series_counters.failed;
+            report.retries += series_counters.retries;
+            report.watchdog_kills += series_counters.watchdog_kills;
+            report.fatal_errors += series_counters.fatal_errors;
+            report.abandoned_clients.extend(series_counters.abandoned);
+            report.recovered_clients.extend(series_counters.recovered);
             report.peak_concurrency = report
                 .peak_concurrency
                 .max(scheduler.stats().peak_concurrency);
@@ -236,8 +588,195 @@ impl Launcher {
                 .push(series_start.elapsed().as_secs_f64());
         }
 
+        report.abandoned_clients.sort_unstable();
+        report.recovered_clients.sort_unstable();
         report.total_duration = campaign_start.elapsed().as_secs_f64();
         report
+    }
+
+    /// One worker: pops ready jobs, runs them through the scheduler, and
+    /// performs the terminal accounting for attempts it still owns (the
+    /// watchdog may have taken ownership of a hung attempt meanwhile).
+    #[allow(clippy::too_many_arguments)]
+    fn worker_loop<F>(
+        &self,
+        queue: &Mutex<VecDeque<QueuedJob>>,
+        remaining: &AtomicUsize,
+        counters: &Mutex<SeriesCounters>,
+        registry: &Mutex<HashMap<JobId, ActiveClient>>,
+        scheduler: &SimulatedScheduler,
+        epoch: Instant,
+        events: &CampaignEvents<'_>,
+        campaign_seed: u64,
+        client_fn: &F,
+    ) where
+        F: Fn(&ClientJob, &ClientContext) -> Result<(), ClientError> + Sync,
+    {
+        loop {
+            // ordering: Acquire — pairs with the AcqRel decrements; once zero, every terminal transition (and its queue/counter writes) is visible
+            if remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let job = {
+                let mut queue = queue.lock();
+                let now = Instant::now();
+                queue
+                    .iter()
+                    .position(|q| q.ready_at <= now)
+                    .and_then(|i| queue.remove(i))
+                    .map(|q| q.job)
+            };
+            let Some(job) = job else {
+                // Nothing ready: a retry may be backing off, or the series is
+                // draining. Poll briefly; `remaining` decides termination.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            };
+
+            let job_id = scheduler.submit(job.attempt);
+            scheduler.acquire_slot(job_id);
+            let heartbeat = Arc::new(Heartbeat::new(epoch));
+            registry.lock().insert(
+                job_id,
+                ActiveClient {
+                    job: job.clone(),
+                    heartbeat: Arc::clone(&heartbeat),
+                },
+            );
+            let context = ClientContext {
+                heartbeat: Arc::clone(&heartbeat),
+            };
+            let outcome = client_fn(&job, &context);
+            // Removal arbitrates the worker/watchdog race: if the entry is
+            // gone, the watchdog already killed this attempt, accounted for
+            // it, and released the slot — the late outcome is discarded.
+            if registry.lock().remove(&job_id).is_none() {
+                continue;
+            }
+            match outcome {
+                Ok(()) => {
+                    scheduler.release_slot(job_id, JobState::Completed);
+                    let mut counters = counters.lock();
+                    counters.completed += 1;
+                    if job.attempt > 1 {
+                        counters.recovered.push(job.client_id);
+                    }
+                    drop(counters);
+                    // ordering: AcqRel — publishes this client's terminal accounting before the zero-observation that ends the series
+                    remaining.fetch_sub(1, Ordering::AcqRel);
+                }
+                Err(error) => {
+                    scheduler.release_slot(job_id, JobState::Failed);
+                    self.handle_failure(
+                        &job,
+                        &error,
+                        false,
+                        queue,
+                        remaining,
+                        counters,
+                        events,
+                        campaign_seed,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The watchdog: scans the registry for clients whose heartbeat missed
+    /// the deadline, kills them through the scheduler, and resubmits or
+    /// abandons them under the retry policy.
+    #[allow(clippy::too_many_arguments)]
+    fn watchdog_loop(
+        &self,
+        config: WatchdogConfig,
+        queue: &Mutex<VecDeque<QueuedJob>>,
+        remaining: &AtomicUsize,
+        counters: &Mutex<SeriesCounters>,
+        registry: &Mutex<HashMap<JobId, ActiveClient>>,
+        scheduler: &SimulatedScheduler,
+        events: &CampaignEvents<'_>,
+        campaign_seed: u64,
+    ) {
+        // ordering: Acquire — pairs with the AcqRel terminal decrements; zero means every member is accounted and the watchdog can retire
+        while remaining.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(config.poll_interval);
+            let expired: Vec<(JobId, ActiveClient)> = {
+                let mut registry = registry.lock();
+                let dead: Vec<JobId> = registry
+                    .iter()
+                    .filter(|(_, active)| active.heartbeat.stale(config.deadline))
+                    .map(|(&id, _)| id)
+                    .collect();
+                dead.into_iter()
+                    .filter_map(|id| registry.remove(&id).map(|active| (id, active)))
+                    .collect()
+            };
+            for (job_id, active) in expired {
+                // Owning the registry removal, the watchdog performs the
+                // terminal transition: cancel the heartbeat so the hung
+                // closure can unwind, kill the job in the scheduler
+                // (JobState::Killed frees the slot), then retry or abandon.
+                active.heartbeat.cancel();
+                scheduler.kill(job_id);
+                counters.lock().watchdog_kills += 1;
+                let error = ClientError::killed(format!(
+                    "no progress within {:?} (attempt {})",
+                    config.deadline, active.job.attempt
+                ));
+                self.handle_failure(
+                    &active.job,
+                    &error,
+                    true,
+                    queue,
+                    remaining,
+                    counters,
+                    events,
+                    campaign_seed,
+                );
+            }
+        }
+    }
+
+    /// Shared failure accounting: resubmit with backoff when the error is
+    /// retryable and the budget allows, abandon otherwise. `remaining` is
+    /// only decremented on abandonment — a resubmitted client is still live.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_failure(
+        &self,
+        job: &ClientJob,
+        error: &ClientError,
+        _killed: bool,
+        queue: &Mutex<VecDeque<QueuedJob>>,
+        remaining: &AtomicUsize,
+        counters: &Mutex<SeriesCounters>,
+        events: &CampaignEvents<'_>,
+        campaign_seed: u64,
+    ) {
+        let retryable = error.retryable();
+        if retryable && job.attempt <= self.config.retry.max_retries {
+            let mut retry = job.clone();
+            retry.attempt += 1;
+            retry.seed = RetryPolicy::attempt_seed(campaign_seed, retry.client_id, retry.attempt);
+            let ready_at = Instant::now() + self.config.retry.backoff(job.attempt);
+            counters.lock().retries += 1;
+            queue.lock().push_back(QueuedJob {
+                job: retry,
+                ready_at,
+            });
+        } else {
+            let mut counters = counters.lock();
+            counters.failed += 1;
+            if !retryable {
+                counters.fatal_errors += 1;
+            }
+            counters.abandoned.push(job.client_id);
+            drop(counters);
+            if let Some(on_abandoned) = events.on_abandoned {
+                on_abandoned(job.client_id);
+            }
+            // ordering: AcqRel — publishes the abandonment accounting before the zero-observation that ends the series
+            remaining.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 }
 
@@ -247,7 +786,6 @@ mod tests {
     use crate::campaign::CampaignPlan;
     use parking_lot::Mutex as PlMutex;
     use std::collections::HashMap;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn runs_every_client_of_every_series() {
@@ -302,7 +840,10 @@ mod tests {
     fn failed_clients_are_retried_with_same_parameters() {
         let plan = CampaignPlan::single_series(4, 2).with_seed(3);
         let launcher = Launcher::new(LauncherConfig {
-            max_retries: 3,
+            retry: RetryPolicy {
+                max_retries: 3,
+                ..RetryPolicy::default()
+            },
             ..LauncherConfig::default()
         });
         // Per client: the (attempt index, sampled parameters) of every try.
@@ -324,6 +865,7 @@ mod tests {
         assert_eq!(report.completed, 4);
         assert_eq!(report.failed, 0);
         assert_eq!(report.retries, 2);
+        assert_eq!(report.recovered_clients, vec![2]);
         let attempts = attempts.lock();
         let client2 = &attempts[&2];
         assert_eq!(client2.len(), 3);
@@ -335,7 +877,10 @@ mod tests {
     fn clients_exhausting_retries_are_reported_failed() {
         let plan = CampaignPlan::single_series(3, 2);
         let launcher = Launcher::new(LauncherConfig {
-            max_retries: 1,
+            retry: RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            },
             ..LauncherConfig::default()
         });
         let report = launcher.run_campaign(&plan, |job| {
@@ -348,6 +893,7 @@ mod tests {
         assert_eq!(report.completed, 2);
         assert_eq!(report.failed, 1);
         assert_eq!(report.retries, 1);
+        assert_eq!(report.abandoned_clients, vec![0]);
     }
 
     #[test]
@@ -359,5 +905,214 @@ mod tests {
         let report = launcher.run_campaign(&plan, |_| Ok(()));
         assert_eq!(report.completed, 2);
         assert!(start.elapsed() >= Duration::from_millis(35));
+    }
+
+    #[test]
+    fn fatal_errors_are_never_retried() {
+        let plan = CampaignPlan::single_series(3, 2);
+        let launcher = Launcher::new(LauncherConfig {
+            retry: RetryPolicy {
+                max_retries: 5,
+                ..RetryPolicy::default()
+            },
+            ..LauncherConfig::default()
+        });
+        let attempts = AtomicUsize::new(0);
+        let report = launcher.run_campaign(&plan, |job| {
+            if job.client_id == 1 {
+                // ordering: Relaxed — test tally read after the campaign joins
+                attempts.fetch_add(1, Ordering::Relaxed);
+                Err(ClientError::invalid_parameters("NaN viscosity"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.retries, 0, "fatal failures skip the retry budget");
+        assert_eq!(report.fatal_errors, 1);
+        assert_eq!(report.abandoned_clients, vec![1]);
+        // ordering: Relaxed — read after run_campaign joined its workers
+        assert_eq!(attempts.load(Ordering::Relaxed), 1, "exactly one attempt");
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(10),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(policy.backoff(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3), Duration::from_millis(35), "capped");
+        assert_eq!(policy.backoff(9), Duration::from_millis(35), "still capped");
+        // A zero base disables backoff entirely.
+        assert_eq!(RetryPolicy::default().backoff(4), Duration::ZERO);
+    }
+
+    #[test]
+    fn attempt_seeds_are_deterministic_and_distinct() {
+        let s = RetryPolicy::attempt_seed(7, 3, 1);
+        assert_eq!(s, RetryPolicy::attempt_seed(7, 3, 1), "deterministic");
+        assert_ne!(s, RetryPolicy::attempt_seed(7, 3, 2), "per-attempt");
+        assert_ne!(s, RetryPolicy::attempt_seed(7, 4, 1), "per-client");
+        assert_ne!(s, RetryPolicy::attempt_seed(8, 3, 1), "per-campaign");
+    }
+
+    #[test]
+    fn retried_jobs_carry_fresh_attempt_seeds() {
+        let plan = CampaignPlan::single_series(1, 1).with_seed(42);
+        let launcher = Launcher::new(LauncherConfig {
+            retry: RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            },
+            ..LauncherConfig::default()
+        });
+        let seeds = PlMutex::new(Vec::new());
+        let report = launcher.run_campaign(&plan, |job| {
+            seeds.lock().push((job.attempt, job.seed));
+            if job.attempt == 1 {
+                Err(ClientError::new("first attempt crashes"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(report.completed, 1);
+        let seeds = seeds.lock();
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[0].1, RetryPolicy::attempt_seed(42, 0, 1));
+        assert_eq!(seeds[1].1, RetryPolicy::attempt_seed(42, 0, 2));
+        assert_ne!(seeds[0].1, seeds[1].1);
+    }
+
+    #[test]
+    fn watchdog_kills_hung_client_and_retry_completes() {
+        let plan = CampaignPlan::single_series(3, 3).with_seed(5);
+        let launcher = Launcher::new(LauncherConfig {
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(5),
+                ..RetryPolicy::default()
+            },
+            watchdog: Some(WatchdogConfig::with_deadline(Duration::from_millis(40))),
+            ..LauncherConfig::default()
+        });
+        let events = CampaignEvents::default();
+        let report =
+            launcher.run_campaign_with(&plan, &ParameterSpace::default(), &events, |job, ctx| {
+                if job.client_id == 1 && job.attempt == 1 {
+                    // Hang: no beats, no return — until the watchdog cancels.
+                    while !ctx.cancelled() {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    return Err(ClientError::killed("unwound after cancellation"));
+                }
+                for _ in 0..3 {
+                    ctx.beat();
+                }
+                Ok(())
+            });
+        assert_eq!(report.completed, 3, "the retried client completes");
+        assert_eq!(report.failed, 0);
+        assert!(report.watchdog_kills >= 1, "the hang was detected");
+        assert!(report.retries >= 1, "the killed client was resubmitted");
+        assert_eq!(report.recovered_clients, vec![1]);
+        assert!(report.abandoned_clients.is_empty());
+    }
+
+    #[test]
+    fn watchdog_abandons_client_after_retry_budget() {
+        let plan = CampaignPlan::single_series(2, 2).with_seed(6);
+        let launcher = Launcher::new(LauncherConfig {
+            retry: RetryPolicy {
+                max_retries: 1,
+                base_backoff: Duration::from_millis(2),
+                ..RetryPolicy::default()
+            },
+            watchdog: Some(WatchdogConfig::with_deadline(Duration::from_millis(30))),
+            ..LauncherConfig::default()
+        });
+        let abandoned = PlMutex::new(Vec::new());
+        let events = CampaignEvents {
+            on_abandoned: Some(&|client_id| abandoned.lock().push(client_id)),
+        };
+        let report =
+            launcher.run_campaign_with(&plan, &ParameterSpace::default(), &events, |job, ctx| {
+                if job.client_id == 0 {
+                    // Hangs on every attempt.
+                    while !ctx.cancelled() {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    return Err(ClientError::killed("unwound after cancellation"));
+                }
+                Ok(())
+            });
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failed, 1, "the hung client is eventually abandoned");
+        assert_eq!(report.watchdog_kills, 2, "initial attempt + one retry");
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.abandoned_clients, vec![0]);
+        assert_eq!(*abandoned.lock(), vec![0], "the abandonment event fired");
+    }
+
+    #[test]
+    fn heartbeats_keep_a_slow_client_alive() {
+        let plan = CampaignPlan::single_series(1, 1);
+        let launcher = Launcher::new(LauncherConfig {
+            retry: RetryPolicy::default(),
+            watchdog: Some(WatchdogConfig::with_deadline(Duration::from_millis(30))),
+            ..LauncherConfig::default()
+        });
+        let events = CampaignEvents::default();
+        let report =
+            launcher.run_campaign_with(&plan, &ParameterSpace::default(), &events, |_job, ctx| {
+                // Runs well past the deadline but beats regularly: never killed.
+                for _ in 0..10 {
+                    std::thread::sleep(Duration::from_millis(10));
+                    ctx.beat();
+                }
+                Ok(())
+            });
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.watchdog_kills, 0, "steady progress is never killed");
+        assert!(report.abandoned_clients.is_empty());
+    }
+
+    #[test]
+    fn subset_campaign_runs_only_requested_ids_with_original_parameters() {
+        let plan = CampaignPlan::series_of(&[3, 3], 2).with_seed(9);
+        let launcher = Launcher::new(LauncherConfig::default());
+        // Full campaign: record every member's parameters.
+        let full: PlMutex<HashMap<u64, [f64; 5]>> = PlMutex::new(HashMap::new());
+        launcher.run_campaign(&plan, |job| {
+            full.lock().insert(job.client_id, job.parameters);
+            Ok(())
+        });
+        // Subset rerun: only clients 1 and 4 (one from each series).
+        let seen: PlMutex<HashMap<u64, [f64; 5]>> = PlMutex::new(HashMap::new());
+        let events = CampaignEvents::default();
+        let report = launcher.run_campaign_subset(
+            &plan,
+            &ParameterSpace::default(),
+            &[1, 4],
+            &events,
+            |job, _ctx| {
+                seen.lock().insert(job.client_id, job.parameters);
+                Ok(())
+            },
+        );
+        assert_eq!(report.completed, 2);
+        let full = full.lock();
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 2);
+        for id in [1u64, 4] {
+            assert_eq!(
+                seen[&id], full[&id],
+                "client {id} reruns its original parameters"
+            );
+        }
     }
 }

@@ -25,7 +25,8 @@ pub mod scheduler;
 
 pub use campaign::{CampaignPlan, ClientSeries};
 pub use launcher::{
-    ClientError, ClientJob, ClientOutcome, Launcher, LauncherConfig, LauncherReport,
+    CampaignEvents, ClientContext, ClientError, ClientErrorKind, ClientJob, ClientOutcome,
+    Launcher, LauncherConfig, LauncherReport, RetryPolicy, WatchdogConfig,
 };
 pub use sampler::{
     ExperimentalDesign, HaltonSampler, LatinHypercubeSampler, MonteCarloSampler, ParameterSampler,
@@ -44,7 +45,10 @@ mod tests {
     fn crate_level_campaign_runs() {
         let plan = CampaignPlan::series_of(&[4, 2], 2);
         let launcher = Launcher::new(LauncherConfig {
-            max_retries: 1,
+            retry: RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            },
             ..LauncherConfig::default()
         });
         let executed = AtomicUsize::new(0);

@@ -200,6 +200,34 @@ impl SimulatedScheduler {
         self.slot_freed.notify_one();
     }
 
+    /// Kills a job (launcher-initiated, e.g. an unresponsive client): a
+    /// running job releases its slot with [`JobState::Killed`]; a pending job
+    /// is marked killed without ever starting. Returns `false` — and changes
+    /// nothing — when the job is unknown or already terminal, so a kill
+    /// racing a normal completion is a no-op.
+    pub fn kill(&self, id: JobId) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(record) = inner.records.get_mut(&id) else {
+            return false;
+        };
+        let was_running = match record.state {
+            JobState::Running => true,
+            JobState::Pending => false,
+            JobState::Completed | JobState::Failed | JobState::Killed => return false,
+        };
+        record.state = JobState::Killed;
+        record.ended_at = Some(Instant::now());
+        if was_running {
+            inner.running = inner.running.saturating_sub(1);
+        }
+        inner.stats.killed += 1;
+        drop(inner);
+        if was_running {
+            self.slot_freed.notify_one();
+        }
+        true
+    }
+
     /// Number of jobs currently holding a slot.
     pub fn running_jobs(&self) -> usize {
         self.inner.lock().running
@@ -304,6 +332,90 @@ mod tests {
         }
         let stats = scheduler.stats();
         assert_eq!(stats.failed, 1);
+        assert_eq!(stats.killed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn kill_running_job_releases_its_slot() {
+        let scheduler = Arc::new(SimulatedScheduler::new(SchedulerConfig {
+            max_concurrent_jobs: 1,
+            startup_delay: Duration::ZERO,
+        }));
+        let hung = scheduler.submit(1);
+        scheduler.acquire_slot(hung);
+        assert_eq!(scheduler.running_jobs(), 1);
+        // A second job is stuck waiting for the single slot…
+        let second = scheduler.submit(1);
+        let waiter = {
+            let scheduler = Arc::clone(&scheduler);
+            std::thread::spawn(move || {
+                scheduler.acquire_slot(second);
+                scheduler.release_slot(second, JobState::Completed);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(scheduler.running_jobs(), 1, "second job still queued");
+        // …until the watchdog kills the hung one, which frees the slot.
+        assert!(scheduler.kill(hung));
+        waiter.join().unwrap();
+        let record = scheduler.record(hung).unwrap();
+        assert_eq!(record.state, JobState::Killed);
+        assert!(record.run_time().is_some(), "killed jobs have an end time");
+        assert_eq!(scheduler.running_jobs(), 0);
+        let stats = scheduler.stats();
+        assert_eq!(stats.killed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn kill_pending_job_never_starts_and_frees_no_slot() {
+        let scheduler = SimulatedScheduler::new(SchedulerConfig::default());
+        let id = scheduler.submit(1);
+        assert_eq!(scheduler.record(id).unwrap().state, JobState::Pending);
+        assert!(scheduler.kill(id));
+        let record = scheduler.record(id).unwrap();
+        assert_eq!(record.state, JobState::Killed);
+        assert!(record.started_at.is_none(), "never obtained a slot");
+        assert_eq!(scheduler.running_jobs(), 0);
+        assert_eq!(scheduler.stats().killed, 1);
+    }
+
+    #[test]
+    fn kill_is_a_noop_on_terminal_or_unknown_jobs() {
+        let scheduler = SimulatedScheduler::new(SchedulerConfig::default());
+        let id = scheduler.submit(1);
+        scheduler.acquire_slot(id);
+        scheduler.release_slot(id, JobState::Completed);
+        // A kill racing (and losing to) a normal completion changes nothing.
+        assert!(!scheduler.kill(id));
+        assert_eq!(scheduler.record(id).unwrap().state, JobState::Completed);
+        assert_eq!(scheduler.stats().killed, 0);
+        // Double-kill: the second is a no-op too.
+        let hung = scheduler.submit(2);
+        scheduler.acquire_slot(hung);
+        assert!(scheduler.kill(hung));
+        assert!(!scheduler.kill(hung));
+        assert_eq!(scheduler.stats().killed, 1);
+        assert_eq!(scheduler.running_jobs(), 0, "slot released exactly once");
+        // Unknown job ids are rejected.
+        assert!(!scheduler.kill(JobId(999)));
+    }
+
+    #[test]
+    fn kill_preserves_attempt_accounting() {
+        let scheduler = SimulatedScheduler::new(SchedulerConfig::default());
+        // Attempt 1 is killed; the resubmission carries attempt 2.
+        let first = scheduler.submit(1);
+        scheduler.acquire_slot(first);
+        scheduler.kill(first);
+        let second = scheduler.submit(2);
+        scheduler.acquire_slot(second);
+        scheduler.release_slot(second, JobState::Completed);
+        assert_eq!(scheduler.record(first).unwrap().attempt, 1);
+        assert_eq!(scheduler.record(second).unwrap().attempt, 2);
+        let stats = scheduler.stats();
+        assert_eq!(stats.submitted, 2);
         assert_eq!(stats.killed, 1);
         assert_eq!(stats.completed, 1);
     }

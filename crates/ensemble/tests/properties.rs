@@ -2,7 +2,7 @@
 
 use melissa_ensemble::{
     CampaignPlan, ExperimentalDesign, HaltonSampler, LatinHypercubeSampler, Launcher,
-    LauncherConfig, MonteCarloSampler, ParameterSampler, SamplerKind,
+    LauncherConfig, MonteCarloSampler, ParameterSampler, RetryPolicy, SamplerKind,
 };
 use melissa_workload::ParameterSpace;
 use parking_lot::Mutex;
@@ -99,7 +99,10 @@ proptest! {
         failures_per_client in 0usize..3,
     ) {
         let plan = CampaignPlan::single_series(clients, 3);
-        let launcher = Launcher::new(LauncherConfig { max_retries: 3, ..LauncherConfig::default() });
+        let launcher = Launcher::new(LauncherConfig {
+            retry: RetryPolicy { max_retries: 3, ..RetryPolicy::default() },
+            ..LauncherConfig::default()
+        });
         let attempts = Mutex::new(vec![0usize; clients]);
         let report = launcher.run_campaign(&plan, |job| {
             let mut attempts = attempts.lock();

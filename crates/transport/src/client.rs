@@ -111,7 +111,7 @@ impl ClientConnection {
             payload,
         };
         let bytes = message.wire_bytes();
-        let delivery = self.injector.decide();
+        let delivery = self.injector.decide(self.client_id, sequence);
         record_send(&self.stats, bytes, delivery);
         let sender = &self.senders[rank][shard];
         match delivery {

@@ -17,11 +17,14 @@ struct ClientLog {
     ahead: BTreeSet<u64>,
     /// Whether the client sent its finalize message.
     finalized: bool,
+    /// Whether the client was restored from a checkpoint as fully completed;
+    /// every message it replays is a duplicate by definition.
+    completed: bool,
 }
 
 impl ClientLog {
     fn observe(&mut self, sequence: u64) -> bool {
-        if sequence < self.contiguous_until || self.ahead.contains(&sequence) {
+        if self.completed || sequence < self.contiguous_until || self.ahead.contains(&sequence) {
             return false; // duplicate
         }
         if sequence == self.contiguous_until {
@@ -70,6 +73,17 @@ impl MessageLog {
     /// Records that a client finalized.
     pub fn mark_finalized(&mut self, client_id: u64) {
         self.clients.entry(client_id).or_default().finalized = true;
+    }
+
+    /// Seeds the log with a client known (from a checkpoint) to have fully
+    /// completed before a server restart: every sequence number is treated as
+    /// already received and the client as finalized, so any replayed traffic
+    /// from a rerun of that simulation is discarded wholesale. §3.1's resume
+    /// contract — completed simulations must never be trained twice.
+    pub fn mark_completed(&mut self, client_id: u64) {
+        let log = self.clients.entry(client_id).or_default();
+        log.completed = true;
+        log.finalized = true;
     }
 
     /// True when the client has sent its finalize message.
@@ -155,6 +169,19 @@ mod tests {
         assert!(log.is_finalized(1));
         assert!(!log.is_finalized(2));
         assert_eq!(log.finalized_clients(), 1);
+    }
+
+    #[test]
+    fn completed_clients_discard_all_replayed_traffic() {
+        let mut log = MessageLog::new();
+        log.mark_completed(4);
+        assert!(log.is_finalized(4));
+        for seq in 0..20 {
+            assert!(!log.observe(4, seq), "sequence {seq} must be discarded");
+        }
+        assert_eq!(log.duplicates_discarded(), 20);
+        // Other clients are unaffected.
+        assert!(log.observe(5, 0));
     }
 
     #[test]

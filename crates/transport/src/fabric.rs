@@ -20,7 +20,7 @@ use crate::fault::{Delivery, FaultConfig, FaultInjector};
 use crate::message::Message;
 use crate::stats::{StatsCell, TransportStats};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -37,7 +37,7 @@ pub fn stable_shard(simulation_id: u64, shards: usize) -> usize {
 }
 
 /// Construction parameters of a [`Fabric`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabricConfig {
     /// Number of server ranks (one aggregator per rank, or one per shard).
     pub num_server_ranks: usize,
@@ -110,11 +110,12 @@ impl Fabric {
             receivers.push(rank_rx);
             shard_stats.push(rank_stats);
         }
+        let injector = Arc::new(FaultInjector::new(config.fault.clone()));
         Self {
             config,
             senders,
             receivers,
-            injector: Arc::new(FaultInjector::new(config.fault)),
+            injector,
             stats: Arc::new(StatsCell::default()),
             shard_stats,
         }
@@ -168,6 +169,14 @@ impl Fabric {
                         shard,
                         receiver: receiver.clone(),
                         stats: Arc::clone(&self.shard_stats[rank][shard]),
+                        stall: self.config.fault.plan.shard_stall(rank, shard).map(
+                            |(after_messages, stall)| ShardStallState {
+                                after_messages,
+                                stall,
+                                drained: AtomicUsize::new(0),
+                                fired: AtomicBool::new(false),
+                            },
+                        ),
                     })
                     .collect()
             })
@@ -203,6 +212,15 @@ impl Fabric {
     }
 }
 
+/// A scripted one-shot stall of one shard's drain path (see
+/// [`crate::fault::FaultEvent::ShardStall`]).
+struct ShardStallState {
+    after_messages: usize,
+    stall: Duration,
+    drained: AtomicUsize,
+    fired: AtomicBool,
+}
+
 /// The receive side of one shard of one server rank, polled by a
 /// data-aggregator (shard) thread. Owns the shard's stats cell, so
 /// concurrent shard workers account their traffic without sharing counters.
@@ -211,6 +229,8 @@ pub struct ServerEndpoint {
     shard: usize,
     receiver: Receiver<Message>,
     stats: Arc<StatsCell>,
+    /// Scripted stall of this shard's drain path, if the fault plan names it.
+    stall: Option<ShardStallState>,
 }
 
 impl ServerEndpoint {
@@ -229,6 +249,7 @@ impl ServerEndpoint {
         match self.receiver.try_recv() {
             Ok(msg) => {
                 self.account(&msg);
+                self.maybe_stall(1);
                 Some(msg)
             }
             Err(_) => None,
@@ -264,6 +285,7 @@ impl ServerEndpoint {
             .finalized_clients
             // ordering: Relaxed — monitoring counters; the drained messages were already handed over by the channel
             .fetch_add(finalized, Ordering::Relaxed);
+        self.maybe_stall(moved);
         moved
     }
 
@@ -274,9 +296,26 @@ impl ServerEndpoint {
         match self.receiver.recv_timeout(timeout) {
             Ok(msg) => {
                 self.account(&msg);
+                self.maybe_stall(1);
                 Some(msg)
             }
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Fires a scripted one-shot stall once this shard has drained enough
+    /// messages (see [`crate::fault::FaultEvent::ShardStall`]). A no-op on
+    /// un-scripted shards: one `Option` check on the drain path.
+    fn maybe_stall(&self, drained_now: usize) {
+        let Some(state) = &self.stall else {
+            return;
+        };
+        // ordering: Relaxed — the counter and flag are only read/written by this shard's single drain thread; atomics are for the &self API, not cross-thread ordering
+        let total = state.drained.fetch_add(drained_now, Ordering::Relaxed) + drained_now;
+        // ordering: Relaxed — see above; single-threaded per endpoint by design
+        if total >= state.after_messages && !state.fired.swap(true, Ordering::Relaxed) {
+            // analysis: allow(blocking, reason = "scripted shard-stall fault injection; fires at most once per run, and only when a chaos plan names this shard")
+            std::thread::sleep(state.stall);
         }
     }
 
@@ -611,6 +650,39 @@ mod tests {
         assert_eq!(stats.messages_sent, 20);
         assert_eq!(stats.messages_delivered, 20);
         assert_eq!(stats.connections, 4);
+    }
+
+    #[test]
+    fn scripted_shard_stall_fires_once_after_threshold() {
+        use crate::fault::FaultPlan;
+        let fabric = Fabric::new(FabricConfig {
+            num_server_ranks: 1,
+            channel_capacity: 64,
+            fault: FaultConfig {
+                plan: FaultPlan::none().with_shard_stall(0, 0, 3, Duration::from_millis(30)),
+                ..FaultConfig::default()
+            },
+            ..FabricConfig::default()
+        });
+        let endpoints = fabric.server_endpoints();
+        let client = fabric.connect_client(0);
+        for step in 0..6 {
+            client.send(payload(step)).unwrap();
+        }
+        // First two drains stay under the threshold: fast.
+        let fast = std::time::Instant::now();
+        assert!(endpoints[0].try_recv().is_some());
+        assert!(endpoints[0].try_recv().is_some());
+        assert!(fast.elapsed() < Duration::from_millis(25));
+        // The third drained message crosses the threshold and stalls once.
+        let slow = std::time::Instant::now();
+        assert!(endpoints[0].try_recv().is_some());
+        assert!(slow.elapsed() >= Duration::from_millis(25), "stall fires");
+        // Subsequent drains are fast again — the stall is one-shot.
+        let after = std::time::Instant::now();
+        let mut out = Vec::new();
+        assert_eq!(endpoints[0].try_recv_many(&mut out, 16), 3);
+        assert!(after.elapsed() < Duration::from_millis(25));
     }
 
     #[test]

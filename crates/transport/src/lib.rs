@@ -39,7 +39,10 @@ pub mod stats;
 pub use client::{ClientApi, ClientConnection};
 pub use dedup::MessageLog;
 pub use fabric::{stable_shard, Fabric, FabricConfig, ServerEndpoint};
-pub use fault::{FaultConfig, FaultInjector};
+pub use fault::{
+    ClientFaultKind, Delivery, FaultConfig, FaultEvent, FaultInjector, FaultPlan,
+    ScriptedClientFault,
+};
 pub use message::{Message, SamplePayload};
 pub use stats::TransportStats;
 

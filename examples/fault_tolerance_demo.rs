@@ -1,7 +1,9 @@
-//! Fault-tolerance demonstration: clients crash mid-simulation and are
-//! restarted by the launcher; the transport drops and duplicates messages; the
-//! server's message log discards the replays — and training still completes
-//! with every surviving sample seen.
+//! Fault-tolerance demonstration, end to end: clients crash and hang on a
+//! scripted schedule, the watchdog declares the hung ones dead and the
+//! launcher resubmits them with exponential backoff; the training server
+//! checkpoints every few batches, gets killed mid-run by a scripted fault,
+//! and resumes from its latest checkpoint — rerunning only the simulations
+//! the checkpoint does not cover.
 //!
 //! ```bash
 //! cargo run --release --example fault_tolerance_demo
@@ -9,44 +11,13 @@
 
 use heat_solver::SolverConfig;
 use melissa::{ExperimentConfig, OnlineExperiment, WorkloadSpec};
-use melissa_ensemble::{CampaignPlan, ClientError, Launcher, LauncherConfig};
-use melissa_transport::FaultConfig;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use melissa_ensemble::{CampaignPlan, LauncherConfig, RetryPolicy, WatchdogConfig};
+use melissa_transport::{FaultConfig, FaultPlan};
+use std::time::Duration;
 use training_buffer::BufferKind;
 
-fn main() {
-    // Part 1: launcher-level fault tolerance — a flaky client that fails its
-    // first attempt is resubmitted with the same parameters.
-    println!("Part 1: launcher restarts failed clients");
-    let plan = CampaignPlan::single_series(6, 3);
-    let launcher = Launcher::new(LauncherConfig {
-        max_retries: 2,
-        ..LauncherConfig::default()
-    });
-    let attempts: Mutex<HashMap<u64, usize>> = Mutex::new(HashMap::new());
-    let report = launcher.run_campaign(&plan, |job| {
-        let mut attempts = attempts.lock();
-        let count = attempts.entry(job.client_id).or_insert(0);
-        *count += 1;
-        // Clients 1 and 4 crash on their first attempt.
-        if (job.client_id == 1 || job.client_id == 4) && *count == 1 {
-            Err(ClientError::new("node failure"))
-        } else {
-            Ok(())
-        }
-    });
-    println!(
-        "  {} clients completed, {} retries, {} abandoned",
-        report.completed, report.retries, report.failed
-    );
-    assert_eq!(report.completed, 6);
-
-    // Part 2: transport-level faults — 5% of the time-step messages are
-    // dropped and 5% are duplicated. The duplicate-discard log keeps the
-    // training data consistent; dropped steps are simply missing samples.
-    println!("\nPart 2: online training under message drops and duplicates");
-    let config = ExperimentConfig::builder()
+fn base_config() -> melissa::ExperimentConfigBuilder {
+    ExperimentConfig::builder()
         .workload(WorkloadSpec::heat_analytic(SolverConfig {
             nx: 10,
             ny: 10,
@@ -55,6 +26,60 @@ fn main() {
         }))
         .campaign(CampaignPlan::single_series(10, 5))
         .seed(5)
+        .validation(10, 20)
+}
+
+fn main() {
+    // Part 1: watchdog failure detection — two clients crash outright and one
+    // hangs on its first attempt. The watchdog declares the hung client dead
+    // after the heartbeat deadline, the scheduler kills it, and the launcher
+    // resubmits all three with capped exponential backoff.
+    println!("Part 1: scripted crashes and hangs, watchdog kills, retries");
+    let plan = FaultPlan::none()
+        .with_client_crash(1, 0, 4)
+        .with_client_crash(4, 0, 9)
+        .with_client_hang(7, 0, 3);
+    let config = base_config()
+        .buffer_paper_proportions(BufferKind::Reservoir)
+        .fault(FaultConfig {
+            plan,
+            ..FaultConfig::default()
+        })
+        .launcher(LauncherConfig {
+            retry: RetryPolicy {
+                max_retries: 3,
+                base_backoff: Duration::from_millis(5),
+                ..RetryPolicy::default()
+            },
+            watchdog: Some(WatchdogConfig::with_deadline(Duration::from_millis(150))),
+            ..LauncherConfig::default()
+        })
+        .build()
+        .expect("valid configuration");
+
+    let (_, report) = OnlineExperiment::new(config)
+        .expect("valid configuration")
+        .run();
+    let launcher = report
+        .launcher
+        .as_ref()
+        .expect("online runs have a launcher");
+    println!("  {}", report.summary());
+    println!(
+        "  launcher: {} completed, {} retries, {} watchdog kills, recovered clients {:?}",
+        launcher.completed, launcher.retries, launcher.watchdog_kills, report.recovered_clients
+    );
+    assert_eq!(launcher.completed, 10);
+    assert!(launcher.retries >= 3, "three faulted clients must retry");
+    assert!(launcher.watchdog_kills >= 1, "the hang must be killed");
+    assert!(report.recovered_clients.contains(&7));
+    assert!(report.abandoned_clients.is_empty());
+
+    // Part 2: transport-level faults — 5% of the time-step messages are
+    // dropped and 5% are duplicated. The duplicate-discard log keeps the
+    // training data consistent; dropped steps are simply missing samples.
+    println!("\nPart 2: online training under message drops and duplicates");
+    let config = base_config()
         .buffer_paper_proportions(BufferKind::Reservoir)
         .fault(FaultConfig {
             drop_probability: 0.05,
@@ -62,15 +87,15 @@ fn main() {
             seed: 13,
             ..FaultConfig::default()
         })
-        .validation(10, 20)
         .build()
         .expect("valid configuration");
 
-    let (_, report) = OnlineExperiment::new(config.clone())
+    let (_, report) = OnlineExperiment::new(config)
         .expect("valid configuration")
         .run();
     let transport = report
         .transport
+        .as_ref()
         .expect("online runs record transport stats");
     println!("  {}", report.summary());
     println!(
@@ -80,11 +105,66 @@ fn main() {
         transport.messages_dropped,
         transport.messages_duplicated
     );
-    println!(
-        "  unique samples trained on: {} of {} produced (dropped messages are the difference)",
-        report.unique_samples_trained, report.unique_samples_produced
-    );
     assert!(report.unique_samples_trained <= report.unique_samples_produced);
     assert!(report.min_validation_mse.is_some());
+
+    // Part 3: checkpoint-resume — the server checkpoints every 10 batches and
+    // is killed by a scripted fault mid-run. The resumed server restores the
+    // model and progress counters from the latest checkpoint and reruns only
+    // the simulations the checkpoint does not cover.
+    println!("\nPart 3: server crash mid-run, resume from the latest checkpoint");
+    let crashing = base_config()
+        .buffer(training_buffer::BufferConfig {
+            kind: BufferKind::Fifo,
+            capacity: 64,
+            threshold: 8,
+            seed: 5,
+        })
+        .fault(FaultConfig {
+            plan: FaultPlan::none().with_server_crash(16),
+            ..FaultConfig::default()
+        })
+        .checkpoint_every_batches(4)
+        .build()
+        .expect("valid configuration");
+
+    let (_, crash_report, checkpoint) = OnlineExperiment::new(crashing)
+        .expect("valid configuration")
+        .run_recoverable();
+    assert!(crash_report.crashed, "the scripted server crash must fire");
+    let checkpoint = checkpoint.expect("checkpoints were being taken");
+    println!(
+        "  crashed after {} checkpoints; latest covers {} completed simulations at batch {}",
+        crash_report.checkpoints_taken,
+        checkpoint.completed_simulations.len(),
+        checkpoint.batches_trained
+    );
+
+    let resumed = base_config()
+        .buffer(training_buffer::BufferConfig {
+            kind: BufferKind::Fifo,
+            capacity: 64,
+            threshold: 8,
+            seed: 5,
+        })
+        .checkpoint_every_batches(4)
+        .build()
+        .expect("valid configuration");
+    let (_, resume_report, _) = OnlineExperiment::new(resumed)
+        .expect("valid configuration")
+        .resume(&checkpoint);
+    println!("  resumed: {}", resume_report.summary());
+    println!(
+        "  reran {} of {} simulations, starting from batch {}",
+        10 - checkpoint.completed_simulations.len(),
+        10,
+        resume_report.resumed_from_batches.expect("resumed run"),
+    );
+    assert!(!resume_report.crashed, "the resumed run must complete");
+    assert_eq!(
+        resume_report.resumed_from_batches,
+        Some(checkpoint.batches_trained)
+    );
+
     println!("\nTraining completed despite the injected faults.");
 }
