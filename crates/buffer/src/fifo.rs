@@ -7,7 +7,7 @@
 
 use crate::lock_order;
 use crate::stats::BufferStats;
-use crate::traits::{BufferKind, TrainingBuffer};
+use crate::traits::{BufferKind, Evicted, EvictionObserver, TrainingBuffer};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 
@@ -15,6 +15,7 @@ struct Inner<T> {
     queue: VecDeque<T>,
     reception_over: bool,
     stats: BufferStats,
+    observer: Option<EvictionObserver<T>>,
 }
 
 /// Bounded FIFO queue with blocking producer and consumer sides.
@@ -37,6 +38,7 @@ impl<T> FifoBuffer<T> {
                 queue: VecDeque::with_capacity(capacity),
                 reception_over: false,
                 stats: BufferStats::default(),
+                observer: None,
             }),
             not_full: Condvar::new(),
             available: Condvar::new(),
@@ -95,6 +97,9 @@ impl<T: Clone + Send> TrainingBuffer<T> for FifoBuffer<T> {
             // side has shut down (e.g. a server crash) and will never drain
             // it — drop the item instead of blocking forever.
             if inner.reception_over {
+                if let Some(observer) = &inner.observer {
+                    observer(&item, Evicted::Untrained);
+                }
                 return;
             }
             inner.stats.producer_waits += 1;
@@ -133,12 +138,20 @@ impl<T: Clone + Send> TrainingBuffer<T> for FifoBuffer<T> {
         }
         // analysis: allow(blocking, reason = "one bounded lock acquisition per ingest batch is the insertion contract")
         let mut inner = self.lock_inner();
-        for item in items.drain(..) {
+        let mut pending = items.drain(..);
+        while let Some(item) = pending.next() {
             while inner.queue.len() >= self.capacity {
                 // Reception over with a full queue means the consumer side
                 // has shut down (e.g. a server crash): drop the rest of the
-                // batch instead of blocking forever.
+                // batch instead of blocking forever, reporting every dropped
+                // sample so recovery accounting knows its data was lost.
                 if inner.reception_over {
+                    if let Some(observer) = &inner.observer {
+                        observer(&item, Evicted::Untrained);
+                        for rest in pending {
+                            observer(&rest, Evicted::Untrained);
+                        }
+                    }
                     return;
                 }
                 inner.stats.producer_waits += 1;
@@ -164,6 +177,10 @@ impl<T: Clone + Send> TrainingBuffer<T> for FifoBuffer<T> {
     // analysis: hot_path
     fn get_batch_with(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
         self.serve_batch(n, |item| visit(&item))
+    }
+
+    fn set_eviction_observer(&self, observer: crate::traits::EvictionObserver<T>) {
+        self.lock_inner().observer = Some(observer);
     }
 
     fn mark_reception_over(&self) {
@@ -338,6 +355,36 @@ mod tests {
         }
         handle.join().unwrap();
         assert_eq!(out, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crash_drops_are_reported_to_the_eviction_observer() {
+        use crate::traits::Evicted;
+        use parking_lot::Mutex;
+        let buffer = FifoBuffer::new(2);
+        let dropped: Arc<Mutex<Vec<(u32, Evicted)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&dropped);
+        buffer.set_eviction_observer(Arc::new(move |item: &u32, kind| {
+            sink.lock().push((*item, kind));
+        }));
+        buffer.put(1);
+        buffer.put(2);
+        buffer.mark_reception_over();
+        // Single put against a full, shut-down queue: dropped and reported.
+        buffer.put(3);
+        // Batched put: the first two fit nowhere, the whole tail is reported.
+        let mut items = vec![4, 5];
+        buffer.put_many(&mut items);
+        let seen = dropped.lock().clone();
+        assert_eq!(
+            seen,
+            vec![
+                (3, Evicted::Untrained),
+                (4, Evicted::Untrained),
+                (5, Evicted::Untrained)
+            ]
+        );
+        assert_eq!(buffer.len(), 2, "stored samples are untouched");
     }
 
     #[test]

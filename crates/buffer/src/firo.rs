@@ -9,7 +9,7 @@
 
 use crate::lock_order;
 use crate::stats::BufferStats;
-use crate::traits::{BufferKind, TrainingBuffer};
+use crate::traits::{BufferKind, Evicted, EvictionObserver, TrainingBuffer};
 use parking_lot::{Condvar, Mutex};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -19,6 +19,7 @@ struct Inner<T> {
     reception_over: bool,
     stats: BufferStats,
     rng: ChaCha8Rng,
+    observer: Option<EvictionObserver<T>>,
 }
 
 /// Bounded buffer with random extraction and a minimum-population threshold.
@@ -48,6 +49,7 @@ impl<T> FiroBuffer<T> {
                 reception_over: false,
                 stats: BufferStats::default(),
                 rng: ChaCha8Rng::seed_from_u64(seed),
+                observer: None,
             }),
             not_full: Condvar::new(),
             available: Condvar::new(),
@@ -118,6 +120,9 @@ impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
             // shut down (e.g. a server crash): drop the item instead of
             // blocking forever.
             if inner.reception_over {
+                if let Some(observer) = &inner.observer {
+                    observer(&item, Evicted::Untrained);
+                }
                 return;
             }
             inner.stats.producer_waits += 1;
@@ -164,12 +169,20 @@ impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
         }
         // analysis: allow(blocking, reason = "one bounded lock acquisition per ingest batch is the insertion contract")
         let mut inner = self.lock_inner();
-        for item in items.drain(..) {
+        let mut pending = items.drain(..);
+        while let Some(item) = pending.next() {
             while inner.items.len() >= self.capacity {
                 // Reception over with a full buffer means the consumer side
                 // has shut down (e.g. a server crash): drop the rest of the
-                // batch instead of blocking forever.
+                // batch instead of blocking forever, reporting every dropped
+                // sample so recovery accounting knows its data was lost.
                 if inner.reception_over {
+                    if let Some(observer) = &inner.observer {
+                        observer(&item, Evicted::Untrained);
+                        for rest in pending {
+                            observer(&rest, Evicted::Untrained);
+                        }
+                    }
                     return;
                 }
                 inner.stats.producer_waits += 1;
@@ -192,6 +205,10 @@ impl<T: Clone + Send> TrainingBuffer<T> for FiroBuffer<T> {
     // analysis: hot_path
     fn get_batch_with(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
         self.serve_batch(n, |item| visit(&item))
+    }
+
+    fn set_eviction_observer(&self, observer: EvictionObserver<T>) {
+        self.lock_inner().observer = Some(observer);
     }
 
     fn mark_reception_over(&self) {
@@ -362,6 +379,32 @@ mod tests {
         let out = handle.join().unwrap();
         assert_eq!(out.len(), 4);
         assert_eq!(buffer.len(), 4, "population stops at the threshold");
+    }
+
+    #[test]
+    fn crash_drops_are_reported_to_the_eviction_observer() {
+        use parking_lot::Mutex;
+        let buffer = FiroBuffer::new(2, 1, 11);
+        let dropped: Arc<Mutex<Vec<(u32, Evicted)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&dropped);
+        buffer.set_eviction_observer(Arc::new(move |item: &u32, kind| {
+            sink.lock().push((*item, kind));
+        }));
+        buffer.put(1);
+        buffer.put(2);
+        buffer.mark_reception_over();
+        buffer.put(3);
+        let mut items = vec![4, 5];
+        buffer.put_many(&mut items);
+        let seen = dropped.lock().clone();
+        assert_eq!(
+            seen,
+            vec![
+                (3, Evicted::Untrained),
+                (4, Evicted::Untrained),
+                (5, Evicted::Untrained)
+            ]
+        );
     }
 
     #[test]

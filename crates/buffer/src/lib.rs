@@ -45,7 +45,7 @@ pub use reservoir::ReservoirBuffer;
 pub use sampling::ReservoirSampler;
 pub use sharded::{shard_draw_seed, shard_seed, ShardedBuffer};
 pub use stats::{BufferStats, OccupancySnapshot};
-pub use traits::{BufferConfig, BufferKind, TrainingBuffer};
+pub use traits::{BufferConfig, BufferKind, Evicted, EvictionObserver, TrainingBuffer};
 
 /// Builds a boxed training buffer of the requested kind (convenience used by
 /// the experiment harnesses to sweep over buffer policies).

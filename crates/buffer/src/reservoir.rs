@@ -18,7 +18,7 @@
 
 use crate::lock_order;
 use crate::stats::BufferStats;
-use crate::traits::{BufferKind, TrainingBuffer};
+use crate::traits::{BufferKind, Evicted, EvictionObserver, TrainingBuffer};
 use parking_lot::{Condvar, Mutex};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -36,6 +36,7 @@ struct Inner<T> {
     reception_over: bool,
     stats: BufferStats,
     rng: ChaCha8Rng,
+    observer: Option<EvictionObserver<T>>,
 }
 
 impl<T> Inner<T> {
@@ -89,6 +90,7 @@ impl<T> ReservoirBuffer<T> {
                 reception_over: false,
                 stats: BufferStats::default(),
                 rng: ChaCha8Rng::seed_from_u64(seed),
+                observer: None,
             }),
             not_full: Condvar::new(),
             available: Condvar::new(),
@@ -184,11 +186,24 @@ impl<T: Clone> ReservoirBuffer<T> {
 
 impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
     /// Algorithm 1, `put`: block while the buffer is full of unseen samples
-    /// (never discard unseen data); otherwise evict a random seen sample if the
-    /// total population is at capacity, then store the new sample as unseen.
+    /// (never discard unseen data while reception is live — once reception is
+    /// over a full buffer drops the sample instead, reported as untrained);
+    /// otherwise evict a random seen sample if the total population is at
+    /// capacity, then store the new sample as unseen.
     fn put(&self, item: T) {
         let mut inner = self.lock_inner();
         while inner.unseen() >= self.capacity {
+            // Reception over while the unseen population still fills the
+            // reservoir: the consumer side has shut down (e.g. a server
+            // crash) and will never serve the unseen backlog — drop the
+            // item instead of blocking forever. "Never discard unseen data"
+            // only binds while someone is still training on it.
+            if inner.reception_over {
+                if let Some(observer) = &inner.observer {
+                    observer(&item, Evicted::Untrained);
+                }
+                return;
+            }
             inner.stats.producer_waits += 1;
             self.not_full.wait(&mut inner.guard);
         }
@@ -196,8 +211,13 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
             debug_assert!(inner.seen > 0);
             let seen = inner.seen;
             let idx = inner.rng.gen_range(0..seen);
-            inner.remove_seen(idx);
+            let evicted = inner.remove_seen(idx);
             inner.stats.evictions += 1;
+            // The evicted sample was served at least once (only seen samples
+            // are evictable): recovery accounting keeps it as trained.
+            if let Some(observer) = &inner.observer {
+                observer(&evicted, Evicted::Trained);
+            }
         }
         inner.items.push(item);
         inner.stats.puts += 1;
@@ -270,8 +290,23 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
         }
         // analysis: allow(blocking, reason = "one bounded lock acquisition per ingest batch is the insertion contract")
         let mut inner = self.lock_inner();
-        for item in items.drain(..) {
+        let mut pending = items.drain(..);
+        while let Some(item) = pending.next() {
             while inner.unseen() >= self.capacity {
+                // Reception over with the reservoir full of unseen samples
+                // means the consumer side has shut down (e.g. a server
+                // crash): drop the rest of the batch instead of blocking
+                // forever, reporting every dropped sample so recovery
+                // accounting knows its data was lost.
+                if inner.reception_over {
+                    if let Some(observer) = &inner.observer {
+                        observer(&item, Evicted::Untrained);
+                        for rest in pending {
+                            observer(&rest, Evicted::Untrained);
+                        }
+                    }
+                    return;
+                }
                 inner.stats.producer_waits += 1;
                 self.available.notify_all();
                 // analysis: allow(blocking, reason = "producer backpressure: unseen population at capacity — waiting here IS the policy")
@@ -281,8 +316,11 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
                 debug_assert!(inner.seen > 0);
                 let seen = inner.seen;
                 let idx = inner.rng.gen_range(0..seen);
-                inner.remove_seen(idx);
+                let evicted = inner.remove_seen(idx);
                 inner.stats.evictions += 1;
+                if let Some(observer) = &inner.observer {
+                    observer(&evicted, Evicted::Trained);
+                }
             }
             inner.items.push(item);
             inner.stats.puts += 1;
@@ -349,6 +387,10 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
     // analysis: hot_path
     fn get_batch_with(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
         self.serve_batch_visit(n, visit)
+    }
+
+    fn set_eviction_observer(&self, observer: EvictionObserver<T>) {
+        self.lock_inner().observer = Some(observer);
     }
 
     fn mark_reception_over(&self) {
@@ -427,6 +469,51 @@ mod tests {
         let _ = buffer.get();
         handle.join().unwrap();
         assert_eq!(buffer.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reception_over_unblocks_producers_stuck_on_unseen_data() {
+        // A server crash ends reception while the reservoir is still full of
+        // unseen samples and the consumer is gone. A producer parked in
+        // `put_many` must be woken and drop its batch (reported as untrained)
+        // rather than wait forever for a drain that will never come.
+        let buffer = Arc::new(ReservoirBuffer::new(4, 1, 11));
+        let sink = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        {
+            let sink = Arc::clone(&sink);
+            buffer.set_eviction_observer(Arc::new(move |item: &u32, kind| {
+                sink.lock().push((*item, kind));
+            }));
+        }
+        for k in 0..4u32 {
+            buffer.put(k);
+        }
+        let producer = Arc::clone(&buffer);
+        let handle = std::thread::spawn(move || {
+            let mut batch = vec![100, 101];
+            producer.put_many(&mut batch);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !handle.is_finished(),
+            "producer must block while reception is live"
+        );
+        buffer.mark_reception_over();
+        handle.join().unwrap();
+        // A put against the full, shut-down reservoir returns immediately too.
+        buffer.put(102);
+        let dropped = sink.lock().clone();
+        assert_eq!(
+            dropped,
+            vec![
+                (100, Evicted::Untrained),
+                (101, Evicted::Untrained),
+                (102, Evicted::Untrained)
+            ]
+        );
+        // Nothing was evicted (only dropped): the stored population is intact.
+        assert_eq!(buffer.len(), 4);
+        assert_eq!(buffer.stats().evictions, 0);
     }
 
     #[test]
@@ -637,6 +724,32 @@ mod tests {
         while visited_buffer.get_batch_with(3, &mut |v| drained.push(*v)) > 0 {}
         assert_eq!(visited_buffer.len(), 0);
         assert_eq!(drained.len(), 8);
+    }
+
+    #[test]
+    fn evictions_are_reported_as_trained() {
+        let buffer = ReservoirBuffer::new(4, 1, 7);
+        let evicted: Arc<Mutex<Vec<(u32, Evicted)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&evicted);
+        buffer.set_eviction_observer(Arc::new(move |item: &u32, kind| {
+            sink.lock().push((*item, kind));
+        }));
+        for k in 0..4u32 {
+            buffer.put(k);
+        }
+        // Two samples become seen, then two fresh puts evict seen samples.
+        let _ = buffer.get();
+        let _ = buffer.get();
+        buffer.put(100);
+        buffer.put(101);
+        let seen = evicted.lock().clone();
+        assert_eq!(seen.len(), 2);
+        assert!(seen.iter().all(|(_, kind)| *kind == Evicted::Trained));
+        // put_many eviction path reports too.
+        let _ = buffer.get();
+        let mut items = vec![102u32];
+        buffer.put_many(&mut items);
+        assert_eq!(evicted.lock().len(), 3);
     }
 
     #[test]

@@ -38,11 +38,12 @@
 use crate::build_buffer;
 use crate::lock_order;
 use crate::stats::BufferStats;
-use crate::traits::{BufferConfig, BufferKind, TrainingBuffer};
+use crate::traits::{BufferConfig, BufferKind, EvictionObserver, TrainingBuffer};
 use parking_lot::{Condvar, Mutex};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Seed of sub-buffer `shard` under seed-policy version 2. Shard 0 keeps the
 /// base seed (which is how `shards == 1` reproduces the version-1 stream);
@@ -303,6 +304,14 @@ impl<T: Clone + Send + 'static> TrainingBuffer<T> for ShardedBuffer<T> {
             return self.shards[0].get_batch_with(n, visit);
         }
         self.serve_across_shards(n, |shard| self.shards[shard].get_batch_with(1, visit))
+    }
+
+    /// Installs the observer on every sub-buffer (each shard evicts or drops
+    /// independently under its own lock).
+    fn set_eviction_observer(&self, observer: EvictionObserver<T>) {
+        for shard in &self.shards {
+            shard.set_eviction_observer(Arc::clone(&observer));
+        }
     }
 
     fn mark_reception_over(&self) {

@@ -2,6 +2,31 @@
 
 use crate::stats::BufferStats;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Why a buffer permanently removed a sample outside the normal serve path.
+///
+/// Crash-recovery accounting needs to distinguish the two: a *trained*
+/// eviction does not invalidate a simulation's contribution to the model,
+/// while an *untrained* drop means its data was lost and the simulation must
+/// be rerun after a restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evicted {
+    /// The sample had already been served to training at least once — the
+    /// Reservoir evicting a *seen* sample to make room (Algorithm 1).
+    Trained,
+    /// The sample was dropped without ever being served — every buffer kind
+    /// discards late arrivals once reception ended with a full queue
+    /// (the server-crash shutdown path; the Reservoir drops even unseen
+    /// samples then, since nothing will ever train on them).
+    Untrained,
+}
+
+/// Callback invoked when a buffer permanently removes a sample outside the
+/// normal serve path. Runs under the buffer lock, so it must be short and
+/// must not call back into the buffer (same contract as the
+/// [`TrainingBuffer::get_batch_with`] visitor).
+pub type EvictionObserver<T> = Arc<dyn Fn(&T, Evicted) + Send + Sync>;
 
 /// The available buffer policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -128,6 +153,12 @@ pub trait TrainingBuffer<T: Clone + Send>: Send + Sync {
         }
         served
     }
+
+    /// Installs an observer invoked whenever the buffer permanently removes a
+    /// sample outside the normal serve path (see [`Evicted`]). At most one
+    /// observer is active; installing replaces any previous one. The default
+    /// is a no-op for policies that never remove samples this way.
+    fn set_eviction_observer(&self, _observer: EvictionObserver<T>) {}
 
     /// Signals that no more data will be produced (all clients finished).
     fn mark_reception_over(&self);

@@ -8,9 +8,11 @@ use crate::error::ConfigError;
 use crate::workload_spec::WorkloadSpec;
 use heat_solver::SolverConfig;
 use melissa_ensemble::{CampaignPlan, LauncherConfig, SamplerKind};
+use melissa_transport::fingerprint64;
 use melissa_transport::FaultConfig;
 use melissa_workload::PARAM_DIM;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 use surrogate_nn::{Activation, InitScheme, MlpConfig};
 use training_buffer::{BufferConfig, BufferKind};
@@ -141,6 +143,66 @@ impl TrainingConfig {
     }
 }
 
+/// On-disk durability of the recovery state (see [`crate::durable`]).
+///
+/// When present on an [`ExperimentConfig`], rank 0 writes crash-safe
+/// checkpoints and an append-only completion journal into `directory`, and
+/// [`crate::OnlineExperiment::resume_from_dir`] can restart the experiment
+/// from that directory after a process kill.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Directory holding the checkpoint files and the journal (a string
+    /// rather than a `PathBuf` because the vendored serde has no path
+    /// impls; use [`DurabilityConfig::directory_path`] to consume it).
+    pub directory: String,
+    /// Durably save a checkpoint every this many trained batches on rank 0;
+    /// 0 inherits [`ExperimentConfig::checkpoint_every_batches`].
+    #[serde(default)]
+    pub checkpoint_every_batches: usize,
+    /// Fsync the journal every this many appended completion records (the
+    /// recorder also flushes after each batch of completions); clamped to at
+    /// least 1.
+    #[serde(default = "default_journal_flush_every")]
+    pub journal_flush_every: usize,
+    /// Keep the newest K checkpoint files; clamped to at least 1.
+    #[serde(default = "default_keep_last")]
+    pub keep_last: usize,
+}
+
+fn default_journal_flush_every() -> usize {
+    8
+}
+
+fn default_keep_last() -> usize {
+    3
+}
+
+impl DurabilityConfig {
+    /// A configuration with the default cadence and retention for `directory`.
+    pub fn new(directory: impl Into<String>) -> Self {
+        Self {
+            directory: directory.into(),
+            checkpoint_every_batches: 0,
+            journal_flush_every: default_journal_flush_every(),
+            keep_last: default_keep_last(),
+        }
+    }
+
+    /// The durability directory as a path.
+    pub fn directory_path(&self) -> PathBuf {
+        Path::new(&self.directory).to_path_buf()
+    }
+
+    /// The checkpoint cadence after inheriting `fallback` when unset here.
+    pub fn effective_checkpoint_every(&self, fallback: usize) -> usize {
+        if self.checkpoint_every_batches > 0 {
+            self.checkpoint_every_batches
+        } else {
+            fallback
+        }
+    }
+}
+
 /// The full description of one experiment (online or offline).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -165,6 +227,12 @@ pub struct ExperimentConfig {
     /// server resumes from after a crash (§3.1).
     #[serde(default)]
     pub checkpoint_every_batches: usize,
+    /// On-disk durability of the recovery state: when set, checkpoints and
+    /// the completion journal are persisted into the configured directory so
+    /// a killed process can resume from disk. `None` (the default) keeps the
+    /// PR 8 in-memory behaviour.
+    #[serde(default)]
+    pub durability: Option<DurabilityConfig>,
     /// Capacity of each shard's inbound channel.
     pub channel_capacity: usize,
     /// Ingest shards per rank: the number of data-aggregator worker threads
@@ -209,6 +277,7 @@ impl ExperimentConfig {
             fault: FaultConfig::none(),
             launcher: LauncherConfig::default(),
             checkpoint_every_batches: 0,
+            durability: None,
             channel_capacity: 256,
             ingest_shards: 1,
             seed: 1,
@@ -240,6 +309,7 @@ impl ExperimentConfig {
             fault: FaultConfig::none(),
             launcher: LauncherConfig::default(),
             checkpoint_every_batches: 0,
+            durability: None,
             channel_capacity: 1024,
             ingest_shards: 1,
             seed: 7,
@@ -296,6 +366,33 @@ impl ExperimentConfig {
     /// training campaign's seed so the two parameter sets never coincide.
     pub fn validation_seed(&self) -> u64 {
         self.seed.wrapping_add(0x5EED_5EED)
+    }
+
+    /// A stable fingerprint of the fields that determine the *semantics* of
+    /// the run — which simulations exist, what they stream, how training
+    /// consumes it. Durable checkpoints and journals are stamped with this so
+    /// a resume against a semantically different configuration is rejected.
+    /// Operational knobs (delays, channel capacities, device emulation) are
+    /// deliberately excluded: changing them must not block a resume.
+    pub fn config_fingerprint(&self) -> u64 {
+        let semantic = format!(
+            "workload={} steps={} field={} campaign={} sampler={:?} campaign_seed={} \
+             buffer={:?}/{}/{}/{} ranks={} batch={} seed={}",
+            self.workload.name(),
+            self.workload.steps(),
+            self.workload.field_len(),
+            self.campaign.total_clients(),
+            self.campaign.sampler,
+            self.campaign.seed,
+            self.buffer.kind,
+            self.buffer.capacity,
+            self.buffer.threshold,
+            self.buffer.seed,
+            self.training.num_ranks,
+            self.training.batch_size,
+            self.seed,
+        );
+        fingerprint64(semantic.as_bytes())
     }
 
     /// Validates cross-field consistency.
@@ -412,6 +509,12 @@ impl ExperimentConfigBuilder {
     /// Sets the checkpoint cadence in trained batches (0 disables).
     pub fn checkpoint_every_batches(mut self, batches: usize) -> Self {
         self.config.checkpoint_every_batches = batches;
+        self
+    }
+
+    /// Enables on-disk durability of the recovery state.
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.config.durability = Some(durability);
         self
     }
 
@@ -596,6 +699,47 @@ mod tests {
         assert_eq!(config.total_unique_samples(), 6 * 25);
         assert_eq!(config.output_size(), 256);
         assert_eq!(config.seed, 9);
+    }
+
+    #[test]
+    fn fingerprint_tracks_semantic_fields_only() {
+        let base = ExperimentConfig::small_scale();
+        assert_eq!(base.config_fingerprint(), base.config_fingerprint());
+
+        let mut seeded = base.clone();
+        seeded.seed = base.seed + 1;
+        assert_ne!(seeded.config_fingerprint(), base.config_fingerprint());
+
+        let mut resized = base.clone();
+        resized.buffer.capacity += 1;
+        assert_ne!(resized.config_fingerprint(), base.config_fingerprint());
+
+        // Operational knobs must not perturb the fingerprint.
+        let mut operational = base.clone();
+        operational.channel_capacity *= 2;
+        operational.training.device.extra_batch_micros = 999;
+        operational.campaign.inter_series_delay = Duration::from_millis(5);
+        assert_eq!(operational.config_fingerprint(), base.config_fingerprint());
+    }
+
+    #[test]
+    fn durability_config_defaults_and_inheritance() {
+        let d = DurabilityConfig::new("/tmp/somewhere");
+        assert_eq!(d.keep_last, 3);
+        assert_eq!(d.journal_flush_every, 8);
+        assert_eq!(d.effective_checkpoint_every(25), 25);
+        let explicit = DurabilityConfig {
+            checkpoint_every_batches: 10,
+            ..d
+        };
+        assert_eq!(explicit.effective_checkpoint_every(25), 10);
+
+        let config = ExperimentConfig::builder()
+            .durability(DurabilityConfig::new("/tmp/somewhere"))
+            .build()
+            .unwrap();
+        assert!(config.durability.is_some());
+        assert!(ExperimentConfig::small_scale().durability.is_none());
     }
 
     #[test]

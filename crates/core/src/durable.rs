@@ -1,0 +1,1045 @@
+//! Crash-safe on-disk durability for the recovery state: checkpoint store,
+//! completion journal and the recorder that feeds both from the training loop.
+//!
+//! PR 8 implemented the paper's §3.1 fault-tolerance protocol for *in-process*
+//! crashes only: checkpoints lived in a [`crate::recovery::CheckpointStore`]
+//! in memory, so a real `kill -9` discarded every batch trained. This module
+//! makes the recovery state survive process death:
+//!
+//! * [`DurableCheckpointStore`] — writes each [`ServerCheckpoint`] with the
+//!   atomic protocol (serialize → temp file → fsync → rename → fsync
+//!   directory) under a self-describing header and an embedded
+//!   [`Checksum64`], so a torn write or bit corruption is *detected* and the
+//!   store falls back to the newest earlier checkpoint that still validates.
+//!   Retention keeps the last K checkpoints.
+//! * [`CompletionJournal`] — a tiny append-only log of per-simulation
+//!   completion deltas between checkpoints, fsync-batched and replayed on
+//!   open. A torn tail record is dropped, never trusted, so the journal
+//!   tolerates truncation at any byte. It shrinks the re-simulation window
+//!   from "since the last checkpoint" to "since the last journal flush": a
+//!   simulation recorded completed was fully trained by a previous
+//!   incarnation, so — like the paper's message logs discarding replayed
+//!   traffic — a restart does not rerun it even when the model resumes from
+//!   an older checkpoint (per-simulation sample accounting stays
+//!   exactly-once across incarnations).
+//! * [`DurableRecorder`] — the bundle handed to the training loop through
+//!   [`crate::recovery::RecoveryHooks`]. All disk I/O runs on rank 0's
+//!   training thread between batches (never on the ingest hot path); a disk
+//!   error latches the recorder into a degraded mode that stops writing
+//!   instead of aborting training.
+//!
+//! ## On-disk formats (version 1, all integers little-endian)
+//!
+//! Checkpoint file `ckpt-<epoch>` (epoch = zero-padded decimal):
+//!
+//! ```text
+//! magic "MELCKPT\0" | version u32 | reserved u32 | experiment_seed u64
+//! | config_fingerprint u64 | epoch u64 | payload_len u64
+//! | payload (ServerCheckpoint JSON) | checksum u64 over all prior bytes
+//! ```
+//!
+//! Journal file `journal`:
+//!
+//! ```text
+//! magic "MELJRNL\0" | version u32 | reserved u32 | experiment_seed u64
+//! | config_fingerprint u64 | checksum u64 over all prior bytes
+//! | record* , record = seq u64 | simulation_id u64 | checksum u64
+//! ```
+//!
+//! Each record checksum covers the header identity plus the record's sequence
+//! number and simulation id, so records cannot be reordered, spliced from
+//! another run, or half-written without detection.
+
+use crate::checkpoint::ServerCheckpoint;
+use crate::error::ExperimentError;
+use melissa_transport::Checksum64;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Current version of both on-disk formats.
+pub const DURABLE_FORMAT_VERSION: u32 = 1;
+
+const CHECKPOINT_MAGIC: &[u8; 8] = b"MELCKPT\0";
+const JOURNAL_MAGIC: &[u8; 8] = b"MELJRNL\0";
+/// Fixed-size checkpoint header: magic + version + reserved + seed +
+/// fingerprint + epoch + payload length.
+const CHECKPOINT_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+/// Fixed-size journal header: magic + version + reserved + seed +
+/// fingerprint + checksum.
+const JOURNAL_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8;
+/// One journal record: sequence + simulation id + checksum.
+const JOURNAL_RECORD_LEN: usize = 8 + 8 + 8;
+const CHECKPOINT_PREFIX: &str = "ckpt-";
+const JOURNAL_FILE: &str = "journal";
+
+/// Why a durable artifact was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// The file is shorter than its fixed header.
+    TruncatedHeader,
+    /// The magic bytes are not this format's.
+    BadMagic,
+    /// The format version is not [`DURABLE_FORMAT_VERSION`].
+    UnsupportedVersion,
+    /// The payload length field points past the end of the file.
+    TruncatedPayload,
+    /// The embedded checksum does not match the stored bytes.
+    ChecksumMismatch,
+    /// The checksummed payload does not deserialize.
+    BadPayload,
+}
+
+impl std::fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            CorruptKind::TruncatedHeader => "file shorter than its header",
+            CorruptKind::BadMagic => "bad magic bytes",
+            CorruptKind::UnsupportedVersion => "unsupported format version",
+            CorruptKind::TruncatedPayload => "payload truncated",
+            CorruptKind::ChecksumMismatch => "checksum mismatch",
+            CorruptKind::BadPayload => "payload does not deserialize",
+        };
+        f.write_str(text)
+    }
+}
+
+/// A typed durability failure: every corruption or identity mismatch is
+/// reported through this, never a panic or a silent wrong resume.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// An operating-system I/O failure at `path`.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The experiment configuration itself was rejected.
+    Config(ExperimentError),
+    /// The durability directory does not exist.
+    MissingDirectory(PathBuf),
+    /// A file failed structural validation.
+    Corrupt {
+        /// The rejected file.
+        path: PathBuf,
+        /// What failed.
+        kind: CorruptKind,
+    },
+    /// A structurally valid file belongs to a different experiment (seed or
+    /// config fingerprint differs).
+    IdentityMismatch {
+        /// The rejected file.
+        path: PathBuf,
+        /// Which identity field differed.
+        field: &'static str,
+        /// The value this experiment expects.
+        expected: u64,
+        /// The value found in the file.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Io { path, source } => {
+                write!(f, "I/O error at {}: {source}", path.display())
+            }
+            DurabilityError::Config(e) => write!(f, "configuration rejected: {e}"),
+            DurabilityError::MissingDirectory(path) => {
+                write!(f, "durability directory {} does not exist", path.display())
+            }
+            DurabilityError::Corrupt { path, kind } => {
+                write!(f, "corrupt durable file {}: {kind}", path.display())
+            }
+            DurabilityError::IdentityMismatch {
+                path,
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "durable file {} belongs to a different experiment: {field} {found:#x} != expected {expected:#x}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Io { source, .. } => Some(source),
+            DurabilityError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExperimentError> for DurabilityError {
+    fn from(e: ExperimentError) -> Self {
+        DurabilityError::Config(e)
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> DurabilityError {
+    DurabilityError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// The identity stamped into every durable header: a file from a different
+/// experiment (other seed or other configuration) is rejected up front
+/// instead of silently resuming the wrong run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableIdentity {
+    /// The experiment seed.
+    pub experiment_seed: u64,
+    /// [`crate::config::ExperimentConfig::config_fingerprint`] of the run.
+    pub config_fingerprint: u64,
+}
+
+/// Little-endian integer append helpers shared by both writers.
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(bytes: &[u8], offset: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[offset..offset + 4]);
+    u32::from_le_bytes(raw)
+}
+
+fn read_u64(bytes: &[u8], offset: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[offset..offset + 8]);
+    u64::from_le_bytes(raw)
+}
+
+/// Writes `bytes` to `path` with the atomic protocol: temp file in the same
+/// directory → `fsync` → rename over `path` → `fsync` the directory, so the
+/// file is either fully the old content or fully the new one, never torn.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), DurabilityError> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "durable".to_string());
+    let tmp = dir.join(format!(".tmp-{file_name}"));
+    {
+        let mut file = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        file.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+        file.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    fsync_dir(dir)
+}
+
+/// Fsyncs a directory so a rename or creation within it is durable.
+fn fsync_dir(dir: &Path) -> Result<(), DurabilityError> {
+    let handle = File::open(dir).map_err(|e| io_err(dir, e))?;
+    handle.sync_all().map_err(|e| io_err(dir, e))
+}
+
+/// Serialises `checkpoint` into the version-1 checkpoint file format.
+fn encode_checkpoint(
+    checkpoint: &ServerCheckpoint,
+    identity: DurableIdentity,
+    epoch: u64,
+) -> Result<Vec<u8>, DurabilityError> {
+    let payload = checkpoint.to_json().map_err(|_| DurabilityError::Corrupt {
+        path: PathBuf::from("<in-memory checkpoint>"),
+        kind: CorruptKind::BadPayload,
+    })?;
+    let payload = payload.into_bytes();
+    let mut bytes = Vec::with_capacity(CHECKPOINT_HEADER_LEN + payload.len() + 8);
+    bytes.extend_from_slice(CHECKPOINT_MAGIC);
+    push_u32(&mut bytes, DURABLE_FORMAT_VERSION);
+    push_u32(&mut bytes, 0); // reserved
+    push_u64(&mut bytes, identity.experiment_seed);
+    push_u64(&mut bytes, identity.config_fingerprint);
+    push_u64(&mut bytes, epoch);
+    push_u64(&mut bytes, payload.len() as u64);
+    bytes.extend_from_slice(&payload);
+    let checksum = Checksum64::digest(&bytes);
+    push_u64(&mut bytes, checksum);
+    Ok(bytes)
+}
+
+/// Parses and validates one checkpoint file, returning its epoch and payload.
+fn decode_checkpoint(
+    path: &Path,
+    bytes: &[u8],
+    identity: DurableIdentity,
+) -> Result<(u64, ServerCheckpoint), DurabilityError> {
+    let corrupt = |kind| DurabilityError::Corrupt {
+        path: path.to_path_buf(),
+        kind,
+    };
+    if bytes.len() < CHECKPOINT_HEADER_LEN + 8 {
+        return Err(corrupt(CorruptKind::TruncatedHeader));
+    }
+    if &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(corrupt(CorruptKind::BadMagic));
+    }
+    if read_u32(bytes, 8) != DURABLE_FORMAT_VERSION {
+        return Err(corrupt(CorruptKind::UnsupportedVersion));
+    }
+    let seed = read_u64(bytes, 16);
+    let fingerprint = read_u64(bytes, 24);
+    let epoch = read_u64(bytes, 32);
+    let payload_len = read_u64(bytes, 40) as usize;
+    let payload_end = CHECKPOINT_HEADER_LEN + payload_len;
+    if bytes.len() < payload_end + 8 {
+        return Err(corrupt(CorruptKind::TruncatedPayload));
+    }
+    let stored_checksum = read_u64(bytes, payload_end);
+    if Checksum64::digest(&bytes[..payload_end]) != stored_checksum {
+        return Err(corrupt(CorruptKind::ChecksumMismatch));
+    }
+    // Identity is checked only after the checksum proves the header intact,
+    // so a bit flip in the seed field reads as corruption, not as a
+    // different experiment.
+    if seed != identity.experiment_seed {
+        return Err(DurabilityError::IdentityMismatch {
+            path: path.to_path_buf(),
+            field: "experiment_seed",
+            expected: identity.experiment_seed,
+            found: seed,
+        });
+    }
+    if fingerprint != identity.config_fingerprint {
+        return Err(DurabilityError::IdentityMismatch {
+            path: path.to_path_buf(),
+            field: "config_fingerprint",
+            expected: identity.config_fingerprint,
+            found: fingerprint,
+        });
+    }
+    let json = std::str::from_utf8(&bytes[CHECKPOINT_HEADER_LEN..payload_end])
+        .map_err(|_| corrupt(CorruptKind::BadPayload))?;
+    let checkpoint =
+        ServerCheckpoint::from_json(json).map_err(|_| corrupt(CorruptKind::BadPayload))?;
+    Ok((epoch, checkpoint))
+}
+
+/// Rotation state of the durable store.
+#[derive(Debug, Default)]
+struct RotationState {
+    /// Epoch the next save will be written as.
+    next_epoch: u64,
+    /// Number of checkpoints durably saved by this store instance.
+    saved: usize,
+}
+
+/// Crash-safe checkpoint store over one durability directory.
+///
+/// Every save is atomic (serialize to a temp file, fsync, rename, fsync the
+/// directory); [`DurableCheckpointStore::load_latest`]
+/// scans all checkpoint files and returns the newest one that validates,
+/// skipping corrupt or foreign files — the automatic fallback required when
+/// the newest write was torn by the crash that the restart is recovering
+/// from. Retention keeps the newest `keep_last` files.
+#[derive(Debug)]
+pub struct DurableCheckpointStore {
+    dir: PathBuf,
+    identity: DurableIdentity,
+    keep_last: usize,
+    rotation: Mutex<RotationState>,
+}
+
+impl DurableCheckpointStore {
+    /// Opens (creating if needed) the store in `dir`. Epoch numbering
+    /// continues after the highest epoch already present, valid or not, so a
+    /// resumed run never overwrites an existing file.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        identity: DurableIdentity,
+        keep_last: usize,
+    ) -> Result<Self, DurabilityError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let mut next_epoch = 0;
+        for (epoch, _) in list_checkpoint_files(&dir)? {
+            next_epoch = next_epoch.max(epoch + 1);
+        }
+        Ok(Self {
+            dir,
+            identity,
+            keep_last: keep_last.max(1),
+            rotation: Mutex::new(RotationState {
+                next_epoch,
+                saved: 0,
+            }),
+        })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of checkpoints durably saved by this instance.
+    pub fn saved(&self) -> usize {
+        self.rotation.lock().saved
+    }
+
+    /// Durably saves `checkpoint` as the next epoch and applies retention.
+    /// Returns the epoch written.
+    pub fn save(&self, checkpoint: &ServerCheckpoint) -> Result<u64, DurabilityError> {
+        let mut rotation = self.rotation.lock();
+        let epoch = rotation.next_epoch;
+        let bytes = encode_checkpoint(checkpoint, self.identity, epoch)?;
+        atomic_write(&self.dir.join(checkpoint_file_name(epoch)), &bytes)?;
+        rotation.next_epoch += 1;
+        rotation.saved += 1;
+        // Retention under the same lock: saves are serialized, so the listing
+        // cannot race another rotation.
+        let mut files = list_checkpoint_files(&self.dir)?;
+        files.sort_by_key(|(epoch, _)| *epoch);
+        let excess = files.len().saturating_sub(self.keep_last);
+        for (_, path) in files.into_iter().take(excess) {
+            fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+        }
+        Ok(epoch)
+    }
+
+    /// Loads the newest checkpoint in the directory that passes validation,
+    /// with the epoch it was saved as. Corrupt and foreign files are
+    /// collected into the returned report instead of failing the whole load
+    /// — the fallback behaviour a crash-torn directory needs.
+    pub fn load_latest(&self) -> Result<LatestCheckpoint, DurabilityError> {
+        let mut files = list_checkpoint_files(&self.dir)?;
+        // Newest first: the first file that validates wins.
+        files.sort_by_key(|(epoch, _)| std::cmp::Reverse(*epoch));
+        let mut rejected = Vec::new();
+        let mut latest = None;
+        for (_, path) in files {
+            let mut bytes = Vec::new();
+            File::open(&path)
+                .and_then(|mut f| f.read_to_end(&mut bytes))
+                .map_err(|e| io_err(&path, e))?;
+            match decode_checkpoint(&path, &bytes, self.identity) {
+                Ok((epoch, checkpoint)) => {
+                    latest = Some((epoch, checkpoint));
+                    break;
+                }
+                Err(error) => rejected.push(error),
+            }
+        }
+        Ok(LatestCheckpoint { latest, rejected })
+    }
+}
+
+/// Result of scanning a durability directory for the newest valid checkpoint.
+#[derive(Debug)]
+pub struct LatestCheckpoint {
+    /// The newest `(epoch, checkpoint)` that validated, if any.
+    pub latest: Option<(u64, ServerCheckpoint)>,
+    /// Files newer than the loaded checkpoint that failed validation (torn,
+    /// corrupt or belonging to another experiment), newest first.
+    pub rejected: Vec<DurabilityError>,
+}
+
+fn checkpoint_file_name(epoch: u64) -> String {
+    format!("{CHECKPOINT_PREFIX}{epoch:010}")
+}
+
+/// All `ckpt-<epoch>` files in `dir` with their parsed epochs, unsorted.
+fn list_checkpoint_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    let mut files = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(epoch_text) = name.strip_prefix(CHECKPOINT_PREFIX) else {
+            continue;
+        };
+        let Ok(epoch) = epoch_text.parse::<u64>() else {
+            continue;
+        };
+        files.push((epoch, entry.path()));
+    }
+    Ok(files)
+}
+
+/// Serialises the journal header for `identity`.
+fn encode_journal_header(identity: DurableIdentity) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(JOURNAL_HEADER_LEN);
+    bytes.extend_from_slice(JOURNAL_MAGIC);
+    push_u32(&mut bytes, DURABLE_FORMAT_VERSION);
+    push_u32(&mut bytes, 0); // reserved
+    push_u64(&mut bytes, identity.experiment_seed);
+    push_u64(&mut bytes, identity.config_fingerprint);
+    let checksum = Checksum64::digest(&bytes);
+    push_u64(&mut bytes, checksum);
+    bytes
+}
+
+/// The checksum binding one journal record to its position and its run.
+fn journal_record_checksum(identity: DurableIdentity, seq: u64, simulation_id: u64) -> u64 {
+    let mut c = Checksum64::new();
+    c.update(JOURNAL_MAGIC);
+    c.update(&identity.experiment_seed.to_le_bytes());
+    c.update(&identity.config_fingerprint.to_le_bytes());
+    c.update(&seq.to_le_bytes());
+    c.update(&simulation_id.to_le_bytes());
+    c.finish()
+}
+
+fn encode_journal_record(identity: DurableIdentity, seq: u64, simulation_id: u64) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(JOURNAL_RECORD_LEN);
+    push_u64(&mut bytes, seq);
+    push_u64(&mut bytes, simulation_id);
+    push_u64(
+        &mut bytes,
+        journal_record_checksum(identity, seq, simulation_id),
+    );
+    bytes
+}
+
+/// Writer state of the completion journal.
+#[derive(Debug)]
+struct JournalWriter {
+    file: File,
+    /// Sequence number of the next record.
+    next_seq: u64,
+    /// Records appended since the last fsync.
+    unflushed: usize,
+}
+
+/// Append-only, truncation-tolerant log of completed simulation ids.
+///
+/// Appends are batched: the file is fsynced every `flush_every` records (and
+/// on [`CompletionJournal::flush`]), so a crash loses at most the records
+/// since the last flush — exactly the re-simulation window the journal
+/// shrinks the recovery to. On open, the existing log is replayed: the
+/// header must validate, and records are read until the first torn or
+/// corrupt one, where the file is truncated so later appends extend a clean
+/// tail.
+#[derive(Debug)]
+pub struct CompletionJournal {
+    path: PathBuf,
+    identity: DurableIdentity,
+    flush_every: usize,
+    writer: Mutex<JournalWriter>,
+}
+
+impl CompletionJournal {
+    /// Opens (creating if needed) the journal at `dir/journal` and replays
+    /// it, returning the journal and the simulation ids already recorded.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        identity: DurableIdentity,
+        flush_every: usize,
+    ) -> Result<(Self, Vec<u64>), DurabilityError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let path = dir.join(JOURNAL_FILE);
+        let exists = path.exists();
+        if !exists {
+            atomic_write(&path, &encode_journal_header(identity))?;
+        }
+        let mut bytes = Vec::new();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        file.read_to_end(&mut bytes).map_err(|e| io_err(&path, e))?;
+        let (replayed, valid_len) = Self::replay(&path, &bytes, identity)?;
+        if valid_len < bytes.len() as u64 {
+            // Torn tail: drop it so the next append extends a clean log.
+            file.set_len(valid_len).map_err(|e| io_err(&path, e))?;
+            file.sync_all().map_err(|e| io_err(&path, e))?;
+        }
+        file.seek(SeekFrom::Start(valid_len))
+            .map_err(|e| io_err(&path, e))?;
+        let journal = Self {
+            path,
+            identity,
+            flush_every: flush_every.max(1),
+            writer: Mutex::new(JournalWriter {
+                file,
+                next_seq: replayed.len() as u64,
+                unflushed: 0,
+            }),
+        };
+        Ok((journal, replayed))
+    }
+
+    /// Validates the header and replays the records of `bytes`, returning
+    /// the recorded simulation ids and the byte length of the valid prefix.
+    /// Header problems are errors (the file is not a journal of this run);
+    /// record problems only end the replay (torn tail).
+    fn replay(
+        path: &Path,
+        bytes: &[u8],
+        identity: DurableIdentity,
+    ) -> Result<(Vec<u64>, u64), DurabilityError> {
+        let corrupt = |kind| DurabilityError::Corrupt {
+            path: path.to_path_buf(),
+            kind,
+        };
+        if bytes.len() < JOURNAL_HEADER_LEN {
+            return Err(corrupt(CorruptKind::TruncatedHeader));
+        }
+        if &bytes[..8] != JOURNAL_MAGIC {
+            return Err(corrupt(CorruptKind::BadMagic));
+        }
+        if read_u32(bytes, 8) != DURABLE_FORMAT_VERSION {
+            return Err(corrupt(CorruptKind::UnsupportedVersion));
+        }
+        let header_checksum = read_u64(bytes, JOURNAL_HEADER_LEN - 8);
+        if Checksum64::digest(&bytes[..JOURNAL_HEADER_LEN - 8]) != header_checksum {
+            return Err(corrupt(CorruptKind::ChecksumMismatch));
+        }
+        let seed = read_u64(bytes, 16);
+        if seed != identity.experiment_seed {
+            return Err(DurabilityError::IdentityMismatch {
+                path: path.to_path_buf(),
+                field: "experiment_seed",
+                expected: identity.experiment_seed,
+                found: seed,
+            });
+        }
+        let fingerprint = read_u64(bytes, 24);
+        if fingerprint != identity.config_fingerprint {
+            return Err(DurabilityError::IdentityMismatch {
+                path: path.to_path_buf(),
+                field: "config_fingerprint",
+                expected: identity.config_fingerprint,
+                found: fingerprint,
+            });
+        }
+        let mut replayed = Vec::new();
+        let mut offset = JOURNAL_HEADER_LEN;
+        while offset + JOURNAL_RECORD_LEN <= bytes.len() {
+            let seq = read_u64(bytes, offset);
+            let simulation_id = read_u64(bytes, offset + 8);
+            let stored = read_u64(bytes, offset + 16);
+            if seq != replayed.len() as u64
+                || stored != journal_record_checksum(identity, seq, simulation_id)
+            {
+                break;
+            }
+            replayed.push(simulation_id);
+            offset += JOURNAL_RECORD_LEN;
+        }
+        Ok((replayed, offset as u64))
+    }
+
+    /// Appends one completed simulation id. The write lands in the OS page
+    /// cache immediately and is fsynced every `flush_every` appends.
+    pub fn append(&self, simulation_id: u64) -> Result<(), DurabilityError> {
+        let mut writer = self.writer.lock();
+        let record = encode_journal_record(self.identity, writer.next_seq, simulation_id);
+        writer
+            .file
+            .write_all(&record)
+            .map_err(|e| io_err(&self.path, e))?;
+        writer.next_seq += 1;
+        writer.unflushed += 1;
+        if writer.unflushed >= self.flush_every {
+            writer.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+            writer.unflushed = 0;
+        }
+        Ok(())
+    }
+
+    /// Forces any unflushed records to disk.
+    pub fn flush(&self) -> Result<(), DurabilityError> {
+        let mut writer = self.writer.lock();
+        if writer.unflushed > 0 {
+            writer.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+            writer.unflushed = 0;
+        }
+        Ok(())
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// What the recorder has already made durable, plus its degraded-mode latch.
+#[derive(Debug, Default)]
+struct RecorderLedger {
+    /// Simulation ids already journaled (or subsumed by the checkpoint the
+    /// run resumed from): only deltas are appended.
+    journaled: HashSet<u64>,
+    /// First disk error encountered; once set, the recorder stops writing
+    /// (training continues without durability rather than aborting).
+    first_error: Option<DurabilityError>,
+}
+
+/// The durable sink handed to the training loop: checkpoints go to the
+/// [`DurableCheckpointStore`], completion deltas to the [`CompletionJournal`].
+///
+/// All methods are called from rank 0's training thread between batches —
+/// never from the ingest path — and never panic: a disk failure flips the
+/// recorder into a degraded mode that skips further writes and surfaces the
+/// first error through [`DurableRecorder::first_error`].
+#[derive(Debug)]
+pub struct DurableRecorder {
+    store: DurableCheckpointStore,
+    journal: CompletionJournal,
+    ledger: Mutex<RecorderLedger>,
+}
+
+impl DurableRecorder {
+    /// Bundles an opened store and journal. `already_durable` seeds the
+    /// journaled set with ids the journal replayed or the resumed checkpoint
+    /// carries, so they are not re-appended.
+    pub fn new(
+        store: DurableCheckpointStore,
+        journal: CompletionJournal,
+        already_durable: impl IntoIterator<Item = u64>,
+    ) -> Self {
+        Self {
+            store,
+            journal,
+            ledger: Mutex::new(RecorderLedger {
+                journaled: already_durable.into_iter().collect(),
+                first_error: None,
+            }),
+        }
+    }
+
+    /// Journals every id of `completed` not yet durable. Errors latch the
+    /// degraded mode instead of propagating into the training loop.
+    pub fn record_completions(&self, completed: &[u64]) {
+        let mut ledger = self.ledger.lock();
+        if ledger.first_error.is_some() {
+            return;
+        }
+        let mut appended = false;
+        for &simulation_id in completed {
+            if !ledger.journaled.insert(simulation_id) {
+                continue;
+            }
+            if let Err(error) = self.journal.append(simulation_id) {
+                ledger.first_error = Some(error);
+                return;
+            }
+            appended = true;
+        }
+        if appended {
+            if let Err(error) = self.journal.flush() {
+                ledger.first_error = Some(error);
+            }
+        }
+    }
+
+    /// Durably saves `checkpoint`; its completed set is marked journaled
+    /// (the checkpoint subsumes it). Errors latch the degraded mode.
+    pub fn record_checkpoint(&self, checkpoint: &ServerCheckpoint) {
+        let mut ledger = self.ledger.lock();
+        if ledger.first_error.is_some() {
+            return;
+        }
+        match self.store.save(checkpoint) {
+            Ok(_) => {
+                for &simulation_id in &checkpoint.completed_simulations {
+                    ledger.journaled.insert(simulation_id);
+                }
+            }
+            Err(error) => ledger.first_error = Some(error),
+        }
+    }
+
+    /// The first disk error encountered, if the recorder degraded.
+    pub fn first_error(&self) -> Option<String> {
+        self.ledger
+            .lock()
+            .first_error
+            .as_ref()
+            .map(|e| e.to_string())
+    }
+
+    /// Number of checkpoints durably saved.
+    pub fn checkpoints_saved(&self) -> usize {
+        self.store.saved()
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surrogate_nn::{Activation, InitScheme, Mlp, MlpConfig};
+
+    const IDENTITY: DurableIdentity = DurableIdentity {
+        experiment_seed: 42,
+        config_fingerprint: 0xFEED_BEEF,
+    };
+
+    fn model() -> Mlp {
+        Mlp::new(MlpConfig {
+            layer_sizes: vec![2, 4, 1],
+            activation: Activation::ReLU,
+            init: InitScheme::HeUniform,
+            seed: 1,
+        })
+    }
+
+    fn checkpoint(batches: usize, completed: Vec<u64>) -> ServerCheckpoint {
+        ServerCheckpoint::capture(&model(), batches, batches * 10, completed, 42)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("melissa-durable-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_returns_the_newest_checkpoint() {
+        let dir = temp_dir("roundtrip");
+        let store = DurableCheckpointStore::open(&dir, IDENTITY, 5).unwrap();
+        store.save(&checkpoint(2, vec![0])).unwrap();
+        store.save(&checkpoint(4, vec![0, 1])).unwrap();
+        let loaded = store.load_latest().unwrap();
+        let (epoch, cp) = loaded.latest.unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(cp.batches_trained, 4);
+        assert_eq!(cp.completed_simulations, vec![0, 1]);
+        assert!(loaded.rejected.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_only_the_newest_k() {
+        let dir = temp_dir("retention");
+        let store = DurableCheckpointStore::open(&dir, IDENTITY, 2).unwrap();
+        for batches in 1..=5 {
+            store.save(&checkpoint(batches, vec![])).unwrap();
+        }
+        let mut files = list_checkpoint_files(&dir).unwrap();
+        files.sort_by_key(|(epoch, _)| *epoch);
+        let epochs: Vec<u64> = files.iter().map(|(epoch, _)| *epoch).collect();
+        assert_eq!(epochs, vec![3, 4]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn epoch_numbering_continues_across_reopen() {
+        let dir = temp_dir("epochs");
+        {
+            let store = DurableCheckpointStore::open(&dir, IDENTITY, 5).unwrap();
+            store.save(&checkpoint(1, vec![])).unwrap();
+            store.save(&checkpoint(2, vec![])).unwrap();
+        }
+        let store = DurableCheckpointStore::open(&dir, IDENTITY, 5).unwrap();
+        let epoch = store.save(&checkpoint(3, vec![])).unwrap();
+        assert_eq!(epoch, 2, "epochs never collide across incarnations");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flips_anywhere_are_detected_and_fall_back() {
+        let dir = temp_dir("bitflip");
+        let store = DurableCheckpointStore::open(&dir, IDENTITY, 5).unwrap();
+        store.save(&checkpoint(2, vec![0])).unwrap();
+        store.save(&checkpoint(4, vec![0, 1])).unwrap();
+        let newest = dir.join(checkpoint_file_name(1));
+        let original = fs::read(&newest).unwrap();
+        // Flip one bit at a spread of offsets covering header, payload and
+        // trailer; every flip must reject the file and fall back to epoch 0.
+        for offset in [0, 9, 17, 33, 47, original.len() / 2, original.len() - 1] {
+            let mut corrupted = original.clone();
+            corrupted[offset] ^= 0x10;
+            fs::write(&newest, &corrupted).unwrap();
+            let loaded = store.load_latest().unwrap();
+            let (epoch, cp) = loaded.latest.unwrap();
+            assert_eq!(epoch, 0, "offset {offset} must fall back");
+            assert_eq!(cp.batches_trained, 2);
+            assert_eq!(loaded.rejected.len(), 1, "offset {offset}");
+        }
+        fs::write(&newest, &original).unwrap();
+        assert_eq!(store.load_latest().unwrap().latest.unwrap().0, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_at_any_length_is_detected() {
+        let dir = temp_dir("truncate");
+        let store = DurableCheckpointStore::open(&dir, IDENTITY, 5).unwrap();
+        store.save(&checkpoint(2, vec![0])).unwrap();
+        let path = dir.join(checkpoint_file_name(0));
+        let original = fs::read(&path).unwrap();
+        for len in [0, 7, CHECKPOINT_HEADER_LEN, original.len() - 1] {
+            fs::write(&path, &original[..len]).unwrap();
+            let loaded = store.load_latest().unwrap();
+            assert!(loaded.latest.is_none(), "len {len} must be rejected");
+            assert!(matches!(
+                loaded.rejected[0],
+                DurabilityError::Corrupt { .. }
+            ));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skew_is_rejected_even_with_a_valid_checksum() {
+        let dir = temp_dir("version");
+        let store = DurableCheckpointStore::open(&dir, IDENTITY, 5).unwrap();
+        store.save(&checkpoint(2, vec![0])).unwrap();
+        let path = dir.join(checkpoint_file_name(0));
+        let mut bytes = fs::read(&path).unwrap();
+        // Bump the version field and recompute the checksum, simulating a
+        // file written by a future format version.
+        bytes[8..12].copy_from_slice(&(DURABLE_FORMAT_VERSION + 1).to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let checksum = Checksum64::digest(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert!(loaded.latest.is_none());
+        assert!(matches!(
+            loaded.rejected[0],
+            DurabilityError::Corrupt {
+                kind: CorruptKind::UnsupportedVersion,
+                ..
+            }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_experiment_checkpoints_are_rejected() {
+        let dir = temp_dir("foreign");
+        let store = DurableCheckpointStore::open(&dir, IDENTITY, 5).unwrap();
+        store.save(&checkpoint(2, vec![0])).unwrap();
+        let other = DurableIdentity {
+            experiment_seed: 43,
+            ..IDENTITY
+        };
+        let other_store = DurableCheckpointStore::open(&dir, other, 5).unwrap();
+        let loaded = other_store.load_latest().unwrap();
+        assert!(loaded.latest.is_none());
+        assert!(matches!(
+            loaded.rejected[0],
+            DurabilityError::IdentityMismatch {
+                field: "experiment_seed",
+                ..
+            }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_appends_and_replays_in_order() {
+        let dir = temp_dir("journal");
+        {
+            let (journal, replayed) = CompletionJournal::open(&dir, IDENTITY, 2).unwrap();
+            assert!(replayed.is_empty());
+            for sim in [3u64, 1, 4, 1, 5] {
+                journal.append(sim).unwrap();
+            }
+            journal.flush().unwrap();
+        }
+        let (_, replayed) = CompletionJournal::open(&dir, IDENTITY, 2).unwrap();
+        assert_eq!(replayed, vec![3, 1, 4, 1, 5]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_dropped_and_log_stays_appendable() {
+        let dir = temp_dir("torn");
+        {
+            let (journal, _) = CompletionJournal::open(&dir, IDENTITY, 1).unwrap();
+            for sim in 0..4u64 {
+                journal.append(sim).unwrap();
+            }
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = fs::read(&path).unwrap();
+        // Tear mid-record: the last record loses its final 5 bytes.
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        {
+            let (journal, replayed) = CompletionJournal::open(&dir, IDENTITY, 1).unwrap();
+            assert_eq!(replayed, vec![0, 1, 2], "torn record dropped");
+            journal.append(9).unwrap();
+        }
+        let (_, replayed) = CompletionJournal::open(&dir, IDENTITY, 1).unwrap();
+        assert_eq!(replayed, vec![0, 1, 2, 9], "appends extend the clean tail");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journal_record_ends_the_replay_there() {
+        let dir = temp_dir("midflip");
+        {
+            let (journal, _) = CompletionJournal::open(&dir, IDENTITY, 1).unwrap();
+            for sim in 0..4u64 {
+                journal.append(sim).unwrap();
+            }
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a bit in record 1's simulation id: records 1..4 are dropped
+        // (everything after a corrupt record is untrusted).
+        let offset = JOURNAL_HEADER_LEN + JOURNAL_RECORD_LEN + 8;
+        bytes[offset] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let (_, replayed) = CompletionJournal::open(&dir, IDENTITY, 1).unwrap();
+        assert_eq!(replayed, vec![0]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_header_corruption_is_a_typed_error() {
+        let dir = temp_dir("jrnlhdr");
+        {
+            let _ = CompletionJournal::open(&dir, IDENTITY, 1).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[2] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        match CompletionJournal::open(&dir, IDENTITY, 1) {
+            Err(DurabilityError::Corrupt { kind, .. }) => {
+                assert_eq!(kind, CorruptKind::BadMagic);
+            }
+            other => panic!("expected corrupt-header error, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorder_journals_only_deltas_and_latches_errors() {
+        let dir = temp_dir("recorder");
+        let store = DurableCheckpointStore::open(&dir, IDENTITY, 3).unwrap();
+        let (journal, _) = CompletionJournal::open(&dir, IDENTITY, 1).unwrap();
+        let recorder = DurableRecorder::new(store, journal, [7u64]);
+        recorder.record_completions(&[7, 1, 2]);
+        recorder.record_completions(&[1, 2, 3]);
+        recorder.record_checkpoint(&checkpoint(4, vec![1, 2, 3]));
+        assert_eq!(recorder.checkpoints_saved(), 1);
+        assert!(recorder.first_error().is_none());
+        let (_, replayed) = CompletionJournal::open(&dir, IDENTITY, 1).unwrap();
+        assert_eq!(
+            replayed,
+            vec![1, 2, 3],
+            "7 was pre-seeded, never re-journaled"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

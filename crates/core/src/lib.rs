@@ -41,6 +41,7 @@ pub mod aggregator;
 pub mod checkpoint;
 pub mod config;
 pub mod disk;
+pub mod durable;
 pub mod error;
 pub mod metrics;
 pub mod offline;
@@ -55,9 +56,14 @@ pub mod workload_spec;
 pub use aggregator::{Aggregator, AggregatorOutcome};
 pub use checkpoint::ServerCheckpoint;
 pub use config::{
-    DeviceProfile, ExperimentConfig, ExperimentConfigBuilder, SurrogateConfig, TrainingConfig,
+    DeviceProfile, DurabilityConfig, ExperimentConfig, ExperimentConfigBuilder, SurrogateConfig,
+    TrainingConfig,
 };
 pub use disk::{DiskConfig, SimulatedDisk};
+pub use durable::{
+    CompletionJournal, CorruptKind, DurabilityError, DurableCheckpointStore, DurableIdentity,
+    DurableRecorder, LatestCheckpoint, DURABLE_FORMAT_VERSION,
+};
 pub use error::{ConfigError, ExperimentError};
 pub use metrics::{
     ExperimentMetrics, LossPoint, OccurrenceHistogram, ThroughputPoint, ThroughputTracker,

@@ -296,6 +296,8 @@ impl OfflineExperiment {
             abandoned_clients: Vec::new(),
             recovered_clients: Vec::new(),
             resumed_from_batches: None,
+            durable_checkpoints: 0,
+            durable_error: None,
         };
 
         (model, report)

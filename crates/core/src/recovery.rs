@@ -25,7 +25,7 @@
 
 use crate::checkpoint::ServerCheckpoint;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -66,8 +66,20 @@ impl ReceptionGate {
 struct SimProgress {
     /// Samples of this simulation accepted into some rank's buffer.
     received: usize,
-    /// Samples of this simulation consumed by some rank's training loop.
+    /// Serve events of this simulation in some rank's training loop (counts
+    /// Reservoir repeats; kept for diagnostics, not for completion).
     consumed: usize,
+    /// Distinct time steps of this simulation trained at least once — the
+    /// exact completion measure for every buffer policy.
+    trained_steps: HashSet<usize>,
+    /// Samples evicted by a buffer *after* being trained (Reservoir making
+    /// room): they stay counted in `trained_steps`, so eviction never makes a
+    /// completed simulation look unfinished.
+    evicted_trained: usize,
+    /// Samples dropped by a buffer *without ever being trained* (FIFO/FIRO
+    /// discarding late arrivals after a crash): their data is lost, so the
+    /// simulation can never complete in this incarnation.
+    dropped_untrained: usize,
     /// Ranks on which this simulation's finalize message was processed.
     finalized_ranks: usize,
     /// Pre-seeded from a checkpoint: completed in a previous incarnation.
@@ -78,10 +90,15 @@ struct SimProgress {
 /// set of a checkpoint is derived.
 ///
 /// A simulation is **completed** when its finalize was processed on every
-/// rank *and* at least as many of its samples were consumed by training as
-/// were received. For FIFO buffers (each sample trained exactly once) this is
-/// exact; for Reservoir/FIRO the criterion is heuristic — under-approximating
-/// completion only costs rerunning a simulation after a restart, never data.
+/// rank *and* every received sample was trained at least once — measured as
+/// *distinct trained time steps*, so the criterion is exact for all three
+/// buffer policies: FIFO/FIRO serve each sample exactly once, and the
+/// Reservoir's repeated serves do not inflate the distinct count the way they
+/// inflate the raw consumed tally (which made the old `consumed >= received`
+/// criterion unsound: a mid-run checkpoint could mark a simulation complete
+/// while some of its samples sat unseen in the buffer and would be lost by a
+/// crash). A simulation that had samples dropped untrained (crash shutdown
+/// with a full queue) is pinned incomplete so a restart reruns it.
 #[derive(Debug)]
 pub struct RecoveryTracker {
     num_ranks: usize,
@@ -123,12 +140,39 @@ impl RecoveryTracker {
             .finalized_ranks += 1;
     }
 
-    /// Records one trained batch's sample keys (`(simulation, step)`).
+    /// Records one trained batch's sample keys (`(simulation, step)`): bumps
+    /// the serve tally and marks each step as trained at least once.
     pub fn record_consumed(&self, keys: &[(u64, usize)]) {
         let mut progress = self.progress.lock();
-        for (simulation_id, _step) in keys {
-            progress.entry(*simulation_id).or_default().consumed += 1;
+        for (simulation_id, step) in keys {
+            let entry = progress.entry(*simulation_id).or_default();
+            entry.consumed += 1;
+            entry.trained_steps.insert(*step);
         }
+    }
+
+    /// Records a buffer permanently removing one of `simulation_id`'s samples
+    /// outside the normal serve path. `trained` distinguishes a Reservoir
+    /// eviction of an already-served sample (harmless for completion) from a
+    /// crash-shutdown drop of a never-served sample (pins the simulation
+    /// incomplete, so a restart reruns it).
+    pub fn record_evicted(&self, simulation_id: u64, trained: bool) {
+        let mut progress = self.progress.lock();
+        let entry = progress.entry(simulation_id).or_default();
+        if trained {
+            entry.evicted_trained += 1;
+        } else {
+            entry.dropped_untrained += 1;
+        }
+    }
+
+    /// Total `(evicted_trained, dropped_untrained)` samples across all
+    /// simulations — diagnostics for tests and reports.
+    pub fn eviction_totals(&self) -> (usize, usize) {
+        let progress = self.progress.lock();
+        progress.values().fold((0, 0), |(t, u), p| {
+            (t + p.evicted_trained, u + p.dropped_untrained)
+        })
     }
 
     /// The simulations whose data is fully received *and* trained on, in
@@ -141,7 +185,8 @@ impl RecoveryTracker {
                 p.restored
                     || (p.finalized_ranks >= self.num_ranks
                         && p.received > 0
-                        && p.consumed >= p.received)
+                        && p.dropped_untrained == 0
+                        && p.trained_steps.len() >= p.received)
             })
             .map(|(&sim, _)| sim)
             .collect();
@@ -208,6 +253,10 @@ pub struct RecoveryHooks {
     /// checkpoint being resumed), so the sample-based learning-rate schedule
     /// continues where it left off instead of restarting hot.
     pub resume_rounds: usize,
+    /// On-disk durability sink (checkpoint store + completion journal),
+    /// written by rank 0's training thread between batches; `None` keeps the
+    /// in-memory-only behaviour.
+    pub durable: Option<Arc<crate::durable::DurableRecorder>>,
 }
 
 /// The control surface of one rank's aggregator: termination signals, the
@@ -281,6 +330,47 @@ mod tests {
         assert_eq!(tracker.completed_simulations(), vec![0]);
         tracker.record_consumed(&[(1, 2)]);
         assert_eq!(tracker.completed_simulations(), vec![0, 1]);
+    }
+
+    #[test]
+    fn repeated_serves_do_not_fake_completion() {
+        // Reservoir behaviour: step 0 served three times, step 1 never. The
+        // raw consumed tally (3) reaches received (2), but only one distinct
+        // step was trained — the simulation must stay incomplete.
+        let tracker = RecoveryTracker::new(1);
+        tracker.record_received(0, 2);
+        tracker.record_finalized(0);
+        tracker.record_consumed(&[(0, 0), (0, 0), (0, 0)]);
+        assert!(tracker.completed_simulations().is_empty());
+        tracker.record_consumed(&[(0, 1)]);
+        assert_eq!(tracker.completed_simulations(), vec![0]);
+    }
+
+    #[test]
+    fn trained_evictions_do_not_undo_completion() {
+        // Both steps trained, then one sample evicted (Reservoir making
+        // room): the simulation's contribution to the model is intact.
+        let tracker = RecoveryTracker::new(1);
+        tracker.record_received(5, 2);
+        tracker.record_finalized(5);
+        tracker.record_consumed(&[(5, 0), (5, 1)]);
+        tracker.record_evicted(5, true);
+        assert_eq!(tracker.completed_simulations(), vec![5]);
+        assert_eq!(tracker.eviction_totals(), (1, 0));
+    }
+
+    #[test]
+    fn untrained_drops_pin_a_simulation_incomplete() {
+        // All received samples trained, but one extra sample was dropped
+        // before ever reaching training (crash shutdown): data was lost, the
+        // simulation must be rerun.
+        let tracker = RecoveryTracker::new(1);
+        tracker.record_received(6, 2);
+        tracker.record_finalized(6);
+        tracker.record_consumed(&[(6, 0), (6, 1)]);
+        tracker.record_evicted(6, false);
+        assert!(tracker.completed_simulations().is_empty());
+        assert_eq!(tracker.eviction_totals(), (0, 1));
     }
 
     #[test]

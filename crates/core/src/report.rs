@@ -72,6 +72,14 @@ pub struct ExperimentReport {
     /// restarted after a crash.
     #[serde(default)]
     pub resumed_from_batches: Option<usize>,
+    /// Number of checkpoints durably written to disk (0 when the run had no
+    /// durability directory configured).
+    #[serde(default)]
+    pub durable_checkpoints: usize,
+    /// First durability error encountered; when set, the run completed but
+    /// its on-disk recovery state stopped updating at that point.
+    #[serde(default)]
+    pub durable_error: Option<String>,
 }
 
 impl ExperimentReport {
@@ -177,6 +185,8 @@ mod tests {
             abandoned_clients: Vec::new(),
             recovered_clients: Vec::new(),
             resumed_from_batches: None,
+            durable_checkpoints: 0,
+            durable_error: None,
         }
     }
 

@@ -15,7 +15,10 @@
 
 use crate::aggregator::Aggregator;
 use crate::checkpoint::ServerCheckpoint;
-use crate::config::ExperimentConfig;
+use crate::config::{DurabilityConfig, ExperimentConfig};
+use crate::durable::{
+    CompletionJournal, DurabilityError, DurableCheckpointStore, DurableIdentity, DurableRecorder,
+};
 use crate::error::ExperimentError;
 use crate::metrics::{ExperimentMetrics, OccurrenceHistogram};
 use crate::recovery::{
@@ -28,11 +31,13 @@ use crate::validation::ValidationSet;
 use melissa_ensemble::{CampaignEvents, ClientContext, ClientError, Launcher, LauncherReport};
 use melissa_transport::{ClientFaultKind, Fabric, FabricConfig};
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use surrogate_nn::{Mlp, Sample};
-use training_buffer::{ShardedBuffer, TrainingBuffer};
+use training_buffer::{Evicted, ShardedBuffer, TrainingBuffer};
 
 /// A scripted hang: the client stops reporting progress and waits for the
 /// launcher's watchdog to declare the attempt dead, then unwinds. A safety
@@ -70,16 +75,20 @@ impl OnlineExperiment {
 
     /// Runs the experiment and returns the trained surrogate and its report.
     pub fn run(&self) -> (Mlp, ExperimentReport) {
-        let (model, report, _checkpoint) = self.run_internal(None);
+        let (model, report, _checkpoint) = self.run_with_durability(None);
         (model, report)
     }
 
     /// Runs the experiment like [`OnlineExperiment::run`], additionally
     /// returning the latest [`ServerCheckpoint`]. When the run ends in a
     /// (scripted) server crash, the report's `crashed` flag is set and the
-    /// checkpoint is what [`OnlineExperiment::resume`] restarts from.
+    /// checkpoint is what [`OnlineExperiment::resume`] restarts from. When
+    /// the configuration carries a [`DurabilityConfig`], checkpoints and the
+    /// completion journal are additionally persisted to its directory, so a
+    /// *process* kill can be resumed with
+    /// [`OnlineExperiment::resume_from_dir`].
     pub fn run_recoverable(&self) -> (Mlp, ExperimentReport, Option<ServerCheckpoint>) {
-        self.run_internal(None)
+        self.run_with_durability(None)
     }
 
     /// Restarts the experiment from a checkpoint (§3.1): the model resumes
@@ -91,12 +100,116 @@ impl OnlineExperiment {
         &self,
         checkpoint: &ServerCheckpoint,
     ) -> (Mlp, ExperimentReport, Option<ServerCheckpoint>) {
-        self.run_internal(Some(checkpoint))
+        self.run_with_durability(Some(checkpoint))
+    }
+
+    /// Restarts an experiment purely from its durability directory: the
+    /// newest checkpoint that validates supplies the model and progress
+    /// counters, the completion journal supplies the simulations that
+    /// completed after that checkpoint was taken, and only simulations in
+    /// neither are rerun. The directory must exist ([`DurabilityError`]
+    /// otherwise); an existing-but-empty directory starts a fresh run that
+    /// persists into it. `config.durability` is overridden to point at `dir`.
+    pub fn resume_from_dir(
+        dir: impl AsRef<Path>,
+        mut config: ExperimentConfig,
+    ) -> Result<(Mlp, ExperimentReport, Option<ServerCheckpoint>), DurabilityError> {
+        let dir = dir.as_ref();
+        if !dir.is_dir() {
+            return Err(DurabilityError::MissingDirectory(dir.to_path_buf()));
+        }
+        let mut durability = config
+            .durability
+            .take()
+            .unwrap_or_else(|| DurabilityConfig::new(dir.to_string_lossy()));
+        durability.directory = dir.to_string_lossy().into_owned();
+        config.durability = Some(durability.clone());
+        let experiment = Self::new(config)?;
+        let identity = experiment.durable_identity();
+
+        let store = DurableCheckpointStore::open(dir, identity, durability.keep_last)?;
+        let latest = store.load_latest()?;
+        let checkpoint = latest.latest.map(|(_, checkpoint)| checkpoint);
+        let (journal, journaled) =
+            CompletionJournal::open(dir, identity, durability.journal_flush_every)?;
+        let already_durable: Vec<u64> = journaled
+            .iter()
+            .copied()
+            .chain(
+                checkpoint
+                    .iter()
+                    .flat_map(|cp| cp.completed_simulations.iter().copied()),
+            )
+            .collect();
+        let recorder = Arc::new(DurableRecorder::new(store, journal, already_durable));
+        Ok(experiment.run_internal(checkpoint.as_ref(), &journaled, Some(recorder)))
+    }
+
+    /// The identity stamped into this experiment's durable files.
+    fn durable_identity(&self) -> DurableIdentity {
+        DurableIdentity {
+            experiment_seed: self.config.seed,
+            config_fingerprint: self.config.config_fingerprint(),
+        }
+    }
+
+    /// Opens the durable recorder for `durability`, seeding its
+    /// already-journaled set from the journal replay and the resumed
+    /// checkpoint, so a run never re-appends completions that are already
+    /// durable.
+    fn open_durable(
+        &self,
+        durability: &DurabilityConfig,
+        resume: Option<&ServerCheckpoint>,
+    ) -> Result<Arc<DurableRecorder>, DurabilityError> {
+        let identity = self.durable_identity();
+        let dir = durability.directory_path();
+        let store = DurableCheckpointStore::open(&dir, identity, durability.keep_last)?;
+        let (journal, journaled) =
+            CompletionJournal::open(&dir, identity, durability.journal_flush_every)?;
+        let already_durable: Vec<u64> = journaled
+            .into_iter()
+            .chain(
+                resume
+                    .iter()
+                    .flat_map(|cp| cp.completed_simulations.iter().copied()),
+            )
+            .collect();
+        Ok(Arc::new(DurableRecorder::new(
+            store,
+            journal,
+            already_durable,
+        )))
+    }
+
+    /// Common entry of [`OnlineExperiment::run`], `run_recoverable` and
+    /// `resume`: opens the durable recorder when one is configured. A
+    /// durability *open* failure degrades the run to in-memory recovery and
+    /// is surfaced through the report's `durable_error` — training is never
+    /// refused because a disk was unavailable.
+    fn run_with_durability(
+        &self,
+        resume: Option<&ServerCheckpoint>,
+    ) -> (Mlp, ExperimentReport, Option<ServerCheckpoint>) {
+        let (durable, open_error) = match &self.config.durability {
+            Some(durability) => match self.open_durable(durability, resume) {
+                Ok(recorder) => (Some(recorder), None),
+                Err(error) => (None, Some(error.to_string())),
+            },
+            None => (None, None),
+        };
+        let (model, mut report, checkpoint) = self.run_internal(resume, &[], durable);
+        if report.durable_error.is_none() {
+            report.durable_error = open_error;
+        }
+        (model, report, checkpoint)
     }
 
     fn run_internal(
         &self,
         resume: Option<&ServerCheckpoint>,
+        journaled: &[u64],
+        durable: Option<Arc<DurableRecorder>>,
     ) -> (Mlp, ExperimentReport, Option<ServerCheckpoint>) {
         let config = &self.config;
         let start = Instant::now();
@@ -114,10 +227,21 @@ impl OnlineExperiment {
             &output_norm,
         ));
 
-        // On resume, only the simulations the checkpoint does not cover are
-        // rerun; the aggregators expect exactly those to finalize.
+        // On resume, only the simulations covered by neither the checkpoint
+        // nor the completion journal are rerun; the aggregators expect
+        // exactly those to finalize. Journal-only completions (recorded after
+        // the resumed checkpoint was taken) keep per-simulation accounting
+        // exactly-once even though the resumed weights predate them.
+        let completed_union: Vec<u64> = resume
+            .into_iter()
+            .flat_map(|cp| cp.completed_simulations.iter().copied())
+            .chain(journaled.iter().copied())
+            .collect::<BTreeSet<u64>>()
+            .into_iter()
+            .collect();
+        let resuming = resume.is_some() || !journaled.is_empty();
         let missing: Option<Vec<u64>> =
-            resume.map(|cp| cp.missing_simulations(config.total_simulations() as u64));
+            resuming.then(|| Launcher::missing_ids(config.total_simulations(), &completed_union));
         let expected_clients = missing
             .as_ref()
             .map_or(config.campaign.total_clients(), Vec::len);
@@ -149,17 +273,35 @@ impl OnlineExperiment {
         let server_down = Arc::new(AtomicBool::new(false));
         let gate = Arc::new(ReceptionGate::new(expected_clients));
         let tracker = Arc::new(RecoveryTracker::new(config.training.num_ranks));
-        let completed: Arc<Vec<u64>> = Arc::new(
-            resume
-                .map(|cp| cp.completed_simulations.clone())
-                .unwrap_or_default(),
-        );
+        let completed: Arc<Vec<u64>> = Arc::new(completed_union);
         for &simulation_id in completed.iter() {
             tracker.restore_completed(simulation_id);
         }
+
+        // Buffers report every eviction to the tracker so the completion
+        // criterion is exact for all three policies: a Reservoir eviction
+        // removes an already-trained sample (harmless), while a FIFO/FIRO
+        // crash-path drop loses a never-trained sample and pins its
+        // simulation incomplete.
+        for buffer in &buffers {
+            let tracker = Arc::clone(&tracker);
+            buffer.set_eviction_observer(Arc::new(move |sample: &Sample, evicted| {
+                tracker.record_evicted(sample.simulation_id, evicted == Evicted::Trained);
+            }));
+        }
+
+        // The durable cadence can override the in-memory one (and inherits it
+        // when unset), so a durability-configured run checkpoints on disk and
+        // in memory at the same batches.
+        let checkpoint_every_batches = match &config.durability {
+            Some(durability) => {
+                durability.effective_checkpoint_every(config.checkpoint_every_batches)
+            }
+            None => config.checkpoint_every_batches,
+        };
         let store = Arc::new(CheckpointStore::new());
         let hooks = RecoveryHooks {
-            checkpoint_every_batches: config.checkpoint_every_batches,
+            checkpoint_every_batches,
             store: Arc::clone(&store),
             tracker: Arc::clone(&tracker),
             // A scripted server crash fires once: the restarted incarnation
@@ -172,6 +314,7 @@ impl OnlineExperiment {
             server_down: Arc::clone(&server_down),
             experiment_seed: config.seed,
             resume_rounds: resume.map_or(0, |cp| cp.batches_trained),
+            durable: durable.clone(),
         };
 
         // Model replicas: identical seed → identical initial weights
@@ -270,7 +413,10 @@ impl OnlineExperiment {
                         let mut sent_steps = 0usize;
                         let mut fault: Option<ClientError> = None;
                         workload
-                            .generate(job.parameters, &mut |step| {
+                            // The attempt seed keys stochastic workloads
+                            // (seeded observation noise); deterministic ones
+                            // ignore it, so replays stay bit-identical.
+                            .generate_seeded(job.parameters, job.seed, &mut |step| {
                                 // Once faulted, skip the remaining steps: the
                                 // generate callback cannot abort the solver,
                                 // so the "crashed" client just goes silent.
@@ -347,18 +493,23 @@ impl OnlineExperiment {
 
         // ordering: Acquire — pairs with the trainer's Release store; observes whether the run ended in a scripted server crash
         let crashed = server_down.load(Ordering::Acquire);
-        if !crashed && config.checkpoint_every_batches > 0 {
+        if !crashed && (checkpoint_every_batches > 0 || durable.is_some()) {
             // Capture a final checkpoint so a clean run also leaves a
             // restart point covering everything it consumed.
             let rank0_rounds = rank_outcomes.first().map_or(0, |o| o.rounds);
             let progress_rounds = hooks.resume_rounds + rank0_rounds;
-            store.record(ServerCheckpoint::capture(
+            let final_checkpoint = ServerCheckpoint::capture(
                 &model,
                 progress_rounds,
                 progress_rounds * config.training.batch_size * config.training.num_ranks,
                 tracker.completed_simulations(),
                 config.seed,
-            ));
+            );
+            if let Some(durable) = &durable {
+                durable.record_completions(&final_checkpoint.completed_simulations);
+                durable.record_checkpoint(&final_checkpoint);
+            }
+            store.record(final_checkpoint);
         }
 
         // Occurrences are counted rank-locally in the hot loop and merged
@@ -427,6 +578,8 @@ impl OnlineExperiment {
                 .map(|r| r.recovered_clients.clone())
                 .unwrap_or_default(),
             resumed_from_batches: resume.map(|cp| cp.batches_trained),
+            durable_checkpoints: durable.as_ref().map_or(0, |d| d.checkpoints_saved()),
+            durable_error: durable.as_ref().and_then(|d| d.first_error()),
             launcher: launcher_report,
         };
 
@@ -525,5 +678,62 @@ mod tests {
         let mut config = tiny_config(BufferKind::Fifo, 1);
         config.training.batch_size = 0;
         assert!(OnlineExperiment::new(config).is_err());
+    }
+
+    #[test]
+    fn durable_run_persists_and_resume_from_dir_reruns_nothing() {
+        let dir =
+            std::env::temp_dir().join(format!("melissa-server-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut config = tiny_config(BufferKind::Reservoir, 1);
+        config.checkpoint_every_batches = 2;
+        config.durability = Some(crate::DurabilityConfig::new(dir.to_string_lossy()));
+        let (_, report, checkpoint) = OnlineExperiment::new(config.clone())
+            .unwrap()
+            .run_recoverable();
+        assert_eq!(report.durable_error, None);
+        assert!(report.durable_checkpoints >= 1, "final save always lands");
+        assert_eq!(checkpoint.unwrap().completed_simulations.len(), 4);
+
+        // Resuming the directory of a finished run reruns nothing: every
+        // simulation is already covered by the checkpoint + journal, so no
+        // client ever streams a message.
+        let (model, resume_report, resumed) =
+            OnlineExperiment::resume_from_dir(&dir, config).unwrap();
+        assert!(model.params_flat().iter().all(|p| p.is_finite()));
+        assert_eq!(resume_report.transport.unwrap().messages_sent, 0);
+        assert_eq!(resumed.unwrap().completed_simulations.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_missing_directory_is_a_typed_error() {
+        let config = tiny_config(BufferKind::Fifo, 1);
+        let result = OnlineExperiment::resume_from_dir("/nonexistent/melissa-nowhere", config);
+        assert!(matches!(
+            result,
+            Err(crate::durable::DurabilityError::MissingDirectory(_))
+        ));
+    }
+
+    #[test]
+    fn resume_from_empty_directory_is_a_fresh_durable_run() {
+        let dir = std::env::temp_dir().join(format!("melissa-server-fresh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut config = tiny_config(BufferKind::Reservoir, 1);
+        config.checkpoint_every_batches = 2;
+        let (model, report, checkpoint) = OnlineExperiment::resume_from_dir(&dir, config).unwrap();
+        assert!(model.params_flat().iter().all(|p| p.is_finite()));
+        assert_eq!(report.unique_samples_trained, 40);
+        assert!(
+            report.durable_checkpoints >= 1,
+            "fresh run persists into the dir"
+        );
+        assert_eq!(checkpoint.unwrap().completed_simulations.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

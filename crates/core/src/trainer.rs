@@ -412,20 +412,30 @@ impl RankTrainer {
             if let Some(batch) = batch {
                 hooks.tracker.record_consumed(&batch.keys);
             }
-            if self.rank == 0
-                && has_data
-                && hooks.checkpoint_every_batches > 0
-                && state
-                    .batches_with_data
-                    .is_multiple_of(hooks.checkpoint_every_batches)
-            {
-                hooks.store.record(ServerCheckpoint::capture(
-                    &self.model,
-                    self.resume_rounds() + state.rounds,
-                    nominal_samples_seen,
-                    hooks.tracker.completed_simulations(),
-                    hooks.experiment_seed,
-                ));
+            if self.rank == 0 && has_data {
+                // Journal newly completed simulations every data batch: the
+                // journal shrinks the re-simulation window of a crash to
+                // "since the last flush", not "since the last checkpoint".
+                if let Some(durable) = &hooks.durable {
+                    durable.record_completions(&hooks.tracker.completed_simulations());
+                }
+                if hooks.checkpoint_every_batches > 0
+                    && state
+                        .batches_with_data
+                        .is_multiple_of(hooks.checkpoint_every_batches)
+                {
+                    let checkpoint = ServerCheckpoint::capture(
+                        &self.model,
+                        self.resume_rounds() + state.rounds,
+                        nominal_samples_seen,
+                        hooks.tracker.completed_simulations(),
+                        hooks.experiment_seed,
+                    );
+                    if let Some(durable) = &hooks.durable {
+                        durable.record_checkpoint(&checkpoint);
+                    }
+                    hooks.store.record(checkpoint);
+                }
             }
         }
 

@@ -25,6 +25,11 @@ pub enum WorkloadSpec {
         solver: SolverConfig,
         /// Real solver or closed-form approximation.
         kind: WorkloadKind,
+        /// Amplitude of seeded uniform observation noise (Kelvin); 0 streams
+        /// the exact field. The noise is keyed by the launcher's per-attempt
+        /// seed (seed-policy stream "attempt-v1").
+        #[serde(default)]
+        noise_amplitude: f64,
     },
     /// 2D advection–diffusion of a Gaussian tracer (the second physics).
     Advection {
@@ -47,6 +52,7 @@ impl WorkloadSpec {
         Self::Heat {
             solver,
             kind: WorkloadKind::Solver,
+            noise_amplitude: 0.0,
         }
     }
 
@@ -55,6 +61,18 @@ impl WorkloadSpec {
         Self::Heat {
             solver,
             kind: WorkloadKind::Analytic,
+            noise_amplitude: 0.0,
+        }
+    }
+
+    /// The noisy heat workload: the closed-form field plus seeded uniform
+    /// observation noise of the given amplitude (Kelvin), keyed by the
+    /// launcher's per-attempt seed so retried attempts observe fresh noise.
+    pub fn heat_noisy(solver: SolverConfig, noise_amplitude: f64) -> Self {
+        Self::Heat {
+            solver,
+            kind: WorkloadKind::Analytic,
+            noise_amplitude,
         }
     }
 
@@ -77,10 +95,15 @@ impl WorkloadSpec {
     /// Builds the runtime workload this spec describes.
     pub fn build(&self) -> Arc<dyn Workload> {
         match self {
-            WorkloadSpec::Heat { solver, kind } => Arc::new(SyntheticWorkload {
+            WorkloadSpec::Heat {
+                solver,
+                kind,
+                noise_amplitude,
+            } => Arc::new(SyntheticWorkload {
                 config: *solver,
                 kind: *kind,
                 step_delay: std::time::Duration::ZERO,
+                noise_amplitude: *noise_amplitude,
             }),
             WorkloadSpec::Advection { config, variant } => Arc::new(AdvectionWorkload {
                 config: *config,
@@ -97,6 +120,9 @@ impl WorkloadSpec {
     /// The physics label of the described workload.
     pub fn name(&self) -> &'static str {
         match self {
+            WorkloadSpec::Heat {
+                noise_amplitude, ..
+            } if *noise_amplitude > 0.0 => "heat2d-noisy",
             WorkloadSpec::Heat {
                 kind: WorkloadKind::Solver,
                 ..
@@ -258,6 +284,7 @@ mod tests {
         let specs = [
             WorkloadSpec::heat(SolverConfig::default()),
             WorkloadSpec::heat_analytic(SolverConfig::default()),
+            WorkloadSpec::heat_noisy(SolverConfig::default(), 2.0),
             WorkloadSpec::advection(AdvectionConfig::default()),
             WorkloadSpec::advection_analytic(AdvectionConfig::default()),
         ];

@@ -480,6 +480,36 @@ impl Launcher {
         self.run_campaign_filtered(plan, space, Some(client_ids), events, client_fn)
     }
 
+    /// The campaign members a resumed run must rerun: every id of a
+    /// `total_clients`-member campaign that is not in `completed`. This is
+    /// the launcher-side restart contract (paper §3.1: "only the simulations
+    /// that were not entirely executed are rerun"), shared by the in-memory
+    /// and the on-disk resume paths so they can never disagree on the set.
+    pub fn missing_ids(total_clients: usize, completed: &[u64]) -> Vec<u64> {
+        let completed: std::collections::HashSet<u64> = completed.iter().copied().collect();
+        (0..total_clients as u64)
+            .filter(|id| !completed.contains(id))
+            .collect()
+    }
+
+    /// Runs the campaign in restart mode: reruns exactly the members of
+    /// `plan` that `completed` does not cover, replaying the original
+    /// sampler stream so every rerun member draws its original parameters.
+    pub fn run_campaign_resume<F>(
+        &self,
+        plan: &CampaignPlan,
+        space: &ParameterSpace,
+        completed: &[u64],
+        events: &CampaignEvents<'_>,
+        client_fn: F,
+    ) -> LauncherReport
+    where
+        F: Fn(&ClientJob, &ClientContext) -> Result<(), ClientError> + Sync,
+    {
+        let ids = Self::missing_ids(plan.total_clients(), completed);
+        self.run_campaign_subset(plan, space, &ids, events, client_fn)
+    }
+
     fn run_campaign_filtered<F>(
         &self,
         plan: &CampaignPlan,
@@ -934,6 +964,43 @@ mod tests {
         assert_eq!(report.abandoned_clients, vec![1]);
         // ordering: Relaxed — read after run_campaign joined its workers
         assert_eq!(attempts.load(Ordering::Relaxed), 1, "exactly one attempt");
+    }
+
+    #[test]
+    fn resume_mode_reruns_exactly_the_missing_members() {
+        assert_eq!(Launcher::missing_ids(5, &[1, 3]), vec![0, 2, 4]);
+        assert_eq!(Launcher::missing_ids(3, &[]), vec![0, 1, 2]);
+        assert!(Launcher::missing_ids(2, &[0, 1]).is_empty());
+
+        let plan = CampaignPlan::single_series(5, 5).with_seed(42);
+        let launcher = Launcher::new(LauncherConfig::default());
+        let events = CampaignEvents::default();
+        let space = ParameterSpace::default();
+
+        // Reference: parameters every member draws in a full campaign.
+        let full_params = PlMutex::new(std::collections::HashMap::new());
+        launcher.run_campaign_with(&plan, &space, &events, |job, _| {
+            full_params.lock().insert(job.client_id, job.parameters);
+            Ok(())
+        });
+
+        let resumed = PlMutex::new(Vec::new());
+        let report = launcher.run_campaign_resume(&plan, &space, &[1, 3], &events, |job, _| {
+            resumed.lock().push((job.client_id, job.parameters));
+            Ok(())
+        });
+        assert_eq!(report.completed, 3);
+        let mut resumed = resumed.into_inner();
+        resumed.sort_by_key(|(id, _)| *id);
+        let ids: Vec<u64> = resumed.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 2, 4], "completed members are not rerun");
+        for (id, params) in resumed {
+            assert_eq!(
+                params,
+                full_params.lock()[&id],
+                "rerun member {id} draws its original parameters"
+            );
+        }
     }
 
     #[test]

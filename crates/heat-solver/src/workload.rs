@@ -51,6 +51,12 @@ pub struct SyntheticWorkload {
     /// Optional artificial per-step compute time, emulating a more expensive
     /// solver or slower hardware; applied by [`SyntheticWorkload::generate`].
     pub step_delay: Duration,
+    /// Amplitude (in Kelvin) of seeded uniform observation noise added to
+    /// every emitted value; 0 (the default) streams the exact field. The
+    /// noise stream is a pure function of the attempt seed passed to
+    /// `Workload::generate_seeded`, so a retried client attempt observes
+    /// fresh noise while a replayed attempt is bit-identical.
+    pub noise_amplitude: f64,
 }
 
 impl SyntheticWorkload {
@@ -60,6 +66,7 @@ impl SyntheticWorkload {
             config,
             kind: WorkloadKind::Solver,
             step_delay: Duration::ZERO,
+            noise_amplitude: 0.0,
         }
     }
 
@@ -69,6 +76,18 @@ impl SyntheticWorkload {
             config,
             kind: WorkloadKind::Analytic,
             step_delay: Duration::ZERO,
+            noise_amplitude: 0.0,
+        }
+    }
+
+    /// Creates the noisy variant: the closed-form field plus seeded uniform
+    /// observation noise of the given amplitude (Kelvin).
+    pub fn noisy(config: SolverConfig, noise_amplitude: f64) -> Self {
+        Self {
+            config,
+            kind: WorkloadKind::Analytic,
+            step_delay: Duration::ZERO,
+            noise_amplitude,
         }
     }
 
@@ -152,10 +171,47 @@ impl SyntheticWorkload {
     }
 }
 
+impl SyntheticWorkload {
+    /// The shared body of the trait's `generate`/`generate_seeded`: runs the
+    /// underlying generator and, for the noisy variant, perturbs every value
+    /// with uniform noise drawn from a ChaCha8 stream keyed by `seed` alone
+    /// (seed-policy stream "attempt-v1": the launcher derives the seed per
+    /// (campaign, client, attempt), so retries re-observe, replays repeat).
+    fn generate_with_seed(
+        &self,
+        params: ParamPoint,
+        seed: u64,
+        sink: &mut dyn FnMut(WorkloadStep),
+    ) -> Result<(), WorkloadError> {
+        use rand::{Rng, SeedableRng};
+        let mut rng =
+            (self.noise_amplitude > 0.0).then(|| rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+        let amplitude = self.noise_amplitude as f32;
+        SyntheticWorkload::generate(self, SimulationParams::new(params), |field| {
+            let mut values = field.values;
+            if let Some(rng) = rng.as_mut() {
+                for value in &mut values {
+                    *value += rng.gen_range(-amplitude..=amplitude);
+                }
+            }
+            sink(WorkloadStep {
+                step: field.step,
+                time: field.time,
+                params,
+                values,
+            })
+        })
+        .map_err(Into::into)
+    }
+}
+
 /// The paper's physics, seen through the physics-agnostic seam: the training
 /// stack drives [`SyntheticWorkload`] exclusively through this impl.
 impl Workload for SyntheticWorkload {
     fn name(&self) -> &'static str {
+        if self.noise_amplitude > 0.0 {
+            return "heat2d-noisy";
+        }
         match self.kind {
             WorkloadKind::Solver => "heat2d",
             WorkloadKind::Analytic => "heat2d-analytic",
@@ -185,6 +241,12 @@ impl Workload for SyntheticWorkload {
     }
 
     fn validate(&self) -> Result<(), WorkloadError> {
+        if !self.noise_amplitude.is_finite() || self.noise_amplitude < 0.0 {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "noise amplitude must be finite and non-negative, got {}",
+                self.noise_amplitude
+            )));
+        }
         self.config.validate().map_err(Into::into)
     }
 
@@ -193,15 +255,18 @@ impl Workload for SyntheticWorkload {
         params: ParamPoint,
         sink: &mut dyn FnMut(WorkloadStep),
     ) -> Result<(), WorkloadError> {
-        SyntheticWorkload::generate(self, SimulationParams::new(params), |field| {
-            sink(WorkloadStep {
-                step: field.step,
-                time: field.time,
-                params,
-                values: field.values,
-            })
-        })
-        .map_err(Into::into)
+        // The unseeded path is attempt seed 0, so the determinism contract
+        // (same params → same stream) holds for the noisy variant too.
+        self.generate_with_seed(params, 0, sink)
+    }
+
+    fn generate_seeded(
+        &self,
+        params: ParamPoint,
+        seed: u64,
+        sink: &mut dyn FnMut(WorkloadStep),
+    ) -> Result<(), WorkloadError> {
+        self.generate_with_seed(params, seed, sink)
     }
 }
 
@@ -279,5 +344,51 @@ mod tests {
         let mut seen = Vec::new();
         w.generate(params(), |s| seen.push(s.step)).unwrap();
         assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    fn seeded_values(w: &SyntheticWorkload, seed: u64) -> Vec<f32> {
+        let mut out = Vec::new();
+        Workload::generate_seeded(w, [400.0, 150.0, 200.0, 250.0, 300.0], seed, &mut |s| {
+            out.extend(s.values)
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn noisy_attempts_differ_and_each_is_reproducible() {
+        let w = SyntheticWorkload::noisy(config(), 2.0);
+        assert_eq!(Workload::name(&w), "heat2d-noisy");
+        let attempt0 = seeded_values(&w, 11);
+        let attempt1 = seeded_values(&w, 12);
+        assert_ne!(attempt0, attempt1, "different attempt seeds → fresh noise");
+        assert_eq!(
+            attempt0,
+            seeded_values(&w, 11),
+            "same seed replays bit-identically"
+        );
+        assert_eq!(attempt1, seeded_values(&w, 12));
+
+        // The noise is bounded by the amplitude around the exact field.
+        let clean = seeded_values(&SyntheticWorkload::analytic(config()), 11);
+        for (noisy, exact) in attempt0.iter().zip(&clean) {
+            assert!((noisy - exact).abs() <= 2.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn noiseless_workloads_ignore_the_attempt_seed() {
+        let w = SyntheticWorkload::analytic(config());
+        assert_eq!(seeded_values(&w, 1), seeded_values(&w, 2));
+    }
+
+    #[test]
+    fn negative_noise_amplitude_is_rejected() {
+        let w = SyntheticWorkload::noisy(config(), -1.0);
+        assert!(matches!(
+            Workload::validate(&w),
+            Err(WorkloadError::InvalidConfig(_))
+        ));
+        assert!(Workload::validate(&SyntheticWorkload::noisy(config(), 2.0)).is_ok());
     }
 }

@@ -1,0 +1,174 @@
+//! Streaming integrity checksum and config fingerprinting for durable state.
+//!
+//! The durable checkpoint store and completion journal (core crate) frame
+//! every on-disk artifact with a 64-bit checksum so torn writes and bit
+//! corruption are *detected* rather than silently resumed from. The hash is
+//! the project's stable splitmix64 finalizer (same constants as
+//! [`crate::fabric::stable_shard`]) folded over the byte stream in 8-byte
+//! lanes — not cryptographic, but stable across platforms and releases, with
+//! strong avalanche behavior for single-bit flips.
+//!
+//! [`fingerprint64`] hashes an arbitrary byte string (e.g. a canonical config
+//! rendering) to a single u64, used to stamp checkpoint headers with the
+//! experiment configuration so a resume against a different experiment is
+//! rejected up front.
+
+/// splitmix64 finalizer over one 64-bit lane (same constants as
+/// [`crate::fabric::stable_shard`]).
+#[inline]
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Incremental 64-bit checksum over a byte stream.
+///
+/// Bytes are packed little-endian into 64-bit lanes; each full lane is folded
+/// into the state with the splitmix64 finalizer. [`Checksum64::finish`] folds
+/// the partial tail lane together with the total length, so streams differing
+/// only by trailing zero bytes (a classic truncation blind spot) hash
+/// differently. Feeding the same bytes in different chunkings yields the same
+/// digest.
+#[derive(Debug, Clone)]
+pub struct Checksum64 {
+    state: u64,
+    /// Partial lane being filled, little-endian.
+    pending: u64,
+    /// Bytes currently in `pending` (0..8).
+    pending_len: u32,
+    /// Total bytes consumed.
+    length: u64,
+}
+
+impl Default for Checksum64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checksum64 {
+    /// A fresh checksum with a fixed, version-stable seed state.
+    pub fn new() -> Self {
+        Self {
+            // Arbitrary non-zero seed so an all-zero stream does not hash to
+            // a fixed point of the empty state.
+            state: mix64(0x4D45_4C49_5353_4131), // b"MELISSA1" as a u64
+            pending: 0,
+            pending_len: 0,
+            length: 0,
+        }
+    }
+
+    /// Folds `bytes` into the checksum. Chunking-independent.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.pending |= u64::from(b) << (8 * self.pending_len);
+            self.pending_len += 1;
+            if self.pending_len == 8 {
+                self.state = mix64(self.state ^ self.pending);
+                self.pending = 0;
+                self.pending_len = 0;
+            }
+        }
+        self.length += bytes.len() as u64;
+    }
+
+    /// The digest over everything fed so far. Does not consume the hasher;
+    /// further `update` calls continue the same stream.
+    pub fn finish(&self) -> u64 {
+        let mut state = self.state;
+        if self.pending_len > 0 {
+            state = mix64(state ^ self.pending ^ (u64::from(self.pending_len) << 56));
+        }
+        mix64(state ^ self.length)
+    }
+
+    /// One-shot digest of `bytes`.
+    pub fn digest(bytes: &[u8]) -> u64 {
+        let mut c = Self::new();
+        c.update(bytes);
+        c.finish()
+    }
+}
+
+/// Hashes an arbitrary byte string (typically a canonical rendering of the
+/// experiment configuration) to a 64-bit fingerprint, for stamping durable
+/// checkpoint headers.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    Checksum64::digest(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_chunking_independent() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let one_shot = Checksum64::digest(&data);
+        let mut chunked = Checksum64::new();
+        for chunk in data.chunks(7) {
+            chunked.update(chunk);
+        }
+        assert_eq!(chunked.finish(), one_shot);
+        let mut byte_by_byte = Checksum64::new();
+        for &b in &data {
+            byte_by_byte.update(&[b]);
+        }
+        assert_eq!(byte_by_byte.finish(), one_shot);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let baseline = Checksum64::digest(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(
+                    Checksum64::digest(&corrupted),
+                    baseline,
+                    "flip byte {i} bit {bit} undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_zero_extension_change_the_digest() {
+        let data = vec![0u8; 64];
+        let baseline = Checksum64::digest(&data);
+        for len in 0..64 {
+            assert_ne!(Checksum64::digest(&data[..len]), baseline, "len {len}");
+        }
+        let extended = vec![0u8; 72];
+        assert_ne!(Checksum64::digest(&extended), baseline);
+    }
+
+    #[test]
+    fn empty_stream_has_a_stable_nonzero_digest() {
+        assert_eq!(Checksum64::digest(&[]), Checksum64::new().finish());
+        assert_ne!(Checksum64::digest(&[]), 0);
+    }
+
+    #[test]
+    fn finish_is_non_consuming() {
+        let mut c = Checksum64::new();
+        c.update(b"abc");
+        let first = c.finish();
+        assert_eq!(c.finish(), first);
+        c.update(b"def");
+        assert_eq!(c.finish(), Checksum64::digest(b"abcdef"));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = fingerprint64(b"seed=42;clients=6;steps=10");
+        let b = fingerprint64(b"seed=43;clients=6;steps=10");
+        assert_ne!(a, b);
+        assert_eq!(a, fingerprint64(b"seed=42;clients=6;steps=10"));
+    }
+}

@@ -28,7 +28,11 @@
 //!   fault-tolerance paths in tests and experiments.
 //! * Wire-format encoding of messages through `bytes`, so the harness can
 //!   account for transferred volume the way the paper reports dataset sizes.
+//! * [`Checksum64`]/[`fingerprint64`] — the splitmix64-based streaming
+//!   checksum framing durable checkpoints and journals on disk (§3.1's
+//!   restart-from-checkpoint protocol made crash-safe).
 
+pub mod checksum;
 pub mod client;
 pub mod dedup;
 pub mod fabric;
@@ -36,6 +40,7 @@ pub mod fault;
 pub mod message;
 pub mod stats;
 
+pub use checksum::{fingerprint64, Checksum64};
 pub use client::{ClientApi, ClientConnection};
 pub use dedup::MessageLog;
 pub use fabric::{stable_shard, Fabric, FabricConfig, ServerEndpoint};

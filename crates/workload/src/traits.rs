@@ -113,6 +113,23 @@ pub trait Workload: Send + Sync {
         sink: &mut dyn FnMut(WorkloadStep),
     ) -> Result<(), WorkloadError>;
 
+    /// Generates the trajectory for one parameter draw under an explicit
+    /// attempt seed. Deterministic workloads (the default) ignore the seed —
+    /// every attempt replays the identical stream, which is what checkpoint
+    /// resume relies on. *Stochastic* workloads (e.g. seeded observation
+    /// noise) override this: the stream must be a pure function of
+    /// `(params, seed)`, so a retried attempt with the launcher's
+    /// per-attempt seed draws fresh noise while a replayed attempt with the
+    /// same seed is bit-identical.
+    fn generate_seeded(
+        &self,
+        params: ParamPoint,
+        _seed: u64,
+        sink: &mut dyn FnMut(WorkloadStep),
+    ) -> Result<(), WorkloadError> {
+        self.generate(params, sink)
+    }
+
     /// Number of values in one emitted time step.
     fn field_len(&self) -> usize {
         self.shape().iter().product()

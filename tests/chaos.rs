@@ -315,6 +315,73 @@ fn server_crash_resume_reruns_only_missing_sims_with_exactly_once_accounting() {
 }
 
 #[test]
+fn reservoir_eviction_does_not_force_needless_reruns_after_a_crash() {
+    // A Reservoir far smaller than the 60 produced samples: trained samples
+    // are evicted throughout the run to make room. Eviction of an
+    // already-trained sample must not un-complete its simulation — the
+    // per-simulation accounting tracks trained steps, not buffer residency —
+    // so the checkpoint taken before the crash still marks fully-trained
+    // simulations complete and the resume reruns only the genuinely open
+    // ones.
+    //
+    // How many simulations are fully trained by batch N depends on the
+    // producer/consumer interleaving (the Reservoir draws from whatever has
+    // arrived), so scan crash points until one leaves a checkpoint that is
+    // partially complete — some simulations done, some still open.
+    let mut partial = None;
+    for crash_after in [10, 12, 14, 16, 18] {
+        let crash_plan = FaultPlan::none().with_server_crash(crash_after);
+        let mut config = chaos_config(BufferKind::Reservoir, crash_plan);
+        config.buffer.capacity = 12;
+        config.checkpoint_every_batches = 2;
+        let (_, crash_report, checkpoint) = OnlineExperiment::new(config)
+            .expect("valid chaos configuration")
+            .run_recoverable();
+        if !crash_report.crashed {
+            break; // later crash points only fire even later
+        }
+        let Some(checkpoint) = checkpoint else {
+            continue;
+        };
+        let completed = checkpoint.completed_simulations.len();
+        if (1..CLIENTS).contains(&completed) {
+            partial = Some(checkpoint);
+            break;
+        }
+    }
+    let checkpoint = partial.expect(
+        "some crash point must catch the run with trained-and-evicted \
+         simulations complete and others still open",
+    );
+    let missing = checkpoint.missing_simulations(CLIENTS as u64);
+
+    let mut resumed_config = chaos_config(BufferKind::Reservoir, FaultPlan::none());
+    resumed_config.buffer.capacity = 12;
+    resumed_config.checkpoint_every_batches = 2;
+    let (model, resume_report, final_checkpoint) = OnlineExperiment::new(resumed_config)
+        .expect("valid chaos configuration")
+        .resume(&checkpoint);
+
+    assert!(!resume_report.crashed, "the resumed run completes");
+    assert!(model.params_flat().iter().all(|p| p.is_finite()));
+    // No needless re-simulation: the transport of the resumed run carries
+    // exactly the missing simulations' traffic, nothing from the completed
+    // (and partially evicted) ones.
+    let transport = resume_report.transport.as_ref().expect("online stats");
+    assert_eq!(
+        transport.messages_sent,
+        missing.len() * STEPS,
+        "evicted-but-trained simulations must not rerun"
+    );
+    let final_checkpoint = final_checkpoint.expect("the clean run leaves a checkpoint");
+    assert_eq!(
+        final_checkpoint.completed_simulations,
+        (0..CLIENTS as u64).collect::<Vec<_>>(),
+        "exactly-once per-simulation accounting despite eviction"
+    );
+}
+
+#[test]
 fn server_crash_without_checkpointing_still_terminates_gracefully() {
     let plan = FaultPlan::none().with_server_crash(4);
     let config = chaos_config(BufferKind::Firo, plan);

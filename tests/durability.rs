@@ -1,0 +1,552 @@
+//! Durability suite: process-kill recovery and on-disk corruption handling
+//! for the crash-safe checkpoint store and completion journal (§3.1).
+//!
+//! Two families of tests live here:
+//!
+//! * **SIGKILL-and-resume**: a training server runs in a *separate spawned
+//!   process* (this test binary re-executed with `--exact` on a hidden child
+//!   test), gets `kill -9`'d mid-run — no destructors, no flush-on-exit —
+//!   and is restarted from its durability directory alone. The restart must
+//!   rerun exactly the simulations covered by neither the newest valid
+//!   checkpoint nor the completion journal: exactly-once per-simulation
+//!   accounting across an unclean process death.
+//! * **Corruption handling**: checkpoint files and journal tails are
+//!   bit-flipped, truncated and version-bumped on disk. Every injection must
+//!   be *detected* (typed [`DurabilityError`], never a panic and never
+//!   silently-wrong state) and *survived* (fall back to the newest earlier
+//!   checkpoint, drop the journal's torn tail, rerun what was lost).
+//!
+//! The byte offsets used by the corruption tests pin the version-1 file
+//! formats: checkpoint = magic(8) version(4) reserved(4) seed(8)
+//! fingerprint(8) epoch(8) payload_len(8) payload trailing-checksum(8);
+//! journal = 40-byte header + 24-byte records. Changing the layout must bump
+//! `DURABLE_FORMAT_VERSION` and update these tests.
+
+use heat_solver::SolverConfig;
+use melissa::{
+    CompletionJournal, CorruptKind, DurabilityConfig, DurabilityError, DurableCheckpointStore,
+    DurableIdentity, ExperimentConfig, OnlineExperiment, WorkloadSpec,
+};
+use melissa_ensemble::CampaignPlan;
+use melissa_transport::Checksum64;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use training_buffer::{BufferConfig, BufferKind};
+
+const CLIENTS: usize = 8;
+const STEPS: usize = 10;
+
+/// Environment variable carrying the durability directory to the spawned
+/// child process; when unset, the hidden child test is a no-op pass.
+const CHILD_DIR_ENV: &str = "MELISSA_DURABILITY_CHILD_DIR";
+
+/// The experiment both the child and the resuming parent run. `slow` adds an
+/// emulated per-batch device delay so the parent has seconds — not
+/// milliseconds — to observe a checkpoint and kill the child mid-run. Device
+/// emulation is an operational knob, excluded from the config fingerprint, so
+/// the fast resume and the slow child agree on the experiment identity.
+fn durable_config(dir: &Path, slow: bool) -> ExperimentConfig {
+    let mut config = ExperimentConfig::builder()
+        .workload(WorkloadSpec::heat_analytic(SolverConfig {
+            nx: 8,
+            ny: 8,
+            steps: STEPS,
+            ..SolverConfig::default()
+        }))
+        .campaign(CampaignPlan::single_series(CLIENTS, 4))
+        .buffer(BufferConfig {
+            kind: BufferKind::Fifo,
+            capacity: 32,
+            threshold: 4,
+            seed: 7,
+        })
+        .batch_size(4)
+        .validation(2, 4)
+        .hidden_width(16)
+        .seed(4242)
+        .checkpoint_every_batches(1)
+        .durability(DurabilityConfig::new(dir.to_string_lossy()))
+        .build()
+        .expect("consistent durable configuration");
+    if slow {
+        config.training.device.extra_batch_micros = 150_000;
+    }
+    config
+}
+
+fn identity_of(config: &ExperimentConfig) -> DurableIdentity {
+    DurableIdentity {
+        experiment_seed: config.seed,
+        config_fingerprint: config.config_fingerprint(),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("melissa-durability-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Checkpoint files of a durability directory, sorted oldest first.
+fn checkpoint_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ckpt-"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Runs a small durable experiment to completion, leaving valid checkpoint
+/// files and a journal in `dir`, and returns its configuration.
+fn seed_durable_dir(dir: &Path) -> ExperimentConfig {
+    let config = durable_config(dir, false);
+    let (_, report, _) = OnlineExperiment::new(config.clone())
+        .expect("valid configuration")
+        .run_recoverable();
+    assert_eq!(report.durable_error, None, "the seeding run must persist");
+    assert!(
+        report.durable_checkpoints >= 2,
+        "need checkpoints to corrupt"
+    );
+    config
+}
+
+// ---------------------------------------------------------------------------
+// SIGKILL-and-resume
+// ---------------------------------------------------------------------------
+
+/// Hidden child body of `sigkill_mid_run_then_resume_from_disk`: runs the
+/// slow durable experiment into the directory named by the environment and
+/// expects to be killed before finishing. Without the environment variable
+/// (every normal `cargo test` run) it passes as a no-op.
+#[test]
+fn sigkill_child_runs_durable_experiment() {
+    let Some(dir) = std::env::var_os(CHILD_DIR_ENV) else {
+        return;
+    };
+    let config = durable_config(Path::new(&dir), true);
+    let (_, report, _) = OnlineExperiment::new(config)
+        .expect("valid configuration")
+        .run_recoverable();
+    // Only reached if the parent failed to kill us in time; persisting must
+    // still have worked so the parent's resume finds a finished directory.
+    assert_eq!(report.durable_error, None);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_run_then_resume_from_disk_reruns_only_missing_sims() {
+    use std::os::unix::process::ExitStatusExt;
+    use std::process::{Command, Stdio};
+
+    let dir = temp_dir("sigkill");
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args([
+            "--exact",
+            "sigkill_child_runs_durable_experiment",
+            "--nocapture",
+            "--test-threads",
+            "1",
+        ])
+        .env(CHILD_DIR_ENV, &dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn the child server process");
+
+    // Wait until a durable checkpoint records at least one completed
+    // simulation, so the kill leaves both completed work (must not rerun)
+    // and open work (must rerun). The atomic write protocol guarantees this
+    // concurrent read-side scan never observes a torn file — only
+    // fully-renamed checkpoints are visible. (The journal is not polled: a
+    // concurrent `CompletionJournal::open` would truncate in-flight tails.)
+    let config = durable_config(&dir, false);
+    let identity = identity_of(&config);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("child finished before the kill: {status:?}");
+        }
+        let checkpointed_completions = DurableCheckpointStore::open(&dir, identity, 3)
+            .ok()
+            .and_then(|store| store.load_latest().ok())
+            .and_then(|latest| latest.latest)
+            .map_or(0, |(_, cp)| cp.completed_simulations.len());
+        if checkpointed_completions >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no durable completion appeared within 60s"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // SIGKILL: no signal handler, no Drop, no flush — the hard case.
+    child.kill().expect("deliver SIGKILL");
+    let status = child.wait().expect("reap the child");
+    assert!(
+        status.code().is_none() && status.signal() == Some(9),
+        "the child must die by SIGKILL, got {status:?}"
+    );
+
+    // What the disk knows: the newest valid checkpoint plus every journaled
+    // completion. The restart contract is to rerun exactly the rest.
+    let store = DurableCheckpointStore::open(&dir, identity, 3).unwrap();
+    let latest = store.load_latest().unwrap();
+    assert!(
+        latest.rejected.is_empty(),
+        "an unclean kill must not leave torn checkpoint files: {:?}",
+        latest.rejected
+    );
+    let (_, checkpoint) = latest.latest.expect("polled until a checkpoint existed");
+    drop(store);
+    let (journal, journaled) = CompletionJournal::open(&dir, identity, 8).unwrap();
+    drop(journal);
+    let durable_completed: BTreeSet<u64> = checkpoint
+        .completed_simulations
+        .iter()
+        .copied()
+        .chain(journaled)
+        .collect();
+    let missing: Vec<u64> = (0..CLIENTS as u64)
+        .filter(|id| !durable_completed.contains(id))
+        .collect();
+    assert!(
+        !durable_completed.is_empty(),
+        "polled until a completion was durable: there is work to skip"
+    );
+    assert!(
+        !missing.is_empty(),
+        "killed mid-run with the slow device profile: there is work to rerun"
+    );
+
+    // Restart purely from the directory (fast device profile this time).
+    let (model, resume_report, final_checkpoint) =
+        OnlineExperiment::resume_from_dir(&dir, config).expect("resume from the killed run's dir");
+    assert!(model.params_flat().iter().all(|p| p.is_finite()));
+    assert_eq!(resume_report.durable_error, None);
+    assert_eq!(
+        resume_report.resumed_from_batches,
+        Some(checkpoint.batches_trained)
+    );
+
+    // Exactly-once per-simulation accounting: the resumed run streams and
+    // trains precisely the missing simulations — completed ones are not
+    // resubmitted, killed-mid-stream ones are rerun from scratch.
+    let transport = resume_report.transport.as_ref().expect("online stats");
+    assert_eq!(
+        transport.messages_sent,
+        missing.len() * STEPS,
+        "only the simulations absent from checkpoint+journal rerun"
+    );
+    assert_eq!(
+        resume_report.unique_samples_trained,
+        missing.len() * STEPS,
+        "durably completed simulations must not be retrained"
+    );
+
+    // The final checkpoint closes the campaign: every simulation covered.
+    let final_checkpoint = final_checkpoint.expect("the clean resume leaves a checkpoint");
+    assert_eq!(
+        final_checkpoint.completed_simulations,
+        (0..CLIENTS as u64).collect::<Vec<_>>(),
+        "checkpoint + journal + rerun must cover the whole campaign"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption handling
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bit_flipped_newest_checkpoint_falls_back_to_the_previous_one() {
+    let dir = temp_dir("bitflip");
+    let config = seed_durable_dir(&dir);
+
+    let files = checkpoint_files(&dir);
+    assert!(files.len() >= 2, "retention keeps several checkpoints");
+    let newest = files.last().unwrap();
+    let mut bytes = fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40; // one flipped bit in the payload
+    fs::write(newest, &bytes).unwrap();
+
+    let store = DurableCheckpointStore::open(&dir, identity_of(&config), 3).unwrap();
+    let latest = store.load_latest().unwrap();
+    assert_eq!(latest.rejected.len(), 1, "the flipped file is detected");
+    assert!(matches!(
+        latest.rejected[0],
+        DurabilityError::Corrupt {
+            kind: CorruptKind::ChecksumMismatch,
+            ..
+        }
+    ));
+    let (_, fallback) = latest.latest.expect("an earlier checkpoint survives");
+    drop(store);
+
+    // The journal still covers every completion recorded after the fallback
+    // checkpoint, so resuming the corrupted directory reruns nothing.
+    assert!(fallback.completed_simulations.len() <= CLIENTS);
+    let (_, report, resumed) = OnlineExperiment::resume_from_dir(&dir, config).unwrap();
+    assert_eq!(report.durable_error, None);
+    assert_eq!(report.transport.unwrap().messages_sent, 0);
+    assert_eq!(
+        resumed.unwrap().completed_simulations.len(),
+        CLIENTS,
+        "fallback checkpoint + journal still cover the campaign"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_newest_checkpoint_is_rejected_not_parsed() {
+    let dir = temp_dir("truncate");
+    let config = seed_durable_dir(&dir);
+
+    let files = checkpoint_files(&dir);
+    let newest = files.last().unwrap();
+    let bytes = fs::read(newest).unwrap();
+    fs::write(newest, &bytes[..bytes.len() - 5]).unwrap(); // torn trailing checksum
+
+    let store = DurableCheckpointStore::open(&dir, identity_of(&config), 3).unwrap();
+    let latest = store.load_latest().unwrap();
+    assert_eq!(latest.rejected.len(), 1);
+    assert!(matches!(
+        latest.rejected[0],
+        DurabilityError::Corrupt {
+            kind: CorruptKind::TruncatedPayload,
+            ..
+        }
+    ));
+    assert!(latest.latest.is_some(), "an earlier checkpoint survives");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_bumped_checkpoint_is_unsupported_even_with_a_valid_checksum() {
+    let dir = temp_dir("version");
+    let config = seed_durable_dir(&dir);
+
+    // Bump the format version *and* recompute the trailing checksum, so only
+    // the version check — not the checksum — can reject the file.
+    let files = checkpoint_files(&dir);
+    let newest = files.last().unwrap();
+    let mut bytes = fs::read(newest).unwrap();
+    bytes[8..12].copy_from_slice(&(melissa::DURABLE_FORMAT_VERSION + 1).to_le_bytes());
+    let body_len = bytes.len() - 8;
+    let checksum = Checksum64::digest(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+    fs::write(newest, &bytes).unwrap();
+
+    let store = DurableCheckpointStore::open(&dir, identity_of(&config), 3).unwrap();
+    let latest = store.load_latest().unwrap();
+    assert!(matches!(
+        latest.rejected[0],
+        DurabilityError::Corrupt {
+            kind: CorruptKind::UnsupportedVersion,
+            ..
+        }
+    ));
+    assert!(
+        latest.latest.is_some(),
+        "older same-version files still load"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_journal_tail_is_dropped_and_the_rest_replays() {
+    let dir = temp_dir("torn-tail");
+    let config = seed_durable_dir(&dir);
+    let identity = identity_of(&config);
+
+    let journal_path = dir.join("journal");
+    let (_, complete_replay) = CompletionJournal::open(&dir, identity, 8).unwrap();
+    assert_eq!(
+        complete_replay.len(),
+        CLIENTS,
+        "the run journaled every sim"
+    );
+
+    // A kill mid-append leaves a partial trailing record: 10 bytes of a
+    // 24-byte record. Replay must keep every whole record and drop the tail.
+    let mut bytes = fs::read(&journal_path).unwrap();
+    bytes.extend_from_slice(&[0xAB; 10]);
+    fs::write(&journal_path, &bytes).unwrap();
+    let (journal, replayed) = CompletionJournal::open(&dir, identity, 8).unwrap();
+    assert_eq!(replayed, complete_replay, "whole records all survive");
+    // The truncation repaired the file: appending works again.
+    journal.append(10_000).unwrap();
+    journal.flush().unwrap();
+    drop(journal);
+    let (_, after) = CompletionJournal::open(&dir, identity, 8).unwrap();
+    assert_eq!(after.len(), complete_replay.len() + 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_mid_journal_record_loses_the_tail_but_the_resume_still_completes() {
+    let dir = temp_dir("mid-journal");
+    let config = seed_durable_dir(&dir);
+    let identity = identity_of(&config);
+
+    // Flip one bit in the middle of the records region (header is 40 bytes,
+    // records 24). Replay stops at the damaged record; the completions behind
+    // it fall back to the checkpoints or are rerun — never double-counted.
+    let journal_path = dir.join("journal");
+    let mut bytes = fs::read(&journal_path).unwrap();
+    let damaged_index = (bytes.len() - 40) / 24 / 2;
+    bytes[40 + damaged_index * 24 + 3] ^= 0x01;
+    fs::write(&journal_path, &bytes).unwrap();
+
+    let (_, replayed) = CompletionJournal::open(&dir, identity, 8).unwrap();
+    assert_eq!(replayed.len(), damaged_index, "replay ends at the damage");
+
+    let (model, report, resumed) = OnlineExperiment::resume_from_dir(&dir, config).unwrap();
+    assert!(model.params_flat().iter().all(|p| p.is_finite()));
+    assert_eq!(report.durable_error, None);
+    assert_eq!(
+        resumed.unwrap().completed_simulations.len(),
+        CLIENTS,
+        "the resume reruns whatever the damaged journal no longer proves"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_journal_header_is_a_typed_error_not_a_panic() {
+    let dir = temp_dir("journal-header");
+    let config = seed_durable_dir(&dir);
+
+    let journal_path = dir.join("journal");
+    let mut bytes = fs::read(&journal_path).unwrap();
+    bytes[0] ^= 0xFF; // destroy the magic
+    fs::write(&journal_path, &bytes).unwrap();
+
+    let result = CompletionJournal::open(&dir, identity_of(&config), 8);
+    assert!(matches!(
+        result,
+        Err(DurabilityError::Corrupt {
+            kind: CorruptKind::BadMagic,
+            ..
+        })
+    ));
+    // The strict resume path surfaces the same typed error instead of
+    // silently starting over (which would double-run completed simulations).
+    let resume = OnlineExperiment::resume_from_dir(&dir, config);
+    assert!(matches!(resume, Err(DurabilityError::Corrupt { .. })));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_experiment_checkpoints_are_rejected_by_identity() {
+    let dir = temp_dir("foreign");
+    let config = seed_durable_dir(&dir);
+
+    // Same directory, different experiment seed: every file is detected as
+    // belonging to a different experiment, none is loaded.
+    let mut foreign = identity_of(&config);
+    foreign.experiment_seed ^= 1;
+    let store = DurableCheckpointStore::open(&dir, foreign, 3).unwrap();
+    let latest = store.load_latest().unwrap();
+    assert!(latest.latest.is_none());
+    assert!(!latest.rejected.is_empty());
+    assert!(latest
+        .rejected
+        .iter()
+        .all(|e| matches!(e, DurabilityError::IdentityMismatch { .. })));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Property: arbitrary corruption never panics and never parses garbage
+// ---------------------------------------------------------------------------
+
+/// One valid durable directory's files, captured once and restored into a
+/// fresh directory per proptest case.
+struct DurableFixture {
+    config: ExperimentConfig,
+    checkpoint_bytes: Vec<u8>,
+    journal_bytes: Vec<u8>,
+}
+
+fn fixture() -> &'static DurableFixture {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<DurableFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = temp_dir("proptest-fixture");
+        let config = seed_durable_dir(&dir);
+        let newest = checkpoint_files(&dir).pop().unwrap();
+        let checkpoint_bytes = fs::read(newest).unwrap();
+        let journal_bytes = fs::read(dir.join("journal")).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+        DurableFixture {
+            config,
+            checkpoint_bytes,
+            journal_bytes,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single-byte corruption at any offset of a checkpoint file is
+    /// rejected as a typed error — `load_latest` never panics and never
+    /// returns a checkpoint parsed from damaged bytes.
+    #[test]
+    fn any_checkpoint_byte_corruption_is_detected(offset_frac in 0.0f64..1.0, xor in 1u8..=255) {
+        let fx = fixture();
+        let dir = temp_dir("prop-ckpt");
+        let mut bytes = fx.checkpoint_bytes.clone();
+        let offset = ((bytes.len() - 1) as f64 * offset_frac) as usize;
+        bytes[offset] ^= xor;
+        fs::write(dir.join("ckpt-0000000000"), &bytes).unwrap();
+
+        let store = DurableCheckpointStore::open(&dir, identity_of(&fx.config), 3).unwrap();
+        let latest = store.load_latest().unwrap();
+        prop_assert!(latest.latest.is_none(), "corrupted checkpoint must not load (offset {offset})");
+        prop_assert_eq!(latest.rejected.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Any truncation of the journal opens without a panic: either a typed
+    /// header error (cut inside the header) or a clean replay of the whole
+    /// records that remain.
+    #[test]
+    fn any_journal_truncation_opens_cleanly(keep_frac in 0.0f64..1.0) {
+        let fx = fixture();
+        let dir = temp_dir("prop-journal");
+        let keep = ((fx.journal_bytes.len()) as f64 * keep_frac) as usize;
+        fs::write(dir.join("journal"), &fx.journal_bytes[..keep]).unwrap();
+
+        match CompletionJournal::open(&dir, identity_of(&fx.config), 8) {
+            Ok((_, replayed)) => {
+                // Header survived: every replayed id is one the run journaled,
+                // in order, never an invention of the torn tail.
+                prop_assert!(keep >= 40, "a truncated header must not open");
+                prop_assert!(replayed.len() <= (keep - 40) / 24);
+                prop_assert!(replayed.iter().all(|id| *id < CLIENTS as u64));
+            }
+            Err(DurabilityError::Corrupt { .. }) => {
+                prop_assert!(keep < 48, "whole-header journals must open (kept {keep})");
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
