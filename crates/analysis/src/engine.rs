@@ -5,7 +5,7 @@
 use crate::baseline::{fingerprints, Baseline, Ratchet};
 use crate::callgraph::{interprocedural_findings, propagate, CallGraph, Propagation};
 use crate::lockgraph::LockGraph;
-use crate::manifest::{LockManifest, SeedManifest};
+use crate::manifest::{LockManifest, SeedManifest, UnsafeManifest};
 use crate::rules::{apply_all, Finding, Rule};
 use crate::symbols::{SymbolTable, Workspace};
 use std::collections::BTreeMap;
@@ -42,6 +42,7 @@ pub struct Graphs {
 pub fn analyze(root: &Path) -> Result<Analysis, String> {
     let locks = LockManifest::load(root)?;
     let seeds = SeedManifest::load(root)?;
+    let unsafes = UnsafeManifest::load(root)?;
     let ws = Workspace::load(root)?;
 
     let mut findings = Vec::new();
@@ -50,7 +51,7 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
         for (line, problem) in &model.directives.malformed {
             directive_errors.push((model.rel_path.clone(), *line, problem.clone()));
         }
-        findings.extend(apply_all(model, &locks, &seeds));
+        findings.extend(apply_all(model, &locks, &seeds, &unsafes));
     }
 
     let table = SymbolTable::build(&ws);

@@ -1,9 +1,11 @@
-//! The checked manifests: the declared lock order (`analysis/locks.toml`)
-//! and the versioned RNG seed policy (`analysis/seed_policy.toml`).
+//! The checked manifests: the declared lock order (`analysis/locks.toml`),
+//! the versioned RNG seed policy (`analysis/seed_policy.toml`), and the
+//! audited unsafe scopes (`analysis/unsafe.toml`).
 //!
-//! Both files are part of the reviewed source tree: changing a lock order or
-//! blessing a new seed-derivation site is a diff a reviewer sees, not a
-//! convention a refactor silently breaks.
+//! All three files are part of the reviewed source tree: changing a lock
+//! order, blessing a new seed-derivation site, or widening the unsafe
+//! surface is a diff a reviewer sees, not a convention a refactor silently
+//! breaks.
 
 use crate::toml_lite::{parse, Doc};
 use std::path::Path;
@@ -154,6 +156,76 @@ impl SeedManifest {
     }
 }
 
+/// One audited unsafe scope: a workspace-relative path prefix whose files
+/// are allowed to contain `unsafe` code, with the justification on record.
+#[derive(Debug, Clone)]
+pub struct UnsafeScope {
+    /// Human name of the scope (reporting only).
+    pub name: String,
+    /// Workspace-relative path prefix (`crates/nn/src/simd/`); a file is in
+    /// scope when its rel-path starts with the prefix.
+    pub prefix: String,
+}
+
+/// The audited-unsafe manifest.
+#[derive(Debug, Clone, Default)]
+pub struct UnsafeManifest {
+    scopes: Vec<UnsafeScope>,
+}
+
+impl UnsafeManifest {
+    /// Loads `analysis/unsafe.toml` under `root`; a missing file means *no*
+    /// library file may contain `unsafe`.
+    pub fn load(root: &Path) -> Result<UnsafeManifest, String> {
+        let path = root.join("analysis/unsafe.toml");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Ok(UnsafeManifest::default());
+        };
+        let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut scopes = Vec::new();
+        for entry in doc.arrays.get("scope").map(|v| v.as_slice()).unwrap_or(&[]) {
+            scopes.push(UnsafeScope {
+                name: entry
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .ok_or("unsafe scope missing `name`")?
+                    .to_string(),
+                prefix: entry
+                    .get("prefix")
+                    .and_then(|v| v.as_str())
+                    .ok_or("unsafe scope missing `prefix`")?
+                    .to_string(),
+            });
+        }
+        Ok(UnsafeManifest { scopes })
+    }
+
+    /// Builds a manifest from path prefixes (tests).
+    pub fn from_prefixes(prefixes: Vec<String>) -> UnsafeManifest {
+        UnsafeManifest {
+            scopes: prefixes
+                .into_iter()
+                .map(|prefix| UnsafeScope {
+                    name: prefix.clone(),
+                    prefix,
+                })
+                .collect(),
+        }
+    }
+
+    /// True when `file` lies inside an audited unsafe scope.
+    pub fn allows(&self, file: &str) -> bool {
+        self.scopes
+            .iter()
+            .any(|s| file.starts_with(s.prefix.as_str()))
+    }
+
+    /// All audited scopes (reporting).
+    pub fn scopes(&self) -> &[UnsafeScope] {
+        &self.scopes
+    }
+}
+
 fn helpers_from(doc: &Doc) -> Result<Vec<SeedHelper>, String> {
     let mut helpers = Vec::new();
     for entry in doc
@@ -192,6 +264,15 @@ mod tests {
         assert_eq!(manifest.rank_of("f.rs", "self.wait"), Some(9));
         assert_eq!(manifest.rank_of("other.rs", "self.wait"), None);
         assert_eq!(manifest.rank_of("f.rs", "self.other"), None);
+    }
+
+    #[test]
+    fn unsafe_manifest_matches_by_path_prefix() {
+        let manifest = UnsafeManifest::from_prefixes(vec!["crates/nn/src/simd/".into()]);
+        assert!(manifest.allows("crates/nn/src/simd/avx2.rs"));
+        assert!(manifest.allows("crates/nn/src/simd/mod.rs"));
+        assert!(!manifest.allows("crates/nn/src/mlp.rs"));
+        assert!(!manifest.allows("crates/core/src/server.rs"));
     }
 
     #[test]

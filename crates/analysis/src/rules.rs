@@ -11,6 +11,7 @@
 //! | atomic-ordering audit | `atomic_ordering` | everywhere (incl. tests) |
 //! | panic surface | `panic_surface` | library code outside tests |
 //! | RNG seed policy | `seed_policy` | library code outside tests |
+//! | unsafe scope | `unsafe_scope` | library code outside tests |
 //!
 //! Every rule honours an inline `// analysis: allow(<key>, reason = "…")`
 //! grant on the offending line (or the line directly above it). For the two
@@ -18,7 +19,7 @@
 //! through that edge.
 
 use crate::lexer::{Token, TokenKind};
-use crate::manifest::{LockManifest, SeedManifest};
+use crate::manifest::{LockManifest, SeedManifest, UnsafeManifest};
 use crate::scanner::{FileContext, FileModel, FnSpan};
 use std::fmt;
 
@@ -41,11 +42,13 @@ pub enum Rule {
     PanicSurface,
     /// RNG seeding/drawing outside the versioned seed-policy helpers.
     SeedPolicy,
+    /// `unsafe` code outside the audited scopes in `analysis/unsafe.toml`.
+    UnsafeScope,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::HotPathAlloc,
         Rule::HotPathTransitiveAlloc,
         Rule::BlockingInHotPath,
@@ -53,6 +56,7 @@ impl Rule {
         Rule::AtomicOrdering,
         Rule::PanicSurface,
         Rule::SeedPolicy,
+        Rule::UnsafeScope,
     ];
 
     /// The stable snake_case key used in `baseline.toml`.
@@ -65,6 +69,7 @@ impl Rule {
             Rule::AtomicOrdering => "atomic_ordering",
             Rule::PanicSurface => "panic_surface",
             Rule::SeedPolicy => "seed_policy",
+            Rule::UnsafeScope => "unsafe_scope",
         }
     }
 
@@ -79,6 +84,7 @@ impl Rule {
             Rule::AtomicOrdering => "ordering",
             Rule::PanicSurface => "panic",
             Rule::SeedPolicy => "seed",
+            Rule::UnsafeScope => "unsafe",
         }
     }
 
@@ -122,13 +128,19 @@ impl Finding {
 }
 
 /// Evaluates every applicable rule over one file.
-pub fn apply_all(model: &FileModel, locks: &LockManifest, seeds: &SeedManifest) -> Vec<Finding> {
+pub fn apply_all(
+    model: &FileModel,
+    locks: &LockManifest,
+    seeds: &SeedManifest,
+    unsafes: &UnsafeManifest,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     hot_path_alloc(model, &mut findings);
     if model.context == FileContext::Library {
         lock_discipline(model, locks, &mut findings);
         panic_surface(model, &mut findings);
         seed_policy(model, seeds, &mut findings);
+        unsafe_scope(model, unsafes, &mut findings);
     }
     atomic_ordering(model, &mut findings);
     findings.sort_by_key(|f| (f.line, f.rule));
@@ -781,14 +793,68 @@ fn seed_policy(model: &FileModel, manifest: &SeedManifest, findings: &mut Vec<Fi
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 6: unsafe scope
+// ---------------------------------------------------------------------------
+
+fn unsafe_scope(model: &FileModel, manifest: &UnsafeManifest, findings: &mut Vec<Finding>) {
+    if manifest.allows(&model.rel_path) {
+        return; // the whole file lies inside an audited scope
+    }
+    for i in 0..model.tokens.len() {
+        if model.in_test_range(i) {
+            continue;
+        }
+        let tok = &model.tokens[i];
+        if tok.kind != TokenKind::Ident || tok.text != "unsafe" || tok.raw {
+            continue;
+        }
+        // Classify the construct for the (line-free) fingerprint detail.
+        let detail = match ident_text(model.tokens.get(i + 1)) {
+            Some("fn") => "unsafe fn",
+            Some("impl") => "unsafe impl",
+            Some("trait") => "unsafe trait",
+            _ if is_punct(model.tokens.get(i + 1), '{') => "unsafe {…}",
+            _ => "unsafe",
+        };
+        if model.allow_for(tok.line, "unsafe").is_some() {
+            continue;
+        }
+        let function = model
+            .enclosing_fn(i)
+            .map(|f| f.name.clone())
+            .unwrap_or_default();
+        findings.push(Finding {
+            rule: Rule::UnsafeScope,
+            file: model.rel_path.clone(),
+            line: tok.line,
+            function: function.clone(),
+            detail: detail.to_string(),
+            message: format!(
+                "`{detail}`{} is outside the audited unsafe scopes (move it under a prefix declared in analysis/unsafe.toml or add `// analysis: allow(unsafe, reason = …)`)",
+                if function.is_empty() {
+                    String::new()
+                } else {
+                    format!(" in fn `{function}`")
+                }
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manifest::{LockManifest, SeedManifest};
+    use crate::manifest::{LockManifest, SeedManifest, UnsafeManifest};
 
     fn check(src: &str) -> Vec<Finding> {
         let model = FileModel::scan("crates/x/src/lib.rs", src);
-        apply_all(&model, &LockManifest::default(), &SeedManifest::default())
+        apply_all(
+            &model,
+            &LockManifest::default(),
+            &SeedManifest::default(),
+            &UnsafeManifest::default(),
+        )
     }
 
     #[test]
@@ -881,7 +947,12 @@ fn draw(rng: &mut ChaCha8Rng) -> u32 { rng.gen_range(0..4) }
             "crates/x/src/lib.rs".to_string(),
             vec!["blessed".to_string()],
         )]);
-        let findings = apply_all(&model, &LockManifest::default(), &seeds);
+        let findings = apply_all(
+            &model,
+            &LockManifest::default(),
+            &seeds,
+            &UnsafeManifest::default(),
+        );
         let seeds: Vec<_> = findings
             .iter()
             .filter(|f| f.rule == Rule::SeedPolicy)
@@ -932,7 +1003,12 @@ fn g(&self) {
             ("crates/x/src/lib.rs".into(), "self.draw".into(), 10),
             ("crates/x/src/lib.rs".into(), "self.wait".into(), 20),
         ]);
-        let findings = apply_all(&model, &locks, &SeedManifest::default());
+        let findings = apply_all(
+            &model,
+            &locks,
+            &SeedManifest::default(),
+            &UnsafeManifest::default(),
+        );
         let lock_findings: Vec<_> = findings
             .iter()
             .filter(|f| f.rule == Rule::LockDiscipline)
@@ -954,6 +1030,62 @@ fn f(&self) {
 ";
         let findings = check(src);
         assert!(findings.iter().all(|f| f.rule != Rule::LockDiscipline));
+    }
+
+    #[test]
+    fn unsafe_outside_audited_scopes_is_flagged_with_construct_detail() {
+        let src = "\
+unsafe fn raw(p: *const f32) -> f32 { *p }
+pub fn wrap(p: *const f32) -> f32 {
+    unsafe { raw(p) }
+}
+unsafe impl Send for Holder {}
+fn blessed(p: *const f32) -> f32 {
+    // analysis: allow(unsafe, reason = \"bounds checked by caller contract\")
+    unsafe { raw(p) }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { unsafe { std::hint::unreachable_unchecked() } }
+}
+";
+        let findings = check(src);
+        let unsafes: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::UnsafeScope)
+            .collect();
+        assert_eq!(unsafes.len(), 3, "{unsafes:?}");
+        assert_eq!(unsafes[0].detail, "unsafe fn");
+        assert_eq!(unsafes[1].detail, "unsafe {…}");
+        assert_eq!(unsafes[1].function, "wrap");
+        assert_eq!(unsafes[2].detail, "unsafe impl");
+    }
+
+    #[test]
+    fn audited_prefix_silences_the_unsafe_rule_for_the_whole_file() {
+        let src = "unsafe fn kernel(p: *const f32) -> f32 { unsafe { *p } }";
+        let model = FileModel::scan("crates/nn/src/simd/avx2.rs", src);
+        let unsafes = UnsafeManifest::from_prefixes(vec!["crates/nn/src/simd/".to_string()]);
+        let findings = apply_all(
+            &model,
+            &LockManifest::default(),
+            &SeedManifest::default(),
+            &unsafes,
+        );
+        assert!(
+            findings.iter().all(|f| f.rule != Rule::UnsafeScope),
+            "{findings:?}"
+        );
+        // The same source outside the prefix is flagged.
+        let rogue = FileModel::scan("crates/nn/src/mlp.rs", src);
+        let rogue_findings = apply_all(
+            &rogue,
+            &LockManifest::default(),
+            &SeedManifest::default(),
+            &unsafes,
+        );
+        assert!(rogue_findings.iter().any(|f| f.rule == Rule::UnsafeScope));
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl FileContext {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allow {
     /// The rule key being allowed (`alloc`, `blocking`, `lock`, `ordering`,
-    /// `panic`, `seed`).
+    /// `panic`, `seed`, `unsafe`).
     pub rule: String,
     /// The mandatory human justification.
     pub reason: String,
@@ -235,7 +235,9 @@ fn parse_allow(body: &str, line: u32) -> Result<Allow, String> {
         .split_once(',')
         .ok_or_else(|| "allow() needs `allow(<rule>, reason = \"…\")`".to_string())?;
     let rule = rule.trim().to_string();
-    const RULES: [&str; 6] = ["alloc", "blocking", "lock", "ordering", "panic", "seed"];
+    const RULES: [&str; 7] = [
+        "alloc", "blocking", "lock", "ordering", "panic", "seed", "unsafe",
+    ];
     if !RULES.contains(&rule.as_str()) {
         return Err(format!(
             "unknown allow rule `{rule}` (expected one of {RULES:?})"

@@ -2,13 +2,18 @@
 //! seeded violation fixtures in `tests/fixtures/` (which the engine's
 //! workspace walk skips, so they never pollute `check --deny`).
 
-use melissa_analysis::manifest::{LockManifest, SeedManifest};
+use melissa_analysis::manifest::{LockManifest, SeedManifest, UnsafeManifest};
 use melissa_analysis::rules::{apply_all, Finding};
 use melissa_analysis::scanner::FileModel;
 
 /// Scans one fixture under a synthetic library rel-path and returns its
 /// findings as `(rule_key, line)` pairs, sorted.
-fn findings_for(fixture: &str, locks: &LockManifest, seeds: &SeedManifest) -> Vec<(String, u32)> {
+fn findings_for(
+    fixture: &str,
+    locks: &LockManifest,
+    seeds: &SeedManifest,
+    unsafes: &UnsafeManifest,
+) -> Vec<(String, u32)> {
     let path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
     let source = std::fs::read_to_string(&path).expect("fixture readable");
     let rel = format!("crates/demo/src/{fixture}");
@@ -18,7 +23,7 @@ fn findings_for(fixture: &str, locks: &LockManifest, seeds: &SeedManifest) -> Ve
         "fixture {fixture} has malformed directives: {:?}",
         model.directives.malformed
     );
-    let mut out: Vec<(String, u32)> = apply_all(&model, locks, seeds)
+    let mut out: Vec<(String, u32)> = apply_all(&model, locks, seeds, unsafes)
         .into_iter()
         .map(|f: Finding| (f.rule.key().to_string(), f.line))
         .collect();
@@ -32,18 +37,19 @@ fn expect(pairs: &[(&str, u32)]) -> Vec<(String, u32)> {
     out
 }
 
-fn empty_manifests() -> (LockManifest, SeedManifest) {
+fn empty_manifests() -> (LockManifest, SeedManifest, UnsafeManifest) {
     (
         LockManifest::from_entries(Vec::new()),
         SeedManifest::from_entries(Vec::new()),
+        UnsafeManifest::from_prefixes(Vec::new()),
     )
 }
 
 #[test]
 fn hot_path_fixture_findings_line_for_line() {
-    let (locks, seeds) = empty_manifests();
+    let (locks, seeds, unsafes) = empty_manifests();
     assert_eq!(
-        findings_for("hot_path.rs", &locks, &seeds),
+        findings_for("hot_path.rs", &locks, &seeds, &unsafes),
         expect(&[
             ("hot_path_alloc", 6),  // vec! macro
             ("hot_path_alloc", 7),  // .to_vec()
@@ -60,8 +66,9 @@ fn lock_fixture_findings_line_for_line() {
         ("crates/demo/src/locks.rs".into(), "self.second".into(), 20),
     ]);
     let seeds = SeedManifest::from_entries(Vec::new());
+    let unsafes = UnsafeManifest::from_prefixes(Vec::new());
     assert_eq!(
-        findings_for("locks.rs", &locks, &seeds),
+        findings_for("locks.rs", &locks, &seeds, &unsafes),
         expect(&[
             ("lock_discipline", 20), // rank 10 acquired under rank 20
             ("lock_discipline", 27), // undeclared receiver while a guard is held
@@ -71,9 +78,9 @@ fn lock_fixture_findings_line_for_line() {
 
 #[test]
 fn ordering_fixture_findings_line_for_line() {
-    let (locks, seeds) = empty_manifests();
+    let (locks, seeds, unsafes) = empty_manifests();
     assert_eq!(
-        findings_for("ordering.rs", &locks, &seeds),
+        findings_for("ordering.rs", &locks, &seeds, &unsafes),
         expect(&[
             ("atomic_ordering", 23), // no justification at all
             ("atomic_ordering", 31), // justified run interrupted by a non-site line
@@ -83,9 +90,9 @@ fn ordering_fixture_findings_line_for_line() {
 
 #[test]
 fn panic_fixture_findings_line_for_line() {
-    let (locks, seeds) = empty_manifests();
+    let (locks, seeds, unsafes) = empty_manifests();
     assert_eq!(
-        findings_for("panics.rs", &locks, &seeds),
+        findings_for("panics.rs", &locks, &seeds, &unsafes),
         expect(&[
             ("panic_surface", 4),  // .unwrap()
             ("panic_surface", 8),  // .expect()
@@ -97,12 +104,12 @@ fn panic_fixture_findings_line_for_line() {
 
 #[test]
 fn panic_fixture_is_exempt_in_test_context() {
-    let (locks, seeds) = empty_manifests();
+    let (locks, seeds, unsafes) = empty_manifests();
     let path = format!("{}/tests/fixtures/panics.rs", env!("CARGO_MANIFEST_DIR"));
     let source = std::fs::read_to_string(path).expect("fixture readable");
     // The same source under a tests/ rel-path: the panic rule stands down.
     let model = FileModel::scan("crates/demo/tests/panics.rs", &source);
-    let findings = apply_all(&model, &locks, &seeds);
+    let findings = apply_all(&model, &locks, &seeds, &unsafes);
     assert!(
         findings.is_empty(),
         "test-context file should produce no findings, got {findings:?}"
@@ -116,8 +123,9 @@ fn seed_fixture_findings_line_for_line() {
         "crates/demo/src/seeds.rs".into(),
         vec!["blessed_helper".into()],
     )]);
+    let unsafes = UnsafeManifest::from_prefixes(Vec::new());
     assert_eq!(
-        findings_for("seeds.rs", &locks, &seeds),
+        findings_for("seeds.rs", &locks, &seeds, &unsafes),
         expect(&[
             ("seed_policy", 11), // construction outside a blessed helper
             ("seed_policy", 17), // draw outside a blessed helper
@@ -126,10 +134,35 @@ fn seed_fixture_findings_line_for_line() {
 }
 
 #[test]
-fn lexer_hardening_fixture_findings_line_for_line() {
-    let (locks, seeds) = empty_manifests();
+fn unsafe_fixture_findings_line_for_line() {
+    let (locks, seeds, unsafes) = empty_manifests();
     assert_eq!(
-        findings_for("lexer_hardening.rs", &locks, &seeds),
+        findings_for("unsafes.rs", &locks, &seeds, &unsafes),
+        expect(&[
+            ("unsafe_scope", 4),  // unsafe fn
+            ("unsafe_scope", 9),  // unsafe {…} block
+            ("unsafe_scope", 14), // unsafe impl Send
+        ])
+    );
+}
+
+#[test]
+fn audited_prefix_exempts_the_unsafe_fixture() {
+    let locks = LockManifest::from_entries(Vec::new());
+    let seeds = SeedManifest::from_entries(Vec::new());
+    let unsafes = UnsafeManifest::from_prefixes(vec!["crates/demo/src/".to_string()]);
+    let findings = findings_for("unsafes.rs", &locks, &seeds, &unsafes);
+    assert!(
+        findings.iter().all(|(rule, _)| rule != "unsafe_scope"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn lexer_hardening_fixture_findings_line_for_line() {
+    let (locks, seeds, unsafes) = empty_manifests();
+    assert_eq!(
+        findings_for("lexer_hardening.rs", &locks, &seeds, &unsafes),
         expect(&[
             ("hot_path_alloc", 20), // vec! — first site after the hostile block
             ("hot_path_alloc", 21), // inner .collect() inside the closure
@@ -141,16 +174,16 @@ fn lexer_hardening_fixture_findings_line_for_line() {
 
 #[test]
 fn fixture_fingerprints_are_line_free_and_stable() {
-    let (locks, seeds) = empty_manifests();
+    let (locks, seeds, unsafes) = empty_manifests();
     let path = format!("{}/tests/fixtures/panics.rs", env!("CARGO_MANIFEST_DIR"));
     let source = std::fs::read_to_string(path).expect("fixture readable");
     let model = FileModel::scan("crates/demo/src/panics.rs", &source);
-    let findings = apply_all(&model, &locks, &seeds);
+    let findings = apply_all(&model, &locks, &seeds, &unsafes);
     // Prepend a comment line: every finding moves down one line, but the
     // ratchet fingerprints must not change.
     let shifted = format!("// shifted\n{source}");
     let shifted_model = FileModel::scan("crates/demo/src/panics.rs", &shifted);
-    let shifted_findings = apply_all(&shifted_model, &locks, &seeds);
+    let shifted_findings = apply_all(&shifted_model, &locks, &seeds, &unsafes);
     let stems: Vec<String> = findings.iter().map(Finding::fingerprint_stem).collect();
     let shifted_stems: Vec<String> = shifted_findings
         .iter()

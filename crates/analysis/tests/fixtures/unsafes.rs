@@ -1,0 +1,29 @@
+//! Seeded violations for the unsafe-scope rule: `unsafe` constructs in a
+//! library file that no `analysis/unsafe.toml` prefix covers.
+
+unsafe fn deref_raw(p: *const f32) -> f32 {
+    *p
+}
+
+pub fn block_site(p: *const f32) -> f32 {
+    unsafe { deref_raw(p) }
+}
+
+pub struct Holder(*mut f32);
+
+unsafe impl Send for Holder {}
+
+pub fn granted(p: *const f32) -> f32 {
+    // analysis: allow(unsafe, reason = "caller contract guarantees a valid pointer")
+    unsafe { deref_raw(p) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_unsafe_is_exempt() {
+        let x = 1.0f32;
+        let y = unsafe { super::deref_raw(&x) };
+        assert_eq!(x, y);
+    }
+}

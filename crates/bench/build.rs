@@ -1,0 +1,19 @@
+//! Embeds the toolchain identity into the benchmark binaries so every
+//! benchmark JSON records which compiler and target produced the numbers —
+//! rates from different builds are never silently compared.
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=BENCH_RUSTC_VERSION={version}");
+    let target = std::env::var("TARGET").unwrap_or_else(|_| "unknown".to_string());
+    println!("cargo:rustc-env=BENCH_TARGET_TRIPLE={target}");
+}

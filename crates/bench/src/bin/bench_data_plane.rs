@@ -673,6 +673,9 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1)
     ));
+    json.push_str("  \"dispatch\": ");
+    json.push_str(&train_step::dispatch_json(surrogate_nn::KernelIsa::Auto));
+    json.push_str(",\n");
     json.push_str(&format!(
         "  \"ingestion\": {{\"seed_msgs_per_second\": {:.2}, \"new_msgs_per_second\": {:.2}, \"speedup\": {:.3}}},\n",
         ingestion.seed, ingestion.new, ingestion.speedup()

@@ -10,7 +10,8 @@
 
 use std::time::Instant;
 use surrogate_nn::{
-    Activation, Adam, AdamConfig, InitScheme, Loss, Mlp, MlpConfig, MseLoss, Optimizer, Sample,
+    Activation, Adam, AdamConfig, InitScheme, KernelIsa, Loss, Mlp, MlpConfig, MseLoss, Optimizer,
+    Sample,
 };
 
 /// The seed implementation's Adam step, retained as the measured baseline:
@@ -246,7 +247,162 @@ pub fn cases_to_json(results: &[TrainStepCase]) -> String {
 
 /// Geometric-mean speedup across cases.
 pub fn geomean_speedup(results: &[TrainStepCase]) -> f64 {
-    (results.iter().map(|r| r.speedup.ln()).sum::<f64>() / results.len().max(1) as f64).exp()
+    geomean(results.iter().map(|r| r.speedup))
+}
+
+/// Geometric mean of a speedup sequence.
+pub fn geomean(speedups: impl Iterator<Item = f64>) -> f64 {
+    let (sum, count) = speedups.fold((0.0f64, 0usize), |(s, c), v| (s + v.ln(), c + 1));
+    (sum / count.max(1) as f64).exp()
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-vs-SIMD cases (PR 10)
+// ---------------------------------------------------------------------------
+
+/// Result of one scalar-vs-SIMD train-step case: both arms run the *same*
+/// blocked workspace path and differ only in the dispatched kernel ISA, so
+/// the speedup isolates the vector micro-kernels from the PR 3 workspace
+/// refactor measured by [`TrainStepCase`].
+pub struct SimdStepCase {
+    /// Output-layer size of the measured architecture.
+    pub output_size: usize,
+    /// Parameter count of the measured architecture.
+    pub param_count: usize,
+    /// Blocked workspace path forced to the scalar reference kernels.
+    pub scalar_samples_per_second: f64,
+    /// Blocked workspace path on the requested (vector) ISA.
+    pub simd_samples_per_second: f64,
+    /// `simd / scalar`.
+    pub speedup: f64,
+    /// Whether five side-by-side steps leave both models bit-identical (the
+    /// training-path kernels keep one numeric contract across ISAs).
+    pub bit_identical: bool,
+}
+
+/// Runs one measured arm of a SIMD case: a blocked workspace training loop
+/// with the workspace and optimizer pinned to `isa`. (The fused MSE stream
+/// follows the process-wide dispatch in both arms — it is bit-identical
+/// across ISAs and a negligible share of the step.)
+fn simd_arm_rate(batch: usize, output: usize, min_seconds: f64, isa: KernelIsa) -> f64 {
+    let streamed = samples(batch, output);
+    let param_count = model(output).param_count();
+    measure_best(3, || {
+        let mut m = model(output);
+        let mut optimizer = Adam::new(AdamConfig::default(), param_count).with_isa(isa);
+        let mut ws = m.workspace(batch).with_isa(isa);
+        let mut batch_buf = surrogate_nn::Batch::with_capacity(batch, 6, output);
+        let mut grads = Vec::with_capacity(param_count);
+        measure_window(batch, min_seconds, || {
+            workspace_step(
+                &mut m,
+                &mut optimizer,
+                &mut ws,
+                &mut batch_buf,
+                &mut grads,
+                &streamed,
+            )
+        })
+    })
+}
+
+/// Trains the scalar-pinned and `isa`-pinned arms side by side and checks
+/// the final parameters agree bit for bit.
+pub fn simd_paths_agree(batch: usize, output: usize, isa: KernelIsa) -> bool {
+    let streamed = samples(batch, output);
+    let mut scalar_model = model(output);
+    let mut simd_model = scalar_model.clone();
+    let param_count = scalar_model.param_count();
+    let mut scalar_opt = Adam::new(AdamConfig::default(), param_count).with_isa(KernelIsa::Scalar);
+    let mut simd_opt = Adam::new(AdamConfig::default(), param_count).with_isa(isa);
+    let mut scalar_ws = scalar_model.workspace(batch).with_isa(KernelIsa::Scalar);
+    let mut simd_ws = simd_model.workspace(batch).with_isa(isa);
+    let mut scalar_batch = surrogate_nn::Batch::with_capacity(batch, 6, output);
+    let mut simd_batch = surrogate_nn::Batch::with_capacity(batch, 6, output);
+    let mut scalar_grads = Vec::with_capacity(param_count);
+    let mut simd_grads = Vec::with_capacity(param_count);
+    for _ in 0..5 {
+        workspace_step(
+            &mut scalar_model,
+            &mut scalar_opt,
+            &mut scalar_ws,
+            &mut scalar_batch,
+            &mut scalar_grads,
+            &streamed,
+        );
+        workspace_step(
+            &mut simd_model,
+            &mut simd_opt,
+            &mut simd_ws,
+            &mut simd_batch,
+            &mut simd_grads,
+            &streamed,
+        );
+    }
+    scalar_model.params_flat() == simd_model.params_flat()
+}
+
+/// Runs one scalar-vs-SIMD case at the given batch size and window. Both
+/// rates come from the same process, same build, same inputs — the only
+/// variable is the dispatched ISA.
+pub fn run_simd_case(
+    batch: usize,
+    output: usize,
+    min_seconds: f64,
+    isa: KernelIsa,
+) -> SimdStepCase {
+    let param_count = model(output).param_count();
+    let scalar_rate = simd_arm_rate(batch, output, min_seconds, KernelIsa::Scalar);
+    let simd_rate = simd_arm_rate(batch, output, min_seconds, isa);
+    SimdStepCase {
+        output_size: output,
+        param_count,
+        scalar_samples_per_second: scalar_rate,
+        simd_samples_per_second: simd_rate,
+        speedup: simd_rate / scalar_rate,
+        bit_identical: simd_paths_agree(batch, output, isa),
+    }
+}
+
+/// Formats the SIMD cases as a JSON array fragment.
+pub fn simd_cases_to_json(results: &[SimdStepCase]) -> String {
+    let mut out = String::from("[\n");
+    for (k, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"output_size\": {}, \"param_count\": {}, \
+             \"scalar_samples_per_second\": {:.2}, \
+             \"simd_samples_per_second\": {:.2}, \
+             \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+            r.output_size,
+            r.param_count,
+            r.scalar_samples_per_second,
+            r.simd_samples_per_second,
+            r.speedup,
+            r.bit_identical,
+            if k + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// The dispatch decision and toolchain identity recorded in every benchmark
+/// JSON: which ISA was requested, what it resolved to on this CPU, the
+/// vector lane width and GEMM micro-kernel tile, and the compiler/target
+/// that produced the binary — so numbers from different machines or builds
+/// are never silently compared.
+pub fn dispatch_json(requested: KernelIsa) -> String {
+    let resolved = requested.resolve();
+    format!(
+        "{{\n    \"requested_isa\": \"{requested}\",\n    \"resolved_isa\": \"{}\",\n    \
+         \"lane_width\": {},\n    \"gemm_micro_kernel\": \"{}\",\n    \
+         \"rustc\": \"{}\",\n    \"target\": \"{}\"\n  }}",
+        resolved.name(),
+        resolved.lane_width(),
+        resolved.gemm_tile(),
+        env!("BENCH_RUSTC_VERSION"),
+        env!("BENCH_TARGET_TRIPLE"),
+    )
 }
 
 #[cfg(test)]
@@ -265,5 +421,37 @@ mod tests {
         assert!(case.blocked_samples_per_second > 0.0);
         assert!(case.speedup.is_finite());
         assert!(case.bit_identical);
+    }
+
+    #[test]
+    fn scalar_and_auto_isa_arms_compute_the_same_model() {
+        assert!(simd_paths_agree(4, 32, KernelIsa::Auto));
+    }
+
+    #[test]
+    fn a_tiny_simd_case_runs_and_reports_finite_rates() {
+        let case = run_simd_case(2, 16, 0.01, KernelIsa::Auto);
+        assert!(case.scalar_samples_per_second > 0.0);
+        assert!(case.simd_samples_per_second > 0.0);
+        assert!(case.speedup.is_finite());
+        assert!(case.bit_identical);
+    }
+
+    #[test]
+    fn dispatch_json_names_the_resolved_isa_and_toolchain() {
+        let json = dispatch_json(KernelIsa::Scalar);
+        assert!(json.contains("\"requested_isa\": \"scalar\""));
+        assert!(json.contains("\"resolved_isa\": \"scalar\""));
+        assert!(json.contains("\"lane_width\": 1"));
+        assert!(json.contains("\"gemm_micro_kernel\": \"4x8\""));
+        assert!(json.contains("\"rustc\": \""));
+        assert!(json.contains("\"target\": \""));
+    }
+
+    #[test]
+    fn geomean_of_equal_speedups_is_that_speedup() {
+        let g = geomean([2.0, 2.0, 2.0].into_iter());
+        assert!((g - 2.0).abs() < 1e-12);
+        assert!((geomean(std::iter::empty::<f64>()) - 1.0).abs() < 1e-12);
     }
 }

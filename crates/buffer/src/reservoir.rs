@@ -15,6 +15,11 @@
 //!   steps are not over-represented;
 //! * once reception is over, the threshold is lifted and selected samples are
 //!   removed, so the buffer drains and training terminates when it empties.
+//!
+//! Batch serving (`get_batch` / `get_batch_with`) selects with serve stream
+//! **"reservoir-draw-v2"**: one seeded RNG draw per batch, expanded to one
+//! index per sample with [`splitmix64`]. Single `get`s and the eviction draws
+//! on the insertion side keep the original per-call v1 stream.
 
 use crate::lock_order;
 use crate::stats::BufferStats;
@@ -37,6 +42,20 @@ struct Inner<T> {
     stats: BufferStats,
     rng: ChaCha8Rng,
     observer: Option<EvictionObserver<T>>,
+}
+
+/// SplitMix64 finaliser used by serve stream **"reservoir-draw-v2"**: a served
+/// batch consumes exactly **one** `gen_range` from the seeded RNG (the *base*)
+/// and derives the selection index of its `i`-th sample as
+/// `splitmix64(base + i) % population`. One RNG draw per batch instead of one
+/// per sample keeps the hot serving loop off the ChaCha block function while
+/// remaining a deterministic function of the configured seed (see
+/// `analysis/seed_policy.toml`; the old per-sample batch stream is retired).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl<T> Inner<T> {
@@ -125,10 +144,12 @@ impl<T> ReservoirBuffer<T> {
 
 impl<T: Clone> ReservoirBuffer<T> {
     /// The borrow-based batch-serving core behind
-    /// [`TrainingBuffer::get_batch_with`]: selections, population moves and
-    /// the RNG stream are exactly those of sequential `get`s, but the served
-    /// sample is handed to `visit` as a borrow, so **no clone happens at all**
-    /// — the one clone per pre-drain `get` disappears entirely on this path.
+    /// [`TrainingBuffer::get_batch_with`]: selections and population moves
+    /// mirror sequential `get`s, but the batch draws its selections from the
+    /// per-batch serve stream ("reservoir-draw-v2" — see [`splitmix64`]) and
+    /// the served sample is handed to `visit` as a borrow, so **no clone
+    /// happens at all** — the one clone per pre-drain `get` disappears
+    /// entirely on this path.
     fn serve_batch_visit(&self, n: usize, visit: &mut dyn FnMut(&T)) -> usize {
         if n == 0 {
             return 0;
@@ -136,6 +157,7 @@ impl<T: Clone> ReservoirBuffer<T> {
         // analysis: allow(blocking, reason = "one bounded lock acquisition per batch is the serving contract; contention is with producers only")
         let mut inner = self.lock_inner();
         let mut served = 0;
+        let mut base: Option<u64> = None;
         while served < n {
             let total = inner.total();
             if inner.reception_over {
@@ -151,7 +173,11 @@ impl<T: Clone> ReservoirBuffer<T> {
             }
 
             let total = inner.total();
-            let idx = inner.rng.gen_range(0..total);
+            // Serve stream "reservoir-draw-v2": one base draw per batch,
+            // taken lazily so a batch that first parks at the threshold gate
+            // still consumes exactly one RNG value.
+            let base = *base.get_or_insert_with(|| inner.rng.gen_range(0..=u64::MAX));
+            let idx = (splitmix64(base.wrapping_add(served as u64)) % total as u64) as usize;
             let repeated = if idx >= inner.seen {
                 // Unseen sample: serve it for the first time.
                 if inner.reception_over {
@@ -329,9 +355,11 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
         self.available.notify_all();
     }
 
-    /// Whole-batch extraction under one lock acquisition; selections and
-    /// clone-vs-move behaviour mirror sequential `get`s exactly (a pre-drain
-    /// serve clones once, a post-drain serve moves the sample out).
+    /// Whole-batch extraction under one lock acquisition; population moves
+    /// and clone-vs-move behaviour mirror sequential `get`s (a pre-drain
+    /// serve clones once, a post-drain serve moves the sample out), while the
+    /// selections come from the per-batch serve stream "reservoir-draw-v2"
+    /// (see [`splitmix64`]): one RNG draw per batch, not one per sample.
     // analysis: hot_path
     fn get_batch(&self, n: usize, out: &mut Vec<T>) -> usize {
         if n == 0 {
@@ -340,6 +368,7 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
         // analysis: allow(blocking, reason = "one bounded lock acquisition per batch is the serving contract; contention is with producers only")
         let mut inner = self.lock_inner();
         let mut served = 0;
+        let mut base: Option<u64> = None;
         while served < n {
             let total = inner.total();
             if inner.reception_over {
@@ -355,7 +384,11 @@ impl<T: Clone + Send> TrainingBuffer<T> for ReservoirBuffer<T> {
             }
 
             let total = inner.total();
-            let idx = inner.rng.gen_range(0..total);
+            // Serve stream "reservoir-draw-v2": one base draw per batch,
+            // taken lazily so a batch that first parks at the threshold gate
+            // still consumes exactly one RNG value.
+            let base = *base.get_or_insert_with(|| inner.rng.gen_range(0..=u64::MAX));
+            let idx = (splitmix64(base.wrapping_add(served as u64)) % total as u64) as usize;
             let (item, repeated) = if idx >= inner.seen {
                 if inner.reception_over {
                     (inner.items.swap_remove(idx), false)
@@ -654,47 +687,74 @@ mod tests {
         let _: ReservoirBuffer<u32> = ReservoirBuffer::new(4, 5, 0);
     }
 
+    /// Regression pinning serve stream "reservoir-draw-v2": a batch consumes
+    /// exactly one `gen_range` (the base) and expands it with SplitMix64. A
+    /// hand-rolled reference model replays the derivation and the partition
+    /// swaps; any change to the stream (extra draws, a different mix, a
+    /// different expansion key) breaks this test and must be reviewed as a
+    /// new seed-policy version.
     #[test]
-    fn batched_ops_replay_the_sequential_random_stream() {
-        let drive_sequential = || {
-            let buffer = ReservoirBuffer::new(16, 2, 21);
-            for k in 0..12u32 {
-                buffer.put(k);
+    fn reservoir_draw_v2_stream_is_pinned() {
+        let seed = 33u64;
+        let buffer = ReservoirBuffer::new(16, 2, seed);
+        for k in 0..10u32 {
+            buffer.put(k);
+        }
+        let mut served = Vec::new();
+        assert_eq!(buffer.get_batch(6, &mut served), 6);
+
+        // Reference model: no eviction happened (10 puts < capacity 16), so
+        // the batch base is the seeded RNG's first draw.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let base: u64 = rng.gen_range(0..=u64::MAX);
+        let mut items: Vec<u32> = (0..10).collect();
+        let mut seen = 0usize;
+        let mut expected = Vec::new();
+        for i in 0..6u64 {
+            let total = items.len() as u64;
+            let mut z = base.wrapping_add(i).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let idx = (z % total) as usize;
+            if idx >= seen {
+                items.swap(idx, seen);
+                expected.push(items[seen]);
+                seen += 1;
+            } else {
+                expected.push(items[idx]);
             }
-            let mut out = Vec::new();
-            for _ in 0..20 {
-                out.push(buffer.get().unwrap());
-            }
-            // Eviction draws interleave with serving draws.
-            for k in 100..110u32 {
-                buffer.put(k);
-            }
-            buffer.mark_reception_over();
-            while let Some(v) = buffer.get() {
-                out.push(v);
-            }
-            (out, buffer.stats())
-        };
-        let drive_batched = || {
+        }
+        assert_eq!(served, expected);
+    }
+
+    /// The v2 stream draws once per *batch*, not per sample: serving ten
+    /// samples as one batch, as two batches of five, or as ten batches of one
+    /// consumes a different number of RNG values, so the streams diverge —
+    /// which is exactly the retirement of the old sample-at-a-time batch
+    /// stream. Population-level behaviour is identical regardless of split.
+    #[test]
+    fn batch_granularity_owns_the_rng_stream() {
+        let drive = |splits: &[usize]| {
             let buffer = ReservoirBuffer::new(16, 2, 21);
             let mut items: Vec<u32> = (0..12).collect();
             buffer.put_many(&mut items);
             let mut out = Vec::new();
-            for _ in 0..4 {
-                buffer.get_batch(5, &mut out);
+            for &n in splits {
+                assert_eq!(buffer.get_batch(n, &mut out), n);
             }
-            let mut items: Vec<u32> = (100..110).collect();
-            buffer.put_many(&mut items);
-            buffer.mark_reception_over();
-            while buffer.get_batch(7, &mut out) > 0 {}
-            (out, buffer.stats())
+            (out, buffer.len(), buffer.stats().gets)
         };
-        let (sequential, seq_stats) = drive_sequential();
-        let (batched, batch_stats) = drive_batched();
-        assert_eq!(sequential, batched);
-        assert_eq!(seq_stats.gets, batch_stats.gets);
-        assert_eq!(seq_stats.repeated_gets, batch_stats.repeated_gets);
-        assert_eq!(seq_stats.evictions, batch_stats.evictions);
+        let (one, len_one, gets_one) = drive(&[10]);
+        let (two, len_two, gets_two) = drive(&[5, 5]);
+        let (ten, len_ten, gets_ten) = drive(&[1; 10]);
+        assert_eq!((len_one, gets_one), (12, 10));
+        assert_eq!((len_two, gets_two), (12, 10));
+        assert_eq!((len_ten, gets_ten), (12, 10));
+        assert_ne!(one, two, "each batch must draw its own base");
+        assert_ne!(one, ten, "each batch must draw its own base");
+        // Same seed and same split reproduce the same stream.
+        assert_eq!(drive(&[5, 5]), drive(&[5, 5]));
     }
 
     #[test]

@@ -22,10 +22,13 @@
 //! ## Seed policy (version 2)
 //!
 //! The unsharded policies draw one seeded RNG value per eviction/serve —
-//! that is stream **version 1**, and it is reproduced bit for bit when
-//! `shards == 1`: the facade then *delegates* every call to a single
-//! sub-buffer built with the caller's exact capacity, threshold and seed, so
-//! the single-shard pipeline is indistinguishable from the unsharded one.
+//! that is stream **version 1** (the Reservoir's *batch* serving has since
+//! moved to the per-batch "reservoir-draw-v2" stream; see
+//! `crate::reservoir`). Whatever streams the unsharded policy draws are
+//! reproduced bit for bit when `shards == 1`: the facade then *delegates*
+//! every call to a single sub-buffer built with the caller's exact capacity,
+//! threshold and seed, so the single-shard pipeline is indistinguishable
+//! from the unsharded one.
 //!
 //! With `shards > 1` a second, independent stream is added — version 2: the
 //! facade owns a `ChaCha8` RNG seeded with [`shard_draw_seed`] that decides

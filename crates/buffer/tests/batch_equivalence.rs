@@ -8,6 +8,12 @@
 //! extract chunks are replayed against two identically seeded buffers, one
 //! driven sequentially and one driven batch-wise, and every intermediate
 //! observation is compared.
+//!
+//! Exception: the Reservoir's batch serving draws the versioned per-batch
+//! stream "reservoir-draw-v2" (one RNG draw per batch, SplitMix64-expanded),
+//! so batch-vs-sequential *bit* equivalence is retired for it. Its batch path
+//! is still pinned two ways: `get_batch` ≡ `get_batch_with` below, and the
+//! stream-derivation regression in `crates/buffer/src/reservoir.rs`.
 
 use proptest::prelude::*;
 use training_buffer::{build_buffer, BufferConfig, BufferKind, BufferStats};
@@ -159,8 +165,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The batched entry points replay the sequential behaviour exactly for
-    /// every policy: served sequence (which pins the RNG stream), population
-    /// trajectory, counters and drain behaviour.
+    /// the deterministic-drain policies: served sequence (which pins the RNG
+    /// stream), population trajectory, counters and drain behaviour. The
+    /// Reservoir is deliberately absent — its batch serving owns the
+    /// versioned "reservoir-draw-v2" stream and diverges from sequential
+    /// `get`s by design (see the module docs).
     #[test]
     fn batched_ops_are_observationally_identical(
         capacity in 2usize..48,
@@ -168,7 +177,7 @@ proptest! {
         seed in 0u64..500,
     ) {
         let threshold = capacity / 3;
-        for kind in BufferKind::ALL {
+        for kind in [BufferKind::Fifo, BufferKind::Firo] {
             let config = BufferConfig { kind, capacity, threshold, seed };
             let sequential = run_schedule(&config, &ops, Mode::Sequential);
             let batched = run_schedule(&config, &ops, Mode::Batched);

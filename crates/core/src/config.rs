@@ -14,7 +14,7 @@ use melissa_workload::PARAM_DIM;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
-use surrogate_nn::{Activation, InitScheme, MlpConfig};
+use surrogate_nn::{Activation, InitScheme, KernelIsa, MlpConfig};
 use training_buffer::{BufferConfig, BufferKind};
 
 /// The surrogate architecture description.
@@ -106,6 +106,13 @@ pub struct TrainingConfig {
     /// batch N (double-buffered handoff, single consumer). Sample order and
     /// training results are bit-identical to the non-prefetch path.
     pub prefetch: bool,
+    /// Kernel ISA the compute core dispatches on: `auto` (default) picks the
+    /// widest ISA the CPU supports, `scalar` forces the blocked reference
+    /// kernels, a named ISA (`avx2`, `neon`) degrades to scalar when the CPU
+    /// lacks it. Every resolved ISA is bit-identical on the training path, so
+    /// this is an operational knob (excluded from the config fingerprint).
+    #[serde(default)]
+    pub kernel_isa: KernelIsa,
 }
 
 impl Default for TrainingConfig {
@@ -121,6 +128,7 @@ impl Default for TrainingConfig {
             device: DeviceProfile::default(),
             gemm_threads: 0,
             prefetch: false,
+            kernel_isa: KernelIsa::Auto,
         }
     }
 }
@@ -564,6 +572,13 @@ impl ExperimentConfigBuilder {
     /// Sets the per-rank GEMM thread count (0 = auto).
     pub fn gemm_threads(mut self, threads: usize) -> Self {
         self.config.training.gemm_threads = threads;
+        self
+    }
+
+    /// Sets the kernel-ISA request the compute core dispatches on
+    /// (`auto` / `scalar` / a named ISA; bit-identical either way).
+    pub fn kernel_isa(mut self, isa: KernelIsa) -> Self {
+        self.config.training.kernel_isa = isa;
         self
     }
 

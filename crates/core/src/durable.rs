@@ -140,6 +140,39 @@ pub enum DurabilityError {
         /// The value found in the file.
         found: u64,
     },
+    /// The durability directory as a whole belongs to a different experiment:
+    /// the identity its headers store disagrees with the resuming
+    /// configuration. Unlike [`DurabilityError::IdentityMismatch`] (one
+    /// foreign *file* inside an otherwise-owned directory), this is the
+    /// directory-level diagnosis `resume_from_dir` raises up front, and its
+    /// message names which knob class differs — the seed, the (non-seed)
+    /// configuration, or both — so the caller knows what to fix.
+    ForeignDirectory {
+        /// The refused directory.
+        dir: PathBuf,
+        /// The identity stamped into the directory's durable headers.
+        stored: DurableIdentity,
+        /// The identity of the configuration asking to resume.
+        given: DurableIdentity,
+        /// Which knob class differs. The seed feeds the configuration
+        /// fingerprint, so the caller classifies the diff (by recomputing the
+        /// fingerprint under the stored seed) rather than comparing the two
+        /// fingerprint fields naively.
+        diff: IdentityDiff,
+    },
+}
+
+/// Which knob class separates a stored durable identity from the resuming
+/// configuration (see [`DurabilityError::ForeignDirectory`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdentityDiff {
+    /// Only the experiment seed differs; every other knob matches.
+    SeedOnly,
+    /// The seed matches but some non-seed knob (model, training, buffer or
+    /// campaign settings) differs.
+    ConfigOnly,
+    /// Both the seed and at least one non-seed knob differ.
+    Both,
 }
 
 impl std::fmt::Display for DurabilityError {
@@ -165,6 +198,38 @@ impl std::fmt::Display for DurabilityError {
                 "durable file {} belongs to a different experiment: {field} {found:#x} != expected {expected:#x}",
                 path.display()
             ),
+            DurabilityError::ForeignDirectory {
+                dir,
+                stored,
+                given,
+                diff,
+            } => {
+                write!(
+                    f,
+                    "cannot resume from {}: it belongs to a different experiment — ",
+                    dir.display()
+                )?;
+                match diff {
+                    IdentityDiff::SeedOnly => write!(
+                        f,
+                        "the experiment seed differs (stored {}, given {}); the rest of the configuration matches, so rerun with `seed({})` or point at a fresh directory",
+                        stored.experiment_seed, given.experiment_seed, stored.experiment_seed
+                    ),
+                    IdentityDiff::ConfigOnly => write!(
+                        f,
+                        "the configuration differs (stored fingerprint {:#018x}, given {:#018x}); the seed matches, so a non-seed knob changed — check model, training, buffer and campaign settings against the original run",
+                        stored.config_fingerprint, given.config_fingerprint
+                    ),
+                    IdentityDiff::Both => write!(
+                        f,
+                        "both the experiment seed (stored {}, given {}) and at least one non-seed knob differ (stored fingerprint {:#018x}, given {:#018x})",
+                        stored.experiment_seed,
+                        given.experiment_seed,
+                        stored.config_fingerprint,
+                        given.config_fingerprint
+                    ),
+                }
+            }
         }
     }
 }
@@ -470,6 +535,81 @@ fn list_checkpoint_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityEr
         files.push((epoch, entry.path()));
     }
     Ok(files)
+}
+
+/// Reads the [`DurableIdentity`] stamped into a directory's durable headers
+/// *without* requiring it to match anything — the "whose directory is this?"
+/// probe behind the friendly [`DurabilityError::ForeignDirectory`] diagnosis.
+///
+/// The journal header is consulted first (every durable run writes one on
+/// open); when it is absent or structurally invalid, the newest structurally
+/// valid checkpoint header supplies the identity instead. Returns `Ok(None)`
+/// for a directory holding no readable durable artifact: such a directory is
+/// a fresh start, not a foreign one. Only I/O failures are errors —
+/// structural corruption is left for the resume path to report per file.
+pub fn peek_identity(dir: impl AsRef<Path>) -> Result<Option<DurableIdentity>, DurabilityError> {
+    let dir = dir.as_ref();
+    let journal_path = dir.join(JOURNAL_FILE);
+    if journal_path.exists() {
+        let mut bytes = Vec::new();
+        File::open(&journal_path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err(&journal_path, e))?;
+        if let Some(identity) = peek_journal_header(&bytes) {
+            return Ok(Some(identity));
+        }
+    }
+    let mut files = list_checkpoint_files(dir)?;
+    files.sort_by_key(|(epoch, _)| std::cmp::Reverse(*epoch));
+    for (_, path) in files {
+        let mut bytes = Vec::new();
+        File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err(&path, e))?;
+        if let Some(identity) = peek_checkpoint_header(&bytes) {
+            return Ok(Some(identity));
+        }
+    }
+    Ok(None)
+}
+
+/// Extracts the identity of a structurally valid journal header (magic,
+/// version and header checksum must all hold — a corrupt header cannot be
+/// trusted to name an owner).
+fn peek_journal_header(bytes: &[u8]) -> Option<DurableIdentity> {
+    if bytes.len() < JOURNAL_HEADER_LEN
+        || &bytes[..8] != JOURNAL_MAGIC
+        || read_u32(bytes, 8) != DURABLE_FORMAT_VERSION
+        || Checksum64::digest(&bytes[..JOURNAL_HEADER_LEN - 8])
+            != read_u64(bytes, JOURNAL_HEADER_LEN - 8)
+    {
+        return None;
+    }
+    Some(DurableIdentity {
+        experiment_seed: read_u64(bytes, 16),
+        config_fingerprint: read_u64(bytes, 24),
+    })
+}
+
+/// Extracts the identity of a structurally valid checkpoint file (magic,
+/// version, payload bounds and whole-file checksum must all hold).
+fn peek_checkpoint_header(bytes: &[u8]) -> Option<DurableIdentity> {
+    if bytes.len() < CHECKPOINT_HEADER_LEN + 8
+        || &bytes[..8] != CHECKPOINT_MAGIC
+        || read_u32(bytes, 8) != DURABLE_FORMAT_VERSION
+    {
+        return None;
+    }
+    let payload_end = CHECKPOINT_HEADER_LEN + read_u64(bytes, 40) as usize;
+    if bytes.len() < payload_end + 8
+        || Checksum64::digest(&bytes[..payload_end]) != read_u64(bytes, payload_end)
+    {
+        return None;
+    }
+    Some(DurableIdentity {
+        experiment_seed: read_u64(bytes, 16),
+        config_fingerprint: read_u64(bytes, 24),
+    })
 }
 
 /// Serialises the journal header for `identity`.
@@ -1021,6 +1161,86 @@ mod tests {
             other => panic!("expected corrupt-header error, got {other:?}"),
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peek_identity_reads_the_journal_then_falls_back_to_checkpoints() {
+        let dir = temp_dir("peek");
+        // Nothing durable yet: the directory is a fresh start, not foreign.
+        assert_eq!(peek_identity(&dir).unwrap(), None);
+
+        // A journal header is the authoritative identity source.
+        {
+            let _ = CompletionJournal::open(&dir, IDENTITY, 1).unwrap();
+        }
+        assert_eq!(peek_identity(&dir).unwrap(), Some(IDENTITY));
+
+        // Corrupt the journal header: the peek must fall back to the newest
+        // structurally valid checkpoint instead of trusting a broken owner.
+        let store = DurableCheckpointStore::open(&dir, IDENTITY, 5).unwrap();
+        store.save(&checkpoint(2, vec![0])).unwrap();
+        let journal_path = dir.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&journal_path).unwrap();
+        bytes[10] ^= 0xFF;
+        fs::write(&journal_path, &bytes).unwrap();
+        assert_eq!(peek_identity(&dir).unwrap(), Some(IDENTITY));
+
+        // Corrupt the checkpoint too: no readable artifact, no identity.
+        let ckpt_path = dir.join(checkpoint_file_name(0));
+        let mut bytes = fs::read(&ckpt_path).unwrap();
+        let len = bytes.len();
+        bytes[len - 1] ^= 0xFF;
+        fs::write(&ckpt_path, &bytes).unwrap();
+        assert_eq!(peek_identity(&dir).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_directory_message_names_the_differing_knob_class() {
+        let dir = PathBuf::from("/tmp/melissa-run");
+        let seed_only = DurabilityError::ForeignDirectory {
+            dir: dir.clone(),
+            stored: IDENTITY,
+            given: DurableIdentity {
+                experiment_seed: 43,
+                ..IDENTITY
+            },
+            diff: IdentityDiff::SeedOnly,
+        };
+        let message = seed_only.to_string();
+        assert!(message.contains("the experiment seed differs"), "{message}");
+        assert!(message.contains("stored 42, given 43"), "{message}");
+        assert!(
+            message.contains("the rest of the configuration matches"),
+            "{message}"
+        );
+
+        let config_only = DurabilityError::ForeignDirectory {
+            dir: dir.clone(),
+            stored: IDENTITY,
+            given: DurableIdentity {
+                config_fingerprint: 0xDEAD_CAFE,
+                ..IDENTITY
+            },
+            diff: IdentityDiff::ConfigOnly,
+        };
+        let message = config_only.to_string();
+        assert!(message.contains("the configuration differs"), "{message}");
+        assert!(message.contains("the seed matches"), "{message}");
+        assert!(message.contains("0x00000000feedbeef"), "{message}");
+
+        let both = DurabilityError::ForeignDirectory {
+            dir,
+            stored: IDENTITY,
+            given: DurableIdentity {
+                experiment_seed: 7,
+                config_fingerprint: 1,
+            },
+            diff: IdentityDiff::Both,
+        };
+        let message = both.to_string();
+        assert!(message.contains("both the experiment seed"), "{message}");
+        assert!(message.contains("stored 42, given 7"), "{message}");
     }
 
     #[test]

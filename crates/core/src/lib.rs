@@ -61,8 +61,8 @@ pub use config::{
 };
 pub use disk::{DiskConfig, SimulatedDisk};
 pub use durable::{
-    CompletionJournal, CorruptKind, DurabilityError, DurableCheckpointStore, DurableIdentity,
-    DurableRecorder, LatestCheckpoint, DURABLE_FORMAT_VERSION,
+    peek_identity, CompletionJournal, CorruptKind, DurabilityError, DurableCheckpointStore,
+    DurableIdentity, DurableRecorder, IdentityDiff, LatestCheckpoint, DURABLE_FORMAT_VERSION,
 };
 pub use error::{ConfigError, ExperimentError};
 pub use metrics::{

@@ -137,7 +137,8 @@ impl OfflineExperiment {
                 let epochs = self.epochs;
                 scope.spawn(move |_| {
                     let mut model = Mlp::new(mlp_config);
-                    let mut optimizer = Adam::new(AdamConfig::default(), model.param_count());
+                    let mut optimizer = Adam::new(AdamConfig::default(), model.param_count())
+                        .with_isa(config.training.kernel_isa);
                     let schedule = SampleBasedHalving {
                         initial: config.training.initial_learning_rate,
                         interval_samples: config.training.lr_halving_samples,
@@ -147,7 +148,8 @@ impl OfflineExperiment {
                     // Reused hot-path state: workspace, batch and gradient vector.
                     let mut ws = model
                         .workspace(batch_size)
-                        .with_threads(config.training.effective_gemm_threads());
+                        .with_threads(config.training.effective_gemm_threads())
+                        .with_isa(config.training.kernel_isa);
                     let mut batch =
                         Batch::with_capacity(batch_size, model.input_size(), model.output_size());
                     let mut grads: Vec<f32> = Vec::with_capacity(model.param_count());
@@ -298,6 +300,7 @@ impl OfflineExperiment {
             resumed_from_batches: None,
             durable_checkpoints: 0,
             durable_error: None,
+            kernel_isa: config.training.kernel_isa.resolve().name().to_string(),
         };
 
         (model, report)

@@ -80,6 +80,10 @@ pub struct ExperimentReport {
     /// its on-disk recovery state stopped updating at that point.
     #[serde(default)]
     pub durable_error: Option<String>,
+    /// The kernel ISA the compute core resolved to ("scalar", "avx2+fma",
+    /// "neon"); empty in reports written before the SIMD dispatch existed.
+    #[serde(default)]
+    pub kernel_isa: String,
 }
 
 impl ExperimentReport {
@@ -187,6 +191,7 @@ mod tests {
             resumed_from_batches: None,
             durable_checkpoints: 0,
             durable_error: None,
+            kernel_isa: "scalar".to_string(),
         }
     }
 

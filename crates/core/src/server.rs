@@ -110,6 +110,12 @@ impl OnlineExperiment {
     /// neither are rerun. The directory must exist ([`DurabilityError`]
     /// otherwise); an existing-but-empty directory starts a fresh run that
     /// persists into it. `config.durability` is overridden to point at `dir`.
+    ///
+    /// A directory whose durable headers carry a *different* identity is
+    /// refused up front with [`DurabilityError::ForeignDirectory`], whose
+    /// message names which knob class differs — the seed, the (non-seed)
+    /// configuration, or both — instead of silently starting a fresh run
+    /// next to someone else's checkpoints.
     pub fn resume_from_dir(
         dir: impl AsRef<Path>,
         mut config: ExperimentConfig,
@@ -126,6 +132,30 @@ impl OnlineExperiment {
         config.durability = Some(durability.clone());
         let experiment = Self::new(config)?;
         let identity = experiment.durable_identity();
+        if let Some(stored) = crate::durable::peek_identity(dir)? {
+            if stored != identity {
+                let diff = if stored.experiment_seed == identity.experiment_seed {
+                    crate::durable::IdentityDiff::ConfigOnly
+                } else {
+                    // The seed feeds the fingerprint, so recompute it under
+                    // the stored seed to decide whether anything *else*
+                    // changed too.
+                    let mut reseeded = experiment.config.clone();
+                    reseeded.seed = stored.experiment_seed;
+                    if reseeded.config_fingerprint() == stored.config_fingerprint {
+                        crate::durable::IdentityDiff::SeedOnly
+                    } else {
+                        crate::durable::IdentityDiff::Both
+                    }
+                };
+                return Err(DurabilityError::ForeignDirectory {
+                    dir: dir.to_path_buf(),
+                    stored,
+                    given: identity,
+                    diff,
+                });
+            }
+        }
 
         let store = DurableCheckpointStore::open(dir, identity, durability.keep_last)?;
         let latest = store.load_latest()?;
@@ -581,6 +611,7 @@ impl OnlineExperiment {
             durable_checkpoints: durable.as_ref().map_or(0, |d| d.checkpoints_saved()),
             durable_error: durable.as_ref().and_then(|d| d.first_error()),
             launcher: launcher_report,
+            kernel_isa: config.training.kernel_isa.resolve().name().to_string(),
         };
 
         (model, report, store.latest())
@@ -716,6 +747,61 @@ mod tests {
             result,
             Err(crate::durable::DurabilityError::MissingDirectory(_))
         ));
+    }
+
+    #[test]
+    fn resume_from_foreign_directory_names_the_differing_knob() {
+        let dir =
+            std::env::temp_dir().join(format!("melissa-server-foreign-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut config = tiny_config(BufferKind::Reservoir, 1);
+        config.checkpoint_every_batches = 2;
+        config.durability = Some(crate::DurabilityConfig::new(dir.to_string_lossy()));
+        let (_, report, _) = OnlineExperiment::new(config.clone())
+            .unwrap()
+            .run_recoverable();
+        assert_eq!(report.durable_error, None);
+
+        // Same configuration, different seed: the message must name the seed
+        // as the differing knob and report both values.
+        let mut other_seed = config.clone();
+        other_seed.seed = config.seed + 1;
+        let err = OnlineExperiment::resume_from_dir(&dir, other_seed).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::durable::DurabilityError::ForeignDirectory { .. }
+        ));
+        let message = err.to_string();
+        assert!(
+            message.contains("the experiment seed differs"),
+            "message must diagnose the seed: {message}"
+        );
+        assert!(
+            message.contains("the rest of the configuration matches"),
+            "message must clear the config: {message}"
+        );
+
+        // Same seed, different training configuration: the message must point
+        // at the non-seed knobs instead.
+        let mut other_config = config.clone();
+        other_config.training.batch_size += 1;
+        let err = OnlineExperiment::resume_from_dir(&dir, other_config).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("the configuration differs"),
+            "message must diagnose the config: {message}"
+        );
+        assert!(
+            message.contains("the seed matches"),
+            "message must clear the seed: {message}"
+        );
+
+        // The matching configuration still resumes fine afterwards.
+        let (_, resume_report, _) = OnlineExperiment::resume_from_dir(&dir, config).unwrap();
+        assert_eq!(resume_report.transport.unwrap().messages_sent, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

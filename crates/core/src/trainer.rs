@@ -145,7 +145,8 @@ impl RankTrainer {
         validation: Option<Arc<ValidationSet>>,
         shared: Arc<TrainerShared>,
     ) -> Self {
-        let optimizer = Adam::new(AdamConfig::default(), model.param_count());
+        let optimizer =
+            Adam::new(AdamConfig::default(), model.param_count()).with_isa(config.kernel_isa);
         let schedule = SampleBasedHalving {
             initial: config.initial_learning_rate,
             interval_samples: config.lr_halving_samples,
@@ -291,7 +292,8 @@ impl RankTrainer {
             ws: self
                 .model
                 .workspace(batch_size)
-                .with_threads(self.config.effective_gemm_threads()),
+                .with_threads(self.config.effective_gemm_threads())
+                .with_isa(self.config.kernel_isa),
             grads: Vec::with_capacity(self.model.param_count()),
             tracker: ThroughputTracker::new(10),
             losses: Vec::new(),

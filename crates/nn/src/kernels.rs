@@ -41,7 +41,9 @@ pub const MR: usize = 4;
 
 /// Work threshold (in multiply-adds) below which parallel dispatch falls back
 /// to the serial kernel; spawning scoped threads costs tens of microseconds.
-const PAR_MIN_MADDS: usize = 1 << 20;
+/// Shared with the SIMD dispatch layer so serial/parallel splits never
+/// diverge between the scalar and vector paths.
+pub(crate) const PAR_MIN_MADDS: usize = 1 << 20;
 
 /// Splits `rows` into at most `threads` contiguous chunks of equal size
 /// (the last chunk may be smaller). Returns the chunk height.

@@ -42,6 +42,7 @@ pub mod normalize;
 pub mod optim;
 pub mod schedule;
 pub mod serialize;
+pub mod simd;
 pub mod workspace;
 
 pub use allreduce::GradientSynchronizer;
@@ -54,6 +55,7 @@ pub use normalize::{InputNormalizer, OutputNormalizer};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
 pub use schedule::{ConstantLr, LrSchedule, SampleBasedHalving, StepHalving};
 pub use serialize::{load_mlp, save_mlp, ModelCheckpoint};
+pub use simd::{KernelIsa, ResolvedIsa};
 pub use workspace::Workspace;
 
 #[cfg(test)]

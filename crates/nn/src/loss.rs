@@ -1,6 +1,7 @@
 //! Loss functions returning both the scalar loss and its output gradient.
 
 use crate::matrix::Matrix;
+use crate::simd;
 
 /// A differentiable loss over a batch of predictions and targets.
 pub trait Loss: Send + Sync {
@@ -60,17 +61,13 @@ impl Loss for MseLoss {
         assert_eq!(grad.cols(), prediction.cols(), "gradient buffer cols");
         let n = (prediction.rows() * prediction.cols()) as f32;
         let scale = 2.0 / n;
-        let mut sum = 0.0f32;
-        for ((g, &p), &t) in grad
-            .data_mut()
-            .iter_mut()
-            .zip(prediction.data())
-            .zip(target.data())
-        {
-            let diff = p - t;
-            sum += diff * diff;
-            *g = diff * scale;
-        }
+        let sum = simd::mse_fused(
+            simd::detect(),
+            prediction.data(),
+            target.data(),
+            scale,
+            grad.data_mut(),
+        );
         if n == 0.0 {
             return 0.0;
         }

@@ -7,8 +7,8 @@
 //! that shape for a given output size; tests use much smaller variants.
 
 use crate::init::{InitScheme, WeightInit};
-use crate::kernels;
 use crate::matrix::Matrix;
+use crate::simd::{self, Epilogue, ResolvedIsa};
 use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
@@ -165,11 +165,11 @@ impl DenseLayer {
     /// Allocation-free fused forward: `out = act(input · W + b)` in one
     /// blocked-GEMM pass (bias-add and activation run in the kernel epilogue
     /// while the output tile is hot). `out` must be `batch × fan_out`.
-    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix, threads: usize) {
+    /// Dispatches on `isa` (bit-identical across every resolved ISA).
+    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix, threads: usize, isa: ResolvedIsa) {
         assert_eq!(input.cols(), self.fan_in(), "layer input width");
-        let activation = self.activation;
-        let biases = &self.biases;
-        kernels::gemm_nn(
+        simd::gemm_nn(
+            isa,
             threads,
             input.data(),
             input.rows(),
@@ -177,7 +177,10 @@ impl DenseLayer {
             self.weights.data(),
             self.fan_out(),
             out.data_mut(),
-            |j, acc| activation.apply(acc + biases[j]),
+            Epilogue::BiasAct {
+                biases: &self.biases,
+                activation: self.activation,
+            },
         );
     }
 
@@ -383,12 +386,13 @@ impl Mlp {
         ws.prepare(input.rows());
         ws.input.data_mut().copy_from_slice(input.data());
         let threads = ws.threads();
+        let isa = ws.isa();
         for (l, layer) in self.layers.iter().enumerate() {
             if l == 0 {
-                layer.forward_into(&ws.input, &mut ws.acts[0], threads);
+                layer.forward_into(&ws.input, &mut ws.acts[0], threads, isa);
             } else {
                 let (prev, rest) = ws.acts.split_at_mut(l);
-                layer.forward_into(&prev[l - 1], &mut rest[0], threads);
+                layer.forward_into(&prev[l - 1], &mut rest[0], threads, isa);
             }
         }
         ws.output()
@@ -420,6 +424,7 @@ impl Mlp {
             "workspace architecture mismatch"
         );
         let threads = ws.threads();
+        let isa = ws.isa();
         let rows = ws.input.rows();
         for l in (0..self.layers.len()).rev() {
             let layer = &mut self.layers[l];
@@ -427,12 +432,7 @@ impl Mlp {
             let grad_l = &mut upper[0];
 
             // dLoss/d preact in place: grad ⊙ act'(output).
-            let activation = layer.activation;
-            if activation != Activation::Identity {
-                for (g, &y) in grad_l.data_mut().iter_mut().zip(ws.acts[l].data()) {
-                    *g *= activation.derivative_from_output(y);
-                }
-            }
+            simd::act_derivative_mul(isa, grad_l.data_mut(), ws.acts[l].data(), layer.activation);
 
             // Parameter gradients (overwritten; buffers reused once allocated).
             let input = if l == 0 { &ws.input } else { &ws.acts[l - 1] };
@@ -442,9 +442,10 @@ impl Mlp {
                 .get_or_insert_with(|| Matrix::zeros(layer.weights.rows(), layer.weights.cols()));
             if rows == 1 {
                 // Single-sample batches reduce to a rank-1 update.
-                kernels::fill_outer(input.row(0), grad_l.row(0), gw.data_mut());
+                simd::fill_outer(isa, input.row(0), grad_l.row(0), gw.data_mut());
             } else {
-                kernels::gemm_tn(
+                simd::gemm_tn(
+                    isa,
                     threads,
                     input.data(),
                     rows,
@@ -468,14 +469,15 @@ impl Mlp {
             } else {
                 &mut lower[l - 1]
             };
-            if rows >= kernels::NR && rows < fan_in {
+            if rows >= crate::kernels::NR && rows < fan_in {
                 // Small-batch variant: compute (W · grad_preᵀ)ᵀ, transposing
                 // the two batch-sized matrices instead of the (much larger)
                 // weight matrix — the big operand is streamed exactly once.
                 let gpt = &mut ws.scratch_t[..fan_out * rows];
-                kernels::transpose(grad_l.data(), rows, fan_out, gpt);
+                simd::transpose(isa, grad_l.data(), rows, fan_out, gpt);
                 let git = &mut ws.scratch_o[..fan_in * rows];
-                kernels::gemm_nn(
+                simd::gemm_nn(
+                    isa,
                     threads,
                     layer.weights.data(),
                     fan_in,
@@ -483,15 +485,16 @@ impl Mlp {
                     gpt,
                     rows,
                     git,
-                    |_, acc| acc,
+                    Epilogue::Identity,
                 );
-                kernels::transpose(git, fan_in, rows, grad_in.data_mut());
+                simd::transpose(isa, git, fan_in, rows, grad_in.data_mut());
             } else {
                 // Large-batch variant: materialise Wᵀ once and run the
                 // register micro-kernel on grad_pre · Wᵀ directly.
                 let wt = &mut ws.weights_t[l];
-                kernels::transpose(layer.weights.data(), fan_in, fan_out, wt.data_mut());
-                kernels::gemm_nn(
+                simd::transpose(isa, layer.weights.data(), fan_in, fan_out, wt.data_mut());
+                simd::gemm_nn(
+                    isa,
                     threads,
                     grad_l.data(),
                     rows,
@@ -499,7 +502,7 @@ impl Mlp {
                     wt.data(),
                     fan_in,
                     grad_in.data_mut(),
-                    |_, acc| acc,
+                    Epilogue::Identity,
                 );
             }
         }
@@ -587,18 +590,12 @@ impl Mlp {
     /// Panics when the length does not match [`Mlp::param_count`].
     pub fn apply_delta(&mut self, delta: &[f32]) {
         assert_eq!(delta.len(), self.param_count(), "delta length mismatch");
+        let isa = simd::detect();
         let mut offset = 0;
-        for layer in &mut self.layers {
-            let w = layer.weights.data_mut();
-            for v in w.iter_mut() {
-                *v += delta[offset];
-                offset += 1;
-            }
-            for b in layer.biases.iter_mut() {
-                *b += delta[offset];
-                offset += 1;
-            }
-        }
+        self.for_each_param_slice_mut(|params| {
+            simd::add_assign(isa, params, &delta[offset..offset + params.len()]);
+            offset += params.len();
+        });
     }
 }
 

@@ -8,6 +8,7 @@
 //! (five temperatures in `[100, 500]` K over a 1-second trajectory).
 
 use crate::matrix::Matrix;
+use crate::simd;
 use serde::{Deserialize, Serialize};
 
 /// Affine normaliser for surrogate inputs `(X, t)`: one `(min, span)` pair per
@@ -60,16 +61,19 @@ impl InputNormalizer {
     /// Normalises one raw input vector `[X, t]` in place (the last entry is
     /// the time; the others are parameter dimensions).
     pub fn normalize_in_place(&self, input: &mut [f32]) {
-        let n = input.len();
-        for (v, (min, span)) in input
-            .iter_mut()
-            .take(n.saturating_sub(1))
-            .zip(self.mins.iter().zip(&self.spans))
-        {
-            // A pinned dimension (zero span) maps to 0.0, mirroring
-            // `ParamRange::normalize`, so the input stays bounded.
-            *v = if *span != 0.0 { (*v - min) / span } else { 0.0 };
-        }
+        // A pinned dimension (zero span) maps to 0.0, mirroring
+        // `ParamRange::normalize`, so the input stays bounded.
+        let dims = input
+            .len()
+            .saturating_sub(1)
+            .min(self.mins.len())
+            .min(self.spans.len());
+        simd::normalize_dims(
+            simd::detect(),
+            &mut input[..dims],
+            &self.mins[..dims],
+            &self.spans[..dims],
+        );
         if let Some(t) = input.last_mut() {
             if self.time_max > 0.0 {
                 *t /= self.time_max;
@@ -137,10 +141,7 @@ impl OutputNormalizer {
 
     /// Normalises a field to the unit range in place.
     pub fn normalize_in_place(&self, values: &mut [f32]) {
-        let span = self.span();
-        for v in values {
-            *v = (*v - self.value_min) / span;
-        }
+        simd::affine_normalize(simd::detect(), values, self.value_min, self.span());
     }
 
     /// Returns the normalised copy of a field.
@@ -161,8 +162,9 @@ impl OutputNormalizer {
 
     /// Maps a normalised prediction back to physical units.
     pub fn denormalize(&self, values: &[f32]) -> Vec<f32> {
-        let span = self.span();
-        values.iter().map(|v| v * span + self.value_min).collect()
+        let mut out = values.to_vec();
+        simd::affine_map(simd::detect(), &mut out, self.span(), self.value_min);
+        out
     }
 
     /// Maps a normalised prediction matrix back to physical units.

@@ -4,6 +4,7 @@
 //! momentum is kept as a baseline for ablations.
 
 use crate::mlp::Mlp;
+use crate::simd::{self, KernelIsa};
 use serde::{Deserialize, Serialize};
 
 /// An optimizer consuming flattened gradients and updating the model in place.
@@ -56,6 +57,11 @@ pub struct Adam {
     first_moment: Vec<f32>,
     second_moment: Vec<f32>,
     steps: usize,
+    /// Kernel-ISA request the fused pass dispatches on. Every resolved ISA is
+    /// bit-identical, so this is operational state, not part of a checkpoint
+    /// (restored checkpoints re-detect on the restoring host).
+    #[serde(skip)]
+    isa: KernelIsa,
 }
 
 impl Adam {
@@ -66,7 +72,15 @@ impl Adam {
             first_moment: vec![0.0; param_count],
             second_moment: vec![0.0; param_count],
             steps: 0,
+            isa: KernelIsa::Auto,
         }
+    }
+
+    /// Sets the kernel-ISA request the fused update dispatches on
+    /// (bit-identical for every resolved ISA; `Auto` is the default).
+    pub fn with_isa(mut self, isa: KernelIsa) -> Self {
+        self.isa = isa;
+        self
     }
 
     /// The optimizer configuration.
@@ -91,10 +105,16 @@ impl Optimizer for Adam {
         let t = self.steps as f32;
         let b1 = self.config.beta1;
         let b2 = self.config.beta2;
-        let bias1 = 1.0 - b1.powf(t);
-        let bias2 = 1.0 - b2.powf(t);
-        let epsilon = self.config.epsilon;
-        let decay = learning_rate * self.config.weight_decay;
+        let step = simd::AdamStep {
+            beta1: b1,
+            beta2: b2,
+            bias1: 1.0 - b1.powf(t),
+            bias2: 1.0 - b2.powf(t),
+            learning_rate,
+            epsilon: self.config.epsilon,
+            decay: learning_rate * self.config.weight_decay,
+        };
+        let isa = self.isa.resolve();
         let first = &mut self.first_moment;
         let second = &mut self.second_moment;
         let mut offset = 0usize;
@@ -102,18 +122,7 @@ impl Optimizer for Adam {
             let g = &grads[offset..offset + params.len()];
             let m = &mut first[offset..offset + params.len()];
             let v = &mut second[offset..offset + params.len()];
-            for k in 0..params.len() {
-                let gv = g[k];
-                m[k] = b1 * m[k] + (1.0 - b1) * gv;
-                v[k] = b2 * v[k] + (1.0 - b2) * gv * gv;
-                let m_hat = m[k] / bias1;
-                let v_hat = v[k] / bias2;
-                let mut delta = -learning_rate * m_hat / (v_hat.sqrt() + epsilon);
-                if decay > 0.0 {
-                    delta -= decay * params[k];
-                }
-                params[k] += delta;
-            }
+            simd::adam_update(isa, params, g, m, v, step);
             offset += params.len();
         });
         debug_assert_eq!(offset, grads.len());
@@ -134,6 +143,9 @@ pub struct Sgd {
     momentum: f32,
     velocity: Vec<f32>,
     steps: usize,
+    /// See [`Adam::with_isa`] — operational, never checkpointed.
+    #[serde(skip)]
+    isa: KernelIsa,
 }
 
 impl Sgd {
@@ -143,7 +155,14 @@ impl Sgd {
             momentum,
             velocity: vec![0.0; param_count],
             steps: 0,
+            isa: KernelIsa::Auto,
         }
+    }
+
+    /// Sets the kernel-ISA request the velocity update dispatches on.
+    pub fn with_isa(mut self, isa: KernelIsa) -> Self {
+        self.isa = isa;
+        self
     }
 }
 
@@ -155,9 +174,13 @@ impl Optimizer for Sgd {
             "gradient length does not match optimizer state"
         );
         self.steps += 1;
-        for (v, &g) in self.velocity.iter_mut().zip(grads) {
-            *v = self.momentum * *v - learning_rate * g;
-        }
+        simd::sgd_velocity(
+            self.isa.resolve(),
+            &mut self.velocity,
+            grads,
+            self.momentum,
+            learning_rate,
+        );
         model.apply_delta(&self.velocity);
     }
 

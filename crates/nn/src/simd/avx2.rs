@@ -1,0 +1,824 @@
+//! AVX2(+FMA) kernels. Only reachable through the dispatch layer in
+//! [`super`], which asserts `is_x86_feature_detected!("avx2")` /
+//! `("fma")` before every entry — the `#[target_feature]` functions here are
+//! never called on a CPU that lacks the instructions.
+//!
+//! Numeric discipline: every kernel except [`gemm_nt_serial`] is bit-identical
+//! to its scalar reference, which means **no FMA in those paths** — a fused
+//! multiply-add rounds once where the scalar code rounds twice, so the
+//! bit-identical kernels use separate `_mm256_mul_ps`/`_mm256_add_ps` (and
+//! div/sqrt, which IEEE 754 requires to be correctly rounded, hence identical
+//! to their scalar counterparts). Vector widening always runs across
+//! *independent output elements*; reductions keep one accumulator per element
+//! in the scalar order. [`gemm_nt_serial`] is the one contract-versioned
+//! exception ("gemm-nt-v2", see [`super::gemm_nt`]) and does use FMA.
+
+use super::{AdamStep, Epilogue};
+use crate::mlp::Activation;
+use core::arch::x86_64::*;
+
+/// 8 f32 lanes per __m256 — equal to the scalar kernels' column tile
+/// [`crate::kernels::NR`], so an accumulator row is exactly one register.
+const LANES: usize = 8;
+
+/// Row-block cap of the adaptive GEMM micro-kernels. The training GEMMs are
+/// *skinny* — one dimension is the batch size (~10) — and at paper-scale
+/// layer widths they are bandwidth-bound: every extra row pass re-streams a
+/// multi-megabyte operand. Blocking up to 10 rows keeps a whole default
+/// batch in registers (10 accumulators + a B vector + a broadcast = 12 of
+/// the 16 ymm registers) so the large matrix is streamed exactly once.
+const RMAX: usize = 10;
+
+/// Dispatches a row block of `r ∈ [1, RMAX]` rows onto the matching
+/// const-generic micro-kernel instantiation.
+macro_rules! row_block {
+    ($r:expr, $kernel:ident :: <_> ( $($arg:expr),* $(,)? )) => {
+        match $r {
+            1 => $kernel::<1>($($arg),*),
+            2 => $kernel::<2>($($arg),*),
+            3 => $kernel::<3>($($arg),*),
+            4 => $kernel::<4>($($arg),*),
+            5 => $kernel::<5>($($arg),*),
+            6 => $kernel::<6>($($arg),*),
+            7 => $kernel::<7>($($arg),*),
+            8 => $kernel::<8>($($arg),*),
+            9 => $kernel::<9>($($arg),*),
+            // `r = min(remaining, RMAX)` never exceeds RMAX = 10.
+            _ => $kernel::<RMAX>($($arg),*),
+        }
+    };
+}
+
+/// `C = A·B` with fused epilogue; serial core (row-parallelism happens in the
+/// dispatch layer). Bit-identical to the scalar blocked kernel.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) fn gemm_nn_serial(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    epi: Epilogue<'_>,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut j = 0;
+    while j + LANES <= n {
+        let mut i = 0;
+        while i < m {
+            let r = (m - i).min(RMAX);
+            row_block!(r, micro_rx8::<_>(a, i, k, b, j, n, out, &epi));
+            i += r;
+        }
+        j += LANES;
+    }
+    if j < n {
+        // Vectorised masked column tail — the trailing `n % 8` columns run
+        // through the same micro-kernel with inactive lanes masked off, so
+        // ragged widths never fall back to a scalar re-stream of A.
+        let nb = n - j;
+        let mask = tail_mask(nb);
+        let mut i = 0;
+        while i < m {
+            let r = (m - i).min(RMAX);
+            row_block!(r, micro_rx8_masked::<_>(a, i, k, b, j, n, mask, out, &epi));
+            i += r;
+        }
+    }
+}
+
+/// R×8 micro-kernel: R __m256 accumulators (one per output row) stay in
+/// registers for the whole reduction, and the `k×8` panel of B is streamed
+/// once for all R rows. Lanes are independent output columns, so each
+/// element keeps its scalar ascending-k single-accumulator order; mul + add
+/// (not FMA) preserves the scalar double rounding.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+fn micro_rx8<const R: usize>(
+    a: &[f32],
+    i: usize,
+    k: usize,
+    b: &[f32],
+    j: usize,
+    n: usize,
+    out: &mut [f32],
+    epi: &Epilogue<'_>,
+) {
+    let mut acc = [_mm256_setzero_ps(); R];
+    // Pre-sliced A rows: inside the reduction every `rows[rr][l]` access is
+    // bounds-elided by `l < k == rows[rr].len()`.
+    let mut rows: [&[f32]; R] = [&a[..0]; R];
+    for (rr, row) in rows.iter_mut().enumerate() {
+        *row = &a[(i + rr) * k..(i + rr + 1) * k];
+    }
+    let mut bp = b[j..].as_ptr();
+    let pf_limit = k.saturating_sub(PF_DIST);
+    // `l` indexes the inner row slices (`rows[rr][l]`), not `rows` itself —
+    // the iterator rewrite clippy wants does not apply.
+    #[allow(clippy::needless_range_loop)]
+    for l in 0..k {
+        // SAFETY: bp = &b[l*n + j] and l < k, j + LANES <= n (loop bounds in
+        // the caller), so the 8 loaded floats are in bounds; unaligned load.
+        let bv = unsafe { _mm256_loadu_ps(bp) };
+        if l < pf_limit {
+            // The B panel walk strides n·4 bytes per iteration — far past
+            // what the hardware stride prefetcher tracks — so fetch the line
+            // PF_DIST rows ahead explicitly.
+            // SAFETY: prefetch of &b[(l + PF_DIST)*n + j], in bounds by the
+            // pf_limit guard (and prefetch cannot fault regardless).
+            unsafe { _mm_prefetch::<_MM_HINT_T0>(bp.add(PF_DIST * n) as *const i8) };
+        }
+        for (rr, c) in acc.iter_mut().enumerate() {
+            *c = _mm256_add_ps(*c, _mm256_mul_ps(_mm256_set1_ps(rows[rr][l]), bv));
+        }
+        // SAFETY: advances to &b[(l+1)*n + j]; only dereferenced while
+        // l + 1 < k keeps it in bounds (loop exit leaves it dangling unused).
+        bp = unsafe { bp.add(n) };
+    }
+    for (rr, c) in acc.into_iter().enumerate() {
+        let orow = &mut out[(i + rr) * n + j..(i + rr) * n + j + LANES];
+        store_epilogue8(epi, j, c, orow);
+    }
+}
+
+/// Prefetch distance (in B rows) of the [`micro_rx8`] panel walk.
+const PF_DIST: usize = 16;
+
+/// Masked-tail variant of [`micro_rx8`] for the trailing `n % 8` columns:
+/// same accumulator layout and per-element order, but B/bias loads and the C
+/// store only touch the `n − j` live lanes via AVX2 masked moves.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+fn micro_rx8_masked<const R: usize>(
+    a: &[f32],
+    i: usize,
+    k: usize,
+    b: &[f32],
+    j: usize,
+    n: usize,
+    mask: __m256i,
+    out: &mut [f32],
+    epi: &Epilogue<'_>,
+) {
+    let mut acc = [_mm256_setzero_ps(); R];
+    // Pre-sliced A rows, as in [`micro_rx8`], so the reduction loads are
+    // bounds-elided.
+    let mut rows: [&[f32]; R] = [&a[..0]; R];
+    for (rr, row) in rows.iter_mut().enumerate() {
+        *row = &a[(i + rr) * k..(i + rr + 1) * k];
+    }
+    let mut bp = b[j..].as_ptr();
+    // `l` indexes the inner row slices, as in `micro_rx8`.
+    #[allow(clippy::needless_range_loop)]
+    for l in 0..k {
+        // SAFETY: bp = &b[l*n + j]; the mask covers exactly the n − j < 8
+        // trailing columns, so the masked load touches only
+        // b[l*n + j .. l*n + n] — masked-off lanes are never accessed and
+        // read as zero.
+        let bv = unsafe { _mm256_maskload_ps(bp, mask) };
+        for (rr, c) in acc.iter_mut().enumerate() {
+            *c = _mm256_add_ps(*c, _mm256_mul_ps(_mm256_set1_ps(rows[rr][l]), bv));
+        }
+        // SAFETY: advances to &b[(l+1)*n + j]; only dereferenced while
+        // l + 1 < k keeps it in bounds (loop exit leaves it dangling unused).
+        bp = unsafe { bp.add(n) };
+    }
+    for (rr, c) in acc.into_iter().enumerate() {
+        let orow = &mut out[(i + rr) * n + j..(i + rr) * n + n];
+        store_epilogue_masked(epi, j, mask, c, orow);
+    }
+}
+
+/// Lane mask with the first `nb` (1..=7) lanes live.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn tail_mask(nb: usize) -> __m256i {
+    debug_assert!((1..LANES).contains(&nb));
+    let mut lanes = [0i32; LANES];
+    for lane in lanes.iter_mut().take(nb) {
+        *lane = -1;
+    }
+    // SAFETY: lanes is exactly 8 i32 = 32 bytes; unaligned load.
+    unsafe { _mm256_loadu_si256(lanes.as_ptr() as *const __m256i) }
+}
+
+/// Applies the fused epilogue to one 8-wide accumulator and stores it.
+/// Bias-add and ReLU run vectorised (`max_ps` against +0.0 matches scalar
+/// `f32::max(0.0)` on every input, NaN included); transcendental activations
+/// store the pre-activation and apply `Activation::apply` scalar per lane —
+/// the stored f32 equals the scalar epilogue's register value, so feeding it
+/// to the same `tanh`/`exp` code is bit-identical.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn store_epilogue8(epi: &Epilogue<'_>, j: usize, acc: __m256, orow: &mut [f32]) {
+    debug_assert_eq!(orow.len(), LANES);
+    match epi {
+        Epilogue::Identity => {
+            // SAFETY: orow is exactly 8 elements (asserted above); unaligned store.
+            unsafe { _mm256_storeu_ps(orow.as_mut_ptr(), acc) };
+        }
+        Epilogue::BiasAct { biases, activation } => {
+            // SAFETY: the dispatch layer asserted biases.len() == n and the
+            // caller guarantees j + 8 <= n; unaligned load.
+            let bv = unsafe { _mm256_loadu_ps(biases.as_ptr().add(j)) };
+            let pre = _mm256_add_ps(acc, bv);
+            match activation {
+                Activation::Identity => {
+                    // SAFETY: orow is exactly 8 elements; unaligned store.
+                    unsafe { _mm256_storeu_ps(orow.as_mut_ptr(), pre) };
+                }
+                Activation::ReLU => {
+                    let relu = _mm256_max_ps(pre, _mm256_setzero_ps());
+                    // SAFETY: orow is exactly 8 elements; unaligned store.
+                    unsafe { _mm256_storeu_ps(orow.as_mut_ptr(), relu) };
+                }
+                Activation::Tanh | Activation::Sigmoid => {
+                    // SAFETY: orow is exactly 8 elements; unaligned store.
+                    unsafe { _mm256_storeu_ps(orow.as_mut_ptr(), pre) };
+                    for o in orow.iter_mut() {
+                        *o = activation.apply(*o);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Masked-tail counterpart of [`store_epilogue8`]: bias loads and the C
+/// store touch only the live lanes, and the transcendental epilogue applies
+/// [`Activation::apply`] to exactly the stored (live) elements, so the tail
+/// columns match the scalar epilogue bit for bit.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn store_epilogue_masked(
+    epi: &Epilogue<'_>,
+    j: usize,
+    mask: __m256i,
+    acc: __m256,
+    orow: &mut [f32],
+) {
+    debug_assert!(!orow.is_empty() && orow.len() < LANES);
+    match epi {
+        Epilogue::Identity => {
+            // SAFETY: the mask covers exactly orow.len() live lanes, so the
+            // masked store writes only the in-bounds tail elements.
+            unsafe { _mm256_maskstore_ps(orow.as_mut_ptr(), mask, acc) };
+        }
+        Epilogue::BiasAct { biases, activation } => {
+            // SAFETY: the dispatch layer asserted biases.len() == n and the
+            // mask covers exactly the n − j live lanes; masked-off lanes are
+            // never accessed.
+            let bv = unsafe { _mm256_maskload_ps(biases.as_ptr().add(j), mask) };
+            let pre = _mm256_add_ps(acc, bv);
+            match activation {
+                Activation::Identity => {
+                    // SAFETY: masked store, live lanes only (see above).
+                    unsafe { _mm256_maskstore_ps(orow.as_mut_ptr(), mask, pre) };
+                }
+                Activation::ReLU => {
+                    let relu = _mm256_max_ps(pre, _mm256_setzero_ps());
+                    // SAFETY: masked store, live lanes only (see above).
+                    unsafe { _mm256_maskstore_ps(orow.as_mut_ptr(), mask, relu) };
+                }
+                Activation::Tanh | Activation::Sigmoid => {
+                    // SAFETY: masked store, live lanes only (see above).
+                    unsafe { _mm256_maskstore_ps(orow.as_mut_ptr(), mask, pre) };
+                    for o in orow.iter_mut() {
+                        *o = activation.apply(*o);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ·B` / `C += Aᵀ·B` over output rows `[i0, i1)`; vectorised across
+/// the contiguous output columns. Reduction rows run in blocks of up to
+/// [`RMAX`] so a whole default batch folds into C in one pass — overwrite
+/// mode writes each output element exactly once with no read-modify-write
+/// traffic. Per element the addition order is the scalar kernel's
+/// ascending-r sequence (one mul/add pair per row), and f32 round-trips
+/// through memory between blocks are exact, so results are bit-identical.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub(super) fn gemm_tn_serial(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    i0: usize,
+    i1: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    // No reduction rows: overwrite mode must still produce the empty sum.
+    if m == 0 {
+        if !accumulate {
+            out.iter_mut().for_each(|c| *c = 0.0);
+        }
+        return;
+    }
+    let mut first_block = !accumulate;
+    let mut r = 0;
+    while r < m {
+        let rb = (m - r).min(RMAX);
+        row_block!(
+            rb,
+            tn_rows_block::<_>(a, k, r, i0, i1, b, n, out, first_block)
+        );
+        first_block = false;
+        r += rb;
+    }
+}
+
+/// One block of R reduction rows of [`gemm_tn_serial`]: broadcasts the R
+/// A-column values per output row once, then sweeps the R rows of B with a
+/// single accumulator register per 8-column group.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+fn tn_rows_block<const R: usize>(
+    a: &[f32],
+    k: usize,
+    r0: usize,
+    i0: usize,
+    i1: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    first_block: bool,
+) {
+    // Column tiling: every output row re-reads the same R rows of B, so the
+    // sweep is tiled to keep the active B panel (R × TN_TILE × 4 bytes ≤
+    // 20 KiB at R = 10) L1-resident across all i1 − i0 output rows. The tile
+    // width is a multiple of LANES, so only the last tile can have a ragged
+    // scalar tail. Per output element nothing changes — the j ranges are
+    // disjoint — so the tiling is numerically invisible.
+    const TN_TILE: usize = 512;
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + TN_TILE).min(n);
+        for i in i0..i1 {
+            let mut scalars = [0.0f32; R];
+            let mut broadcasts = [_mm256_setzero_ps(); R];
+            for rr in 0..R {
+                let s = a[(r0 + rr) * k + i];
+                scalars[rr] = s;
+                broadcasts[rr] = _mm256_set1_ps(s);
+            }
+            // Per-row B base pointers: inside the sweep every load is one
+            // indexed addressing mode off bps[rr] with no multiplies.
+            let mut bps: [*const f32; R] = [b.as_ptr(); R];
+            for (rr, bp) in bps.iter_mut().enumerate() {
+                // SAFETY: row r0 + rr < m of B starts at (r0 + rr) * n; only
+                // offsets j < n are ever added before dereferencing.
+                *bp = unsafe { b.as_ptr().add((r0 + rr) * n) };
+            }
+            let crow = &mut out[(i - i0) * n..(i - i0 + 1) * n];
+            let mut j = j0;
+            while j + LANES <= j1 {
+                let mut v = if first_block {
+                    _mm256_setzero_ps()
+                } else {
+                    // SAFETY: j + 8 <= j1 <= n == crow.len(); unaligned load.
+                    unsafe { _mm256_loadu_ps(crow.as_ptr().add(j)) }
+                };
+                for (rr, &av) in broadcasts.iter().enumerate() {
+                    // SAFETY: j + 8 <= n and bps[rr] points at a B row of
+                    // exactly n elements; unaligned load.
+                    let bv = unsafe { _mm256_loadu_ps(bps[rr].add(j)) };
+                    v = _mm256_add_ps(v, _mm256_mul_ps(av, bv));
+                }
+                // SAFETY: j + 8 <= crow.len(); unaligned store.
+                unsafe { _mm256_storeu_ps(crow.as_mut_ptr().add(j), v) };
+                j += LANES;
+            }
+            while j < j1 {
+                let mut v = if first_block { 0.0 } else { crow[j] };
+                for (rr, &sv) in scalars.iter().enumerate() {
+                    v += sv * b[(r0 + rr) * n + j];
+                }
+                crow[j] = v;
+                j += 1;
+            }
+        }
+        j0 = j1;
+    }
+}
+
+/// `C = A·Bᵀ` under the "gemm-nt-v2" contract: the only kernel whose
+/// reduction is vectorised *along* the summation dimension — eight FMA
+/// partial sums, folded in ascending lane order, plus an ascending scalar
+/// tail. Association order differs from the scalar v1 kernel by design; both
+/// contracts are pinned in `tests/simd_equivalence.rs`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) fn gemm_nt_serial(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = _mm256_setzero_ps();
+            let mut l = 0;
+            while l + LANES <= k {
+                // SAFETY: l + 8 <= k and both rows are exactly k elements;
+                // unaligned loads.
+                let av = unsafe { _mm256_loadu_ps(a_row.as_ptr().add(l)) };
+                let bv = unsafe { _mm256_loadu_ps(b_row.as_ptr().add(l)) };
+                acc = _mm256_fmadd_ps(av, bv, acc);
+                l += LANES;
+            }
+            let mut lanes = [0.0f32; LANES];
+            // SAFETY: lanes is exactly 8 elements; unaligned store.
+            unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
+            let mut sum = 0.0f32;
+            for v in lanes {
+                sum += v;
+            }
+            while l < k {
+                sum += a_row[l] * b_row[l];
+                l += 1;
+            }
+            out[i * n + j] = sum;
+        }
+    }
+}
+
+/// Blocked transpose with an 8×8 in-register kernel (unpack/shuffle/permute);
+/// pure data movement, bit-identical trivially.
+#[target_feature(enable = "avx2")]
+pub(super) fn transpose(a: &[f32], m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut i0 = 0;
+    while i0 + LANES <= m {
+        let mut j0 = 0;
+        while j0 + LANES <= n {
+            transpose8x8(a, m, n, i0, j0, out);
+            j0 += LANES;
+        }
+        // Column tail of this 8-row band.
+        for i in i0..i0 + LANES {
+            for j in j0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        i0 += LANES;
+    }
+    // Remaining (< 8) rows.
+    for i in i0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+}
+
+/// Transposes the 8×8 tile at `(i0, j0)` of the `m×n` input into `(j0, i0)`
+/// of the `n×m` output using the classic unpack → shuffle → permute ladder.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn transpose8x8(a: &[f32], m: usize, n: usize, i0: usize, j0: usize, out: &mut [f32]) {
+    // SAFETY (all eight): the caller guarantees i0 + 8 <= m and j0 + 8 <= n,
+    // so every row slice a[(i0+r)*n + j0 ..][..8] is in bounds; unaligned loads.
+    let r0 = unsafe { _mm256_loadu_ps(a.as_ptr().add(i0 * n + j0)) };
+    let r1 = unsafe { _mm256_loadu_ps(a.as_ptr().add((i0 + 1) * n + j0)) };
+    let r2 = unsafe { _mm256_loadu_ps(a.as_ptr().add((i0 + 2) * n + j0)) };
+    let r3 = unsafe { _mm256_loadu_ps(a.as_ptr().add((i0 + 3) * n + j0)) };
+    let r4 = unsafe { _mm256_loadu_ps(a.as_ptr().add((i0 + 4) * n + j0)) };
+    let r5 = unsafe { _mm256_loadu_ps(a.as_ptr().add((i0 + 5) * n + j0)) };
+    let r6 = unsafe { _mm256_loadu_ps(a.as_ptr().add((i0 + 6) * n + j0)) };
+    let r7 = unsafe { _mm256_loadu_ps(a.as_ptr().add((i0 + 7) * n + j0)) };
+
+    let t0 = _mm256_unpacklo_ps(r0, r1);
+    let t1 = _mm256_unpackhi_ps(r0, r1);
+    let t2 = _mm256_unpacklo_ps(r2, r3);
+    let t3 = _mm256_unpackhi_ps(r2, r3);
+    let t4 = _mm256_unpacklo_ps(r4, r5);
+    let t5 = _mm256_unpackhi_ps(r4, r5);
+    let t6 = _mm256_unpacklo_ps(r6, r7);
+    let t7 = _mm256_unpackhi_ps(r6, r7);
+
+    let s0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+    let s1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+    let s2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+    let s3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+    let s4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+    let s5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+    let s6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+    let s7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+
+    let o0 = _mm256_permute2f128_ps::<0x20>(s0, s4);
+    let o1 = _mm256_permute2f128_ps::<0x20>(s1, s5);
+    let o2 = _mm256_permute2f128_ps::<0x20>(s2, s6);
+    let o3 = _mm256_permute2f128_ps::<0x20>(s3, s7);
+    let o4 = _mm256_permute2f128_ps::<0x31>(s0, s4);
+    let o5 = _mm256_permute2f128_ps::<0x31>(s1, s5);
+    let o6 = _mm256_permute2f128_ps::<0x31>(s2, s6);
+    let o7 = _mm256_permute2f128_ps::<0x31>(s3, s7);
+
+    // SAFETY (all eight): j0 + 8 <= n and i0 + 8 <= m, so every output row
+    // slice out[(j0+c)*m + i0 ..][..8] is in bounds; unaligned stores.
+    unsafe {
+        _mm256_storeu_ps(out.as_mut_ptr().add(j0 * m + i0), o0);
+        _mm256_storeu_ps(out.as_mut_ptr().add((j0 + 1) * m + i0), o1);
+        _mm256_storeu_ps(out.as_mut_ptr().add((j0 + 2) * m + i0), o2);
+        _mm256_storeu_ps(out.as_mut_ptr().add((j0 + 3) * m + i0), o3);
+        _mm256_storeu_ps(out.as_mut_ptr().add((j0 + 4) * m + i0), o4);
+        _mm256_storeu_ps(out.as_mut_ptr().add((j0 + 5) * m + i0), o5);
+        _mm256_storeu_ps(out.as_mut_ptr().add((j0 + 6) * m + i0), o6);
+        _mm256_storeu_ps(out.as_mut_ptr().add((j0 + 7) * m + i0), o7);
+    }
+}
+
+/// `grad[i] *= act'(y[i])`. The ReLU factor is materialised as literal
+/// 1.0/0.0 (mask AND ones) *before* the multiply, matching the scalar
+/// `g * 1.0` / `g * 0.0` including the sign of zeroed gradients.
+#[target_feature(enable = "avx2")]
+pub(super) fn act_derivative_mul(grad: &mut [f32], ys: &[f32], activation: Activation) {
+    debug_assert_eq!(grad.len(), ys.len());
+    let ones = _mm256_set1_ps(1.0);
+    let zero = _mm256_setzero_ps();
+    let n = grad.len();
+    let mut idx = 0;
+    while idx + LANES <= n {
+        // SAFETY: idx + 8 <= n and the slices have equal length; unaligned
+        // load/store on both.
+        let g = unsafe { _mm256_loadu_ps(grad.as_ptr().add(idx)) };
+        let y = unsafe { _mm256_loadu_ps(ys.as_ptr().add(idx)) };
+        let d = match activation {
+            // (y > 0) ? 1.0 : 0.0
+            Activation::ReLU => _mm256_and_ps(_mm256_cmp_ps::<_CMP_GT_OQ>(y, zero), ones),
+            // 1 − y²
+            Activation::Tanh => _mm256_sub_ps(ones, _mm256_mul_ps(y, y)),
+            // y · (1 − y)
+            Activation::Sigmoid => _mm256_mul_ps(y, _mm256_sub_ps(ones, y)),
+            Activation::Identity => ones,
+        };
+        // SAFETY: idx + 8 <= grad.len(); unaligned store.
+        unsafe { _mm256_storeu_ps(grad.as_mut_ptr().add(idx), _mm256_mul_ps(g, d)) };
+        idx += LANES;
+    }
+    while idx < n {
+        grad[idx] *= activation.derivative_from_output(ys[idx]);
+        idx += 1;
+    }
+}
+
+/// Fused MSE: vectorised gradient store, scalar-ordered loss accumulation —
+/// the lanes are spilled to a stack array and summed in ascending element
+/// order so the loss equals the scalar single-accumulator loop bit for bit.
+#[target_feature(enable = "avx2")]
+pub(super) fn mse_fused(pred: &[f32], target: &[f32], scale: f32, grad: &mut [f32]) -> f32 {
+    debug_assert_eq!(pred.len(), target.len());
+    debug_assert_eq!(pred.len(), grad.len());
+    let scale_v = _mm256_set1_ps(scale);
+    let n = pred.len();
+    let mut sum = 0.0f32;
+    let mut idx = 0;
+    let mut lanes = [0.0f32; LANES];
+    while idx + LANES <= n {
+        // SAFETY: idx + 8 <= n and all three slices have equal length;
+        // unaligned loads/stores.
+        let p = unsafe { _mm256_loadu_ps(pred.as_ptr().add(idx)) };
+        let t = unsafe { _mm256_loadu_ps(target.as_ptr().add(idx)) };
+        let diff = _mm256_sub_ps(p, t);
+        unsafe { _mm256_storeu_ps(grad.as_mut_ptr().add(idx), _mm256_mul_ps(diff, scale_v)) };
+        // SAFETY: lanes is exactly 8 elements; unaligned store.
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), diff) };
+        for d in lanes {
+            sum += d * d;
+        }
+        idx += LANES;
+    }
+    while idx < n {
+        let diff = pred[idx] - target[idx];
+        sum += diff * diff;
+        grad[idx] = diff * scale;
+        idx += 1;
+    }
+    sum
+}
+
+/// Fused Adam update — pure streaming with correctly-rounded div/sqrt and no
+/// FMA; the op sequence per element is exactly
+/// [`super::adam_update_scalar`]'s, so the result is bit-identical.
+#[target_feature(enable = "avx2")]
+pub(super) fn adam_update(
+    params: &mut [f32],
+    grads: &[f32],
+    first: &mut [f32],
+    second: &mut [f32],
+    step: AdamStep,
+) {
+    debug_assert_eq!(params.len(), grads.len());
+    debug_assert_eq!(params.len(), first.len());
+    debug_assert_eq!(params.len(), second.len());
+    let b1 = _mm256_set1_ps(step.beta1);
+    let b2 = _mm256_set1_ps(step.beta2);
+    let omb1 = _mm256_set1_ps(1.0 - step.beta1);
+    let omb2 = _mm256_set1_ps(1.0 - step.beta2);
+    let bias1 = _mm256_set1_ps(step.bias1);
+    let bias2 = _mm256_set1_ps(step.bias2);
+    let neg_lr = _mm256_set1_ps(-step.learning_rate);
+    let eps = _mm256_set1_ps(step.epsilon);
+    let decay = _mm256_set1_ps(step.decay);
+    let with_decay = step.decay > 0.0;
+    let n = params.len();
+    let mut idx = 0;
+    while idx + LANES <= n {
+        // SAFETY (this block): idx + 8 <= n and all four slices have equal
+        // length; unaligned loads/stores throughout.
+        unsafe {
+            let gv = _mm256_loadu_ps(grads.as_ptr().add(idx));
+            let mut mv = _mm256_loadu_ps(first.as_ptr().add(idx));
+            let mut vv = _mm256_loadu_ps(second.as_ptr().add(idx));
+            // m = β₁·m + (1−β₁)·g        (mul, mul, add — scalar order)
+            mv = _mm256_add_ps(_mm256_mul_ps(b1, mv), _mm256_mul_ps(omb1, gv));
+            // v = β₂·v + ((1−β₂)·g)·g    (left-associated like the scalar code)
+            vv = _mm256_add_ps(
+                _mm256_mul_ps(b2, vv),
+                _mm256_mul_ps(_mm256_mul_ps(omb2, gv), gv),
+            );
+            _mm256_storeu_ps(first.as_mut_ptr().add(idx), mv);
+            _mm256_storeu_ps(second.as_mut_ptr().add(idx), vv);
+            let m_hat = _mm256_div_ps(mv, bias1);
+            let v_hat = _mm256_div_ps(vv, bias2);
+            // δ = (−lr · m̂) / (√v̂ + ε)
+            let mut delta = _mm256_div_ps(
+                _mm256_mul_ps(neg_lr, m_hat),
+                _mm256_add_ps(_mm256_sqrt_ps(v_hat), eps),
+            );
+            let pv = _mm256_loadu_ps(params.as_ptr().add(idx));
+            if with_decay {
+                delta = _mm256_sub_ps(delta, _mm256_mul_ps(decay, pv));
+            }
+            _mm256_storeu_ps(params.as_mut_ptr().add(idx), _mm256_add_ps(pv, delta));
+        }
+        idx += LANES;
+    }
+    let tail = idx;
+    super::adam_update_scalar(
+        &mut params[tail..],
+        &grads[tail..],
+        &mut first[tail..],
+        &mut second[tail..],
+        step,
+    );
+}
+
+/// `v = momentum·v − lr·g` (mul, mul, sub — the scalar order).
+#[target_feature(enable = "avx2")]
+pub(super) fn sgd_velocity(velocity: &mut [f32], grads: &[f32], momentum: f32, lr: f32) {
+    debug_assert_eq!(velocity.len(), grads.len());
+    let mom = _mm256_set1_ps(momentum);
+    let lr_v = _mm256_set1_ps(lr);
+    let n = velocity.len();
+    let mut idx = 0;
+    while idx + LANES <= n {
+        // SAFETY: idx + 8 <= n and the slices have equal length; unaligned
+        // load/store.
+        unsafe {
+            let v = _mm256_loadu_ps(velocity.as_ptr().add(idx));
+            let g = _mm256_loadu_ps(grads.as_ptr().add(idx));
+            let nv = _mm256_sub_ps(_mm256_mul_ps(mom, v), _mm256_mul_ps(lr_v, g));
+            _mm256_storeu_ps(velocity.as_mut_ptr().add(idx), nv);
+        }
+        idx += LANES;
+    }
+    while idx < n {
+        velocity[idx] = momentum * velocity[idx] - lr * grads[idx];
+        idx += 1;
+    }
+}
+
+/// `dst[i] += src[i]`.
+#[target_feature(enable = "avx2")]
+pub(super) fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let mut idx = 0;
+    while idx + LANES <= n {
+        // SAFETY: idx + 8 <= n and the slices have equal length; unaligned
+        // load/store.
+        unsafe {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(idx));
+            let s = _mm256_loadu_ps(src.as_ptr().add(idx));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(idx), _mm256_add_ps(d, s));
+        }
+        idx += LANES;
+    }
+    while idx < n {
+        dst[idx] += src[idx];
+        idx += 1;
+    }
+}
+
+/// Rank-1 write `out[i][j] = x[i]·y[j]` — one multiply per element on both
+/// paths.
+#[target_feature(enable = "avx2")]
+pub(super) fn fill_outer(x: &[f32], y: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(out.len(), x.len() * y.len());
+    let cols = y.len();
+    for (&xv, crow) in x.iter().zip(out.chunks_exact_mut(cols)) {
+        let xvv = _mm256_set1_ps(xv);
+        let mut j = 0;
+        while j + LANES <= cols {
+            // SAFETY: j + 8 <= cols == crow.len() == y.len(); unaligned
+            // load/store.
+            unsafe {
+                let yv = _mm256_loadu_ps(y.as_ptr().add(j));
+                _mm256_storeu_ps(crow.as_mut_ptr().add(j), _mm256_mul_ps(xvv, yv));
+            }
+            j += LANES;
+        }
+        while j < cols {
+            crow[j] = xv * y[j];
+            j += 1;
+        }
+    }
+}
+
+/// `v = (v − min) / span`.
+#[target_feature(enable = "avx2")]
+pub(super) fn affine_normalize(values: &mut [f32], min: f32, span: f32) {
+    let min_v = _mm256_set1_ps(min);
+    let span_v = _mm256_set1_ps(span);
+    let n = values.len();
+    let mut idx = 0;
+    while idx + LANES <= n {
+        // SAFETY: idx + 8 <= n; unaligned load/store.
+        unsafe {
+            let v = _mm256_loadu_ps(values.as_ptr().add(idx));
+            let r = _mm256_div_ps(_mm256_sub_ps(v, min_v), span_v);
+            _mm256_storeu_ps(values.as_mut_ptr().add(idx), r);
+        }
+        idx += LANES;
+    }
+    while idx < n {
+        values[idx] = (values[idx] - min) / span;
+        idx += 1;
+    }
+}
+
+/// `v = v·scale + offset` (separate mul and add, never FMA).
+#[target_feature(enable = "avx2")]
+pub(super) fn affine_map(values: &mut [f32], scale: f32, offset: f32) {
+    let scale_v = _mm256_set1_ps(scale);
+    let offset_v = _mm256_set1_ps(offset);
+    let n = values.len();
+    let mut idx = 0;
+    while idx + LANES <= n {
+        // SAFETY: idx + 8 <= n; unaligned load/store.
+        unsafe {
+            let v = _mm256_loadu_ps(values.as_ptr().add(idx));
+            let r = _mm256_add_ps(_mm256_mul_ps(v, scale_v), offset_v);
+            _mm256_storeu_ps(values.as_mut_ptr().add(idx), r);
+        }
+        idx += LANES;
+    }
+    while idx < n {
+        values[idx] = values[idx] * scale + offset;
+        idx += 1;
+    }
+}
+
+/// Per-dimension `v = span≠0 ? (v − min)/span : 0`. The zero-span lanes are
+/// masked to literal +0.0 — the same value the scalar branch produces — so
+/// the division's ∞/NaN never escapes.
+#[target_feature(enable = "avx2")]
+pub(super) fn normalize_dims(values: &mut [f32], mins: &[f32], spans: &[f32]) {
+    debug_assert_eq!(values.len(), mins.len());
+    debug_assert_eq!(values.len(), spans.len());
+    let zero = _mm256_setzero_ps();
+    let n = values.len();
+    let mut idx = 0;
+    while idx + LANES <= n {
+        // SAFETY: idx + 8 <= n and all three slices have equal length;
+        // unaligned loads/stores.
+        unsafe {
+            let v = _mm256_loadu_ps(values.as_ptr().add(idx));
+            let mn = _mm256_loadu_ps(mins.as_ptr().add(idx));
+            let sp = _mm256_loadu_ps(spans.as_ptr().add(idx));
+            // Unordered-NEQ matches the scalar `span != 0.0` on NaN spans.
+            let mask = _mm256_cmp_ps::<_CMP_NEQ_UQ>(sp, zero);
+            let r = _mm256_div_ps(_mm256_sub_ps(v, mn), sp);
+            _mm256_storeu_ps(values.as_mut_ptr().add(idx), _mm256_and_ps(r, mask));
+        }
+        idx += LANES;
+    }
+    while idx < n {
+        values[idx] = if spans[idx] != 0.0 {
+            (values[idx] - mins[idx]) / spans[idx]
+        } else {
+            0.0
+        };
+        idx += 1;
+    }
+}

@@ -21,6 +21,7 @@
 
 use crate::matrix::Matrix;
 use crate::mlp::MlpConfig;
+use crate::simd::{self, KernelIsa, ResolvedIsa};
 
 /// Preallocated buffers for one model's forward/backward passes.
 #[derive(Debug, Clone)]
@@ -29,6 +30,7 @@ pub struct Workspace {
     pub(crate) layer_sizes: Vec<usize>,
     batch_capacity: usize,
     threads: usize,
+    isa: ResolvedIsa,
     /// Copy of the batch input (backward reads it after the caller's borrow ends).
     pub(crate) input: Matrix,
     /// Per-layer post-activation outputs; the last one is the network output.
@@ -67,6 +69,7 @@ impl Workspace {
             layer_sizes: sizes.clone(),
             batch_capacity,
             threads: 1,
+            isa: simd::detect(),
             input: Matrix::zeros(batch_capacity, sizes[0]),
             acts: sizes[1..]
                 .iter()
@@ -98,6 +101,20 @@ impl Workspace {
     /// The configured GEMM thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Resolves a kernel-ISA request against the hardware and pins this
+    /// workspace's forward/backward passes to the decision (the default is
+    /// [`simd::detect`]'s auto choice). Every resolved ISA is bit-identical
+    /// on the training path, so this is an operational knob like `threads`.
+    pub fn with_isa(mut self, isa: KernelIsa) -> Self {
+        self.isa = isa.resolve();
+        self
+    }
+
+    /// The resolved kernel ISA forward/backward dispatch on.
+    pub fn isa(&self) -> ResolvedIsa {
+        self.isa
     }
 
     /// The batch size the buffers were preallocated for.
